@@ -1,0 +1,77 @@
+/// Ablation G: arrival burstiness — farm traffic is not a smooth
+/// Poisson stream (a drone lands and syncs a flight's imagery at once;
+/// uploads follow daylight). At the *same mean rate*, bursty arrivals
+/// inflate tail latency and force overprovisioning; this bench
+/// quantifies by how much, using the trace-driven online simulation.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "serving/online_sim.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Ablation G", "Arrival burstiness at equal mean load "
+                "(trace-driven DES, ViT_Small on A100)");
+
+  api::Report report("ablation_burstiness");
+  const data::DatasetSpec dataset = *data::find_dataset("Plant Village");
+  constexpr double kMeanQps = 2000.0;
+
+  struct Case {
+    const char* name;
+    std::unique_ptr<serving::ArrivalTrace> trace;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"constant", std::make_unique<serving::ConstantTrace>(kMeanQps)});
+  cases.push_back({"diurnal (±50%)", std::make_unique<serving::DiurnalTrace>(
+                                         kMeanQps, kMeanQps * 0.5, 10.0)});
+  cases.push_back({"on/off 50% duty", std::make_unique<serving::OnOffTrace>(
+                                          2.0 * kMeanQps, 0.0, 4.0, 0.5)});
+  cases.push_back({"on/off 20% duty", std::make_unique<serving::OnOffTrace>(
+                                          5.0 * kMeanQps, 0.0, 4.0, 0.2)});
+
+  for (int instances : {1, 2}) {
+    std::printf("--- mean %.0f qps, %d instance(s), 40 s simulated ---\n",
+                kMeanQps, instances);
+    core::TextTable table("");
+    table.set_header({"arrival profile", "arrivals", "completed", "p50", "p95",
+                      "p99", "mean batch", "utilization"});
+    for (const Case& c : cases) {
+      serving::OnlineSimConfig config;
+      config.duration_s = 40.0;
+      config.max_batch = 64;
+      config.max_queue_delay_s = 2e-3;
+      config.instances = instances;
+      config.seed = 11;
+      const serving::OnlineSimReport result = serving::simulate_online_trace(
+          platform::a100(), "ViT_Small", dataset, config, *c.trace);
+      table.add_row({c.name, std::to_string(result.arrivals),
+                     std::to_string(result.completed),
+                     core::format_seconds(result.p50_latency_s),
+                     core::format_seconds(result.p95_latency_s),
+                     core::format_seconds(result.p99_latency_s),
+                     core::format_fixed(result.mean_batch_size, 1),
+                     core::format_fixed(result.instance_utilization * 100, 1) +
+                         "%"});
+      core::Json row = core::Json::object();
+      row["profile"] = core::Json(c.name);
+      row["instances"] = core::Json(instances);
+      row["p99_latency_s"] = core::Json(result.p99_latency_s);
+      row["completed"] = core::Json(result.completed);
+      row["utilization"] = core::Json(result.instance_utilization);
+      report.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf("Expected shape: equal mean load, very different tails — the "
+              "burstier the trace, the worse p99 gets (and the bigger the "
+              "batches formed during bursts); extra instances absorb bursts "
+              "far more effectively than they help the constant stream.\n");
+  bench::finish(report);
+  return 0;
+}

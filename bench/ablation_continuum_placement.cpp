@@ -1,0 +1,66 @@
+/// Ablation J: continuum placement — the edge-vs-cloud decision the
+/// paper's deployment flexibility creates (§1: the same trained model
+/// can serve from the cloud for throughput or the field for latency).
+/// For every (dataset, uplink) pair, compose engine + preprocessing +
+/// transmission models and print where inference should run under a
+/// 60 QPS-class latency budget.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "harvest/placement.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Ablation J", "Edge (Jetson) vs cloud (A100 behind an uplink) "
+                "placement per dataset and link");
+
+  api::Report report("ablation_continuum_placement");
+  api::AdvisorConfig config;
+  config.latency_budget_s = 0.1;  // 100 ms interactive budget
+
+  core::TextTable table("placement under a 100 ms request budget");
+  table.set_header({"Dataset", "Uplink", "choice", "edge qps", "cloud qps",
+                    "cloud upload", "limiting factor (cloud)"});
+
+  for (const data::DatasetSpec& dataset : data::evaluated_datasets()) {
+    for (const platform::LinkSpec* link : platform::evaluated_links()) {
+      const api::PlacementDecision decision =
+          api::place_deployment(dataset, *link, config);
+      table.add_row(
+          {dataset.name, link->name, decision.chosen,
+           decision.edge.meets_budget
+               ? core::format_fixed(decision.edge.sustainable_qps, 0)
+               : "-",
+           decision.cloud.meets_budget
+               ? core::format_fixed(decision.cloud.sustainable_qps, 0)
+               : "-",
+           core::format_seconds(decision.cloud.upload_latency_s),
+           decision.cloud.meets_budget ? decision.cloud.limiting_factor
+                                       : "infeasible"});
+      core::Json row = core::Json::object();
+      row["dataset"] = core::Json(dataset.name);
+      row["link"] = core::Json(link->name);
+      row["chosen"] = core::Json(decision.chosen);
+      row["edge_qps"] = core::Json(decision.edge.sustainable_qps);
+      row["cloud_qps"] = core::Json(decision.cloud.sustainable_qps);
+      row["rationale"] = core::Json(decision.rationale);
+      report.add_row(std::move(row));
+    }
+    table.add_separator();
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected shape: small-image datasets flip from edge to cloud as the "
+      "uplink improves (the link, not the A100, is the cloud bottleneck "
+      "until fiber); the 4K CRSA feed never reaches the cloud in time on "
+      "wireless, and its CPU perspective warp also busts a 100 ms budget at "
+      "the edge — precisely why the paper runs CRSA as an edge real-time "
+      "deployment and calls GPU-accelerated preprocessing future work "
+      "(§4.2).\n");
+  bench::finish(report);
+  return 0;
+}

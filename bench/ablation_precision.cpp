@@ -1,0 +1,70 @@
+/// Ablation C: numerical precision sweep (FP32 / FP16-BF16 / INT8),
+/// supporting §3.1's discussion: "lower-precision formats like INT8 or
+/// FP16 offer faster inference but may reduce accuracy; BF16 or FP16
+/// provides a common balance". The engine model scales its calibrated
+/// native-precision peak by the tensor-core rate ratio.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "nn/models.hpp"
+#include "platform/perf_model.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Ablation C", "Engine throughput at FP32 / native half / INT8 "
+                "per model and platform (BS64 where it fits)");
+
+  api::Report report("ablation_precision");
+  const std::vector<platform::Precision> precisions = {
+      platform::Precision::kFP32, platform::Precision::kFP16,
+      platform::Precision::kINT8};
+
+  for (const platform::DeviceSpec* device : platform::evaluated_platforms()) {
+    std::printf("--- %s (native %s) ---\n", device->name.c_str(),
+                platform::precision_name(device->native_precision));
+    core::TextTable table("");
+    table.set_header({"Model", "BS", "FP32 img/s", "half img/s", "INT8 img/s",
+                      "INT8/FP32"});
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      nn::ModelPtr model = nn::build_by_name(spec.name);
+      const nn::ModelProfile profile = model->profile(1);
+      std::vector<double> rates;
+      std::int64_t batch = 64;
+      for (platform::Precision precision : precisions) {
+        const platform::EngineModel engine(*device, spec, model->profile(1),
+                                           precision);
+        batch = std::min<std::int64_t>(64, std::max<std::int64_t>(
+                                               engine.max_batch(), 1));
+        const platform::EngineEstimate est = engine.estimate(batch);
+        rates.push_back(est.oom ? 0.0 : est.throughput_img_per_s);
+      }
+      table.add_row({spec.name, std::to_string(batch),
+                     core::format_fixed(rates[0], 0),
+                     core::format_fixed(rates[1], 0),
+                     core::format_fixed(rates[2], 0),
+                     rates[0] > 0.0
+                         ? core::format_fixed(rates[2] / rates[0], 2) + "x"
+                         : "-"});
+      core::Json row = core::Json::object();
+      row["platform"] = core::Json(device->name);
+      row["model"] = core::Json(spec.name);
+      row["batch"] = core::Json(batch);
+      row["fp32_img_s"] = core::Json(rates[0]);
+      row["half_img_s"] = core::Json(rates[1]);
+      row["int8_img_s"] = core::Json(rates[2]);
+      report.add_row(std::move(row));
+      (void)profile;
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf("Expected shape: INT8 > half > FP32 everywhere; the gap shrinks "
+              "at small batches where the fixed per-kernel overheads (not the "
+              "math rate) dominate.\n");
+  bench::finish(report);
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// Ablation I: the accuracy side of §3.1's precision trade-off
+/// ("lower-precision formats like INT8 or FP16 offer faster inference
+/// but may reduce accuracy"), measured with the *real* kernels: a float
+/// classifier head versus its INT8-quantized counterpart over thousands
+/// of synthetic feature vectors — prediction agreement, output error,
+/// and the actual CPU kernel speed of both paths.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "core/time.hpp"
+#include "core/units.hpp"
+#include "nn/layers.hpp"
+#include "nn/quant.hpp"
+#include "tensor/ops.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Ablation I", "INT8 vs float classifier heads: agreement, "
+                "error and real kernel speed");
+
+  api::Report report("ablation_quant_accuracy");
+  core::TextTable table("");
+  table.set_header({"head (in->out)", "argmax agreement", "rel. L2 error",
+                    "float ms/10k rows", "int8 ms/10k rows", "speed"});
+
+  core::Rng rng(33);
+  for (const auto& [in_dim, out_dim] :
+       std::vector<std::pair<std::int64_t, std::int64_t>>{
+           {64, 8}, {192, 39}, {768, 39}}) {
+    nn::Linear reference("head", in_dim, out_dim, 1);
+    for (float& v : reference.weight().f32_span()) {
+      v = (rng.next_float() - 0.5f) * 0.3f;
+    }
+    for (float& v : reference.bias().f32_span()) v = rng.next_float() - 0.5f;
+    nn::QuantizedLinear quantized("head.q", reference.weight(),
+                                  reference.bias(), 1);
+
+    constexpr std::int64_t kRows = 2000;
+    tensor::Tensor input(tensor::Shape{kRows, in_dim}, tensor::DType::kF32);
+    for (float& v : input.f32_span()) v = (rng.next_float() - 0.5f) * 2.0f;
+
+    core::WallTimer float_timer;
+    tensor::Tensor float_out = reference.forward(input);
+    const double float_s = float_timer.elapsed_seconds();
+    core::WallTimer quant_timer;
+    tensor::Tensor quant_out = quantized.forward(input);
+    const double quant_s = quant_timer.elapsed_seconds();
+
+    std::int64_t agree = 0;
+    double err_num = 0.0;
+    double err_den = 0.0;
+    for (std::int64_t r = 0; r < kRows; ++r) {
+      std::span<const float> frow{float_out.f32() + r * out_dim,
+                                  static_cast<std::size_t>(out_dim)};
+      std::span<const float> qrow{quant_out.f32() + r * out_dim,
+                                  static_cast<std::size_t>(out_dim)};
+      if (tensor::argmax(frow) == tensor::argmax(qrow)) ++agree;
+      for (std::int64_t c = 0; c < out_dim; ++c) {
+        const double d = static_cast<double>(frow[static_cast<std::size_t>(c)] -
+                                             qrow[static_cast<std::size_t>(c)]);
+        err_num += d * d;
+        err_den += static_cast<double>(frow[static_cast<std::size_t>(c)]) *
+                   static_cast<double>(frow[static_cast<std::size_t>(c)]);
+      }
+    }
+    const double agreement = static_cast<double>(agree) / kRows;
+    const double rel_error = std::sqrt(err_num / err_den);
+    const double scale = 1e4 / kRows;
+    table.add_row({std::to_string(in_dim) + "->" + std::to_string(out_dim),
+                   core::format_fixed(agreement * 100.0, 2) + "%",
+                   core::format_fixed(rel_error * 100.0, 3) + "%",
+                   core::format_fixed(float_s * 1e3 * scale, 2),
+                   core::format_fixed(quant_s * 1e3 * scale, 2),
+                   core::format_fixed(float_s / quant_s, 2) + "x"});
+    core::Json row = core::Json::object();
+    row["in_dim"] = core::Json(in_dim);
+    row["out_dim"] = core::Json(out_dim);
+    row["argmax_agreement"] = core::Json(agreement);
+    row["relative_l2_error"] = core::Json(rel_error);
+    row["float_seconds"] = core::Json(float_s);
+    row["int8_seconds"] = core::Json(quant_s);
+    report.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf(
+      "\nExpected shape: sub-percent output error and ~99%% argmax agreement "
+      "from dynamic INT8 — quantifying why the paper can treat INT8 as a "
+      "throughput lever with only a footnote on accuracy (§3.1). (On this "
+      "scalar CPU the int8 path's speed depends on the compiler's integer "
+      "vectorization; on tensor cores it is the 2x of Ablation C.)\n");
+  bench::finish(report);
+  return 0;
+}

@@ -1,0 +1,102 @@
+/// Ablation H: data transmission across the continuum — §2.2.1's
+/// online-inference challenge quantified. For each dataset and uplink,
+/// compare the per-image upload time against the cloud engine's
+/// inference time, and the link's sustainable request rate against the
+/// A100's capacity: when the uplink, not the GPU, is the bottleneck,
+/// edge inference (or at least edge re-encoding) wins.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "data/datasets.hpp"
+#include "platform/network.hpp"
+#include "platform/perf_model.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Ablation H", "Uplink transmission vs cloud inference "
+                "(online scenario, A100 target)");
+
+  api::Report report("ablation_transmission");
+
+  std::printf("Per-image upload latency by dataset and uplink (encoded "
+              "container sizes):\n");
+  core::TextTable table("");
+  std::vector<std::string> header = {"Dataset", "payload"};
+  for (const platform::LinkSpec* link : platform::evaluated_links()) {
+    header.push_back(link->name);
+  }
+  header.push_back("A100 infer/img*");
+  table.set_header(header);
+
+  const platform::EngineModel engine =
+      platform::make_engine_model(platform::a100(), "ViT_Small");
+  // Per-image inference cost at a serving-friendly batch.
+  const double infer_per_img =
+      1.0 / engine.estimate(64).throughput_img_per_s;
+
+  for (const data::DatasetSpec& dataset : data::evaluated_datasets()) {
+    const preproc::WorkloadImageStats stats = dataset.image_stats();
+    std::vector<std::string> row = {
+        dataset.name, core::format_bytes(stats.mean_encoded_bytes)};
+    core::Json json_row = core::Json::object();
+    json_row["dataset"] = core::Json(dataset.name);
+    json_row["payload_bytes"] = core::Json(stats.mean_encoded_bytes);
+    for (const platform::LinkSpec* link : platform::evaluated_links()) {
+      const double latency = link->request_latency_s(stats.mean_encoded_bytes);
+      row.push_back(core::format_seconds(latency));
+      json_row[link->name] = core::Json(latency);
+    }
+    row.push_back(core::format_seconds(infer_per_img));
+    table.add_row(row);
+    report.add_row(std::move(json_row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("(* ViT_Small @BS64 on the A100 engine)\n\n");
+
+  // Sustainable request rates: who is the bottleneck?
+  std::printf("Sustainable online request rate (link saturation vs engine "
+              "capacity):\n");
+  core::TextTable rates("");
+  rates.set_header({"Dataset", "LTE-rural", "5G-midband", "WiFi-backhaul",
+                    "Fiber", "A100 engine"});
+  for (const data::DatasetSpec& dataset : data::evaluated_datasets()) {
+    const preproc::WorkloadImageStats stats = dataset.image_stats();
+    std::vector<std::string> row = {dataset.name};
+    for (const platform::LinkSpec* link : platform::evaluated_links()) {
+      row.push_back(core::format_fixed(
+          link->max_request_rate(stats.mean_encoded_bytes), 1));
+    }
+    row.push_back(core::format_fixed(1.0 / infer_per_img, 1));
+    rates.add_row(row);
+  }
+  std::fputs(rates.render().c_str(), stdout);
+
+  // The re-encode-at-the-edge trade: CRSA raw 4K vs AgJPEG-compressed.
+  const data::DatasetSpec crsa = *data::find_dataset("CRSA");
+  const double raw_bytes = crsa.image_stats().mean_encoded_bytes;
+  const double compressed_bytes = crsa.sizes.mean_pixels() * 0.4;  // AgJPEG
+  std::printf("\nEdge re-encoding of the CRSA 4K feed before upload "
+              "(LTE-rural):\n");
+  std::printf("  raw frames:      %s → %s per frame (%.2f fps sustainable)\n",
+              core::format_bytes(raw_bytes).c_str(),
+              core::format_seconds(
+                  platform::lte_rural().request_latency_s(raw_bytes)).c_str(),
+              platform::lte_rural().max_request_rate(raw_bytes));
+  std::printf("  AgJPEG frames:   %s → %s per frame (%.2f fps sustainable)\n",
+              core::format_bytes(compressed_bytes).c_str(),
+              core::format_seconds(platform::lte_rural().request_latency_s(
+                  compressed_bytes)).c_str(),
+              platform::lte_rural().max_request_rate(compressed_bytes));
+
+  std::printf(
+      "\nExpected shape: for the small-image datasets even rural LTE keeps "
+      "up with cloud inference, but the 4K CRSA feed saturates every "
+      "wireless uplink orders of magnitude below the A100's capacity — the "
+      "quantitative case for the paper's real-time edge deployment (§2.2) "
+      "and its interest in \"advanced wireless capabilities\" (§2.2.1).\n");
+  bench::finish(report);
+  return 0;
+}

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file bench_util.hpp
+/// Shared plumbing for the reproduction harness: every bench binary
+/// prints human-readable tables to stdout and drops a machine-readable
+/// JSON report into ./bench_reports/.
+
+#include <cstdio>
+#include <string>
+#include <sys/stat.h>
+
+#include "core/log.hpp"
+#include "harvest/report.hpp"
+
+namespace harvest::bench {
+
+inline std::string report_dir() {
+  const std::string dir = "bench_reports";
+  ::mkdir(dir.c_str(), 0755);  // best effort; write() reports failures
+  return dir;
+}
+
+/// Standard bench prologue: quiet logging, banner.
+inline void banner(const char* experiment, const char* description) {
+  core::set_log_level(core::LogLevel::kWarn);
+  std::printf("\n================================================================\n");
+  std::printf("HARVEST reproduction — %s\n%s\n", experiment, description);
+  std::printf("================================================================\n\n");
+}
+
+inline void finish(const api::Report& report) {
+  const std::string dir = report_dir();
+  if (report.write(dir)) {
+    std::printf("\n[report written to %s/]\n", dir.c_str());
+  } else {
+    std::printf("\n[warning: could not write JSON report]\n");
+  }
+}
+
+}  // namespace harvest::bench

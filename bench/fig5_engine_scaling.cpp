@@ -1,0 +1,119 @@
+/// Reproduces **Figure 5**: achieved TFLOPS (and MFU) versus batch size
+/// for the four models on the three platforms. The solid lines of the
+/// paper (achieved FLOPS) come from the calibrated engine model; the
+/// dashed lines are each platform's theoretical peak. The labelled
+/// anchor throughputs of the paper are printed next to the model's
+/// value at the same batch, and the Jetson OOM walls terminate the
+/// sweeps exactly where Fig. 5c stops.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/plot.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "nn/models.hpp"
+#include "platform/calibration.hpp"
+#include "platform/perf_model.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Fig. 5", "Scaling behaviour of compute intensity with batch "
+                "size across hardware platforms");
+
+  api::Report report("fig5_engine_scaling");
+  const std::vector<std::int64_t> batches = {1,  2,  4,   8,   16,  32,
+                                             64, 96, 128, 196, 256, 384,
+                                             512, 640, 768, 1024};
+
+  for (const platform::DeviceSpec* device : platform::evaluated_platforms()) {
+    std::printf("--- %s (theoretical %s, practical %s) ---\n",
+                device->name.c_str(),
+                core::format_flops(device->theory_tflops * 1e12).c_str(),
+                core::format_flops(device->practical_tflops * 1e12).c_str());
+    core::TextTable table("");
+    std::vector<std::string> header = {"BS"};
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      header.push_back(spec.name + " TFLOPS");
+      header.push_back("img/s");
+    }
+    table.set_header(header);
+
+    std::vector<platform::EngineModel> engines;
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      engines.push_back(platform::make_engine_model(*device, spec.name));
+    }
+
+    for (std::int64_t batch : batches) {
+      std::vector<std::string> row = {std::to_string(batch)};
+      core::Json json_row = core::Json::object();
+      json_row["platform"] = core::Json(device->name);
+      json_row["batch"] = core::Json(batch);
+      bool any = false;
+      for (std::size_t m = 0; m < engines.size(); ++m) {
+        const platform::EngineEstimate est = engines[m].estimate(batch);
+        if (est.oom) {
+          row.push_back("OOM");
+          row.push_back("OOM");
+          json_row[engines[m].model_spec().name] = core::Json("OOM");
+          continue;
+        }
+        any = true;
+        row.push_back(core::format_fixed(est.achieved_tflops, 1));
+        row.push_back(core::format_fixed(est.throughput_img_per_s, 1));
+        core::Json cell = core::Json::object();
+        cell["tflops"] = core::Json(est.achieved_tflops);
+        cell["img_s"] = core::Json(est.throughput_img_per_s);
+        cell["mfu_vs_practical"] = core::Json(est.mfu_vs_practical);
+        json_row[engines[m].model_spec().name] = std::move(cell);
+      }
+      if (!any) break;
+      table.add_row(row);
+      report.add_row(std::move(json_row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    // The Fig. 5 panel: achieved TFLOPS vs batch size, log-x.
+    core::AsciiPlot plot(64, 14);
+    plot.set_title("achieved TFLOPS vs batch (log x; - = theoretical peak)");
+    plot.set_log_x(true);
+    plot.add_hline(device->theory_tflops, '-');
+    const char glyphs[4] = {'t', 's', 'B', 'R'};
+    for (std::size_t m = 0; m < engines.size(); ++m) {
+      core::Series series;
+      series.label = engines[m].model_spec().name;
+      series.glyph = glyphs[m];
+      for (std::int64_t batch : batches) {
+        const platform::EngineEstimate est = engines[m].estimate(batch);
+        if (est.oom) break;
+        series.xs.push_back(static_cast<double>(batch));
+        series.ys.push_back(est.achieved_tflops);
+      }
+      plot.add_series(std::move(series));
+    }
+    std::fputs(plot.render().c_str(), stdout);
+
+    // Anchor labels, as printed in the paper's legend.
+    std::printf("Anchors (ours vs paper label):\n");
+    for (std::size_t m = 0; m < engines.size(); ++m) {
+      const auto anchor = platform::find_anchor(
+          device->name, engines[m].model_spec().name);
+      if (!anchor.has_value()) continue;
+      const platform::EngineEstimate est =
+          engines[m].estimate(anchor->anchor_batch);
+      std::printf("  %-10s %9.1f img/s @BS%-5lld (paper: %9.1f img/s)\n",
+                  engines[m].model_spec().name.c_str(),
+                  est.throughput_img_per_s,
+                  static_cast<long long>(anchor->anchor_batch),
+                  anchor->anchor_img_per_s);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks (paper §4.1): MFU rises with batch size and with model "
+      "size; ResNet50 sustains higher MFU than the costlier ViT_Small; the "
+      "Jetson sweep hits OOM walls at BS196/64/8/64.\n");
+  bench::finish(report);
+  return 0;
+}

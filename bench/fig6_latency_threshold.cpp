@@ -1,0 +1,120 @@
+/// Reproduces **Figure 6**: request latency versus batch size, with the
+/// paper's 16.7 ms / 60-QPS threshold line. For every (platform, model)
+/// the bench prints the theoretical (ideal) latency, the modelled
+/// latency, and the optimal operating region: the largest batch under
+/// the threshold and whether the engine is near-saturated there — the
+/// paper's "A100 requires batch sizes exceeding 16; on V100, batch size
+/// 8 suffices" analysis.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/plot.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "harvest/advisor.hpp"
+#include "nn/models.hpp"
+#include "platform/perf_model.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Fig. 6", "Request latency vs batch size; 16.7 ms threshold "
+                "for 60 queries/sec");
+
+  constexpr double kThreshold = 1.0 / 60.0;
+  api::Report report("fig6_latency_threshold");
+  const std::vector<std::int64_t> batches = {1,  2,  4,   8,   16,  32,
+                                             64, 96, 128, 196, 256, 384,
+                                             512, 640, 768, 1024};
+
+  for (const platform::DeviceSpec* device : platform::evaluated_platforms()) {
+    std::printf("--- %s (red line: 16.7 ms) ---\n", device->name.c_str());
+    core::TextTable table("");
+    std::vector<std::string> header = {"BS"};
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      header.push_back(spec.name);
+      header.push_back("(ideal)");
+    }
+    table.set_header(header);
+
+    std::vector<platform::EngineModel> engines;
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      engines.push_back(platform::make_engine_model(*device, spec.name));
+    }
+
+    for (std::int64_t batch : batches) {
+      std::vector<std::string> row = {std::to_string(batch)};
+      core::Json json_row = core::Json::object();
+      json_row["platform"] = core::Json(device->name);
+      json_row["batch"] = core::Json(batch);
+      bool any = false;
+      for (platform::EngineModel& engine : engines) {
+        const platform::EngineEstimate est = engine.estimate(batch);
+        if (est.oom) {
+          row.push_back("OOM");
+          row.push_back("-");
+          json_row[engine.model_spec().name] = core::Json("OOM");
+          continue;
+        }
+        any = true;
+        const std::string marker = est.latency_s <= kThreshold ? "" : " *";
+        row.push_back(core::format_seconds(est.latency_s) + marker);
+        row.push_back(core::format_seconds(engine.ideal_latency_s(batch)));
+        core::Json cell = core::Json::object();
+        cell["latency_s"] = core::Json(est.latency_s);
+        cell["ideal_latency_s"] = core::Json(engine.ideal_latency_s(batch));
+        cell["meets_60qps"] = core::Json(est.latency_s <= kThreshold);
+        json_row[engine.model_spec().name] = std::move(cell);
+      }
+      if (!any) break;
+      table.add_row(row);
+      report.add_row(std::move(json_row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("(* = above the 16.7 ms threshold)\n\n");
+
+    // The Fig. 6 panel: latency vs batch, log-log, with the 60 QPS line.
+    core::AsciiPlot plot(64, 14);
+    plot.set_title("latency (ms) vs batch (log-log; - = 16.7 ms @ 60 qps)");
+    plot.set_log_x(true);
+    plot.set_log_y(true);
+    plot.add_hline(kThreshold * 1e3, '-');
+    const char glyphs[4] = {'t', 's', 'B', 'R'};
+    for (std::size_t m = 0; m < engines.size(); ++m) {
+      core::Series series;
+      series.label = engines[m].model_spec().name;
+      series.glyph = glyphs[m];
+      for (std::int64_t batch : batches) {
+        const platform::EngineEstimate est = engines[m].estimate(batch);
+        if (est.oom) break;
+        series.xs.push_back(static_cast<double>(batch));
+        series.ys.push_back(est.latency_s * 1e3);
+      }
+      plot.add_series(std::move(series));
+    }
+    std::fputs(plot.render().c_str(), stdout);
+    std::printf("\n");
+
+    // Optimal operating region per model (Fig. 6 discussion).
+    api::AdvisorConfig advisor_config;
+    advisor_config.latency_budget_s = kThreshold;
+    std::printf("Optimal operating region (largest batch under 16.7 ms):\n");
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      const api::OperatingPoint point =
+          api::find_operating_point(*device, spec.name, advisor_config);
+      if (!point.feasible) {
+        std::printf("  %-10s infeasible under 16.7 ms\n", spec.name.c_str());
+        continue;
+      }
+      std::printf("  %-10s BS%-5lld latency %-9s %10.1f img/s  %s\n",
+                  spec.name.c_str(), static_cast<long long>(point.batch),
+                  core::format_seconds(point.latency_s).c_str(),
+                  point.throughput_img_per_s,
+                  point.near_saturated ? "near-saturated" : "under-saturated");
+    }
+    std::printf("\n");
+  }
+
+  bench::finish(report);
+  return 0;
+}

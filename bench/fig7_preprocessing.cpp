@@ -1,0 +1,87 @@
+/// Reproduces **Figure 7**: preprocessing latency and throughput for
+/// the six datasets across the preprocessing methods — DALI 224/96/32
+/// at batch 64 (GPU-accelerated, batched), PyTorch at batch 1 (CPU
+/// baseline), CV2 at batch 1 (the CRSA perspective path) — on all three
+/// platforms. Costs come from the device-timed cost model; the same
+/// transforms also run for real in preproc_pipeline_test.cpp.
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "data/datasets.hpp"
+#include "preproc/cost_model.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Fig. 7", "Preprocessing throughput and latency per dataset, "
+                "method and platform");
+
+  api::Report report("fig7_preprocessing");
+  struct MethodCase {
+    preproc::PreprocMethod method;
+    std::int64_t batch;
+  };
+  const std::vector<MethodCase> methods = {
+      {preproc::PreprocMethod::kDali224, 64},
+      {preproc::PreprocMethod::kDali96, 64},
+      {preproc::PreprocMethod::kDali32, 64},
+      {preproc::PreprocMethod::kPyTorch, 1},
+      {preproc::PreprocMethod::kCv2, 1},
+  };
+
+  for (const platform::DeviceSpec* device : platform::evaluated_platforms()) {
+    std::printf("--- %s ---\n", device->name.c_str());
+    core::TextTable latency_table("Request latency");
+    core::TextTable tput_table("Throughput (images/second)");
+    std::vector<std::string> header = {"Dataset"};
+    for (const MethodCase& m : methods) {
+      header.push_back(std::string(preproc::preproc_method_name(m.method)) +
+                       "@BS" + std::to_string(m.batch));
+    }
+    latency_table.set_header(header);
+    tput_table.set_header(header);
+
+    for (const data::DatasetSpec& dataset : data::evaluated_datasets()) {
+      std::vector<std::string> lat_row = {dataset.name};
+      std::vector<std::string> tput_row = {dataset.name};
+      const preproc::WorkloadImageStats stats = dataset.image_stats();
+      core::Json json_row = core::Json::object();
+      json_row["platform"] = core::Json(device->name);
+      json_row["dataset"] = core::Json(dataset.name);
+      for (const MethodCase& m : methods) {
+        // The paper employs CV2 specifically for the CRSA camera feed.
+        if (m.method == preproc::PreprocMethod::kCv2 &&
+            !dataset.needs_perspective) {
+          lat_row.push_back("-");
+          tput_row.push_back("-");
+          continue;
+        }
+        const preproc::PreprocEstimate est =
+            preproc::estimate_preproc(*device, stats, m.method, m.batch);
+        lat_row.push_back(core::format_seconds(est.latency_s));
+        tput_row.push_back(core::format_fixed(est.throughput_img_per_s, 0));
+        core::Json cell = core::Json::object();
+        cell["latency_s"] = core::Json(est.latency_s);
+        cell["img_s"] = core::Json(est.throughput_img_per_s);
+        json_row[preproc::preproc_method_name(m.method)] = std::move(cell);
+      }
+      latency_table.add_row(lat_row);
+      tput_table.add_row(tput_row);
+      report.add_row(std::move(json_row));
+    }
+    std::fputs(latency_table.render().c_str(), stdout);
+    std::fputs(tput_table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Shape checks (paper §4.2): DALI 32 > DALI 96 > DALI 224 (decode cost "
+      "constant, transform cost scales with output); dataset differences "
+      "converge at DALI 224; the CPU baseline varies with encoding format "
+      "(ATIF/TIFF slower than AgJPEG); CV2 on the 4K CRSA feed is unfit for "
+      "real-time; A100's hardware JPEG engine dominates Fig. 7a.\n");
+  bench::finish(report);
+  return 0;
+}

@@ -1,0 +1,122 @@
+/// Reproduces **Figure 8**: end-to-end pipeline latency and throughput
+/// (preprocessing + inference with overlap) for the four models over
+/// the five classification datasets on each platform, at the paper's
+/// per-platform batch sizes ("the largest batch size before OOM"):
+/// A100 runs everything at BS64; V100 and Jetson run ViT_Tiny@64,
+/// ViT_Small@32, ViT_Base@2, ResNet50@32. Jetson additionally models
+/// the unified-memory contention between the preprocessing pool and the
+/// engine (§4.3).
+
+#include <cstdio>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "harvest/e2e.hpp"
+#include "platform/calibration.hpp"
+#include "nn/models.hpp"
+
+int main() {
+  using namespace harvest;
+  bench::banner("Fig. 8", "End-to-end pipeline latency and throughput per "
+                "dataset, model and platform");
+
+  api::Report report("fig8_end_to_end");
+
+  // Fig. 8's batch choices (figure x-axis labels).
+  auto batch_for = [](const std::string& device, const std::string& model) {
+    if (device == "A100") return std::int64_t{64};
+    if (model == "ViT_Tiny") return std::int64_t{64};
+    if (model == "ViT_Small" || model == "ResNet50") return std::int64_t{32};
+    return std::int64_t{2};  // ViT_Base
+  };
+
+  const auto datasets = data::classification_datasets();
+  for (const platform::DeviceSpec* device : platform::evaluated_platforms()) {
+    std::printf("--- %s ---\n", device->name.c_str());
+    core::TextTable latency_table("Average request latency (batch)");
+    core::TextTable tput_table("Throughput (images/second, steady state)");
+    std::vector<std::string> header = {"Dataset"};
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      header.push_back(spec.name + "@BS" +
+                       std::to_string(batch_for(device->name, spec.name)));
+    }
+    latency_table.set_header(header);
+    tput_table.set_header(header);
+
+    for (const data::DatasetSpec& dataset : datasets) {
+      std::vector<std::string> lat_row = {dataset.name};
+      std::vector<std::string> tput_row = {dataset.name};
+      core::Json json_row = core::Json::object();
+      json_row["platform"] = core::Json(device->name);
+      json_row["dataset"] = core::Json(dataset.name);
+      for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+        api::E2EConfig config;
+        config.batch = batch_for(device->name, spec.name);
+        config.method = preproc::PreprocMethod::kDali224;
+        config.overlap = true;
+        const api::E2EEstimate est =
+            api::estimate_end_to_end(*device, spec.name, dataset, config);
+        if (est.oom) {
+          lat_row.push_back("OOM");
+          tput_row.push_back("OOM");
+          json_row[spec.name] = core::Json("OOM");
+          continue;
+        }
+        lat_row.push_back(core::format_seconds(est.latency_s));
+        tput_row.push_back(core::format_fixed(est.throughput_img_per_s, 0));
+        core::Json cell = core::Json::object();
+        cell["batch"] = core::Json(est.batch);
+        cell["latency_s"] = core::Json(est.latency_s);
+        cell["img_s"] = core::Json(est.throughput_img_per_s);
+        cell["bottleneck"] = core::Json(api::bottleneck_name(est.bottleneck));
+        cell["engine_max_batch"] = core::Json(est.engine_max_batch);
+        json_row[spec.name] = std::move(cell);
+      }
+      latency_table.add_row(lat_row);
+      tput_table.add_row(tput_row);
+      report.add_row(std::move(json_row));
+    }
+    std::fputs(latency_table.render().c_str(), stdout);
+    std::fputs(tput_table.render().c_str(), stdout);
+
+    // Bottleneck summary for the paper's §4.3 narrative.
+    std::printf("Bottlenecks (Plant Village): ");
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      api::E2EConfig config;
+      config.batch = batch_for(device->name, spec.name);
+      const api::E2EEstimate est = api::estimate_end_to_end(
+          *device, spec.name, datasets.front(), config);
+      std::printf("%s=%s  ", spec.name.c_str(),
+                  est.oom ? "OOM" : api::bottleneck_name(est.bottleneck));
+    }
+    std::printf("\n\n");
+  }
+
+  // Jetson contention: effective engine ceiling with and without the
+  // preprocessing pool sharing the unified memory.
+  std::printf("Jetson unified-memory contention (engine max batch):\n");
+  for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+    api::E2EConfig config;
+    config.batch = 0;  // auto: largest batch after contention
+    const api::E2EEstimate est = api::estimate_end_to_end(
+        *platform::evaluated_platforms()[2], spec.name, datasets.front(),
+        config);
+    const auto anchor =
+        platform::find_anchor("JetsonOrinNano", spec.name);
+    std::printf("  %-10s engine-only wall BS%-4lld → with preprocessing "
+                "BS%-4lld (auto-selected batch %lld)\n",
+                spec.name.c_str(),
+                static_cast<long long>(anchor ? anchor->max_batch : 0),
+                static_cast<long long>(est.engine_max_batch),
+                static_cast<long long>(est.batch));
+  }
+  std::printf(
+      "\nShape checks (paper §4.3): on A100 the larger ViTs overlap "
+      "preprocessing behind inference and approach the engine bound, while "
+      "small models stay preprocessing-bottlenecked (worse on V100); the "
+      "Jetson inverts — memory contention shrinks usable batches, hitting "
+      "ViT_Base hardest.\n");
+  bench::finish(report);
+  return 0;
+}

@@ -1,0 +1,100 @@
+/// Online inference scenario (paper §2.2.1): a streaming service where
+/// farmers upload images and receive classifications on demand. Part 1
+/// runs a real multi-instance deployment on this machine under a
+/// Poisson client; part 2 uses the discrete-event simulator to project
+/// the same service onto the A100 cloud platform at production rates.
+///
+///   ./examples/online_service [--qps 40] [--seconds 2]
+
+#include <cstdio>
+#include <thread>
+
+#include "harvest/harvest.hpp"
+#include "serving/native_backend.hpp"
+
+using namespace harvest;
+
+int main(int argc, char** argv) {
+  core::CliArgs args(argc, argv);
+  const double qps = args.get_double("qps", 40.0);
+  const double seconds = args.get_double("seconds", 2.0);
+  core::set_log_level(core::LogLevel::kWarn);
+
+  std::printf("HARVEST online scenario — streaming inference service\n\n");
+
+  // Part 1: a real local deployment, two instances, dynamic batching.
+  serving::Server server(2);
+  serving::ModelDeploymentConfig deployment;
+  deployment.name = "plant-disease";
+  deployment.max_batch = 8;
+  deployment.instances = 2;
+  deployment.max_queue_delay_s = 4e-3;
+  deployment.preproc.output_size = 24;
+  core::Status status = server.register_model(deployment, [] {
+    nn::ViTConfig config;
+    config.name = "clinic-vit";
+    config.image = 24;
+    config.patch = 4;
+    config.dim = 48;
+    config.depth = 2;
+    config.heads = 4;
+    config.num_classes = 39;  // Plant Village classes
+    nn::ModelPtr model = nn::build_vit(config);
+    nn::init_weights(*model, 5);
+    return std::make_unique<serving::NativeBackend>(std::move(model), 8);
+  });
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  core::Rng rng(17);
+  core::WallTimer wall;
+  std::vector<std::future<serving::InferenceResponse>> futures;
+  std::uint64_t sent = 0;
+  while (wall.elapsed_seconds() < seconds) {
+    const preproc::Image upload =
+        preproc::synthesize_field_image(40, 40, 500 + sent);
+    serving::InferenceRequest request;
+    request.model = "plant-disease";
+    request.input = preproc::encode_image(upload, preproc::ImageFormat::kAgJpeg);
+    auto submitted = server.submit(std::move(request));
+    if (submitted.is_ok()) futures.push_back(std::move(submitted).value());
+    ++sent;
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        rng.exponential(qps)));
+  }
+  std::uint64_t ok = 0;
+  for (auto& future : futures) {
+    if (future.get().status.is_ok()) ++ok;
+  }
+  const serving::MetricsSnapshot snap =
+      server.metrics("plant-disease")->snapshot(wall.elapsed_seconds());
+  std::printf("local deployment: sent %llu, completed %llu\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(ok));
+  std::printf("  %s\n\n", snap.to_string().c_str());
+
+  // Part 2: project the production service onto the A100 cluster.
+  std::printf("Projected production service (DES on the calibrated A100 "
+              "model, ViT_Small on Plant Village):\n");
+  std::printf("%-10s %-12s %-10s %-10s %-12s\n", "load", "mean batch", "p95",
+              "p99", "throughput");
+  const data::DatasetSpec dataset = *data::find_dataset("Plant Village");
+  for (double load : {500.0, 2000.0, 8000.0}) {
+    serving::OnlineSimConfig config;
+    config.arrival_rate_qps = load;
+    config.duration_s = 10.0;
+    config.max_batch = 64;
+    config.max_queue_delay_s = 4e-3;
+    config.instances = 2;
+    const serving::OnlineSimReport report = serving::simulate_online(
+        platform::a100(), "ViT_Small", dataset, config);
+    std::printf("%6.0f qps %-12.1f %-10s %-10s %-12s\n", load,
+                report.mean_batch_size,
+                core::format_seconds(report.p95_latency_s).c_str(),
+                core::format_seconds(report.p99_latency_s).c_str(),
+                core::format_rate(report.throughput_img_per_s).c_str());
+  }
+  return 0;
+}

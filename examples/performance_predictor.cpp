@@ -1,0 +1,102 @@
+/// The deployment performance predictor CLI — the paper's future-work
+/// deliverable (§5): establish performance expectations *before*
+/// deploying. Describe a plan on the command line; get a verdict, the
+/// engine curve, queueing expectations and an optional JSON dump.
+///
+///   ./examples/performance_predictor --platform A100 --model ViT_Small \
+///       --dataset "Plant Village" --scenario online --qps 2000 \
+///       --instances 2 [--batch 0] [--budget-ms 16.7] [--json out.json]
+
+#include <cstdio>
+
+#include "harvest/harvest.hpp"
+
+using namespace harvest;
+
+int main(int argc, char** argv) {
+  core::CliArgs args(argc, argv);
+  core::set_log_level(core::LogLevel::kWarn);
+
+  api::DeploymentPlan plan;
+  plan.device = args.get("platform", "A100");
+  plan.model = args.get("model", "ViT_Small");
+  plan.dataset = args.get("dataset", "Plant Village");
+  plan.arrival_qps = args.get_double("qps", 1000.0);
+  plan.instances = static_cast<int>(args.get_int("instances", 1));
+  plan.batch = args.get_int("batch", 0);
+  plan.latency_budget_s = args.get_double("budget-ms", 1000.0 / 60.0) * 1e-3;
+  const std::string scenario = args.get("scenario", "online");
+  if (scenario == "online") {
+    plan.scenario = platform::Scenario::kOnline;
+  } else if (scenario == "offline") {
+    plan.scenario = platform::Scenario::kOffline;
+  } else if (scenario == "realtime") {
+    plan.scenario = platform::Scenario::kRealTime;
+    plan.preproc = preproc::PreprocMethod::kCv2;
+  } else {
+    std::fprintf(stderr, "unknown scenario %s (online|offline|realtime)\n",
+                 scenario.c_str());
+    return 1;
+  }
+
+  auto result = api::predict(plan);
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "invalid plan: %s\n",
+                 result.status().to_string().c_str());
+    return 1;
+  }
+  const api::PerformanceExpectation& out = result.value();
+
+  std::printf("HARVEST performance predictor\n");
+  std::printf("plan: %s on %s, %s, %s scenario, %.0f req/s, %d instance(s), "
+              "budget %s\n\n",
+              plan.model.c_str(), plan.device.c_str(), plan.dataset.c_str(),
+              scenario.c_str(), plan.arrival_qps, plan.instances,
+              core::format_seconds(plan.latency_budget_s).c_str());
+
+  std::printf("verdict: %s\n", out.verdict.c_str());
+  for (const std::string& warning : out.warnings) {
+    std::printf("warning: %s\n", warning.c_str());
+  }
+  if (out.chosen_batch == 0) return out.feasible ? 0 : 2;
+
+  std::printf("\nexpectations at batch %lld:\n",
+              static_cast<long long>(out.chosen_batch));
+  std::printf("  engine:    %s latency, %s\n",
+              core::format_seconds(out.engine_latency_s).c_str(),
+              core::format_rate(out.engine_throughput_img_per_s).c_str());
+  std::printf("  preproc:   %s per batch\n",
+              core::format_seconds(out.preproc_latency_s).c_str());
+  std::printf("  e2e:       %s latency, %s\n",
+              core::format_seconds(out.e2e_latency_s).c_str(),
+              core::format_rate(out.e2e_throughput_img_per_s).c_str());
+  std::printf("  memory:    %s engine footprint\n",
+              core::format_bytes(out.memory_bytes).c_str());
+  std::printf("  energy:    %.1f mJ/img\n", out.energy_per_image_j * 1e3);
+  if (out.expected_p95_latency_s > 0.0) {
+    std::printf("  queueing:  p95 %s, p99 %s, utilization %.0f%%\n",
+                core::format_seconds(out.expected_p95_latency_s).c_str(),
+                core::format_seconds(out.expected_p99_latency_s).c_str(),
+                out.expected_utilization * 100.0);
+  }
+
+  std::printf("\nengine curve (batch → latency, throughput, mJ/img):\n");
+  for (const api::CurvePoint& point : out.engine_curve) {
+    std::printf("  %5lld  %-10s %12.1f img/s %8.1f mJ\n",
+                static_cast<long long>(point.batch),
+                core::format_seconds(point.latency_s).c_str(),
+                point.throughput_img_per_s, point.energy_per_image_j * 1e3);
+  }
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "wb");
+    if (f != nullptr) {
+      const std::string doc = out.to_json().dump(2);
+      std::fwrite(doc.data(), 1, doc.size(), f);
+      std::fclose(f);
+      std::printf("\n[expectation written to %s]\n", json_path.c_str());
+    }
+  }
+  return out.feasible ? 0 : 2;
+}

@@ -1,0 +1,128 @@
+/// Real-time inference scenario (paper Fig. 3b): a ground vehicle's
+/// camera produces frames that must be rectified (perspective
+/// transform), resized and classified within a per-frame deadline so
+/// the vehicle can act on the result. This example runs the loop for
+/// real on the host CPU against a scaled-down CRSA-style feed and then
+/// asks the calibrated device model what the same pipeline would do on
+/// the Jetson Orin Nano against the true 4K feed.
+///
+///   ./examples/realtime_ground_vehicle [--frames 30] [--fps 15]
+
+#include <cstdio>
+
+#include "harvest/harvest.hpp"
+#include "serving/multitask.hpp"
+#include "serving/native_backend.hpp"
+
+using namespace harvest;
+
+int main(int argc, char** argv) {
+  core::CliArgs args(argc, argv);
+  const std::int64_t frames = args.get_int("frames", 20);
+  const double fps = args.get_double("fps", 15.0);
+  core::set_log_level(core::LogLevel::kWarn);
+
+  std::printf("HARVEST real-time scenario — ground vehicle camera loop\n\n");
+
+  // Scaled-down CRSA feed (same 16:9 geometry, fewer pixels) so the real
+  // CPU loop runs at interactive speed.
+  data::DatasetSpec feed = *data::find_dataset("CRSA");
+  feed.sizes.mode_w = 320;
+  feed.sizes.mode_h = 180;
+  const data::SyntheticDataset camera(feed, 99);
+
+  // Real-time deployments disable batching (a batch of one frame) —
+  // latency beats throughput here (§2.2.3).
+  serving::Server server(2);
+  serving::ModelDeploymentConfig deployment;
+  deployment.name = "crsa";
+  deployment.max_batch = 1;
+  deployment.max_queue_delay_s = 0.0;
+  deployment.preproc.output_size = 32;
+  deployment.preproc.perspective = true;  // dataset-specific stage
+  core::Status status = server.register_model(deployment, [] {
+    nn::ViTConfig config;
+    config.name = "crsa-vit";
+    config.image = 32;
+    config.patch = 4;
+    config.dim = 64;
+    config.depth = 2;
+    config.heads = 4;
+    config.num_classes = 3;  // residue / soil / aggregate
+    nn::ModelPtr model = nn::build_vit(config);
+    nn::init_weights(*model, 11);
+    return std::make_unique<serving::NativeBackend>(std::move(model), 1);
+  });
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "deploy failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+
+  serving::RealTimeConfig rt;
+  rt.frames = frames;
+  rt.frame_interval_s = 1.0 / fps;
+  rt.deadline_s = rt.frame_interval_s;  // finish before the next frame
+  const serving::RealTimeReport report =
+      serving::run_realtime(server, "crsa", camera, rt);
+
+  std::printf("processed %lld frames at %.0f fps target\n",
+              static_cast<long long>(report.frames_processed), fps);
+  std::printf("  mean latency %s, p95 %s\n",
+              core::format_seconds(report.mean_latency_s).c_str(),
+              core::format_seconds(report.p95_latency_s).c_str());
+  std::printf("  deadline misses %lld, dropped frames %lld\n",
+              static_cast<long long>(report.deadline_misses),
+              static_cast<long long>(report.frames_dropped));
+
+  // Multi-task fan-out: the same rectified frame feeds several
+  // downstream tasks with the preprocessing paid once (§3).
+  {
+    preproc::PreprocSpec shared;
+    shared.output_size = 32;
+    shared.perspective = true;
+    serving::MultiTaskPipeline tasks(shared);
+    auto make_task = [](std::uint64_t seed, std::int64_t classes) {
+      nn::ViTConfig config{"task-vit", 32, 4, 64, 2, 4, 4, classes};
+      nn::ModelPtr model = nn::build_vit(config);
+      nn::init_weights(*model, seed);
+      return std::make_unique<serving::NativeBackend>(std::move(model), 1);
+    };
+    (void)tasks.add_task("residue-cover", make_task(21, 3));
+    (void)tasks.add_task("pest-detect", make_task(22, 2));
+    data::Sample sample = camera.make_sample(0);
+    auto multi = tasks.infer(sample.image);
+    if (multi.is_ok()) {
+      std::printf("\nMulti-task fan-out on one frame (shared preprocessing "
+                  "%s):\n",
+                  core::format_seconds(multi.value().preprocess_s).c_str());
+      for (const auto& task : multi.value().results) {
+        std::printf("  %-14s → class %lld (infer %s)\n", task.task.c_str(),
+                    static_cast<long long>(task.response.predicted_class),
+                    core::format_seconds(task.response.timing.inference_s)
+                        .c_str());
+      }
+    }
+  }
+
+  // What would the true 4K feed cost on the Jetson edge device?
+  std::printf("\nProjected on Jetson Orin Nano with the real 3840x2160 feed "
+              "(calibrated device model):\n");
+  const data::DatasetSpec crsa = *data::find_dataset("CRSA");
+  for (const char* model : {"ViT_Tiny", "ResNet50"}) {
+    api::E2EConfig config;
+    config.batch = 1;
+    config.method = preproc::PreprocMethod::kCv2;  // CPU warp path
+    config.overlap = false;                        // strict frame latency
+    const api::E2EEstimate est = api::estimate_end_to_end(
+        platform::jetson_orin_nano(), model, crsa, config);
+    std::printf("  %-9s frame latency %-10s (preproc %s + infer %s) → max "
+                "%.1f fps, bottleneck: %s\n",
+                model, core::format_seconds(est.latency_s).c_str(),
+                core::format_seconds(est.preproc_s).c_str(),
+                core::format_seconds(est.inference_s).c_str(),
+                1.0 / est.latency_s, api::bottleneck_name(est.bottleneck));
+  }
+  std::printf("\nThe 4K perspective transform dominates — the paper's case "
+              "for GPU-accelerated preprocessing on the edge (§4.2).\n");
+  return 0;
+}

@@ -1,0 +1,124 @@
+/// Serving from a declarative model repository — the Triton-style
+/// workflow: a JSON document describes the deployments (architectures,
+/// batching policy, preprocessing), the server loads it, and a smoke
+/// request exercises every model. Optionally classifies a directory of
+/// real images (ImageFolder layout) through a chosen deployment.
+///
+///   ./examples/serve_repository [--config repo.json] [--data DIR]
+///                               [--model NAME]
+///
+/// Without --config, a built-in demo repository (native ViT + RWKV and
+/// a simulated A100 ViT_Tiny) is used.
+
+#include <cstdio>
+
+#include "data/directory.hpp"
+#include "harvest/harvest.hpp"
+#include "serving/repository.hpp"
+
+using namespace harvest;
+
+namespace {
+
+constexpr const char* kDemoRepository = R"({
+  "models": [
+    {
+      "name": "weeds-edge", "backend": "native", "architecture": "vit",
+      "image": 24, "patch": 4, "dim": 48, "depth": 2, "heads": 4,
+      "classes": 4, "seed": 11, "max_batch": 8, "instances": 1,
+      "preferred_batch_sizes": [4],
+      "preproc": {"output_size": 24}
+    },
+    {
+      "name": "scout-rwkv", "backend": "native", "architecture": "rwkv",
+      "image": 24, "patch": 4, "dim": 48, "depth": 2,
+      "classes": 4, "seed": 12, "max_batch": 8,
+      "preproc": {"output_size": 24}
+    },
+    {
+      "name": "cloud-tiny", "backend": "sim",
+      "model": "ViT_Tiny", "device": "A100",
+      "classes": 39, "max_batch": 64
+    }
+  ]
+})";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::CliArgs args(argc, argv);
+  core::set_log_level(core::LogLevel::kWarn);
+
+  serving::Server server(2);
+  const std::string config_path = args.get("config", "");
+  core::Status status;
+  if (config_path.empty()) {
+    auto parsed = core::Json::parse(kDemoRepository);
+    HARVEST_CHECK(parsed.is_ok());
+    status = serving::load_repository(server, parsed.value());
+    std::printf("loaded built-in demo repository\n");
+  } else {
+    status = serving::load_repository_file(server, config_path);
+    std::printf("loaded repository from %s\n", config_path.c_str());
+  }
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "repository load failed: %s\n",
+                 status.to_string().c_str());
+    return 1;
+  }
+
+  std::printf("deployments:");
+  for (const std::string& name : server.model_names()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\n\n");
+
+  // Smoke request through every deployment.
+  for (const std::string& name : server.model_names()) {
+    const preproc::Image probe = preproc::synthesize_field_image(32, 32, 5);
+    serving::InferenceRequest request;
+    request.model = name;
+    request.input = preproc::encode_image(probe, preproc::ImageFormat::kAgJpeg);
+    const serving::InferenceResponse response =
+        server.infer_sync(std::move(request));
+    if (response.status.is_ok()) {
+      std::printf("%-12s → class %lld (confidence %.3f, infer %s)\n",
+                  name.c_str(),
+                  static_cast<long long>(response.predicted_class),
+                  static_cast<double>(response.confidence),
+                  core::format_seconds(response.timing.inference_s).c_str());
+    } else {
+      std::printf("%-12s → FAILED: %s\n", name.c_str(),
+                  response.status.to_string().c_str());
+    }
+  }
+
+  // Optional: classify a directory of real images.
+  const std::string data_dir = args.get("data", "");
+  if (!data_dir.empty()) {
+    const std::string model = args.get("model", server.model_names().front());
+    auto dataset = data::DirectoryDataset::open(data_dir);
+    if (!dataset.is_ok()) {
+      std::fprintf(stderr, "cannot open %s: %s\n", data_dir.c_str(),
+                   dataset.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("\nclassifying %lld image(s) from %s with %s:\n",
+                static_cast<long long>(dataset.value().size()),
+                data_dir.c_str(), model.c_str());
+    for (std::int64_t i = 0; i < dataset.value().size(); ++i) {
+      auto image = dataset.value().load(i);
+      if (!image.is_ok()) continue;
+      serving::InferenceRequest request;
+      request.model = model;
+      request.input = std::move(image).value();
+      const serving::InferenceResponse response =
+          server.infer_sync(std::move(request));
+      std::printf("  %-40s → %s\n", dataset.value().file_path(i).c_str(),
+                  response.status.is_ok()
+                      ? std::to_string(response.predicted_class).c_str()
+                      : response.status.to_string().c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+/// The tuning advisor CLI — the paper's deliverable in tool form:
+/// "providing end users with guidance for application-specific tuning"
+/// (§1). Given a platform, a dataset and a latency budget it prints
+/// each model's optimal operating region and a deployment
+/// recommendation.
+///
+///   ./examples/tuning_advisor [--platform A100|V100|JetsonOrinNano]
+///                             [--dataset "Plant Village"] [--budget-ms 16.7]
+
+#include <cstdio>
+
+#include "harvest/harvest.hpp"
+
+using namespace harvest;
+
+int main(int argc, char** argv) {
+  core::CliArgs args(argc, argv);
+  core::set_log_level(core::LogLevel::kWarn);
+
+  const std::string platform_name = args.get("platform", "A100");
+  const std::string dataset_name = args.get("dataset", "Plant Village");
+  const double budget_ms = args.get_double("budget-ms", 1000.0 / 60.0);
+
+  const platform::DeviceSpec* device = platform::find_device(platform_name);
+  if (device == nullptr) {
+    std::fprintf(stderr, "unknown platform %s (try A100, V100, "
+                 "JetsonOrinNano)\n", platform_name.c_str());
+    return 1;
+  }
+  const auto dataset = data::find_dataset(dataset_name);
+  if (!dataset.has_value()) {
+    std::fprintf(stderr, "unknown dataset \"%s\"; available:\n",
+                 dataset_name.c_str());
+    for (const data::DatasetSpec& spec : data::evaluated_datasets()) {
+      std::fprintf(stderr, "  %s\n", spec.name.c_str());
+    }
+    return 1;
+  }
+
+  api::AdvisorConfig config;
+  config.latency_budget_s = budget_ms * 1e-3;
+
+  std::printf("HARVEST tuning advisor\n");
+  std::printf("platform: %s — %s\n", device->name.c_str(),
+              device->description.c_str());
+  std::printf("dataset:  %s (%s)\n", dataset->name.c_str(),
+              dataset->use_case.c_str());
+  std::printf("budget:   %s per request\n\n",
+              core::format_seconds(config.latency_budget_s).c_str());
+
+  std::printf("%-10s %-6s %-10s %-14s %-12s %s\n", "model", "batch", "latency",
+              "throughput", "saturation", "status");
+  for (const api::OperatingPoint& point : api::rank_models(*device, config)) {
+    if (!point.feasible) {
+      std::printf("%-10s %-6s %-10s %-14s %-12s infeasible\n",
+                  point.model.c_str(), "-", "-", "-", "-");
+      continue;
+    }
+    std::printf("%-10s %-6lld %-10s %-14s %-12s %s\n", point.model.c_str(),
+                static_cast<long long>(point.batch),
+                core::format_seconds(point.latency_s).c_str(),
+                core::format_rate(point.throughput_img_per_s).c_str(),
+                (core::format_fixed(point.saturation * 100.0, 1) + "%").c_str(),
+                point.near_saturated ? "near-saturated" : "under-saturated");
+  }
+
+  const api::DeploymentAdvice advice = api::advise(*device, *dataset, config);
+  std::printf("\nRecommendation:\n  %s\n", advice.summary.c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal command-line flag parsing for examples and benches.
+/// Supports `--flag=value`, `--flag value`, and boolean `--flag`.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace harvest::core {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+  bool has(const std::string& flag) const;
+  std::string get(const std::string& flag, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& flag, std::int64_t fallback) const;
+  double get_double(const std::string& flag, double fallback) const;
+  bool get_bool(const std::string& flag, bool fallback) const;
+
+  /// Non-flag positional arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace harvest::core

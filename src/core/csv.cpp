@@ -1,0 +1,55 @@
+#include "core/csv.hpp"
+
+#include <cstdio>
+
+namespace harvest::core {
+
+void CsvWriter::set_header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void CsvWriter::add_row(std::vector<std::string> fields) {
+  rows_.push_back(std::move(fields));
+}
+
+void CsvWriter::append_field(std::string& out, const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) {
+    out += field;
+    return;
+  }
+  out += '"';
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string CsvWriter::to_string() const {
+  std::string out;
+  auto emit_row = [&out](const std::vector<std::string>& row) {
+    bool first = true;
+    for (const auto& field : row) {
+      if (!first) out += ',';
+      first = false;
+      append_field(out, field);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string doc = to_string();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace harvest::core

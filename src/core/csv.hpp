@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file csv.hpp
+/// Tiny CSV writer for bench outputs. Quotes fields that need it
+/// (RFC 4180 style) so downstream plotting tools can consume the files.
+
+#include <string>
+#include <vector>
+
+namespace harvest::core {
+
+class CsvWriter {
+ public:
+  /// Set the column header (first row).
+  void set_header(std::vector<std::string> columns);
+
+  /// Append a data row; field count should match the header when set.
+  void add_row(std::vector<std::string> fields);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the full document.
+  std::string to_string() const;
+
+  /// Write to a file; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static void append_field(std::string& out, const std::string& field);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace harvest::core

@@ -1,0 +1,420 @@
+#include "core/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace harvest::core {
+
+bool Json::as_bool() const {
+  HARVEST_CHECK_MSG(is_bool(), "json value is not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  HARVEST_CHECK_MSG(is_number(), "json value is not a number");
+  return number_;
+}
+
+std::int64_t Json::as_int() const {
+  return static_cast<std::int64_t>(std::llround(as_number()));
+}
+
+const std::string& Json::as_string() const {
+  HARVEST_CHECK_MSG(is_string(), "json value is not a string");
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  HARVEST_CHECK_MSG(is_array(), "json value is not an array");
+  return array_;
+}
+
+JsonArray& Json::as_array() {
+  HARVEST_CHECK_MSG(is_array(), "json value is not an array");
+  return array_;
+}
+
+const JsonObject& Json::as_object() const {
+  HARVEST_CHECK_MSG(is_object(), "json value is not an object");
+  return object_;
+}
+
+JsonObject& Json::as_object() {
+  HARVEST_CHECK_MSG(is_object(), "json value is not an object");
+  return object_;
+}
+
+bool Json::contains(std::string_view key) const { return find(key) != nullptr; }
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(std::string(key));
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+Json& Json::operator[](const std::string& key) {
+  HARVEST_CHECK_MSG(is_object() || is_null(), "operator[] requires object");
+  if (is_null()) type_ = Type::kObject;
+  return object_[key];
+}
+
+double Json::get_number(std::string_view key, double fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_number()) ? v->number_ : fallback;
+}
+
+std::int64_t Json::get_int(std::string_view key, std::int64_t fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_number())
+             ? static_cast<std::int64_t>(std::llround(v->number_))
+             : fallback;
+}
+
+bool Json::get_bool(std::string_view key, bool fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_bool()) ? v->bool_ : fallback;
+}
+
+std::string Json::get_string(std::string_view key, std::string fallback) const {
+  const Json* v = find(key);
+  return (v != nullptr && v->is_string()) ? v->string_ : fallback;
+}
+
+void Json::push_back(Json value) {
+  HARVEST_CHECK_MSG(is_array() || is_null(), "push_back requires array");
+  if (is_null()) type_ = Type::kArray;
+  array_.push_back(std::move(value));
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return array_ == other.array_;
+    case Type::kObject: return object_ == other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double n) {
+  if (std::isnan(n) || std::isinf(n)) {
+    out += "null";  // JSON has no NaN/Inf; callers shouldn't emit them.
+    return;
+  }
+  if (n == std::floor(n) && std::fabs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", n);
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent < 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: append_number(out, number_); break;
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      if (array_.empty()) { out += "[]"; break; }
+      out += '[';
+      bool first = true;
+      for (const Json& v : array_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        v.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) { out += "{}"; break; }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, key);
+        out += indent < 0 ? ":" : ": ";
+        value.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+// Local helper: propagate Status out of any Result/Status-returning scope.
+#define HARVEST_RETURN_IF_ERR(expr)              \
+  do {                                           \
+    Status _st = (expr);                         \
+    if (!_st.is_ok()) return _st;                \
+  } while (false)
+
+/// Recursive-descent parser with a depth limit to bound stack usage on
+/// adversarial inputs.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> parse_document() {
+    skip_whitespace();
+    Json value;
+    HARVEST_RETURN_IF_ERR(parse_value(value, 0));
+    skip_whitespace();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 128;
+
+  Status fail(std::string msg) const {
+    return Status::invalid_argument(msg + " at offset " + std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') { ++pos_; continue; }
+      break;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) { ++pos_; return true; }
+    return false;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) { pos_ += lit.size(); return true; }
+    return false;
+  }
+
+  Status parse_value(Json& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_whitespace();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        HARVEST_RETURN_IF_ERR(parse_string(s));
+        out = Json(std::move(s));
+        return Status::ok();
+      }
+      case 't':
+        if (consume_literal("true")) { out = Json(true); return Status::ok(); }
+        return fail("invalid literal");
+      case 'f':
+        if (consume_literal("false")) { out = Json(false); return Status::ok(); }
+        return fail("invalid literal");
+      case 'n':
+        if (consume_literal("null")) { out = Json(nullptr); return Status::ok(); }
+        return fail("invalid literal");
+      default:
+        return parse_number(out);
+    }
+  }
+
+  Status parse_object(Json& out, int depth) {
+    consume('{');
+    JsonObject object;
+    skip_whitespace();
+    if (consume('}')) { out = Json(std::move(object)); return Status::ok(); }
+    for (;;) {
+      skip_whitespace();
+      std::string key;
+      HARVEST_RETURN_IF_ERR(parse_string(key));
+      skip_whitespace();
+      if (!consume(':')) return fail("expected ':' in object");
+      Json value;
+      HARVEST_RETURN_IF_ERR(parse_value(value, depth + 1));
+      object.emplace(std::move(key), std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail("expected ',' or '}' in object");
+    }
+    out = Json(std::move(object));
+    return Status::ok();
+  }
+
+  Status parse_array(Json& out, int depth) {
+    consume('[');
+    JsonArray array;
+    skip_whitespace();
+    if (consume(']')) { out = Json(std::move(array)); return Status::ok(); }
+    for (;;) {
+      Json value;
+      HARVEST_RETURN_IF_ERR(parse_value(value, depth + 1));
+      array.push_back(std::move(value));
+      skip_whitespace();
+      if (consume(',')) continue;
+      if (consume(']')) break;
+      return fail("expected ',' or ']' in array");
+    }
+    out = Json(std::move(array));
+    return Status::ok();
+  }
+
+  Status parse_string(std::string& out) {
+    if (!consume('"')) return fail("expected string");
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::ok();
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return fail("unescaped control character in string");
+        }
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("dangling escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("invalid hex digit in \\u escape");
+          }
+          // Encode BMP code point as UTF-8 (surrogate pairs unsupported).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return fail("invalid escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  Status parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+      ++pos_;
+    }
+    if (consume('.')) {
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (pos_ < text_.size() &&
+             (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0)) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return fail("invalid number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return fail("invalid number");
+    out = Json(value);
+    return Status::ok();
+  }
+
+#undef HARVEST_RETURN_IF_ERR
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) {
+  Parser parser(text);
+  return parser.parse_document();
+}
+
+}  // namespace harvest::core

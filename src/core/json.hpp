@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file json.hpp
+/// A small, dependency-free JSON document model, recursive-descent
+/// parser, and writer. Used for model-repository configs, pipeline
+/// configs, and machine-readable bench reports. Supports the full JSON
+/// grammar except \u surrogate pairs outside the BMP (sufficient for the
+/// ASCII configs this library writes).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace harvest::core {
+
+class Json;
+using JsonArray = std::vector<Json>;
+/// std::map keeps key order deterministic — report files diff cleanly.
+using JsonObject = std::map<std::string, Json>;
+
+/// A JSON value: null, bool, number (double), string, array, or object.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}            // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}          // NOLINT
+  Json(double n) : type_(Type::kNumber), number_(n) {}    // NOLINT
+  Json(int n) : Json(static_cast<double>(n)) {}           // NOLINT
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}  // NOLINT
+  Json(std::size_t n) : Json(static_cast<double>(n)) {}   // NOLINT
+  Json(const char* s) : type_(Type::kString), string_(s) {}           // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {} // NOLINT
+  Json(JsonArray a) : type_(Type::kArray), array_(std::move(a)) {}     // NOLINT
+  Json(JsonObject o) : type_(Type::kObject), object_(std::move(o)) {}  // NOLINT
+
+  static Json array() { return Json(JsonArray{}); }
+  static Json object() { return Json(JsonObject{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; HARVEST_CHECK on type mismatch (programmer error —
+  /// use the typed getters with defaults for data-driven access).
+  bool as_bool() const;
+  double as_number() const;
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const JsonArray& as_array() const;
+  JsonArray& as_array();
+  const JsonObject& as_object() const;
+  JsonObject& as_object();
+
+  /// Object field access. `get_*` return the fallback when the key is
+  /// missing or has the wrong type (tolerant config reading).
+  bool contains(std::string_view key) const;
+  const Json* find(std::string_view key) const;
+  Json& operator[](const std::string& key);  ///< object upsert
+  double get_number(std::string_view key, double fallback) const;
+  std::int64_t get_int(std::string_view key, std::int64_t fallback) const;
+  bool get_bool(std::string_view key, bool fallback) const;
+  std::string get_string(std::string_view key, std::string fallback) const;
+
+  void push_back(Json value);
+
+  /// Serialize. `indent` < 0 produces compact output; >= 0 pretty-prints
+  /// with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  /// Parse a complete JSON document (rejects trailing garbage).
+  static Result<Json> parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  JsonArray array_;
+  JsonObject object_;
+};
+
+}  // namespace harvest::core

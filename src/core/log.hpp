@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file log.hpp
+/// Minimal leveled logger. Thread-safe, printf-style free functions.
+/// The level is process-global and defaults to Info; benches drop it to
+/// Warn so table output stays clean.
+
+#include <cstdarg>
+#include <string_view>
+
+namespace harvest::core {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core emit function; prefer the HARVEST_LOG_* macros below.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace harvest::core
+
+#define HARVEST_LOG_DEBUG(...) \
+  ::harvest::core::log_message(::harvest::core::LogLevel::kDebug, __VA_ARGS__)
+#define HARVEST_LOG_INFO(...) \
+  ::harvest::core::log_message(::harvest::core::LogLevel::kInfo, __VA_ARGS__)
+#define HARVEST_LOG_WARN(...) \
+  ::harvest::core::log_message(::harvest::core::LogLevel::kWarn, __VA_ARGS__)
+#define HARVEST_LOG_ERROR(...) \
+  ::harvest::core::log_message(::harvest::core::LogLevel::kError, __VA_ARGS__)

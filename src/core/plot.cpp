@@ -1,0 +1,99 @@
+#include "core/plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace harvest::core {
+
+void AsciiPlot::add_series(Series series) {
+  series_.push_back(std::move(series));
+}
+
+double AsciiPlot::transform_x(double x) const {
+  return log_x_ ? std::log10(std::max(x, 1e-300)) : x;
+}
+
+double AsciiPlot::transform_y(double y) const {
+  return log_y_ ? std::log10(std::max(y, 1e-300)) : y;
+}
+
+std::string AsciiPlot::render() const {
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo;
+  double y_lo = x_lo;
+  double y_hi = -x_lo;
+  for (const Series& series : series_) {
+    for (std::size_t i = 0; i < series.xs.size() && i < series.ys.size(); ++i) {
+      if (!std::isfinite(series.xs[i]) || !std::isfinite(series.ys[i])) continue;
+      x_lo = std::min(x_lo, transform_x(series.xs[i]));
+      x_hi = std::max(x_hi, transform_x(series.xs[i]));
+      y_lo = std::min(y_lo, transform_y(series.ys[i]));
+      y_hi = std::max(y_hi, transform_y(series.ys[i]));
+    }
+  }
+  for (const HLine& line : hlines_) {
+    y_lo = std::min(y_lo, transform_y(line.y));
+    y_hi = std::max(y_hi, transform_y(line.y));
+  }
+  if (!std::isfinite(x_lo) || !std::isfinite(y_lo)) {
+    return "(no data to plot)\n";
+  }
+  if (x_hi - x_lo < 1e-12) x_hi = x_lo + 1.0;
+  if (y_hi - y_lo < 1e-12) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> canvas(height_, std::string(width_, ' '));
+  auto col_of = [&](double x) {
+    const double frac = (transform_x(x) - x_lo) / (x_hi - x_lo);
+    return static_cast<std::size_t>(std::clamp(
+        frac * static_cast<double>(width_ - 1), 0.0,
+        static_cast<double>(width_ - 1)));
+  };
+  auto row_of = [&](double y) {
+    const double frac = (transform_y(y) - y_lo) / (y_hi - y_lo);
+    // Row 0 is the top of the canvas.
+    return static_cast<std::size_t>(std::clamp(
+        (1.0 - frac) * static_cast<double>(height_ - 1), 0.0,
+        static_cast<double>(height_ - 1)));
+  };
+
+  for (const HLine& line : hlines_) {
+    const std::size_t row = row_of(line.y);
+    for (std::size_t c = 0; c < width_; ++c) canvas[row][c] = line.glyph;
+  }
+  for (const Series& series : series_) {
+    for (std::size_t i = 0; i < series.xs.size() && i < series.ys.size(); ++i) {
+      if (!std::isfinite(series.xs[i]) || !std::isfinite(series.ys[i])) continue;
+      canvas[row_of(series.ys[i])][col_of(series.xs[i])] = series.glyph;
+    }
+  }
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  char label[64];
+  std::snprintf(label, sizeof(label), "%11.4g +", log_y_ ? std::pow(10, y_hi) : y_hi);
+  out += label;
+  out += std::string(width_, '-') + "+\n";
+  for (std::size_t r = 0; r < height_; ++r) {
+    out += "            |";
+    out += canvas[r];
+    out += "|\n";
+  }
+  std::snprintf(label, sizeof(label), "%11.4g +", log_y_ ? std::pow(10, y_lo) : y_lo);
+  out += label;
+  out += std::string(width_, '-') + "+\n";
+  std::snprintf(label, sizeof(label), "            x: %.4g .. %.4g%s\n",
+                log_x_ ? std::pow(10, x_lo) : x_lo,
+                log_x_ ? std::pow(10, x_hi) : x_hi,
+                log_x_ ? " (log)" : "");
+  out += label;
+  for (const Series& series : series_) {
+    out += "            ";
+    out += series.glyph;
+    out += " " + series.label + "\n";
+  }
+  return out;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file plot.hpp
+/// Terminal line plots for the bench harness. Renders one or more
+/// series on a character canvas with optional log-scaled axes — enough
+/// to show the *shape* of Fig. 5/6 style curves directly in bench
+/// output without external tooling.
+
+#include <string>
+#include <vector>
+
+namespace harvest::core {
+
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+class AsciiPlot {
+ public:
+  AsciiPlot(std::size_t width, std::size_t height)
+      : width_(width), height_(height) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+  void set_log_x(bool on) { log_x_ = on; }
+  void set_log_y(bool on) { log_y_ = on; }
+  /// Horizontal rule at a y-value (e.g. the 16.7 ms threshold line).
+  void add_hline(double y, char glyph = '-') { hlines_.push_back({y, glyph}); }
+  void add_series(Series series);
+
+  /// Render to text. Returns a note instead of a canvas when no finite
+  /// points were provided.
+  std::string render() const;
+
+ private:
+  struct HLine {
+    double y;
+    char glyph;
+  };
+
+  double transform_x(double x) const;
+  double transform_y(double y) const;
+
+  std::size_t width_, height_;
+  std::string title_;
+  bool log_x_ = false;
+  bool log_y_ = false;
+  std::vector<Series> series_;
+  std::vector<HLine> hlines_;
+};
+
+}  // namespace harvest::core

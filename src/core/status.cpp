@@ -1,0 +1,41 @@
+#include "core/status.hpp"
+
+#include <cstdio>
+
+namespace harvest::core {
+
+std::string_view status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out(status_code_name(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& extra) {
+  std::fprintf(stderr, "HARVEST_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace harvest::core

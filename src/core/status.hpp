@@ -1,0 +1,133 @@
+#pragma once
+
+/// \file status.hpp
+/// Lightweight error-handling primitives used across the HARVEST library.
+///
+/// We deliberately avoid exceptions on hot paths (Core Guidelines Per.*):
+/// fallible operations return `Status` or `Result<T>`, which callers must
+/// inspect. `HARVEST_CHECK` is reserved for programmer errors (contract
+/// violations), not recoverable failures.
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace harvest::core {
+
+/// Category of a failure. Mirrors the failure classes that a serving
+/// system must distinguish (queue overload vs. bad request vs. OOM ...).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfMemory,     ///< device or host memory exhausted (paper §4.1 OOM walls)
+  kDeadlineExceeded,///< real-time deadline missed (paper §2.2.3)
+  kUnavailable,     ///< queue full / server shutting down
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code ("OK", "OUT_OF_MEMORY", ...).
+std::string_view status_code_name(StatusCode code);
+
+/// A cheap, movable status: OK or (code, message).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status not_found(std::string msg) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status out_of_memory(std::string msg) {
+    return {StatusCode::kOutOfMemory, std::move(msg)};
+  }
+  static Status deadline_exceeded(std::string msg) {
+    return {StatusCode::kDeadlineExceeded, std::move(msg)};
+  }
+  static Status unavailable(std::string msg) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status unimplemented(std::string msg) {
+    return {StatusCode::kUnimplemented, std::move(msg)};
+  }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Value-or-status, in the spirit of std::expected (not yet in libstdc++ 12).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+
+  bool is_ok() const { return value_.has_value(); }
+  explicit operator bool() const { return is_ok(); }
+
+  const Status& status() const { return status_; }
+
+  /// Precondition: is_ok().
+  T& value() & { return *value_; }
+  const T& value() const& { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::internal("result not populated");
+};
+
+namespace detail {
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& extra);
+}  // namespace detail
+
+/// Abort on contract violation. Use for programmer errors only.
+#define HARVEST_CHECK(expr)                                              \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::harvest::core::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                            std::string());              \
+    }                                                                    \
+  } while (false)
+
+#define HARVEST_CHECK_MSG(expr, msg)                                     \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::harvest::core::detail::check_failed(#expr, __FILE__, __LINE__,   \
+                                            std::string(msg));           \
+    }                                                                    \
+  } while (false)
+
+/// Propagate a non-OK status to the caller.
+#define HARVEST_RETURN_IF_ERROR(expr)               \
+  do {                                              \
+    ::harvest::core::Status _st = (expr);           \
+    if (!_st.is_ok()) return _st;                   \
+  } while (false)
+
+}  // namespace harvest::core

@@ -1,0 +1,79 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace harvest::core {
+
+void TextTable::set_header(std::vector<std::string> columns) {
+  header_ = std::move(columns);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+bool TextTable::looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t digits = 0;
+  for (char c : cell) {
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) ++digits;
+  }
+  return digits * 2 >= cell.size();
+}
+
+std::string TextTable::render() const {
+  std::size_t columns = header_.size();
+  for (const Row& row : rows_) columns = std::max(columns, row.cells.size());
+  if (columns == 0) return title_ + "\n";
+
+  std::vector<std::size_t> widths(columns, 0);
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const Row& row : rows_) widen(row.cells);
+
+  std::string rule = "+";
+  for (std::size_t w : widths) rule += std::string(w + 2, '-') + "+";
+  rule += '\n';
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& cells) {
+    out += '|';
+    for (std::size_t i = 0; i < columns; ++i) {
+      const std::string cell = i < cells.size() ? cells[i] : "";
+      const std::size_t pad = widths[i] - cell.size();
+      out += ' ';
+      if (looks_numeric(cell)) {
+        out += std::string(pad, ' ') + cell;
+      } else {
+        out += cell + std::string(pad, ' ');
+      }
+      out += " |";
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule;
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    out += rule;
+  }
+  for (const Row& row : rows_) {
+    if (row.separator) {
+      out += rule;
+    } else {
+      emit_row(out, row.cells);
+    }
+  }
+  out += rule;
+  return out;
+}
+
+}  // namespace harvest::core

@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file table.hpp
+/// ASCII table renderer used by the bench harness to print the paper's
+/// tables/figures as aligned text. Columns auto-size to their widest
+/// cell; numeric cells are right-aligned.
+
+#include <string>
+#include <vector>
+
+namespace harvest::core {
+
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> columns);
+  void add_row(std::vector<std::string> cells);
+  /// Inserts a horizontal rule between the rows added before/after.
+  void add_separator();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  static bool looks_numeric(const std::string& cell);
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace harvest::core

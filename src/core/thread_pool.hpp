@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// A fixed-size work-stealing-free thread pool with a blocking task
+/// queue, plus a `parallel_for` helper. Used by the DALI-like batched
+/// preprocessing executor and the serving runtime's model instances.
+///
+/// Design follows Core Guidelines CP.*: tasks over threads, RAII join on
+/// destruction, condition-variable waits with predicates, no detach.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace harvest::core {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>=1). The pool joins all workers on
+  /// destruction after draining queued tasks.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue a task; returns a future for its completion.
+  template <typename Fn>
+  std::future<void> submit(Fn&& fn) {
+    auto task = std::make_shared<std::packaged_task<void()>>(std::forward<Fn>(fn));
+    std::future<void> future = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// Run fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations finish. Work is split into contiguous chunks, one per
+  /// worker, which suits the memory-streaming loops in this library.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace harvest::core

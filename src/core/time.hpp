@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file time.hpp
+/// Wall-clock timing helpers for the real (host CPU) execution paths.
+/// Simulated-time components use `harvest::sim::SimClock` instead.
+
+#include <chrono>
+
+namespace harvest::core {
+
+/// Monotonic stopwatch with double-precision seconds.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace harvest::core

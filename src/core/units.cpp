@@ -1,0 +1,74 @@
+#include "core/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace harvest::core {
+namespace {
+
+std::string scaled(double value, const char* suffix) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", value, suffix);
+  return buf;
+}
+
+}  // namespace
+
+std::string format_flops(double flops_per_sec) {
+  const double magnitude = std::fabs(flops_per_sec);
+  if (magnitude >= kTera) return scaled(flops_per_sec / kTera, "TFLOPS");
+  if (magnitude >= kGiga) return scaled(flops_per_sec / kGiga, "GFLOPS");
+  if (magnitude >= kMega) return scaled(flops_per_sec / kMega, "MFLOPS");
+  return scaled(flops_per_sec, "FLOPS");
+}
+
+std::string format_flop_count(double flops) {
+  const double magnitude = std::fabs(flops);
+  if (magnitude >= kTera) return scaled(flops / kTera, "TFLOPs");
+  if (magnitude >= kGiga) return scaled(flops / kGiga, "GFLOPs");
+  if (magnitude >= kMega) return scaled(flops / kMega, "MFLOPs");
+  return scaled(flops, "FLOPs");
+}
+
+std::string format_bytes(double bytes) {
+  const double magnitude = std::fabs(bytes);
+  if (magnitude >= static_cast<double>(kGiB)) {
+    return scaled(bytes / static_cast<double>(kGiB), "GiB");
+  }
+  if (magnitude >= static_cast<double>(kMiB)) {
+    return scaled(bytes / static_cast<double>(kMiB), "MiB");
+  }
+  if (magnitude >= static_cast<double>(kKiB)) {
+    return scaled(bytes / static_cast<double>(kKiB), "KiB");
+  }
+  return scaled(bytes, "B");
+}
+
+std::string format_seconds(double seconds) {
+  const double magnitude = std::fabs(seconds);
+  char buf[64];
+  if (magnitude >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+  } else if (magnitude >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+  } else if (magnitude >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+std::string format_rate(double per_second, const char* unit) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f %s", per_second, unit);
+  return buf;
+}
+
+std::string format_fixed(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace harvest::core

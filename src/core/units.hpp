@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file units.hpp
+/// Strongly named unit helpers and human-readable formatting for the
+/// quantities this library reasons about: FLOPs/FLOPS, bytes, seconds,
+/// images/second. Keeping formatting in one place makes bench output
+/// consistent across tables.
+
+#include <cstdint>
+#include <string>
+
+namespace harvest::core {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * 1024ULL;
+inline constexpr std::uint64_t kGiB = 1024ULL * 1024ULL * 1024ULL;
+
+/// "236.3 TFLOPS", "92.6 GFLOPS", ...
+std::string format_flops(double flops_per_sec);
+
+/// "1.37 GFLOPs" (work, not rate).
+std::string format_flop_count(double flops);
+
+/// "16.9 GiB", "512 MiB", ...
+std::string format_bytes(double bytes);
+
+/// "16.7 ms", "3.4 us", "2.1 s".
+std::string format_seconds(double seconds);
+
+/// "22879.3 img/s".
+std::string format_rate(double per_second, const char* unit = "img/s");
+
+/// Fixed-precision helper: value with `digits` decimals.
+std::string format_fixed(double value, int digits);
+
+}  // namespace harvest::core

@@ -1,0 +1,112 @@
+#include "data/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace harvest::data {
+
+std::pair<std::int64_t, std::int64_t> SizeDistribution::sample(
+    std::uint64_t seed, std::int64_t index) const {
+  if (kind == Kind::kFixed) return {mode_w, mode_h};
+  core::Rng rng(core::splitmix64(seed ^ static_cast<std::uint64_t>(index)));
+  auto clamp_edge = [this](double v) {
+    return std::clamp<std::int64_t>(static_cast<std::int64_t>(std::lround(v)),
+                                    min_edge, max_edge);
+  };
+  const std::int64_t w = clamp_edge(rng.normal(static_cast<double>(mode_w), stddev));
+  // Heights track widths with mild aspect jitter — Fig. 4's scatter
+  // hugs the diagonal.
+  const std::int64_t h = clamp_edge(
+      static_cast<double>(w) *
+      (static_cast<double>(mode_h) / static_cast<double>(mode_w)) *
+      rng.normal(1.0, 0.06));
+  return {w, h};
+}
+
+double SizeDistribution::mean_pixels() const {
+  if (kind == Kind::kFixed) {
+    return static_cast<double>(mode_w) * static_cast<double>(mode_h);
+  }
+  // Monte-Carlo estimate with a fixed probe seed; cheap and within a
+  // fraction of a percent for the distributions used here.
+  double acc = 0.0;
+  constexpr int kProbes = 512;
+  for (int i = 0; i < kProbes; ++i) {
+    const auto [w, h] = sample(0x5eed, i);
+    acc += static_cast<double>(w) * static_cast<double>(h);
+  }
+  return acc / kProbes;
+}
+
+preproc::WorkloadImageStats DatasetSpec::image_stats() const {
+  preproc::WorkloadImageStats stats;
+  stats.mean_pixels = sizes.mean_pixels();
+  stats.format = format;
+  stats.needs_perspective = needs_perspective;
+  // Container bytes per pixel, from the codecs' typical behaviour on the
+  // synthetic field imagery (measured in codec_test.cpp):
+  double bytes_per_pixel = 3.0;
+  switch (format) {
+    case preproc::ImageFormat::kRaw:
+    case preproc::ImageFormat::kPpm:
+    case preproc::ImageFormat::kBmp: bytes_per_pixel = 3.0; break;
+    case preproc::ImageFormat::kAtif: bytes_per_pixel = 1.8; break;
+    case preproc::ImageFormat::kAgJpeg: bytes_per_pixel = 0.4; break;
+  }
+  stats.mean_encoded_bytes = stats.mean_pixels * bytes_per_pixel;
+  return stats;
+}
+
+const std::vector<DatasetSpec>& evaluated_datasets() {
+  // Class/sample counts and modal sizes from Table 2; spreads shaped to
+  // the Fig. 4 density panels (soybean and spittle-bug vary, the rest
+  // are uniform).
+  static const std::vector<DatasetSpec> specs = [] {
+    std::vector<DatasetSpec> all;
+    all.push_back({"Plant Village", 39, 43430,
+                   {SizeDistribution::Kind::kFixed, 256, 256, 0.0, 16, 4096},
+                   preproc::ImageFormat::kAgJpeg, false,
+                   "Plant disease classification"});
+    all.push_back({"Weed Detection in Soybean", 4, 10635,
+                   {SizeDistribution::Kind::kGaussian, 233, 233, 55.0, 80, 420},
+                   preproc::ImageFormat::kAgJpeg, false,
+                   "Weed detection in soybeans"});
+    all.push_back({"Sugar Cane-Spittle Bug", 2, 10100,
+                   {SizeDistribution::Kind::kGaussian, 61, 61, 28.0, 24, 420},
+                   preproc::ImageFormat::kAgJpeg, false,
+                   "Pest bugs detection"});
+    all.push_back({"Fruits-360", 81, 40998,
+                   {SizeDistribution::Kind::kFixed, 100, 100, 0.0, 16, 4096},
+                   preproc::ImageFormat::kAgJpeg, false,
+                   "Fruits classification"});
+    all.push_back({"Corn Growth Stage", 23, 52198,
+                   {SizeDistribution::Kind::kFixed, 224, 224, 0.0, 16, 4096},
+                   preproc::ImageFormat::kAtif, false,
+                   "Corn growth stage classification, UAS based"});
+    all.push_back({"CRSA", 0, 992,
+                   {SizeDistribution::Kind::kFixed, 3840, 2160, 0.0, 16, 4096},
+                   preproc::ImageFormat::kRaw, true,
+                   "Crop residue soil aggregate, ground-vehicle based"});
+    return all;
+  }();
+  return specs;
+}
+
+std::optional<DatasetSpec> find_dataset(const std::string& name) {
+  for (const DatasetSpec& spec : evaluated_datasets()) {
+    if (spec.name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+std::vector<DatasetSpec> classification_datasets() {
+  std::vector<DatasetSpec> out;
+  for (const DatasetSpec& spec : evaluated_datasets()) {
+    if (spec.num_classes > 0) out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace harvest::data

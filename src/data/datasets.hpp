@@ -1,0 +1,61 @@
+#pragma once
+
+/// \file datasets.hpp
+/// The six agricultural datasets of Table 2, encoded as specs: class
+/// count, sample count, image-size distribution (Fig. 4), container
+/// format and downstream task. The real datasets are not redistributable
+/// here; the synthetic generator (synthetic.hpp) reproduces exactly the
+/// properties this characterization study depends on — size
+/// distribution, encoding, and sample count.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "preproc/codec.hpp"
+#include "preproc/cost_model.hpp"
+
+namespace harvest::data {
+
+/// How image dimensions vary across a dataset (the Fig. 4 panels).
+struct SizeDistribution {
+  enum class Kind { kFixed, kGaussian };
+  Kind kind = Kind::kFixed;
+  std::int64_t mode_w = 224;  ///< most common width (Fig. 4 annotation)
+  std::int64_t mode_h = 224;
+  double stddev = 0.0;        ///< spread for kGaussian
+  std::int64_t min_edge = 16;
+  std::int64_t max_edge = 4096;
+
+  /// Deterministic (width, height) of sample `index`.
+  std::pair<std::int64_t, std::int64_t> sample(std::uint64_t seed,
+                                               std::int64_t index) const;
+  /// Analytic mean pixel count (estimated by quadrature for kGaussian).
+  double mean_pixels() const;
+};
+
+struct DatasetSpec {
+  std::string name;
+  std::int64_t num_classes = 0;  ///< 0 = unlabeled (CRSA)
+  std::int64_t num_samples = 0;
+  SizeDistribution sizes;
+  preproc::ImageFormat format = preproc::ImageFormat::kAgJpeg;
+  bool needs_perspective = false;  ///< dataset-specific stage (CRSA)
+  std::string use_case;
+
+  /// Aggregate stats for the preprocessing cost model.
+  preproc::WorkloadImageStats image_stats() const;
+};
+
+/// Table 2, in paper order: Plant Village, Weed Detection in Soybean,
+/// Sugar Cane-Spittle Bug, Fruits-360, Corn Growth Stage, CRSA.
+const std::vector<DatasetSpec>& evaluated_datasets();
+
+std::optional<DatasetSpec> find_dataset(const std::string& name);
+
+/// The five classification datasets (everything except CRSA), the set
+/// used in the end-to-end evaluation of Fig. 8.
+std::vector<DatasetSpec> classification_datasets();
+
+}  // namespace harvest::data

@@ -1,0 +1,126 @@
+#include "data/directory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+namespace harvest::data {
+
+namespace fs = std::filesystem;
+
+std::optional<preproc::ImageFormat> DirectoryDataset::format_for(
+    const std::string& filename) {
+  const auto dot = filename.rfind('.');
+  if (dot == std::string::npos) return std::nullopt;
+  std::string ext = filename.substr(dot + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (ext == "ppm") return preproc::ImageFormat::kPpm;
+  if (ext == "bmp") return preproc::ImageFormat::kBmp;
+  if (ext == "agj") return preproc::ImageFormat::kAgJpeg;
+  if (ext == "atif") return preproc::ImageFormat::kAtif;
+  if (ext == "raw") return preproc::ImageFormat::kRaw;
+  return std::nullopt;
+}
+
+core::Result<DirectoryDataset> DirectoryDataset::open(const std::string& root) {
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return core::Status::not_found(root + " is not a directory");
+  }
+
+  DirectoryDataset dataset;
+  // Class subdirectories, sorted for determinism.
+  std::vector<std::string> class_dirs;
+  for (const fs::directory_entry& entry : fs::directory_iterator(root, ec)) {
+    if (entry.is_directory()) {
+      class_dirs.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(class_dirs.begin(), class_dirs.end());
+
+  auto scan_files = [&dataset](const fs::path& dir, std::int64_t label) {
+    std::vector<std::string> names;
+    std::error_code scan_ec;
+    for (const fs::directory_entry& entry :
+         fs::directory_iterator(dir, scan_ec)) {
+      if (!entry.is_regular_file()) continue;
+      names.push_back(entry.path().filename().string());
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      const auto format = format_for(name);
+      if (!format.has_value()) continue;  // skip non-image files
+      dataset.files_.push_back(
+          Entry{(dir / name).string(), label, *format});
+    }
+  };
+
+  if (class_dirs.empty()) {
+    // Flat directory: unlabeled samples (the CRSA layout).
+    scan_files(root, -1);
+  } else {
+    for (const std::string& class_dir : class_dirs) {
+      dataset.class_names_.push_back(class_dir);
+      scan_files(fs::path(root) / class_dir,
+                 static_cast<std::int64_t>(dataset.class_names_.size()) - 1);
+    }
+  }
+  if (dataset.files_.empty()) {
+    return core::Status::not_found("no supported image files under " + root);
+  }
+  return dataset;
+}
+
+const std::string& DirectoryDataset::file_path(std::int64_t index) const {
+  HARVEST_CHECK_MSG(index >= 0 && index < size(), "sample index out of range");
+  return files_[static_cast<std::size_t>(index)].path;
+}
+
+std::int64_t DirectoryDataset::label(std::int64_t index) const {
+  HARVEST_CHECK_MSG(index >= 0 && index < size(), "sample index out of range");
+  return files_[static_cast<std::size_t>(index)].label;
+}
+
+core::Result<preproc::EncodedImage> DirectoryDataset::load(
+    std::int64_t index) const {
+  HARVEST_CHECK_MSG(index >= 0 && index < size(), "sample index out of range");
+  const Entry& entry = files_[static_cast<std::size_t>(index)];
+  std::FILE* f = std::fopen(entry.path.c_str(), "rb");
+  if (f == nullptr) {
+    return core::Status::not_found("cannot open " + entry.path);
+  }
+  preproc::EncodedImage image;
+  image.format = entry.format;
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    image.bytes.insert(image.bytes.end(), buffer, buffer + got);
+  }
+  std::fclose(f);
+  if (image.bytes.empty()) {
+    return core::Status::invalid_argument(entry.path + " is empty");
+  }
+  // Fill the metadata from a decode probe (cheap relative to serving).
+  auto decoded = preproc::decode_image(image);
+  if (!decoded.is_ok()) return decoded.status();
+  image.width = decoded.value().width();
+  image.height = decoded.value().height();
+  return image;
+}
+
+core::Status write_encoded(const preproc::EncodedImage& image,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return core::Status::internal("cannot open " + path + " for write");
+  }
+  const bool ok =
+      std::fwrite(image.bytes.data(), 1, image.bytes.size(), f) ==
+      image.bytes.size();
+  std::fclose(f);
+  return ok ? core::Status::ok()
+            : core::Status::internal("short write to " + path);
+}
+
+}  // namespace harvest::data

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file directory.hpp
+/// Real-data ingestion: a dataset backed by image files on disk, in the
+/// ImageFolder convention (one subdirectory per class, files in any of
+/// this library's containers). This is the adoption path for users with
+/// actual field imagery; the synthetic generators remain the
+/// reproducible default for experiments.
+///
+///   field_data/
+///     healthy/ img001.ppm img002.agj ...
+///     blight/  img легк.bmp ...
+///
+/// Files are discovered eagerly (sorted, deterministic); pixel data is
+/// read lazily per sample.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "preproc/codec.hpp"
+
+namespace harvest::data {
+
+class DirectoryDataset {
+ public:
+  /// Scan `root` for class subdirectories and supported image files
+  /// (.ppm/.bmp/.agj/.atif/.raw). Fails when the root is missing or no
+  /// images are found.
+  static core::Result<DirectoryDataset> open(const std::string& root);
+
+  std::int64_t size() const { return static_cast<std::int64_t>(files_.size()); }
+  std::int64_t num_classes() const {
+    return static_cast<std::int64_t>(class_names_.size());
+  }
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  /// Path and label of sample `index`.
+  const std::string& file_path(std::int64_t index) const;
+  std::int64_t label(std::int64_t index) const;
+
+  /// Read sample `index` from disk as an encoded image (container
+  /// detected from the file extension).
+  core::Result<preproc::EncodedImage> load(std::int64_t index) const;
+
+  /// Recognized container for a filename; nullopt when unsupported.
+  static std::optional<preproc::ImageFormat> format_for(
+      const std::string& filename);
+
+ private:
+  struct Entry {
+    std::string path;
+    std::int64_t label;
+    preproc::ImageFormat format;
+  };
+  std::vector<Entry> files_;
+  std::vector<std::string> class_names_;
+};
+
+/// Write an encoded image to disk (the counterpart of load; used by the
+/// export tooling and the tests).
+core::Status write_encoded(const preproc::EncodedImage& image,
+                           const std::string& path);
+
+}  // namespace harvest::data

@@ -1,0 +1,55 @@
+#include "data/loader.hpp"
+
+#include <algorithm>
+
+namespace harvest::data {
+
+PrefetchLoader::PrefetchLoader(const SyntheticDataset& dataset,
+                               std::int64_t batch_size, std::int64_t begin,
+                               std::int64_t end, std::size_t queue_depth)
+    : dataset_(dataset), batch_size_(batch_size), begin_(begin),
+      end_(std::min(end, dataset.size())), queue_depth_(queue_depth),
+      producer_([this] { producer_loop(); }) {
+  HARVEST_CHECK_MSG(batch_size >= 1, "batch size must be positive");
+}
+
+PrefetchLoader::~PrefetchLoader() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  producer_.join();
+}
+
+void PrefetchLoader::producer_loop() {
+  for (std::int64_t index = begin_; index < end_;) {
+    Batch batch;
+    batch.first_index = index;
+    const std::int64_t hi = std::min(end_, index + batch_size_);
+    batch.samples.reserve(static_cast<std::size_t>(hi - index));
+    for (; index < hi; ++index) {
+      batch.samples.push_back(dataset_.make_sample(index));
+    }
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return stop_ || queue_.size() < queue_depth_; });
+    if (stop_) return;
+    queue_.push_back(std::move(batch));
+    cv_.notify_all();
+  }
+  std::scoped_lock lock(mutex_);
+  done_ = true;
+  cv_.notify_all();
+}
+
+std::optional<Batch> PrefetchLoader::next() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return !queue_.empty() || done_ || stop_; });
+  if (queue_.empty()) return std::nullopt;
+  Batch batch = std::move(queue_.front());
+  queue_.pop_front();
+  cv_.notify_all();
+  return batch;
+}
+
+}  // namespace harvest::data

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file loader.hpp
+/// A prefetching batch loader over a SyntheticDataset: a producer thread
+/// generates (encodes) samples ahead of the consumer through a bounded
+/// queue, the role the data-loading stage plays in the offline-inference
+/// dataflow (Fig. 3a: collect → stitch/tile → batch → infer).
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.hpp"
+
+namespace harvest::data {
+
+/// A batch of samples, in dataset order.
+struct Batch {
+  std::vector<Sample> samples;
+  std::int64_t first_index = 0;
+};
+
+class PrefetchLoader {
+ public:
+  /// Streams samples [begin, end) of `dataset` in batches of
+  /// `batch_size` (last batch may be short). `queue_depth` bounds the
+  /// number of ready batches held in memory.
+  PrefetchLoader(const SyntheticDataset& dataset, std::int64_t batch_size,
+                 std::int64_t begin, std::int64_t end,
+                 std::size_t queue_depth = 4);
+  ~PrefetchLoader();
+
+  PrefetchLoader(const PrefetchLoader&) = delete;
+  PrefetchLoader& operator=(const PrefetchLoader&) = delete;
+
+  /// Blocking: next batch, or nullopt when the range is exhausted.
+  std::optional<Batch> next();
+
+ private:
+  void producer_loop();
+
+  const SyntheticDataset& dataset_;
+  std::int64_t batch_size_;
+  std::int64_t begin_;
+  std::int64_t end_;
+  std::size_t queue_depth_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Batch> queue_;
+  bool done_ = false;
+  bool stop_ = false;
+  std::thread producer_;
+};
+
+}  // namespace harvest::data

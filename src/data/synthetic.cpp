@@ -1,0 +1,37 @@
+#include "data/synthetic.hpp"
+
+#include "core/rng.hpp"
+#include "preproc/image.hpp"
+
+namespace harvest::data {
+
+SyntheticDataset::SyntheticDataset(DatasetSpec spec, std::uint64_t seed)
+    : spec_(std::move(spec)), seed_(seed) {}
+
+std::pair<std::int64_t, std::int64_t> SyntheticDataset::sample_dims(
+    std::int64_t index) const {
+  return spec_.sizes.sample(seed_, index);
+}
+
+std::int64_t SyntheticDataset::sample_label(std::int64_t index) const {
+  if (spec_.num_classes <= 0) return -1;
+  return static_cast<std::int64_t>(
+      core::splitmix64(seed_ ^ 0x1abe15ULL ^
+                       static_cast<std::uint64_t>(index)) %
+      static_cast<std::uint64_t>(spec_.num_classes));
+}
+
+Sample SyntheticDataset::make_sample(std::int64_t index) const {
+  HARVEST_CHECK_MSG(index >= 0 && index < spec_.num_samples,
+                    "sample index out of range");
+  const auto [w, h] = sample_dims(index);
+  const std::uint64_t pixel_seed =
+      core::splitmix64(seed_ ^ (static_cast<std::uint64_t>(index) * 0x9E37ULL));
+  preproc::Image image = preproc::synthesize_field_image(w, h, pixel_seed);
+  Sample sample;
+  sample.image = preproc::encode_image(image, spec_.format);
+  sample.label = sample_label(index);
+  return sample;
+}
+
+}  // namespace harvest::data

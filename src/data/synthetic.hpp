@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file synthetic.hpp
+/// Deterministic synthetic realization of a DatasetSpec: sample i is
+/// always the same encoded image and label, for any access order, so
+/// experiments are reproducible and shardable. Images come from the
+/// procedural field-imagery synthesizer and are containerized with the
+/// dataset's real codec — decode cost on the native path is genuine.
+
+#include <cstdint>
+
+#include "data/datasets.hpp"
+#include "preproc/codec.hpp"
+
+namespace harvest::data {
+
+/// One labelled sample.
+struct Sample {
+  preproc::EncodedImage image;
+  std::int64_t label = -1;  ///< -1 for unlabeled datasets (CRSA)
+};
+
+class SyntheticDataset {
+ public:
+  SyntheticDataset(DatasetSpec spec, std::uint64_t seed);
+
+  const DatasetSpec& spec() const { return spec_; }
+  std::int64_t size() const { return spec_.num_samples; }
+
+  /// Generate sample `index` (0 ≤ index < size). Deterministic.
+  Sample make_sample(std::int64_t index) const;
+
+  /// Dimensions of sample `index` without generating pixels.
+  std::pair<std::int64_t, std::int64_t> sample_dims(std::int64_t index) const;
+
+  /// Label of sample `index` without generating pixels.
+  std::int64_t sample_label(std::int64_t index) const;
+
+ private:
+  DatasetSpec spec_;
+  std::uint64_t seed_;
+};
+
+}  // namespace harvest::data

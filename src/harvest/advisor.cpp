@@ -1,0 +1,98 @@
+#include "harvest/advisor.hpp"
+
+#include <algorithm>
+
+#include "core/units.hpp"
+#include "harvest/e2e.hpp"
+#include "platform/perf_model.hpp"
+
+namespace harvest::api {
+namespace {
+
+const std::vector<std::int64_t>& batch_sweep() {
+  // The paper's Fig. 5/6 sweep axis.
+  static const std::vector<std::int64_t> batches = {
+      1, 2, 4, 8, 16, 32, 64, 96, 128, 196, 256, 384, 512, 640, 768, 1024};
+  return batches;
+}
+
+}  // namespace
+
+OperatingPoint find_operating_point(const platform::DeviceSpec& device,
+                                    const std::string& model,
+                                    const AdvisorConfig& config) {
+  const platform::EngineModel engine =
+      platform::make_engine_model(device, model);
+  OperatingPoint best;
+  best.model = model;
+  for (std::int64_t batch : batch_sweep()) {
+    if (batch > config.max_batch || batch > engine.max_batch()) break;
+    const platform::EngineEstimate est = engine.estimate(batch);
+    if (est.oom) break;
+    if (est.latency_s > config.latency_budget_s) break;  // latency is monotone
+    // Every feasible larger batch strictly improves throughput, so keep
+    // the last one under budget.
+    best.batch = batch;
+    best.latency_s = est.latency_s;
+    best.throughput_img_per_s = est.throughput_img_per_s;
+    best.saturation = engine.saturation(batch);
+    best.feasible = true;
+    best.near_saturated = best.saturation >= config.saturation_threshold;
+  }
+  return best;
+}
+
+std::vector<OperatingPoint> rank_models(const platform::DeviceSpec& device,
+                                        const AdvisorConfig& config) {
+  std::vector<OperatingPoint> points;
+  for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+    points.push_back(find_operating_point(device, spec.name, config));
+  }
+  std::stable_sort(points.begin(), points.end(),
+                   [](const OperatingPoint& a, const OperatingPoint& b) {
+                     if (a.feasible != b.feasible) return a.feasible;
+                     return a.throughput_img_per_s > b.throughput_img_per_s;
+                   });
+  return points;
+}
+
+DeploymentAdvice advise(const platform::DeviceSpec& device,
+                        const data::DatasetSpec& dataset,
+                        const AdvisorConfig& config) {
+  DeploymentAdvice advice;
+  const std::vector<OperatingPoint> ranked = rank_models(device, config);
+  advice.best = ranked.front();
+
+  // Preprocessing: GPU-accelerated batched preprocessing wherever the
+  // platform has it; CRSA's camera feed needs the CV2-style warp path.
+  advice.preproc_method = dataset.needs_perspective
+                              ? preproc::PreprocMethod::kCv2
+                              : preproc::PreprocMethod::kDali224;
+
+  if (!advice.best.feasible) {
+    advice.summary = "No evaluated model meets " +
+                     core::format_seconds(config.latency_budget_s) + " on " +
+                     device.name + "; consider a smaller model or relaxing "
+                     "the latency budget.";
+    return advice;
+  }
+
+  const E2EConfig e2e_config{advice.best.batch, advice.preproc_method, true};
+  const E2EEstimate e2e =
+      estimate_end_to_end(device, advice.best.model, dataset, e2e_config);
+
+  advice.summary =
+      "Deploy " + advice.best.model + " on " + device.name + " at batch " +
+      std::to_string(advice.best.batch) + ": engine latency " +
+      core::format_seconds(advice.best.latency_s) + " (" +
+      core::format_rate(advice.best.throughput_img_per_s) + "), " +
+      (advice.best.near_saturated ? "near-saturated"
+                                  : "below the saturation knee") +
+      ". End-to-end with " +
+      preproc::preproc_method_name(advice.preproc_method) +
+      " preprocessing: " + core::format_rate(e2e.throughput_img_per_s) +
+      ", bottleneck: " + bottleneck_name(e2e.bottleneck) + ".";
+  return advice;
+}
+
+}  // namespace harvest::api

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file advisor.hpp
+/// The tuning advisor — the paper's actionable output (§1: "guidance for
+/// application-specific tuning"). Given a platform, a latency constraint
+/// and a dataset, it finds each model's optimal operating region (the
+/// Fig. 6 analysis: largest batch that both meets the latency threshold
+/// and runs near saturation) and recommends a deployment.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/datasets.hpp"
+#include "platform/device.hpp"
+#include "preproc/pipeline.hpp"
+
+namespace harvest::api {
+
+struct OperatingPoint {
+  std::string model;
+  std::int64_t batch = 0;      ///< recommended batch size
+  double latency_s = 0.0;      ///< engine latency at that batch
+  double throughput_img_per_s = 0.0;
+  double saturation = 0.0;     ///< 0..1, fraction of the model's efficiency
+                               ///< ceiling reached at this batch
+  bool feasible = false;       ///< some batch met the constraint
+  bool near_saturated = false; ///< saturation >= threshold at the point
+};
+
+struct AdvisorConfig {
+  double latency_budget_s = 1.0 / 60.0;  ///< the paper's 60 QPS threshold
+  double saturation_threshold = 0.8;     ///< "near-saturated"
+  std::int64_t max_batch = 1024;
+};
+
+/// Engine-only operating point of one model on one device (Fig. 6).
+OperatingPoint find_operating_point(const platform::DeviceSpec& device,
+                                    const std::string& model,
+                                    const AdvisorConfig& config);
+
+/// All Table 3 models, ranked by throughput among feasible points.
+std::vector<OperatingPoint> rank_models(const platform::DeviceSpec& device,
+                                        const AdvisorConfig& config);
+
+struct DeploymentAdvice {
+  OperatingPoint best;            ///< highest-throughput feasible point
+  std::string summary;            ///< human-readable guidance
+  preproc::PreprocMethod preproc_method = preproc::PreprocMethod::kDali224;
+};
+
+/// End-to-end advice for a (device, dataset) pair: picks a model, a
+/// batch size and a preprocessing method under the latency budget.
+DeploymentAdvice advise(const platform::DeviceSpec& device,
+                        const data::DatasetSpec& dataset,
+                        const AdvisorConfig& config);
+
+}  // namespace harvest::api

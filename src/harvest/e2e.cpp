@@ -1,0 +1,85 @@
+#include "harvest/e2e.hpp"
+
+#include <algorithm>
+
+#include "core/units.hpp"
+
+#include "platform/perf_model.hpp"
+#include "preproc/cost_model.hpp"
+
+namespace harvest::api {
+
+const char* bottleneck_name(Bottleneck b) {
+  switch (b) {
+    case Bottleneck::kPreprocessing: return "preprocessing";
+    case Bottleneck::kInference: return "inference";
+    case Bottleneck::kMemory: return "memory";
+  }
+  return "?";
+}
+
+E2EEstimate estimate_end_to_end(const platform::DeviceSpec& device,
+                                const std::string& model,
+                                const data::DatasetSpec& dataset,
+                                const E2EConfig& config) {
+  platform::EngineModel engine = platform::make_engine_model(device, model);
+  const preproc::WorkloadImageStats stats = dataset.image_stats();
+  const std::int64_t input_size = engine.model_spec().input_size;
+
+  E2EEstimate est;
+
+  // On unified-memory platforms the preprocessing stack and the engine
+  // share capacity: its staging pool scales with the batch, and the
+  // preprocessing runtime itself (framework allocator, prefetch queues,
+  // decode workspaces) pins a further fixed share of the unified memory
+  // (§4.3). Solve for a batch whose combined footprint fits.
+  constexpr double kUnifiedPreprocRuntimeReserve =
+      1.5 * static_cast<double>(core::kGiB);
+  auto effective_max_batch = [&](std::int64_t candidate) {
+    if (!device.unified_memory) return engine.max_batch();
+    const double pool =
+        preproc::estimate_preproc(device, stats, config.method, candidate,
+                                  input_size)
+            .pool_bytes;
+    engine.set_memory_budget_bytes(device.engine_memory_budget_bytes() -
+                                   pool - kUnifiedPreprocRuntimeReserve);
+    return engine.max_batch();
+  };
+
+  std::int64_t batch = config.batch;
+  if (batch <= 0) {
+    // Largest self-consistent batch: shrink until the batch fits the
+    // budget that its own preprocessing pool leaves behind.
+    batch = std::max<std::int64_t>(engine.max_batch(), 1);
+    while (batch > 1 && effective_max_batch(batch) < batch) {
+      batch = batch / 2;
+    }
+  }
+  est.engine_max_batch = effective_max_batch(batch);
+  est.batch = batch;
+  if (est.engine_max_batch < batch || est.engine_max_batch < 1) {
+    est.oom = true;
+    est.bottleneck = Bottleneck::kMemory;
+    return est;
+  }
+
+  const platform::EngineEstimate infer = engine.estimate(batch);
+  const preproc::PreprocEstimate pre = preproc::estimate_preproc(
+      device, stats, config.method, batch, input_size);
+  est.preproc_s = pre.latency_s;
+  est.inference_s = infer.latency_s;
+  est.preproc_pool_bytes = pre.pool_bytes;
+  // A single request always experiences both stages in sequence...
+  est.latency_s = pre.latency_s + infer.latency_s;
+  // ...but a saturated pipeline is paced by its slower stage.
+  const double steady = config.overlap
+                            ? std::max(pre.latency_s, infer.latency_s)
+                            : pre.latency_s + infer.latency_s;
+  est.throughput_img_per_s = static_cast<double>(batch) / steady;
+  est.bottleneck = pre.latency_s > infer.latency_s
+                       ? Bottleneck::kPreprocessing
+                       : Bottleneck::kInference;
+  return est;
+}
+
+}  // namespace harvest::api

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file e2e.hpp
+/// End-to-end pipeline estimation (the Fig. 8 machinery): one request's
+/// journey = preprocessing + inference, with optional stage overlap for
+/// steady-state throughput, and — on unified-memory platforms — the
+/// preprocessing pool and the engine competing for the same bytes
+/// (§4.3: "combined memory consumption from preprocessing and inference
+/// constrains the model engine's available batch size").
+
+#include <cstdint>
+#include <string>
+
+#include "data/datasets.hpp"
+#include "platform/device.hpp"
+#include "preproc/pipeline.hpp"
+
+namespace harvest::api {
+
+enum class Bottleneck { kPreprocessing, kInference, kMemory };
+
+const char* bottleneck_name(Bottleneck b);
+
+struct E2EConfig {
+  /// 0 = choose the largest batch that fits after memory contention.
+  std::int64_t batch = 0;
+  preproc::PreprocMethod method = preproc::PreprocMethod::kDali224;
+  /// Double-buffering: preprocessing of batch k+1 overlaps inference of
+  /// batch k, so steady-state cost per batch is max(stages).
+  bool overlap = true;
+};
+
+struct E2EEstimate {
+  std::int64_t batch = 0;           ///< batch actually used
+  std::int64_t engine_max_batch = 0;///< after memory contention
+  bool oom = false;                 ///< requested batch did not fit
+  double preproc_s = 0.0;           ///< per batch
+  double inference_s = 0.0;         ///< per batch
+  double latency_s = 0.0;           ///< one request's batch, preproc+infer
+  double throughput_img_per_s = 0.0;///< steady state (overlap-aware)
+  double preproc_pool_bytes = 0.0;
+  Bottleneck bottleneck = Bottleneck::kInference;
+};
+
+/// Price the full pipeline for (device, model, dataset) at a config.
+E2EEstimate estimate_end_to_end(const platform::DeviceSpec& device,
+                                const std::string& model,
+                                const data::DatasetSpec& dataset,
+                                const E2EConfig& config);
+
+}  // namespace harvest::api

@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file harvest.hpp
+/// Umbrella header: the public API surface of the HARVEST inference
+/// library. Downstream users normally include just this.
+
+#include "core/cli.hpp"        // IWYU pragma: export
+#include "core/json.hpp"       // IWYU pragma: export
+#include "core/log.hpp"        // IWYU pragma: export
+#include "core/status.hpp"     // IWYU pragma: export
+#include "core/rng.hpp"        // IWYU pragma: export
+#include "core/stats.hpp"      // IWYU pragma: export
+#include "core/table.hpp"      // IWYU pragma: export
+#include "core/time.hpp"       // IWYU pragma: export
+#include "core/units.hpp"      // IWYU pragma: export
+#include "data/datasets.hpp"   // IWYU pragma: export
+#include "data/loader.hpp"     // IWYU pragma: export
+#include "data/synthetic.hpp"  // IWYU pragma: export
+#include "harvest/advisor.hpp" // IWYU pragma: export
+#include "harvest/e2e.hpp"     // IWYU pragma: export
+#include "harvest/placement.hpp"  // IWYU pragma: export
+#include "harvest/predictor.hpp"  // IWYU pragma: export
+#include "harvest/report.hpp"  // IWYU pragma: export
+#include "nn/init.hpp"         // IWYU pragma: export
+#include "nn/models.hpp"       // IWYU pragma: export
+#include "nn/serialize.hpp"    // IWYU pragma: export
+#include "platform/calibration.hpp"  // IWYU pragma: export
+#include "platform/device.hpp"       // IWYU pragma: export
+#include "platform/gemm_bench.hpp"   // IWYU pragma: export
+#include "platform/perf_model.hpp"   // IWYU pragma: export
+#include "preproc/cost_model.hpp"    // IWYU pragma: export
+#include "preproc/pipeline.hpp"      // IWYU pragma: export
+#include "serving/native_backend.hpp"  // IWYU pragma: export
+#include "serving/online_sim.hpp"      // IWYU pragma: export
+#include "serving/scenarios.hpp"       // IWYU pragma: export
+#include "serving/server.hpp"          // IWYU pragma: export
+#include "serving/sim_backend.hpp"     // IWYU pragma: export
+#include "stitch/stitch.hpp"           // IWYU pragma: export

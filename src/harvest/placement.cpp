@@ -1,0 +1,139 @@
+#include "harvest/placement.hpp"
+
+#include <algorithm>
+
+#include "core/units.hpp"
+#include "harvest/e2e.hpp"
+#include "platform/perf_model.hpp"
+
+namespace harvest::api {
+namespace {
+
+/// Evaluate one side of the continuum. For the cloud side `link` is the
+/// uplink carrying every request; for the edge it is null.
+PlacementOption evaluate_side(const platform::DeviceSpec& device,
+                              const data::DatasetSpec& dataset,
+                              const platform::LinkSpec* link,
+                              const AdvisorConfig& config) {
+  PlacementOption option;
+  option.platform = device.name;
+
+  const double upload =
+      link != nullptr
+          ? link->request_latency_s(dataset.image_stats().mean_encoded_bytes)
+          : 0.0;
+  option.upload_latency_s = upload;
+
+  // Per-model: engine budget is what remains after the upload.
+  PlacementOption best;
+  best.platform = device.name;
+  for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+    AdvisorConfig side_config = config;
+    side_config.latency_budget_s =
+        std::max(config.latency_budget_s - upload, 0.0);
+    if (side_config.latency_budget_s <= 0.0) break;
+    const OperatingPoint point =
+        find_operating_point(device, spec.name, side_config);
+    if (!point.feasible) continue;
+
+    // The advisor's batch bounds only the *engine* latency; walk it down
+    // until the full pipeline (preprocessing + inference + upload) fits
+    // the budget. (CRSA needs the perspective-warp path.)
+    E2EConfig e2e_config;
+    e2e_config.method = dataset.needs_perspective
+                            ? preproc::PreprocMethod::kCv2
+                            : preproc::PreprocMethod::kDali224;
+    E2EEstimate e2e;
+    double request_latency = 0.0;
+    bool fits = false;
+    for (std::int64_t batch = point.batch; batch >= 1; batch /= 2) {
+      e2e_config.batch = batch;
+      e2e = estimate_end_to_end(device, spec.name, dataset, e2e_config);
+      if (e2e.oom) continue;
+      request_latency = upload + e2e.latency_s;
+      if (request_latency <= config.latency_budget_s) {
+        fits = true;
+        break;
+      }
+    }
+    if (!fits) continue;
+
+    double capacity = e2e.throughput_img_per_s;
+    std::string limit = bottleneck_name(e2e.bottleneck);
+    if (link != nullptr) {
+      const double link_rate = link->max_request_rate(
+          dataset.image_stats().mean_encoded_bytes);
+      if (link_rate < capacity) {
+        capacity = link_rate;
+        limit = "uplink";
+      }
+    }
+    if (capacity > best.sustainable_qps) {
+      best.model = spec.name;
+      best.meets_budget = true;
+      best.request_latency_s = request_latency;
+      best.upload_latency_s = upload;
+      best.sustainable_qps = capacity;
+      best.limiting_factor = limit;
+      const platform::EngineModel engine =
+          platform::make_engine_model(device, spec.name);
+      best.energy_per_image_j =
+          engine.estimate(point.batch).energy_per_image_j;
+    }
+  }
+  return best.meets_budget ? best : option;
+}
+
+}  // namespace
+
+PlacementDecision place_deployment(const data::DatasetSpec& dataset,
+                                   const platform::LinkSpec& link,
+                                   const AdvisorConfig& config) {
+  PlacementDecision decision;
+  decision.edge = evaluate_side(platform::jetson_orin_nano(), dataset,
+                                /*link=*/nullptr, config);
+  decision.cloud = evaluate_side(platform::a100(), dataset, &link, config);
+
+  const bool edge_ok = decision.edge.meets_budget;
+  const bool cloud_ok = decision.cloud.meets_budget;
+  if (!edge_ok && !cloud_ok) {
+    decision.chosen = "neither";
+    decision.rationale =
+        "no placement meets " + core::format_seconds(config.latency_budget_s) +
+        " for " + dataset.name + " over " + link.name +
+        "; relax the budget, shrink the payload, or upgrade the link";
+    return decision;
+  }
+  if (edge_ok && !cloud_ok) {
+    decision.chosen = "edge";
+    decision.rationale = "only the edge meets the budget (cloud loses " +
+                         core::format_seconds(decision.cloud.upload_latency_s) +
+                         " per request to " + link.name + ")";
+    return decision;
+  }
+  if (!edge_ok && cloud_ok) {
+    decision.chosen = "cloud";
+    decision.rationale = "the edge device cannot meet the budget for this "
+                         "workload; the uplink can";
+    return decision;
+  }
+  // Both feasible: take the higher sustainable rate; break ties toward
+  // the edge (no upstream dependency, lower energy per §5).
+  if (decision.cloud.sustainable_qps > 1.2 * decision.edge.sustainable_qps) {
+    decision.chosen = "cloud";
+    decision.rationale =
+        "both meet the budget; the cloud sustains " +
+        core::format_rate(decision.cloud.sustainable_qps) + " vs " +
+        core::format_rate(decision.edge.sustainable_qps) + " at the edge";
+  } else {
+    decision.chosen = "edge";
+    decision.rationale =
+        "both meet the budget with comparable capacity; the edge avoids the "
+        "uplink dependency and runs at " +
+        core::format_fixed(decision.edge.energy_per_image_j * 1e3, 1) +
+        " mJ/img";
+  }
+  return decision;
+}
+
+}  // namespace harvest::api

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file placement.hpp
+/// Continuum placement — the decision the paper's title is about:
+/// should this workload run at the edge or in the cloud? "A single
+/// training process enables deployment on both edge and cloud systems —
+/// inference can run in the cloud with high throughput ... or be
+/// performed on edge devices in the field for low-latency results"
+/// (§1). This module composes the engine model, the preprocessing cost
+/// model and the uplink model into one comparison per (dataset, uplink,
+/// latency budget) and recommends a placement with its rationale.
+
+#include <string>
+
+#include "data/datasets.hpp"
+#include "harvest/advisor.hpp"
+#include "platform/network.hpp"
+
+namespace harvest::api {
+
+/// One candidate placement's expectation.
+struct PlacementOption {
+  std::string platform;
+  std::string model;
+  bool meets_budget = false;
+  double request_latency_s = 0.0;  ///< per-request, incl. upload for cloud
+  double upload_latency_s = 0.0;   ///< 0 for edge
+  double sustainable_qps = 0.0;    ///< min(link, pipeline) capacity
+  double energy_per_image_j = 0.0;
+  std::string limiting_factor;     ///< "uplink" | "preprocessing" | "engine"
+};
+
+struct PlacementDecision {
+  PlacementOption edge;   ///< Jetson Orin Nano in the field
+  PlacementOption cloud;  ///< A100 behind the uplink
+  /// "edge", "cloud", or "neither" (no option meets the budget).
+  std::string chosen;
+  std::string rationale;
+};
+
+/// Decide where to run inference for `dataset` given the field's uplink
+/// and a per-request latency budget. Model selection per side uses the
+/// advisor (highest-throughput model meeting the budget on that
+/// platform); cloud requests pay upload + queueing-free engine latency,
+/// and cloud capacity is capped by the link's sustainable rate.
+PlacementDecision place_deployment(const data::DatasetSpec& dataset,
+                                   const platform::LinkSpec& link,
+                                   const AdvisorConfig& config);
+
+}  // namespace harvest::api

@@ -1,0 +1,188 @@
+#include "harvest/predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/units.hpp"
+#include "harvest/e2e.hpp"
+#include "nn/models.hpp"
+#include "platform/perf_model.hpp"
+#include "preproc/cost_model.hpp"
+#include "serving/online_sim.hpp"
+
+namespace harvest::api {
+namespace {
+
+const std::vector<std::int64_t>& curve_batches() {
+  static const std::vector<std::int64_t> batches = {
+      1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+  return batches;
+}
+
+}  // namespace
+
+core::Json PerformanceExpectation::to_json() const {
+  core::Json out = core::Json::object();
+  out["feasible"] = core::Json(feasible);
+  out["verdict"] = core::Json(verdict);
+  core::Json warning_list = core::Json::array();
+  for (const std::string& w : warnings) warning_list.push_back(core::Json(w));
+  out["warnings"] = std::move(warning_list);
+  out["chosen_batch"] = core::Json(chosen_batch);
+  out["engine_latency_s"] = core::Json(engine_latency_s);
+  out["engine_throughput_img_s"] = core::Json(engine_throughput_img_per_s);
+  out["preproc_latency_s"] = core::Json(preproc_latency_s);
+  out["e2e_throughput_img_s"] = core::Json(e2e_throughput_img_per_s);
+  out["e2e_latency_s"] = core::Json(e2e_latency_s);
+  out["energy_per_image_j"] = core::Json(energy_per_image_j);
+  out["memory_bytes"] = core::Json(memory_bytes);
+  out["headroom"] = core::Json(headroom);
+  out["expected_p95_latency_s"] = core::Json(expected_p95_latency_s);
+  out["expected_p99_latency_s"] = core::Json(expected_p99_latency_s);
+  out["expected_utilization"] = core::Json(expected_utilization);
+  core::Json curve = core::Json::array();
+  for (const CurvePoint& point : engine_curve) {
+    core::Json row = core::Json::object();
+    row["batch"] = core::Json(point.batch);
+    row["latency_s"] = core::Json(point.latency_s);
+    row["img_s"] = core::Json(point.throughput_img_per_s);
+    row["j_per_img"] = core::Json(point.energy_per_image_j);
+    curve.push_back(std::move(row));
+  }
+  out["engine_curve"] = std::move(curve);
+  return out;
+}
+
+core::Result<PerformanceExpectation> predict(const DeploymentPlan& plan) {
+  const platform::DeviceSpec* device = platform::find_device(plan.device);
+  if (device == nullptr) {
+    return core::Status::invalid_argument("unknown device: " + plan.device);
+  }
+  const auto model_spec = nn::find_model_spec(plan.model);
+  if (!model_spec.has_value()) {
+    return core::Status::invalid_argument("unknown model: " + plan.model);
+  }
+  const auto dataset = data::find_dataset(plan.dataset);
+  if (!dataset.has_value()) {
+    return core::Status::invalid_argument("unknown dataset: " + plan.dataset);
+  }
+  if (plan.instances < 1 || plan.arrival_qps <= 0.0 ||
+      plan.latency_budget_s <= 0.0) {
+    return core::Status::invalid_argument("plan parameters must be positive");
+  }
+
+  nn::ModelPtr model = nn::build_by_name(plan.model);
+  platform::EngineModel engine(*device, *model_spec, model->profile(1),
+                               plan.precision);
+
+  PerformanceExpectation out;
+  if (!device->supports(plan.scenario)) {
+    out.warnings.push_back(std::string(device->name) + " is not deployed for " +
+                           platform::scenario_name(plan.scenario) +
+                           " in the evaluated continuum");
+  }
+
+  // Engine curve + batch choice under the latency budget.
+  std::int64_t best_batch = 0;
+  for (std::int64_t batch : curve_batches()) {
+    if (batch > engine.max_batch()) break;
+    const platform::EngineEstimate est = engine.estimate(batch);
+    if (est.oom) break;
+    out.engine_curve.push_back({batch, est.latency_s,
+                                est.throughput_img_per_s,
+                                est.energy_per_image_j});
+    if (est.latency_s <= plan.latency_budget_s) best_batch = batch;
+  }
+  if (plan.batch > 0) {
+    if (plan.batch > engine.max_batch()) {
+      out.verdict = "requested batch " + std::to_string(plan.batch) +
+                    " exceeds the device's memory wall (max " +
+                    std::to_string(engine.max_batch()) + ")";
+      return out;
+    }
+    best_batch = plan.batch;
+    if (engine.estimate(plan.batch).latency_s > plan.latency_budget_s) {
+      out.warnings.push_back("requested batch exceeds the latency budget");
+    }
+  }
+  if (best_batch == 0) {
+    out.verdict = plan.model + " cannot meet " +
+                  core::format_seconds(plan.latency_budget_s) + " on " +
+                  device->name + " at any batch size";
+    return out;
+  }
+  out.chosen_batch = best_batch;
+
+  const platform::EngineEstimate engine_est = engine.estimate(best_batch);
+  out.engine_latency_s = engine_est.latency_s;
+  out.engine_throughput_img_per_s = engine_est.throughput_img_per_s;
+  out.energy_per_image_j = engine_est.energy_per_image_j;
+  out.memory_bytes = engine_est.memory_bytes;
+
+  // End-to-end composition with the chosen preprocessing.
+  E2EConfig e2e_config;
+  e2e_config.batch = best_batch;
+  e2e_config.method = plan.preproc;
+  e2e_config.overlap = plan.scenario != platform::Scenario::kRealTime;
+  const E2EEstimate e2e =
+      estimate_end_to_end(*device, plan.model, *dataset, e2e_config);
+  if (e2e.oom) {
+    out.verdict = "batch " + std::to_string(best_batch) +
+                  " no longer fits once the preprocessing pool shares " +
+                  device->name + "'s memory";
+    return out;
+  }
+  out.preproc_latency_s = e2e.preproc_s;
+  out.e2e_latency_s = e2e.latency_s;
+  out.e2e_throughput_img_per_s = e2e.throughput_img_per_s;
+  if (e2e.bottleneck == Bottleneck::kPreprocessing) {
+    out.warnings.push_back(
+        "preprocessing-bound: the engine has idle capacity at this batch");
+  }
+
+  const double capacity =
+      out.e2e_throughput_img_per_s * static_cast<double>(plan.instances);
+  out.headroom = capacity / plan.arrival_qps;
+
+  if (plan.scenario == platform::Scenario::kOnline) {
+    // Queueing expectations from the DES at the offered load.
+    serving::OnlineSimConfig sim;
+    sim.arrival_rate_qps = plan.arrival_qps;
+    sim.duration_s = 20.0;
+    sim.max_batch = best_batch;
+    sim.max_queue_delay_s = std::min(plan.latency_budget_s / 4.0, 5e-3);
+    sim.instances = plan.instances;
+    sim.preproc_method = plan.preproc;
+    const serving::OnlineSimReport report =
+        serving::simulate_online(*device, plan.model, *dataset, sim);
+    out.expected_p95_latency_s = report.p95_latency_s;
+    out.expected_p99_latency_s = report.p99_latency_s;
+    out.expected_utilization = report.instance_utilization;
+    out.feasible = out.headroom >= 1.0 &&
+                   report.p95_latency_s <= plan.latency_budget_s;
+  } else if (plan.scenario == platform::Scenario::kRealTime) {
+    // Sequential frame loop: each frame pays preproc + inference.
+    const double frame_budget = 1.0 / plan.arrival_qps;
+    out.feasible = out.e2e_latency_s <= std::min(frame_budget,
+                                                 plan.latency_budget_s);
+    if (!out.feasible) {
+      out.warnings.push_back("frame latency exceeds the camera interval — "
+                             "frames will be dropped");
+    }
+  } else {  // offline: throughput is all that matters
+    out.feasible = true;
+  }
+
+  out.verdict =
+      plan.model + " on " + device->name + " @BS" +
+      std::to_string(best_batch) + ": " +
+      core::format_rate(capacity) + " capacity vs " +
+      core::format_rate(plan.arrival_qps, "req/s") + " offered (headroom " +
+      core::format_fixed(out.headroom, 2) + "x), e2e latency " +
+      core::format_seconds(out.e2e_latency_s) + ", " +
+      core::format_fixed(out.energy_per_image_j * 1e3, 1) + " mJ/img — " +
+      (out.feasible ? "plan is feasible" : "plan is NOT feasible");
+  return out;
+}
+
+}  // namespace harvest::api

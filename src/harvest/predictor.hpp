@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file predictor.hpp
+/// The deployment performance predictor — the paper's stated future
+/// work, built: "develop comprehensive quantitative models for scalable
+/// performance prediction and provide deployment toolkits that enable
+/// practitioners to establish performance expectations before
+/// deployment" (§5). Given a deployment plan (platform, model, dataset,
+/// scenario, load), it composes the calibrated engine model, the
+/// preprocessing cost model and the queueing simulation into one
+/// expectation report, serializable to JSON.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+#include "data/datasets.hpp"
+#include "platform/device.hpp"
+#include "preproc/pipeline.hpp"
+
+namespace harvest::api {
+
+struct DeploymentPlan {
+  std::string device = "A100";
+  std::string model = "ViT_Small";
+  std::string dataset = "Plant Village";
+  platform::Scenario scenario = platform::Scenario::kOnline;
+  preproc::PreprocMethod preproc = preproc::PreprocMethod::kDali224;
+  std::optional<platform::Precision> precision;  ///< default: device native
+  /// Online: expected request rate. Real-time: camera frame rate.
+  double arrival_qps = 100.0;
+  /// 0 = let the predictor choose (largest under the latency budget).
+  std::int64_t batch = 0;
+  int instances = 1;
+  double latency_budget_s = 1.0 / 60.0;
+};
+
+/// One sampled point of the engine curve included in the report.
+struct CurvePoint {
+  std::int64_t batch = 0;
+  double latency_s = 0.0;
+  double throughput_img_per_s = 0.0;
+  double energy_per_image_j = 0.0;
+};
+
+struct PerformanceExpectation {
+  bool feasible = false;        ///< the plan can meet its constraints
+  std::string verdict;          ///< one-line human-readable summary
+  std::vector<std::string> warnings;
+
+  std::int64_t chosen_batch = 0;
+  double engine_latency_s = 0.0;
+  double engine_throughput_img_per_s = 0.0;
+  double preproc_latency_s = 0.0;
+  double e2e_throughput_img_per_s = 0.0;
+  double e2e_latency_s = 0.0;
+  double energy_per_image_j = 0.0;
+  double memory_bytes = 0.0;      ///< engine footprint at chosen batch
+  double headroom = 0.0;          ///< capacity / offered load (online)
+  // Online queueing expectations (simulated; zero for other scenarios).
+  double expected_p95_latency_s = 0.0;
+  double expected_p99_latency_s = 0.0;
+  double expected_utilization = 0.0;
+
+  std::vector<CurvePoint> engine_curve;  ///< the Fig. 5/6 sweep for this plan
+
+  core::Json to_json() const;
+};
+
+/// Validate the plan and compute its expectation. Invalid names fail
+/// with a status; infeasible-but-valid plans return feasible=false with
+/// an explanatory verdict.
+core::Result<PerformanceExpectation> predict(const DeploymentPlan& plan);
+
+}  // namespace harvest::api

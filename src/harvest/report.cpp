@@ -1,0 +1,31 @@
+#include "harvest/report.hpp"
+
+#include <cstdio>
+
+namespace harvest::api {
+
+Report::Report(std::string experiment) : experiment_(std::move(experiment)) {
+  root_ = core::Json::object();
+  root_["experiment"] = core::Json(experiment_);
+  root_["rows"] = core::Json::array();
+}
+
+void Report::add_row(core::Json row) {
+  root_["rows"].push_back(std::move(row));
+}
+
+void Report::set_meta(const std::string& key, core::Json value) {
+  root_[key] = std::move(value);
+}
+
+bool Report::write(const std::string& dir) const {
+  const std::string path = dir + "/" + experiment_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string doc = dump();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace harvest::api

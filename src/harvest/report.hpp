@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file report.hpp
+/// Machine-readable experiment reports. Every bench binary can append
+/// its measurements to a `Report`, which serializes to pretty JSON for
+/// downstream plotting/regression tooling (and for EXPERIMENTS.md).
+
+#include <string>
+
+#include "core/json.hpp"
+
+namespace harvest::api {
+
+class Report {
+ public:
+  /// `experiment` is the paper artifact id, e.g. "fig5" or "table1".
+  explicit Report(std::string experiment);
+
+  /// Add one measurement row (arbitrary key→value object).
+  void add_row(core::Json row);
+
+  /// Attach top-level metadata (calibration notes, parameters...).
+  void set_meta(const std::string& key, core::Json value);
+
+  const core::Json& json() const { return root_; }
+  std::string dump() const { return root_.dump(2); }
+
+  /// Write to `<dir>/<experiment>.json`; returns false on I/O error.
+  bool write(const std::string& dir) const;
+
+ private:
+  std::string experiment_;
+  core::Json root_;
+};
+
+}  // namespace harvest::api

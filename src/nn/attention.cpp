@@ -1,0 +1,51 @@
+#include "nn/attention.hpp"
+
+#include <cmath>
+
+#include "core/status.hpp"
+#include "nn/activations.hpp"
+
+namespace harvest::nn {
+
+void self_attention(const float* qkv, float* out, float* scores_scratch,
+                    std::int64_t tokens, std::int64_t dim, std::int64_t heads) {
+  HARVEST_CHECK_MSG(dim % heads == 0, "dim must divide evenly into heads");
+  const std::int64_t head_dim = dim / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  const std::int64_t row = 3 * dim;
+
+#pragma omp parallel for schedule(static)
+  for (std::int64_t h = 0; h < heads; ++h) {
+    float* scores = scores_scratch + h * tokens * tokens;
+    const std::int64_t q_off = h * head_dim;
+    const std::int64_t k_off = dim + h * head_dim;
+    const std::int64_t v_off = 2 * dim + h * head_dim;
+
+    // scores[i][j] = scale * dot(Q_i, K_j)
+    for (std::int64_t i = 0; i < tokens; ++i) {
+      const float* q = qkv + i * row + q_off;
+      float* srow = scores + i * tokens;
+      for (std::int64_t j = 0; j < tokens; ++j) {
+        const float* k = qkv + j * row + k_off;
+        float acc = 0.0f;
+        for (std::int64_t d = 0; d < head_dim; ++d) acc += q[d] * k[d];
+        srow[j] = acc * scale;
+      }
+    }
+    softmax_rows(scores, tokens, tokens);
+
+    // out_i[head slice] = sum_j scores[i][j] * V_j
+    for (std::int64_t i = 0; i < tokens; ++i) {
+      float* orow = out + i * dim + h * head_dim;
+      for (std::int64_t d = 0; d < head_dim; ++d) orow[d] = 0.0f;
+      const float* srow = scores + i * tokens;
+      for (std::int64_t j = 0; j < tokens; ++j) {
+        const float weight = srow[j];
+        const float* v = qkv + j * row + v_off;
+        for (std::int64_t d = 0; d < head_dim; ++d) orow[d] += weight * v[d];
+      }
+    }
+  }
+}
+
+}  // namespace harvest::nn

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file attention.hpp
+/// Multi-head self-attention core: given packed QKV activations, compute
+/// softmax(QKᵀ/√d)·V per head. The projection GEMMs live in the layer
+/// wrapper (layers.cpp); this file owns only the attention matmuls and
+/// softmax — mirroring the paper's accounting, which separates
+/// "attention" compute (score/context matmuls) from "MLP" projections
+/// (§4.0.2: ViT-Tiny is 81.73% MLP vs 18.23% attention).
+
+#include <cstdint>
+
+namespace harvest::nn {
+
+/// qkv:  [tokens, 3*dim] for one image, packed as (Q | K | V) per row.
+/// out:  [tokens, dim].
+/// scores_scratch: caller-provided buffer of at least heads*tokens*tokens.
+void self_attention(const float* qkv, float* out, float* scores_scratch,
+                    std::int64_t tokens, std::int64_t dim, std::int64_t heads);
+
+}  // namespace harvest::nn

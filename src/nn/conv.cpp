@@ -1,0 +1,175 @@
+#include "nn/conv.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "nn/gemm.hpp"
+
+namespace harvest::nn {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
+                             std::int64_t stride, std::int64_t padding) {
+  return (in + 2 * padding - kernel) / stride + 1;
+}
+
+void im2col(const float* input, float* columns, std::int64_t c,
+            std::int64_t h, std::int64_t w, const Conv2dParams& p) {
+  const std::int64_t out_h = conv_out_extent(h, p.kernel, p.stride, p.padding);
+  const std::int64_t out_w = conv_out_extent(w, p.kernel, p.stride, p.padding);
+  const std::int64_t out_hw = out_h * out_w;
+  // columns layout: [c * k * k, out_h * out_w]
+  for (std::int64_t ch = 0; ch < c; ++ch) {
+    for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
+      for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
+        float* dst = columns + ((ch * p.kernel + ky) * p.kernel + kx) * out_hw;
+        for (std::int64_t oy = 0; oy < out_h; ++oy) {
+          const std::int64_t iy = oy * p.stride - p.padding + ky;
+          if (iy < 0 || iy >= h) {
+            std::fill(dst + oy * out_w, dst + (oy + 1) * out_w, 0.0f);
+            continue;
+          }
+          const float* src_row = input + (ch * h + iy) * w;
+          for (std::int64_t ox = 0; ox < out_w; ++ox) {
+            const std::int64_t ix = ox * p.stride - p.padding + kx;
+            dst[oy * out_w + ox] =
+                (ix >= 0 && ix < w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor conv2d(const Tensor& input, const Tensor& weight, const float* bias,
+              const Conv2dParams& p, Tensor& scratch) {
+  const Shape& s = input.shape();
+  HARVEST_CHECK_MSG(s.rank() == 4, "conv2d expects NCHW input");
+  const std::int64_t n = s[0];
+  const std::int64_t c = s[1];
+  const std::int64_t h = s[2];
+  const std::int64_t w = s[3];
+  HARVEST_CHECK(c == p.in_channels);
+  const std::int64_t out_h = conv_out_extent(h, p.kernel, p.stride, p.padding);
+  const std::int64_t out_w = conv_out_extent(w, p.kernel, p.stride, p.padding);
+  const std::int64_t out_hw = out_h * out_w;
+  const std::int64_t patch = c * p.kernel * p.kernel;
+
+  const Shape scratch_shape{patch, out_hw};
+  if (scratch.shape() != scratch_shape || scratch.dtype() != DType::kF32) {
+    scratch = Tensor(scratch_shape, DType::kF32);
+  }
+
+  Tensor output(Shape{n, p.out_channels, out_h, out_w}, DType::kF32);
+  for (std::int64_t b = 0; b < n; ++b) {
+    im2col(input.f32() + b * c * h * w, scratch.f32(), c, h, w, p);
+    float* out_plane = output.f32() + b * p.out_channels * out_hw;
+    // weight [Cout, patch] × columns [patch, out_hw] → [Cout, out_hw]
+    gemm(weight.f32(), scratch.f32(), out_plane, p.out_channels, out_hw, patch);
+    if (bias != nullptr) {
+      for (std::int64_t oc = 0; oc < p.out_channels; ++oc) {
+        float* row = out_plane + oc * out_hw;
+        for (std::int64_t i = 0; i < out_hw; ++i) row[i] += bias[oc];
+      }
+    }
+  }
+  return output;
+}
+
+Tensor conv2d_naive(const Tensor& input, const Tensor& weight,
+                    const float* bias, const Conv2dParams& p) {
+  const Shape& s = input.shape();
+  const std::int64_t n = s[0];
+  const std::int64_t c = s[1];
+  const std::int64_t h = s[2];
+  const std::int64_t w = s[3];
+  const std::int64_t out_h = conv_out_extent(h, p.kernel, p.stride, p.padding);
+  const std::int64_t out_w = conv_out_extent(w, p.kernel, p.stride, p.padding);
+  Tensor output(Shape{n, p.out_channels, out_h, out_w}, DType::kF32);
+  float* out = output.f32();
+  const float* in = input.f32();
+  const float* wt = weight.f32();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t oc = 0; oc < p.out_channels; ++oc) {
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox) {
+          float acc = bias != nullptr ? bias[oc] : 0.0f;
+          for (std::int64_t ic = 0; ic < c; ++ic) {
+            for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
+              const std::int64_t iy = oy * p.stride - p.padding + ky;
+              if (iy < 0 || iy >= h) continue;
+              for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
+                const std::int64_t ix = ox * p.stride - p.padding + kx;
+                if (ix < 0 || ix >= w) continue;
+                acc += in[((b * c + ic) * h + iy) * w + ix] *
+                       wt[(oc * c + ic) * p.kernel * p.kernel + ky * p.kernel + kx];
+              }
+            }
+          }
+          out[((b * p.out_channels + oc) * out_h + oy) * out_w + ox] = acc;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor maxpool2d(const Tensor& input, std::int64_t kernel, std::int64_t stride,
+                 std::int64_t padding) {
+  const Shape& s = input.shape();
+  const std::int64_t n = s[0];
+  const std::int64_t c = s[1];
+  const std::int64_t h = s[2];
+  const std::int64_t w = s[3];
+  const std::int64_t out_h = conv_out_extent(h, kernel, stride, padding);
+  const std::int64_t out_w = conv_out_extent(w, kernel, stride, padding);
+  Tensor output(Shape{n, c, out_h, out_w}, DType::kF32);
+  float* out = output.f32();
+  const float* in = input.f32();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (b * c + ch) * h * w;
+      float* out_plane = out + (b * c + ch) * out_h * out_w;
+      for (std::int64_t oy = 0; oy < out_h; ++oy) {
+        for (std::int64_t ox = 0; ox < out_w; ++ox) {
+          float best = -std::numeric_limits<float>::infinity();
+          for (std::int64_t ky = 0; ky < kernel; ++ky) {
+            const std::int64_t iy = oy * stride - padding + ky;
+            if (iy < 0 || iy >= h) continue;
+            for (std::int64_t kx = 0; kx < kernel; ++kx) {
+              const std::int64_t ix = ox * stride - padding + kx;
+              if (ix < 0 || ix >= w) continue;
+              best = std::max(best, plane[iy * w + ix]);
+            }
+          }
+          out_plane[oy * out_w + ox] = best;
+        }
+      }
+    }
+  }
+  return output;
+}
+
+Tensor global_avgpool(const Tensor& input) {
+  const Shape& s = input.shape();
+  const std::int64_t n = s[0];
+  const std::int64_t c = s[1];
+  const std::int64_t hw = s[2] * s[3];
+  Tensor output(Shape{n, c}, DType::kF32);
+  float* out = output.f32();
+  const float* in = input.f32();
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* plane = in + (b * c + ch) * hw;
+      double acc = 0.0;
+      for (std::int64_t i = 0; i < hw; ++i) acc += static_cast<double>(plane[i]);
+      out[b * c + ch] = static_cast<float>(acc / static_cast<double>(hw));
+    }
+  }
+  return output;
+}
+
+}  // namespace harvest::nn

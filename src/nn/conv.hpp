@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file conv.hpp
+/// Convolution and pooling kernels on NCHW f32 data. Convolution lowers
+/// to GEMM via im2col, the same strategy cuDNN's implicit-GEMM algorithm
+/// uses, so the FLOPs accounting of the platform model maps one-to-one.
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace harvest::nn {
+
+struct Conv2dParams {
+  std::int64_t in_channels = 0;
+  std::int64_t out_channels = 0;
+  std::int64_t kernel = 1;   ///< square kernel
+  std::int64_t stride = 1;
+  std::int64_t padding = 0;
+};
+
+/// Output spatial extent for one dimension.
+std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
+                             std::int64_t stride, std::int64_t padding);
+
+/// Expand input patches into columns: input [N,C,H,W] →
+/// columns [N, C*k*k, outH*outW] (one image at a time; `n` selects it).
+void im2col(const float* input, float* columns, std::int64_t c,
+            std::int64_t h, std::int64_t w, const Conv2dParams& p);
+
+/// conv2d: input [N,Cin,H,W], weight [Cout, Cin*k*k], bias [Cout] or null.
+/// Returns [N, Cout, outH, outW]. `scratch` holds the im2col buffer and is
+/// resized as needed (reuse it across calls to avoid reallocation).
+tensor::Tensor conv2d(const tensor::Tensor& input, const tensor::Tensor& weight,
+                      const float* bias, const Conv2dParams& p,
+                      tensor::Tensor& scratch);
+
+/// Reference convolution (direct 7-loop); used by tests.
+tensor::Tensor conv2d_naive(const tensor::Tensor& input,
+                            const tensor::Tensor& weight, const float* bias,
+                            const Conv2dParams& p);
+
+/// Max pooling with square window.
+tensor::Tensor maxpool2d(const tensor::Tensor& input, std::int64_t kernel,
+                         std::int64_t stride, std::int64_t padding);
+
+/// Global average pool [N,C,H,W] → [N,C].
+tensor::Tensor global_avgpool(const tensor::Tensor& input);
+
+}  // namespace harvest::nn

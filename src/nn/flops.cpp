@@ -1,0 +1,46 @@
+#include "nn/flops.hpp"
+
+namespace harvest::nn {
+
+const char* op_kind_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDense: return "dense";
+    case OpKind::kConv: return "conv";
+    case OpKind::kAttention: return "attention";
+    case OpKind::kNorm: return "norm";
+    case OpKind::kElementwise: return "elementwise";
+    case OpKind::kDataMove: return "datamove";
+  }
+  return "?";
+}
+
+double ModelProfile::total_macs() const {
+  double acc = 0.0;
+  for (const OpCost& op : ops) acc += op.macs;
+  return acc;
+}
+
+double ModelProfile::macs_of(OpKind kind) const {
+  double acc = 0.0;
+  for (const OpCost& op : ops) {
+    if (op.kind == kind) acc += op.macs;
+  }
+  return acc;
+}
+
+double ModelProfile::projection_macs() const {
+  return macs_of(OpKind::kDense) + macs_of(OpKind::kConv);
+}
+
+double ModelProfile::share_of(OpKind kind) const {
+  const double total = total_macs();
+  return total > 0.0 ? macs_of(kind) / total : 0.0;
+}
+
+double ModelProfile::total_bytes() const {
+  double acc = 0.0;
+  for (const OpCost& op : ops) acc += op.bytes_read + op.bytes_written;
+  return acc;
+}
+
+}  // namespace harvest::nn

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file flops.hpp
+/// Layer-wise compute/memory accounting. Every layer can describe the
+/// abstract operations it performs for a given batch size; the platform
+/// module prices those operations on a simulated device, and Table 3's
+/// "GFLOPs/Image" column is derived from them.
+///
+/// Counting convention: `macs` counts multiply-accumulate operations
+/// (1 MAC = 1 multiply + 1 add = 2 FLOPs). The paper's "GFLOPs/Image"
+/// figures (1.37 / 5.47 / 16.86 / 4.09) match the *projection* MAC count
+/// (dense + conv layers, excluding attention score/context matmuls) —
+/// see EXPERIMENTS.md; `projection_macs()` reproduces exactly that.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harvest::nn {
+
+/// Operation classes used both for cost modelling and for the
+/// MLP/attention/conv breakdowns quoted in §4.0.2 of the paper.
+enum class OpKind {
+  kDense,       ///< matrix multiply from a linear projection (paper: "MLP")
+  kConv,        ///< convolution (priced as implicit GEMM)
+  kAttention,   ///< attention score/context matmuls
+  kNorm,        ///< layernorm / batchnorm
+  kElementwise, ///< activations, residual adds, pooling
+  kDataMove,    ///< reshapes, im2col-style copies
+};
+
+const char* op_kind_name(OpKind kind);
+
+/// One abstract operation performed during a forward pass.
+struct OpCost {
+  std::string name;        ///< e.g. "block3.mlp.fc1"
+  OpKind kind = OpKind::kElementwise;
+  double macs = 0.0;       ///< multiply-accumulates
+  double bytes_read = 0.0; ///< operand traffic, fp16 at deploy precision
+  double bytes_written = 0.0;
+  /// Portion of bytes_read that is parameter data. Weight traffic does
+  /// not grow with batch size, which is exactly why small batches are
+  /// memory-bound (§4.1); the device model scales the two differently.
+  double weight_bytes = 0.0;
+  // GEMM view of the op (zero for non-GEMM ops); the device model uses
+  // these to reason about kernel efficiency at a given batch size.
+  std::int64_t gemm_m = 0;
+  std::int64_t gemm_n = 0;
+  std::int64_t gemm_k = 0;
+};
+
+/// Aggregated profile of a model at a fixed batch size.
+struct ModelProfile {
+  std::string model_name;
+  std::int64_t batch_size = 1;
+  std::vector<OpCost> ops;
+  std::int64_t param_count = 0;
+  double param_bytes_fp16 = 0.0;
+  /// Peak bytes of live activations (sum of the largest op's in+out).
+  double peak_activation_bytes_fp16 = 0.0;
+
+  double total_macs() const;
+  double macs_of(OpKind kind) const;
+  /// Dense + conv MACs — the paper's "GFLOPs/Image" convention.
+  double projection_macs() const;
+  /// Fraction of total MACs contributed by `kind` (0 when empty).
+  double share_of(OpKind kind) const;
+  double total_bytes() const;
+};
+
+}  // namespace harvest::nn

@@ -1,0 +1,106 @@
+#include "nn/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace harvest::nn {
+namespace {
+
+// Block sizes chosen for typical L1 (32 KiB) / L2 (≥256 KiB) caches:
+// an MC×KC panel of A (64×256 floats = 64 KiB) stays L2-resident while
+// KC×NB columns of B stream through L1.
+constexpr std::int64_t kMc = 64;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kNc = 512;
+
+// 4x16 register micro-kernel over a KC-deep panel.
+inline void micro_kernel(const float* a, const float* b, float* c,
+                         std::int64_t kc, std::int64_t lda, std::int64_t ldb,
+                         std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
+  float acc[4][16] = {};
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* brow = b + p * ldb;
+    for (std::int64_t i = 0; i < mr; ++i) {
+      const float aval = a[i * lda + p];
+      for (std::int64_t j = 0; j < nr; ++j) {
+        acc[i][j] += aval * brow[j];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < mr; ++i) {
+    for (std::int64_t j = 0; j < nr; ++j) {
+      c[i * ldc + j] += acc[i][j];
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t n, std::int64_t k, bool accumulate) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (!accumulate) {
+    std::memset(c, 0, static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
+                          sizeof(float));
+  }
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i0 = 0; i0 < m; i0 += kMc) {
+    const std::int64_t i_hi = std::min(m, i0 + kMc);
+    for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
+      const std::int64_t p_hi = std::min(k, p0 + kKc);
+      const std::int64_t kc = p_hi - p0;
+      for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
+        const std::int64_t j_hi = std::min(n, j0 + kNc);
+        for (std::int64_t i = i0; i < i_hi; i += 4) {
+          const std::int64_t mr = std::min<std::int64_t>(4, i_hi - i);
+          for (std::int64_t j = j0; j < j_hi; j += 16) {
+            const std::int64_t nr = std::min<std::int64_t>(16, j_hi - j);
+            micro_kernel(a + i * k + p0, b + p0 * n + j, c + i * n + j, kc, k,
+                         n, n, mr, nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+void gemm_bt(const float* a, const float* b_t, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b_t + j * k;
+      float acc = accumulate ? crow[j] : 0.0f;
+      // Dot product over K; contiguous in both operands, vectorizes well.
+      float partial = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) partial += arow[p] * brow[p];
+      crow[j] = acc + partial;
+    }
+  }
+}
+
+void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t n, std::int64_t k, bool accumulate) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = accumulate ? c[i * n + j] : 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += a[i * k + p] * b[p * n + j];
+      }
+      c[i * n + j] = acc;
+    }
+  }
+}
+
+void add_row_bias(float* c, const float* bias, std::int64_t m, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* row = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) row[j] += bias[j];
+  }
+}
+
+}  // namespace harvest::nn

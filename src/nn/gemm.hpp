@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file gemm.hpp
+/// Single-precision GEMM kernels. This is the computational backbone of
+/// the real (host) inference path: linear layers, im2col convolution and
+/// attention all lower to these calls. The blocked kernel tiles for L1/L2
+/// residency and parallelizes over row blocks with OpenMP; it is also the
+/// workload used by the practical-FLOPS benchmark that reproduces the
+/// "Practical TFLOPS" row of Table 1 on the host CPU.
+
+#include <cstdint>
+
+namespace harvest::nn {
+
+/// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate). Row-major, no aliasing.
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t n, std::int64_t k, bool accumulate = false);
+
+/// C[M,N] = A[M,K] * B^T where B is stored row-major as [N,K].
+/// Used by attention (Q·Kᵀ) and by linear layers whose weights are kept
+/// in [out,in] order.
+void gemm_bt(const float* a, const float* b_t, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate = false);
+
+/// Reference kernel (unblocked, single-threaded); used by tests and as
+/// the baseline in the kernel microbenchmarks.
+void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
+                std::int64_t n, std::int64_t k, bool accumulate = false);
+
+/// Adds `bias[j]` to every row of C[M,N].
+void add_row_bias(float* c, const float* bias, std::int64_t m, std::int64_t n);
+
+}  // namespace harvest::nn

@@ -1,0 +1,53 @@
+#include "nn/graph.hpp"
+
+#include <algorithm>
+
+namespace harvest::nn {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Model::Model(std::string name, Shape input_shape_per_image,
+             std::int64_t num_classes)
+    : name_(std::move(name)), input_shape_(input_shape_per_image),
+      num_classes_(num_classes) {}
+
+Tensor Model::forward(const Tensor& input) {
+  HARVEST_CHECK_MSG(!layers_.empty(), "model has no layers");
+  Tensor x = input.clone();
+  for (LayerPtr& layer : layers_) {
+    x = layer->forward(x);
+  }
+  return x;
+}
+
+std::vector<NamedParam> Model::params() {
+  std::vector<NamedParam> out;
+  for (LayerPtr& layer : layers_) layer->collect_params(out);
+  return out;
+}
+
+std::int64_t Model::param_count() {
+  std::int64_t count = 0;
+  for (const NamedParam& p : params()) count += p.tensor->numel();
+  return count;
+}
+
+ModelProfile Model::profile(std::int64_t batch_size) {
+  ModelProfile profile;
+  profile.model_name = name_;
+  profile.batch_size = batch_size;
+  for (const LayerPtr& layer : layers_) {
+    layer->append_costs(batch_size, profile.ops);
+  }
+  profile.param_count = param_count();
+  profile.param_bytes_fp16 = static_cast<double>(profile.param_count) * 2.0;
+  double peak = 0.0;
+  for (const OpCost& op : profile.ops) {
+    peak = std::max(peak, op.bytes_read + op.bytes_written);
+  }
+  profile.peak_activation_bytes_fp16 = peak;
+  return profile;
+}
+
+}  // namespace harvest::nn

@@ -1,0 +1,50 @@
+#pragma once
+
+/// \file graph.hpp
+/// A `Model` is an ordered pipeline of layers plus metadata. It executes
+/// for real on the host CPU and can be profiled into a `ModelProfile`
+/// that the platform cost model consumes.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace harvest::nn {
+
+class Model {
+ public:
+  Model(std::string name, tensor::Shape input_shape_per_image,
+        std::int64_t num_classes);
+
+  const std::string& name() const { return name_; }
+  /// Per-image input shape, e.g. [3, 224, 224].
+  const tensor::Shape& input_shape() const { return input_shape_; }
+  std::int64_t num_classes() const { return num_classes_; }
+
+  void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
+  std::size_t layer_count() const { return layers_.size(); }
+
+  /// Run a batch [N, ...input_shape] through all layers; returns logits
+  /// [N, num_classes].
+  tensor::Tensor forward(const tensor::Tensor& input);
+
+  /// All learnable parameters, in layer order.
+  std::vector<NamedParam> params();
+  std::int64_t param_count();
+
+  /// Abstract-op profile at the given batch size.
+  ModelProfile profile(std::int64_t batch_size);
+
+ private:
+  std::string name_;
+  tensor::Shape input_shape_;
+  std::int64_t num_classes_;
+  std::vector<LayerPtr> layers_;
+};
+
+using ModelPtr = std::unique_ptr<Model>;
+
+}  // namespace harvest::nn

@@ -1,0 +1,62 @@
+#include "nn/init.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string_view>
+
+#include "core/rng.hpp"
+
+namespace harvest::nn {
+namespace {
+
+std::uint64_t hash_name(std::string_view name) {
+  // FNV-1a 64-bit.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+void init_weights(Model& model, std::uint64_t seed) {
+  for (NamedParam& param : model.params()) {
+    core::Rng rng(core::splitmix64(seed ^ hash_name(param.name)));
+    tensor::Tensor& t = *param.tensor;
+    float* data = t.f32();
+    const std::int64_t n = t.numel();
+    const std::string_view name = param.name;
+
+    if (ends_with(name, ".bias") || ends_with(name, ".beta") ||
+        ends_with(name, ".mean")) {
+      std::fill(data, data + n, 0.0f);
+    } else if (ends_with(name, ".gamma")) {
+      std::fill(data, data + n, 1.0f);
+    } else if (ends_with(name, ".var")) {
+      // Slightly jittered around 1 so BN actually rescales.
+      for (std::int64_t i = 0; i < n; ++i) {
+        data[i] = 1.0f + 0.05f * static_cast<float>(rng.normal());
+      }
+    } else {
+      // Fan-in scaled truncated normal. For [out, in]-shaped weights
+      // fan-in is the trailing dimension; for embeddings use numel/row.
+      const std::int64_t fan_in =
+          t.shape().rank() >= 2 ? t.shape()[t.shape().rank() - 1] : n;
+      const float stddev =
+          std::sqrt(2.0f / static_cast<float>(std::max<std::int64_t>(fan_in, 1)));
+      for (std::int64_t i = 0; i < n; ++i) {
+        float v = static_cast<float>(rng.normal()) * stddev;
+        data[i] = std::clamp(v, -2.0f * stddev, 2.0f * stddev);
+      }
+    }
+  }
+}
+
+}  // namespace harvest::nn

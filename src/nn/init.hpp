@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file init.hpp
+/// Deterministic weight initialization. Each parameter tensor is seeded
+/// from a hash of (model seed, parameter name), so two independently
+/// constructed copies of a model receive identical weights — the
+/// property the serving tests rely on to check that every instance of a
+/// model produces the same outputs.
+
+#include <cstdint>
+
+#include "nn/graph.hpp"
+
+namespace harvest::nn {
+
+/// Initialize all parameters of `model` in place. Weights get truncated
+/// scaled normals (fan-in scaling); biases zero; norm gains one; BN
+/// running stats (mean 0, var 1) are kept but perturbed slightly so BN
+/// is not an identity in tests.
+void init_weights(Model& model, std::uint64_t seed);
+
+}  // namespace harvest::nn

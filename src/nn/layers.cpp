@@ -1,0 +1,493 @@
+#include "nn/layers.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/gemm.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::nn {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+namespace cost {
+
+OpCost dense(std::string name, std::int64_t rows, std::int64_t in_dim,
+             std::int64_t out_dim) {
+  OpCost op;
+  op.name = std::move(name);
+  op.kind = OpKind::kDense;
+  op.macs = static_cast<double>(rows) * static_cast<double>(in_dim) *
+            static_cast<double>(out_dim);
+  op.weight_bytes = static_cast<double>(in_dim) * static_cast<double>(out_dim) *
+                    kDeployBytesPerElem;
+  op.bytes_read = static_cast<double>(rows) * static_cast<double>(in_dim) *
+                      kDeployBytesPerElem +
+                  op.weight_bytes;
+  op.bytes_written = static_cast<double>(rows) * static_cast<double>(out_dim) *
+                     kDeployBytesPerElem;
+  op.gemm_m = rows;
+  op.gemm_n = out_dim;
+  op.gemm_k = in_dim;
+  return op;
+}
+
+OpCost conv(std::string name, std::int64_t batch, std::int64_t out_h,
+            std::int64_t out_w, std::int64_t out_ch, std::int64_t in_ch,
+            std::int64_t kernel) {
+  OpCost op;
+  op.name = std::move(name);
+  op.kind = OpKind::kConv;
+  const double out_positions = static_cast<double>(batch) *
+                               static_cast<double>(out_h) *
+                               static_cast<double>(out_w);
+  const double patch = static_cast<double>(in_ch) * static_cast<double>(kernel) *
+                       static_cast<double>(kernel);
+  op.macs = out_positions * patch * static_cast<double>(out_ch);
+  op.weight_bytes = patch * static_cast<double>(out_ch) * kDeployBytesPerElem;
+  op.bytes_read = out_positions * patch * kDeployBytesPerElem + op.weight_bytes;
+  op.bytes_written = out_positions * static_cast<double>(out_ch) *
+                     kDeployBytesPerElem;
+  op.gemm_m = batch * out_h * out_w;
+  op.gemm_n = out_ch;
+  op.gemm_k = in_ch * kernel * kernel;
+  return op;
+}
+
+OpCost attention_matmuls(std::string name, std::int64_t batch,
+                         std::int64_t tokens, std::int64_t dim) {
+  OpCost op;
+  op.name = std::move(name);
+  op.kind = OpKind::kAttention;
+  // QKᵀ and attn·V: each tokens × tokens × dim MACs per image (summed
+  // over heads, head_dim·heads = dim).
+  op.macs = 2.0 * static_cast<double>(batch) * static_cast<double>(tokens) *
+            static_cast<double>(tokens) * static_cast<double>(dim);
+  const double score_elems = static_cast<double>(batch) *
+                             static_cast<double>(tokens) *
+                             static_cast<double>(tokens);
+  const double token_elems = static_cast<double>(batch) *
+                             static_cast<double>(tokens) *
+                             static_cast<double>(dim);
+  // Q,K,V read + scores written/read (softmax) + context written.
+  op.bytes_read = (3.0 * token_elems + 2.0 * score_elems) * kDeployBytesPerElem;
+  op.bytes_written = (2.0 * score_elems + token_elems) * kDeployBytesPerElem;
+  op.gemm_m = tokens;
+  op.gemm_n = tokens;
+  op.gemm_k = dim;
+  return op;
+}
+
+OpCost norm(std::string name, std::int64_t elems) {
+  OpCost op;
+  op.name = std::move(name);
+  op.kind = OpKind::kNorm;
+  op.macs = static_cast<double>(elems);  // ~1 multiply-add per element
+  op.bytes_read = static_cast<double>(elems) * kDeployBytesPerElem;
+  op.bytes_written = static_cast<double>(elems) * kDeployBytesPerElem;
+  return op;
+}
+
+OpCost elementwise(std::string name, std::int64_t elems) {
+  OpCost op;
+  op.name = std::move(name);
+  op.kind = OpKind::kElementwise;
+  op.macs = static_cast<double>(elems);
+  op.bytes_read = static_cast<double>(elems) * kDeployBytesPerElem;
+  op.bytes_written = static_cast<double>(elems) * kDeployBytesPerElem;
+  return op;
+}
+
+}  // namespace cost
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::string name, std::int64_t in_dim, std::int64_t out_dim,
+               std::int64_t rows_per_image)
+    : name_(std::move(name)), in_dim_(in_dim), out_dim_(out_dim),
+      rows_per_image_(rows_per_image),
+      weight_(Shape{out_dim, in_dim}, DType::kF32),
+      bias_(Shape{out_dim}, DType::kF32) {}
+
+Tensor Linear::forward(const Tensor& input) {
+  const std::int64_t rows = input.numel() / in_dim_;
+  Shape out_shape = input.shape().with_dim(input.shape().rank() - 1, out_dim_);
+  Tensor output(out_shape, DType::kF32);
+  gemm_bt(input.f32(), weight_.f32(), output.f32(), rows, out_dim_, in_dim_);
+  add_row_bias(output.f32(), bias_.f32(), rows, out_dim_);
+  return output;
+}
+
+void Linear::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  out.push_back(cost::dense(name_, batch * rows_per_image_, in_dim_, out_dim_));
+}
+
+void Linear::collect_params(std::vector<NamedParam>& out) {
+  out.push_back({name_ + ".weight", &weight_});
+  out.push_back({name_ + ".bias", &bias_});
+}
+
+// ------------------------------------------------------------------ Gelu
+
+Gelu::Gelu(std::string name, std::int64_t elems_per_image)
+    : name_(std::move(name)), elems_per_image_(elems_per_image) {}
+
+Tensor Gelu::forward(const Tensor& input) {
+  Tensor output = input.clone();
+  gelu_inplace(output.f32(), output.numel());
+  return output;
+}
+
+void Gelu::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  out.push_back(cost::elementwise(name_, batch * elems_per_image_));
+}
+
+// -------------------------------------------------------------- LayerNorm
+
+LayerNorm::LayerNorm(std::string name, std::int64_t dim,
+                     std::int64_t rows_per_image)
+    : name_(std::move(name)), dim_(dim), rows_per_image_(rows_per_image),
+      gamma_(Shape{dim}, DType::kF32), beta_(Shape{dim}, DType::kF32) {
+  tensor::fill(gamma_, 1.0f);
+}
+
+Tensor LayerNorm::forward(const Tensor& input) {
+  Tensor output(input.shape(), DType::kF32);
+  const std::int64_t rows = input.numel() / dim_;
+  layernorm_rows(input.f32(), output.f32(), rows, dim_, gamma_.f32(),
+                 beta_.f32());
+  return output;
+}
+
+void LayerNorm::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  out.push_back(cost::norm(name_, batch * rows_per_image_ * dim_));
+}
+
+void LayerNorm::collect_params(std::vector<NamedParam>& out) {
+  out.push_back({name_ + ".gamma", &gamma_});
+  out.push_back({name_ + ".beta", &beta_});
+}
+
+// -------------------------------------------------------------- PatchEmbed
+
+PatchEmbed::PatchEmbed(std::string name, std::int64_t image, std::int64_t patch,
+                       std::int64_t in_ch, std::int64_t dim)
+    : name_(std::move(name)), image_(image), patch_(patch), in_ch_(in_ch),
+      dim_(dim), grid_(image / patch), tokens_(grid_ * grid_ + 1),
+      weight_(Shape{dim, in_ch * patch * patch}, DType::kF32),
+      bias_(Shape{dim}, DType::kF32),
+      cls_token_(Shape{dim}, DType::kF32),
+      pos_embed_(Shape{tokens_, dim}, DType::kF32) {
+  HARVEST_CHECK_MSG(image % patch == 0, "image must divide into patches");
+}
+
+Tensor PatchEmbed::forward(const Tensor& input) {
+  const Shape& s = input.shape();
+  HARVEST_CHECK_MSG(s.rank() == 4 && s[1] == in_ch_ && s[2] == image_ &&
+                        s[3] == image_,
+                    "patch embed input geometry mismatch");
+  const std::int64_t n = s[0];
+  const std::int64_t patch_elems = in_ch_ * patch_ * patch_;
+  const std::int64_t patches = grid_ * grid_;
+
+  Tensor output(Shape{n, tokens_, dim_}, DType::kF32);
+  std::vector<float> patch_buf(static_cast<std::size_t>(patches) *
+                               static_cast<std::size_t>(patch_elems));
+
+  for (std::int64_t b = 0; b < n; ++b) {
+    // Gather patches: row p = flattened (c, y, x) block of patch p.
+    const float* img = input.f32() + b * in_ch_ * image_ * image_;
+    for (std::int64_t gy = 0; gy < grid_; ++gy) {
+      for (std::int64_t gx = 0; gx < grid_; ++gx) {
+        float* row = patch_buf.data() + (gy * grid_ + gx) * patch_elems;
+        std::int64_t idx = 0;
+        for (std::int64_t c = 0; c < in_ch_; ++c) {
+          for (std::int64_t py = 0; py < patch_; ++py) {
+            const float* src =
+                img + (c * image_ + gy * patch_ + py) * image_ + gx * patch_;
+            for (std::int64_t px = 0; px < patch_; ++px) row[idx++] = src[px];
+          }
+        }
+      }
+    }
+    float* out_tokens = output.f32() + b * tokens_ * dim_;
+    // CLS token first.
+    std::memcpy(out_tokens, cls_token_.f32(),
+                static_cast<std::size_t>(dim_) * sizeof(float));
+    gemm_bt(patch_buf.data(), weight_.f32(), out_tokens + dim_, patches, dim_,
+            patch_elems);
+    add_row_bias(out_tokens + dim_, bias_.f32(), patches, dim_);
+    // Positional embeddings over all tokens (including CLS).
+    const float* pos = pos_embed_.f32();
+    for (std::int64_t i = 0; i < tokens_ * dim_; ++i) out_tokens[i] += pos[i];
+  }
+  return output;
+}
+
+void PatchEmbed::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  const std::int64_t patches = grid_ * grid_;
+  out.push_back(cost::dense(name_ + ".proj", batch * patches,
+                            in_ch_ * patch_ * patch_, dim_));
+  out.push_back(cost::elementwise(name_ + ".pos_add", batch * tokens_ * dim_));
+}
+
+void PatchEmbed::collect_params(std::vector<NamedParam>& out) {
+  out.push_back({name_ + ".weight", &weight_});
+  out.push_back({name_ + ".bias", &bias_});
+  out.push_back({name_ + ".cls_token", &cls_token_});
+  out.push_back({name_ + ".pos_embed", &pos_embed_});
+}
+
+// -------------------------------------------------------- TransformerBlock
+
+TransformerBlock::TransformerBlock(std::string name, std::int64_t dim,
+                                   std::int64_t heads, std::int64_t mlp_hidden,
+                                   std::int64_t tokens)
+    : name_(std::move(name)), dim_(dim), heads_(heads),
+      mlp_hidden_(mlp_hidden), tokens_(tokens),
+      ln1_gamma_(Shape{dim}, DType::kF32), ln1_beta_(Shape{dim}, DType::kF32),
+      ln2_gamma_(Shape{dim}, DType::kF32), ln2_beta_(Shape{dim}, DType::kF32),
+      w_qkv_(Shape{3 * dim, dim}, DType::kF32),
+      b_qkv_(Shape{3 * dim}, DType::kF32),
+      w_proj_(Shape{dim, dim}, DType::kF32),
+      b_proj_(Shape{dim}, DType::kF32),
+      w_fc1_(Shape{mlp_hidden, dim}, DType::kF32),
+      b_fc1_(Shape{mlp_hidden}, DType::kF32),
+      w_fc2_(Shape{dim, mlp_hidden}, DType::kF32),
+      b_fc2_(Shape{dim}, DType::kF32) {
+  tensor::fill(ln1_gamma_, 1.0f);
+  tensor::fill(ln2_gamma_, 1.0f);
+}
+
+Tensor TransformerBlock::forward(const Tensor& input) {
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t rows = n * tokens_;
+
+  Tensor x = input.clone();
+  Tensor normed(input.shape(), DType::kF32);
+  layernorm_rows(x.f32(), normed.f32(), rows, dim_, ln1_gamma_.f32(),
+                 ln1_beta_.f32());
+
+  Tensor qkv(Shape{n, tokens_, 3 * dim_}, DType::kF32);
+  gemm_bt(normed.f32(), w_qkv_.f32(), qkv.f32(), rows, 3 * dim_, dim_);
+  add_row_bias(qkv.f32(), b_qkv_.f32(), rows, 3 * dim_);
+
+  Tensor attn_out(Shape{n, tokens_, dim_}, DType::kF32);
+  std::vector<float> scores(static_cast<std::size_t>(heads_) *
+                            static_cast<std::size_t>(tokens_) *
+                            static_cast<std::size_t>(tokens_));
+  for (std::int64_t b = 0; b < n; ++b) {
+    self_attention(qkv.f32() + b * tokens_ * 3 * dim_,
+                   attn_out.f32() + b * tokens_ * dim_, scores.data(), tokens_,
+                   dim_, heads_);
+  }
+
+  Tensor projected(Shape{n, tokens_, dim_}, DType::kF32);
+  gemm_bt(attn_out.f32(), w_proj_.f32(), projected.f32(), rows, dim_, dim_);
+  add_row_bias(projected.f32(), b_proj_.f32(), rows, dim_);
+  tensor::add_inplace(x, projected);
+
+  layernorm_rows(x.f32(), normed.f32(), rows, dim_, ln2_gamma_.f32(),
+                 ln2_beta_.f32());
+  Tensor hidden(Shape{n, tokens_, mlp_hidden_}, DType::kF32);
+  gemm_bt(normed.f32(), w_fc1_.f32(), hidden.f32(), rows, mlp_hidden_, dim_);
+  add_row_bias(hidden.f32(), b_fc1_.f32(), rows, mlp_hidden_);
+  gelu_inplace(hidden.f32(), hidden.numel());
+
+  Tensor mlp_out(Shape{n, tokens_, dim_}, DType::kF32);
+  gemm_bt(hidden.f32(), w_fc2_.f32(), mlp_out.f32(), rows, dim_, mlp_hidden_);
+  add_row_bias(mlp_out.f32(), b_fc2_.f32(), rows, dim_);
+  tensor::add_inplace(x, mlp_out);
+  return x;
+}
+
+void TransformerBlock::append_costs(std::int64_t batch,
+                                    std::vector<OpCost>& out) const {
+  const std::int64_t rows = batch * tokens_;
+  out.push_back(cost::norm(name_ + ".ln1", rows * dim_));
+  out.push_back(cost::dense(name_ + ".qkv", rows, dim_, 3 * dim_));
+  out.push_back(cost::attention_matmuls(name_ + ".attn", batch, tokens_, dim_));
+  out.push_back(cost::dense(name_ + ".proj", rows, dim_, dim_));
+  out.push_back(cost::elementwise(name_ + ".res1", rows * dim_));
+  out.push_back(cost::norm(name_ + ".ln2", rows * dim_));
+  out.push_back(cost::dense(name_ + ".fc1", rows, dim_, mlp_hidden_));
+  out.push_back(cost::elementwise(name_ + ".gelu", rows * mlp_hidden_));
+  out.push_back(cost::dense(name_ + ".fc2", rows, mlp_hidden_, dim_));
+  out.push_back(cost::elementwise(name_ + ".res2", rows * dim_));
+}
+
+void TransformerBlock::collect_params(std::vector<NamedParam>& out) {
+  out.push_back({name_ + ".ln1.gamma", &ln1_gamma_});
+  out.push_back({name_ + ".ln1.beta", &ln1_beta_});
+  out.push_back({name_ + ".ln2.gamma", &ln2_gamma_});
+  out.push_back({name_ + ".ln2.beta", &ln2_beta_});
+  out.push_back({name_ + ".qkv.weight", &w_qkv_});
+  out.push_back({name_ + ".qkv.bias", &b_qkv_});
+  out.push_back({name_ + ".proj.weight", &w_proj_});
+  out.push_back({name_ + ".proj.bias", &b_proj_});
+  out.push_back({name_ + ".fc1.weight", &w_fc1_});
+  out.push_back({name_ + ".fc1.bias", &b_fc1_});
+  out.push_back({name_ + ".fc2.weight", &w_fc2_});
+  out.push_back({name_ + ".fc2.bias", &b_fc2_});
+}
+
+// --------------------------------------------------------------- ClsPool
+
+ClsPool::ClsPool(std::string name, std::int64_t tokens, std::int64_t dim)
+    : name_(std::move(name)), tokens_(tokens), dim_(dim) {}
+
+Tensor ClsPool::forward(const Tensor& input) {
+  const std::int64_t n = input.shape()[0];
+  Tensor output(Shape{n, dim_}, DType::kF32);
+  for (std::int64_t b = 0; b < n; ++b) {
+    std::memcpy(output.f32() + b * dim_, input.f32() + b * tokens_ * dim_,
+                static_cast<std::size_t>(dim_) * sizeof(float));
+  }
+  return output;
+}
+
+void ClsPool::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  OpCost op;
+  op.name = name_;
+  op.kind = OpKind::kDataMove;
+  op.bytes_read = static_cast<double>(batch * dim_) * cost::kDeployBytesPerElem;
+  op.bytes_written = op.bytes_read;
+  out.push_back(op);
+}
+
+// ------------------------------------------------------------ ConvBnRelu
+
+ConvBnRelu::ConvBnRelu(std::string name, Conv2dParams params, std::int64_t in_h,
+                       std::int64_t in_w, bool relu)
+    : name_(std::move(name)), params_(params), in_h_(in_h), in_w_(in_w),
+      out_h_(conv_out_extent(in_h, params.kernel, params.stride, params.padding)),
+      out_w_(conv_out_extent(in_w, params.kernel, params.stride, params.padding)),
+      relu_(relu),
+      weight_(Shape{params.out_channels,
+                    params.in_channels * params.kernel * params.kernel},
+              DType::kF32),
+      bn_gamma_(Shape{params.out_channels}, DType::kF32),
+      bn_beta_(Shape{params.out_channels}, DType::kF32),
+      bn_mean_(Shape{params.out_channels}, DType::kF32),
+      bn_var_(Shape{params.out_channels}, DType::kF32) {
+  tensor::fill(bn_gamma_, 1.0f);
+  tensor::fill(bn_var_, 1.0f);
+}
+
+Tensor ConvBnRelu::forward(const Tensor& input) {
+  Tensor conv_out = conv2d(input, weight_, nullptr, params_, scratch_);
+  const std::int64_t n = conv_out.shape()[0];
+  const std::int64_t hw = out_h_ * out_w_;
+  batchnorm_nchw(conv_out.f32(), conv_out.f32(), n, params_.out_channels, hw,
+                 bn_mean_.f32(), bn_var_.f32(), bn_gamma_.f32(),
+                 bn_beta_.f32());
+  if (relu_) relu_inplace(conv_out.f32(), conv_out.numel());
+  return conv_out;
+}
+
+void ConvBnRelu::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  out.push_back(cost::conv(name_ + ".conv", batch, out_h_, out_w_,
+                           params_.out_channels, params_.in_channels,
+                           params_.kernel));
+  const std::int64_t elems = batch * params_.out_channels * out_h_ * out_w_;
+  out.push_back(cost::norm(name_ + ".bn", elems));
+  if (relu_) out.push_back(cost::elementwise(name_ + ".relu", elems));
+}
+
+void ConvBnRelu::collect_params(std::vector<NamedParam>& out) {
+  out.push_back({name_ + ".weight", &weight_});
+  out.push_back({name_ + ".bn.gamma", &bn_gamma_});
+  out.push_back({name_ + ".bn.beta", &bn_beta_});
+  out.push_back({name_ + ".bn.mean", &bn_mean_});
+  out.push_back({name_ + ".bn.var", &bn_var_});
+}
+
+// ---------------------------------------------------------------- MaxPool
+
+MaxPool::MaxPool(std::string name, std::int64_t channels, std::int64_t in_h,
+                 std::int64_t in_w, std::int64_t kernel, std::int64_t stride,
+                 std::int64_t padding)
+    : name_(std::move(name)), channels_(channels), in_h_(in_h), in_w_(in_w),
+      kernel_(kernel), stride_(stride), padding_(padding),
+      out_h_(conv_out_extent(in_h, kernel, stride, padding)),
+      out_w_(conv_out_extent(in_w, kernel, stride, padding)) {}
+
+Tensor MaxPool::forward(const Tensor& input) {
+  return maxpool2d(input, kernel_, stride_, padding_);
+}
+
+void MaxPool::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  out.push_back(cost::elementwise(
+      name_, batch * channels_ * out_h_ * out_w_ * kernel_ * kernel_));
+}
+
+// ---------------------------------------------------------- GlobalAvgPool
+
+GlobalAvgPool::GlobalAvgPool(std::string name, std::int64_t channels,
+                             std::int64_t in_h, std::int64_t in_w)
+    : name_(std::move(name)), channels_(channels), in_h_(in_h), in_w_(in_w) {}
+
+Tensor GlobalAvgPool::forward(const Tensor& input) {
+  return global_avgpool(input);
+}
+
+void GlobalAvgPool::append_costs(std::int64_t batch,
+                                 std::vector<OpCost>& out) const {
+  out.push_back(cost::elementwise(name_, batch * channels_ * in_h_ * in_w_));
+}
+
+// -------------------------------------------------------------- Bottleneck
+
+Bottleneck::Bottleneck(std::string name, std::int64_t in_ch, std::int64_t mid_ch,
+                       std::int64_t stride, bool downsample, std::int64_t in_h,
+                       std::int64_t in_w)
+    : name_(std::move(name)), in_ch_(in_ch), mid_ch_(mid_ch), stride_(stride) {
+  conv1_ = std::make_unique<ConvBnRelu>(
+      name_ + ".conv1", Conv2dParams{in_ch, mid_ch, 1, 1, 0}, in_h, in_w, true);
+  conv2_ = std::make_unique<ConvBnRelu>(
+      name_ + ".conv2", Conv2dParams{mid_ch, mid_ch, 3, stride, 1}, in_h, in_w,
+      true);
+  conv3_ = std::make_unique<ConvBnRelu>(
+      name_ + ".conv3", Conv2dParams{mid_ch, mid_ch * 4, 1, 1, 0},
+      conv2_->out_h(), conv2_->out_w(), false);
+  if (downsample) {
+    down_ = std::make_unique<ConvBnRelu>(
+        name_ + ".down", Conv2dParams{in_ch, mid_ch * 4, 1, stride, 0}, in_h,
+        in_w, false);
+  }
+}
+
+Tensor Bottleneck::forward(const Tensor& input) {
+  Tensor out = conv3_->forward(conv2_->forward(conv1_->forward(input)));
+  if (down_) {
+    Tensor identity = down_->forward(input);
+    tensor::add_inplace(out, identity);
+  } else {
+    tensor::add_inplace(out, input);
+  }
+  relu_inplace(out.f32(), out.numel());
+  return out;
+}
+
+void Bottleneck::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  conv1_->append_costs(batch, out);
+  conv2_->append_costs(batch, out);
+  conv3_->append_costs(batch, out);
+  if (down_) down_->append_costs(batch, out);
+  out.push_back(cost::elementwise(
+      name_ + ".res", batch * mid_ch_ * 4 * out_h() * out_w()));
+}
+
+void Bottleneck::collect_params(std::vector<NamedParam>& out) {
+  conv1_->collect_params(out);
+  conv2_->collect_params(out);
+  conv3_->collect_params(out);
+  if (down_) down_->collect_params(out);
+}
+
+}  // namespace harvest::nn

@@ -1,0 +1,213 @@
+#pragma once
+
+/// \file layers.hpp
+/// Concrete layers: transformer components (patch embedding, transformer
+/// block, CLS pooling) and CNN components (conv+BN+ReLU, pooling,
+/// bottleneck residual block, classifier head). Composite blocks own
+/// their weights directly so forward passes reuse scratch buffers
+/// without allocator churn (Core Guidelines Per.14/Per.15).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/conv.hpp"
+#include "nn/layer.hpp"
+
+namespace harvest::nn {
+
+/// y = x·Wᵀ + b. Treats input as [rows, in_dim] where rows = numel/in_dim,
+/// so it serves both token sequences [N,T,D] and feature vectors [N,D].
+class Linear final : public Layer {
+ public:
+  Linear(std::string name, std::int64_t in_dim, std::int64_t out_dim,
+         std::int64_t rows_per_image);
+
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>& out) override;
+
+  tensor::Tensor& weight() { return weight_; }
+  tensor::Tensor& bias() { return bias_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_dim_, out_dim_, rows_per_image_;
+  tensor::Tensor weight_;  ///< [out, in]
+  tensor::Tensor bias_;    ///< [out]
+};
+
+/// Elementwise GELU over any shape.
+class Gelu final : public Layer {
+ public:
+  Gelu(std::string name, std::int64_t elems_per_image);
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>&) override {}
+
+ private:
+  std::string name_;
+  std::int64_t elems_per_image_;
+};
+
+/// LayerNorm over the trailing `dim` elements of each row.
+class LayerNorm final : public Layer {
+ public:
+  LayerNorm(std::string name, std::int64_t dim, std::int64_t rows_per_image);
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>& out) override;
+
+ private:
+  std::string name_;
+  std::int64_t dim_, rows_per_image_;
+  tensor::Tensor gamma_, beta_;
+};
+
+/// Splits the image into non-overlapping patches, linearly projects each
+/// to `dim`, prepends a learned CLS token and adds positional embeddings.
+/// Input [N,3,H,W] → output [N, tokens, dim] with tokens = (H/p)² + 1.
+class PatchEmbed final : public Layer {
+ public:
+  PatchEmbed(std::string name, std::int64_t image, std::int64_t patch,
+             std::int64_t in_ch, std::int64_t dim);
+
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>& out) override;
+
+  std::int64_t tokens() const { return tokens_; }
+
+ private:
+  std::string name_;
+  std::int64_t image_, patch_, in_ch_, dim_, grid_, tokens_;
+  tensor::Tensor weight_;     ///< [dim, in_ch*patch*patch]
+  tensor::Tensor bias_;       ///< [dim]
+  tensor::Tensor cls_token_;  ///< [dim]
+  tensor::Tensor pos_embed_;  ///< [tokens, dim]
+};
+
+/// Pre-norm transformer encoder block (ViT style):
+///   x += proj(attn(LN1(x))); x += fc2(gelu(fc1(LN2(x)))).
+class TransformerBlock final : public Layer {
+ public:
+  TransformerBlock(std::string name, std::int64_t dim, std::int64_t heads,
+                   std::int64_t mlp_hidden, std::int64_t tokens);
+
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>& out) override;
+
+ private:
+  std::string name_;
+  std::int64_t dim_, heads_, mlp_hidden_, tokens_;
+  tensor::Tensor ln1_gamma_, ln1_beta_, ln2_gamma_, ln2_beta_;
+  tensor::Tensor w_qkv_, b_qkv_;    ///< [3*dim, dim], [3*dim]
+  tensor::Tensor w_proj_, b_proj_;  ///< [dim, dim], [dim]
+  tensor::Tensor w_fc1_, b_fc1_;    ///< [hidden, dim], [hidden]
+  tensor::Tensor w_fc2_, b_fc2_;    ///< [dim, hidden], [dim]
+};
+
+/// Select the CLS token: [N, T, D] → [N, D].
+class ClsPool final : public Layer {
+ public:
+  ClsPool(std::string name, std::int64_t tokens, std::int64_t dim);
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>&) override {}
+
+ private:
+  std::string name_;
+  std::int64_t tokens_, dim_;
+};
+
+/// Convolution + folded BatchNorm + optional ReLU, the CNN workhorse.
+/// BN runs in inference form with stored running statistics.
+class ConvBnRelu final : public Layer {
+ public:
+  ConvBnRelu(std::string name, Conv2dParams params, std::int64_t in_h,
+             std::int64_t in_w, bool relu);
+
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>& out) override;
+
+  std::int64_t out_h() const { return out_h_; }
+  std::int64_t out_w() const { return out_w_; }
+
+ private:
+  std::string name_;
+  Conv2dParams params_;
+  std::int64_t in_h_, in_w_, out_h_, out_w_;
+  bool relu_;
+  tensor::Tensor weight_;  ///< [out_ch, in_ch*k*k]
+  tensor::Tensor bn_gamma_, bn_beta_, bn_mean_, bn_var_;
+  tensor::Tensor scratch_;  ///< im2col buffer, reused across calls
+};
+
+/// Max pooling layer.
+class MaxPool final : public Layer {
+ public:
+  MaxPool(std::string name, std::int64_t channels, std::int64_t in_h,
+          std::int64_t in_w, std::int64_t kernel, std::int64_t stride,
+          std::int64_t padding);
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>&) override {}
+
+  std::int64_t out_h() const { return out_h_; }
+  std::int64_t out_w() const { return out_w_; }
+
+ private:
+  std::string name_;
+  std::int64_t channels_, in_h_, in_w_, kernel_, stride_, padding_;
+  std::int64_t out_h_, out_w_;
+};
+
+/// Global average pool [N,C,H,W] → [N,C].
+class GlobalAvgPool final : public Layer {
+ public:
+  GlobalAvgPool(std::string name, std::int64_t channels, std::int64_t in_h,
+                std::int64_t in_w);
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>&) override {}
+
+ private:
+  std::string name_;
+  std::int64_t channels_, in_h_, in_w_;
+};
+
+/// ResNet bottleneck: 1×1 reduce → 3×3 (stride) → 1×1 expand, with an
+/// optional 1×1 strided projection on the identity path.
+class Bottleneck final : public Layer {
+ public:
+  Bottleneck(std::string name, std::int64_t in_ch, std::int64_t mid_ch,
+             std::int64_t stride, bool downsample, std::int64_t in_h,
+             std::int64_t in_w);
+
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>& out) override;
+
+  std::int64_t out_channels() const { return mid_ch_ * 4; }
+  std::int64_t out_h() const { return conv2_->out_h(); }
+  std::int64_t out_w() const { return conv2_->out_w(); }
+
+ private:
+  std::string name_;
+  std::int64_t in_ch_, mid_ch_, stride_;
+  std::unique_ptr<ConvBnRelu> conv1_, conv2_, conv3_, down_;
+};
+
+}  // namespace harvest::nn

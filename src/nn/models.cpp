@@ -1,0 +1,110 @@
+#include "nn/models.hpp"
+
+#include "nn/layers.hpp"
+
+namespace harvest::nn {
+
+using tensor::Shape;
+
+ModelPtr build_vit(const ViTConfig& config) {
+  auto model = std::make_unique<Model>(
+      config.name, Shape{3, config.image, config.image}, config.num_classes);
+  auto embed = std::make_unique<PatchEmbed>("embed", config.image, config.patch,
+                                            3, config.dim);
+  const std::int64_t tokens = embed->tokens();
+  model->add(std::move(embed));
+  for (std::int64_t i = 0; i < config.depth; ++i) {
+    model->add(std::make_unique<TransformerBlock>(
+        "block" + std::to_string(i), config.dim, config.heads,
+        config.dim * config.mlp_ratio, tokens));
+  }
+  model->add(std::make_unique<LayerNorm>("final_ln", config.dim, tokens));
+  model->add(std::make_unique<ClsPool>("cls", tokens, config.dim));
+  model->add(std::make_unique<Linear>("head", config.dim, config.num_classes, 1));
+  return model;
+}
+
+ModelPtr build_resnet(const ResNetConfig& config) {
+  auto model = std::make_unique<Model>(
+      config.name, Shape{3, config.image, config.image}, config.num_classes);
+
+  auto stem = std::make_unique<ConvBnRelu>(
+      "stem", Conv2dParams{3, 64, 7, 2, 3}, config.image, config.image, true);
+  std::int64_t h = stem->out_h();
+  std::int64_t w = stem->out_w();
+  model->add(std::move(stem));
+
+  auto pool = std::make_unique<MaxPool>("stem.pool", 64, h, w, 3, 2, 1);
+  h = pool->out_h();
+  w = pool->out_w();
+  model->add(std::move(pool));
+
+  std::int64_t in_ch = 64;
+  std::int64_t mid_ch = 64;
+  for (std::size_t stage = 0; stage < config.stage_blocks.size(); ++stage) {
+    for (std::int64_t block = 0; block < config.stage_blocks[stage]; ++block) {
+      // First block of stages 2-4 downsamples spatially; the first block
+      // of stage 1 only widens channels (stride 1 projection).
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      const bool downsample = block == 0;
+      auto bottleneck = std::make_unique<Bottleneck>(
+          "stage" + std::to_string(stage + 1) + ".block" + std::to_string(block),
+          in_ch, mid_ch, stride, downsample, h, w);
+      in_ch = bottleneck->out_channels();
+      h = bottleneck->out_h();
+      w = bottleneck->out_w();
+      model->add(std::move(bottleneck));
+    }
+    mid_ch *= 2;
+  }
+
+  model->add(std::make_unique<GlobalAvgPool>("avgpool", in_ch, h, w));
+  model->add(std::make_unique<Linear>("fc", in_ch, config.num_classes, 1));
+  return model;
+}
+
+ViTConfig vit_tiny_config(std::int64_t num_classes) {
+  // 32×32 input with 2×2 patches (257 tokens): projection MACs ≈ 1.37 G,
+  // matching Table 3.
+  return ViTConfig{"ViT_Tiny", 32, 2, 192, 12, 3, 4, num_classes};
+}
+
+ViTConfig vit_small_config(std::int64_t num_classes) {
+  return ViTConfig{"ViT_Small", 32, 2, 384, 12, 6, 4, num_classes};
+}
+
+ViTConfig vit_base_config(std::int64_t num_classes) {
+  return ViTConfig{"ViT_Base", 224, 16, 768, 12, 12, 4, num_classes};
+}
+
+ResNetConfig resnet50_config(std::int64_t num_classes) {
+  return ResNetConfig{"ResNet50", 224, {3, 4, 6, 3}, num_classes};
+}
+
+const std::vector<ModelSpec>& evaluated_models() {
+  // Values from Table 3 of the paper.
+  static const std::vector<ModelSpec> specs = {
+      {"ViT_Tiny", "Transformer", 32, 5.39, 1.37},
+      {"ViT_Small", "Transformer", 32, 21.40, 5.47},
+      {"ViT_Base", "Transformer", 224, 85.80, 16.86},
+      {"ResNet50", "CNN", 224, 25.56, 4.09},
+  };
+  return specs;
+}
+
+std::optional<ModelSpec> find_model_spec(const std::string& name) {
+  for (const ModelSpec& spec : evaluated_models()) {
+    if (spec.name == name) return spec;
+  }
+  return std::nullopt;
+}
+
+ModelPtr build_by_name(const std::string& name, std::int64_t num_classes) {
+  if (name == "ViT_Tiny") return build_vit(vit_tiny_config(num_classes));
+  if (name == "ViT_Small") return build_vit(vit_small_config(num_classes));
+  if (name == "ViT_Base") return build_vit(vit_base_config(num_classes));
+  if (name == "ResNet50") return build_resnet(resnet50_config(num_classes));
+  return nullptr;
+}
+
+}  // namespace harvest::nn

@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file models.hpp
+/// Builders for the four evaluated models (Table 3) and the model-spec
+/// registry encoding the paper's reported figures. The builders produce
+/// real, runnable graphs; `vit_*` configurations are chosen so that the
+/// analyzer's projection-MAC count matches the paper's "GFLOPs/Image"
+/// column (ViT Tiny/Small take 32×32 inputs with 2×2 patches; ViT Base
+/// and ResNet-50 take 224×224 inputs).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/graph.hpp"
+
+namespace harvest::nn {
+
+/// Configuration for a ViT classifier.
+struct ViTConfig {
+  std::string name = "vit";
+  std::int64_t image = 224;
+  std::int64_t patch = 16;
+  std::int64_t dim = 768;
+  std::int64_t depth = 12;
+  std::int64_t heads = 12;
+  std::int64_t mlp_ratio = 4;
+  std::int64_t num_classes = 39;
+};
+
+/// Configuration for a ResNet classifier (bottleneck variant).
+struct ResNetConfig {
+  std::string name = "resnet50";
+  std::int64_t image = 224;
+  std::vector<std::int64_t> stage_blocks = {3, 4, 6, 3};
+  std::int64_t num_classes = 39;
+};
+
+ModelPtr build_vit(const ViTConfig& config);
+ModelPtr build_resnet(const ResNetConfig& config);
+
+/// Paper presets (Table 3 geometry).
+ViTConfig vit_tiny_config(std::int64_t num_classes = 39);
+ViTConfig vit_small_config(std::int64_t num_classes = 39);
+ViTConfig vit_base_config(std::int64_t num_classes = 39);
+ResNetConfig resnet50_config(std::int64_t num_classes = 39);
+
+/// Static description of an evaluated model, with the values the paper
+/// reports in Table 3. `reported_*` fields are the paper's numbers; the
+/// analyzer-derived values are computed from the real graphs and
+/// compared against them in the benches.
+struct ModelSpec {
+  std::string name;                 ///< "ViT_Tiny", ... (paper spelling)
+  std::string architecture;        ///< "Transformer" | "CNN"
+  std::int64_t input_size = 224;   ///< square input edge
+  double reported_params_m = 0.0;  ///< millions of parameters
+  double reported_gflops_per_image = 0.0;  ///< paper's GFLOPs/Image column
+};
+
+/// The four models of Table 3, in paper order
+/// (ViT_Tiny, ViT_Small, ViT_Base, ResNet50).
+const std::vector<ModelSpec>& evaluated_models();
+
+/// Look up a spec by name; std::nullopt when unknown.
+std::optional<ModelSpec> find_model_spec(const std::string& name);
+
+/// Build the real graph for a Table 3 model by paper name.
+ModelPtr build_by_name(const std::string& name, std::int64_t num_classes = 39);
+
+}  // namespace harvest::nn

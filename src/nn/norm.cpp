@@ -1,0 +1,45 @@
+#include "nn/norm.hpp"
+
+#include <cmath>
+
+namespace harvest::nn {
+
+void layernorm_rows(const float* x, float* y, std::int64_t rows,
+                    std::int64_t dim, const float* gamma, const float* beta,
+                    float eps) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* in = x + r * dim;
+    float* out = y + r * dim;
+    double mean = 0.0;
+    for (std::int64_t i = 0; i < dim; ++i) mean += static_cast<double>(in[i]);
+    mean /= static_cast<double>(dim);
+    double var = 0.0;
+    for (std::int64_t i = 0; i < dim; ++i) {
+      const double d = static_cast<double>(in[i]) - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim);
+    const float inv_std = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+    const auto mean_f = static_cast<float>(mean);
+    for (std::int64_t i = 0; i < dim; ++i) {
+      out[i] = (in[i] - mean_f) * inv_std * gamma[i] + beta[i];
+    }
+  }
+}
+
+void batchnorm_nchw(const float* x, float* y, std::int64_t n, std::int64_t c,
+                    std::int64_t hw, const float* mean, const float* var,
+                    const float* gamma, const float* beta, float eps) {
+  for (std::int64_t b = 0; b < n; ++b) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float inv_std = 1.0f / std::sqrt(var[ch] + eps);
+      const float scale = gamma[ch] * inv_std;
+      const float shift = beta[ch] - mean[ch] * scale;
+      const float* in = x + (b * c + ch) * hw;
+      float* out = y + (b * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) out[i] = in[i] * scale + shift;
+    }
+  }
+}
+
+}  // namespace harvest::nn

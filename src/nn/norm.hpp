@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file norm.hpp
+/// Normalization kernels in inference form: LayerNorm over the last
+/// dimension (transformers) and folded BatchNorm over channels (CNNs).
+
+#include <cstdint>
+
+namespace harvest::nn {
+
+/// LayerNorm over each contiguous row of length `dim`:
+///   y = (x - mean) / sqrt(var + eps) * gamma + beta.
+void layernorm_rows(const float* x, float* y, std::int64_t rows,
+                    std::int64_t dim, const float* gamma, const float* beta,
+                    float eps = 1e-6f);
+
+/// Inference BatchNorm on NCHW data with precomputed running stats:
+///   y = (x - mean[c]) / sqrt(var[c] + eps) * gamma[c] + beta[c].
+void batchnorm_nchw(const float* x, float* y, std::int64_t n, std::int64_t c,
+                    std::int64_t hw, const float* mean, const float* var,
+                    const float* gamma, const float* beta, float eps = 1e-5f);
+
+}  // namespace harvest::nn

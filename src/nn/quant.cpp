@@ -1,0 +1,121 @@
+#include "nn/quant.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harvest::nn {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+float quantize_symmetric(std::span<const float> input, std::int8_t* output) {
+  float peak = 0.0f;
+  for (float v : input) peak = std::max(peak, std::fabs(v));
+  if (peak == 0.0f) {
+    std::fill(output, output + input.size(), std::int8_t{0});
+    return 0.0f;
+  }
+  const float scale = peak / 127.0f;
+  const float inv = 1.0f / scale;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    const float q = std::round(input[i] * inv);
+    output[i] = static_cast<std::int8_t>(std::clamp(q, -127.0f, 127.0f));
+  }
+  return scale;
+}
+
+void dequantize(std::span<const std::int8_t> input, float scale,
+                float* output) {
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    output[i] = static_cast<float>(input[i]) * scale;
+  }
+}
+
+void qgemm_bt(const std::int8_t* a, const std::int8_t* b_t, std::int32_t* c,
+              std::int64_t m, std::int64_t n, std::int64_t k) {
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    std::int32_t* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int8_t* brow = b_t + j * k;
+      // Widen to 16-bit lanes first; the compiler vectorizes this into
+      // integer multiply-add sequences.
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(arow[p]) *
+               static_cast<std::int32_t>(brow[p]);
+      }
+      crow[j] = acc;
+    }
+  }
+}
+
+QuantizedLinear::QuantizedLinear(std::string name, const Tensor& weight,
+                                 const Tensor& bias,
+                                 std::int64_t rows_per_image)
+    : name_(std::move(name)), in_dim_(weight.shape()[1]),
+      out_dim_(weight.shape()[0]), rows_per_image_(rows_per_image),
+      qweight_(static_cast<std::size_t>(in_dim_ * out_dim_)),
+      row_scales_(static_cast<std::size_t>(out_dim_)),
+      bias_(bias.f32(), bias.f32() + out_dim_) {
+  HARVEST_CHECK_MSG(weight.shape().rank() == 2 && bias.numel() == out_dim_,
+                    "quantized linear geometry mismatch");
+  // Per-output-row scales keep the error independent of other rows'
+  // dynamic range.
+  for (std::int64_t r = 0; r < out_dim_; ++r) {
+    const float* row = weight.f32() + r * in_dim_;
+    std::int8_t* qrow = qweight_.data() + r * in_dim_;
+    const float scale = quantize_symmetric(
+        {row, static_cast<std::size_t>(in_dim_)}, qrow);
+    row_scales_[static_cast<std::size_t>(r)] = scale;
+    for (std::int64_t c = 0; c < in_dim_; ++c) {
+      const float rebuilt = static_cast<float>(qrow[c]) * scale;
+      max_weight_error_ =
+          std::max(max_weight_error_, std::fabs(rebuilt - row[c]));
+    }
+  }
+}
+
+Tensor QuantizedLinear::forward(const Tensor& input) {
+  const std::int64_t rows = input.numel() / in_dim_;
+  Shape out_shape = input.shape().with_dim(input.shape().rank() - 1, out_dim_);
+  Tensor output(out_shape, DType::kF32);
+
+  std::vector<std::int8_t> qinput(static_cast<std::size_t>(rows * in_dim_));
+  std::vector<float> input_scales(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    input_scales[static_cast<std::size_t>(r)] = quantize_symmetric(
+        {input.f32() + r * in_dim_, static_cast<std::size_t>(in_dim_)},
+        qinput.data() + r * in_dim_);
+  }
+
+  std::vector<std::int32_t> accum(static_cast<std::size_t>(rows * out_dim_));
+  qgemm_bt(qinput.data(), qweight_.data(), accum.data(), rows, out_dim_,
+           in_dim_);
+
+  float* out = output.f32();
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float in_scale = input_scales[static_cast<std::size_t>(r)];
+    for (std::int64_t j = 0; j < out_dim_; ++j) {
+      out[r * out_dim_ + j] =
+          static_cast<float>(accum[static_cast<std::size_t>(r * out_dim_ + j)]) *
+              in_scale * row_scales_[static_cast<std::size_t>(j)] +
+          bias_[static_cast<std::size_t>(j)];
+    }
+  }
+  return output;
+}
+
+void QuantizedLinear::append_costs(std::int64_t batch,
+                                   std::vector<OpCost>& out) const {
+  OpCost op = cost::dense(name_, batch * rows_per_image_, in_dim_, out_dim_);
+  // INT8 operands halve the traffic relative to the fp16 convention.
+  op.bytes_read /= 2.0;
+  op.bytes_written /= 2.0;
+  op.weight_bytes /= 2.0;
+  out.push_back(op);
+}
+
+}  // namespace harvest::nn

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file quant.hpp
+/// INT8 quantized inference — the real-kernel counterpart of §3.1's
+/// precision discussion ("lower-precision formats like INT8 or FP16
+/// offer faster inference but may reduce accuracy"). Symmetric
+/// per-tensor weight quantization with dynamic per-row activation
+/// quantization, the scheme TensorRT's INT8 path uses for dense layers.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nn/layer.hpp"
+#include "tensor/tensor.hpp"
+
+namespace harvest::nn {
+
+/// Symmetric quantization of a float span to int8: scale = max|x| / 127,
+/// q = round(x / scale). Returns the scale (0 when all inputs are 0).
+float quantize_symmetric(std::span<const float> input, std::int8_t* output);
+
+/// Dequantize: x ≈ q · scale.
+void dequantize(std::span<const std::int8_t> input, float scale, float* output);
+
+/// C[M,N] = A[M,K] · Bᵀ with int8 operands and int32 accumulation;
+/// B stored row-major as [N, K] (the weight layout of Linear).
+void qgemm_bt(const std::int8_t* a, const std::int8_t* b_t, std::int32_t* c,
+              std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// A Linear layer executing in INT8: weights are quantized once at
+/// construction (per-output-row scales), activations dynamically per
+/// row at inference time. Output = dequantized accumulators + bias.
+class QuantizedLinear final : public Layer {
+ public:
+  /// Quantizes `weight` [out,in] and copies `bias` [out].
+  QuantizedLinear(std::string name, const tensor::Tensor& weight,
+                  const tensor::Tensor& bias, std::int64_t rows_per_image);
+
+  const std::string& name() const override { return name_; }
+  tensor::Tensor forward(const tensor::Tensor& input) override;
+  void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
+  void collect_params(std::vector<NamedParam>&) override {}  // frozen
+
+  /// Largest absolute weight quantization error (diagnostics/tests).
+  float max_weight_error() const { return max_weight_error_; }
+
+ private:
+  std::string name_;
+  std::int64_t in_dim_, out_dim_, rows_per_image_;
+  std::vector<std::int8_t> qweight_;   ///< [out, in]
+  std::vector<float> row_scales_;      ///< per output row
+  std::vector<float> bias_;
+  float max_weight_error_ = 0.0f;
+};
+
+}  // namespace harvest::nn

@@ -1,0 +1,154 @@
+#include "nn/rwkv.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "nn/activations.hpp"
+#include "nn/gemm.hpp"
+#include "nn/layers.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::nn {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+RwkvBlock::RwkvBlock(std::string name, std::int64_t dim, std::int64_t tokens)
+    : name_(std::move(name)), dim_(dim), tokens_(tokens),
+      ln1_gamma_(Shape{dim}, DType::kF32), ln1_beta_(Shape{dim}, DType::kF32),
+      ln2_gamma_(Shape{dim}, DType::kF32), ln2_beta_(Shape{dim}, DType::kF32),
+      w_r_(Shape{dim, dim}, DType::kF32), w_k_(Shape{dim, dim}, DType::kF32),
+      w_v_(Shape{dim, dim}, DType::kF32), w_o_(Shape{dim, dim}, DType::kF32),
+      decay_(Shape{dim}, DType::kF32),
+      w_ck_(Shape{4 * dim, dim}, DType::kF32),
+      w_cv_(Shape{dim, 4 * dim}, DType::kF32),
+      w_cr_(Shape{dim, dim}, DType::kF32) {
+  tensor::fill(ln1_gamma_, 1.0f);
+  tensor::fill(ln2_gamma_, 1.0f);
+}
+
+Tensor RwkvBlock::forward(const Tensor& input) {
+  const std::int64_t n = input.shape()[0];
+  const std::int64_t rows = n * tokens_;
+
+  Tensor x = input.clone();
+  Tensor normed(input.shape(), DType::kF32);
+  layernorm_rows(x.f32(), normed.f32(), rows, dim_, ln1_gamma_.f32(),
+                 ln1_beta_.f32());
+
+  // Projections (no biases, RWKV style).
+  Tensor r(input.shape(), DType::kF32);
+  Tensor k(input.shape(), DType::kF32);
+  Tensor v(input.shape(), DType::kF32);
+  gemm_bt(normed.f32(), w_r_.f32(), r.f32(), rows, dim_, dim_);
+  gemm_bt(normed.f32(), w_k_.f32(), k.f32(), rows, dim_, dim_);
+  gemm_bt(normed.f32(), w_v_.f32(), v.f32(), rows, dim_, dim_);
+
+  // Linear-time WKV scan per image and channel.
+  Tensor mixed(input.shape(), DType::kF32);
+  const float* kd = k.f32();
+  const float* vd = v.f32();
+  const float* rd = r.f32();
+  float* md = mixed.f32();
+  std::vector<float> num(static_cast<std::size_t>(dim_));
+  std::vector<float> den(static_cast<std::size_t>(dim_));
+  for (std::int64_t b = 0; b < n; ++b) {
+    std::fill(num.begin(), num.end(), 0.0f);
+    std::fill(den.begin(), den.end(), 0.0f);
+    for (std::int64_t t = 0; t < tokens_; ++t) {
+      const std::int64_t base = (b * tokens_ + t) * dim_;
+      for (std::int64_t c = 0; c < dim_; ++c) {
+        // Per-channel decay in (0,1) via sigmoid of the raw parameter.
+        const float w = 1.0f / (1.0f + std::exp(-decay_.f32()[c]));
+        // Clamp keys to keep e^k bounded on untrained weights.
+        const float ek = std::exp(std::min(kd[base + c], 20.0f));
+        num[static_cast<std::size_t>(c)] =
+            w * num[static_cast<std::size_t>(c)] + ek * vd[base + c];
+        den[static_cast<std::size_t>(c)] =
+            w * den[static_cast<std::size_t>(c)] + ek;
+        const float gate = 1.0f / (1.0f + std::exp(-rd[base + c]));
+        md[base + c] = gate * num[static_cast<std::size_t>(c)] /
+                       (den[static_cast<std::size_t>(c)] + 1e-8f);
+      }
+    }
+  }
+
+  Tensor projected(input.shape(), DType::kF32);
+  gemm_bt(mixed.f32(), w_o_.f32(), projected.f32(), rows, dim_, dim_);
+  tensor::add_inplace(x, projected);
+
+  // Channel mixing: v_out = W_cv · relu(W_ck · x)² gated by σ(W_cr · x).
+  layernorm_rows(x.f32(), normed.f32(), rows, dim_, ln2_gamma_.f32(),
+                 ln2_beta_.f32());
+  Tensor hidden(Shape{n, tokens_, 4 * dim_}, DType::kF32);
+  gemm_bt(normed.f32(), w_ck_.f32(), hidden.f32(), rows, 4 * dim_, dim_);
+  float* hd = hidden.f32();
+  for (std::int64_t i = 0; i < hidden.numel(); ++i) {
+    const float relu = hd[i] > 0.0f ? hd[i] : 0.0f;
+    hd[i] = relu * relu;  // squared ReLU, as in RWKV channel mixing
+  }
+  Tensor cm(input.shape(), DType::kF32);
+  gemm_bt(hidden.f32(), w_cv_.f32(), cm.f32(), rows, dim_, 4 * dim_);
+  Tensor gate(input.shape(), DType::kF32);
+  gemm_bt(normed.f32(), w_cr_.f32(), gate.f32(), rows, dim_, dim_);
+  float* cd = cm.f32();
+  const float* gd = gate.f32();
+  for (std::int64_t i = 0; i < cm.numel(); ++i) {
+    cd[i] *= 1.0f / (1.0f + std::exp(-gd[i]));
+  }
+  tensor::add_inplace(x, cm);
+  return x;
+}
+
+void RwkvBlock::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
+  const std::int64_t rows = batch * tokens_;
+  out.push_back(cost::norm(name_ + ".ln1", rows * dim_));
+  out.push_back(cost::dense(name_ + ".r", rows, dim_, dim_));
+  out.push_back(cost::dense(name_ + ".k", rows, dim_, dim_));
+  out.push_back(cost::dense(name_ + ".v", rows, dim_, dim_));
+  // The WKV scan is linear in tokens: a handful of FLOPs per element.
+  out.push_back(cost::elementwise(name_ + ".wkv_scan", rows * dim_ * 6));
+  out.push_back(cost::dense(name_ + ".o", rows, dim_, dim_));
+  out.push_back(cost::norm(name_ + ".ln2", rows * dim_));
+  out.push_back(cost::dense(name_ + ".ck", rows, dim_, 4 * dim_));
+  out.push_back(cost::elementwise(name_ + ".sqrelu", rows * 4 * dim_));
+  out.push_back(cost::dense(name_ + ".cv", rows, 4 * dim_, dim_));
+  out.push_back(cost::dense(name_ + ".cr", rows, dim_, dim_));
+  out.push_back(cost::elementwise(name_ + ".gate", rows * dim_));
+}
+
+void RwkvBlock::collect_params(std::vector<NamedParam>& out) {
+  out.push_back({name_ + ".ln1.gamma", &ln1_gamma_});
+  out.push_back({name_ + ".ln1.beta", &ln1_beta_});
+  out.push_back({name_ + ".ln2.gamma", &ln2_gamma_});
+  out.push_back({name_ + ".ln2.beta", &ln2_beta_});
+  out.push_back({name_ + ".r.weight", &w_r_});
+  out.push_back({name_ + ".k.weight", &w_k_});
+  out.push_back({name_ + ".v.weight", &w_v_});
+  out.push_back({name_ + ".o.weight", &w_o_});
+  out.push_back({name_ + ".decay", &decay_});
+  out.push_back({name_ + ".ck.weight", &w_ck_});
+  out.push_back({name_ + ".cv.weight", &w_cv_});
+  out.push_back({name_ + ".cr.weight", &w_cr_});
+}
+
+ModelPtr build_rwkv(const RwkvConfig& config) {
+  auto model = std::make_unique<Model>(
+      config.name, Shape{3, config.image, config.image}, config.num_classes);
+  auto embed = std::make_unique<PatchEmbed>("embed", config.image, config.patch,
+                                            3, config.dim);
+  const std::int64_t tokens = embed->tokens();
+  model->add(std::move(embed));
+  for (std::int64_t i = 0; i < config.depth; ++i) {
+    model->add(std::make_unique<RwkvBlock>("block" + std::to_string(i),
+                                           config.dim, tokens));
+  }
+  model->add(std::make_unique<LayerNorm>("final_ln", config.dim, tokens));
+  model->add(std::make_unique<ClsPool>("cls", tokens, config.dim));
+  model->add(std::make_unique<Linear>("head", config.dim, config.num_classes, 1));
+  return model;
+}
+
+}  // namespace harvest::nn

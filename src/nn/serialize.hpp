@@ -1,0 +1,29 @@
+#pragma once
+
+/// \file serialize.hpp
+/// The HARVEST model-repository weight format ("HVST"): a simple binary
+/// container of named f32 tensors, standing in for the ONNX→TensorRT
+/// artifacts of the paper's pipeline (§4.0.2). Checkpoints round-trip
+/// bit-exactly and loading validates names and shapes.
+///
+/// Layout (little-endian):
+///   magic "HVST" | u32 version | u64 tensor_count
+///   per tensor: u32 name_len | name bytes | u8 rank | i64 dims[rank] |
+///               f32 data[numel]
+
+#include <string>
+
+#include "core/status.hpp"
+#include "nn/graph.hpp"
+
+namespace harvest::nn {
+
+/// Serialize all parameters of `model` to `path`.
+core::Status save_weights(Model& model, const std::string& path);
+
+/// Load parameters into `model`. Every parameter in the model must be
+/// present in the file with a matching shape; extra tensors in the file
+/// are rejected (guards against loading the wrong architecture).
+core::Status load_weights(Model& model, const std::string& path);
+
+}  // namespace harvest::nn

@@ -1,0 +1,38 @@
+#include "platform/calibration.hpp"
+
+namespace harvest::platform {
+
+// Provenance: every row below is a label printed in Fig. 5 of the paper
+// ("<model>: <throughput> img/s @ BS<batch>"). max_batch = 1024 on the
+// cloud GPUs is the sweep limit of Fig. 5a/5b (no OOM observed);
+// max_batch on Jetson is the OOM wall the paper reports (Fig. 5c, §4.1).
+const std::vector<EngineAnchor>& engine_anchors() {
+  static const std::vector<EngineAnchor> anchors = {
+      // Fig. 5a — A100.
+      {"A100", "ViT_Tiny", 1024, 22879.3, 1024, false},
+      {"A100", "ViT_Small", 1024, 9344.2, 1024, false},
+      {"A100", "ViT_Base", 1024, 4095.9, 1024, false},
+      {"A100", "ResNet50", 1024, 16230.7, 1024, false},
+      // Fig. 5b — V100.
+      {"V100", "ViT_Tiny", 1024, 7179.0, 1024, false},
+      {"V100", "ViT_Small", 1024, 2929.3, 1024, false},
+      {"V100", "ViT_Base", 1024, 1482.6, 1024, false},
+      {"V100", "ResNet50", 1024, 8107.3, 1024, false},
+      // Fig. 5c — Jetson Orin Nano (labels give the largest non-OOM batch).
+      {"JetsonOrinNano", "ViT_Tiny", 196, 1170.1, 196, true},
+      {"JetsonOrinNano", "ViT_Small", 64, 469.4, 64, true},
+      {"JetsonOrinNano", "ViT_Base", 8, 201.0, 8, true},
+      {"JetsonOrinNano", "ResNet50", 64, 842.9, 64, true},
+  };
+  return anchors;
+}
+
+std::optional<EngineAnchor> find_anchor(const std::string& device,
+                                        const std::string& model) {
+  for (const EngineAnchor& anchor : engine_anchors()) {
+    if (anchor.device == device && anchor.model == model) return anchor;
+  }
+  return std::nullopt;
+}
+
+}  // namespace harvest::platform

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file calibration.hpp
+/// Calibration anchors for the analytic device model. Because this
+/// reproduction has no physical A100/V100/Jetson, per-(device, model)
+/// engine behaviour is anchored to the measurements the paper itself
+/// publishes (the throughput labels of Fig. 5 and the OOM walls of
+/// Fig. 5c/6c). Every number in calibration.cpp cites its source.
+/// Everything else in the performance model is derived.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace harvest::platform {
+
+struct EngineAnchor {
+  std::string device;   ///< DeviceSpec::name
+  std::string model;    ///< ModelSpec::name (paper spelling)
+  std::int64_t anchor_batch = 0;   ///< batch size of the published label
+  double anchor_img_per_s = 0.0;   ///< published throughput at that batch
+  std::int64_t max_batch = 0;      ///< largest runnable batch
+  bool oom_wall = false;  ///< true when max_batch is a memory limit (Jetson),
+                          ///< false when it is just the sweep limit (1024)
+};
+
+/// All twelve (platform × model) anchors from Fig. 5.
+const std::vector<EngineAnchor>& engine_anchors();
+
+/// Find the anchor for a (device, model) pair.
+std::optional<EngineAnchor> find_anchor(const std::string& device,
+                                        const std::string& model);
+
+}  // namespace harvest::platform

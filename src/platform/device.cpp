@@ -1,0 +1,173 @@
+#include "platform/device.hpp"
+
+#include <thread>
+
+#include "core/units.hpp"
+
+namespace harvest::platform {
+
+const char* precision_name(Precision p) {
+  switch (p) {
+    case Precision::kFP32: return "FP32";
+    case Precision::kTF32: return "TF32";
+    case Precision::kFP16: return "FP16";
+    case Precision::kBF16: return "BF16";
+    case Precision::kINT8: return "INT8";
+  }
+  return "?";
+}
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kOnline: return "Online";
+    case Scenario::kOffline: return "Offline";
+    case Scenario::kRealTime: return "Real-Time";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Throughput multiplier of `p` relative to the device's native half
+/// precision, following tensor-core scaling (§3.1: lower precision is
+/// faster; FP32 runs at half rate, INT8 at double rate).
+double precision_multiplier(Precision native, Precision p) {
+  auto rank = [](Precision q) {
+    switch (q) {
+      case Precision::kFP32: return 0.5;
+      case Precision::kTF32: return 0.5;
+      case Precision::kFP16: return 1.0;
+      case Precision::kBF16: return 1.0;
+      case Precision::kINT8: return 2.0;
+    }
+    return 1.0;
+  };
+  return rank(p) / rank(native);
+}
+
+}  // namespace
+
+double DeviceSpec::theory_tflops_at(Precision p) const {
+  return theory_tflops * precision_multiplier(native_precision, p);
+}
+
+double DeviceSpec::practical_tflops_at(Precision p) const {
+  return practical_tflops * precision_multiplier(native_precision, p);
+}
+
+bool DeviceSpec::supports(Scenario s) const {
+  for (Scenario supported : scenarios) {
+    if (supported == s) return true;
+  }
+  return false;
+}
+
+// All Table 1 values below come straight from the paper; memory
+// bandwidths are the public vendor numbers for the parts named there.
+
+const DeviceSpec& a100() {
+  static const DeviceSpec spec = [] {
+    DeviceSpec d;
+    d.name = "A100";
+    d.description = "MRI cluster (OSU), 1x NVIDIA A100 40GB of 2";
+    d.native_precision = Precision::kBF16;
+    d.theory_tflops = 312.0;     // Table 1
+    d.practical_tflops = 236.3;  // Table 1 (75.74% efficiency)
+    d.kernel_overhead_s = 5e-6;
+    d.gpu_mem_bytes = 40.0 * static_cast<double>(core::kGiB);
+    d.mem_bw_bytes_per_s = 1555e9;  // HBM2e
+    d.runtime_reserve_bytes = 1.5 * static_cast<double>(core::kGiB);
+    d.cpu_cores = 128;           // Table 1
+    d.host_mem_bytes = 256.0 * static_cast<double>(core::kGiB);
+    d.cpu_core_factor = 1.0;
+    d.power_w = 400.0;
+    d.scenarios = {Scenario::kOnline, Scenario::kOffline};
+    return d;
+  }();
+  return spec;
+}
+
+const DeviceSpec& v100() {
+  static const DeviceSpec spec = [] {
+    DeviceSpec d;
+    d.name = "V100";
+    d.description = "OSC Pitzer cluster, 1x NVIDIA V100 16GB of 2";
+    d.native_precision = Precision::kFP16;
+    d.theory_tflops = 112.0;    // Table 1
+    d.practical_tflops = 92.6;  // Table 1 (82.68% efficiency)
+    d.kernel_overhead_s = 6e-6;
+    d.gpu_mem_bytes = 16.0 * static_cast<double>(core::kGiB);
+    d.mem_bw_bytes_per_s = 900e9;  // HBM2
+    d.runtime_reserve_bytes = 1.2 * static_cast<double>(core::kGiB);
+    d.cpu_cores = 40;           // Table 1
+    d.host_mem_bytes = 384.0 * static_cast<double>(core::kGiB);
+    d.cpu_core_factor = 0.85;   // older Xeon generation than MRI
+    d.power_w = 300.0;
+    d.scenarios = {Scenario::kOnline, Scenario::kOffline};
+    return d;
+  }();
+  return spec;
+}
+
+const DeviceSpec& jetson_orin_nano() {
+  static const DeviceSpec spec = [] {
+    DeviceSpec d;
+    d.name = "JetsonOrinNano";
+    d.description =
+        "NVIDIA Jetson Orin Nano Super, 1024 CUDA cores / 32 tensor cores, "
+        "8GB unified, 25W mode";
+    d.native_precision = Precision::kFP16;
+    d.theory_tflops = 17.0;     // Table 1
+    d.practical_tflops = 11.4;  // Table 1 (measured at BF16 per footnote)
+    d.kernel_overhead_s = 15e-6;
+    d.gpu_mem_bytes = 8.0 * static_cast<double>(core::kGiB);
+    d.mem_bw_bytes_per_s = 102e9;  // LPDDR5
+    d.unified_memory = true;
+    // OS + CUDA context + display pipeline share the 8 GB (Table 1 note).
+    d.runtime_reserve_bytes = 2.5 * static_cast<double>(core::kGiB);
+    d.cpu_cores = 6;            // Table 1
+    d.host_mem_bytes = 8.0 * static_cast<double>(core::kGiB);  // unified
+    d.cpu_core_factor = 0.35;   // Cortex-A78AE vs server Xeon
+    d.power_w = 25.0;
+    d.scenarios = {Scenario::kRealTime};
+    return d;
+  }();
+  return spec;
+}
+
+const DeviceSpec& host_cpu() {
+  static const DeviceSpec spec = [] {
+    DeviceSpec d;
+    d.name = "HostCPU";
+    d.description = "machine running this process (native backend)";
+    d.native_precision = Precision::kFP32;
+    const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+    d.cpu_cores = static_cast<std::int64_t>(cores);
+    // Rough order-of-magnitude peak: 8-wide FMA at ~2.5 GHz per core.
+    d.theory_tflops = static_cast<double>(cores) * 40e9 / 1e12;
+    d.practical_tflops = d.theory_tflops * 0.5;
+    d.gpu_mem_bytes = 4.0 * static_cast<double>(core::kGiB);
+    d.mem_bw_bytes_per_s = 20e9;
+    d.unified_memory = true;
+    d.host_mem_bytes = 8.0 * static_cast<double>(core::kGiB);
+    d.scenarios = {Scenario::kOnline, Scenario::kOffline, Scenario::kRealTime};
+    return d;
+  }();
+  return spec;
+}
+
+const std::vector<const DeviceSpec*>& evaluated_platforms() {
+  static const std::vector<const DeviceSpec*> platforms = {
+      &a100(), &v100(), &jetson_orin_nano()};
+  return platforms;
+}
+
+const DeviceSpec* find_device(const std::string& name) {
+  for (const DeviceSpec* d : evaluated_platforms()) {
+    if (d->name == name) return d;
+  }
+  if (host_cpu().name == name) return &host_cpu();
+  return nullptr;
+}
+
+}  // namespace harvest::platform

@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file device.hpp
+/// Hardware platform descriptions across the compute continuum. The
+/// three evaluated platforms encode Table 1 of the paper; `host_cpu()`
+/// describes the machine this library actually runs on and is used by
+/// the real-execution backend.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace harvest::platform {
+
+/// Numeric precisions discussed in §3.1. Each device declares a
+/// throughput multiplier relative to its native half precision.
+enum class Precision { kFP32, kTF32, kFP16, kBF16, kINT8 };
+
+const char* precision_name(Precision p);
+
+/// Deployment scenarios a platform supports (§2.2).
+enum class Scenario { kOnline, kOffline, kRealTime };
+
+const char* scenario_name(Scenario s);
+
+struct DeviceSpec {
+  std::string name;          ///< "A100", "V100", "JetsonOrinNano", "HostCPU"
+  std::string description;   ///< cluster / deployment context
+  // --- compute ---
+  Precision native_precision = Precision::kFP16;
+  double theory_tflops = 0.0;    ///< vendor peak at native precision (Table 1)
+  double practical_tflops = 0.0; ///< measured GEMM peak (Table 1)
+  double kernel_overhead_s = 5e-6;  ///< per-kernel launch/setup cost
+  // --- memory ---
+  double gpu_mem_bytes = 0.0;    ///< device (or unified) memory capacity
+  double mem_bw_bytes_per_s = 0.0;
+  bool unified_memory = false;   ///< CPU+GPU share gpu_mem (Jetson)
+  double runtime_reserve_bytes = 0.0;  ///< CUDA context, OS share, etc.
+  // --- host ---
+  std::int64_t cpu_cores = 1;
+  double host_mem_bytes = 0.0;
+  /// Single-core CPU preprocessing capability relative to a reference
+  /// server core (1.0); edge cores are slower.
+  double cpu_core_factor = 1.0;
+  // --- misc ---
+  double power_w = 0.0;
+  std::vector<Scenario> scenarios;
+
+  /// Peak at an arbitrary precision (×2 for INT8, ×0.5 for FP32/TF32
+  /// relative to native half precision — tensor-core scaling).
+  double theory_tflops_at(Precision p) const;
+  double practical_tflops_at(Precision p) const;
+
+  /// Memory available to inference engines after the runtime reserve.
+  double engine_memory_budget_bytes() const {
+    return gpu_mem_bytes - runtime_reserve_bytes;
+  }
+
+  bool supports(Scenario s) const;
+};
+
+/// Table 1 platforms.
+const DeviceSpec& a100();            ///< MRI cluster, 1×A100 40GB
+const DeviceSpec& v100();            ///< OSC Pitzer, 1×V100 16GB
+const DeviceSpec& jetson_orin_nano();///< edge device, 8GB unified, 25W
+/// The machine this process runs on (used by the native backend).
+const DeviceSpec& host_cpu();
+
+/// The three evaluated platforms in paper order (A100, V100, Jetson).
+const std::vector<const DeviceSpec*>& evaluated_platforms();
+
+/// Lookup by name; nullptr when unknown.
+const DeviceSpec* find_device(const std::string& name);
+
+}  // namespace harvest::platform

@@ -1,0 +1,68 @@
+#include "platform/gemm_bench.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "nn/gemm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace harvest::platform {
+
+GemmPoint simulate_gemm_flops(const DeviceSpec& device, std::int64_t size,
+                              Precision precision) {
+  GemmPoint point;
+  point.size = size;
+  const double n = static_cast<double>(size);
+  const double flops = 2.0 * n * n * n;
+  const double bytes = 3.0 * n * n * 2.0;  // A, B, C at fp16
+  const double peak = device.practical_tflops_at(precision) * 1e12;
+  const double t_compute = flops / peak;
+  const double t_memory = bytes / device.mem_bw_bytes_per_s;
+  point.seconds = std::max(t_compute, t_memory) + device.kernel_overhead_s;
+  point.gflops = flops / point.seconds / 1e9;
+  return point;
+}
+
+std::vector<GemmPoint> simulate_gemm_sweep(const DeviceSpec& device,
+                                           const std::vector<std::int64_t>& sizes,
+                                           Precision precision) {
+  std::vector<GemmPoint> points;
+  points.reserve(sizes.size());
+  for (std::int64_t size : sizes) {
+    points.push_back(simulate_gemm_flops(device, size, precision));
+  }
+  return points;
+}
+
+GemmPoint measure_host_gemm_flops(std::int64_t size, int iters) {
+  using tensor::DType;
+  using tensor::Shape;
+  using tensor::Tensor;
+
+  Tensor a(Shape{size, size}, DType::kF32);
+  Tensor b(Shape{size, size}, DType::kF32);
+  Tensor c(Shape{size, size}, DType::kF32);
+  core::Rng rng(42);
+  for (float& v : a.f32_span()) v = rng.next_float() - 0.5f;
+  for (float& v : b.f32_span()) v = rng.next_float() - 0.5f;
+
+  // Warm-up (page in, populate caches, spin up OpenMP workers).
+  nn::gemm(a.f32(), b.f32(), c.f32(), size, size, size);
+
+  core::WallTimer timer;
+  for (int i = 0; i < iters; ++i) {
+    nn::gemm(a.f32(), b.f32(), c.f32(), size, size, size);
+  }
+  const double elapsed = timer.elapsed_seconds();
+
+  GemmPoint point;
+  point.size = size;
+  point.seconds = elapsed / std::max(iters, 1);
+  const double n = static_cast<double>(size);
+  point.gflops = 2.0 * n * n * n / point.seconds / 1e9;
+  return point;
+}
+
+}  // namespace harvest::platform

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file gemm_bench.hpp
+/// The practical-FLOPS methodology of Table 1: benchmark square GEMMs
+/// and report the sustained rate. Two modes:
+///   * `simulate_gemm_flops` prices a GEMM on a modelled device
+///     (roofline + launch overhead) — used to regenerate Table 1's
+///     "Practical TFLOPS" row for the three paper platforms;
+///   * `measure_host_gemm_flops` actually runs the harvest_nn GEMM on
+///     this machine — the same methodology applied to real hardware.
+
+#include <cstdint>
+#include <vector>
+
+#include "platform/device.hpp"
+
+namespace harvest::platform {
+
+struct GemmPoint {
+  std::int64_t size = 0;     ///< square dimension (M=N=K)
+  double seconds = 0.0;      ///< time per GEMM
+  double gflops = 0.0;       ///< sustained 2·M·N·K / t
+};
+
+/// Price one square GEMM of dimension `size` on a modelled device at a
+/// precision, returning the sustained rate.
+GemmPoint simulate_gemm_flops(const DeviceSpec& device, std::int64_t size,
+                              Precision precision);
+
+/// Sweep sizes and return the best sustained rate (the paper's
+/// "Practical TFLOPS" figure is the peak of such a sweep).
+std::vector<GemmPoint> simulate_gemm_sweep(const DeviceSpec& device,
+                                           const std::vector<std::int64_t>& sizes,
+                                           Precision precision);
+
+/// Run the real blocked GEMM on the host for `iters` iterations and
+/// report the sustained rate. Deterministic inputs.
+GemmPoint measure_host_gemm_flops(std::int64_t size, int iters);
+
+}  // namespace harvest::platform

@@ -1,0 +1,40 @@
+#include "platform/memory.hpp"
+
+#include "core/units.hpp"
+
+namespace harvest::platform {
+
+core::Status MemoryTracker::reserve(const std::string& tag, double bytes) {
+  if (bytes < 0.0) {
+    return core::Status::invalid_argument("negative reservation for " + tag);
+  }
+  const auto it = reservations_.find(tag);
+  const double current = it == reservations_.end() ? 0.0 : it->second;
+  const double delta = bytes - current;
+  if (used_ + delta > capacity_) {
+    return core::Status::out_of_memory(
+        tag + " needs " + core::format_bytes(bytes) + " but only " +
+        core::format_bytes(capacity_ - used_ + current) + " of " +
+        core::format_bytes(capacity_) + " is free");
+  }
+  used_ += delta;
+  reservations_[tag] = bytes;
+  return core::Status::ok();
+}
+
+core::Status MemoryTracker::release(const std::string& tag) {
+  const auto it = reservations_.find(tag);
+  if (it == reservations_.end()) {
+    return core::Status::not_found("no reservation named " + tag);
+  }
+  used_ -= it->second;
+  reservations_.erase(it);
+  return core::Status::ok();
+}
+
+double MemoryTracker::reserved_bytes(const std::string& tag) const {
+  const auto it = reservations_.find(tag);
+  return it == reservations_.end() ? 0.0 : it->second;
+}
+
+}  // namespace harvest::platform

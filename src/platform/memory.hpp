@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file memory.hpp
+/// Device memory accounting. `MemoryTracker` models a device memory
+/// pool with named reservations; the serving runtime uses one per
+/// simulated device so that engine workspaces, preprocessing pools and
+/// multi-instance deployments compete for the same capacity — the
+/// mechanism behind the Jetson contention effects of Fig. 8 (§4.3).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/status.hpp"
+
+namespace harvest::platform {
+
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(double capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  double capacity_bytes() const { return capacity_; }
+  double used_bytes() const { return used_; }
+  double available_bytes() const { return capacity_ - used_; }
+
+  /// Reserve `bytes` under `tag`; fails with kOutOfMemory when the pool
+  /// cannot satisfy the request. Re-reserving an existing tag resizes it
+  /// (the new size must also fit).
+  core::Status reserve(const std::string& tag, double bytes);
+
+  /// Release a reservation; releasing an unknown tag is an error.
+  core::Status release(const std::string& tag);
+
+  /// Bytes currently held by `tag` (0 when absent).
+  double reserved_bytes(const std::string& tag) const;
+
+  std::size_t reservation_count() const { return reservations_.size(); }
+
+ private:
+  double capacity_;
+  double used_ = 0.0;
+  std::map<std::string, double> reservations_;
+};
+
+}  // namespace harvest::platform

@@ -1,0 +1,42 @@
+#include "platform/network.hpp"
+
+namespace harvest::platform {
+
+// Uplink figures are typical sustained rates (not marketing peaks):
+// rural LTE uplink ~8 Mbps, mid-band 5G ~80 Mbps, farm WiFi backhaul
+// ~40 Mbps, campus fiber ~1 Gbps.
+
+const LinkSpec& lte_rural() {
+  static const LinkSpec spec{"LTE-rural", 8e6, 60e-3, 512.0};
+  return spec;
+}
+
+const LinkSpec& nr5g() {
+  static const LinkSpec spec{"5G-midband", 80e6, 25e-3, 512.0};
+  return spec;
+}
+
+const LinkSpec& wifi_backhaul() {
+  static const LinkSpec spec{"WiFi-backhaul", 40e6, 8e-3, 512.0};
+  return spec;
+}
+
+const LinkSpec& fiber() {
+  static const LinkSpec spec{"Fiber", 1e9, 2e-3, 512.0};
+  return spec;
+}
+
+const std::vector<const LinkSpec*>& evaluated_links() {
+  static const std::vector<const LinkSpec*> links = {
+      &lte_rural(), &nr5g(), &wifi_backhaul(), &fiber()};
+  return links;
+}
+
+const LinkSpec* find_link(const std::string& name) {
+  for (const LinkSpec* link : evaluated_links()) {
+    if (link->name == name) return link;
+  }
+  return nullptr;
+}
+
+}  // namespace harvest::platform

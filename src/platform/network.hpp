@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file network.hpp
+/// Uplink models for the online scenario. §2.2.1: online inference
+/// "presents challenges for data transmission, especially when
+/// transmitting large image data to the cloud. It would be beneficial
+/// to leverage advanced wireless capabilities...". A `LinkSpec` prices
+/// moving encoded images from the field to a cloud platform; presets
+/// cover the connectivity actually available on farms.
+
+#include <string>
+#include <vector>
+
+namespace harvest::platform {
+
+struct LinkSpec {
+  std::string name;
+  double uplink_bps = 0.0;   ///< sustained uplink goodput, bits/second
+  double rtt_s = 0.0;        ///< round-trip time (request + response)
+  double per_request_overhead_bytes = 512.0;  ///< headers/framing
+
+  /// Time to move one `bytes`-sized payload up the link (excluding RTT).
+  double transfer_time_s(double bytes) const {
+    return (bytes + per_request_overhead_bytes) * 8.0 / uplink_bps;
+  }
+
+  /// One request's transmission latency: upload + round trip (the
+  /// response payload — a label — is negligible).
+  double request_latency_s(double bytes) const {
+    return transfer_time_s(bytes) + rtt_s;
+  }
+
+  /// Sustainable request rate for payloads of `bytes` (link saturation).
+  double max_request_rate(double bytes) const {
+    return 1.0 / transfer_time_s(bytes);
+  }
+};
+
+/// Rural LTE uplink — the common case at field edges.
+const LinkSpec& lte_rural();
+/// 5G mid-band — the "advanced wireless capabilities" the paper hopes for.
+const LinkSpec& nr5g();
+/// Farm-building WiFi backhaul.
+const LinkSpec& wifi_backhaul();
+/// Campus fiber (the on-site cluster case; effectively not a bottleneck).
+const LinkSpec& fiber();
+
+const std::vector<const LinkSpec*>& evaluated_links();
+const LinkSpec* find_link(const std::string& name);
+
+}  // namespace harvest::platform

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file perf_model.hpp
+/// The analytic engine-performance model — the substitution for running
+/// TensorRT on physical A100/V100/Jetson hardware (see DESIGN.md §4).
+///
+/// Two complementary views are provided:
+///
+/// 1. `EngineModel` — the calibrated saturation model used for the
+///    headline curves (Figs. 5/6/8). Achieved efficiency follows
+///    `eff(BS) = eff_max · BS/(BS + BS_half)` with a fixed per-batch
+///    kernel-launch overhead; `eff_max` is solved so the model passes
+///    exactly through the paper's published anchor point for that
+///    (device, model) pair, and the memory model is solved so the OOM
+///    wall lands on the paper's largest runnable batch.
+///
+/// 2. `roofline_latency()` — a first-principles per-op roofline
+///    (compute vs. weight/activation traffic vs. launch overhead) over
+///    the model's abstract op list. It is not calibrated; it provides
+///    the decomposition used in the analysis benches and a sanity lower
+///    bound on latency.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/flops.hpp"
+#include "nn/models.hpp"
+#include "platform/calibration.hpp"
+#include "platform/device.hpp"
+
+namespace harvest::platform {
+
+/// Result of evaluating the engine model at one batch size.
+struct EngineEstimate {
+  std::int64_t batch = 0;
+  bool oom = false;              ///< memory_required exceeded the budget
+  double latency_s = 0.0;        ///< time to process one batch
+  double throughput_img_per_s = 0.0;
+  double achieved_tflops = 0.0;  ///< throughput × work-per-image
+  double mfu_vs_practical = 0.0; ///< achieved / practical peak
+  double mfu_vs_theory = 0.0;    ///< achieved / vendor peak
+  double memory_bytes = 0.0;     ///< engine footprint at this batch
+  /// Energy per image at the device's power envelope (board power ×
+  /// busy time / batch) — the efficiency axis the paper's conclusion
+  /// says deployments must balance against latency (§5).
+  double energy_per_image_j = 0.0;
+};
+
+class EngineModel {
+ public:
+  /// `profile_bs1` must be the model's profile at batch size 1; it is
+  /// scaled internally. `spec` supplies the paper-convention work per
+  /// image. Calibration anchors are looked up by (device.name,
+  /// spec.name); when absent, a documented heuristic fallback applies
+  /// (custom models on custom devices still get sane curves).
+  EngineModel(const DeviceSpec& device, const nn::ModelSpec& spec,
+              nn::ModelProfile profile_bs1,
+              std::optional<Precision> precision = std::nullopt);
+
+  const DeviceSpec& device() const { return *device_; }
+  const nn::ModelSpec& model_spec() const { return spec_; }
+  Precision precision() const { return precision_; }
+
+  /// Evaluate the calibrated model at a batch size.
+  EngineEstimate estimate(std::int64_t batch) const;
+
+  /// Ideal (fully saturated) latency: BS × work / practical peak — the
+  /// dashed lines of Fig. 6.
+  double ideal_latency_s(std::int64_t batch) const;
+
+  /// Table 3's throughput upper bound: practical peak / work-per-image.
+  double upper_bound_img_per_s() const;
+
+  /// First-principles roofline latency at a batch size (uncalibrated).
+  double roofline_latency_s(std::int64_t batch) const;
+
+  /// Largest batch that fits the current memory budget (≥1 unless even
+  /// batch 1 does not fit, in which case 0).
+  std::int64_t max_batch() const;
+
+  /// Engine memory footprint at a batch size.
+  double memory_required_bytes(std::int64_t batch) const;
+
+  double weights_bytes() const { return weights_bytes_; }
+
+  /// Override the engine's memory budget (bytes). Used to model unified-
+  /// memory contention: on Jetson the preprocessing pool and the engine
+  /// share 8 GB, so handing memory to preprocessing shrinks max_batch()
+  /// (§4.3 of the paper). No-op semantics: pass the device default back
+  /// to restore.
+  void set_memory_budget_bytes(double bytes) { memory_budget_ = bytes; }
+  double memory_budget_bytes() const { return memory_budget_; }
+
+  /// Work per image in the paper's accounting (FLOPs ≙ projection MACs).
+  double work_per_image_flops() const { return work_per_image_; }
+
+  /// Saturation fraction s(BS) = BS/(BS+bs_half) — exposed for tests.
+  double saturation(std::int64_t batch) const;
+  double eff_max() const { return eff_max_; }
+
+ private:
+  double practical_flops() const;  ///< at selected precision, FLOPS
+
+  const DeviceSpec* device_;
+  nn::ModelSpec spec_;
+  nn::ModelProfile profile_bs1_;
+  Precision precision_;
+  double work_per_image_ = 0.0;   ///< FLOPs per image, paper convention
+  double t_fixed_s_ = 0.0;        ///< summed kernel-launch overhead
+  double bs_half_ = 1.0;
+  double eff_max_ = 0.3;
+  double weights_bytes_ = 0.0;
+  double act_bytes_per_image_ = 0.0;  ///< effective, includes workspace factor
+  double memory_budget_ = 0.0;
+  std::optional<EngineAnchor> anchor_;
+};
+
+/// Convenience: build the real graph for `model_name`, profile it at
+/// batch 1 and construct its engine model on `device`.
+EngineModel make_engine_model(const DeviceSpec& device,
+                              const std::string& model_name);
+
+}  // namespace harvest::platform

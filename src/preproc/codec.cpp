@@ -1,0 +1,42 @@
+#include "preproc/codec.hpp"
+
+namespace harvest::preproc {
+
+const char* format_name(ImageFormat format) {
+  switch (format) {
+    case ImageFormat::kPpm: return "PPM";
+    case ImageFormat::kBmp: return "BMP";
+    case ImageFormat::kAtif: return "ATIF";
+    case ImageFormat::kAgJpeg: return "AgJPEG";
+    case ImageFormat::kRaw: return "RAW";
+  }
+  return "?";
+}
+
+EncodedImage encode_image(const Image& image, ImageFormat format, int quality) {
+  EncodedImage out;
+  out.format = format;
+  out.width = image.width();
+  out.height = image.height();
+  switch (format) {
+    case ImageFormat::kPpm: out.bytes = encode_ppm(image); break;
+    case ImageFormat::kBmp: out.bytes = encode_bmp(image); break;
+    case ImageFormat::kAtif: out.bytes = encode_atif(image); break;
+    case ImageFormat::kAgJpeg: out.bytes = encode_agjpeg(image, quality); break;
+    case ImageFormat::kRaw: out.bytes = encode_raw(image); break;
+  }
+  return out;
+}
+
+core::Result<Image> decode_image(const EncodedImage& encoded) {
+  switch (encoded.format) {
+    case ImageFormat::kPpm: return decode_ppm(encoded.bytes);
+    case ImageFormat::kBmp: return decode_bmp(encoded.bytes);
+    case ImageFormat::kAtif: return decode_atif(encoded.bytes);
+    case ImageFormat::kAgJpeg: return decode_agjpeg(encoded.bytes);
+    case ImageFormat::kRaw: return decode_raw(encoded.bytes);
+  }
+  return core::Status::invalid_argument("unknown image format");
+}
+
+}  // namespace harvest::preproc

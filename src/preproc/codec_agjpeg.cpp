@@ -1,0 +1,307 @@
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "preproc/codec.hpp"
+
+namespace harvest::preproc {
+namespace {
+
+// "AgJPEG" — a real lossy transform codec with the same pipeline shape
+// (and therefore the same cost scaling) as baseline JPEG:
+//   RGB → YCbCr → per-channel 8×8 blocks → 2-D DCT → quantize →
+//   zigzag → zero-run-length + signed-varint entropy coding.
+// 4:4:4 sampling (no chroma subsampling) keeps the block geometry
+// uniform. Decode reverses every stage; round-trip error is bounded by
+// the quantization step (tested in codec_test.cpp).
+
+constexpr char kMagic[4] = {'A', 'G', 'J', 'P'};
+constexpr int kBlock = 8;
+constexpr std::uint8_t kEndOfBlock = 0xFF;
+
+// ITU-T T.81 Annex K luminance quantization table.
+constexpr std::array<int, 64> kBaseQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,
+    12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,
+    14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,
+    24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, 64> kZigzag = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+std::array<int, 64> scaled_quant(int quality) {
+  quality = std::clamp(quality, 1, 100);
+  // libjpeg quality scaling.
+  const int scale = quality < 50 ? 5000 / quality : 200 - 2 * quality;
+  std::array<int, 64> q{};
+  for (int i = 0; i < 64; ++i) {
+    q[static_cast<std::size_t>(i)] = std::clamp(
+        (kBaseQuant[static_cast<std::size_t>(i)] * scale + 50) / 100, 1, 255);
+  }
+  return q;
+}
+
+const std::array<std::array<double, kBlock>, kBlock>& dct_cos_table() {
+  static const auto table = [] {
+    std::array<std::array<double, kBlock>, kBlock> t{};
+    for (int k = 0; k < kBlock; ++k) {
+      for (int n = 0; n < kBlock; ++n) {
+        t[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)] =
+            std::cos((2.0 * n + 1.0) * k * M_PI / (2.0 * kBlock));
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+void dct_2d(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  const auto& c = dct_cos_table();
+  double tmp[kBlock][kBlock];
+  // Rows then columns (separable DCT-II with orthonormal scaling).
+  for (int y = 0; y < kBlock; ++y) {
+    for (int k = 0; k < kBlock; ++k) {
+      double acc = 0.0;
+      for (int n = 0; n < kBlock; ++n) {
+        acc += in[y][n] * c[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)];
+      }
+      tmp[y][k] = acc * (k == 0 ? std::sqrt(1.0 / kBlock) : std::sqrt(2.0 / kBlock));
+    }
+  }
+  for (int x = 0; x < kBlock; ++x) {
+    for (int k = 0; k < kBlock; ++k) {
+      double acc = 0.0;
+      for (int n = 0; n < kBlock; ++n) {
+        acc += tmp[n][x] * c[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)];
+      }
+      out[k][x] = acc * (k == 0 ? std::sqrt(1.0 / kBlock) : std::sqrt(2.0 / kBlock));
+    }
+  }
+}
+
+void idct_2d(const double in[kBlock][kBlock], double out[kBlock][kBlock]) {
+  const auto& c = dct_cos_table();
+  double tmp[kBlock][kBlock];
+  for (int x = 0; x < kBlock; ++x) {
+    for (int n = 0; n < kBlock; ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < kBlock; ++k) {
+        const double scale =
+            k == 0 ? std::sqrt(1.0 / kBlock) : std::sqrt(2.0 / kBlock);
+        acc += scale * in[k][x] *
+               c[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)];
+      }
+      tmp[n][x] = acc;
+    }
+  }
+  for (int y = 0; y < kBlock; ++y) {
+    for (int n = 0; n < kBlock; ++n) {
+      double acc = 0.0;
+      for (int k = 0; k < kBlock; ++k) {
+        const double scale =
+            k == 0 ? std::sqrt(1.0 / kBlock) : std::sqrt(2.0 / kBlock);
+        acc += scale * tmp[y][k] *
+               c[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)];
+      }
+      out[y][n] = acc;
+    }
+  }
+}
+
+void append_varint(std::vector<std::uint8_t>& out, int value) {
+  // Zigzag-map sign then LEB128.
+  std::uint32_t encoded =
+      value >= 0 ? static_cast<std::uint32_t>(value) << 1
+                 : (static_cast<std::uint32_t>(-(value + 1)) << 1) | 1;
+  while (encoded >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(encoded) | 0x80);
+    encoded >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(encoded));
+}
+
+bool read_varint(const std::vector<std::uint8_t>& bytes, std::size_t& pos,
+                 int& value) {
+  std::uint32_t encoded = 0;
+  int shift = 0;
+  while (pos < bytes.size()) {
+    const std::uint8_t b = bytes[pos++];
+    encoded |= static_cast<std::uint32_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) {
+      value = (encoded & 1) != 0
+                  ? -static_cast<int>(encoded >> 1) - 1
+                  : static_cast<int>(encoded >> 1);
+      return true;
+    }
+    shift += 7;
+    if (shift > 28) return false;
+  }
+  return false;
+}
+
+void rgb_to_ycbcr(double r, double g, double b, double& y, double& cb,
+                  double& cr) {
+  y = 0.299 * r + 0.587 * g + 0.114 * b;
+  cb = -0.168736 * r - 0.331264 * g + 0.5 * b + 128.0;
+  cr = 0.5 * r - 0.418688 * g - 0.081312 * b + 128.0;
+}
+
+void ycbcr_to_rgb(double y, double cb, double cr, double& r, double& g,
+                  double& b) {
+  r = y + 1.402 * (cr - 128.0);
+  g = y - 0.344136 * (cb - 128.0) - 0.714136 * (cr - 128.0);
+  b = y + 1.772 * (cb - 128.0);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_agjpeg(const Image& image, int quality) {
+  HARVEST_CHECK_MSG(image.channels() == 3, "AgJPEG expects RGB");
+  const std::int64_t w = image.width();
+  const std::int64_t h = image.height();
+  const std::int64_t bw = (w + kBlock - 1) / kBlock;
+  const std::int64_t bh = (h + kBlock - 1) / kBlock;
+  const auto quant = scaled_quant(quality);
+
+  std::vector<std::uint8_t> out(21);
+  std::memcpy(out.data(), kMagic, 4);
+  std::memcpy(out.data() + 4, &w, 8);
+  std::memcpy(out.data() + 12, &h, 8);
+  out[20] = static_cast<std::uint8_t>(std::clamp(quality, 1, 100));
+
+  double block[kBlock][kBlock];
+  double coeffs[kBlock][kBlock];
+  // Channel-major: all Y blocks, then Cb, then Cr (decode mirrors this).
+  for (int channel = 0; channel < 3; ++channel) {
+    for (std::int64_t by = 0; by < bh; ++by) {
+      for (std::int64_t bx = 0; bx < bw; ++bx) {
+        for (int y = 0; y < kBlock; ++y) {
+          for (int x = 0; x < kBlock; ++x) {
+            // Clamp-to-edge padding.
+            const std::int64_t sx = std::min(bx * kBlock + x, w - 1);
+            const std::int64_t sy = std::min(by * kBlock + y, h - 1);
+            double yy;
+            double cb;
+            double cr;
+            rgb_to_ycbcr(image.at(sx, sy, 0), image.at(sx, sy, 1),
+                         image.at(sx, sy, 2), yy, cb, cr);
+            const double value = channel == 0 ? yy : (channel == 1 ? cb : cr);
+            block[y][x] = value - 128.0;
+          }
+        }
+        dct_2d(block, coeffs);
+        // Quantize in zigzag order, then run-length encode zeros.
+        int run = 0;
+        for (int i = 0; i < 64; ++i) {
+          const int pos = kZigzag[static_cast<std::size_t>(i)];
+          const int q = quant[static_cast<std::size_t>(pos)];
+          const int level = static_cast<int>(
+              std::lround(coeffs[pos / kBlock][pos % kBlock] / q));
+          if (level == 0) {
+            ++run;
+            continue;
+          }
+          // run ≤ 63 always (64 coefficients per block), so a single
+          // (run, level) pair suffices.
+          out.push_back(static_cast<std::uint8_t>(run));
+          append_varint(out, level);
+          run = 0;
+        }
+        out.push_back(kEndOfBlock);
+      }
+    }
+  }
+  return out;
+}
+
+core::Result<Image> decode_agjpeg(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 21 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return core::Status::invalid_argument("not an AgJPEG stream");
+  }
+  std::int64_t w = 0;
+  std::int64_t h = 0;
+  std::memcpy(&w, bytes.data() + 4, 8);
+  std::memcpy(&h, bytes.data() + 12, 8);
+  const int quality = bytes[20];
+  if (w <= 0 || h <= 0 || w > 1 << 20 || h > 1 << 20 || quality < 1 ||
+      quality > 100) {
+    return core::Status::invalid_argument("bad AgJPEG header");
+  }
+  const std::int64_t bw = (w + kBlock - 1) / kBlock;
+  const std::int64_t bh = (h + kBlock - 1) / kBlock;
+  const auto quant = scaled_quant(quality);
+
+  // Reconstruct planar YCbCr, then convert to RGB at the end.
+  std::vector<double> planes(static_cast<std::size_t>(3 * w * h), 0.0);
+  std::size_t pos = 21;
+  double coeffs[kBlock][kBlock];
+  double block[kBlock][kBlock];
+
+  for (int channel = 0; channel < 3; ++channel) {
+    double* plane = planes.data() + static_cast<std::size_t>(channel * w * h);
+    for (std::int64_t by = 0; by < bh; ++by) {
+      for (std::int64_t bx = 0; bx < bw; ++bx) {
+        std::memset(coeffs, 0, sizeof(coeffs));
+        int index = 0;
+        for (;;) {
+          if (pos >= bytes.size()) {
+            return core::Status::invalid_argument("truncated AgJPEG block");
+          }
+          const std::uint8_t run = bytes[pos++];
+          if (run == kEndOfBlock) break;
+          int level = 0;
+          if (!read_varint(bytes, pos, level)) {
+            return core::Status::invalid_argument("corrupt AgJPEG varint");
+          }
+          index += run;
+          if (index >= 64) {
+            return core::Status::invalid_argument("AgJPEG coefficient overflow");
+          }
+          const int zz = kZigzag[static_cast<std::size_t>(index)];
+          coeffs[zz / kBlock][zz % kBlock] =
+              static_cast<double>(level) *
+              quant[static_cast<std::size_t>(zz)];
+          ++index;
+        }
+        idct_2d(coeffs, block);
+        for (int y = 0; y < kBlock; ++y) {
+          const std::int64_t sy = by * kBlock + y;
+          if (sy >= h) break;
+          for (int x = 0; x < kBlock; ++x) {
+            const std::int64_t sx = bx * kBlock + x;
+            if (sx >= w) break;
+            plane[sy * w + sx] = block[y][x] + 128.0;
+          }
+        }
+      }
+    }
+  }
+  if (pos != bytes.size()) {
+    return core::Status::invalid_argument("trailing bytes in AgJPEG stream");
+  }
+
+  Image img(w, h, 3);
+  const double* py = planes.data();
+  const double* pcb = planes.data() + static_cast<std::size_t>(w * h);
+  const double* pcr = planes.data() + static_cast<std::size_t>(2 * w * h);
+  for (std::int64_t i = 0; i < w * h; ++i) {
+    double r;
+    double g;
+    double b;
+    ycbcr_to_rgb(py[i], pcb[i], pcr[i], r, g, b);
+    img.data()[i * 3 + 0] = static_cast<std::uint8_t>(std::clamp(r, 0.0, 255.0));
+    img.data()[i * 3 + 1] = static_cast<std::uint8_t>(std::clamp(g, 0.0, 255.0));
+    img.data()[i * 3 + 2] = static_cast<std::uint8_t>(std::clamp(b, 0.0, 255.0));
+  }
+  return img;
+}
+
+}  // namespace harvest::preproc

@@ -1,0 +1,173 @@
+#include <cstring>
+#include <unordered_map>
+
+#include "preproc/codec.hpp"
+
+namespace harvest::preproc {
+namespace {
+
+// "ATIF" — Ag-TIFF: an LZW-compressed raster container standing in for
+// TIFF/LZW (the Corn Growth Stage UAS imagery format). Header: magic,
+// width/height (i64 LE), then an LZW stream of fixed 16-bit codes with
+// dictionary reset when the table fills — the scheme TIFF's LZW tag
+// uses, with fixed-width codes instead of variable-width for a simpler,
+// exactly-synchronized encoder/decoder pair.
+//
+// Synchronization argument: both sides perform one table-add per
+// emitted/consumed code after the first, so add #k happens at the same
+// stream position on both sides; when the table is full both sides skip
+// that add and reset instead. The first code after a reset is always a
+// literal (< 256), which expands identically under the old and new
+// tables, so the decoder may safely reset one read later than the
+// encoder's emit position.
+
+constexpr char kMagic[4] = {'A', 'T', 'I', 'F'};
+constexpr std::uint32_t kTableLimit = 1u << 16;
+constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+void put_code(std::vector<std::uint8_t>& out, std::uint32_t code) {
+  out.push_back(static_cast<std::uint8_t>(code & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((code >> 8) & 0xFF));
+}
+
+void lzw_compress(const std::uint8_t* data, std::size_t size,
+                  std::vector<std::uint8_t>& out) {
+  std::unordered_map<std::uint64_t, std::uint32_t> table;
+  table.reserve(1 << 15);
+  std::uint32_t next_code = 256;
+  std::uint32_t current = kInvalid;
+
+  for (std::size_t i = 0; i < size; ++i) {
+    const std::uint8_t byte = data[i];
+    if (current == kInvalid) {
+      current = byte;
+      continue;
+    }
+    const std::uint64_t key = (static_cast<std::uint64_t>(current) << 8) | byte;
+    const auto it = table.find(key);
+    if (it != table.end()) {
+      current = it->second;
+      continue;
+    }
+    put_code(out, current);
+    if (next_code < kTableLimit) {
+      table.emplace(key, next_code++);
+    } else {
+      table.clear();
+      next_code = 256;
+    }
+    current = byte;
+  }
+  if (current != kInvalid) put_code(out, current);
+}
+
+bool lzw_decompress(const std::uint8_t* data, std::size_t size,
+                    std::uint8_t* out, std::size_t out_size) {
+  if (out_size == 0) return size == 0;
+  if (size % 2 != 0) return false;
+
+  struct Entry {
+    std::uint32_t prefix;  ///< kInvalid terminates the chain
+    std::uint8_t byte;
+  };
+  std::vector<Entry> table;
+  auto reset_table = [&table] {
+    table.clear();
+    table.reserve(kTableLimit);
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      table.push_back({kInvalid, static_cast<std::uint8_t>(i)});
+    }
+  };
+  reset_table();
+
+  std::size_t pos = 0;
+  auto read_code = [&](std::uint32_t& code) {
+    if (pos + 2 > size) return false;
+    code = static_cast<std::uint32_t>(data[pos]) |
+           (static_cast<std::uint32_t>(data[pos + 1]) << 8);
+    pos += 2;
+    return true;
+  };
+
+  std::size_t written = 0;
+  std::vector<std::uint8_t> scratch;
+  scratch.reserve(1024);
+  // Expands `code` into `scratch` (reversed chain, then emitted forward).
+  auto emit = [&](std::uint32_t code) -> bool {
+    scratch.clear();
+    while (code != kInvalid) {
+      if (code >= table.size()) return false;
+      scratch.push_back(table[code].byte);
+      code = table[code].prefix;
+    }
+    if (written + scratch.size() > out_size) return false;
+    for (std::size_t i = scratch.size(); i > 0; --i) {
+      out[written++] = scratch[i - 1];
+    }
+    return true;
+  };
+
+  std::uint32_t prev = kInvalid;
+  while (written < out_size) {
+    std::uint32_t code = 0;
+    if (!read_code(code)) return false;
+
+    std::size_t entry_start = written;
+    if (code < table.size()) {
+      if (!emit(code)) return false;
+    } else if (code == table.size() && prev != kInvalid) {
+      // KwKwK: string(prev) + first(string(prev)).
+      if (!emit(prev)) return false;
+      if (written >= out_size) return false;
+      out[written] = out[entry_start];
+      ++written;
+    } else {
+      return false;
+    }
+
+    if (table.size() >= kTableLimit) {
+      // Mirror the encoder's skipped-add reset. `code` here is the first
+      // post-reset code and is guaranteed to be a literal.
+      reset_table();
+      if (code >= 256) return false;
+    } else if (prev != kInvalid) {
+      table.push_back({prev, out[entry_start]});
+    }
+    prev = code;
+  }
+  return pos == size;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_atif(const Image& image) {
+  std::vector<std::uint8_t> out(20);
+  std::memcpy(out.data(), kMagic, 4);
+  const std::int64_t w = image.width();
+  const std::int64_t h = image.height();
+  std::memcpy(out.data() + 4, &w, 8);
+  std::memcpy(out.data() + 12, &h, 8);
+  lzw_compress(image.data(), image.byte_size(), out);
+  return out;
+}
+
+core::Result<Image> decode_atif(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 20 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return core::Status::invalid_argument("not an ATIF container");
+  }
+  std::int64_t w = 0;
+  std::int64_t h = 0;
+  std::memcpy(&w, bytes.data() + 4, 8);
+  std::memcpy(&h, bytes.data() + 12, 8);
+  if (w <= 0 || h <= 0 || w > 1 << 20 || h > 1 << 20) {
+    return core::Status::invalid_argument("bad ATIF geometry");
+  }
+  Image img(w, h, 3);
+  if (!lzw_decompress(bytes.data() + 20, bytes.size() - 20, img.data(),
+                      img.byte_size())) {
+    return core::Status::invalid_argument("corrupt ATIF stream");
+  }
+  return img;
+}
+
+}  // namespace harvest::preproc

@@ -1,0 +1,76 @@
+#include <cctype>
+#include <cstring>
+
+#include "preproc/codec.hpp"
+
+namespace harvest::preproc {
+
+// PPM "P6": ASCII header (magic, width, height, maxval) + raw RGB bytes.
+
+std::vector<std::uint8_t> encode_ppm(const Image& image) {
+  HARVEST_CHECK_MSG(image.channels() == 3, "PPM supports 3-channel images");
+  std::string header = "P6\n" + std::to_string(image.width()) + " " +
+                       std::to_string(image.height()) + "\n255\n";
+  std::vector<std::uint8_t> out(header.size() + image.byte_size());
+  std::memcpy(out.data(), header.data(), header.size());
+  std::memcpy(out.data() + header.size(), image.data(), image.byte_size());
+  return out;
+}
+
+namespace {
+
+/// Parse an ASCII unsigned integer, skipping whitespace and `#` comments.
+bool parse_ppm_int(const std::vector<std::uint8_t>& bytes, std::size_t& pos,
+                   std::int64_t& value) {
+  while (pos < bytes.size()) {
+    const char c = static_cast<char>(bytes[pos]);
+    if (c == '#') {
+      while (pos < bytes.size() && bytes[pos] != '\n') ++pos;
+    } else if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++pos;
+    } else {
+      break;
+    }
+  }
+  if (pos >= bytes.size() ||
+      std::isdigit(static_cast<unsigned char>(bytes[pos])) == 0) {
+    return false;
+  }
+  value = 0;
+  while (pos < bytes.size() &&
+         std::isdigit(static_cast<unsigned char>(bytes[pos])) != 0) {
+    value = value * 10 + (bytes[pos] - '0');
+    if (value > 1'000'000'000) return false;
+    ++pos;
+  }
+  return true;
+}
+
+}  // namespace
+
+core::Result<Image> decode_ppm(const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 2 || bytes[0] != 'P' || bytes[1] != '6') {
+    return core::Status::invalid_argument("not a P6 PPM");
+  }
+  std::size_t pos = 2;
+  std::int64_t width = 0;
+  std::int64_t height = 0;
+  std::int64_t maxval = 0;
+  if (!parse_ppm_int(bytes, pos, width) || !parse_ppm_int(bytes, pos, height) ||
+      !parse_ppm_int(bytes, pos, maxval)) {
+    return core::Status::invalid_argument("corrupt PPM header");
+  }
+  if (width <= 0 || height <= 0 || maxval != 255) {
+    return core::Status::invalid_argument("unsupported PPM geometry");
+  }
+  ++pos;  // single whitespace after maxval
+  const std::size_t expected = static_cast<std::size_t>(width * height * 3);
+  if (bytes.size() < pos + expected) {
+    return core::Status::invalid_argument("truncated PPM payload");
+  }
+  Image img(width, height, 3);
+  std::memcpy(img.data(), bytes.data() + pos, expected);
+  return img;
+}
+
+}  // namespace harvest::preproc

@@ -1,0 +1,117 @@
+#include "preproc/cost_model.hpp"
+
+#include <algorithm>
+
+#include "core/status.hpp"
+
+namespace harvest::preproc {
+
+double format_decode_factor(ImageFormat format) {
+  switch (format) {
+    case ImageFormat::kRaw: return 0.0;    // camera feed, nothing to decode
+    case ImageFormat::kPpm: return 0.1;    // header parse + memcpy
+    case ImageFormat::kBmp: return 0.15;   // row swizzle
+    case ImageFormat::kAgJpeg: return 1.0; // DCT-class decode (reference)
+    case ImageFormat::kAtif: return 1.6;   // LZW is serial and branchy
+  }
+  return 1.0;
+}
+
+PreprocRates preproc_rates(const platform::DeviceSpec& device) {
+  PreprocRates r;
+  // CPU rates: reference server core, scaled by the platform's
+  // single-core factor (Jetson's Cortex cores are ~3x slower).
+  const double core = device.cpu_core_factor;
+  r.cpu_decode_pixels_per_s = 130e6 * core;
+  r.cpu_transform_elems_per_s = 200e6 * core;
+  r.cpu_warp_pixels_per_s = 80e6 * core;
+  r.cpu_fixed_per_image_s = 0.3e-3 / std::max(core, 0.1);
+
+  if (device.name == "A100") {
+    // A100 ships a hardware JPEG decode engine (nvJPEG HW path); this is
+    // why Fig. 7a's DALI bars dwarf Fig. 7b's.
+    r.gpu_decode_pixels_per_s = 5.0e9;
+    r.gpu_transform_elems_per_s = 1.5e9;
+    r.gpu_warp_pixels_per_s = 1.5e9;
+    r.gpu_fixed_per_image_s = 60e-6;
+    r.gpu_batch_overhead_s = 1.0e-3;
+  } else if (device.name == "V100") {
+    r.gpu_decode_pixels_per_s = 0.4e9;  // CUDA software decode
+    r.gpu_transform_elems_per_s = 0.8e9;
+    r.gpu_warp_pixels_per_s = 0.8e9;
+    r.gpu_fixed_per_image_s = 150e-6;
+    r.gpu_batch_overhead_s = 1.5e-3;
+  } else if (device.name == "JetsonOrinNano") {
+    r.gpu_decode_pixels_per_s = 0.15e9;
+    r.gpu_transform_elems_per_s = 0.25e9;
+    r.gpu_warp_pixels_per_s = 0.25e9;
+    r.gpu_fixed_per_image_s = 300e-6;
+    r.gpu_batch_overhead_s = 3.0e-3;
+  } else {
+    // Unknown / host platforms: GPU path unavailable — model it as a
+    // thread-parallel CPU path.
+    const double cores = static_cast<double>(device.cpu_cores);
+    r.gpu_decode_pixels_per_s = r.cpu_decode_pixels_per_s * cores;
+    r.gpu_transform_elems_per_s = r.cpu_transform_elems_per_s * cores;
+    r.gpu_warp_pixels_per_s = r.cpu_warp_pixels_per_s * cores;
+    r.gpu_fixed_per_image_s = r.cpu_fixed_per_image_s;
+    r.gpu_batch_overhead_s = 0.5e-3;
+  }
+  return r;
+}
+
+PreprocEstimate estimate_preproc(const platform::DeviceSpec& device,
+                                 const WorkloadImageStats& stats,
+                                 PreprocMethod method, std::int64_t batch,
+                                 std::int64_t model_input) {
+  HARVEST_CHECK_MSG(batch >= 1, "batch must be positive");
+  const PreprocRates rates = preproc_rates(device);
+  const std::int64_t out_size = preproc_output_size(method, model_input);
+  const double out_elems = 3.0 * static_cast<double>(out_size * out_size);
+  const double decode_factor = format_decode_factor(stats.format);
+  const bool gpu_path = method == PreprocMethod::kDali224 ||
+                        method == PreprocMethod::kDali96 ||
+                        method == PreprocMethod::kDali32;
+
+  PreprocEstimate est;
+  double per_image = 0.0;
+  if (gpu_path) {
+    if (decode_factor > 0.0) {
+      // LZW-class containers have no hardware decode path — they fall
+      // back to a slower kernel (×3 on top of the format factor).
+      const double rate = stats.format == ImageFormat::kAtif
+                              ? rates.gpu_decode_pixels_per_s / 3.0
+                              : rates.gpu_decode_pixels_per_s;
+      per_image += stats.mean_pixels * decode_factor / rate;
+    }
+    if (stats.needs_perspective) {
+      per_image += stats.mean_pixels / rates.gpu_warp_pixels_per_s;
+    }
+    per_image += out_elems / rates.gpu_transform_elems_per_s;
+    per_image += rates.gpu_fixed_per_image_s;
+    est.latency_s =
+        rates.gpu_batch_overhead_s + per_image * static_cast<double>(batch);
+  } else {
+    if (decode_factor > 0.0) {
+      per_image += stats.mean_pixels * decode_factor / rates.cpu_decode_pixels_per_s;
+    }
+    const bool warp =
+        stats.needs_perspective || method == PreprocMethod::kCv2;
+    if (warp) {
+      per_image += stats.mean_pixels / rates.cpu_warp_pixels_per_s;
+    }
+    // Resize reads the input once and writes the output once.
+    per_image += (stats.mean_pixels * 3.0 + out_elems) /
+                 rates.cpu_transform_elems_per_s;
+    per_image += rates.cpu_fixed_per_image_s;
+    est.latency_s = per_image * static_cast<double>(batch);
+  }
+  est.throughput_img_per_s = static_cast<double>(batch) / est.latency_s;
+  // Pinned buffers: decoded image + output tensor per slot, double
+  // buffered so the next batch can stage while this one is consumed.
+  est.pool_bytes = 2.0 * static_cast<double>(batch) *
+                   (stats.mean_pixels * 3.0 + out_elems * 4.0);
+  return est;
+}
+
+}  // namespace harvest::preproc

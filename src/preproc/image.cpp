@@ -1,0 +1,92 @@
+#include "preproc/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harvest::preproc {
+namespace {
+
+/// Smooth value-noise helper: bilinear interpolation over a coarse
+/// lattice of hashed values; cheap and fully deterministic.
+double value_noise(std::uint64_t seed, double x, double y) {
+  const auto x0 = static_cast<std::int64_t>(std::floor(x));
+  const auto y0 = static_cast<std::int64_t>(std::floor(y));
+  auto lattice = [seed](std::int64_t ix, std::int64_t iy) {
+    const std::uint64_t h = core::splitmix64(
+        seed ^ (static_cast<std::uint64_t>(ix) * 0x9E3779B97F4A7C15ULL) ^
+        (static_cast<std::uint64_t>(iy) * 0xC2B2AE3D27D4EB4FULL));
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+  };
+  const double fx = x - static_cast<double>(x0);
+  const double fy = y - static_cast<double>(y0);
+  const double top = lattice(x0, y0) * (1 - fx) + lattice(x0 + 1, y0) * fx;
+  const double bottom =
+      lattice(x0, y0 + 1) * (1 - fx) + lattice(x0 + 1, y0 + 1) * fx;
+  return top * (1 - fy) + bottom * fy;
+}
+
+}  // namespace
+
+Image synthesize_field_image(std::int64_t width, std::int64_t height,
+                             std::uint64_t seed) {
+  Image img(width, height, 3);
+  core::Rng rng(seed);
+
+  // Blob centres standing in for plants / residue patches.
+  const int blob_count = 4 + static_cast<int>(rng.uniform_int(0, 5));
+  struct Blob {
+    double x, y, radius, greenness;
+  };
+  std::vector<Blob> blobs;
+  blobs.reserve(static_cast<std::size_t>(blob_count));
+  for (int i = 0; i < blob_count; ++i) {
+    blobs.push_back({rng.uniform(0.0, static_cast<double>(width)),
+                     rng.uniform(0.0, static_cast<double>(height)),
+                     rng.uniform(0.08, 0.25) * static_cast<double>(width),
+                     rng.uniform(0.4, 1.0)});
+  }
+
+  const double noise_scale = 12.0 / static_cast<double>(std::max<std::int64_t>(
+                                        width, 1));
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      const double n = value_noise(seed, static_cast<double>(x) * noise_scale,
+                                   static_cast<double>(y) * noise_scale);
+      // Soil base tone modulated by noise.
+      double r = 110.0 + 50.0 * n;
+      double g = 85.0 + 40.0 * n;
+      double b = 60.0 + 30.0 * n;
+      // Vegetation blobs push toward green.
+      for (const Blob& blob : blobs) {
+        const double dx = static_cast<double>(x) - blob.x;
+        const double dy = static_cast<double>(y) - blob.y;
+        const double d2 = (dx * dx + dy * dy) / (blob.radius * blob.radius);
+        if (d2 < 1.0) {
+          const double w = (1.0 - d2) * blob.greenness;
+          r = r * (1.0 - w) + 40.0 * w;
+          g = g * (1.0 - w) + 150.0 * w;
+          b = b * (1.0 - w) + 45.0 * w;
+        }
+      }
+      // Mild sensor noise.
+      const double jitter = 4.0 * (rng.next_double() - 0.5);
+      img.at(x, y, 0) = static_cast<std::uint8_t>(std::clamp(r + jitter, 0.0, 255.0));
+      img.at(x, y, 1) = static_cast<std::uint8_t>(std::clamp(g + jitter, 0.0, 255.0));
+      img.at(x, y, 2) = static_cast<std::uint8_t>(std::clamp(b + jitter, 0.0, 255.0));
+    }
+  }
+  return img;
+}
+
+double mean_abs_diff(const Image& a, const Image& b) {
+  HARVEST_CHECK_MSG(a.same_dims(b), "images must match in size");
+  const std::uint8_t* pa = a.data();
+  const std::uint8_t* pb = b.data();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.byte_size(); ++i) {
+    acc += std::abs(static_cast<int>(pa[i]) - static_cast<int>(pb[i]));
+  }
+  return a.byte_size() > 0 ? acc / static_cast<double>(a.byte_size()) : 0.0;
+}
+
+}  // namespace harvest::preproc

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file backend.hpp
+/// The backend abstraction: a loaded engine that turns a preprocessed
+/// batch into logits. `NativeBackend` executes the real harvest_nn graph
+/// on the host CPU; `SimBackend` prices the batch with the calibrated
+/// device model and synthesizes logits — the serving layer above cannot
+/// tell them apart (the point of the substitution).
+
+#include <memory>
+#include <string>
+
+#include "core/status.hpp"
+#include "tensor/tensor.hpp"
+
+namespace harvest::serving {
+
+struct BackendResult {
+  tensor::Tensor logits;     ///< [N, num_classes]
+  double device_seconds = 0.0;  ///< engine-reported execution time
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  virtual const std::string& name() const = 0;
+  virtual std::int64_t max_batch() const = 0;
+  virtual std::int64_t num_classes() const = 0;
+  /// Expected input: [N, 3, S, S] with N ≤ max_batch().
+  virtual core::Result<BackendResult> infer(const tensor::Tensor& batch) = 0;
+  /// Model input edge S.
+  virtual std::int64_t input_size() const = 0;
+};
+
+using BackendPtr = std::unique_ptr<Backend>;
+
+}  // namespace harvest::serving

@@ -1,0 +1,75 @@
+#include "serving/batcher.hpp"
+
+namespace harvest::serving {
+
+core::Result<std::future<InferenceResponse>> DynamicBatcher::submit(
+    InferenceRequest request) {
+  std::scoped_lock lock(mutex_);
+  if (shutdown_) {
+    return core::Status::unavailable("batcher is shut down");
+  }
+  if (queue_.size() >= config_.max_queue_depth) {
+    return core::Status::unavailable("request queue is full");
+  }
+  PendingRequest pending;
+  pending.request = std::move(request);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  std::future<InferenceResponse> future = pending.promise.get_future();
+  queue_.push_back(std::move(pending));
+  cv_.notify_one();
+  return future;
+}
+
+std::vector<PendingRequest> DynamicBatcher::wait_batch() {
+  std::unique_lock lock(mutex_);
+  const auto delay = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double>(config_.max_queue_delay_s));
+  for (;;) {
+    if (shutdown_ && queue_.empty()) return {};
+    if (!queue_.empty()) {
+      const auto age_limit = queue_.front().enqueued_at + delay;
+      const bool full =
+          queue_.size() >= static_cast<std::size_t>(config_.max_batch);
+      const bool aged = std::chrono::steady_clock::now() >= age_limit;
+      // Largest preferred size the current queue can fill, if any.
+      std::size_t preferred = 0;
+      for (std::int64_t size : config_.preferred_batch_sizes) {
+        if (size > 0 && size <= config_.max_batch &&
+            queue_.size() >= static_cast<std::size_t>(size)) {
+          preferred = std::max(preferred, static_cast<std::size_t>(size));
+        }
+      }
+      if (full || aged || shutdown_ || preferred > 0) {
+        std::size_t take = std::min(
+            queue_.size(), static_cast<std::size_t>(config_.max_batch));
+        if (!full && !aged && !shutdown_) take = preferred;
+        std::vector<PendingRequest> batch;
+        batch.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          batch.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        cv_.notify_all();  // submitters waiting on back-pressure
+        return batch;
+      }
+      // Sleep until the head request ages out (or a new arrival fills
+      // the batch and notifies us).
+      cv_.wait_until(lock, age_limit);
+    } else {
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    }
+  }
+}
+
+void DynamicBatcher::shutdown() {
+  std::scoped_lock lock(mutex_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+std::size_t DynamicBatcher::queued() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace harvest::serving

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file batcher.hpp
+/// The dynamic batcher: requests queue until either `max_batch` are
+/// waiting or the oldest has waited `max_queue_delay` — the same policy
+/// Triton's dynamic_batching block implements. Model instances block in
+/// `wait_batch()`; the frontend never blocks in `submit()` unless the
+/// queue is at capacity (back-pressure).
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace harvest::serving {
+
+/// A request bundled with its response promise and its enqueue time.
+struct PendingRequest {
+  InferenceRequest request;
+  std::promise<InferenceResponse> promise;
+  std::chrono::steady_clock::time_point enqueued_at;
+};
+
+struct BatcherConfig {
+  std::int64_t max_batch = 8;
+  double max_queue_delay_s = 2e-3;
+  std::size_t max_queue_depth = 4096;  ///< back-pressure bound
+  /// Triton-style preferred batch sizes: when the queue reaches one of
+  /// these sizes the batch dispatches immediately at the largest
+  /// preferred size that fits, without waiting out the delay. Empty =
+  /// dispatch only when full or aged.
+  std::vector<std::int64_t> preferred_batch_sizes;
+};
+
+class DynamicBatcher {
+ public:
+  explicit DynamicBatcher(BatcherConfig config) : config_(config) {}
+
+  const BatcherConfig& config() const { return config_; }
+
+  /// Enqueue a request; returns the future for its response, or an
+  /// unavailable status when the queue is full or shut down.
+  core::Result<std::future<InferenceResponse>> submit(InferenceRequest request);
+
+  /// Block until a batch is ready (full, or the head request has aged
+  /// past the delay), then pop it. Empty vector = shutdown.
+  std::vector<PendingRequest> wait_batch();
+
+  /// Wake all waiters and reject further submissions.
+  void shutdown();
+
+  std::size_t queued() const;
+
+ private:
+  BatcherConfig config_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool shutdown_ = false;
+};
+
+}  // namespace harvest::serving

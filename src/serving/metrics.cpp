@@ -1,0 +1,80 @@
+#include "serving/metrics.hpp"
+
+#include <cstdio>
+
+#include "core/units.hpp"
+
+namespace harvest::serving {
+
+std::string MetricsSnapshot::to_string() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "completed=%llu failed=%llu deadline_misses=%llu tput=%s "
+      "latency mean=%s p50=%s p95=%s p99=%s | queue=%s preproc=%s infer=%s "
+      "| mean batch=%.1f",
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(failed),
+      static_cast<unsigned long long>(deadline_misses),
+      core::format_rate(throughput_img_per_s).c_str(),
+      core::format_seconds(mean_latency_s).c_str(),
+      core::format_seconds(p50_latency_s).c_str(),
+      core::format_seconds(p95_latency_s).c_str(),
+      core::format_seconds(p99_latency_s).c_str(),
+      core::format_seconds(mean_queue_s).c_str(),
+      core::format_seconds(mean_preprocess_s).c_str(),
+      core::format_seconds(mean_inference_s).c_str(), batch_sizes.mean());
+  return buf;
+}
+
+void MetricsRegistry::record(const RequestTiming& timing, bool ok,
+                             bool deadline_missed) {
+  std::scoped_lock lock(mutex_);
+  if (ok) {
+    ++completed_;
+  } else {
+    ++failed_;
+  }
+  if (deadline_missed) ++deadline_misses_;
+  total_latency_.add(timing.total_s);
+  queue_.add(timing.queue_s);
+  preprocess_.add(timing.preprocess_s);
+  inference_.add(timing.inference_s);
+  if (timing.batch_size > 0) {
+    batch_sizes_.add(static_cast<double>(timing.batch_size));
+  }
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
+  std::scoped_lock lock(mutex_);
+  MetricsSnapshot snap;
+  snap.completed = completed_;
+  snap.failed = failed_;
+  snap.deadline_misses = deadline_misses_;
+  snap.wall_seconds = wall_seconds;
+  snap.throughput_img_per_s =
+      wall_seconds > 0.0 ? static_cast<double>(completed_) / wall_seconds : 0.0;
+  snap.batch_sizes = batch_sizes_;
+  snap.mean_latency_s = total_latency_.mean();
+  snap.p50_latency_s = total_latency_.quantile(0.5);
+  snap.p95_latency_s = total_latency_.quantile(0.95);
+  snap.p99_latency_s = total_latency_.quantile(0.99);
+  snap.mean_queue_s = queue_.mean();
+  snap.mean_preprocess_s = preprocess_.mean();
+  snap.mean_inference_s = inference_.mean();
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::scoped_lock lock(mutex_);
+  completed_ = 0;
+  failed_ = 0;
+  deadline_misses_ = 0;
+  total_latency_ = core::Percentiles();
+  queue_ = core::RunningStats();
+  preprocess_ = core::RunningStats();
+  inference_ = core::RunningStats();
+  batch_sizes_ = core::RunningStats();
+}
+
+}  // namespace harvest::serving

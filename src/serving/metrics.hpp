@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Thread-safe serving metrics: request counters and per-stage latency
+/// distributions, with a renderable snapshot. The same registry is fed
+/// by the real threaded server and the discrete-event simulation, so
+/// reports are comparable across the two execution modes.
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/stats.hpp"
+#include "serving/request.hpp"
+
+namespace harvest::serving {
+
+struct MetricsSnapshot {
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t deadline_misses = 0;
+  double wall_seconds = 0.0;          ///< observation window
+  double throughput_img_per_s = 0.0;
+  core::RunningStats batch_sizes;
+  // Latency quantiles (seconds).
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_queue_s = 0.0;
+  double mean_preprocess_s = 0.0;
+  double mean_inference_s = 0.0;
+
+  std::string to_string() const;
+};
+
+class MetricsRegistry {
+ public:
+  /// Record one finished request.
+  void record(const RequestTiming& timing, bool ok, bool deadline_missed);
+
+  /// Produce a snapshot over the given observation window.
+  MetricsSnapshot snapshot(double wall_seconds) const;
+
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::uint64_t completed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  core::Percentiles total_latency_;
+  core::RunningStats queue_;
+  core::RunningStats preprocess_;
+  core::RunningStats inference_;
+  core::RunningStats batch_sizes_;
+};
+
+}  // namespace harvest::serving

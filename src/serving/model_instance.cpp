@@ -1,0 +1,147 @@
+#include "serving/model_instance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/time.hpp"
+
+namespace harvest::serving {
+
+void fill_prediction(const tensor::Tensor& logits, std::int64_t row,
+                     InferenceResponse& response) {
+  const std::int64_t classes = logits.shape()[1];
+  const float* data = logits.f32() + row * classes;
+  response.logits.assign(data, data + classes);
+  // Stable softmax for the confidence score.
+  float peak = data[0];
+  std::int64_t arg = 0;
+  for (std::int64_t c = 1; c < classes; ++c) {
+    if (data[c] > peak) {
+      peak = data[c];
+      arg = c;
+    }
+  }
+  double denom = 0.0;
+  for (std::int64_t c = 0; c < classes; ++c) {
+    denom += std::exp(static_cast<double>(data[c] - peak));
+  }
+  response.predicted_class = arg;
+  response.confidence = static_cast<float>(1.0 / denom);
+}
+
+ModelInstance::ModelInstance(std::string name, BackendPtr backend,
+                             preproc::PreprocSpec preproc_spec,
+                             DynamicBatcher& batcher, MetricsRegistry& metrics,
+                             core::ThreadPool* pool)
+    : name_(std::move(name)), backend_(std::move(backend)),
+      preproc_spec_(preproc_spec), batcher_(&batcher), metrics_(&metrics),
+      pool_(pool), worker_([this] { run_loop(); }) {}
+
+ModelInstance::~ModelInstance() {
+  // The owner is expected to have shut the batcher down; joining here is
+  // then prompt. (RAII join per CP.23/CP.25.)
+  worker_.join();
+}
+
+void ModelInstance::run_loop() {
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_->wait_batch();
+    if (batch.empty()) return;  // shutdown
+    execute_batch(std::move(batch));
+    batches_executed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
+  const auto started = std::chrono::steady_clock::now();
+
+  // Real-time hygiene: a request whose deadline already expired while
+  // queueing is worthless — answer it immediately instead of spending
+  // preprocessing/inference on it (§2.2.3: the vehicle has moved on).
+  std::erase_if(batch, [&](PendingRequest& pending) {
+    const double waited =
+        std::chrono::duration<double>(started - pending.enqueued_at).count();
+    if (pending.request.deadline_s <= 0.0 ||
+        waited <= pending.request.deadline_s) {
+      return false;
+    }
+    InferenceResponse response;
+    response.id = pending.request.id;
+    response.status = core::Status::deadline_exceeded(
+        "dropped: deadline expired while queued");
+    response.timing.queue_s = waited;
+    response.timing.total_s = waited;
+    metrics_->record(response.timing, /*ok=*/false, /*deadline_missed=*/true);
+    pending.promise.set_value(std::move(response));
+    return true;
+  });
+  if (batch.empty()) return;
+  const std::int64_t n = static_cast<std::int64_t>(batch.size());
+
+  auto fail_all = [&](const core::Status& status) {
+    for (PendingRequest& pending : batch) {
+      InferenceResponse response;
+      response.id = pending.request.id;
+      response.status = status;
+      metrics_->record(response.timing, /*ok=*/false, /*deadline_missed=*/false);
+      pending.promise.set_value(std::move(response));
+    }
+  };
+
+  // Stage 1: preprocessing (encoded images → model-ready tensor).
+  core::WallTimer preproc_timer;
+  std::vector<preproc::EncodedImage> inputs;
+  inputs.reserve(batch.size());
+  for (const PendingRequest& pending : batch) {
+    inputs.push_back(pending.request.input);  // cheap: bytes are copied once
+  }
+  core::Result<tensor::Tensor> preprocessed =
+      [&]() -> core::Result<tensor::Tensor> {
+    if (pool_ != nullptr) {
+      preproc::DaliPipeline pipeline(*pool_);
+      return pipeline.run(inputs, preproc_spec_);
+    }
+    preproc::CpuPipeline pipeline;
+    return pipeline.run(inputs, preproc_spec_);
+  }();
+  if (!preprocessed.is_ok()) {
+    fail_all(preprocessed.status());
+    return;
+  }
+  const double preproc_s = preproc_timer.elapsed_seconds();
+
+  // Stage 2: inference.
+  core::Result<BackendResult> inferred =
+      backend_->infer(preprocessed.value());
+  if (!inferred.is_ok()) {
+    fail_all(inferred.status());
+    return;
+  }
+  const BackendResult& result = inferred.value();
+
+  // Stage 3: respond.
+  const auto finished = std::chrono::steady_clock::now();
+  for (std::int64_t i = 0; i < n; ++i) {
+    PendingRequest& pending = batch[static_cast<std::size_t>(i)];
+    InferenceResponse response;
+    response.id = pending.request.id;
+    fill_prediction(result.logits, i, response);
+    response.timing.queue_s =
+        std::chrono::duration<double>(started - pending.enqueued_at).count();
+    response.timing.preprocess_s = preproc_s;
+    response.timing.inference_s = result.device_seconds;
+    response.timing.total_s =
+        std::chrono::duration<double>(finished - pending.enqueued_at).count();
+    response.timing.batch_size = n;
+    const bool missed = pending.request.deadline_s > 0.0 &&
+                        response.timing.total_s > pending.request.deadline_s;
+    if (missed) {
+      response.status = core::Status::deadline_exceeded(
+          "completed after the request deadline");
+    }
+    metrics_->record(response.timing, response.status.is_ok(), missed);
+    pending.promise.set_value(std::move(response));
+  }
+}
+
+}  // namespace harvest::serving

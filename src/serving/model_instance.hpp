@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file model_instance.hpp
+/// One execution stream of a deployed model (Triton "instance"): a
+/// worker thread that pulls batches from the deployment's dynamic
+/// batcher, preprocesses them, runs the backend, and fulfills response
+/// promises. Multiple instances of the same deployment share the
+/// batcher and the metrics registry but own separate backends.
+
+#include <atomic>
+#include <thread>
+
+#include "core/thread_pool.hpp"
+#include "preproc/pipeline.hpp"
+#include "serving/backend.hpp"
+#include "serving/batcher.hpp"
+#include "serving/metrics.hpp"
+
+namespace harvest::serving {
+
+class ModelInstance {
+ public:
+  /// `pool` powers batched (DALI-style) preprocessing; pass nullptr to
+  /// preprocess sequentially on the instance thread (CPU pipeline).
+  ModelInstance(std::string name, BackendPtr backend,
+                preproc::PreprocSpec preproc_spec, DynamicBatcher& batcher,
+                MetricsRegistry& metrics, core::ThreadPool* pool);
+  ~ModelInstance();
+
+  ModelInstance(const ModelInstance&) = delete;
+  ModelInstance& operator=(const ModelInstance&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::uint64_t batches_executed() const { return batches_executed_.load(); }
+
+ private:
+  void run_loop();
+  void execute_batch(std::vector<PendingRequest> batch);
+
+  std::string name_;
+  BackendPtr backend_;
+  preproc::PreprocSpec preproc_spec_;
+  DynamicBatcher* batcher_;
+  MetricsRegistry* metrics_;
+  core::ThreadPool* pool_;
+  std::atomic<std::uint64_t> batches_executed_{0};
+  std::thread worker_;
+};
+
+/// Shared response assembly: softmax the logits row for request `i` of
+/// the batch and fill prediction fields.
+void fill_prediction(const tensor::Tensor& logits, std::int64_t row,
+                     InferenceResponse& response);
+
+}  // namespace harvest::serving

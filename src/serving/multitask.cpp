@@ -1,0 +1,83 @@
+#include "serving/multitask.hpp"
+
+#include "core/time.hpp"
+#include "serving/model_instance.hpp"
+
+namespace harvest::serving {
+
+MultiTaskPipeline::MultiTaskPipeline(preproc::PreprocSpec shared_spec,
+                                     core::ThreadPool* pool)
+    : spec_(shared_spec), pool_(pool) {}
+
+core::Status MultiTaskPipeline::add_task(std::string task, BackendPtr backend) {
+  if (backend == nullptr) {
+    return core::Status::invalid_argument("task backend must not be null");
+  }
+  if (backend->input_size() != spec_.output_size) {
+    return core::Status::invalid_argument(
+        "task \"" + task + "\" expects input " +
+        std::to_string(backend->input_size()) +
+        " but the shared preprocessing produces " +
+        std::to_string(spec_.output_size));
+  }
+  for (const Task& existing : tasks_) {
+    if (existing.name == task) {
+      return core::Status::invalid_argument("duplicate task name: " + task);
+    }
+  }
+  tasks_.push_back(Task{std::move(task), std::move(backend)});
+  return core::Status::ok();
+}
+
+std::vector<std::string> MultiTaskPipeline::task_names() const {
+  std::vector<std::string> names;
+  names.reserve(tasks_.size());
+  for (const Task& task : tasks_) names.push_back(task.name);
+  return names;
+}
+
+core::Result<MultiTaskPipeline::MultiResult> MultiTaskPipeline::infer(
+    const preproc::EncodedImage& input) {
+  if (tasks_.empty()) {
+    return core::Status::invalid_argument("no tasks registered");
+  }
+
+  // Shared preprocessing: decode → (warp) → resize → normalize, once.
+  core::WallTimer preproc_timer;
+  core::Result<tensor::Tensor> preprocessed = [&]() -> core::Result<tensor::Tensor> {
+    const std::span<const preproc::EncodedImage> batch(&input, 1);
+    if (pool_ != nullptr) {
+      preproc::DaliPipeline pipeline(*pool_);
+      return pipeline.run(batch, spec_);
+    }
+    preproc::CpuPipeline pipeline;
+    return pipeline.run(batch, spec_);
+  }();
+  if (!preprocessed.is_ok()) return preprocessed.status();
+
+  MultiResult out;
+  out.preprocess_s = preproc_timer.elapsed_seconds();
+  out.results.reserve(tasks_.size());
+
+  for (Task& task : tasks_) {
+    TaskResult result;
+    result.task = task.name;
+    core::WallTimer infer_timer;
+    core::Result<BackendResult> inferred =
+        task.backend->infer(preprocessed.value());
+    if (!inferred.is_ok()) {
+      result.response.status = inferred.status();
+    } else {
+      fill_prediction(inferred.value().logits, 0, result.response);
+      result.response.timing.inference_s = inferred.value().device_seconds;
+    }
+    result.response.timing.preprocess_s = out.preprocess_s;  // shared
+    result.response.timing.total_s =
+        out.preprocess_s + infer_timer.elapsed_seconds();
+    result.response.timing.batch_size = 1;
+    out.results.push_back(std::move(result));
+  }
+  return out;
+}
+
+}  // namespace harvest::serving

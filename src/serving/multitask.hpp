@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file multitask.hpp
+/// Multi-task fan-out with shared preprocessing — §3 of the paper: "A
+/// single request may trigger multiple backend calls to support
+/// different downstream tasks, which can reuse shared preprocessing
+/// steps when applicable." One camera frame is decoded/warped/resized
+/// once and the resulting tensor feeds every registered task's backend
+/// (e.g. residue-cover estimation *and* pest detection from the same
+/// ground-vehicle frame).
+///
+/// Tasks must agree on the shared preprocessing (same input geometry);
+/// registration enforces it.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "preproc/pipeline.hpp"
+#include "serving/backend.hpp"
+#include "serving/request.hpp"
+
+namespace harvest::serving {
+
+class MultiTaskPipeline {
+ public:
+  /// `pool` parallelizes the shared preprocessing (nullptr = inline).
+  explicit MultiTaskPipeline(preproc::PreprocSpec shared_spec,
+                             core::ThreadPool* pool = nullptr);
+
+  /// Register a downstream task. Fails when the backend's input size
+  /// disagrees with the shared preprocessing output.
+  core::Status add_task(std::string task, BackendPtr backend);
+
+  std::size_t task_count() const { return tasks_.size(); }
+  std::vector<std::string> task_names() const;
+
+  struct TaskResult {
+    std::string task;
+    InferenceResponse response;
+  };
+  struct MultiResult {
+    double preprocess_s = 0.0;  ///< paid once for all tasks
+    std::vector<TaskResult> results;
+  };
+
+  /// Preprocess `input` once, then run every task's backend on the
+  /// shared tensor. Per-task failures are isolated into their
+  /// response's status; a preprocessing failure fails the whole call.
+  core::Result<MultiResult> infer(const preproc::EncodedImage& input);
+
+ private:
+  struct Task {
+    std::string name;
+    BackendPtr backend;
+  };
+  preproc::PreprocSpec spec_;
+  core::ThreadPool* pool_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace harvest::serving

@@ -1,0 +1,43 @@
+#include "serving/native_backend.hpp"
+
+#include "core/time.hpp"
+
+namespace harvest::serving {
+
+NativeBackend::NativeBackend(nn::ModelPtr model, std::int64_t max_batch)
+    : model_(std::move(model)), max_batch_(max_batch) {
+  HARVEST_CHECK_MSG(model_ != nullptr, "native backend needs a model");
+  HARVEST_CHECK_MSG(max_batch_ >= 1, "max_batch must be positive");
+}
+
+const std::string& NativeBackend::name() const { return model_->name(); }
+
+std::int64_t NativeBackend::num_classes() const {
+  return model_->num_classes();
+}
+
+std::int64_t NativeBackend::input_size() const {
+  // Per-image shape is [3, S, S].
+  return model_->input_shape()[1];
+}
+
+core::Result<BackendResult> NativeBackend::infer(const tensor::Tensor& batch) {
+  const tensor::Shape& s = batch.shape();
+  if (s.rank() != 4 || s[1] != model_->input_shape()[0] ||
+      s[2] != model_->input_shape()[1] || s[3] != model_->input_shape()[2]) {
+    return core::Status::invalid_argument(
+        "batch shape " + s.to_string() + " does not match model input " +
+        model_->input_shape().to_string());
+  }
+  if (s[0] > max_batch_) {
+    return core::Status::invalid_argument("batch exceeds max_batch");
+  }
+  std::scoped_lock lock(exec_mutex_);
+  core::WallTimer timer;
+  BackendResult result;
+  result.logits = model_->forward(batch);
+  result.device_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+}  // namespace harvest::serving

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file native_backend.hpp
+/// Real-execution backend: owns a harvest_nn model (with deterministic
+/// weights) and runs it on the host CPU. Used by the examples, the
+/// integration tests, and any deployment that actually wants answers.
+
+#include <mutex>
+
+#include "nn/graph.hpp"
+#include "serving/backend.hpp"
+
+namespace harvest::serving {
+
+class NativeBackend final : public Backend {
+ public:
+  /// Takes ownership of a built (and initialized) model.
+  NativeBackend(nn::ModelPtr model, std::int64_t max_batch);
+
+  const std::string& name() const override;
+  std::int64_t max_batch() const override { return max_batch_; }
+  std::int64_t num_classes() const override;
+  std::int64_t input_size() const override;
+  core::Result<BackendResult> infer(const tensor::Tensor& batch) override;
+
+  nn::Model& model() { return *model_; }
+
+ private:
+  nn::ModelPtr model_;
+  std::int64_t max_batch_;
+  // The nn graph reuses per-layer scratch buffers; serialize access so
+  // one backend instance = one execution stream (more instances = more
+  // backends, as in Triton's instance groups).
+  std::mutex exec_mutex_;
+};
+
+}  // namespace harvest::serving

@@ -1,0 +1,160 @@
+#include "serving/online_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "core/rng.hpp"
+#include "core/stats.hpp"
+#include "platform/perf_model.hpp"
+#include "preproc/cost_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace harvest::serving {
+namespace {
+
+/// Shared mutable state of one simulation run.
+struct SimState {
+  sim::Simulator simulator;
+  std::deque<double> queue;  ///< arrival times of waiting requests
+  std::vector<char> instance_busy;
+  double busy_time = 0.0;
+  std::int64_t arrivals = 0;
+  std::int64_t rejected = 0;
+  core::Percentiles latencies;
+  core::RunningStats batch_sizes;
+  std::int64_t completed = 0;
+};
+
+}  // namespace
+
+OnlineSimReport simulate_online(const platform::DeviceSpec& device,
+                                const std::string& model,
+                                const data::DatasetSpec& dataset,
+                                const OnlineSimConfig& config) {
+  const ConstantTrace trace(config.arrival_rate_qps);
+  return simulate_online_trace(device, model, dataset, config, trace);
+}
+
+OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
+                                      const std::string& model,
+                                      const data::DatasetSpec& dataset,
+                                      const OnlineSimConfig& config,
+                                      const ArrivalTrace& trace) {
+  HARVEST_CHECK_MSG(config.instances >= 1 && config.max_batch >= 1,
+                    "bad online sim config");
+  const platform::EngineModel engine =
+      platform::make_engine_model(device, model);
+  auto spec = nn::find_model_spec(model);
+  HARVEST_CHECK(spec.has_value());
+  const preproc::WorkloadImageStats stats = dataset.image_stats();
+  const std::int64_t engine_cap = engine.max_batch();
+  const std::int64_t max_batch =
+      std::min<std::int64_t>(config.max_batch,
+                             std::max<std::int64_t>(engine_cap, 1));
+  constexpr std::size_t kQueueCap = 16384;
+
+  SimState state;
+  state.instance_busy.assign(static_cast<std::size_t>(config.instances), 0);
+  core::Rng rng(config.seed);
+
+  /// Service time of one batch on one instance.
+  auto service_time = [&](std::int64_t batch) {
+    const double infer = engine.estimate(batch).latency_s;
+    const double pre =
+        preproc::estimate_preproc(device, stats, config.preproc_method, batch,
+                                  spec->input_size)
+            .latency_s;
+    return config.overlap_preproc ? std::max(infer, pre) : infer + pre;
+  };
+
+  // Forward declaration dance: dispatch is invoked from arrivals,
+  // timeouts and completions.
+  std::function<void()> try_dispatch = [&] {
+    for (;;) {
+      if (state.queue.empty()) return;
+      const bool full =
+          state.queue.size() >= static_cast<std::size_t>(max_batch);
+      const bool aged = state.simulator.now() - state.queue.front() >=
+                        config.max_queue_delay_s;
+      if (!full && !aged) return;
+      // Find an idle instance.
+      std::size_t idle = state.instance_busy.size();
+      for (std::size_t i = 0; i < state.instance_busy.size(); ++i) {
+        if (state.instance_busy[i] == 0) {
+          idle = i;
+          break;
+        }
+      }
+      if (idle == state.instance_busy.size()) return;  // all busy
+
+      const std::size_t take =
+          std::min(state.queue.size(), static_cast<std::size_t>(max_batch));
+      std::vector<double> arrival_times(state.queue.begin(),
+                                        state.queue.begin() +
+                                            static_cast<std::ptrdiff_t>(take));
+      state.queue.erase(state.queue.begin(),
+                        state.queue.begin() + static_cast<std::ptrdiff_t>(take));
+      state.instance_busy[idle] = 1;
+      const double service = service_time(static_cast<std::int64_t>(take));
+      state.busy_time += service;
+      state.batch_sizes.add(static_cast<double>(take));
+      const double done_at = state.simulator.now() + service;
+      state.simulator.schedule_at(done_at, [&, idle, arrival_times, done_at] {
+        for (double arrived : arrival_times) {
+          state.latencies.add(done_at - arrived);
+          ++state.completed;
+        }
+        state.instance_busy[idle] = 0;
+        try_dispatch();
+      });
+    }
+  };
+
+  // Arrival process: each arrival enqueues itself, schedules its aging
+  // timeout, and books the next arrival from the (possibly time-varying)
+  // trace via thinning.
+  std::function<void()> arrive = [&] {
+    if (state.simulator.now() >= config.duration_s) return;
+    ++state.arrivals;
+    if (state.queue.size() >= kQueueCap) {
+      ++state.rejected;
+    } else {
+      state.queue.push_back(state.simulator.now());
+      state.simulator.schedule_in(config.max_queue_delay_s,
+                                  [&] { try_dispatch(); });
+      try_dispatch();
+    }
+    const double next = next_arrival(trace, state.simulator.now(), rng);
+    if (std::isfinite(next) && next < config.duration_s) {
+      state.simulator.schedule_at(next, [&] { arrive(); });
+    }
+  };
+  {
+    const double first = next_arrival(trace, 0.0, rng);
+    if (std::isfinite(first) && first < config.duration_s) {
+      state.simulator.schedule_at(first, [&] { arrive(); });
+    }
+  }
+
+  state.simulator.run();
+
+  OnlineSimReport report;
+  report.arrivals = state.arrivals;
+  report.completed = state.completed;
+  report.rejected = state.rejected;
+  const double horizon = std::max(state.simulator.now(), config.duration_s);
+  report.throughput_img_per_s =
+      horizon > 0.0 ? static_cast<double>(state.completed) / horizon : 0.0;
+  report.mean_latency_s = state.latencies.mean();
+  report.p50_latency_s = state.latencies.quantile(0.5);
+  report.p95_latency_s = state.latencies.p95();
+  report.p99_latency_s = state.latencies.p99();
+  report.mean_batch_size = state.batch_sizes.mean();
+  report.instance_utilization =
+      state.busy_time /
+      (static_cast<double>(config.instances) * std::max(horizon, 1e-9));
+  return report;
+}
+
+}  // namespace harvest::serving

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file online_sim.hpp
+/// Discrete-event simulation of the online-inference scenario (§2.2.1):
+/// Poisson request arrivals → dynamic batcher → N engine instances on a
+/// modelled device, with preprocessing priced by the cost model. Hours
+/// of simulated serving run in milliseconds, deterministically — the
+/// tool behind the batcher-delay and multi-instance ablation benches.
+
+#include <cstdint>
+
+#include "data/datasets.hpp"
+#include "nn/models.hpp"
+#include "platform/device.hpp"
+#include "preproc/pipeline.hpp"
+#include "serving/trace.hpp"
+
+namespace harvest::serving {
+
+struct OnlineSimConfig {
+  double arrival_rate_qps = 100.0;
+  double duration_s = 30.0;
+  std::int64_t max_batch = 32;
+  double max_queue_delay_s = 2e-3;
+  int instances = 1;
+  preproc::PreprocMethod preproc_method = preproc::PreprocMethod::kDali224;
+  /// Double-buffered pipelines overlap a batch's preprocessing with the
+  /// previous batch's inference: service time ≈ max(stages) instead of
+  /// their sum (§4.3).
+  bool overlap_preproc = true;
+  std::uint64_t seed = 7;
+};
+
+struct OnlineSimReport {
+  std::int64_t arrivals = 0;
+  std::int64_t completed = 0;
+  std::int64_t rejected = 0;  ///< queue overflow (overload)
+  double throughput_img_per_s = 0.0;
+  double mean_latency_s = 0.0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_batch_size = 0.0;
+  double instance_utilization = 0.0;  ///< busy time / (instances × duration)
+};
+
+/// Simulate `config.duration_s` seconds of online serving of `model` on
+/// `device` fed by images with `dataset` statistics (homogeneous Poisson
+/// arrivals at config.arrival_rate_qps).
+OnlineSimReport simulate_online(const platform::DeviceSpec& device,
+                                const std::string& model,
+                                const data::DatasetSpec& dataset,
+                                const OnlineSimConfig& config);
+
+/// Same, with a time-varying arrival profile (config.arrival_rate_qps is
+/// ignored; the trace drives the non-homogeneous Poisson process).
+OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
+                                      const std::string& model,
+                                      const data::DatasetSpec& dataset,
+                                      const OnlineSimConfig& config,
+                                      const ArrivalTrace& trace);
+
+}  // namespace harvest::serving

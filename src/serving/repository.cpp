@@ -1,0 +1,169 @@
+#include "serving/repository.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/rwkv.hpp"
+#include "nn/serialize.hpp"
+#include "platform/perf_model.hpp"
+#include "serving/native_backend.hpp"
+#include "serving/sim_backend.hpp"
+
+namespace harvest::serving {
+namespace {
+
+core::Result<nn::ModelPtr> build_native_model(const core::Json& entry) {
+  const std::string architecture = entry.get_string("architecture", "vit");
+  const std::int64_t classes = entry.get_int("classes", 39);
+  nn::ModelPtr model;
+  if (architecture == "vit") {
+    nn::ViTConfig config;
+    config.name = entry.get_string("name", "vit");
+    config.image = entry.get_int("image", 32);
+    config.patch = entry.get_int("patch", 4);
+    config.dim = entry.get_int("dim", 64);
+    config.depth = entry.get_int("depth", 2);
+    config.heads = entry.get_int("heads", 4);
+    config.num_classes = classes;
+    if (config.dim % config.heads != 0) {
+      return core::Status::invalid_argument("dim must divide into heads");
+    }
+    model = nn::build_vit(config);
+  } else if (architecture == "resnet") {
+    nn::ResNetConfig config;
+    config.name = entry.get_string("name", "resnet");
+    config.image = entry.get_int("image", 64);
+    config.num_classes = classes;
+    const core::Json* stages = entry.find("stages");
+    if (stages != nullptr && stages->is_array()) {
+      config.stage_blocks.clear();
+      for (const core::Json& stage : stages->as_array()) {
+        config.stage_blocks.push_back(stage.as_int());
+      }
+    } else {
+      config.stage_blocks = {1, 1};
+    }
+    model = nn::build_resnet(config);
+  } else if (architecture == "rwkv") {
+    nn::RwkvConfig config;
+    config.name = entry.get_string("name", "rwkv");
+    config.image = entry.get_int("image", 32);
+    config.patch = entry.get_int("patch", 4);
+    config.dim = entry.get_int("dim", 64);
+    config.depth = entry.get_int("depth", 2);
+    config.num_classes = classes;
+    model = nn::build_rwkv(config);
+  } else {
+    return core::Status::invalid_argument("unknown architecture: " +
+                                          architecture);
+  }
+
+  nn::init_weights(*model,
+                   static_cast<std::uint64_t>(entry.get_int("seed", 1)));
+  const std::string weights = entry.get_string("weights", "");
+  if (!weights.empty()) {
+    HARVEST_RETURN_IF_ERROR(nn::load_weights(*model, weights));
+  }
+  return model;
+}
+
+core::Status register_entry(Server& server, const core::Json& entry) {
+  if (!entry.is_object()) {
+    return core::Status::invalid_argument("model entry must be an object");
+  }
+  ModelDeploymentConfig deployment;
+  deployment.name = entry.get_string("name", "");
+  deployment.max_batch = entry.get_int("max_batch", 8);
+  deployment.instances = entry.get_int("instances", 1);
+  deployment.max_queue_delay_s =
+      entry.get_number("max_queue_delay_ms", 2.0) * 1e-3;
+  deployment.batched_preproc = entry.get_bool("batched_preproc", true);
+  if (const core::Json* preferred = entry.find("preferred_batch_sizes")) {
+    if (preferred->is_array()) {
+      for (const core::Json& size : preferred->as_array()) {
+        deployment.preferred_batch_sizes.push_back(size.as_int());
+      }
+    }
+  }
+  if (const core::Json* preproc = entry.find("preproc")) {
+    deployment.preproc.output_size = preproc->get_int("output_size", 224);
+    deployment.preproc.perspective = preproc->get_bool("perspective", false);
+  }
+
+  const std::string backend = entry.get_string("backend", "native");
+  if (backend == "native") {
+    if (deployment.preproc.output_size == 224 && !entry.contains("preproc")) {
+      // Default the preprocessing size to the model's input when the
+      // config does not pin it.
+      deployment.preproc.output_size = entry.get_int("image", 32);
+    }
+    // Validate the model once up front so a broken entry fails here,
+    // not inside the instance factory.
+    auto probe = build_native_model(entry);
+    if (!probe.is_ok()) return probe.status();
+    const std::int64_t max_batch = deployment.max_batch;
+    return server.register_model(deployment, [entry, max_batch]() -> BackendPtr {
+      auto model = build_native_model(entry);
+      if (!model.is_ok()) return nullptr;
+      return std::make_unique<NativeBackend>(std::move(model).value(),
+                                             max_batch);
+    });
+  }
+  if (backend == "sim") {
+    const std::string model_name = entry.get_string("model", "");
+    const std::string device_name = entry.get_string("device", "");
+    const platform::DeviceSpec* device = platform::find_device(device_name);
+    if (device == nullptr) {
+      return core::Status::invalid_argument("unknown device: " + device_name);
+    }
+    if (!nn::find_model_spec(model_name).has_value()) {
+      return core::Status::invalid_argument("unknown sim model: " + model_name);
+    }
+    if (!entry.contains("preproc")) {
+      deployment.preproc.output_size =
+          nn::find_model_spec(model_name)->input_size;
+    }
+    const std::int64_t classes = entry.get_int("classes", 39);
+    const std::int64_t max_batch = deployment.max_batch;
+    return server.register_model(
+        deployment, [model_name, device, classes, max_batch] {
+          return std::make_unique<SimBackend>(
+              platform::make_engine_model(*device, model_name), classes,
+              max_batch);
+        });
+  }
+  return core::Status::invalid_argument("unknown backend: " + backend);
+}
+
+}  // namespace
+
+core::Status load_repository(Server& server, const core::Json& config) {
+  const core::Json* models = config.find("models");
+  if (models == nullptr || !models->is_array()) {
+    return core::Status::invalid_argument(
+        "repository config needs a \"models\" array");
+  }
+  for (const core::Json& entry : models->as_array()) {
+    HARVEST_RETURN_IF_ERROR(register_entry(server, entry));
+  }
+  return core::Status::ok();
+}
+
+core::Status load_repository_file(Server& server, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return core::Status::not_found("cannot open " + path);
+  std::string text;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    text.append(buffer, got);
+  }
+  std::fclose(f);
+  auto parsed = core::Json::parse(text);
+  if (!parsed.is_ok()) return parsed.status();
+  return load_repository(server, parsed.value());
+}
+
+}  // namespace harvest::serving

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file repository.hpp
+/// Declarative model repository — the configuration surface Triton
+/// exposes as config.pbtxt files, here as a single JSON document. A
+/// repository config describes every deployment (backend kind, model
+/// architecture or calibrated (device, model) pair, batching policy,
+/// preprocessing spec, optional weight checkpoint) and is applied to a
+/// `Server` in one call:
+///
+/// {
+///   "models": [
+///     {
+///       "name": "weeds",
+///       "backend": "native",           // real CPU execution
+///       "architecture": "vit",          // vit | resnet | rwkv
+///       "image": 32, "patch": 4, "dim": 64, "depth": 2, "heads": 4,
+///       "classes": 4, "seed": 2026,
+///       "weights": "weeds.hvst",       // optional checkpoint
+///       "max_batch": 8, "instances": 2, "max_queue_delay_ms": 2.0,
+///       "preproc": {"output_size": 32, "perspective": false}
+///     },
+///     {
+///       "name": "residue-cloud",
+///       "backend": "sim",              // calibrated device model
+///       "model": "ViT_Base", "device": "A100",
+///       "classes": 23, "max_batch": 64, "instances": 1
+///     }
+///   ]
+/// }
+
+#include <string>
+
+#include "core/json.hpp"
+#include "serving/server.hpp"
+
+namespace harvest::serving {
+
+/// Register every model of `config` on `server`. Fails fast on the
+/// first invalid entry (the server keeps previously registered models).
+core::Status load_repository(Server& server, const core::Json& config);
+
+/// Convenience: read a JSON file and apply it.
+core::Status load_repository_file(Server& server, const std::string& path);
+
+}  // namespace harvest::serving

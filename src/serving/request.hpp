@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file request.hpp
+/// Request/response types of the HARVEST serving runtime. The frontend
+/// submits one encoded image per request (§3: "the frontend transmits or
+/// locally reads input data and generates requests to the backend");
+/// the dynamic batcher groups requests into engine batches.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "preproc/codec.hpp"
+
+namespace harvest::serving {
+
+struct InferenceRequest {
+  std::uint64_t id = 0;
+  std::string model;              ///< target model deployment
+  preproc::EncodedImage input;
+  double deadline_s = 0.0;        ///< 0 = none (real-time scenario sets one)
+};
+
+/// Per-request timing breakdown (§3.1: request latency = dataset
+/// preprocessing + model preprocessing + inference).
+struct RequestTiming {
+  double queue_s = 0.0;
+  double preprocess_s = 0.0;
+  double inference_s = 0.0;
+  double total_s = 0.0;
+  std::int64_t batch_size = 0;  ///< size of the batch this request rode in
+};
+
+struct InferenceResponse {
+  std::uint64_t id = 0;
+  core::Status status;
+  std::int64_t predicted_class = -1;
+  float confidence = 0.0f;            ///< softmax probability of the argmax
+  std::vector<float> logits;          ///< full output row
+  RequestTiming timing;
+};
+
+}  // namespace harvest::serving

@@ -1,0 +1,124 @@
+#include "serving/scenarios.hpp"
+
+#include <deque>
+#include <thread>
+
+#include "core/stats.hpp"
+#include "core/time.hpp"
+#include "data/loader.hpp"
+
+namespace harvest::serving {
+
+OfflineReport run_offline(Server& server, const std::string& model,
+                          const data::SyntheticDataset& dataset,
+                          std::int64_t count, std::int64_t max_in_flight) {
+  OfflineReport report;
+  const std::int64_t total = std::min(count, dataset.size());
+  // Sized to the dataset's label space but grown on demand — the served
+  // model may have a wider head than the dataset (e.g. a shared
+  // multi-task deployment).
+  report.class_histogram.assign(
+      static_cast<std::size_t>(std::max<std::int64_t>(
+          dataset.spec().num_classes, 1)),
+      0);
+
+  core::WallTimer timer;
+  data::PrefetchLoader loader(dataset, /*batch_size=*/8, 0, total);
+  std::deque<std::future<InferenceResponse>> in_flight;
+
+  auto drain_one = [&] {
+    InferenceResponse response = in_flight.front().get();
+    in_flight.pop_front();
+    if (response.status.is_ok()) {
+      ++report.processed;
+      if (response.predicted_class >= 0) {
+        const auto slot = static_cast<std::size_t>(response.predicted_class);
+        if (slot >= report.class_histogram.size()) {
+          report.class_histogram.resize(slot + 1, 0);
+        }
+        ++report.class_histogram[slot];
+      }
+    } else {
+      ++report.failed;
+    }
+  };
+
+  while (auto batch = loader.next()) {
+    for (data::Sample& sample : batch->samples) {
+      InferenceRequest request;
+      request.model = model;
+      request.input = std::move(sample.image);
+      auto submitted = server.submit(std::move(request));
+      if (!submitted.is_ok()) {
+        ++report.failed;
+        continue;
+      }
+      in_flight.push_back(std::move(submitted).value());
+      while (in_flight.size() >= static_cast<std::size_t>(max_in_flight)) {
+        drain_one();
+      }
+    }
+  }
+  while (!in_flight.empty()) drain_one();
+
+  report.wall_seconds = timer.elapsed_seconds();
+  report.throughput_img_per_s =
+      report.wall_seconds > 0.0
+          ? static_cast<double>(report.processed) / report.wall_seconds
+          : 0.0;
+  if (const MetricsRegistry* metrics = server.metrics(model)) {
+    report.metrics = metrics->snapshot(report.wall_seconds);
+  }
+  return report;
+}
+
+RealTimeReport run_realtime(Server& server, const std::string& model,
+                            const data::SyntheticDataset& dataset,
+                            const RealTimeConfig& config) {
+  RealTimeReport report;
+  core::Percentiles latencies;
+  core::WallTimer timer;
+  const auto start = std::chrono::steady_clock::now();
+
+  for (std::int64_t frame = 0; frame < config.frames; ++frame) {
+    const auto frame_due =
+        start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(
+                        static_cast<double>(frame) * config.frame_interval_s));
+    const auto now = std::chrono::steady_clock::now();
+    if (now < frame_due) {
+      std::this_thread::sleep_until(frame_due);
+    } else if (std::chrono::duration<double>(now - frame_due).count() >
+               config.frame_interval_s) {
+      // More than a full frame behind: the camera has already produced
+      // the next frame; drop this one.
+      ++report.frames_dropped;
+      continue;
+    }
+
+    data::Sample sample = dataset.make_sample(frame % dataset.size());
+    InferenceRequest request;
+    request.model = model;
+    request.input = std::move(sample.image);
+    request.deadline_s = config.deadline_s;
+
+    core::WallTimer frame_timer;
+    InferenceResponse response = server.infer_sync(std::move(request));
+    const double latency = frame_timer.elapsed_seconds();
+    latencies.add(latency);
+    ++report.frames_processed;
+    if (latency > config.deadline_s ||
+        response.status.code() == core::StatusCode::kDeadlineExceeded) {
+      ++report.deadline_misses;
+    }
+  }
+
+  report.p95_latency_s = latencies.p95();
+  report.mean_latency_s = latencies.mean();
+  if (const MetricsRegistry* metrics = server.metrics(model)) {
+    report.metrics = metrics->snapshot(timer.elapsed_seconds());
+  }
+  return report;
+}
+
+}  // namespace harvest::serving

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file scenarios.hpp
+/// Drivers for the deployment scenarios of §2.2 against the *real*
+/// threaded server: offline (batch over a collected dataset, Fig. 3a)
+/// and real-time (paced camera frames with a deadline, Fig. 3b). The
+/// online scenario at cloud scale runs in simulated time instead — see
+/// online_sim.hpp.
+
+#include "data/synthetic.hpp"
+#include "serving/server.hpp"
+
+namespace harvest::serving {
+
+struct OfflineReport {
+  std::int64_t processed = 0;
+  std::int64_t failed = 0;
+  double wall_seconds = 0.0;
+  double throughput_img_per_s = 0.0;
+  MetricsSnapshot metrics;
+  std::vector<std::int64_t> class_histogram;  ///< predictions per class
+};
+
+/// Push samples [0, count) of `dataset` through deployment `model`,
+/// keeping at most `max_in_flight` requests outstanding (the offline
+/// frontend's window), and collect results.
+OfflineReport run_offline(Server& server, const std::string& model,
+                          const data::SyntheticDataset& dataset,
+                          std::int64_t count, std::int64_t max_in_flight = 64);
+
+struct RealTimeConfig {
+  double frame_interval_s = 1.0 / 30.0;  ///< camera rate
+  std::int64_t frames = 90;
+  double deadline_s = 0.05;  ///< per-frame latency budget
+};
+
+struct RealTimeReport {
+  std::int64_t frames_processed = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t frames_dropped = 0;  ///< skipped because we fell behind
+  double p95_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  MetricsSnapshot metrics;
+};
+
+/// Sequential on-vehicle loop: grab frame i (deterministic synthetic
+/// camera), infer with a deadline, pace to the frame interval; frames
+/// that would start late are dropped (the vehicle keeps moving).
+RealTimeReport run_realtime(Server& server, const std::string& model,
+                            const data::SyntheticDataset& dataset,
+                            const RealTimeConfig& config);
+
+}  // namespace harvest::serving

@@ -1,0 +1,85 @@
+#include "serving/server.hpp"
+
+namespace harvest::serving {
+
+Server::Server(std::size_t preproc_threads)
+    : preproc_pool_(std::max<std::size_t>(preproc_threads, 1)) {}
+
+Server::~Server() { shutdown(); }
+
+core::Status Server::register_model(
+    const ModelDeploymentConfig& config,
+    const std::function<BackendPtr()>& backend_factory) {
+  if (config.name.empty()) {
+    return core::Status::invalid_argument("model name must not be empty");
+  }
+  if (deployments_.count(config.name) != 0) {
+    return core::Status::invalid_argument("model already registered: " +
+                                          config.name);
+  }
+  if (config.instances < 1 || config.max_batch < 1) {
+    return core::Status::invalid_argument("instances and max_batch must be >=1");
+  }
+  auto deployment = std::make_unique<Deployment>(config);
+  for (std::int64_t i = 0; i < config.instances; ++i) {
+    BackendPtr backend = backend_factory();
+    if (backend == nullptr) {
+      deployment->batcher.shutdown();
+      return core::Status::internal("backend factory returned null");
+    }
+    deployment->instances.push_back(std::make_unique<ModelInstance>(
+        config.name + "#" + std::to_string(i), std::move(backend),
+        config.preproc, deployment->batcher, deployment->metrics,
+        config.batched_preproc ? &preproc_pool_ : nullptr));
+  }
+  deployments_.emplace(config.name, std::move(deployment));
+  return core::Status::ok();
+}
+
+core::Result<std::future<InferenceResponse>> Server::submit(
+    InferenceRequest request) {
+  const auto it = deployments_.find(request.model);
+  if (it == deployments_.end()) {
+    return core::Status::not_found("no model named " + request.model);
+  }
+  if (request.id == 0) {
+    request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second->batcher.submit(std::move(request));
+}
+
+InferenceResponse Server::infer_sync(InferenceRequest request) {
+  auto submitted = submit(std::move(request));
+  if (!submitted.is_ok()) {
+    InferenceResponse response;
+    response.status = submitted.status();
+    return response;
+  }
+  return submitted.value().get();
+}
+
+const MetricsRegistry* Server::metrics(const std::string& model) const {
+  const auto it = deployments_.find(model);
+  return it == deployments_.end() ? nullptr : &it->second->metrics;
+}
+
+std::vector<std::string> Server::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(deployments_.size());
+  for (const auto& [name, unused] : deployments_) names.push_back(name);
+  return names;
+}
+
+void Server::shutdown() {
+  if (shut_down_) return;
+  shut_down_ = true;
+  for (auto& [name, deployment] : deployments_) {
+    deployment->batcher.shutdown();
+  }
+  // ModelInstance destructors join their workers.
+  for (auto& [name, deployment] : deployments_) {
+    deployment->instances.clear();
+  }
+}
+
+}  // namespace harvest::serving

@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file server.hpp
+/// The HARVEST serving core — the from-scratch stand-in for NVIDIA
+/// Triton in the paper's pipeline (§3). A server hosts named model
+/// deployments; each deployment owns a dynamic batcher, N instances
+/// (execution streams) and a metrics registry. The frontend calls
+/// `submit()` and receives a future.
+
+#include <map>
+#include <memory>
+
+#include "core/thread_pool.hpp"
+#include "serving/batcher.hpp"
+#include "serving/metrics.hpp"
+#include "serving/model_instance.hpp"
+
+namespace harvest::serving {
+
+struct ModelDeploymentConfig {
+  std::string name;
+  std::int64_t max_batch = 8;
+  std::int64_t instances = 1;
+  double max_queue_delay_s = 2e-3;
+  std::vector<std::int64_t> preferred_batch_sizes;
+  preproc::PreprocSpec preproc;
+  /// Batched thread-parallel preprocessing (DALI-style) instead of
+  /// sequential per-image CPU preprocessing.
+  bool batched_preproc = true;
+};
+
+class Server {
+ public:
+  /// `preproc_threads` sizes the shared preprocessing pool.
+  explicit Server(std::size_t preproc_threads = 2);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Deploy a model. `backend_factory` is invoked `config.instances`
+  /// times, once per execution stream. Fails if the name is taken.
+  core::Status register_model(const ModelDeploymentConfig& config,
+                              const std::function<BackendPtr()>& backend_factory);
+
+  /// Route a request to its deployment's batcher.
+  core::Result<std::future<InferenceResponse>> submit(InferenceRequest request);
+
+  /// Convenience: submit and wait.
+  InferenceResponse infer_sync(InferenceRequest request);
+
+  /// Deployment metrics (nullptr when unknown).
+  const MetricsRegistry* metrics(const std::string& model) const;
+
+  std::vector<std::string> model_names() const;
+
+  /// Stop accepting requests and join all instances.
+  void shutdown();
+
+ private:
+  struct Deployment {
+    ModelDeploymentConfig config;
+    DynamicBatcher batcher;
+    MetricsRegistry metrics;
+    std::vector<std::unique_ptr<ModelInstance>> instances;
+
+    explicit Deployment(const ModelDeploymentConfig& c)
+        : config(c), batcher(BatcherConfig{c.max_batch, c.max_queue_delay_s,
+                                           4096, c.preferred_batch_sizes}) {}
+  };
+
+  core::ThreadPool preproc_pool_;
+  std::map<std::string, std::unique_ptr<Deployment>> deployments_;
+  std::atomic<std::uint64_t> next_request_id_{1};
+  bool shut_down_ = false;
+};
+
+}  // namespace harvest::serving

@@ -1,0 +1,57 @@
+#include "serving/sim_backend.hpp"
+
+#include "core/rng.hpp"
+
+namespace harvest::serving {
+
+SimBackend::SimBackend(platform::EngineModel engine, std::int64_t num_classes,
+                       std::int64_t max_batch)
+    : engine_(std::move(engine)),
+      name_(engine_.model_spec().name + "@" + engine_.device().name),
+      num_classes_(num_classes), max_batch_(max_batch) {
+  HARVEST_CHECK_MSG(num_classes_ >= 1 && max_batch_ >= 1,
+                    "bad sim backend config");
+}
+
+double SimBackend::latency_s(std::int64_t batch) const {
+  const platform::EngineEstimate est = engine_.estimate(batch);
+  HARVEST_CHECK_MSG(!est.oom, "simulated batch exceeds device memory");
+  return est.latency_s;
+}
+
+core::Result<BackendResult> SimBackend::infer(const tensor::Tensor& batch) {
+  const std::int64_t n = batch.shape()[0];
+  if (n > max_batch_) {
+    return core::Status::invalid_argument("batch exceeds max_batch");
+  }
+  const platform::EngineEstimate est = engine_.estimate(n);
+  if (est.oom) {
+    return core::Status::out_of_memory(name_ + " cannot fit batch " +
+                                       std::to_string(n));
+  }
+  BackendResult result;
+  result.device_seconds = est.latency_s;
+  result.logits =
+      tensor::Tensor(tensor::Shape{n, num_classes_}, tensor::DType::kF32);
+  // Deterministic pseudo-logits keyed on a cheap digest of each input
+  // row, so repeated simulation of the same request agrees.
+  float* out = result.logits.f32();
+  const float* in = batch.f32();
+  const std::int64_t per_image = batch.numel() / n;
+  for (std::int64_t i = 0; i < n; ++i) {
+    double digest = 0.0;
+    const float* row = in + i * per_image;
+    const std::int64_t stride = std::max<std::int64_t>(per_image / 64, 1);
+    for (std::int64_t j = 0; j < per_image; j += stride) {
+      digest += static_cast<double>(row[j]);
+    }
+    core::Rng rng(core::splitmix64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(digest * 1e3))));
+    for (std::int64_t c = 0; c < num_classes_; ++c) {
+      out[i * num_classes_ + c] = static_cast<float>(rng.normal());
+    }
+  }
+  return result;
+}
+
+}  // namespace harvest::serving

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file sim_backend.hpp
+/// Device-model backend: prices each batch with the calibrated
+/// EngineModel (A100/V100/Jetson) and synthesizes deterministic logits.
+/// `infer()` does not sleep — it *reports* the simulated device time in
+/// BackendResult::device_seconds; callers in simulated time (the DES
+/// online scenario, the analytic E2E bench) advance their clocks by it.
+
+#include "platform/perf_model.hpp"
+#include "serving/backend.hpp"
+
+namespace harvest::serving {
+
+class SimBackend final : public Backend {
+ public:
+  SimBackend(platform::EngineModel engine, std::int64_t num_classes,
+             std::int64_t max_batch);
+
+  const std::string& name() const override { return name_; }
+  std::int64_t max_batch() const override { return max_batch_; }
+  std::int64_t num_classes() const override { return num_classes_; }
+  std::int64_t input_size() const override {
+    return engine_.model_spec().input_size;
+  }
+  core::Result<BackendResult> infer(const tensor::Tensor& batch) override;
+
+  /// Simulated latency of a batch without running anything.
+  double latency_s(std::int64_t batch) const;
+
+  const platform::EngineModel& engine() const { return engine_; }
+  platform::EngineModel& engine() { return engine_; }
+
+ private:
+  platform::EngineModel engine_;
+  std::string name_;
+  std::int64_t num_classes_;
+  std::int64_t max_batch_;
+};
+
+}  // namespace harvest::serving

@@ -1,0 +1,68 @@
+#include "serving/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/status.hpp"
+
+namespace harvest::serving {
+
+OnOffTrace::OnOffTrace(double on_qps, double off_qps, double period,
+                       double duty)
+    : on_qps_(on_qps), off_qps_(off_qps), period_(period), duty_(duty) {
+  HARVEST_CHECK_MSG(period > 0.0 && duty >= 0.0 && duty <= 1.0,
+                    "bad on/off trace parameters");
+}
+
+double OnOffTrace::rate_at(double t) const {
+  const double phase = std::fmod(t, period_);
+  return phase < duty_ * period_ ? on_qps_ : off_qps_;
+}
+
+double OnOffTrace::peak_rate() const { return std::max(on_qps_, off_qps_); }
+
+double OnOffTrace::mean_rate(double) const {
+  return on_qps_ * duty_ + off_qps_ * (1.0 - duty_);
+}
+
+DiurnalTrace::DiurnalTrace(double base_qps, double amplitude_qps,
+                           double period)
+    : base_(base_qps), amplitude_(amplitude_qps), period_(period) {
+  HARVEST_CHECK_MSG(period > 0.0, "diurnal period must be positive");
+}
+
+double DiurnalTrace::rate_at(double t) const {
+  return std::max(
+      0.0, base_ + amplitude_ * std::sin(2.0 * M_PI * t / period_));
+}
+
+double DiurnalTrace::mean_rate(double duration) const {
+  // Over whole periods the sine integrates to zero (when base >= |amp|).
+  if (base_ >= std::abs(amplitude_)) {
+    const double whole = std::floor(duration / period_) * period_;
+    if (whole > 0.0 && duration - whole < 1e-9) return base_;
+  }
+  // Numeric fallback for clamped or partial-period cases.
+  constexpr int kSteps = 1000;
+  double acc = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    acc += rate_at(duration * (i + 0.5) / kSteps);
+  }
+  return acc / kSteps;
+}
+
+double next_arrival(const ArrivalTrace& trace, double now, core::Rng& rng) {
+  const double peak = trace.peak_rate();
+  if (peak <= 0.0) return std::numeric_limits<double>::infinity();
+  double t = now;
+  // Lewis–Shedler thinning: candidates from the homogeneous bound are
+  // accepted with probability rate(t)/peak.
+  for (int guard = 0; guard < 1'000'000; ++guard) {
+    t += rng.exponential(peak);
+    if (rng.next_double() * peak <= trace.rate_at(t)) return t;
+  }
+  return std::numeric_limits<double>::infinity();  // pathological trace
+}
+
+}  // namespace harvest::serving

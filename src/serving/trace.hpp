@@ -1,0 +1,70 @@
+#pragma once
+
+/// \file trace.hpp
+/// Arrival-rate traces for the online scenario. Farm upload traffic is
+/// not a constant-rate Poisson stream — scouting happens in bursts
+/// (a drone landing and syncing) and follows the daylight cycle — so the
+/// online simulation accepts a time-varying rate profile and samples it
+/// as a non-homogeneous Poisson process by thinning.
+
+#include <memory>
+
+#include "core/rng.hpp"
+
+namespace harvest::serving {
+
+class ArrivalTrace {
+ public:
+  virtual ~ArrivalTrace() = default;
+  /// Instantaneous arrival rate (requests/second) at time t.
+  virtual double rate_at(double t) const = 0;
+  /// A bound with rate_at(t) <= peak_rate() for all t (thinning cap).
+  virtual double peak_rate() const = 0;
+  /// Average rate over [0, duration] (analytic where possible).
+  virtual double mean_rate(double duration) const = 0;
+};
+
+/// Homogeneous Poisson arrivals.
+class ConstantTrace final : public ArrivalTrace {
+ public:
+  explicit ConstantTrace(double qps) : qps_(qps) {}
+  double rate_at(double) const override { return qps_; }
+  double peak_rate() const override { return qps_; }
+  double mean_rate(double) const override { return qps_; }
+
+ private:
+  double qps_;
+};
+
+/// Bursty on/off (interrupted Poisson) arrivals: `on_qps` for the first
+/// `duty` fraction of every `period`, `off_qps` for the rest.
+class OnOffTrace final : public ArrivalTrace {
+ public:
+  OnOffTrace(double on_qps, double off_qps, double period, double duty);
+  double rate_at(double t) const override;
+  double peak_rate() const override;
+  double mean_rate(double duration) const override;
+
+ private:
+  double on_qps_, off_qps_, period_, duty_;
+};
+
+/// Smooth daily cycle: base + amplitude · sin(2π t / period), clamped
+/// at zero.
+class DiurnalTrace final : public ArrivalTrace {
+ public:
+  DiurnalTrace(double base_qps, double amplitude_qps, double period);
+  double rate_at(double t) const override;
+  double peak_rate() const override { return base_ + std::abs(amplitude_); }
+  double mean_rate(double duration) const override;
+
+ private:
+  double base_, amplitude_, period_;
+};
+
+/// Next arrival at or after `now` for a non-homogeneous Poisson process
+/// with the trace's rate, via Lewis–Shedler thinning. Returns +inf when
+/// the trace's peak rate is zero.
+double next_arrival(const ArrivalTrace& trace, double now, core::Rng& rng);
+
+}  // namespace harvest::serving

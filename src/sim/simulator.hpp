@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file simulator.hpp
+/// A small discrete-event simulation core. The online-inference
+/// scenario (Poisson request arrivals → dynamic batcher → simulated
+/// engine) runs on this simulator so that hours of simulated serving
+/// execute in milliseconds of wall time, deterministically.
+///
+/// Events at equal timestamps execute in scheduling order (a stable
+/// sequence number breaks ties), which makes runs bit-reproducible.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/status.hpp"
+
+namespace harvest::sim {
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedule `action` to run `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Schedule at an absolute time (>= now).
+  void schedule_at(double when, Action action);
+
+  /// Run until the event queue drains or `until` is reached (infinity =
+  /// drain). Returns the number of events executed.
+  std::size_t run(double until = kForever);
+
+  /// True when no events remain.
+  bool idle() const { return queue_.empty(); }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+  static constexpr double kForever = 1e300;
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace harvest::sim

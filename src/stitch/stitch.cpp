@@ -1,0 +1,187 @@
+#include "stitch/stitch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/rng.hpp"
+#include "preproc/codec.hpp"
+
+namespace harvest::stitch {
+
+using preproc::Image;
+
+Image reference_field(const SurveyConfig& config) {
+  return preproc::synthesize_field_image(config.field_width,
+                                         config.field_height, config.seed);
+}
+
+std::vector<Capture> simulate_survey(const SurveyConfig& config) {
+  HARVEST_CHECK_MSG(config.capture_size > 0 && config.overlap >= 0.0 &&
+                        config.overlap < 0.9,
+                    "bad survey config");
+  const Image field = reference_field(config);
+  core::Rng rng(config.seed ^ 0xf11e1dULL);
+
+  const auto step = static_cast<std::int64_t>(
+      static_cast<double>(config.capture_size) * (1.0 - config.overlap));
+  // Flight lines always include a final pass flush with the far edge so
+  // the whole field is covered (as a survey planner would do).
+  auto scan_positions = [step, &config](std::int64_t extent) {
+    std::vector<std::int64_t> positions;
+    const std::int64_t last = extent - config.capture_size;
+    for (std::int64_t p = 0; p < last; p += step) positions.push_back(p);
+    positions.push_back(last);
+    return positions;
+  };
+  const std::vector<std::int64_t> xs = scan_positions(config.field_width);
+  const std::vector<std::int64_t> ys = scan_positions(config.field_height);
+  std::vector<Capture> captures;
+
+  bool reverse = false;  // serpentine path
+  for (std::int64_t y : ys) {
+    std::vector<Capture> row;
+    for (std::int64_t x : xs) {
+      const std::int64_t jx = rng.uniform_int(-config.position_jitter,
+                                              config.position_jitter);
+      const std::int64_t jy = rng.uniform_int(-config.position_jitter,
+                                              config.position_jitter);
+      const std::int64_t cx = std::clamp<std::int64_t>(
+          x + jx, 0, config.field_width - config.capture_size);
+      const std::int64_t cy = std::clamp<std::int64_t>(
+          y + jy, 0, config.field_height - config.capture_size);
+      const double gain = 1.0 + rng.uniform(-config.illumination_jitter,
+                                            config.illumination_jitter);
+      Capture capture;
+      capture.x = cx;
+      capture.y = cy;
+      capture.image = Image(config.capture_size, config.capture_size, 3);
+      for (std::int64_t py = 0; py < config.capture_size; ++py) {
+        for (std::int64_t px = 0; px < config.capture_size; ++px) {
+          for (std::int64_t c = 0; c < 3; ++c) {
+            const double v =
+                static_cast<double>(field.at(cx + px, cy + py, c)) * gain;
+            capture.image.at(px, py, c) =
+                static_cast<std::uint8_t>(std::clamp(v, 0.0, 255.0));
+          }
+        }
+      }
+      row.push_back(std::move(capture));
+    }
+    if (reverse) std::reverse(row.begin(), row.end());
+    reverse = !reverse;
+    for (Capture& capture : row) captures.push_back(std::move(capture));
+  }
+  return captures;
+}
+
+Image composite_mosaic(const std::vector<Capture>& captures,
+                       std::int64_t width, std::int64_t height) {
+  HARVEST_CHECK_MSG(width > 0 && height > 0, "mosaic size must be positive");
+  std::vector<double> accum(static_cast<std::size_t>(width * height * 3), 0.0);
+  std::vector<double> weight(static_cast<std::size_t>(width * height), 0.0);
+
+  for (const Capture& capture : captures) {
+    const std::int64_t cw = capture.image.width();
+    const std::int64_t ch = capture.image.height();
+    for (std::int64_t py = 0; py < ch; ++py) {
+      const std::int64_t my = capture.y + py;
+      if (my < 0 || my >= height) continue;
+      // Feather: weight falls off toward the capture's edges.
+      const double wy = static_cast<double>(std::min(py + 1, ch - py)) /
+                        static_cast<double>(ch);
+      for (std::int64_t px = 0; px < cw; ++px) {
+        const std::int64_t mx = capture.x + px;
+        if (mx < 0 || mx >= width) continue;
+        const double wx = static_cast<double>(std::min(px + 1, cw - px)) /
+                          static_cast<double>(cw);
+        const double w = wx * wy;
+        const std::size_t pixel = static_cast<std::size_t>(my * width + mx);
+        weight[pixel] += w;
+        for (std::int64_t c = 0; c < 3; ++c) {
+          accum[pixel * 3 + static_cast<std::size_t>(c)] +=
+              w * static_cast<double>(capture.image.at(px, py, c));
+        }
+      }
+    }
+  }
+
+  Image mosaic(width, height, 3);
+  for (std::int64_t y = 0; y < height; ++y) {
+    for (std::int64_t x = 0; x < width; ++x) {
+      const std::size_t pixel = static_cast<std::size_t>(y * width + x);
+      if (weight[pixel] <= 0.0) continue;
+      for (std::int64_t c = 0; c < 3; ++c) {
+        mosaic.at(x, y, c) = static_cast<std::uint8_t>(std::clamp(
+            accum[pixel * 3 + static_cast<std::size_t>(c)] / weight[pixel],
+            0.0, 255.0));
+      }
+    }
+  }
+  return mosaic;
+}
+
+std::vector<Tile> tile_mosaic(const Image& mosaic, std::int64_t size,
+                              std::int64_t stride) {
+  HARVEST_CHECK_MSG(size > 0 && stride > 0, "tile size/stride must be positive");
+  std::vector<Tile> tiles;
+  for (std::int64_t y = 0; y + size <= mosaic.height(); y += stride) {
+    for (std::int64_t x = 0; x + size <= mosaic.width(); x += stride) {
+      Tile tile;
+      tile.x = x;
+      tile.y = y;
+      tile.image = Image(size, size, 3);
+      for (std::int64_t py = 0; py < size; ++py) {
+        for (std::int64_t px = 0; px < size; ++px) {
+          for (std::int64_t c = 0; c < 3; ++c) {
+            tile.image.at(px, py, c) = mosaic.at(x + px, y + py, c);
+          }
+        }
+      }
+      tiles.push_back(std::move(tile));
+    }
+  }
+  return tiles;
+}
+
+Image render_heatmap(const std::vector<Tile>& tiles,
+                     const std::vector<double>& scores, std::int64_t mosaic_w,
+                     std::int64_t mosaic_h, std::int64_t tile_size) {
+  HARVEST_CHECK_MSG(tiles.size() == scores.size(),
+                    "one score per tile required");
+  Image heat(mosaic_w, mosaic_h, 3);
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const double s = std::clamp(scores[i], 0.0, 1.0);
+    // Green (low) → yellow → red (high).
+    const auto r = static_cast<std::uint8_t>(255.0 * std::min(1.0, 2.0 * s));
+    const auto g = static_cast<std::uint8_t>(
+        255.0 * std::min(1.0, 2.0 * (1.0 - s)));
+    const Tile& tile = tiles[i];
+    for (std::int64_t py = 0; py < tile_size; ++py) {
+      const std::int64_t my = tile.y + py;
+      if (my >= mosaic_h) break;
+      for (std::int64_t px = 0; px < tile_size; ++px) {
+        const std::int64_t mx = tile.x + px;
+        if (mx >= mosaic_w) break;
+        heat.at(mx, my, 0) = r;
+        heat.at(mx, my, 1) = g;
+        heat.at(mx, my, 2) = 40;
+      }
+    }
+  }
+  return heat;
+}
+
+core::Status write_ppm(const Image& image, const std::string& path) {
+  const std::vector<std::uint8_t> bytes = preproc::encode_ppm(image);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return core::Status::internal("cannot open " + path + " for write");
+  }
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok ? core::Status::ok()
+            : core::Status::internal("short write to " + path);
+}
+
+}  // namespace harvest::stitch

@@ -1,0 +1,79 @@
+#pragma once
+
+/// \file stitch.hpp
+/// Orthomosaic substrate for the offline drone workflow (Fig. 3a:
+/// "drone images are first stitched using OpenDroneMap, followed by
+/// tiling and offline processing ... generating fine-grained heatmaps").
+/// This module provides the same dataflow: a simulated drone survey
+/// produces overlapping geotagged captures of a field, the compositor
+/// feather-blends them back into a mosaic, the tiler cuts the mosaic
+/// into model-input tiles, and the heatmap renderer turns per-tile
+/// predictions into a visual output.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "preproc/image.hpp"
+
+namespace harvest::stitch {
+
+/// One drone capture: an image plus its position in field coordinates
+/// (top-left corner, pixels of the target mosaic frame).
+struct Capture {
+  preproc::Image image;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+};
+
+struct SurveyConfig {
+  std::int64_t field_width = 1024;   ///< mosaic frame, pixels
+  std::int64_t field_height = 768;
+  std::int64_t capture_size = 256;   ///< square camera footprint
+  double overlap = 0.3;              ///< fraction of forward/side overlap
+  std::uint64_t seed = 11;
+  /// Per-capture geometric jitter (pixels) and illumination drift,
+  /// mimicking real flight imperfections the blender must smooth over.
+  std::int64_t position_jitter = 4;
+  double illumination_jitter = 0.06;
+};
+
+/// Simulate a serpentine drone survey over a synthetic field. The
+/// "ground truth" field image is deterministic in `config.seed`; every
+/// capture is a (jittered, re-lit) window of it.
+std::vector<Capture> simulate_survey(const SurveyConfig& config);
+
+/// Ground-truth field for a config (what a perfect stitch would give).
+preproc::Image reference_field(const SurveyConfig& config);
+
+/// Feather-blend captures into a mosaic of the given size. Pixels
+/// covered by no capture are black; overlapping pixels are weighted by
+/// distance to each capture's edge (standard feathering).
+preproc::Image composite_mosaic(const std::vector<Capture>& captures,
+                                std::int64_t width, std::int64_t height);
+
+/// A model-input tile cut from the mosaic.
+struct Tile {
+  preproc::Image image;
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+};
+
+/// Cut (size × size) tiles at the given stride (stride = size → no
+/// overlap). Partial edge tiles are skipped, as the HARVEST offline
+/// pipeline does.
+std::vector<Tile> tile_mosaic(const preproc::Image& mosaic, std::int64_t size,
+                              std::int64_t stride);
+
+/// Render per-tile scalar scores (0..1) into a green→red heatmap image
+/// of the mosaic's geometry, one cell per tile.
+preproc::Image render_heatmap(const std::vector<Tile>& tiles,
+                              const std::vector<double>& scores,
+                              std::int64_t mosaic_w, std::int64_t mosaic_h,
+                              std::int64_t tile_size);
+
+/// Write an image as PPM (the library's visual output format).
+core::Status write_ppm(const preproc::Image& image, const std::string& path);
+
+}  // namespace harvest::stitch

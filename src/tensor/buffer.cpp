@@ -1,0 +1,20 @@
+#include "tensor/buffer.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "core/status.hpp"
+
+namespace harvest::tensor {
+
+AlignedBuffer::AlignedBuffer(std::size_t bytes) : bytes_(bytes) {
+  if (bytes == 0) return;
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  void* p = std::aligned_alloc(kAlignment, rounded);
+  HARVEST_CHECK_MSG(p != nullptr, "aligned allocation failed");
+  std::memset(p, 0, rounded);
+  data_.reset(p);
+}
+
+}  // namespace harvest::tensor

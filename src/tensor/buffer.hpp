@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file buffer.hpp
+/// 64-byte-aligned raw storage (cache-line / AVX-512 friendly). The GEMM
+/// and convolution kernels assume their operands come from AlignedBuffer
+/// so the compiler can vectorize the inner loops.
+
+#include <cstddef>
+#include <memory>
+
+namespace harvest::tensor {
+
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t bytes);
+
+  AlignedBuffer(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  std::size_t size_bytes() const { return bytes_; }
+  bool empty() const { return bytes_ == 0; }
+
+  void* data() { return data_.get(); }
+  const void* data() const { return data_.get(); }
+
+  template <typename T>
+  T* as() { return static_cast<T*>(data()); }
+  template <typename T>
+  const T* as() const { return static_cast<const T*>(data()); }
+
+ private:
+  struct FreeDeleter {
+    void operator()(void* p) const noexcept { std::free(p); }
+  };
+  std::unique_ptr<void, FreeDeleter> data_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace harvest::tensor

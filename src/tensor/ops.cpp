@@ -1,0 +1,100 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harvest::tensor {
+
+void add(const Tensor& a, const Tensor& b, Tensor& out) {
+  HARVEST_CHECK(a.shape() == b.shape() && a.shape() == out.shape());
+  const float* pa = a.f32();
+  const float* pb = b.f32();
+  float* po = out.f32();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  HARVEST_CHECK(a.shape() == b.shape());
+  float* pa = a.f32();
+  const float* pb = b.f32();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void scale_shift(const Tensor& a, float scale, float bias, Tensor& out) {
+  HARVEST_CHECK(a.shape() == out.shape());
+  const float* pa = a.f32();
+  float* po = out.f32();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) po[i] = pa[i] * scale + bias;
+}
+
+void fill(Tensor& t, float value) {
+  float* p = t.f32();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = value;
+}
+
+double sum(const Tensor& t) {
+  const float* p = t.f32();
+  const std::int64_t n = t.numel();
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) acc += static_cast<double>(p[i]);
+  return acc;
+}
+
+float max_value(const Tensor& t) {
+  HARVEST_CHECK(t.numel() > 0);
+  const float* p = t.f32();
+  const std::int64_t n = t.numel();
+  float best = p[0];
+  for (std::int64_t i = 1; i < n; ++i) best = std::max(best, p[i]);
+  return best;
+}
+
+std::int64_t argmax(std::span<const float> row) {
+  HARVEST_CHECK(!row.empty());
+  std::int64_t best = 0;
+  for (std::size_t i = 1; i < row.size(); ++i) {
+    if (row[i] > row[static_cast<std::size_t>(best)]) {
+      best = static_cast<std::int64_t>(i);
+    }
+  }
+  return best;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  HARVEST_CHECK(a.shape() == b.shape());
+  const float* pa = a.f32();
+  const float* pb = b.f32();
+  const std::int64_t n = a.numel();
+  float worst = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    worst = std::max(worst, std::fabs(pa[i] - pb[i]));
+  }
+  return worst;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.f32();
+  const float* pb = b.f32();
+  const std::int64_t n = a.numel();
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float tolerance = atol + rtol * std::fabs(pb[i]);
+    if (std::fabs(pa[i] - pb[i]) > tolerance) return false;
+  }
+  return true;
+}
+
+Tensor to_f32(const Tensor& u8_tensor) {
+  Tensor out(u8_tensor.shape(), DType::kF32);
+  const std::uint8_t* src = u8_tensor.u8();
+  float* dst = out.f32();
+  const std::int64_t n = u8_tensor.numel();
+  for (std::int64_t i = 0; i < n; ++i) dst[i] = static_cast<float>(src[i]);
+  return out;
+}
+
+}  // namespace harvest::tensor

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file ops.hpp
+/// Elementwise and reduction primitives on f32 tensors. Kernel-grade
+/// loops (GEMM, conv, attention) live in harvest_nn; these are the
+/// shared utility ops.
+
+#include "tensor/tensor.hpp"
+
+namespace harvest::tensor {
+
+/// out[i] = a[i] + b[i]; shapes must match.
+void add(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// a[i] += b[i] (residual connections).
+void add_inplace(Tensor& a, const Tensor& b);
+
+/// out[i] = a[i] * scale + bias.
+void scale_shift(const Tensor& a, float scale, float bias, Tensor& out);
+
+/// Scalar fill.
+void fill(Tensor& t, float value);
+
+/// Sum of all elements.
+double sum(const Tensor& t);
+
+/// Max element value; requires numel > 0.
+float max_value(const Tensor& t);
+
+/// Index of the max element in [offset, offset+count); used for argmax
+/// over a logits row.
+std::int64_t argmax(std::span<const float> row);
+
+/// Max |a-b| over all elements; shapes must match. Test utility.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+
+/// True when every |a-b| <= atol + rtol*|b|.
+bool allclose(const Tensor& a, const Tensor& b, float rtol = 1e-4f,
+              float atol = 1e-5f);
+
+/// Convert u8 [0,255] HWC/NCHW data to f32 without scaling.
+Tensor to_f32(const Tensor& u8_tensor);
+
+}  // namespace harvest::tensor

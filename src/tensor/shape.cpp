@@ -1,0 +1,15 @@
+#include "tensor/shape.hpp"
+
+namespace harvest::tensor {
+
+std::string Shape::to_string() const {
+  std::string out = "[";
+  for (std::size_t i = 0; i < rank_; ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(dims_[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace harvest::tensor

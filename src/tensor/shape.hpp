@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file shape.hpp
+/// Tensor shapes. A `Shape` is a small inline vector of up to
+/// `kMaxRank` extents; rank-4 shapes follow the NCHW convention
+/// (batch, channels, height, width) used throughout the nn module.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+
+#include "core/status.hpp"
+
+namespace harvest::tensor {
+
+class Shape {
+ public:
+  static constexpr std::size_t kMaxRank = 5;
+
+  Shape() = default;
+  Shape(std::initializer_list<std::int64_t> dims) {
+    HARVEST_CHECK_MSG(dims.size() <= kMaxRank, "shape rank too large");
+    for (std::int64_t d : dims) dims_[rank_++] = d;
+  }
+
+  static Shape scalar() { return Shape{}; }
+
+  std::size_t rank() const { return rank_; }
+
+  std::int64_t dim(std::size_t i) const {
+    HARVEST_CHECK_MSG(i < rank_, "shape dim index out of range");
+    return dims_[i];
+  }
+
+  std::int64_t operator[](std::size_t i) const { return dim(i); }
+
+  /// Total element count (1 for scalars).
+  std::int64_t numel() const {
+    std::int64_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+  }
+
+  /// Returns a copy with dimension `i` replaced.
+  Shape with_dim(std::size_t i, std::int64_t value) const {
+    Shape s = *this;
+    HARVEST_CHECK_MSG(i < rank_, "shape dim index out of range");
+    s.dims_[i] = value;
+    return s;
+  }
+
+  bool operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+      if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// "[1, 3, 224, 224]"
+  std::string to_string() const;
+
+ private:
+  std::array<std::int64_t, kMaxRank> dims_ = {};
+  std::size_t rank_ = 0;
+};
+
+}  // namespace harvest::tensor

@@ -1,0 +1,71 @@
+#include "tensor/tensor.hpp"
+
+#include <cstring>
+
+namespace harvest::tensor {
+
+std::size_t dtype_size(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return 4;
+    case DType::kU8: return 1;
+  }
+  return 0;
+}
+
+const char* dtype_name(DType dtype) {
+  switch (dtype) {
+    case DType::kF32: return "f32";
+    case DType::kU8: return "u8";
+  }
+  return "?";
+}
+
+Tensor::Tensor(Shape shape, DType dtype)
+    : shape_(shape), dtype_(dtype),
+      buffer_(static_cast<std::size_t>(shape.numel()) * dtype_size(dtype)) {}
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(shape, DType::kF32);
+  float* p = t.f32();
+  const std::int64_t n = t.numel();
+  for (std::int64_t i = 0; i < n; ++i) p[i] = value;
+  return t;
+}
+
+Tensor Tensor::clone() const {
+  Tensor copy(shape_, dtype_);
+  std::memcpy(copy.buffer_.data(), buffer_.data(), size_bytes());
+  return copy;
+}
+
+float* Tensor::f32() {
+  HARVEST_CHECK_MSG(dtype_ == DType::kF32, "tensor is not f32");
+  return buffer_.as<float>();
+}
+
+const float* Tensor::f32() const {
+  HARVEST_CHECK_MSG(dtype_ == DType::kF32, "tensor is not f32");
+  return buffer_.as<float>();
+}
+
+std::uint8_t* Tensor::u8() {
+  HARVEST_CHECK_MSG(dtype_ == DType::kU8, "tensor is not u8");
+  return buffer_.as<std::uint8_t>();
+}
+
+const std::uint8_t* Tensor::u8() const {
+  HARVEST_CHECK_MSG(dtype_ == DType::kU8, "tensor is not u8");
+  return buffer_.as<std::uint8_t>();
+}
+
+Tensor Tensor::reshape(Shape new_shape) && {
+  HARVEST_CHECK_MSG(new_shape.numel() == shape_.numel(),
+                    "reshape must preserve element count");
+  Tensor out;
+  out.shape_ = new_shape;
+  out.dtype_ = dtype_;
+  out.buffer_ = std::move(buffer_);
+  return out;
+}
+
+}  // namespace harvest::tensor

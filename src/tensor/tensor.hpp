@@ -1,0 +1,76 @@
+#pragma once
+
+/// \file tensor.hpp
+/// A contiguous, owning, row-major tensor of f32 or u8 elements.
+/// Rank-4 tensors follow NCHW order. Tensors are movable (cheap) and
+/// explicitly `clone()`d when a copy is intended, so accidental deep
+/// copies never hide on a hot path (Core Guidelines Per.14).
+
+#include <cstdint>
+#include <span>
+
+#include "core/status.hpp"
+#include "tensor/buffer.hpp"
+#include "tensor/shape.hpp"
+
+namespace harvest::tensor {
+
+enum class DType : std::uint8_t { kF32, kU8 };
+
+std::size_t dtype_size(DType dtype);
+const char* dtype_name(DType dtype);
+
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(Shape shape, DType dtype);
+
+  static Tensor zeros(Shape shape, DType dtype = DType::kF32) {
+    return Tensor(shape, dtype);
+  }
+  static Tensor full(Shape shape, float value);
+
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+  Tensor(const Tensor&) = delete;
+  Tensor& operator=(const Tensor&) = delete;
+
+  /// Deep copy.
+  Tensor clone() const;
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  std::int64_t numel() const { return shape_.numel(); }
+  std::size_t size_bytes() const {
+    return static_cast<std::size_t>(numel()) * dtype_size(dtype_);
+  }
+  bool defined() const { return !buffer_.empty() || numel() == 0; }
+
+  /// Typed element access (checked dtype).
+  float* f32();
+  const float* f32() const;
+  std::uint8_t* u8();
+  const std::uint8_t* u8() const;
+
+  std::span<float> f32_span() { return {f32(), static_cast<std::size_t>(numel())}; }
+  std::span<const float> f32_span() const {
+    return {f32(), static_cast<std::size_t>(numel())};
+  }
+  std::span<std::uint8_t> u8_span() {
+    return {u8(), static_cast<std::size_t>(numel())};
+  }
+  std::span<const std::uint8_t> u8_span() const {
+    return {u8(), static_cast<std::size_t>(numel())};
+  }
+
+  /// Reinterpret the same storage under a new shape with equal numel.
+  /// Moves out of *this (contiguous layout makes this free).
+  Tensor reshape(Shape new_shape) &&;
+
+ private:
+  Shape shape_;
+  DType dtype_ = DType::kF32;
+  AlignedBuffer buffer_;
+};
+
+}  // namespace harvest::tensor

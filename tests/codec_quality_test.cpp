@@ -1,0 +1,75 @@
+/// Quality-axis sweep of the lossy AgJPEG codec: size and error must be
+/// well-behaved functions of the quality knob across its whole range.
+
+#include <gtest/gtest.h>
+
+#include "preproc/codec.hpp"
+
+namespace harvest::preproc {
+namespace {
+
+class QualitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(QualitySweep, DecodesAndStaysWithinErrorEnvelope) {
+  const int quality = GetParam();
+  const Image original = synthesize_field_image(48, 48, 77);
+  const EncodedImage encoded =
+      encode_image(original, ImageFormat::kAgJpeg, quality);
+  auto decoded = decode_image(encoded);
+  ASSERT_TRUE(decoded.is_ok()) << "quality " << quality;
+  const double error = mean_abs_diff(original, decoded.value());
+  // Coarse bound: even quality 10 keeps the mean error modest on smooth
+  // field imagery; high quality gets close to lossless.
+  EXPECT_LT(error, quality >= 80 ? 6.0 : 25.0) << "quality " << quality;
+  EXPECT_GE(error, 0.0);
+}
+
+TEST_P(QualitySweep, CompressesRelativeToRaw) {
+  const int quality = GetParam();
+  const Image original = synthesize_field_image(64, 64, 78);
+  const EncodedImage encoded =
+      encode_image(original, ImageFormat::kAgJpeg, quality);
+  EXPECT_LT(encoded.bytes.size(), original.byte_size())
+      << "quality " << quality;
+}
+
+INSTANTIATE_TEST_SUITE_P(Qualities, QualitySweep,
+                         ::testing::Values(1, 10, 25, 40, 55, 70, 85, 95, 100),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return "q" + std::to_string(param_info.param);
+                         });
+
+TEST(QualityMonotonicity, SizeGrowsWithQuality) {
+  const Image original = synthesize_field_image(64, 64, 79);
+  std::size_t previous = 0;
+  for (int quality : {10, 30, 50, 70, 90}) {
+    const std::size_t size =
+        encode_image(original, ImageFormat::kAgJpeg, quality).bytes.size();
+    EXPECT_GE(size, previous) << "quality " << quality;
+    previous = size;
+  }
+}
+
+TEST(QualityMonotonicity, ErrorShrinksWithQuality) {
+  const Image original = synthesize_field_image(64, 64, 80);
+  double previous = 1e9;
+  for (int quality : {10, 30, 50, 70, 90}) {
+    auto decoded =
+        decode_image(encode_image(original, ImageFormat::kAgJpeg, quality));
+    ASSERT_TRUE(decoded.is_ok());
+    const double error = mean_abs_diff(original, decoded.value());
+    EXPECT_LE(error, previous * 1.05) << "quality " << quality;
+    previous = error;
+  }
+}
+
+TEST(QualityClamping, OutOfRangeQualitiesClampSafely) {
+  const Image original = synthesize_field_image(24, 24, 81);
+  auto lo = decode_image(encode_image(original, ImageFormat::kAgJpeg, -5));
+  auto hi = decode_image(encode_image(original, ImageFormat::kAgJpeg, 900));
+  EXPECT_TRUE(lo.is_ok());
+  EXPECT_TRUE(hi.is_ok());
+}
+
+}  // namespace
+}  // namespace harvest::preproc

@@ -1,0 +1,139 @@
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::core {
+namespace {
+
+TEST(Json, DefaultIsNull) {
+  Json value;
+  EXPECT_TRUE(value.is_null());
+  EXPECT_EQ(value.dump(), "null");
+}
+
+TEST(Json, ScalarConstruction) {
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(3).dump(), "3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersRoundTripExactly) {
+  Json value(static_cast<std::int64_t>(123456789012345LL));
+  EXPECT_EQ(value.dump(), "123456789012345");
+  auto parsed = Json::parse(value.dump());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().as_int(), 123456789012345LL);
+}
+
+TEST(Json, ObjectUpsertAndAccess) {
+  Json obj = Json::object();
+  obj["a"] = Json(1);
+  obj["b"] = Json("two");
+  EXPECT_TRUE(obj.contains("a"));
+  EXPECT_FALSE(obj.contains("c"));
+  EXPECT_EQ(obj.get_int("a", -1), 1);
+  EXPECT_EQ(obj.get_string("b", ""), "two");
+  EXPECT_EQ(obj.get_int("missing", 9), 9);
+  EXPECT_EQ(obj.get_string("a", "fallback"), "fallback");  // wrong type
+}
+
+TEST(Json, ArrayPushBack) {
+  Json arr = Json::array();
+  arr.push_back(Json(1));
+  arr.push_back(Json(2));
+  EXPECT_EQ(arr.as_array().size(), 2u);
+  EXPECT_EQ(arr.dump(), "[1,2]");
+}
+
+TEST(Json, PrettyPrinting) {
+  Json obj = Json::object();
+  obj["k"] = Json(1);
+  EXPECT_EQ(obj.dump(2), "{\n  \"k\": 1\n}");
+}
+
+TEST(Json, StringEscapes) {
+  Json value(std::string("a\"b\\c\nd\te"));
+  const std::string dumped = value.dump();
+  auto parsed = Json::parse(dumped);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().as_string(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ParsesUnicodeEscapes) {
+  auto parsed = Json::parse(R"("Aé")");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().as_string(), "A\xC3\xA9");
+}
+
+TEST(Json, ParseRejectsTrailingGarbage) {
+  EXPECT_FALSE(Json::parse("{} extra").is_ok());
+  EXPECT_FALSE(Json::parse("1 2").is_ok());
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  for (const char* bad :
+       {"", "{", "[", "\"unterminated", "{\"a\":}", "[1,]", "tru", "nul",
+        "{\"a\" 1}", "01a", "-", "\"\\q\"", "{1: 2}"}) {
+    EXPECT_FALSE(Json::parse(bad).is_ok()) << bad;
+  }
+}
+
+TEST(Json, ParseRejectsDeepNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(Json::parse(deep).is_ok());
+}
+
+TEST(Json, ParseAcceptsModerateNesting) {
+  std::string nested(50, '[');
+  nested += "1";
+  nested += std::string(50, ']');
+  EXPECT_TRUE(Json::parse(nested).is_ok());
+}
+
+TEST(Json, NumbersWithExponents) {
+  auto parsed = Json::parse("[1e3, -2.5E-2, 0.125]");
+  ASSERT_TRUE(parsed.is_ok());
+  const JsonArray& arr = parsed.value().as_array();
+  EXPECT_DOUBLE_EQ(arr[0].as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(arr[1].as_number(), -0.025);
+  EXPECT_DOUBLE_EQ(arr[2].as_number(), 0.125);
+}
+
+TEST(Json, EqualityIsStructural) {
+  auto a = Json::parse(R"({"x": [1, 2], "y": null})");
+  auto b = Json::parse(R"({ "y": null, "x": [1,2] })");
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value(), b.value());
+}
+
+/// Round-trip property over a corpus of documents.
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  auto first = Json::parse(GetParam());
+  ASSERT_TRUE(first.is_ok()) << GetParam();
+  auto second = Json::parse(first.value().dump());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value(), second.value());
+  // Pretty printing parses back to the same document too.
+  auto pretty = Json::parse(first.value().dump(4));
+  ASSERT_TRUE(pretty.is_ok());
+  EXPECT_EQ(first.value(), pretty.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "false", "0", "-17", "3.25", "\"\"", "\"text\"",
+        "[]", "{}", "[1,2,3]", R"({"a":1})",
+        R"({"model":"ViT_Tiny","gflops":1.37,"batch":[1,2,4,1024]})",
+        R"([{"nested":{"deep":[true,null,{"x":-1e-3}]}}])",
+        R"({"unicode":"über","escape":"line\nbreak"})",
+        R"({"empty_array":[],"empty_obj":{},"zero":0.0})"));
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/cli.hpp"
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "core/time.hpp"
+#include "core/units.hpp"
+
+namespace harvest::core {
+namespace {
+
+// ------------------------------------------------------------------ units
+
+TEST(Units, FlopsScales) {
+  EXPECT_EQ(format_flops(236.3e12), "236.3 TFLOPS");
+  EXPECT_EQ(format_flops(92.6e9), "92.6 GFLOPS");
+  EXPECT_EQ(format_flops(1.5e6), "1.5 MFLOPS");
+  EXPECT_EQ(format_flops(12.0), "12.0 FLOPS");
+}
+
+TEST(Units, FlopCountScales) {
+  EXPECT_EQ(format_flop_count(1.37e9), "1.4 GFLOPs");
+  EXPECT_EQ(format_flop_count(16.86e9), "16.9 GFLOPs");
+}
+
+TEST(Units, BytesScales) {
+  EXPECT_EQ(format_bytes(8.0 * static_cast<double>(kGiB)), "8.0 GiB");
+  EXPECT_EQ(format_bytes(512.0 * static_cast<double>(kMiB)), "512.0 MiB");
+  EXPECT_EQ(format_bytes(2048.0), "2.0 KiB");
+  EXPECT_EQ(format_bytes(100.0), "100.0 B");
+}
+
+TEST(Units, SecondsScales) {
+  EXPECT_EQ(format_seconds(2.0), "2.00 s");
+  EXPECT_EQ(format_seconds(16.7e-3), "16.70 ms");
+  EXPECT_EQ(format_seconds(5e-6), "5.00 us");
+  EXPECT_EQ(format_seconds(3e-9), "3.0 ns");
+}
+
+TEST(Units, RateAndFixed) {
+  EXPECT_EQ(format_rate(22879.3), "22879.3 img/s");
+  EXPECT_EQ(format_rate(60.0, "qps"), "60.0 qps");
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+}
+
+// -------------------------------------------------------------------- csv
+
+TEST(Csv, HeaderAndRows) {
+  CsvWriter csv;
+  csv.set_header({"model", "batch", "img_s"});
+  csv.add_row({"ViT_Tiny", "1024", "22879.3"});
+  EXPECT_EQ(csv.to_string(), "model,batch,img_s\nViT_Tiny,1024,22879.3\n");
+  EXPECT_EQ(csv.row_count(), 1u);
+}
+
+TEST(Csv, QuotesSpecialFields) {
+  CsvWriter csv;
+  csv.add_row({"a,b", "quote\"inside", "line\nbreak", "plain"});
+  EXPECT_EQ(csv.to_string(),
+            "\"a,b\",\"quote\"\"inside\",\"line\nbreak\",plain\n");
+}
+
+TEST(Csv, WriteFileRoundTrips) {
+  CsvWriter csv;
+  csv.set_header({"a", "b"});
+  csv.add_row({"1", "2"});
+  const std::string path = ::testing::TempDir() + "/out.csv";
+  ASSERT_TRUE(csv.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[64] = {};
+  const std::size_t got = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buffer, got), "a,b\n1,2\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(csv.write_file("/no/such/dir/x.csv"));
+}
+
+TEST(Csv, NoHeaderMeansRowsOnly) {
+  CsvWriter csv;
+  csv.add_row({"1", "2"});
+  EXPECT_EQ(csv.to_string(), "1,2\n");
+}
+
+// -------------------------------------------------------------------- cli
+
+TEST(Cli, ParsesFlagFormats) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "hello", "--gamma",
+                        "positional", "--flag"};
+  CliArgs args(7, argv);
+  EXPECT_EQ(args.program(), "prog");
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_EQ(args.get("beta", ""), "hello");
+  // --gamma consumed "positional" as its value (not a flag).
+  EXPECT_EQ(args.get("gamma", ""), "positional");
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Cli, PositionalsPreserved) {
+  const char* argv[] = {"prog", "one", "--k=v", "two"};
+  CliArgs args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "one");
+  EXPECT_EQ(args.positional()[1], "two");
+}
+
+TEST(Cli, TypedFallbacks) {
+  const char* argv[] = {"prog", "--rate=2.5", "--on=yes", "--off=0"};
+  CliArgs args(4, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("rate", 0.0), 2.5);
+  EXPECT_DOUBLE_EQ(args.get_double("nope", 9.5), 9.5);
+  EXPECT_TRUE(args.get_bool("on", false));
+  EXPECT_FALSE(args.get_bool("off", true));
+  EXPECT_TRUE(args.get_bool("absent", true));
+}
+
+// ------------------------------------------------------------------ table
+
+TEST(Table, RendersAlignedGrid) {
+  TextTable table("Title");
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"be", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("Title"), std::string::npos);
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha |     1 |"), std::string::npos);  // numeric right
+  EXPECT_NE(out.find("| be    |    22 |"), std::string::npos);
+}
+
+TEST(Table, SeparatorAddsRule) {
+  TextTable table;
+  table.add_row({"a"});
+  table.add_separator();
+  table.add_row({"b"});
+  const std::string out = table.render();
+  // rule appears top, middle, bottom = 3 occurrences.
+  std::size_t rules = 0;
+  std::size_t pos = 0;
+  while ((pos = out.find("+---+", pos)) != std::string::npos) {
+    ++rules;
+    pos += 1;
+  }
+  EXPECT_EQ(rules, 3u);
+}
+
+TEST(Table, RaggedRowsPadded) {
+  TextTable table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"only"});
+  EXPECT_NO_THROW(table.render());
+}
+
+// ------------------------------------------------------------------- time
+
+TEST(WallTimer, MeasuresElapsedMonotonically) {
+  WallTimer timer;
+  const double t0 = timer.elapsed_seconds();
+  const double t1 = timer.elapsed_seconds();
+  EXPECT_GE(t0, 0.0);
+  EXPECT_GE(t1, t0);
+  timer.reset();
+  EXPECT_LT(timer.elapsed_seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,101 @@
+#include "core/plot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::core {
+namespace {
+
+TEST(AsciiPlot, EmptyPlotSaysSo) {
+  AsciiPlot plot(20, 5);
+  EXPECT_EQ(plot.render(), "(no data to plot)\n");
+}
+
+TEST(AsciiPlot, RendersGlyphsAndLegend) {
+  AsciiPlot plot(20, 5);
+  plot.set_title("demo");
+  Series series;
+  series.label = "line";
+  series.glyph = '#';
+  series.xs = {0.0, 1.0, 2.0};
+  series.ys = {0.0, 1.0, 2.0};
+  plot.add_series(std::move(series));
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("# line"), std::string::npos);
+  EXPECT_NE(out.find("x: 0 .. 2"), std::string::npos);
+}
+
+TEST(AsciiPlot, RisingSeriesRisesOnCanvas) {
+  AsciiPlot plot(30, 10);
+  Series series;
+  series.glyph = 'o';
+  for (int i = 0; i <= 10; ++i) {
+    series.xs.push_back(i);
+    series.ys.push_back(i);
+  }
+  plot.add_series(std::move(series));
+  const std::string out = plot.render();
+  // Split canvas rows; the first 'o' (top row) must be right of the
+  // last 'o' (bottom row).
+  std::vector<std::string> rows;
+  std::size_t pos = 0;
+  while ((pos = out.find("|", pos)) != std::string::npos) {
+    const std::size_t end = out.find("|", pos + 1);
+    if (end == std::string::npos) break;
+    rows.push_back(out.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  ASSERT_GE(rows.size(), 2u);
+  const std::size_t top_col = rows.front().find('o');
+  const std::size_t bottom_col = rows.back().find('o');
+  ASSERT_NE(top_col, std::string::npos);
+  ASSERT_NE(bottom_col, std::string::npos);
+  EXPECT_GT(top_col, bottom_col);
+}
+
+TEST(AsciiPlot, HlineSpansWidth) {
+  AsciiPlot plot(24, 6);
+  Series series;
+  series.xs = {0, 10};
+  series.ys = {0, 10};
+  plot.add_series(std::move(series));
+  plot.add_hline(5.0, '=');
+  const std::string out = plot.render();
+  EXPECT_NE(out.find(std::string(24, '=')), std::string::npos);
+}
+
+TEST(AsciiPlot, LogAxesAcceptWideRanges) {
+  AsciiPlot plot(30, 8);
+  plot.set_log_x(true);
+  plot.set_log_y(true);
+  Series series;
+  series.xs = {1, 10, 100, 1000};
+  series.ys = {0.001, 0.01, 0.1, 1.0};
+  plot.add_series(std::move(series));
+  const std::string out = plot.render();
+  EXPECT_NE(out.find("(log)"), std::string::npos);
+  // Log-linear data lands on the diagonal: distinct columns per point.
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiPlot, NonFinitePointsSkipped) {
+  AsciiPlot plot(20, 5);
+  Series series;
+  series.xs = {0.0, 1.0, 2.0};
+  series.ys = {1.0, std::numeric_limits<double>::infinity(), 3.0};
+  plot.add_series(std::move(series));
+  EXPECT_NE(plot.render().find('*'), std::string::npos);  // no crash
+}
+
+TEST(AsciiPlot, DegenerateSingePointStillRenders) {
+  AsciiPlot plot(20, 5);
+  Series series;
+  series.xs = {5.0};
+  series.ys = {7.0};
+  plot.add_series(std::move(series));
+  EXPECT_NE(plot.render().find('*'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,96 @@
+#include "core/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::core {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_TRUE(static_cast<bool>(status));
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+}
+
+TEST(Status, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::invalid_argument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::out_of_memory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::deadline_exceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::internal("boom").message(), "boom");
+}
+
+TEST(Status, ToStringIncludesCodeNameAndMessage) {
+  const Status status = Status::out_of_memory("8 GiB exceeded");
+  EXPECT_EQ(status.to_string(), "OUT_OF_MEMORY: 8 GiB exceeded");
+  EXPECT_FALSE(status.is_ok());
+}
+
+TEST(Status, CodeNamesAreDistinct) {
+  EXPECT_EQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_EQ(status_code_name(StatusCode::kDeadlineExceeded),
+            "DEADLINE_EXCEEDED");
+  EXPECT_NE(status_code_name(StatusCode::kInternal),
+            status_code_name(StatusCode::kUnavailable));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(result.value_or(-1), 42);
+}
+
+TEST(Result, HoldsStatus) {
+  Result<int> result(Status::not_found("missing"));
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.value_or(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+TEST(Result, WorksWithMoveOnlyTypes) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(7));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(*result.value(), 7);
+}
+
+Status fails_then_propagates() {
+  HARVEST_RETURN_IF_ERROR(Status::unavailable("downstream"));
+  return Status::ok();  // unreachable
+}
+
+TEST(Status, ReturnIfErrorPropagates) {
+  const Status status = fails_then_propagates();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+Status succeeds_through_macro() {
+  HARVEST_RETURN_IF_ERROR(Status::ok());
+  return Status::internal("reached the end");
+}
+
+TEST(Status, ReturnIfErrorPassesOk) {
+  EXPECT_EQ(succeeds_through_macro().code(), StatusCode::kInternal);
+}
+
+TEST(CheckDeath, FiresOnViolation) {
+  EXPECT_DEATH(HARVEST_CHECK(1 == 2), "HARVEST_CHECK failed");
+}
+
+TEST(CheckDeath, MessageIncluded) {
+  EXPECT_DEATH(HARVEST_CHECK_MSG(false, "context clue"), "context clue");
+}
+
+}  // namespace
+}  // namespace harvest::core

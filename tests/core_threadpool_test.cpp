@@ -1,0 +1,105 @@
+#include "core/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace harvest::core {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, SizeReportsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallel_for(0, hits.size(),
+                    [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForSubrange) {
+  ThreadPool pool(2);
+  std::vector<int> marks(20, 0);
+  pool.parallel_for(5, 15, [&marks](std::size_t i) { marks[i] = 1; });
+  for (std::size_t i = 0; i < marks.size(); ++i) {
+    EXPECT_EQ(marks[i], (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(3, 3, [&touched](std::size_t) { touched = true; });
+  pool.parallel_for(5, 2, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, ParallelForSingleElement) {
+  ThreadPool pool(4);
+  int value = 0;
+  pool.parallel_for(7, 8, [&value](std::size_t i) {
+    value = static_cast<int>(i);
+  });
+  EXPECT_EQ(value, 7);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // Destructor must wait for queued work.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, NestedSubmitFromTask) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  auto outer = pool.submit([&] {
+    auto inner = pool.submit([&counter] { counter.fetch_add(1); });
+    inner.get();
+    counter.fetch_add(1);
+  });
+  outer.get();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPool, ParallelReductionMatchesSerial) {
+  ThreadPool pool(3);
+  std::vector<long long> partial(1000, 0);
+  pool.parallel_for(0, partial.size(), [&partial](std::size_t i) {
+    partial[i] = static_cast<long long>(i) * static_cast<long long>(i);
+  });
+  const long long total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  long long expect = 0;
+  for (long long i = 0; i < 1000; ++i) expect += i * i;
+  EXPECT_EQ(total, expect);
+}
+
+}  // namespace
+}  // namespace harvest::core

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "core/stats.hpp"
+#include "data/datasets.hpp"
+#include "data/loader.hpp"
+#include "data/synthetic.hpp"
+
+namespace harvest::data {
+namespace {
+
+// ---------------------------------------------------------------- registry
+
+TEST(Registry, Table2Counts) {
+  const auto& all = evaluated_datasets();
+  ASSERT_EQ(all.size(), 6u);
+
+  const auto pv = find_dataset("Plant Village");
+  ASSERT_TRUE(pv.has_value());
+  EXPECT_EQ(pv->num_classes, 39);
+  EXPECT_EQ(pv->num_samples, 43430);
+  EXPECT_EQ(pv->sizes.mode_w, 256);
+
+  const auto weed = find_dataset("Weed Detection in Soybean");
+  ASSERT_TRUE(weed.has_value());
+  EXPECT_EQ(weed->num_classes, 4);
+  EXPECT_EQ(weed->num_samples, 10635);
+  EXPECT_EQ(weed->sizes.mode_w, 233);  // Fig. 4a annotation
+
+  const auto bug = find_dataset("Sugar Cane-Spittle Bug");
+  ASSERT_TRUE(bug.has_value());
+  EXPECT_EQ(bug->num_classes, 2);
+  EXPECT_EQ(bug->num_samples, 10100);
+  EXPECT_EQ(bug->sizes.mode_w, 61);  // Fig. 4b annotation
+
+  const auto fruits = find_dataset("Fruits-360");
+  ASSERT_TRUE(fruits.has_value());
+  EXPECT_EQ(fruits->num_classes, 81);
+  EXPECT_EQ(fruits->num_samples, 40998);
+  EXPECT_EQ(fruits->sizes.mode_w, 100);
+
+  const auto corn = find_dataset("Corn Growth Stage");
+  ASSERT_TRUE(corn.has_value());
+  EXPECT_EQ(corn->num_classes, 23);
+  EXPECT_EQ(corn->num_samples, 52198);
+  EXPECT_EQ(corn->format, preproc::ImageFormat::kAtif);  // UAS TIFF imagery
+
+  const auto crsa = find_dataset("CRSA");
+  ASSERT_TRUE(crsa.has_value());
+  EXPECT_EQ(crsa->num_classes, 0);
+  EXPECT_EQ(crsa->num_samples, 992);
+  EXPECT_EQ(crsa->sizes.mode_w, 3840);
+  EXPECT_EQ(crsa->sizes.mode_h, 2160);
+  EXPECT_TRUE(crsa->needs_perspective);
+  EXPECT_EQ(crsa->format, preproc::ImageFormat::kRaw);
+}
+
+TEST(Registry, ClassificationSubsetExcludesCrsa) {
+  const auto subset = classification_datasets();
+  EXPECT_EQ(subset.size(), 5u);
+  for (const DatasetSpec& spec : subset) {
+    EXPECT_GT(spec.num_classes, 0) << spec.name;
+  }
+}
+
+TEST(Registry, UnknownNameIsNullopt) {
+  EXPECT_FALSE(find_dataset("ImageNet").has_value());
+}
+
+// ------------------------------------------------------------ distribution
+
+TEST(SizeDistribution, FixedIsExact) {
+  const auto spec = *find_dataset("Plant Village");
+  for (std::int64_t i = 0; i < 20; ++i) {
+    const auto [w, h] = spec.sizes.sample(1, i);
+    EXPECT_EQ(w, 256);
+    EXPECT_EQ(h, 256);
+  }
+  EXPECT_DOUBLE_EQ(spec.sizes.mean_pixels(), 256.0 * 256.0);
+}
+
+TEST(SizeDistribution, GaussianModeNearAnnotation) {
+  // Fig. 4a: most common soybean image is ~233×233.
+  const auto spec = *find_dataset("Weed Detection in Soybean");
+  core::Histogram widths(0, 500, 50);
+  for (std::int64_t i = 0; i < 5000; ++i) {
+    const auto [w, h] = spec.sizes.sample(7, i);
+    widths.add(static_cast<double>(w));
+    EXPECT_GE(w, spec.sizes.min_edge);
+    EXPECT_LE(w, spec.sizes.max_edge);
+    EXPECT_GE(h, spec.sizes.min_edge);
+    EXPECT_LE(h, spec.sizes.max_edge);
+  }
+  EXPECT_NEAR(widths.mode(), 233.0, 25.0);
+}
+
+TEST(SizeDistribution, GaussianAspectHugsDiagonal) {
+  const auto spec = *find_dataset("Sugar Cane-Spittle Bug");
+  core::RunningStats ratio;
+  for (std::int64_t i = 0; i < 2000; ++i) {
+    const auto [w, h] = spec.sizes.sample(3, i);
+    ratio.add(static_cast<double>(h) / static_cast<double>(w));
+  }
+  EXPECT_NEAR(ratio.mean(), 1.0, 0.05);
+  EXPECT_LT(ratio.stddev(), 0.15);
+}
+
+TEST(SizeDistribution, SampleIsDeterministicPerIndex) {
+  const auto spec = *find_dataset("Weed Detection in Soybean");
+  const auto a = spec.sizes.sample(9, 123);
+  const auto b = spec.sizes.sample(9, 123);
+  EXPECT_EQ(a, b);
+  const auto c = spec.sizes.sample(9, 124);
+  const auto d = spec.sizes.sample(10, 123);
+  EXPECT_TRUE(a != c || a != d);  // index and seed both matter
+}
+
+TEST(DatasetStats, EncodedBytesReflectFormat) {
+  const auto jpeg = find_dataset("Plant Village")->image_stats();
+  const auto raw = find_dataset("CRSA")->image_stats();
+  EXPECT_LT(jpeg.mean_encoded_bytes, jpeg.mean_pixels * 3.0);  // compressed
+  EXPECT_DOUBLE_EQ(raw.mean_encoded_bytes, raw.mean_pixels * 3.0);
+  EXPECT_TRUE(raw.needs_perspective);
+}
+
+// ---------------------------------------------------------------- samples
+
+TEST(Synthetic, SamplesAreDeterministic) {
+  const SyntheticDataset dataset(*find_dataset("Sugar Cane-Spittle Bug"), 5);
+  const Sample a = dataset.make_sample(17);
+  const Sample b = dataset.make_sample(17);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.image.bytes, b.image.bytes);
+  const Sample c = dataset.make_sample(18);
+  EXPECT_TRUE(c.image.bytes != a.image.bytes);
+}
+
+TEST(Synthetic, LabelsInRange) {
+  const SyntheticDataset dataset(*find_dataset("Fruits-360"), 6);
+  std::vector<bool> seen(81, false);
+  for (std::int64_t i = 0; i < 500; ++i) {
+    const std::int64_t label = dataset.sample_label(i);
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 81);
+    seen[static_cast<std::size_t>(label)] = true;
+  }
+  int covered = 0;
+  for (bool b : seen) covered += b ? 1 : 0;
+  EXPECT_GT(covered, 60);  // labels spread over most classes
+}
+
+TEST(Synthetic, UnlabeledDatasetGivesMinusOne) {
+  const SyntheticDataset dataset(*find_dataset("CRSA"), 7);
+  EXPECT_EQ(dataset.sample_label(0), -1);
+}
+
+TEST(Synthetic, EncodedSamplesDecode) {
+  const SyntheticDataset dataset(*find_dataset("Corn Growth Stage"), 8);
+  const Sample sample = dataset.make_sample(3);
+  EXPECT_EQ(sample.image.format, preproc::ImageFormat::kAtif);
+  auto decoded = preproc::decode_image(sample.image);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().width(), 224);
+  EXPECT_EQ(decoded.value().height(), 224);
+}
+
+TEST(Synthetic, DimsMatchSampleDims) {
+  const SyntheticDataset dataset(*find_dataset("Weed Detection in Soybean"), 9);
+  for (std::int64_t i = 0; i < 5; ++i) {
+    const auto [w, h] = dataset.sample_dims(i);
+    const Sample sample = dataset.make_sample(i);
+    EXPECT_EQ(sample.image.width, w);
+    EXPECT_EQ(sample.image.height, h);
+  }
+}
+
+TEST(SyntheticDeath, OutOfRangeIndexAborts) {
+  const SyntheticDataset dataset(*find_dataset("CRSA"), 7);
+  EXPECT_DEATH(dataset.make_sample(99999), "out of range");
+}
+
+// ----------------------------------------------------------------- loader
+
+TEST(Loader, DrainsRangeInOrder) {
+  const SyntheticDataset dataset(*find_dataset("Sugar Cane-Spittle Bug"), 10);
+  PrefetchLoader loader(dataset, 4, 0, 10);
+  std::int64_t next_index = 0;
+  std::int64_t total = 0;
+  while (auto batch = loader.next()) {
+    EXPECT_EQ(batch->first_index, next_index);
+    next_index += static_cast<std::int64_t>(batch->samples.size());
+    total += static_cast<std::int64_t>(batch->samples.size());
+    EXPECT_LE(batch->samples.size(), 4u);
+  }
+  EXPECT_EQ(total, 10);
+  EXPECT_FALSE(loader.next().has_value());  // stays drained
+}
+
+TEST(Loader, LastBatchMayBeShort) {
+  const SyntheticDataset dataset(*find_dataset("Sugar Cane-Spittle Bug"), 11);
+  PrefetchLoader loader(dataset, 4, 0, 6);
+  auto first = loader.next();
+  auto second = loader.next();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->samples.size(), 4u);
+  EXPECT_EQ(second->samples.size(), 2u);
+  EXPECT_FALSE(loader.next().has_value());
+}
+
+TEST(Loader, EarlyDestructionIsClean) {
+  const SyntheticDataset dataset(*find_dataset("Sugar Cane-Spittle Bug"), 12);
+  {
+    PrefetchLoader loader(dataset, 2, 0, 100);
+    auto batch = loader.next();
+    EXPECT_TRUE(batch.has_value());
+    // Destructor must stop the producer without deadlock.
+  }
+  SUCCEED();
+}
+
+TEST(Loader, RangeClampedToDatasetSize) {
+  const SyntheticDataset dataset(*find_dataset("CRSA"), 13);
+  PrefetchLoader loader(dataset, 1, 990, 5000);
+  std::int64_t total = 0;
+  while (auto batch = loader.next()) {
+    total += static_cast<std::int64_t>(batch->samples.size());
+  }
+  EXPECT_EQ(total, 2);  // 990, 991
+}
+
+}  // namespace
+}  // namespace harvest::data

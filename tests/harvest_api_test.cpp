@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "harvest/advisor.hpp"
+#include "harvest/e2e.hpp"
+#include "harvest/report.hpp"
+#include "platform/device.hpp"
+
+namespace harvest::api {
+namespace {
+
+const data::DatasetSpec& plant_village() {
+  static const data::DatasetSpec spec = *data::find_dataset("Plant Village");
+  return spec;
+}
+
+// -------------------------------------------------------------------- e2e
+
+TEST(E2E, OverlapNeverHurtsThroughput) {
+  for (const platform::DeviceSpec* device : platform::evaluated_platforms()) {
+    E2EConfig overlapped{32, preproc::PreprocMethod::kDali224, true};
+    E2EConfig serial{32, preproc::PreprocMethod::kDali224, false};
+    const E2EEstimate a =
+        estimate_end_to_end(*device, "ViT_Small", plant_village(), overlapped);
+    const E2EEstimate b =
+        estimate_end_to_end(*device, "ViT_Small", plant_village(), serial);
+    if (a.oom || b.oom) continue;
+    EXPECT_GE(a.throughput_img_per_s, b.throughput_img_per_s) << device->name;
+    // A single request's latency is the same either way.
+    EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+  }
+}
+
+TEST(E2E, LatencyIsSumOfStages) {
+  const E2EConfig config{16, preproc::PreprocMethod::kDali224, true};
+  const E2EEstimate est =
+      estimate_end_to_end(platform::a100(), "ResNet50", plant_village(), config);
+  ASSERT_FALSE(est.oom);
+  EXPECT_NEAR(est.latency_s, est.preproc_s + est.inference_s, 1e-12);
+  EXPECT_GT(est.preproc_pool_bytes, 0.0);
+}
+
+TEST(E2E, JetsonUnifiedMemoryShrinksEngineBatch) {
+  // §4.3: preprocessing pool and engine compete on the Jetson's 8 GB.
+  const E2EConfig config{0, preproc::PreprocMethod::kDali224, true};
+  const E2EEstimate jetson = estimate_end_to_end(
+      platform::jetson_orin_nano(), "ViT_Base", plant_village(), config);
+  ASSERT_FALSE(jetson.oom);
+  // The engine-only wall is 8 (Fig. 5c); contention must cut below it.
+  EXPECT_LT(jetson.engine_max_batch, 8);
+  EXPECT_LE(jetson.batch, jetson.engine_max_batch);
+}
+
+TEST(E2E, CloudPlatformUnaffectedByPreprocPool) {
+  const E2EConfig config{64, preproc::PreprocMethod::kDali224, true};
+  const E2EEstimate est =
+      estimate_end_to_end(platform::a100(), "ViT_Base", plant_village(), config);
+  ASSERT_FALSE(est.oom);
+  EXPECT_GE(est.engine_max_batch, 1024);
+}
+
+TEST(E2E, RequestedBatchBeyondWallIsOom) {
+  const E2EConfig config{64, preproc::PreprocMethod::kDali224, true};
+  const E2EEstimate est = estimate_end_to_end(platform::jetson_orin_nano(),
+                                              "ViT_Base", plant_village(),
+                                              config);
+  EXPECT_TRUE(est.oom);
+  EXPECT_EQ(est.bottleneck, Bottleneck::kMemory);
+}
+
+TEST(E2E, SmallModelOnWeakPreprocIsPreprocBound) {
+  // §4.3: "smaller models remain preprocessing-bottlenecked, particularly
+  // on platforms with limited preprocessing capabilities like the V100".
+  const E2EConfig config{64, preproc::PreprocMethod::kDali224, true};
+  const E2EEstimate est =
+      estimate_end_to_end(platform::v100(), "ViT_Tiny", plant_village(), config);
+  ASSERT_FALSE(est.oom);
+  EXPECT_EQ(est.bottleneck, Bottleneck::kPreprocessing);
+}
+
+TEST(E2E, LargeModelOnA100ApproachesEngineBound) {
+  // §4.3: "larger models such as ViT-Base benefit from effective
+  // preprocessing-inference latency overlap" on the A100.
+  const E2EConfig config{64, preproc::PreprocMethod::kDali224, true};
+  const E2EEstimate est =
+      estimate_end_to_end(platform::a100(), "ViT_Base", plant_village(), config);
+  ASSERT_FALSE(est.oom);
+  EXPECT_EQ(est.bottleneck, Bottleneck::kInference);
+}
+
+TEST(E2E, BottleneckNames) {
+  EXPECT_STREQ(bottleneck_name(Bottleneck::kPreprocessing), "preprocessing");
+  EXPECT_STREQ(bottleneck_name(Bottleneck::kInference), "inference");
+  EXPECT_STREQ(bottleneck_name(Bottleneck::kMemory), "memory");
+}
+
+// ---------------------------------------------------------------- advisor
+
+TEST(Advisor, FindsOperatingPointUnder60Qps) {
+  AdvisorConfig config;  // 16.7 ms budget
+  const OperatingPoint point =
+      find_operating_point(platform::a100(), "ViT_Base", config);
+  ASSERT_TRUE(point.feasible);
+  EXPECT_GE(point.batch, 1);
+  EXPECT_LE(point.latency_s, config.latency_budget_s);
+  // The next sweep batch must violate the budget (point is maximal) —
+  // guaranteed by construction, spot-check throughput is positive.
+  EXPECT_GT(point.throughput_img_per_s, 0.0);
+}
+
+TEST(Advisor, A100NeedsLargerBatchesThanItsSmallModelsCanFill) {
+  // Fig. 6a: on A100 the optimal region needs batches beyond 16.
+  AdvisorConfig config;
+  const OperatingPoint point =
+      find_operating_point(platform::a100(), "ViT_Tiny", config);
+  ASSERT_TRUE(point.feasible);
+  EXPECT_GT(point.batch, 16);
+}
+
+TEST(Advisor, RankingPrefersFeasibleAndFast) {
+  AdvisorConfig config;
+  const auto ranked = rank_models(platform::a100(), config);
+  ASSERT_EQ(ranked.size(), 4u);
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    if (ranked[i].feasible == ranked[i - 1].feasible) {
+      EXPECT_GE(ranked[i - 1].throughput_img_per_s,
+                ranked[i].throughput_img_per_s);
+    }
+  }
+  // ViT_Tiny has the highest ceiling on A100.
+  EXPECT_EQ(ranked.front().model, "ViT_Tiny");
+}
+
+TEST(Advisor, TightBudgetShrinksBatch) {
+  AdvisorConfig loose;
+  loose.latency_budget_s = 0.1;
+  AdvisorConfig tight;
+  tight.latency_budget_s = 3e-3;
+  const OperatingPoint pl =
+      find_operating_point(platform::v100(), "ResNet50", loose);
+  const OperatingPoint pt =
+      find_operating_point(platform::v100(), "ResNet50", tight);
+  ASSERT_TRUE(pl.feasible);
+  ASSERT_TRUE(pt.feasible);
+  EXPECT_LT(pt.batch, pl.batch);
+}
+
+TEST(Advisor, InfeasibleBudgetReported) {
+  AdvisorConfig config;
+  config.latency_budget_s = 1e-6;  // nothing fits a microsecond
+  const OperatingPoint point =
+      find_operating_point(platform::jetson_orin_nano(), "ViT_Base", config);
+  EXPECT_FALSE(point.feasible);
+  const DeploymentAdvice advice =
+      advise(platform::jetson_orin_nano(), plant_village(), config);
+  EXPECT_NE(advice.summary.find("No evaluated model"), std::string::npos);
+}
+
+TEST(Advisor, AdviceMentionsModelAndDevice) {
+  AdvisorConfig config;
+  const DeploymentAdvice advice =
+      advise(platform::a100(), plant_village(), config);
+  ASSERT_TRUE(advice.best.feasible);
+  EXPECT_NE(advice.summary.find(advice.best.model), std::string::npos);
+  EXPECT_NE(advice.summary.find("A100"), std::string::npos);
+  EXPECT_EQ(advice.preproc_method, preproc::PreprocMethod::kDali224);
+}
+
+TEST(Advisor, CrsaGetsCv2Preprocessing) {
+  AdvisorConfig config;
+  const DeploymentAdvice advice =
+      advise(platform::jetson_orin_nano(), *data::find_dataset("CRSA"), config);
+  EXPECT_EQ(advice.preproc_method, preproc::PreprocMethod::kCv2);
+}
+
+// ----------------------------------------------------------------- report
+
+TEST(Report, JsonShapeAndWrite) {
+  Report report("test_experiment");
+  core::Json row = core::Json::object();
+  row["model"] = core::Json("ViT_Tiny");
+  row["img_s"] = core::Json(22879.3);
+  report.add_row(std::move(row));
+  report.set_meta("note", core::Json("calibrated"));
+
+  auto parsed = core::Json::parse(report.dump());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().get_string("experiment", ""), "test_experiment");
+  EXPECT_EQ(parsed.value().find("rows")->as_array().size(), 1u);
+  EXPECT_EQ(parsed.value().get_string("note", ""), "calibrated");
+
+  ASSERT_TRUE(report.write(::testing::TempDir()));
+  std::remove((::testing::TempDir() + "/test_experiment.json").c_str());
+}
+
+}  // namespace
+}  // namespace harvest::api

@@ -1,0 +1,91 @@
+#include "harvest/placement.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::api {
+namespace {
+
+AdvisorConfig interactive_budget() {
+  AdvisorConfig config;
+  config.latency_budget_s = 0.1;
+  return config;
+}
+
+TEST(Placement, Crsa4kPinsToEdgeOnWireless) {
+  const data::DatasetSpec crsa = *data::find_dataset("CRSA");
+  for (const platform::LinkSpec* link :
+       {&platform::lte_rural(), &platform::nr5g(),
+        &platform::wifi_backhaul()}) {
+    const PlacementDecision decision =
+        place_deployment(crsa, *link, interactive_budget());
+    EXPECT_NE(decision.chosen, "cloud") << link->name;
+    EXPECT_FALSE(decision.cloud.meets_budget) << link->name;
+  }
+}
+
+TEST(Placement, SmallImagesGoToCloudOnGoodLinks) {
+  const data::DatasetSpec pv = *data::find_dataset("Plant Village");
+  const PlacementDecision fiber =
+      place_deployment(pv, platform::fiber(), interactive_budget());
+  EXPECT_EQ(fiber.chosen, "cloud");
+  EXPECT_TRUE(fiber.cloud.meets_budget);
+  EXPECT_GT(fiber.cloud.sustainable_qps, fiber.edge.sustainable_qps);
+}
+
+TEST(Placement, CornTiffUploadBustsLteBudgetEntirely) {
+  // Corn's ~88 KiB TIFF payloads take >150 ms just to upload over rural
+  // LTE — the cloud side is infeasible under a 100 ms budget.
+  const data::DatasetSpec corn = *data::find_dataset("Corn Growth Stage");
+  const PlacementDecision lte =
+      place_deployment(corn, platform::lte_rural(), interactive_budget());
+  EXPECT_FALSE(lte.cloud.meets_budget);
+  EXPECT_EQ(lte.chosen, "edge");
+}
+
+TEST(Placement, UplinkLimitsCloudCapacityOn5g) {
+  const data::DatasetSpec corn = *data::find_dataset("Corn Growth Stage");
+  const PlacementDecision decision =
+      place_deployment(corn, platform::nr5g(), interactive_budget());
+  ASSERT_TRUE(decision.cloud.meets_budget);
+  EXPECT_EQ(decision.cloud.limiting_factor, "uplink");
+  // 5G caps Corn's big TIFF payloads around ~110 requests/second — far
+  // below both the A100 engine and the Jetson's local rate.
+  EXPECT_LT(decision.cloud.sustainable_qps, decision.edge.sustainable_qps);
+}
+
+TEST(Placement, EdgeOptionHasNoUploadCost) {
+  const data::DatasetSpec pv = *data::find_dataset("Plant Village");
+  const PlacementDecision decision =
+      place_deployment(pv, platform::lte_rural(), interactive_budget());
+  EXPECT_DOUBLE_EQ(decision.edge.upload_latency_s, 0.0);
+  EXPECT_GT(decision.cloud.upload_latency_s, 0.0);
+}
+
+TEST(Placement, ImpossibleBudgetChoosesNeither) {
+  AdvisorConfig config;
+  config.latency_budget_s = 1e-6;
+  const data::DatasetSpec pv = *data::find_dataset("Plant Village");
+  const PlacementDecision decision =
+      place_deployment(pv, platform::fiber(), config);
+  EXPECT_EQ(decision.chosen, "neither");
+  EXPECT_FALSE(decision.edge.meets_budget);
+  EXPECT_FALSE(decision.cloud.meets_budget);
+  EXPECT_FALSE(decision.rationale.empty());
+}
+
+TEST(Placement, DecisionsCarryModelsAndRationale) {
+  const data::DatasetSpec fruits = *data::find_dataset("Fruits-360");
+  const PlacementDecision decision =
+      place_deployment(fruits, platform::nr5g(), interactive_budget());
+  EXPECT_NE(decision.chosen, "neither");
+  if (decision.edge.meets_budget) {
+    EXPECT_FALSE(decision.edge.model.empty());
+  }
+  if (decision.cloud.meets_budget) {
+    EXPECT_FALSE(decision.cloud.model.empty());
+  }
+  EXPECT_FALSE(decision.rationale.empty());
+}
+
+}  // namespace
+}  // namespace harvest::api

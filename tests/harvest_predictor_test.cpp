@@ -1,0 +1,151 @@
+#include "harvest/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace harvest::api {
+namespace {
+
+DeploymentPlan base_plan() {
+  DeploymentPlan plan;
+  plan.device = "A100";
+  plan.model = "ViT_Small";
+  plan.dataset = "Plant Village";
+  plan.scenario = platform::Scenario::kOnline;
+  plan.arrival_qps = 500.0;
+  plan.instances = 1;
+  return plan;
+}
+
+TEST(Predictor, RejectsUnknownNames) {
+  DeploymentPlan plan = base_plan();
+  plan.device = "H100";
+  EXPECT_FALSE(predict(plan).is_ok());
+  plan = base_plan();
+  plan.model = "AlexNet";
+  EXPECT_FALSE(predict(plan).is_ok());
+  plan = base_plan();
+  plan.dataset = "ImageNet";
+  EXPECT_FALSE(predict(plan).is_ok());
+  plan = base_plan();
+  plan.arrival_qps = 0.0;
+  EXPECT_FALSE(predict(plan).is_ok());
+}
+
+TEST(Predictor, LightOnlineLoadOnA100IsFeasible) {
+  auto result = predict(base_plan());
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const PerformanceExpectation& out = result.value();
+  EXPECT_TRUE(out.feasible) << out.verdict;
+  EXPECT_GT(out.headroom, 1.0);
+  EXPECT_GT(out.chosen_batch, 0);
+  EXPECT_LE(out.engine_latency_s, base_plan().latency_budget_s);
+  EXPECT_GT(out.expected_p95_latency_s, 0.0);
+  EXPECT_FALSE(out.engine_curve.empty());
+  EXPECT_NE(out.verdict.find("feasible"), std::string::npos);
+}
+
+TEST(Predictor, OverloadedPlanIsInfeasible) {
+  DeploymentPlan plan = base_plan();
+  plan.device = "JetsonOrinNano";
+  plan.model = "ViT_Base";
+  plan.arrival_qps = 5000.0;  // far beyond the Jetson's 676 img/s ceiling
+  auto result = predict(plan);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().feasible);
+  EXPECT_LT(result.value().headroom, 1.0);
+}
+
+TEST(Predictor, RealTime4kCrsaOnJetsonIsInfeasibleOnCpuPath) {
+  DeploymentPlan plan;
+  plan.device = "JetsonOrinNano";
+  plan.model = "ViT_Tiny";
+  plan.dataset = "CRSA";
+  plan.scenario = platform::Scenario::kRealTime;
+  plan.preproc = preproc::PreprocMethod::kCv2;
+  plan.arrival_qps = 30.0;  // 30 fps camera
+  auto result = predict(plan);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().feasible);
+  EXPECT_FALSE(result.value().warnings.empty());
+}
+
+TEST(Predictor, OfflineScenarioOnlyNeedsThroughput) {
+  DeploymentPlan plan = base_plan();
+  plan.scenario = platform::Scenario::kOffline;
+  plan.arrival_qps = 1e9;  // offered load is irrelevant offline
+  auto result = predict(plan);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().feasible);
+}
+
+TEST(Predictor, ScenarioMismatchWarns) {
+  DeploymentPlan plan = base_plan();
+  plan.device = "JetsonOrinNano";  // evaluated for real-time only
+  plan.model = "ViT_Tiny";
+  plan.scenario = platform::Scenario::kOnline;
+  plan.arrival_qps = 50.0;
+  auto result = predict(plan);
+  ASSERT_TRUE(result.is_ok());
+  bool warned = false;
+  for (const std::string& warning : result.value().warnings) {
+    warned |= warning.find("not deployed") != std::string::npos;
+  }
+  EXPECT_TRUE(warned);
+}
+
+TEST(Predictor, ExplicitBatchOverridesChoice) {
+  DeploymentPlan plan = base_plan();
+  plan.batch = 8;
+  auto result = predict(plan);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().chosen_batch, 8);
+}
+
+TEST(Predictor, ExplicitBatchBeyondWallFailsGracefully) {
+  DeploymentPlan plan = base_plan();
+  plan.device = "JetsonOrinNano";
+  plan.model = "ViT_Base";
+  plan.batch = 64;  // wall is 8
+  auto result = predict(plan);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_FALSE(result.value().feasible);
+  EXPECT_NE(result.value().verdict.find("memory wall"), std::string::npos);
+}
+
+TEST(Predictor, CurveIsMonotone) {
+  auto result = predict(base_plan());
+  ASSERT_TRUE(result.is_ok());
+  const auto& curve = result.value().engine_curve;
+  ASSERT_GT(curve.size(), 3u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].latency_s, curve[i - 1].latency_s);
+    EXPECT_GE(curve[i].throughput_img_per_s,
+              curve[i - 1].throughput_img_per_s * 0.999);
+    EXPECT_LE(curve[i].energy_per_image_j,
+              curve[i - 1].energy_per_image_j * 1.001);
+  }
+}
+
+TEST(Predictor, JsonSerializationIsValid) {
+  auto result = predict(base_plan());
+  ASSERT_TRUE(result.is_ok());
+  const core::Json json = result.value().to_json();
+  auto reparsed = core::Json::parse(json.dump(2));
+  ASSERT_TRUE(reparsed.is_ok());
+  EXPECT_TRUE(reparsed.value().get_bool("feasible", false));
+  EXPECT_GT(reparsed.value().find("engine_curve")->as_array().size(), 0u);
+}
+
+TEST(Predictor, Int8PrecisionRaisesCapacity) {
+  DeploymentPlan plan = base_plan();
+  auto native = predict(plan);
+  plan.precision = platform::Precision::kINT8;
+  auto int8 = predict(plan);
+  ASSERT_TRUE(native.is_ok());
+  ASSERT_TRUE(int8.is_ok());
+  EXPECT_GT(int8.value().engine_throughput_img_per_s,
+            native.value().engine_throughput_img_per_s);
+}
+
+}  // namespace
+}  // namespace harvest::api

@@ -1,0 +1,130 @@
+/// Cross-module integration: the full offline drone workflow of
+/// Fig. 3a — survey → stitch → tile → serve every tile through the
+/// real serving runtime → heatmap — end to end in one test binary.
+
+#include <gtest/gtest.h>
+
+#include "nn/activations.hpp"
+#include "tensor/ops.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "serving/native_backend.hpp"
+#include "serving/server.hpp"
+#include "stitch/stitch.hpp"
+
+namespace harvest {
+namespace {
+
+TEST(OfflineWorkflow, SurveyToHeatmapThroughServer) {
+  // 1. Survey and stitch a small field.
+  stitch::SurveyConfig survey;
+  survey.field_width = 128;
+  survey.field_height = 96;
+  survey.capture_size = 48;
+  survey.overlap = 0.3;
+  survey.seed = 77;
+  const auto captures = stitch::simulate_survey(survey);
+  ASSERT_GT(captures.size(), 3u);
+  const preproc::Image mosaic = stitch::composite_mosaic(
+      captures, survey.field_width, survey.field_height);
+
+  // 2. Tile for the model.
+  const auto tiles = stitch::tile_mosaic(mosaic, 32, 32);
+  ASSERT_EQ(tiles.size(), 4u * 3u);
+
+  // 3. Serve every tile through the runtime (real CNN, batched).
+  serving::Server server(2);
+  serving::ModelDeploymentConfig deployment;
+  deployment.name = "residue";
+  deployment.max_batch = 4;
+  deployment.max_queue_delay_s = 2e-3;
+  deployment.preproc.output_size = 16;
+  ASSERT_TRUE(server
+                  .register_model(deployment,
+                                  [] {
+                                    nn::ResNetConfig config{
+                                        "residue-mini", 16, {1}, 2};
+                                    nn::ModelPtr model =
+                                        nn::build_resnet(config);
+                                    nn::init_weights(*model, 5);
+                                    return std::make_unique<
+                                        serving::NativeBackend>(
+                                        std::move(model), 4);
+                                  })
+                  .is_ok());
+
+  std::vector<std::future<serving::InferenceResponse>> futures;
+  for (const stitch::Tile& tile : tiles) {
+    serving::InferenceRequest request;
+    request.model = "residue";
+    request.input =
+        preproc::encode_image(tile.image, preproc::ImageFormat::kRaw);
+    auto submitted = server.submit(std::move(request));
+    ASSERT_TRUE(submitted.is_ok());
+    futures.push_back(std::move(submitted).value());
+  }
+
+  std::vector<double> scores;
+  for (auto& future : futures) {
+    const serving::InferenceResponse response = future.get();
+    ASSERT_TRUE(response.status.is_ok()) << response.status.to_string();
+    ASSERT_EQ(response.logits.size(), 2u);
+    float row[2] = {response.logits[0], response.logits[1]};
+    nn::softmax_rows(row, 1, 2);
+    scores.push_back(static_cast<double>(row[1]));
+    EXPECT_GE(scores.back(), 0.0);
+    EXPECT_LE(scores.back(), 1.0);
+  }
+
+  // 4. Render the heatmap and write it out.
+  const preproc::Image heat = stitch::render_heatmap(
+      tiles, scores, mosaic.width(), mosaic.height(), 32);
+  EXPECT_EQ(heat.width(), mosaic.width());
+  const std::string path = ::testing::TempDir() + "/workflow_heat.ppm";
+  ASSERT_TRUE(stitch::write_ppm(heat, path).is_ok());
+  std::remove(path.c_str());
+
+  // The deployment batched the tiles (not all singles).
+  const serving::MetricsSnapshot snap =
+      server.metrics("residue")->snapshot(1.0);
+  EXPECT_EQ(snap.completed, tiles.size());
+  EXPECT_GT(snap.batch_sizes.mean(), 1.0);
+}
+
+TEST(OfflineWorkflow, DeterministicScoresAcrossRuns) {
+  // The whole chain — survey, stitch, tiles, model, serving — is
+  // deterministic end to end.
+  auto run_once = [] {
+    stitch::SurveyConfig survey;
+    survey.field_width = 96;
+    survey.field_height = 64;
+    survey.capture_size = 32;
+    survey.seed = 13;
+    const auto captures = stitch::simulate_survey(survey);
+    const preproc::Image mosaic =
+        stitch::composite_mosaic(captures, 96, 64);
+    const auto tiles = stitch::tile_mosaic(mosaic, 32, 32);
+
+    nn::ViTConfig config{"det-vit", 16, 4, 16, 1, 2, 2, 3};
+    nn::ModelPtr model = nn::build_vit(config);
+    nn::init_weights(*model, 9);
+    serving::NativeBackend backend(std::move(model), 8);
+
+    std::vector<std::int64_t> predictions;
+    preproc::CpuPipeline pipeline;
+    preproc::PreprocSpec spec;
+    spec.output_size = 16;
+    for (const stitch::Tile& tile : tiles) {
+      const preproc::EncodedImage encoded =
+          preproc::encode_image(tile.image, preproc::ImageFormat::kRaw);
+      auto batch = pipeline.run(std::span(&encoded, 1), spec);
+      auto result = backend.infer(batch.value());
+      predictions.push_back(tensor::argmax(result.value().logits.f32_span()));
+    }
+    return predictions;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,351 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/attention.hpp"
+#include "nn/conv.hpp"
+#include "nn/gemm.hpp"
+#include "nn/norm.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::nn {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.next_float() * 2.0f - 1.0f;
+  return v;
+}
+
+// ------------------------------------------------------------------- GEMM
+
+/// Blocked GEMM must match the naive reference across awkward shapes
+/// (non-multiples of the 4×16 micro-kernel and the cache blocks).
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, BlockedMatchesNaive) {
+  const auto [m, n, k] = GetParam();
+  const auto a = random_vec(static_cast<std::size_t>(m * k), 1);
+  const auto b = random_vec(static_cast<std::size_t>(k * n), 2);
+  std::vector<float> c_blocked(static_cast<std::size_t>(m * n), 0.0f);
+  std::vector<float> c_naive(static_cast<std::size_t>(m * n), 0.0f);
+  gemm(a.data(), b.data(), c_blocked.data(), m, n, k);
+  gemm_naive(a.data(), b.data(), c_naive.data(), m, n, k);
+  for (std::size_t i = 0; i < c_naive.size(); ++i) {
+    EXPECT_NEAR(c_blocked[i], c_naive[i],
+                1e-4f * static_cast<float>(k)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(4, 16, 8),
+                      std::make_tuple(5, 17, 9), std::make_tuple(3, 1, 7),
+                      std::make_tuple(64, 64, 64), std::make_tuple(65, 33, 70),
+                      std::make_tuple(128, 16, 300),
+                      std::make_tuple(7, 130, 257),
+                      std::make_tuple(100, 100, 1)));
+
+TEST(Gemm, AccumulateAddsToExisting) {
+  const auto a = random_vec(6, 3);
+  const auto b = random_vec(6, 4);
+  std::vector<float> base(4, 1.0f);
+  std::vector<float> expect(4, 0.0f);
+  gemm_naive(a.data(), b.data(), expect.data(), 2, 2, 3);
+  for (float& v : expect) v += 1.0f;
+  gemm(a.data(), b.data(), base.data(), 2, 2, 3, /*accumulate=*/true);
+  for (int i = 0; i < 4; ++i) EXPECT_NEAR(base[i], expect[i], 1e-5f);
+}
+
+TEST(Gemm, TransposedBMatchesExplicitTranspose) {
+  constexpr int kM = 9;
+  constexpr int kN = 13;
+  constexpr int kK = 21;
+  const auto a = random_vec(kM * kK, 5);
+  const auto b_t = random_vec(kN * kK, 6);  // stored [N, K]
+  std::vector<float> b(kK * kN);
+  for (int i = 0; i < kN; ++i) {
+    for (int p = 0; p < kK; ++p) b[p * kN + i] = b_t[i * kK + p];
+  }
+  std::vector<float> via_bt(kM * kN, 0.0f);
+  std::vector<float> via_plain(kM * kN, 0.0f);
+  gemm_bt(a.data(), b_t.data(), via_bt.data(), kM, kN, kK);
+  gemm_naive(a.data(), b.data(), via_plain.data(), kM, kN, kK);
+  for (int i = 0; i < kM * kN; ++i) EXPECT_NEAR(via_bt[i], via_plain[i], 1e-4f);
+}
+
+TEST(Gemm, RowBias) {
+  std::vector<float> c = {0.0f, 0.0f, 1.0f, 1.0f};
+  const std::vector<float> bias = {10.0f, 20.0f};
+  add_row_bias(c.data(), bias.data(), 2, 2);
+  EXPECT_EQ(c[0], 10.0f);
+  EXPECT_EQ(c[1], 20.0f);
+  EXPECT_EQ(c[2], 11.0f);
+  EXPECT_EQ(c[3], 21.0f);
+}
+
+TEST(Gemm, DegenerateDimsAreNoops) {
+  std::vector<float> c(4, 5.0f);
+  gemm(nullptr, nullptr, c.data(), 0, 2, 2);
+  EXPECT_EQ(c[0], 5.0f);
+}
+
+// ------------------------------------------------------------ activations
+
+TEST(Activations, ReluClampsNegatives) {
+  std::vector<float> x = {-1.0f, 0.0f, 2.0f};
+  relu_inplace(x.data(), 3);
+  EXPECT_EQ(x[0], 0.0f);
+  EXPECT_EQ(x[1], 0.0f);
+  EXPECT_EQ(x[2], 2.0f);
+}
+
+TEST(Activations, GeluKnownValues) {
+  std::vector<float> x = {0.0f, 1.0f, -1.0f, 3.0f};
+  gelu_inplace(x.data(), 4);
+  EXPECT_NEAR(x[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(x[1], 0.841345f, 1e-4f);
+  EXPECT_NEAR(x[2], -0.158655f, 1e-4f);
+  EXPECT_NEAR(x[3], 2.99595f, 1e-4f);
+}
+
+TEST(Activations, SoftmaxRowsSumToOne) {
+  auto x = random_vec(8 * 33, 7);
+  for (float& v : x) v *= 20.0f;  // stress stability
+  softmax_rows(x.data(), 8, 33);
+  for (int r = 0; r < 8; ++r) {
+    double sum = 0.0;
+    for (int i = 0; i < 33; ++i) {
+      const float v = x[static_cast<std::size_t>(r * 33 + i)];
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+      sum += static_cast<double>(v);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(Activations, SoftmaxHandlesLargeMagnitudes) {
+  std::vector<float> x = {1000.0f, 1000.0f, -1000.0f};
+  softmax_rows(x.data(), 1, 3);
+  EXPECT_NEAR(x[0], 0.5f, 1e-5f);
+  EXPECT_NEAR(x[1], 0.5f, 1e-5f);
+  EXPECT_NEAR(x[2], 0.0f, 1e-6f);
+}
+
+TEST(Activations, SigmoidRange) {
+  std::vector<float> x = {-10.0f, 0.0f, 10.0f};
+  sigmoid_inplace(x);
+  EXPECT_LT(x[0], 0.001f);
+  EXPECT_NEAR(x[1], 0.5f, 1e-6f);
+  EXPECT_GT(x[2], 0.999f);
+}
+
+// ------------------------------------------------------------------- norm
+
+TEST(Norm, LayernormProducesZeroMeanUnitVar) {
+  constexpr int kRows = 5;
+  constexpr int kDim = 64;
+  auto x = random_vec(kRows * kDim, 8);
+  std::vector<float> y(kRows * kDim);
+  std::vector<float> gamma(kDim, 1.0f);
+  std::vector<float> beta(kDim, 0.0f);
+  layernorm_rows(x.data(), y.data(), kRows, kDim, gamma.data(), beta.data());
+  for (int r = 0; r < kRows; ++r) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int i = 0; i < kDim; ++i) {
+      mean += static_cast<double>(y[static_cast<std::size_t>(r * kDim + i)]);
+    }
+    mean /= kDim;
+    for (int i = 0; i < kDim; ++i) {
+      const double d =
+          static_cast<double>(y[static_cast<std::size_t>(r * kDim + i)]) - mean;
+      var += d * d;
+    }
+    var /= kDim;
+    EXPECT_NEAR(mean, 0.0, 1e-5);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Norm, LayernormAppliesGainAndShift) {
+  std::vector<float> x = {1.0f, 3.0f};  // mean 2, std 1
+  std::vector<float> y(2);
+  std::vector<float> gamma = {2.0f, 2.0f};
+  std::vector<float> beta = {10.0f, 10.0f};
+  layernorm_rows(x.data(), y.data(), 1, 2, gamma.data(), beta.data());
+  EXPECT_NEAR(y[0], 10.0f - 2.0f, 1e-3f);
+  EXPECT_NEAR(y[1], 10.0f + 2.0f, 1e-3f);
+}
+
+TEST(Norm, BatchnormFoldsRunningStats) {
+  constexpr int kC = 2;
+  constexpr int kHW = 4;
+  std::vector<float> x(kC * kHW);
+  for (int i = 0; i < kC * kHW; ++i) x[static_cast<std::size_t>(i)] = static_cast<float>(i);
+  std::vector<float> y(kC * kHW);
+  const std::vector<float> mean = {1.5f, 5.5f};
+  const std::vector<float> var = {1.25f, 1.25f};
+  const std::vector<float> gamma = {1.0f, 2.0f};
+  const std::vector<float> beta = {0.0f, 1.0f};
+  batchnorm_nchw(x.data(), y.data(), 1, kC, kHW, mean.data(), var.data(),
+                 gamma.data(), beta.data(), 0.0f);
+  // Channel 0: (x - 1.5)/sqrt(1.25)
+  EXPECT_NEAR(y[0], -1.3416f, 1e-3f);
+  EXPECT_NEAR(y[3], 1.3416f, 1e-3f);
+  // Channel 1: 2*(x - 5.5)/sqrt(1.25) + 1
+  EXPECT_NEAR(y[4], 2.0f * -1.3416f + 1.0f, 1e-3f);
+}
+
+// ------------------------------------------------------------------- conv
+
+struct ConvCase {
+  std::int64_t n, c, h, w, out_c, kernel, stride, padding;
+};
+
+class ConvShapes : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvShapes, Im2colMatchesDirect) {
+  const ConvCase& cc = GetParam();
+  Tensor input(Shape{cc.n, cc.c, cc.h, cc.w}, DType::kF32);
+  core::Rng rng(11);
+  for (float& v : input.f32_span()) v = rng.next_float() - 0.5f;
+  Tensor weight(Shape{cc.out_c, cc.c * cc.kernel * cc.kernel}, DType::kF32);
+  for (float& v : weight.f32_span()) v = rng.next_float() - 0.5f;
+  std::vector<float> bias(static_cast<std::size_t>(cc.out_c));
+  for (float& v : bias) v = rng.next_float();
+
+  const Conv2dParams params{cc.c, cc.out_c, cc.kernel, cc.stride, cc.padding};
+  Tensor scratch;
+  Tensor fast = conv2d(input, weight, bias.data(), params, scratch);
+  Tensor slow = conv2d_naive(input, weight, bias.data(), params);
+  EXPECT_EQ(fast.shape(), slow.shape());
+  EXPECT_LT(tensor::max_abs_diff(fast, slow), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvShapes,
+    ::testing::Values(ConvCase{1, 1, 5, 5, 1, 3, 1, 1},
+                      ConvCase{2, 3, 8, 8, 4, 3, 1, 1},
+                      ConvCase{1, 3, 9, 7, 2, 3, 2, 1},
+                      ConvCase{1, 4, 8, 8, 8, 1, 1, 0},
+                      ConvCase{1, 3, 12, 12, 2, 7, 2, 3},
+                      ConvCase{2, 2, 6, 6, 3, 3, 2, 0}));
+
+TEST(Conv, OutExtentFormula) {
+  EXPECT_EQ(conv_out_extent(224, 7, 2, 3), 112);
+  EXPECT_EQ(conv_out_extent(112, 3, 2, 1), 56);
+  EXPECT_EQ(conv_out_extent(5, 3, 1, 0), 3);
+  EXPECT_EQ(conv_out_extent(5, 1, 1, 0), 5);
+}
+
+TEST(Conv, MaxPoolPicksWindowMax) {
+  Tensor input(Shape{1, 1, 4, 4}, DType::kF32);
+  for (int i = 0; i < 16; ++i) input.f32()[i] = static_cast<float>(i);
+  Tensor pooled = maxpool2d(input, 2, 2, 0);
+  EXPECT_EQ(pooled.shape(), Shape({1, 1, 2, 2}));
+  EXPECT_EQ(pooled.f32()[0], 5.0f);
+  EXPECT_EQ(pooled.f32()[1], 7.0f);
+  EXPECT_EQ(pooled.f32()[2], 13.0f);
+  EXPECT_EQ(pooled.f32()[3], 15.0f);
+}
+
+TEST(Conv, MaxPoolIgnoresPaddingRegion) {
+  Tensor input(Shape{1, 1, 2, 2}, DType::kF32);
+  for (int i = 0; i < 4; ++i) input.f32()[i] = -1.0f - static_cast<float>(i);
+  Tensor pooled = maxpool2d(input, 3, 2, 1);
+  // All window values negative; padding must not contribute zeros.
+  EXPECT_EQ(pooled.f32()[0], -1.0f);
+}
+
+TEST(Conv, GlobalAvgPool) {
+  Tensor input(Shape{2, 2, 2, 2}, DType::kF32);
+  for (int i = 0; i < 16; ++i) input.f32()[i] = static_cast<float>(i);
+  Tensor pooled = global_avgpool(input);
+  EXPECT_EQ(pooled.shape(), Shape({2, 2}));
+  EXPECT_NEAR(pooled.f32()[0], 1.5f, 1e-6f);   // mean of 0..3
+  EXPECT_NEAR(pooled.f32()[3], 13.5f, 1e-6f);  // mean of 12..15
+}
+
+// -------------------------------------------------------------- attention
+
+TEST(Attention, UniformScoresAverageValues) {
+  // With Q=K=0 the scores are uniform, so output = mean of V rows.
+  constexpr std::int64_t kTokens = 4;
+  constexpr std::int64_t kDim = 6;
+  constexpr std::int64_t kHeads = 2;
+  std::vector<float> qkv(static_cast<std::size_t>(kTokens * 3 * kDim), 0.0f);
+  for (std::int64_t t = 0; t < kTokens; ++t) {
+    for (std::int64_t d = 0; d < kDim; ++d) {
+      qkv[static_cast<std::size_t>(t * 3 * kDim + 2 * kDim + d)] =
+          static_cast<float>(t);  // V row t = t everywhere
+    }
+  }
+  std::vector<float> out(static_cast<std::size_t>(kTokens * kDim));
+  std::vector<float> scratch(static_cast<std::size_t>(kHeads * kTokens * kTokens));
+  self_attention(qkv.data(), out.data(), scratch.data(), kTokens, kDim, kHeads);
+  for (float v : out) EXPECT_NEAR(v, 1.5f, 1e-5f);  // mean of 0,1,2,3
+}
+
+TEST(Attention, SharpQKSelectsMatchingValue) {
+  // Orthogonal one-hot keys with large scale make attention ~hard argmax.
+  constexpr std::int64_t kTokens = 3;
+  constexpr std::int64_t kDim = 3;
+  std::vector<float> qkv(static_cast<std::size_t>(kTokens * 3 * kDim), 0.0f);
+  const float scale = 50.0f;
+  for (std::int64_t t = 0; t < kTokens; ++t) {
+    // Q_t = K_t = scale * e_t; token t attends to itself.
+    qkv[static_cast<std::size_t>(t * 3 * kDim + t)] = scale;
+    qkv[static_cast<std::size_t>(t * 3 * kDim + kDim + t)] = scale;
+    for (std::int64_t d = 0; d < kDim; ++d) {
+      qkv[static_cast<std::size_t>(t * 3 * kDim + 2 * kDim + d)] =
+          static_cast<float>(10 * (t + 1));
+    }
+  }
+  std::vector<float> out(static_cast<std::size_t>(kTokens * kDim));
+  std::vector<float> scratch(static_cast<std::size_t>(kTokens * kTokens));
+  self_attention(qkv.data(), out.data(), scratch.data(), kTokens, kDim, 1);
+  for (std::int64_t t = 0; t < kTokens; ++t) {
+    EXPECT_NEAR(out[static_cast<std::size_t>(t * kDim)],
+                static_cast<float>(10 * (t + 1)), 0.5f);
+  }
+}
+
+TEST(Attention, OutputIsConvexCombinationOfValues) {
+  constexpr std::int64_t kTokens = 5;
+  constexpr std::int64_t kDim = 8;
+  constexpr std::int64_t kHeads = 4;
+  auto qkv = random_vec(static_cast<std::size_t>(kTokens * 3 * kDim), 21);
+  // Track V range per (head-dim) column.
+  std::vector<float> out(static_cast<std::size_t>(kTokens * kDim));
+  std::vector<float> scratch(static_cast<std::size_t>(kHeads * kTokens * kTokens));
+  self_attention(qkv.data(), out.data(), scratch.data(), kTokens, kDim, kHeads);
+  for (std::int64_t d = 0; d < kDim; ++d) {
+    float lo = 1e30f;
+    float hi = -1e30f;
+    for (std::int64_t t = 0; t < kTokens; ++t) {
+      const float v = qkv[static_cast<std::size_t>(t * 3 * kDim + 2 * kDim + d)];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    for (std::int64_t t = 0; t < kTokens; ++t) {
+      const float o = out[static_cast<std::size_t>(t * kDim + d)];
+      EXPECT_GE(o, lo - 1e-4f);
+      EXPECT_LE(o, hi + 1e-4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace harvest::nn

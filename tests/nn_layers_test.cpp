@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "nn/init.hpp"
+#include "nn/layers.hpp"
+#include "nn/models.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::nn {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_input(Shape shape, std::uint64_t seed) {
+  Tensor t(shape, DType::kF32);
+  core::Rng rng(seed);
+  for (float& v : t.f32_span()) v = rng.next_float() - 0.5f;
+  return t;
+}
+
+TEST(Linear, MatchesManualMatmul) {
+  Linear layer("fc", 3, 2, 1);
+  // W = [[1,0,0],[0,2,0]], b = [0.5, -0.5]
+  float* w = layer.weight().f32();
+  std::fill(w, w + 6, 0.0f);
+  w[0] = 1.0f;
+  w[4] = 2.0f;
+  layer.bias().f32()[0] = 0.5f;
+  layer.bias().f32()[1] = -0.5f;
+
+  Tensor input(Shape{2, 3}, DType::kF32);
+  for (int i = 0; i < 6; ++i) input.f32()[i] = static_cast<float>(i + 1);
+  Tensor out = layer.forward(input);
+  EXPECT_EQ(out.shape(), Shape({2, 2}));
+  EXPECT_NEAR(out.f32()[0], 1.5f, 1e-6f);   // 1 + 0.5
+  EXPECT_NEAR(out.f32()[1], 3.5f, 1e-6f);   // 2*2 - 0.5
+  EXPECT_NEAR(out.f32()[2], 4.5f, 1e-6f);   // 4 + 0.5
+  EXPECT_NEAR(out.f32()[3], 9.5f, 1e-6f);   // 2*5 - 0.5
+}
+
+TEST(Linear, RankThreeInputTreatedAsRows) {
+  Linear layer("fc", 4, 5, 7);
+  Tensor input = random_input(Shape{2, 7, 4}, 3);
+  Tensor out = layer.forward(input);
+  EXPECT_EQ(out.shape(), Shape({2, 7, 5}));
+}
+
+TEST(Linear, CostsAndParams) {
+  Linear layer("fc", 8, 16, 10);
+  std::vector<OpCost> costs;
+  layer.append_costs(4, costs);
+  ASSERT_EQ(costs.size(), 1u);
+  EXPECT_EQ(costs[0].kind, OpKind::kDense);
+  EXPECT_DOUBLE_EQ(costs[0].macs, 4.0 * 10 * 8 * 16);
+  EXPECT_DOUBLE_EQ(costs[0].weight_bytes, 8 * 16 * 2.0);
+  std::vector<NamedParam> params;
+  layer.collect_params(params);
+  ASSERT_EQ(params.size(), 2u);
+  EXPECT_EQ(params[0].tensor->numel(), 8 * 16);
+  EXPECT_EQ(params[1].tensor->numel(), 16);
+}
+
+TEST(PatchEmbed, GeometryAndClsToken) {
+  PatchEmbed embed("embed", 8, 2, 3, 10);
+  EXPECT_EQ(embed.tokens(), 17);  // 16 patches + CLS
+  Tensor input = random_input(Shape{2, 3, 8, 8}, 4);
+  Tensor out = embed.forward(input);
+  EXPECT_EQ(out.shape(), Shape({2, 17, 10}));
+}
+
+TEST(PatchEmbed, ClsTokenIsInputIndependent) {
+  PatchEmbed embed("embed", 4, 2, 3, 6);
+  std::vector<NamedParam> params;
+  embed.collect_params(params);
+  // Give the CLS token a recognizable value and zero the pos embed row 0.
+  for (NamedParam& p : params) {
+    if (p.name == "embed.cls_token") tensor::fill(*p.tensor, 3.25f);
+    if (p.name == "embed.pos_embed") tensor::fill(*p.tensor, 0.0f);
+  }
+  Tensor a = embed.forward(random_input(Shape{1, 3, 4, 4}, 5));
+  Tensor b = embed.forward(random_input(Shape{1, 3, 4, 4}, 99));
+  for (int d = 0; d < 6; ++d) {
+    EXPECT_EQ(a.f32()[d], 3.25f);
+    EXPECT_EQ(b.f32()[d], 3.25f);
+  }
+}
+
+TEST(TransformerBlock, PreservesShapeAndIsDeterministic) {
+  TransformerBlock block("blk", 16, 4, 32, 9);
+  std::vector<NamedParam> params;
+  block.collect_params(params);
+  core::Rng rng(6);
+  for (NamedParam& p : params) {
+    for (float& v : p.tensor->f32_span()) v = rng.next_float() * 0.1f;
+  }
+  Tensor input = random_input(Shape{2, 9, 16}, 7);
+  Tensor out1 = block.forward(input);
+  Tensor out2 = block.forward(input);
+  EXPECT_EQ(out1.shape(), input.shape());
+  EXPECT_EQ(tensor::max_abs_diff(out1, out2), 0.0f);
+}
+
+TEST(TransformerBlock, ZeroWeightsGiveResidualIdentity) {
+  TransformerBlock block("blk", 8, 2, 16, 5);
+  // All weights/biases default-zero except LN gains (=1): attn and MLP
+  // branches output zero, so the block must be the identity.
+  Tensor input = random_input(Shape{1, 5, 8}, 8);
+  Tensor out = block.forward(input);
+  EXPECT_LT(tensor::max_abs_diff(out, input), 1e-6f);
+}
+
+TEST(TransformerBlock, CostBreakdownCoversAllStages) {
+  TransformerBlock block("blk", 16, 4, 64, 9);
+  std::vector<OpCost> costs;
+  block.append_costs(2, costs);
+  EXPECT_EQ(costs.size(), 10u);
+  double dense = 0.0;
+  double attn = 0.0;
+  for (const OpCost& op : costs) {
+    if (op.kind == OpKind::kDense) dense += op.macs;
+    if (op.kind == OpKind::kAttention) attn += op.macs;
+  }
+  // qkv + proj + fc1 + fc2 = (16*48 + 16*16 + 16*64 + 64*16)·rows
+  EXPECT_DOUBLE_EQ(dense, 2.0 * 9 * (16 * 48 + 16 * 16 + 16 * 64 + 64 * 16));
+  EXPECT_DOUBLE_EQ(attn, 2.0 * 2 * 9 * 9 * 16);
+}
+
+TEST(ClsPool, ExtractsFirstToken) {
+  ClsPool pool("cls", 4, 3);
+  Tensor input(Shape{2, 4, 3}, DType::kF32);
+  for (int i = 0; i < 24; ++i) input.f32()[i] = static_cast<float>(i);
+  Tensor out = pool.forward(input);
+  EXPECT_EQ(out.shape(), Shape({2, 3}));
+  EXPECT_EQ(out.f32()[0], 0.0f);
+  EXPECT_EQ(out.f32()[1], 1.0f);
+  EXPECT_EQ(out.f32()[3], 12.0f);  // batch 1 token 0
+}
+
+TEST(ConvBnRelu, OutputGeometryAndNonNegativity) {
+  ConvBnRelu layer("conv", Conv2dParams{3, 8, 3, 2, 1}, 16, 16, true);
+  EXPECT_EQ(layer.out_h(), 8);
+  EXPECT_EQ(layer.out_w(), 8);
+  std::vector<NamedParam> params;
+  layer.collect_params(params);
+  core::Rng rng(9);
+  for (NamedParam& p : params) {
+    if (p.name == "conv.weight") {
+      for (float& v : p.tensor->f32_span()) v = rng.next_float() - 0.5f;
+    }
+  }
+  Tensor out = layer.forward(random_input(Shape{1, 3, 16, 16}, 10));
+  EXPECT_EQ(out.shape(), Shape({1, 8, 8, 8}));
+  for (float v : out.f32_span()) EXPECT_GE(v, 0.0f);  // ReLU applied
+}
+
+TEST(ConvBnRelu, WithoutReluKeepsNegatives) {
+  ConvBnRelu layer("conv", Conv2dParams{1, 1, 1, 1, 0}, 2, 2, false);
+  std::vector<NamedParam> params;
+  layer.collect_params(params);
+  for (NamedParam& p : params) {
+    if (p.name == "conv.weight") tensor::fill(*p.tensor, -1.0f);
+  }
+  Tensor input = Tensor::full(Shape{1, 1, 2, 2}, 1.0f);
+  Tensor out = layer.forward(input);
+  EXPECT_LT(out.f32()[0], 0.0f);
+}
+
+TEST(Bottleneck, DownsampleChangesGeometry) {
+  Bottleneck block("b", 64, 32, 2, true, 16, 16);
+  EXPECT_EQ(block.out_channels(), 128);
+  EXPECT_EQ(block.out_h(), 8);
+  Tensor input = random_input(Shape{1, 64, 16, 16}, 11);
+  Tensor out = block.forward(input);
+  EXPECT_EQ(out.shape(), Shape({1, 128, 8, 8}));
+}
+
+TEST(Bottleneck, IdentityPathRequiresMatchingChannels) {
+  Bottleneck block("b", 128, 32, 1, false, 8, 8);
+  Tensor input = random_input(Shape{2, 128, 8, 8}, 12);
+  Tensor out = block.forward(input);
+  EXPECT_EQ(out.shape(), input.shape());
+}
+
+TEST(Model, ForwardProducesLogits) {
+  ViTConfig config{"mini", 8, 2, 16, 2, 2, 2, 5};
+  ModelPtr model = build_vit(config);
+  init_weights(*model, 42);
+  Tensor input = random_input(Shape{3, 3, 8, 8}, 13);
+  Tensor logits = model->forward(input);
+  EXPECT_EQ(logits.shape(), Shape({3, 5}));
+  for (float v : logits.f32_span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Model, SameSeedSameOutputs) {
+  ViTConfig config{"mini", 8, 2, 16, 2, 2, 2, 5};
+  ModelPtr a = build_vit(config);
+  ModelPtr b = build_vit(config);
+  init_weights(*a, 7);
+  init_weights(*b, 7);
+  Tensor input = random_input(Shape{1, 3, 8, 8}, 14);
+  EXPECT_EQ(tensor::max_abs_diff(a->forward(input), b->forward(input)), 0.0f);
+}
+
+TEST(Model, DifferentSeedsDifferentOutputs) {
+  ViTConfig config{"mini", 8, 2, 16, 2, 2, 2, 5};
+  ModelPtr a = build_vit(config);
+  ModelPtr b = build_vit(config);
+  init_weights(*a, 7);
+  init_weights(*b, 8);
+  Tensor input = random_input(Shape{1, 3, 8, 8}, 14);
+  EXPECT_GT(tensor::max_abs_diff(a->forward(input), b->forward(input)), 1e-4f);
+}
+
+TEST(Model, BatchInvariance) {
+  // Running two images as one batch equals running them separately.
+  ViTConfig config{"mini", 8, 2, 16, 2, 2, 2, 4};
+  ModelPtr model = build_vit(config);
+  init_weights(*model, 21);
+  Tensor both = random_input(Shape{2, 3, 8, 8}, 15);
+  Tensor first(Shape{1, 3, 8, 8}, DType::kF32);
+  Tensor second(Shape{1, 3, 8, 8}, DType::kF32);
+  const std::int64_t per = 3 * 8 * 8;
+  std::copy_n(both.f32(), per, first.f32());
+  std::copy_n(both.f32() + per, per, second.f32());
+  Tensor batched = model->forward(both);
+  Tensor a = model->forward(first);
+  Tensor b = model->forward(second);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(batched.f32()[c], a.f32()[c], 1e-4f);
+    EXPECT_NEAR(batched.f32()[4 + c], b.f32()[c], 1e-4f);
+  }
+}
+
+TEST(Model, ProfileScalesLinearlyWithBatchForProjections) {
+  ViTConfig config{"mini", 8, 2, 16, 2, 2, 2, 4};
+  ModelPtr model = build_vit(config);
+  const ModelProfile p1 = model->profile(1);
+  const ModelProfile p4 = model->profile(4);
+  EXPECT_DOUBLE_EQ(p4.projection_macs(), 4.0 * p1.projection_macs());
+  EXPECT_DOUBLE_EQ(p4.total_macs(), 4.0 * p1.total_macs());
+  EXPECT_EQ(p1.ops.size(), p4.ops.size());
+}
+
+TEST(Model, ResNetMiniForward) {
+  ResNetConfig config{"mini-resnet", 32, {1, 1}, 7};
+  ModelPtr model = build_resnet(config);
+  init_weights(*model, 3);
+  Tensor input = random_input(Shape{2, 3, 32, 32}, 16);
+  Tensor logits = model->forward(input);
+  EXPECT_EQ(logits.shape(), Shape({2, 7}));
+  for (float v : logits.f32_span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+}  // namespace
+}  // namespace harvest::nn

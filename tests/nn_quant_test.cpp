@@ -1,0 +1,154 @@
+#include "nn/quant.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "nn/gemm.hpp"
+#include "nn/layers.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::nn {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed,
+                              float scale = 1.0f) {
+  core::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = (rng.next_float() * 2.0f - 1.0f) * scale;
+  return v;
+}
+
+TEST(Quantize, RoundTripErrorBoundedByHalfStep) {
+  const auto input = random_vec(1000, 1, 3.0f);
+  std::vector<std::int8_t> quantized(input.size());
+  const float scale = quantize_symmetric(input, quantized.data());
+  ASSERT_GT(scale, 0.0f);
+  std::vector<float> rebuilt(input.size());
+  dequantize(quantized, scale, rebuilt.data());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    EXPECT_LE(std::fabs(rebuilt[i] - input[i]), scale * 0.5f + 1e-7f);
+  }
+}
+
+TEST(Quantize, ZeroInputHasZeroScale) {
+  const std::vector<float> zeros(16, 0.0f);
+  std::vector<std::int8_t> quantized(16, 1);
+  EXPECT_EQ(quantize_symmetric(zeros, quantized.data()), 0.0f);
+  for (std::int8_t q : quantized) EXPECT_EQ(q, 0);
+}
+
+TEST(Quantize, ExtremesMapToFullRange) {
+  const std::vector<float> input = {-2.0f, 0.0f, 2.0f};
+  std::vector<std::int8_t> quantized(3);
+  const float scale = quantize_symmetric(input, quantized.data());
+  EXPECT_EQ(quantized[0], -127);
+  EXPECT_EQ(quantized[1], 0);
+  EXPECT_EQ(quantized[2], 127);
+  EXPECT_FLOAT_EQ(scale, 2.0f / 127.0f);
+}
+
+TEST(QGemm, MatchesInt32Reference) {
+  constexpr std::int64_t kM = 5;
+  constexpr std::int64_t kN = 7;
+  constexpr std::int64_t kK = 11;
+  core::Rng rng(2);
+  std::vector<std::int8_t> a(kM * kK);
+  std::vector<std::int8_t> b(kN * kK);
+  for (auto& v : a) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  for (auto& v : b) v = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+  std::vector<std::int32_t> c(kM * kN);
+  qgemm_bt(a.data(), b.data(), c.data(), kM, kN, kK);
+  for (std::int64_t i = 0; i < kM; ++i) {
+    for (std::int64_t j = 0; j < kN; ++j) {
+      std::int32_t expect = 0;
+      for (std::int64_t p = 0; p < kK; ++p) {
+        expect += static_cast<std::int32_t>(a[static_cast<std::size_t>(i * kK + p)]) *
+                  static_cast<std::int32_t>(b[static_cast<std::size_t>(j * kK + p)]);
+      }
+      EXPECT_EQ(c[static_cast<std::size_t>(i * kN + j)], expect);
+    }
+  }
+}
+
+TEST(QuantizedLinear, TracksFloatLinearClosely) {
+  constexpr std::int64_t kIn = 64;
+  constexpr std::int64_t kOut = 32;
+  Linear reference("fc", kIn, kOut, 1);
+  core::Rng rng(3);
+  for (float& v : reference.weight().f32_span()) {
+    v = (rng.next_float() - 0.5f) * 0.4f;
+  }
+  for (float& v : reference.bias().f32_span()) v = rng.next_float() - 0.5f;
+
+  QuantizedLinear quantized("fc.q", reference.weight(), reference.bias(), 1);
+
+  Tensor input(Shape{8, kIn}, DType::kF32);
+  for (float& v : input.f32_span()) v = (rng.next_float() - 0.5f) * 2.0f;
+
+  Tensor expect = reference.forward(input);
+  Tensor actual = quantized.forward(input);
+  ASSERT_EQ(actual.shape(), expect.shape());
+
+  // Relative error of INT8 dynamic quantization on well-scaled data is
+  // well under 2%.
+  double num = 0.0;
+  double den = 0.0;
+  for (std::int64_t i = 0; i < expect.numel(); ++i) {
+    num += std::pow(static_cast<double>(actual.f32()[i] - expect.f32()[i]), 2);
+    den += std::pow(static_cast<double>(expect.f32()[i]), 2);
+  }
+  EXPECT_LT(std::sqrt(num / den), 0.02);
+}
+
+TEST(QuantizedLinear, ArgmaxAgreesWithFloatOnSeparatedLogits) {
+  // Quantization must not flip clearly separated predictions.
+  constexpr std::int64_t kIn = 32;
+  constexpr std::int64_t kOut = 8;
+  Linear reference("fc", kIn, kOut, 1);
+  core::Rng rng(4);
+  for (float& v : reference.weight().f32_span()) v = rng.next_float() - 0.5f;
+  QuantizedLinear quantized("fc.q", reference.weight(), reference.bias(), 1);
+  int agreements = 0;
+  constexpr int kTrials = 50;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    Tensor input(Shape{1, kIn}, DType::kF32);
+    for (float& v : input.f32_span()) v = rng.next_float() - 0.5f;
+    Tensor fl = reference.forward(input);
+    Tensor q = quantized.forward(input);
+    if (tensor::argmax(fl.f32_span()) == tensor::argmax(q.f32_span())) {
+      ++agreements;
+    }
+  }
+  EXPECT_GE(agreements, kTrials - 2);  // near-perfect agreement
+}
+
+TEST(QuantizedLinear, WeightErrorBoundedByScales) {
+  Linear reference("fc", 16, 4, 1);
+  core::Rng rng(5);
+  for (float& v : reference.weight().f32_span()) v = rng.next_float();
+  QuantizedLinear quantized("fc.q", reference.weight(), reference.bias(), 1);
+  // Max row |w| ≤ 1 ⇒ scale ≤ 1/127 ⇒ error ≤ half a step.
+  EXPECT_LE(quantized.max_weight_error(), 0.5f / 127.0f + 1e-6f);
+}
+
+TEST(QuantizedLinear, CostsReportHalvedTraffic) {
+  Linear reference("fc", 8, 4, 2);
+  QuantizedLinear quantized("fc.q", reference.weight(), reference.bias(), 2);
+  std::vector<OpCost> float_costs;
+  std::vector<OpCost> quant_costs;
+  reference.append_costs(1, float_costs);
+  quantized.append_costs(1, quant_costs);
+  ASSERT_EQ(quant_costs.size(), 1u);
+  EXPECT_DOUBLE_EQ(quant_costs[0].macs, float_costs[0].macs);
+  EXPECT_DOUBLE_EQ(quant_costs[0].weight_bytes,
+                   float_costs[0].weight_bytes / 2.0);
+}
+
+}  // namespace
+}  // namespace harvest::nn

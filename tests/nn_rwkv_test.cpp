@@ -1,0 +1,169 @@
+#include "nn/rwkv.hpp"
+
+#include "nn/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "nn/init.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::nn {
+namespace {
+
+using tensor::DType;
+using tensor::Shape;
+using tensor::Tensor;
+
+Tensor random_input(Shape shape, std::uint64_t seed) {
+  Tensor t(shape, DType::kF32);
+  core::Rng rng(seed);
+  for (float& v : t.f32_span()) v = rng.next_float() - 0.5f;
+  return t;
+}
+
+RwkvConfig mini_config() {
+  RwkvConfig config;
+  config.name = "mini-rwkv";
+  config.image = 8;
+  config.patch = 2;
+  config.dim = 16;
+  config.depth = 2;
+  config.num_classes = 5;
+  return config;
+}
+
+TEST(RwkvBlock, PreservesShape) {
+  RwkvBlock block("blk", 16, 9);
+  std::vector<NamedParam> params;
+  block.collect_params(params);
+  core::Rng rng(1);
+  for (NamedParam& p : params) {
+    for (float& v : p.tensor->f32_span()) v = rng.next_float() * 0.1f;
+  }
+  Tensor input = random_input(Shape{2, 9, 16}, 2);
+  Tensor out = block.forward(input);
+  EXPECT_EQ(out.shape(), input.shape());
+  for (float v : out.f32_span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RwkvBlock, ZeroWeightsAreIdentity) {
+  // Zero projections make both branches output zero; the residuals
+  // dominate, exactly as for the transformer block.
+  RwkvBlock block("blk", 8, 5);
+  Tensor input = random_input(Shape{1, 5, 8}, 3);
+  Tensor out = block.forward(input);
+  EXPECT_LT(tensor::max_abs_diff(out, input), 1e-6f);
+}
+
+TEST(RwkvBlock, IsDeterministic) {
+  RwkvBlock block("blk", 16, 7);
+  std::vector<NamedParam> params;
+  block.collect_params(params);
+  core::Rng rng(4);
+  for (NamedParam& p : params) {
+    for (float& v : p.tensor->f32_span()) v = rng.next_float() * 0.2f;
+  }
+  Tensor input = random_input(Shape{1, 7, 16}, 5);
+  EXPECT_EQ(tensor::max_abs_diff(block.forward(input), block.forward(input)),
+            0.0f);
+}
+
+TEST(RwkvBlock, ScanIsCausal) {
+  // Changing a later token must not affect earlier outputs.
+  RwkvBlock block("blk", 8, 6);
+  std::vector<NamedParam> params;
+  block.collect_params(params);
+  core::Rng rng(6);
+  for (NamedParam& p : params) {
+    for (float& v : p.tensor->f32_span()) v = rng.next_float() * 0.3f;
+  }
+  Tensor a = random_input(Shape{1, 6, 8}, 7);
+  Tensor b = a.clone();
+  // Perturb the last token only.
+  for (int c = 0; c < 8; ++c) b.f32()[5 * 8 + c] += 1.0f;
+  Tensor out_a = block.forward(a);
+  Tensor out_b = block.forward(b);
+  for (int t = 0; t < 5; ++t) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_FLOAT_EQ(out_a.f32()[t * 8 + c], out_b.f32()[t * 8 + c])
+          << "token " << t;
+    }
+  }
+  // The perturbed token itself must change.
+  float diff = 0.0f;
+  for (int c = 0; c < 8; ++c) {
+    diff += std::fabs(out_a.f32()[5 * 8 + c] - out_b.f32()[5 * 8 + c]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(RwkvModel, ForwardProducesFiniteLogits) {
+  ModelPtr model = build_rwkv(mini_config());
+  init_weights(*model, 42);
+  Tensor input = random_input(Shape{2, 3, 8, 8}, 8);
+  Tensor logits = model->forward(input);
+  EXPECT_EQ(logits.shape(), Shape({2, 5}));
+  for (float v : logits.f32_span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(RwkvModel, ComputeIsLinearInTokens) {
+  // Quadrupling the token count (2x image edge, same patch) must scale
+  // total MACs by ~4x — the defining property vs attention (§3.1).
+  RwkvConfig small = mini_config();
+  RwkvConfig large = mini_config();
+  large.image = 16;  // 4x the patches
+  ModelPtr small_model = build_rwkv(small);
+  ModelPtr large_model = build_rwkv(large);
+  const double ratio = large_model->profile(1).total_macs() /
+                       small_model->profile(1).total_macs();
+  EXPECT_NEAR(ratio, 4.0, 0.35);
+
+  // The equivalent ViT grows faster than 4x.
+  ViTConfig vit_small{"v", 8, 2, 16, 2, 2, 4, 5};
+  ViTConfig vit_large{"v", 16, 2, 16, 2, 2, 4, 5};
+  const double vit_ratio = build_vit(vit_large)->profile(1).total_macs() /
+                           build_vit(vit_small)->profile(1).total_macs();
+  EXPECT_GT(vit_ratio, ratio + 0.3);
+}
+
+TEST(RwkvModel, HasNoAttentionMacs) {
+  ModelPtr model = build_rwkv(mini_config());
+  EXPECT_DOUBLE_EQ(model->profile(1).macs_of(OpKind::kAttention), 0.0);
+  EXPECT_GT(model->profile(1).macs_of(OpKind::kDense), 0.0);
+}
+
+TEST(RwkvModel, SerializationRoundTrip) {
+  ModelPtr original = build_rwkv(mini_config());
+  init_weights(*original, 9);
+  const std::string path = ::testing::TempDir() + "/rwkv.hvst";
+  ASSERT_TRUE(save_weights(*original, path).is_ok());
+  ModelPtr loaded = build_rwkv(mini_config());
+  init_weights(*loaded, 100);
+  ASSERT_TRUE(load_weights(*loaded, path).is_ok());
+  Tensor input = random_input(Shape{1, 3, 8, 8}, 10);
+  EXPECT_EQ(tensor::max_abs_diff(original->forward(input),
+                                 loaded->forward(input)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(RwkvModel, BatchInvariance) {
+  ModelPtr model = build_rwkv(mini_config());
+  init_weights(*model, 11);
+  Tensor both = random_input(Shape{2, 3, 8, 8}, 12);
+  Tensor first(Shape{1, 3, 8, 8}, DType::kF32);
+  const std::int64_t per = 3 * 8 * 8;
+  std::copy_n(both.f32(), per, first.f32());
+  Tensor batched = model->forward(both);
+  Tensor single = model->forward(first);
+  for (int c = 0; c < 5; ++c) {
+    EXPECT_NEAR(batched.f32()[c], single.f32()[c], 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace harvest::nn

@@ -1,0 +1,69 @@
+#include "platform/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "platform/perf_model.hpp"
+
+namespace harvest::platform {
+namespace {
+
+TEST(Network, PresetsOrderedByCapacity) {
+  EXPECT_LT(lte_rural().uplink_bps, wifi_backhaul().uplink_bps);
+  EXPECT_LT(wifi_backhaul().uplink_bps, nr5g().uplink_bps);
+  EXPECT_LT(nr5g().uplink_bps, fiber().uplink_bps);
+  EXPECT_GT(lte_rural().rtt_s, fiber().rtt_s);
+}
+
+TEST(Network, RegistryLookup) {
+  EXPECT_EQ(evaluated_links().size(), 4u);
+  EXPECT_EQ(find_link("LTE-rural"), &lte_rural());
+  EXPECT_EQ(find_link("Carrier-pigeon"), nullptr);
+}
+
+TEST(Network, TransferTimeArithmetic) {
+  // 1 MB over an 8 Mbps uplink = (1e6+512)·8 / 8e6 s ≈ 1.0005 s.
+  EXPECT_NEAR(lte_rural().transfer_time_s(1e6), 1.0005, 1e-3);
+  // Request latency adds the RTT.
+  EXPECT_NEAR(lte_rural().request_latency_s(1e6), 1.0005 + 0.060, 1e-3);
+}
+
+TEST(Network, MaxRateIsInverseTransferTime) {
+  const LinkSpec& link = nr5g();
+  const double bytes = 250e3;
+  EXPECT_NEAR(link.max_request_rate(bytes) * link.transfer_time_s(bytes), 1.0,
+              1e-9);
+}
+
+TEST(Network, LargerPayloadsTakeLonger) {
+  for (const LinkSpec* link : evaluated_links()) {
+    EXPECT_GT(link->transfer_time_s(1e6), link->transfer_time_s(1e4))
+        << link->name;
+  }
+}
+
+TEST(Network, Crsa4kSaturatesWirelessBelowEngineCapacity) {
+  // The quantitative §2.2.1 story: raw 4K frames cannot reach the cloud
+  // fast enough over any wireless uplink to keep an A100 busy.
+  const auto crsa = data::find_dataset("CRSA");
+  ASSERT_TRUE(crsa.has_value());
+  const double bytes = crsa->image_stats().mean_encoded_bytes;
+  const EngineModel engine = make_engine_model(a100(), "ViT_Small");
+  const double engine_rate = engine.estimate(64).throughput_img_per_s;
+  for (const LinkSpec* link : {&lte_rural(), &nr5g(), &wifi_backhaul()}) {
+    EXPECT_LT(link->max_request_rate(bytes), engine_rate / 100.0)
+        << link->name;
+  }
+}
+
+TEST(Network, SmallImagesClearRuralLte) {
+  // Plant Village's compressed crops upload fast enough for interactive
+  // cloud inference even on rural LTE.
+  const auto pv = data::find_dataset("Plant Village");
+  const double bytes = pv->image_stats().mean_encoded_bytes;
+  EXPECT_LT(lte_rural().request_latency_s(bytes), 0.2);
+  EXPECT_GT(lte_rural().max_request_rate(bytes), 10.0);
+}
+
+}  // namespace
+}  // namespace harvest::platform

@@ -1,0 +1,118 @@
+/// Dense property sweeps over the full (device × model × batch) grid of
+/// the calibrated engine model — every invariant the characterization
+/// relies on, checked everywhere, not just at the anchors.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "nn/models.hpp"
+#include "platform/calibration.hpp"
+#include "platform/perf_model.hpp"
+
+namespace harvest::platform {
+namespace {
+
+using GridParam = std::tuple<std::string, std::string>;  // device, model
+
+class EngineGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  void SetUp() override {
+    const auto& [device_name, model_name] = GetParam();
+    device_ = find_device(device_name);
+    ASSERT_NE(device_, nullptr);
+    engine_ = std::make_unique<EngineModel>(
+        make_engine_model(*device_, model_name));
+  }
+
+  std::vector<std::int64_t> grid() const {
+    std::vector<std::int64_t> batches;
+    for (std::int64_t b = 1; b <= engine_->max_batch() && b <= 1024;
+         b = b < 8 ? b + 1 : b + b / 2) {
+      batches.push_back(b);
+    }
+    return batches;
+  }
+
+  const DeviceSpec* device_ = nullptr;
+  std::unique_ptr<EngineModel> engine_;
+};
+
+TEST_P(EngineGrid, LatencyDominatesIdealEverywhere) {
+  for (std::int64_t batch : grid()) {
+    const EngineEstimate est = engine_->estimate(batch);
+    ASSERT_FALSE(est.oom) << batch;
+    EXPECT_GT(est.latency_s, engine_->ideal_latency_s(batch)) << batch;
+  }
+}
+
+TEST_P(EngineGrid, MemoryGrowsLinearlyWithBatch) {
+  const double m1 = engine_->memory_required_bytes(1);
+  const double m2 = engine_->memory_required_bytes(2);
+  const double per_image = m2 - m1;
+  ASSERT_GT(per_image, 0.0);
+  for (std::int64_t batch : grid()) {
+    EXPECT_NEAR(engine_->memory_required_bytes(batch),
+                m1 + per_image * static_cast<double>(batch - 1),
+                1.0)
+        << batch;
+  }
+}
+
+TEST_P(EngineGrid, EnergyPerImageMonotoneNonIncreasing) {
+  double previous = 1e300;
+  for (std::int64_t batch : grid()) {
+    const EngineEstimate est = engine_->estimate(batch);
+    EXPECT_LE(est.energy_per_image_j, previous * (1.0 + 1e-9)) << batch;
+    previous = est.energy_per_image_j;
+  }
+}
+
+TEST_P(EngineGrid, MfuMonotoneNonDecreasingAndBounded) {
+  double previous = 0.0;
+  for (std::int64_t batch : grid()) {
+    const EngineEstimate est = engine_->estimate(batch);
+    EXPECT_GE(est.mfu_vs_practical, previous * (1.0 - 1e-9)) << batch;
+    EXPECT_GT(est.mfu_vs_practical, 0.0) << batch;
+    EXPECT_LE(est.mfu_vs_practical, engine_->eff_max() + 1e-9) << batch;
+    previous = est.mfu_vs_practical;
+  }
+}
+
+TEST_P(EngineGrid, EstimatesAreDeterministic) {
+  for (std::int64_t batch : {1, 7, 33}) {
+    if (batch > engine_->max_batch()) continue;
+    const EngineEstimate a = engine_->estimate(batch);
+    const EngineEstimate b = engine_->estimate(batch);
+    EXPECT_DOUBLE_EQ(a.latency_s, b.latency_s);
+    EXPECT_DOUBLE_EQ(a.throughput_img_per_s, b.throughput_img_per_s);
+  }
+}
+
+TEST_P(EngineGrid, ThroughputTimesLatencyEqualsBatch) {
+  for (std::int64_t batch : grid()) {
+    const EngineEstimate est = engine_->estimate(batch);
+    EXPECT_NEAR(est.throughput_img_per_s * est.latency_s,
+                static_cast<double>(batch), 1e-6)
+        << batch;
+  }
+}
+
+std::vector<GridParam> all_pairs() {
+  std::vector<GridParam> pairs;
+  for (const DeviceSpec* device : evaluated_platforms()) {
+    for (const nn::ModelSpec& spec : nn::evaluated_models()) {
+      pairs.emplace_back(device->name, spec.name);
+    }
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, EngineGrid, ::testing::ValuesIn(all_pairs()),
+    [](const ::testing::TestParamInfo<GridParam>& param_info) {
+      return std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
+    });
+
+}  // namespace
+}  // namespace harvest::platform

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/thread_pool.hpp"
+#include "platform/device.hpp"
+#include "preproc/cost_model.hpp"
+#include "preproc/pipeline.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::preproc {
+namespace {
+
+std::vector<EncodedImage> make_batch(std::size_t n, std::int64_t size,
+                                     ImageFormat format) {
+  std::vector<EncodedImage> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Image img = synthesize_field_image(size, size, 100 + i);
+    batch.push_back(encode_image(img, format));
+  }
+  return batch;
+}
+
+// -------------------------------------------------------------- executors
+
+TEST(CpuPipeline, ProducesModelReadyBatch) {
+  CpuPipeline pipeline;
+  PreprocSpec spec;
+  spec.output_size = 32;
+  const auto batch = make_batch(3, 48, ImageFormat::kAgJpeg);
+  auto result = pipeline.run(batch, spec);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().shape(), tensor::Shape({3, 3, 32, 32}));
+  for (float v : result.value().f32_span()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(CpuPipeline, EmptyBatchRejected) {
+  CpuPipeline pipeline;
+  PreprocSpec spec;
+  EXPECT_FALSE(pipeline.run({}, spec).is_ok());
+}
+
+TEST(CpuPipeline, CorruptImageFailsCleanly) {
+  CpuPipeline pipeline;
+  PreprocSpec spec;
+  auto batch = make_batch(2, 32, ImageFormat::kAgJpeg);
+  batch[1].bytes.resize(4);
+  auto result = pipeline.run(batch, spec);
+  EXPECT_FALSE(result.is_ok());
+}
+
+TEST(DaliPipeline, MatchesCpuPipelineBitwise) {
+  // Same transforms, different execution strategy — identical tensors.
+  core::ThreadPool pool(2);
+  DaliPipeline dali(pool);
+  CpuPipeline cpu;
+  PreprocSpec spec;
+  spec.output_size = 24;
+  const auto batch = make_batch(5, 40, ImageFormat::kAtif);
+  auto a = dali.run(batch, spec);
+  auto b = cpu.run(batch, spec);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(tensor::max_abs_diff(a.value(), b.value()), 0.0f);
+}
+
+TEST(DaliPipeline, PropagatesWorstSlotFailure) {
+  core::ThreadPool pool(2);
+  DaliPipeline dali(pool);
+  PreprocSpec spec;
+  auto batch = make_batch(4, 24, ImageFormat::kPpm);
+  batch[2].bytes.clear();
+  EXPECT_FALSE(dali.run(batch, spec).is_ok());
+}
+
+TEST(Cv2Pipeline, AlwaysAppliesPerspective) {
+  Cv2Pipeline cv2;
+  CpuPipeline plain;
+  PreprocSpec spec;
+  spec.output_size = 32;
+  spec.perspective = false;  // cv2 must override this
+  const auto batch = make_batch(1, 64, ImageFormat::kRaw);
+  auto warped = cv2.run(batch, spec);
+  auto unwarped = plain.run(batch, spec);
+  ASSERT_TRUE(warped.is_ok());
+  ASSERT_TRUE(unwarped.is_ok());
+  EXPECT_GT(tensor::max_abs_diff(warped.value(), unwarped.value()), 0.01f);
+}
+
+TEST(Pipeline, PerspectiveSpecAppliedByCpuPath) {
+  CpuPipeline cpu;
+  PreprocSpec plain;
+  plain.output_size = 32;
+  PreprocSpec warped = plain;
+  warped.perspective = true;
+  const auto batch = make_batch(1, 64, ImageFormat::kRaw);
+  auto a = cpu.run(batch, plain);
+  auto b = cpu.run(batch, warped);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_GT(tensor::max_abs_diff(a.value(), b.value()), 0.01f);
+}
+
+TEST(Pipeline, MethodNamesAndOutputSizes) {
+  EXPECT_STREQ(preproc_method_name(PreprocMethod::kDali224), "DALI 224");
+  EXPECT_STREQ(preproc_method_name(PreprocMethod::kPyTorch), "PyTorch");
+  EXPECT_EQ(preproc_output_size(PreprocMethod::kDali96, 224), 96);
+  EXPECT_EQ(preproc_output_size(PreprocMethod::kDali32, 224), 32);
+  EXPECT_EQ(preproc_output_size(PreprocMethod::kPyTorch, 224), 224);
+  EXPECT_EQ(preproc_output_size(PreprocMethod::kCv2, 32), 32);
+}
+
+// ------------------------------------------------------------- cost model
+
+TEST(CostModel, DecodeFactorsOrdered) {
+  EXPECT_EQ(format_decode_factor(ImageFormat::kRaw), 0.0);
+  EXPECT_LT(format_decode_factor(ImageFormat::kPpm),
+            format_decode_factor(ImageFormat::kAgJpeg));
+  EXPECT_GT(format_decode_factor(ImageFormat::kAtif),
+            format_decode_factor(ImageFormat::kAgJpeg));
+}
+
+WorkloadImageStats stats_for(double pixels, ImageFormat format,
+                             bool warp = false) {
+  WorkloadImageStats s;
+  s.mean_pixels = pixels;
+  s.mean_encoded_bytes = pixels;
+  s.format = format;
+  s.needs_perspective = warp;
+  return s;
+}
+
+TEST(CostModel, SmallerDaliOutputsAreFaster) {
+  const auto stats = stats_for(256 * 256, ImageFormat::kAgJpeg);
+  const auto& dev = platform::a100();
+  const double t224 =
+      estimate_preproc(dev, stats, PreprocMethod::kDali224, 64).latency_s;
+  const double t96 =
+      estimate_preproc(dev, stats, PreprocMethod::kDali96, 64).latency_s;
+  const double t32 =
+      estimate_preproc(dev, stats, PreprocMethod::kDali32, 64).latency_s;
+  EXPECT_GT(t224, t96);
+  EXPECT_GT(t96, t32);
+}
+
+TEST(CostModel, LatencyGrowsWithBatchAndPixels) {
+  const auto& dev = platform::v100();
+  const auto small = stats_for(100 * 100, ImageFormat::kAgJpeg);
+  const auto large = stats_for(1000 * 1000, ImageFormat::kAgJpeg);
+  EXPECT_GT(estimate_preproc(dev, small, PreprocMethod::kDali224, 64).latency_s,
+            estimate_preproc(dev, small, PreprocMethod::kDali224, 8).latency_s);
+  EXPECT_GT(estimate_preproc(dev, large, PreprocMethod::kDali224, 8).latency_s,
+            estimate_preproc(dev, small, PreprocMethod::kDali224, 8).latency_s);
+}
+
+TEST(CostModel, A100DaliBeatsV100BeatsJetson) {
+  // Fig. 7's platform ordering (A100's hardware JPEG engine dominates).
+  const auto stats = stats_for(256 * 256, ImageFormat::kAgJpeg);
+  const double a100 =
+      estimate_preproc(platform::a100(), stats, PreprocMethod::kDali224, 64)
+          .throughput_img_per_s;
+  const double v100 =
+      estimate_preproc(platform::v100(), stats, PreprocMethod::kDali224, 64)
+          .throughput_img_per_s;
+  const double jetson = estimate_preproc(platform::jetson_orin_nano(), stats,
+                                         PreprocMethod::kDali224, 64)
+                            .throughput_img_per_s;
+  EXPECT_GT(a100, v100);
+  EXPECT_GT(v100, jetson);
+}
+
+TEST(CostModel, GpuBatchedBeatsCpuSingleImage) {
+  // §4.2/§5: "GPU-accelerated preprocessing frameworks like NVIDIA DALI
+  // demonstrate significant speedups over traditional CPU-based
+  // pipelines".
+  const auto stats = stats_for(256 * 256, ImageFormat::kAgJpeg);
+  const auto& dev = platform::a100();
+  const double dali =
+      estimate_preproc(dev, stats, PreprocMethod::kDali224, 64)
+          .throughput_img_per_s;
+  const double pytorch =
+      estimate_preproc(dev, stats, PreprocMethod::kPyTorch, 1)
+          .throughput_img_per_s;
+  EXPECT_GT(dali, 4.0 * pytorch);
+}
+
+TEST(CostModel, Crsa4kOnCpuIsRealTimeHostile) {
+  // §4.2: OpenCV on the CRSA feed "demonstrates poor performance in
+  // real-time scenarios" — hundreds of ms per frame on the edge CPU.
+  const auto stats = stats_for(3840.0 * 2160.0, ImageFormat::kRaw, true);
+  const auto est = estimate_preproc(platform::jetson_orin_nano(), stats,
+                                    PreprocMethod::kCv2, 1);
+  EXPECT_GT(est.latency_s, 0.1);
+}
+
+TEST(CostModel, RawFeedSkipsDecode) {
+  const auto& dev = platform::a100();
+  const auto raw = stats_for(512 * 512, ImageFormat::kRaw);
+  const auto jpeg = stats_for(512 * 512, ImageFormat::kAgJpeg);
+  EXPECT_LT(estimate_preproc(dev, raw, PreprocMethod::kPyTorch, 1).latency_s,
+            estimate_preproc(dev, jpeg, PreprocMethod::kPyTorch, 1).latency_s);
+}
+
+TEST(CostModel, PoolBytesScaleWithBatch) {
+  const auto stats = stats_for(224 * 224, ImageFormat::kAgJpeg);
+  const auto& dev = platform::jetson_orin_nano();
+  const auto b8 = estimate_preproc(dev, stats, PreprocMethod::kDali224, 8);
+  const auto b64 = estimate_preproc(dev, stats, PreprocMethod::kDali224, 64);
+  EXPECT_NEAR(b64.pool_bytes / b8.pool_bytes, 8.0, 1e-9);
+  EXPECT_GT(b8.pool_bytes, 0.0);
+}
+
+TEST(CostModel, ThroughputLatencyConsistency) {
+  const auto stats = stats_for(100 * 100, ImageFormat::kAgJpeg);
+  const auto est = estimate_preproc(platform::v100(), stats,
+                                    PreprocMethod::kDali96, 32);
+  EXPECT_NEAR(est.throughput_img_per_s * est.latency_s, 32.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace harvest::preproc

@@ -1,0 +1,118 @@
+/// Dense property sweep of the preprocessing cost model over the full
+/// (dataset × method × platform) grid of Fig. 7.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "data/datasets.hpp"
+#include "preproc/cost_model.hpp"
+
+namespace harvest::preproc {
+namespace {
+
+using GridParam = std::tuple<std::string, std::string>;  // device, dataset
+
+const std::vector<PreprocMethod>& all_methods() {
+  static const std::vector<PreprocMethod> methods = {
+      PreprocMethod::kDali224, PreprocMethod::kDali96, PreprocMethod::kDali32,
+      PreprocMethod::kPyTorch, PreprocMethod::kCv2};
+  return methods;
+}
+
+class PreprocGrid : public ::testing::TestWithParam<GridParam> {
+ protected:
+  void SetUp() override {
+    const auto& [device_name, dataset_name] = GetParam();
+    device_ = platform::find_device(device_name);
+    ASSERT_NE(device_, nullptr);
+    const auto dataset = data::find_dataset(dataset_name);
+    ASSERT_TRUE(dataset.has_value());
+    stats_ = dataset->image_stats();
+  }
+
+  const platform::DeviceSpec* device_ = nullptr;
+  WorkloadImageStats stats_;
+};
+
+TEST_P(PreprocGrid, AllMethodsProducePositiveFiniteEstimates) {
+  for (PreprocMethod method : all_methods()) {
+    for (std::int64_t batch : {1, 8, 64}) {
+      const PreprocEstimate est =
+          estimate_preproc(*device_, stats_, method, batch);
+      EXPECT_GT(est.latency_s, 0.0) << preproc_method_name(method);
+      EXPECT_TRUE(std::isfinite(est.latency_s));
+      EXPECT_GT(est.throughput_img_per_s, 0.0);
+      EXPECT_GT(est.pool_bytes, 0.0);
+    }
+  }
+}
+
+TEST_P(PreprocGrid, LatencyThroughputConsistency) {
+  for (PreprocMethod method : all_methods()) {
+    for (std::int64_t batch : {1, 16, 64}) {
+      const PreprocEstimate est =
+          estimate_preproc(*device_, stats_, method, batch);
+      EXPECT_NEAR(est.throughput_img_per_s * est.latency_s,
+                  static_cast<double>(batch), 1e-6)
+          << preproc_method_name(method);
+    }
+  }
+}
+
+TEST_P(PreprocGrid, LatencyMonotoneInBatch) {
+  for (PreprocMethod method : all_methods()) {
+    double previous = 0.0;
+    for (std::int64_t batch : {1, 2, 4, 8, 16, 32, 64}) {
+      const double latency =
+          estimate_preproc(*device_, stats_, method, batch).latency_s;
+      EXPECT_GT(latency, previous) << preproc_method_name(method);
+      previous = latency;
+    }
+  }
+}
+
+TEST_P(PreprocGrid, DaliOutputResolutionOrdering) {
+  const double t224 =
+      estimate_preproc(*device_, stats_, PreprocMethod::kDali224, 64).latency_s;
+  const double t96 =
+      estimate_preproc(*device_, stats_, PreprocMethod::kDali96, 64).latency_s;
+  const double t32 =
+      estimate_preproc(*device_, stats_, PreprocMethod::kDali32, 64).latency_s;
+  EXPECT_GT(t224, t96);
+  EXPECT_GT(t96, t32);
+}
+
+TEST_P(PreprocGrid, BatchedGpuBeatsPerImageCpuPerImage) {
+  // Per-image cost of the batched GPU path at BS64 is below the CPU
+  // path's single-image latency on every (device, dataset) pair.
+  const double gpu_per_image =
+      estimate_preproc(*device_, stats_, PreprocMethod::kDali224, 64).latency_s /
+      64.0;
+  const double cpu_single =
+      estimate_preproc(*device_, stats_, PreprocMethod::kPyTorch, 1).latency_s;
+  EXPECT_LT(gpu_per_image, cpu_single);
+}
+
+std::vector<GridParam> all_pairs() {
+  std::vector<GridParam> pairs;
+  for (const platform::DeviceSpec* device : platform::evaluated_platforms()) {
+    for (const data::DatasetSpec& dataset : data::evaluated_datasets()) {
+      pairs.emplace_back(device->name, dataset.name);
+    }
+  }
+  return pairs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, PreprocGrid, ::testing::ValuesIn(all_pairs()),
+    [](const ::testing::TestParamInfo<GridParam>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
+      for (char& c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) == 0) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace harvest::preproc

@@ -1,0 +1,149 @@
+#include "serving/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace harvest::serving {
+namespace {
+
+InferenceRequest make_request(std::uint64_t id) {
+  InferenceRequest req;
+  req.id = id;
+  req.model = "m";
+  return req;
+}
+
+TEST(Batcher, FullBatchDispatchesImmediately) {
+  DynamicBatcher batcher({/*max_batch=*/4, /*max_queue_delay_s=*/10.0, 64, {}});
+  std::vector<std::future<InferenceResponse>> futures;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto result = batcher.submit(make_request(i));
+    ASSERT_TRUE(result.is_ok());
+    futures.push_back(std::move(result).value());
+  }
+  const auto batch = batcher.wait_batch();  // returns without waiting 10s
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batcher.queued(), 0u);
+}
+
+TEST(Batcher, TimeoutFlushesPartialBatch) {
+  DynamicBatcher batcher({8, /*max_queue_delay_s=*/5e-3, 64, {}});
+  auto result = batcher.submit(make_request(1));
+  ASSERT_TRUE(result.is_ok());
+  const auto batch = batcher.wait_batch();
+  EXPECT_EQ(batch.size(), 1u);
+}
+
+TEST(Batcher, OversizedQueueSplitsIntoMaxBatches) {
+  DynamicBatcher batcher({3, 10.0, 64, {}});
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  EXPECT_EQ(batcher.wait_batch().size(), 3u);
+  EXPECT_EQ(batcher.wait_batch().size(), 3u);
+  // One straggler flushes on timeout.
+  EXPECT_EQ(batcher.wait_batch().size(), 1u);
+}
+
+TEST(Batcher, PreservesFifoOrder) {
+  DynamicBatcher batcher({4, 10.0, 64, {}});
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  const auto batch = batcher.wait_batch();
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch[i].request.id, i);
+  }
+}
+
+TEST(Batcher, BackPressureRejectsWhenFull) {
+  DynamicBatcher batcher({4, 10.0, /*max_queue_depth=*/2, {}});
+  ASSERT_TRUE(batcher.submit(make_request(1)).is_ok());
+  ASSERT_TRUE(batcher.submit(make_request(2)).is_ok());
+  auto rejected = batcher.submit(make_request(3));
+  ASSERT_FALSE(rejected.is_ok());
+  EXPECT_EQ(rejected.status().code(), core::StatusCode::kUnavailable);
+}
+
+TEST(Batcher, ShutdownRejectsSubmitsAndDrains) {
+  DynamicBatcher batcher({4, 10.0, 64, {}});
+  ASSERT_TRUE(batcher.submit(make_request(1)).is_ok());
+  batcher.shutdown();
+  EXPECT_FALSE(batcher.submit(make_request(2)).is_ok());
+  // Pending request is still handed out before the empty shutdown signal.
+  EXPECT_EQ(batcher.wait_batch().size(), 1u);
+  EXPECT_TRUE(batcher.wait_batch().empty());
+}
+
+TEST(Batcher, ShutdownWakesBlockedWaiter) {
+  DynamicBatcher batcher({4, 10.0, 64, {}});
+  std::thread waiter([&batcher] {
+    const auto batch = batcher.wait_batch();
+    EXPECT_TRUE(batch.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  batcher.shutdown();
+  waiter.join();
+}
+
+TEST(Batcher, WaiterPicksUpLateArrivals) {
+  DynamicBatcher batcher({2, 10.0, 64, {}});
+  std::thread producer([&batcher] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(batcher.submit(make_request(1)).is_ok());
+    ASSERT_TRUE(batcher.submit(make_request(2)).is_ok());
+  });
+  const auto batch = batcher.wait_batch();
+  EXPECT_EQ(batch.size(), 2u);
+  producer.join();
+}
+
+TEST(Batcher, PreferredSizeDispatchesWithoutWaiting) {
+  BatcherConfig config{16, /*max_queue_delay_s=*/10.0, 64, {4}};
+  DynamicBatcher batcher(config);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  // Would otherwise block ~10 s; the preferred size triggers immediately.
+  const auto batch = batcher.wait_batch();
+  EXPECT_EQ(batch.size(), 4u);
+}
+
+TEST(Batcher, LargestPreferredSizeWins) {
+  BatcherConfig config{32, 10.0, 64, {2, 8}};
+  DynamicBatcher batcher(config);
+  for (std::uint64_t i = 0; i < 11; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  EXPECT_EQ(batcher.wait_batch().size(), 8u);  // not 2
+  EXPECT_EQ(batcher.wait_batch().size(), 2u);  // 3 left -> preferred 2
+  // The final straggler flushes on age (short wait).
+  BatcherConfig tail_config{32, 5e-3, 64, {2, 8}};
+  (void)tail_config;
+  EXPECT_EQ(batcher.queued(), 1u);
+}
+
+TEST(Batcher, FullBatchStillBeatsPreferred) {
+  BatcherConfig config{4, 10.0, 64, {2}};
+  DynamicBatcher batcher(config);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  EXPECT_EQ(batcher.wait_batch().size(), 4u);
+}
+
+TEST(Batcher, PromiseFulfillmentReachesSubmitter) {
+  DynamicBatcher batcher({1, 10.0, 64, {}});
+  auto future = batcher.submit(make_request(42));
+  ASSERT_TRUE(future.is_ok());
+  auto batch = batcher.wait_batch();
+  ASSERT_EQ(batch.size(), 1u);
+  InferenceResponse response;
+  response.id = batch[0].request.id;
+  batch[0].promise.set_value(std::move(response));
+  EXPECT_EQ(future.value().get().id, 42u);
+}
+
+}  // namespace
+}  // namespace harvest::serving

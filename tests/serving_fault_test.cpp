@@ -1,0 +1,158 @@
+/// Failure-injection tests: the serving runtime must isolate backend
+/// faults (a failing batch must not take down the deployment, leak
+/// promises, or corrupt neighbouring requests).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "serving/native_backend.hpp"
+#include "serving/server.hpp"
+
+namespace harvest::serving {
+namespace {
+
+preproc::EncodedImage tiny_input(std::uint64_t seed) {
+  const preproc::Image img = preproc::synthesize_field_image(20, 20, seed);
+  return preproc::encode_image(img, preproc::ImageFormat::kAgJpeg);
+}
+
+/// A backend that fails every `period`-th infer() call.
+class FlakyBackend final : public Backend {
+ public:
+  FlakyBackend(BackendPtr inner, int period)
+      : inner_(std::move(inner)), period_(period) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  std::int64_t max_batch() const override { return inner_->max_batch(); }
+  std::int64_t num_classes() const override { return inner_->num_classes(); }
+  std::int64_t input_size() const override { return inner_->input_size(); }
+
+  core::Result<BackendResult> infer(const tensor::Tensor& batch) override {
+    const int call = calls_.fetch_add(1) + 1;
+    if (call % period_ == 0) {
+      return core::Status::internal("injected fault on call " +
+                                    std::to_string(call));
+    }
+    return inner_->infer(batch);
+  }
+
+ private:
+  BackendPtr inner_;
+  int period_;
+  std::atomic<int> calls_{0};
+};
+
+/// A backend that always reports device OOM.
+class OomBackend final : public Backend {
+ public:
+  const std::string& name() const override { return name_; }
+  std::int64_t max_batch() const override { return 8; }
+  std::int64_t num_classes() const override { return 4; }
+  std::int64_t input_size() const override { return 16; }
+  core::Result<BackendResult> infer(const tensor::Tensor&) override {
+    return core::Status::out_of_memory("device memory exhausted");
+  }
+
+ private:
+  std::string name_ = "oom";
+};
+
+BackendPtr tiny_native() {
+  nn::ViTConfig config{"flaky-vit", 16, 4, 16, 1, 2, 2, 4};
+  nn::ModelPtr model = nn::build_vit(config);
+  nn::init_weights(*model, 3);
+  return std::make_unique<NativeBackend>(std::move(model), 8);
+}
+
+ModelDeploymentConfig deployment(const std::string& name) {
+  ModelDeploymentConfig config;
+  config.name = name;
+  config.max_batch = 2;
+  config.max_queue_delay_s = 1e-3;
+  config.preproc.output_size = 16;
+  return config;
+}
+
+TEST(FaultInjection, FlakyBackendFailsOnlyItsOwnBatches) {
+  Server server(1);
+  ASSERT_TRUE(server
+                  .register_model(deployment("flaky"),
+                                  [] {
+                                    return std::make_unique<FlakyBackend>(
+                                        tiny_native(), /*period=*/3);
+                                  })
+                  .is_ok());
+  int ok = 0;
+  int failed = 0;
+  for (int i = 0; i < 30; ++i) {
+    InferenceRequest request;
+    request.model = "flaky";
+    request.input = tiny_input(static_cast<std::uint64_t>(i));
+    const InferenceResponse response = server.infer_sync(std::move(request));
+    if (response.status.is_ok()) {
+      ++ok;
+      EXPECT_GE(response.predicted_class, 0);
+    } else {
+      ++failed;
+      EXPECT_EQ(response.status.code(), core::StatusCode::kInternal);
+    }
+  }
+  // Every request was answered (no hangs, no leaks)...
+  EXPECT_EQ(ok + failed, 30);
+  // ...and the server survived to keep serving successes.
+  EXPECT_GT(ok, 10);
+  EXPECT_GT(failed, 0);
+  const MetricsSnapshot snap = server.metrics("flaky")->snapshot(1.0);
+  EXPECT_EQ(snap.completed + snap.failed, 30u);
+}
+
+TEST(FaultInjection, OomBackendSurfacesStatusToEveryCaller) {
+  Server server(1);
+  ASSERT_TRUE(server
+                  .register_model(deployment("oom"),
+                                  [] { return std::make_unique<OomBackend>(); })
+                  .is_ok());
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 6; ++i) {
+    InferenceRequest request;
+    request.model = "oom";
+    request.input = tiny_input(static_cast<std::uint64_t>(i));
+    auto submitted = server.submit(std::move(request));
+    ASSERT_TRUE(submitted.is_ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) {
+    const InferenceResponse response = future.get();
+    EXPECT_EQ(response.status.code(), core::StatusCode::kOutOfMemory);
+  }
+}
+
+TEST(FaultInjection, HealthyDeploymentUnaffectedByFlakyNeighbour) {
+  Server server(1);
+  ASSERT_TRUE(server
+                  .register_model(deployment("flaky"),
+                                  [] {
+                                    return std::make_unique<FlakyBackend>(
+                                        tiny_native(), /*period=*/1);  // always fails
+                                  })
+                  .is_ok());
+  ASSERT_TRUE(server.register_model(deployment("healthy"),
+                                    [] { return tiny_native(); })
+                  .is_ok());
+  for (int i = 0; i < 10; ++i) {
+    InferenceRequest bad;
+    bad.model = "flaky";
+    bad.input = tiny_input(1);
+    EXPECT_FALSE(server.infer_sync(std::move(bad)).status.is_ok());
+    InferenceRequest good;
+    good.model = "healthy";
+    good.input = tiny_input(2);
+    EXPECT_TRUE(server.infer_sync(std::move(good)).status.is_ok());
+  }
+}
+
+}  // namespace
+}  // namespace harvest::serving

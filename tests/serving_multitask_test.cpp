@@ -1,0 +1,166 @@
+#include "serving/multitask.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/rwkv.hpp"
+#include "serving/native_backend.hpp"
+#include "serving/sim_backend.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::serving {
+namespace {
+
+preproc::EncodedImage frame(std::uint64_t seed) {
+  const preproc::Image img = preproc::synthesize_field_image(40, 30, seed);
+  return preproc::encode_image(img, preproc::ImageFormat::kRaw);
+}
+
+BackendPtr vit_backend(std::uint64_t seed, std::int64_t classes = 3) {
+  nn::ViTConfig config{"mt-vit", 16, 4, 16, 1, 2, 2, classes};
+  nn::ModelPtr model = nn::build_vit(config);
+  nn::init_weights(*model, seed);
+  return std::make_unique<NativeBackend>(std::move(model), 4);
+}
+
+BackendPtr rwkv_backend(std::uint64_t seed) {
+  nn::RwkvConfig config{"mt-rwkv", 16, 4, 16, 1, 2};
+  config.num_classes = 2;
+  nn::ModelPtr model = nn::build_rwkv(config);
+  nn::init_weights(*model, seed);
+  return std::make_unique<NativeBackend>(std::move(model), 4);
+}
+
+preproc::PreprocSpec shared_spec() {
+  preproc::PreprocSpec spec;
+  spec.output_size = 16;
+  return spec;
+}
+
+TEST(MultiTask, FansOutToEveryTask) {
+  MultiTaskPipeline pipeline(shared_spec());
+  ASSERT_TRUE(pipeline.add_task("residue", vit_backend(1)).is_ok());
+  ASSERT_TRUE(pipeline.add_task("pests", rwkv_backend(2)).is_ok());
+  EXPECT_EQ(pipeline.task_count(), 2u);
+
+  auto result = pipeline.infer(frame(5));
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_EQ(result.value().results.size(), 2u);
+  EXPECT_EQ(result.value().results[0].task, "residue");
+  EXPECT_EQ(result.value().results[1].task, "pests");
+  for (const auto& task : result.value().results) {
+    EXPECT_TRUE(task.response.status.is_ok());
+    EXPECT_GE(task.response.predicted_class, 0);
+    // Shared preprocessing: every task reports the same preprocess time.
+    EXPECT_DOUBLE_EQ(task.response.timing.preprocess_s,
+                     result.value().preprocess_s);
+  }
+  EXPECT_GT(result.value().preprocess_s, 0.0);
+}
+
+TEST(MultiTask, MatchesStandaloneExecution) {
+  // The fan-out must produce exactly what running each model alone on
+  // the same preprocessed tensor produces.
+  MultiTaskPipeline pipeline(shared_spec());
+  ASSERT_TRUE(pipeline.add_task("residue", vit_backend(7)).is_ok());
+  const preproc::EncodedImage input = frame(9);
+  auto multi = pipeline.infer(input);
+  ASSERT_TRUE(multi.is_ok());
+
+  nn::ViTConfig config{"mt-vit", 16, 4, 16, 1, 2, 2, 3};
+  nn::ModelPtr model = nn::build_vit(config);
+  nn::init_weights(*model, 7);
+  preproc::CpuPipeline cpu;
+  auto batch = cpu.run(std::span(&input, 1), shared_spec());
+  ASSERT_TRUE(batch.is_ok());
+  tensor::Tensor logits = model->forward(batch.value());
+  EXPECT_EQ(multi.value().results[0].response.predicted_class,
+            tensor::argmax(logits.f32_span()));
+}
+
+TEST(MultiTask, RejectsGeometryMismatch) {
+  MultiTaskPipeline pipeline(shared_spec());  // produces 16x16
+  nn::ViTConfig config{"wrong", 32, 4, 16, 1, 2, 2, 3};  // expects 32x32
+  nn::ModelPtr model = nn::build_vit(config);
+  nn::init_weights(*model, 1);
+  auto status = pipeline.add_task(
+      "wrong", std::make_unique<NativeBackend>(std::move(model), 4));
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(pipeline.task_count(), 0u);
+}
+
+TEST(MultiTask, RejectsDuplicateAndNullTasks) {
+  MultiTaskPipeline pipeline(shared_spec());
+  ASSERT_TRUE(pipeline.add_task("a", vit_backend(1)).is_ok());
+  EXPECT_FALSE(pipeline.add_task("a", vit_backend(2)).is_ok());
+  EXPECT_FALSE(pipeline.add_task("b", nullptr).is_ok());
+}
+
+TEST(MultiTask, EmptyPipelineRejectsInference) {
+  MultiTaskPipeline pipeline(shared_spec());
+  EXPECT_FALSE(pipeline.infer(frame(1)).is_ok());
+}
+
+TEST(MultiTask, PreprocessingFailureFailsWholeCall) {
+  MultiTaskPipeline pipeline(shared_spec());
+  ASSERT_TRUE(pipeline.add_task("t", vit_backend(3)).is_ok());
+  preproc::EncodedImage corrupt;
+  corrupt.format = preproc::ImageFormat::kAgJpeg;
+  corrupt.bytes = {9, 9, 9};
+  EXPECT_FALSE(pipeline.infer(corrupt).is_ok());
+}
+
+TEST(MultiTask, PerTaskBackendFailureIsIsolated) {
+  class FailingBackend final : public Backend {
+   public:
+    const std::string& name() const override { return name_; }
+    std::int64_t max_batch() const override { return 1; }
+    std::int64_t num_classes() const override { return 2; }
+    std::int64_t input_size() const override { return 16; }
+    core::Result<BackendResult> infer(const tensor::Tensor&) override {
+      return core::Status::internal("task engine fault");
+    }
+
+   private:
+    std::string name_ = "failing";
+  };
+
+  MultiTaskPipeline pipeline(shared_spec());
+  ASSERT_TRUE(pipeline.add_task("good", vit_backend(4)).is_ok());
+  ASSERT_TRUE(pipeline.add_task("bad", std::make_unique<FailingBackend>())
+                  .is_ok());
+  auto result = pipeline.infer(frame(2));
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_TRUE(result.value().results[0].response.status.is_ok());
+  EXPECT_FALSE(result.value().results[1].response.status.is_ok());
+}
+
+TEST(MultiTask, WorksWithSimBackends) {
+  preproc::PreprocSpec spec;
+  spec.output_size = 32;  // ViT_Tiny/Small input
+  MultiTaskPipeline pipeline(spec);
+  ASSERT_TRUE(pipeline
+                  .add_task("cloud-a",
+                            std::make_unique<SimBackend>(
+                                platform::make_engine_model(platform::a100(),
+                                                            "ViT_Tiny"),
+                                39, 8))
+                  .is_ok());
+  ASSERT_TRUE(pipeline
+                  .add_task("cloud-b",
+                            std::make_unique<SimBackend>(
+                                platform::make_engine_model(platform::a100(),
+                                                            "ViT_Small"),
+                                39, 8))
+                  .is_ok());
+  auto result = pipeline.infer(frame(11));
+  ASSERT_TRUE(result.is_ok());
+  for (const auto& task : result.value().results) {
+    EXPECT_TRUE(task.response.status.is_ok());
+    EXPECT_GT(task.response.timing.inference_s, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace harvest::serving

@@ -1,0 +1,136 @@
+#include "serving/online_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.hpp"
+#include "platform/device.hpp"
+
+namespace harvest::serving {
+namespace {
+
+OnlineSimConfig base_config() {
+  OnlineSimConfig config;
+  config.arrival_rate_qps = 200.0;
+  config.duration_s = 5.0;
+  config.max_batch = 32;
+  config.max_queue_delay_s = 2e-3;
+  config.instances = 1;
+  config.seed = 42;
+  return config;
+}
+
+const data::DatasetSpec& plant_village() {
+  static const data::DatasetSpec spec = *data::find_dataset("Plant Village");
+  return spec;
+}
+
+TEST(OnlineSim, UnderloadCompletesEveryArrival) {
+  // 200 qps of ViT_Tiny on an A100 is a trickle; nothing may be lost.
+  const OnlineSimReport report = simulate_online(
+      platform::a100(), "ViT_Tiny", plant_village(), base_config());
+  EXPECT_GT(report.arrivals, 500);
+  EXPECT_EQ(report.completed, report.arrivals);
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_GT(report.throughput_img_per_s, 150.0);
+  EXPECT_LT(report.instance_utilization, 0.6);
+}
+
+TEST(OnlineSim, LatencyAboveServiceFloor) {
+  const OnlineSimReport report = simulate_online(
+      platform::a100(), "ViT_Base", plant_village(), base_config());
+  // Every request waits at least the batcher delay or rides a batch
+  // whose service time is positive.
+  EXPECT_GT(report.mean_latency_s, 0.0);
+  EXPECT_GE(report.p99_latency_s, report.p95_latency_s);
+  EXPECT_GE(report.p95_latency_s, report.p50_latency_s);
+}
+
+TEST(OnlineSim, DeterministicForSameSeed) {
+  const OnlineSimReport a = simulate_online(platform::v100(), "ResNet50",
+                                            plant_village(), base_config());
+  const OnlineSimReport b = simulate_online(platform::v100(), "ResNet50",
+                                            plant_village(), base_config());
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+  EXPECT_DOUBLE_EQ(a.p99_latency_s, b.p99_latency_s);
+}
+
+TEST(OnlineSim, HigherLoadFormsBiggerBatches) {
+  OnlineSimConfig low = base_config();
+  low.arrival_rate_qps = 100.0;
+  OnlineSimConfig high = base_config();
+  high.arrival_rate_qps = 5000.0;
+  const OnlineSimReport rl =
+      simulate_online(platform::a100(), "ViT_Small", plant_village(), low);
+  const OnlineSimReport rh =
+      simulate_online(platform::a100(), "ViT_Small", plant_village(), high);
+  EXPECT_GT(rh.mean_batch_size, rl.mean_batch_size);
+}
+
+TEST(OnlineSim, LongerBatcherDelayRaisesLatencyUnderLightLoad) {
+  OnlineSimConfig fast = base_config();
+  fast.arrival_rate_qps = 50.0;
+  fast.max_queue_delay_s = 1e-3;
+  OnlineSimConfig slow = fast;
+  slow.max_queue_delay_s = 50e-3;
+  const OnlineSimReport rf =
+      simulate_online(platform::a100(), "ViT_Tiny", plant_village(), fast);
+  const OnlineSimReport rs =
+      simulate_online(platform::a100(), "ViT_Tiny", plant_village(), slow);
+  EXPECT_GT(rs.mean_latency_s, rf.mean_latency_s);
+}
+
+TEST(OnlineSim, SecondInstanceHelpsUnderHeavyLoad) {
+  OnlineSimConfig heavy = base_config();
+  heavy.arrival_rate_qps = 4000.0;
+  heavy.duration_s = 3.0;
+  OnlineSimConfig two = heavy;
+  two.instances = 2;
+  // Jetson serving ViT_Small is overloaded at 4000 qps.
+  const OnlineSimReport one_report = simulate_online(
+      platform::jetson_orin_nano(), "ViT_Small", plant_village(), heavy);
+  const OnlineSimReport two_report = simulate_online(
+      platform::jetson_orin_nano(), "ViT_Small", plant_village(), two);
+  EXPECT_GT(two_report.throughput_img_per_s,
+            one_report.throughput_img_per_s * 1.3);
+}
+
+TEST(OnlineSim, OverloadSaturatesAtServiceCapacity) {
+  OnlineSimConfig overload = base_config();
+  overload.arrival_rate_qps = 50000.0;
+  overload.duration_s = 2.0;
+  const OnlineSimReport report = simulate_online(
+      platform::jetson_orin_nano(), "ViT_Base", plant_village(), overload);
+  // Cannot complete more than the engine's ceiling (Table 3: 676 img/s).
+  EXPECT_LT(report.throughput_img_per_s, 700.0);
+  EXPECT_GT(report.instance_utilization, 0.9);
+  EXPECT_LT(report.completed, report.arrivals);
+}
+
+TEST(OnlineSim, OverlapImprovesThroughputUnderLoad) {
+  OnlineSimConfig overlapped = base_config();
+  overlapped.arrival_rate_qps = 20000.0;
+  overlapped.duration_s = 2.0;
+  overlapped.preproc_method = preproc::PreprocMethod::kDali224;
+  OnlineSimConfig serial = overlapped;
+  serial.overlap_preproc = false;
+  const OnlineSimReport ro = simulate_online(platform::v100(), "ViT_Tiny",
+                                             plant_village(), overlapped);
+  const OnlineSimReport rs =
+      simulate_online(platform::v100(), "ViT_Tiny", plant_village(), serial);
+  EXPECT_GT(ro.throughput_img_per_s, rs.throughput_img_per_s);
+}
+
+TEST(OnlineSim, BatchCapRespectsEngineMemoryWall) {
+  OnlineSimConfig config = base_config();
+  config.arrival_rate_qps = 10000.0;
+  config.duration_s = 1.0;
+  config.max_batch = 512;  // above Jetson ViT_Base's wall of 8
+  const OnlineSimReport report = simulate_online(
+      platform::jetson_orin_nano(), "ViT_Base", plant_village(), config);
+  EXPECT_LE(report.mean_batch_size, 8.0);
+}
+
+}  // namespace
+}  // namespace harvest::serving

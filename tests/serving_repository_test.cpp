@@ -1,0 +1,189 @@
+#include "serving/repository.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "nn/serialize.hpp"
+#include "preproc/image.hpp"
+
+namespace harvest::serving {
+namespace {
+
+preproc::EncodedImage tiny_input(std::uint64_t seed) {
+  const preproc::Image img = preproc::synthesize_field_image(24, 24, seed);
+  return preproc::encode_image(img, preproc::ImageFormat::kAgJpeg);
+}
+
+core::Json parse(const char* text) {
+  auto result = core::Json::parse(text);
+  HARVEST_CHECK(result.is_ok());
+  return std::move(result).value();
+}
+
+TEST(Repository, RegistersNativeVitAndServes) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [{
+      "name": "weeds", "backend": "native", "architecture": "vit",
+      "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+      "classes": 4, "max_batch": 4, "instances": 1,
+      "preproc": {"output_size": 16}
+    }]
+  })");
+  ASSERT_TRUE(load_repository(server, config).is_ok());
+  InferenceRequest request;
+  request.model = "weeds";
+  request.input = tiny_input(1);
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  ASSERT_TRUE(response.status.is_ok()) << response.status.to_string();
+  EXPECT_LT(response.predicted_class, 4);
+}
+
+TEST(Repository, RegistersAllThreeArchitectures) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [
+      {"name": "a", "backend": "native", "architecture": "vit",
+       "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+       "classes": 3, "preproc": {"output_size": 16}},
+      {"name": "b", "backend": "native", "architecture": "resnet",
+       "image": 32, "stages": [1], "classes": 3,
+       "preproc": {"output_size": 32}},
+      {"name": "c", "backend": "native", "architecture": "rwkv",
+       "image": 16, "patch": 4, "dim": 16, "depth": 1,
+       "classes": 3, "preproc": {"output_size": 16}}
+    ]
+  })");
+  ASSERT_TRUE(load_repository(server, config).is_ok());
+  EXPECT_EQ(server.model_names().size(), 3u);
+  for (const char* name : {"a", "b", "c"}) {
+    InferenceRequest request;
+    request.model = name;
+    request.input = tiny_input(2);
+    const InferenceResponse response = server.infer_sync(std::move(request));
+    EXPECT_TRUE(response.status.is_ok()) << name;
+  }
+}
+
+TEST(Repository, RegistersSimBackend) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [{
+      "name": "cloud-vit", "backend": "sim",
+      "model": "ViT_Tiny", "device": "A100",
+      "classes": 39, "max_batch": 64
+    }]
+  })");
+  ASSERT_TRUE(load_repository(server, config).is_ok());
+  InferenceRequest request;
+  request.model = "cloud-vit";
+  request.input = tiny_input(3);
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  ASSERT_TRUE(response.status.is_ok());
+  EXPECT_GT(response.timing.inference_s, 0.0);  // simulated device time
+}
+
+TEST(Repository, LoadsWeightsFromCheckpoint) {
+  // Save a known model, point the repository at it, and confirm the
+  // served prediction matches direct execution of that checkpoint.
+  nn::ViTConfig config{"ckpt-vit", 16, 4, 16, 1, 2, 4, 4};
+  nn::ModelPtr reference = nn::build_vit(config);
+  nn::init_weights(*reference, 555);
+  const std::string path = ::testing::TempDir() + "/repo_ckpt.hvst";
+  ASSERT_TRUE(nn::save_weights(*reference, path).is_ok());
+
+  Server server(1);
+  core::Json repo = parse(R"({
+    "models": [{
+      "name": "ckpt", "backend": "native", "architecture": "vit",
+      "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+      "classes": 4, "seed": 999, "preproc": {"output_size": 16}
+    }]
+  })");
+  repo["models"].as_array()[0]["weights"] = core::Json(path);
+  ASSERT_TRUE(load_repository(server, repo).is_ok());
+
+  const preproc::EncodedImage input = tiny_input(4);
+  InferenceRequest request;
+  request.model = "ckpt";
+  request.input = input;
+  const InferenceResponse served = server.infer_sync(std::move(request));
+  ASSERT_TRUE(served.status.is_ok());
+
+  preproc::CpuPipeline pipeline;
+  preproc::PreprocSpec spec;
+  spec.output_size = 16;
+  auto batch = pipeline.run(std::span(&input, 1), spec);
+  ASSERT_TRUE(batch.is_ok());
+  tensor::Tensor logits = reference->forward(batch.value());
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(served.logits[static_cast<std::size_t>(c)], logits.f32()[c],
+                1e-4f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Repository, RejectsBadConfigs) {
+  Server server(1);
+  EXPECT_FALSE(load_repository(server, parse("{}")).is_ok());
+  EXPECT_FALSE(load_repository(server, parse(R"({"models": 3})")).is_ok());
+  EXPECT_FALSE(load_repository(server, parse(R"({"models": [5]})")).is_ok());
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "x", "backend": "native",
+                "architecture": "alexnet"}]})")).is_ok());
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "x", "backend": "sim", "model": "ViT_Tiny",
+                "device": "TPU"}]})")).is_ok());
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "x", "backend": "sim", "model": "AlexNet",
+                "device": "A100"}]})")).is_ok());
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "x", "backend": "grpc"}]})")).is_ok());
+  // Invalid geometry: dim not divisible by heads.
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "x", "backend": "native", "architecture": "vit",
+                "dim": 10, "heads": 3}]})")).is_ok());
+}
+
+TEST(Repository, MissingWeightsFileFailsRegistration) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [{
+      "name": "x", "backend": "native", "architecture": "vit",
+      "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+      "weights": "/nonexistent/w.hvst"
+    }]
+  })");
+  EXPECT_FALSE(load_repository(server, config).is_ok());
+}
+
+TEST(Repository, LoadFromFile) {
+  const std::string path = ::testing::TempDir() + "/repo.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs(R"({"models": [{"name": "m", "backend": "sim",
+               "model": "ResNet50", "device": "V100"}]})", f);
+  std::fclose(f);
+  Server server(1);
+  EXPECT_TRUE(load_repository_file(server, path).is_ok());
+  EXPECT_EQ(server.model_names().size(), 1u);
+  EXPECT_FALSE(load_repository_file(server, "/no/such/file.json").is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(Repository, MalformedJsonFileRejected) {
+  const std::string path = ::testing::TempDir() + "/bad.json";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{not json", f);
+  std::fclose(f);
+  Server server(1);
+  EXPECT_FALSE(load_repository_file(server, path).is_ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace harvest::serving

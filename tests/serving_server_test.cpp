@@ -1,0 +1,315 @@
+#include "serving/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "serving/native_backend.hpp"
+#include "serving/scenarios.hpp"
+#include "serving/sim_backend.hpp"
+#include "tensor/ops.hpp"
+
+namespace harvest::serving {
+namespace {
+
+/// A deliberately tiny ViT so real inference is fast in tests.
+nn::ViTConfig tiny_config(std::int64_t classes = 4) {
+  return nn::ViTConfig{"test-vit", 16, 4, 16, 2, 2, 2, classes};
+}
+
+BackendPtr make_tiny_backend(std::uint64_t seed = 7) {
+  nn::ModelPtr model = nn::build_vit(tiny_config());
+  nn::init_weights(*model, seed);
+  return std::make_unique<NativeBackend>(std::move(model), /*max_batch=*/8);
+}
+
+preproc::EncodedImage tiny_input(std::uint64_t seed) {
+  const preproc::Image img = preproc::synthesize_field_image(20, 20, seed);
+  return preproc::encode_image(img, preproc::ImageFormat::kAgJpeg);
+}
+
+ModelDeploymentConfig tiny_deployment(const std::string& name) {
+  ModelDeploymentConfig config;
+  config.name = name;
+  config.max_batch = 4;
+  config.instances = 1;
+  config.max_queue_delay_s = 1e-3;
+  config.preproc.output_size = 16;
+  return config;
+}
+
+// ----------------------------------------------------------------- server
+
+TEST(Server, RegisterAndListModels) {
+  Server server(1);
+  ASSERT_TRUE(
+      server.register_model(tiny_deployment("vit"), [] { return make_tiny_backend(); }).is_ok());
+  EXPECT_EQ(server.model_names(), std::vector<std::string>{"vit"});
+  EXPECT_NE(server.metrics("vit"), nullptr);
+  EXPECT_EQ(server.metrics("ghost"), nullptr);
+}
+
+TEST(Server, DuplicateNameRejected) {
+  Server server(1);
+  ASSERT_TRUE(
+      server.register_model(tiny_deployment("vit"), [] { return make_tiny_backend(); }).is_ok());
+  EXPECT_FALSE(
+      server.register_model(tiny_deployment("vit"), [] { return make_tiny_backend(); }).is_ok());
+}
+
+TEST(Server, BadConfigRejected) {
+  Server server(1);
+  ModelDeploymentConfig config = tiny_deployment("");
+  EXPECT_FALSE(server.register_model(config, [] { return make_tiny_backend(); }).is_ok());
+  config = tiny_deployment("x");
+  config.instances = 0;
+  EXPECT_FALSE(server.register_model(config, [] { return make_tiny_backend(); }).is_ok());
+}
+
+TEST(Server, UnknownModelIsNotFound) {
+  Server server(1);
+  InferenceRequest request;
+  request.model = "ghost";
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  EXPECT_EQ(response.status.code(), core::StatusCode::kNotFound);
+}
+
+TEST(Server, SingleRequestProducesPrediction) {
+  Server server(1);
+  ASSERT_TRUE(
+      server.register_model(tiny_deployment("vit"), [] { return make_tiny_backend(); }).is_ok());
+  InferenceRequest request;
+  request.model = "vit";
+  request.input = tiny_input(1);
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  ASSERT_TRUE(response.status.is_ok()) << response.status.to_string();
+  EXPECT_GE(response.predicted_class, 0);
+  EXPECT_LT(response.predicted_class, 4);
+  EXPECT_GT(response.confidence, 0.0f);
+  EXPECT_LE(response.confidence, 1.0f);
+  EXPECT_EQ(response.logits.size(), 4u);
+  EXPECT_GT(response.timing.total_s, 0.0);
+  EXPECT_GE(response.timing.batch_size, 1);
+}
+
+TEST(Server, ConcurrentRequestsAllAnswered) {
+  Server server(2);
+  ModelDeploymentConfig config = tiny_deployment("vit");
+  config.instances = 2;
+  ASSERT_TRUE(server.register_model(config, [] { return make_tiny_backend(); }).is_ok());
+
+  constexpr int kRequests = 40;
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    InferenceRequest request;
+    request.model = "vit";
+    request.input = tiny_input(static_cast<std::uint64_t>(i));
+    auto submitted = server.submit(std::move(request));
+    ASSERT_TRUE(submitted.is_ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  std::set<std::uint64_t> ids;
+  for (auto& future : futures) {
+    const InferenceResponse response = future.get();
+    EXPECT_TRUE(response.status.is_ok());
+    EXPECT_LE(response.timing.batch_size, 4);
+    ids.insert(response.id);
+  }
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kRequests));  // no dupes
+
+  const MetricsSnapshot snap = server.metrics("vit")->snapshot(1.0);
+  EXPECT_EQ(snap.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(snap.failed, 0u);
+}
+
+TEST(Server, ServedPredictionMatchesDirectModelExecution) {
+  // Same seed ⇒ backend weights equal a locally built model; the served
+  // argmax must match running the model by hand.
+  Server server(1);
+  ASSERT_TRUE(server
+                  .register_model(tiny_deployment("vit"),
+                                  [] { return make_tiny_backend(777); })
+                  .is_ok());
+
+  const preproc::EncodedImage input = tiny_input(5);
+  InferenceRequest request;
+  request.model = "vit";
+  request.input = input;
+  const InferenceResponse served = server.infer_sync(std::move(request));
+  ASSERT_TRUE(served.status.is_ok());
+
+  nn::ModelPtr model = nn::build_vit(tiny_config());
+  nn::init_weights(*model, 777);
+  preproc::CpuPipeline pipeline;
+  preproc::PreprocSpec spec;
+  spec.output_size = 16;
+  auto batch = pipeline.run(std::span(&input, 1), spec);
+  ASSERT_TRUE(batch.is_ok());
+  tensor::Tensor logits = model->forward(batch.value());
+  EXPECT_EQ(served.predicted_class, tensor::argmax(logits.f32_span()));
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_NEAR(served.logits[static_cast<std::size_t>(c)], logits.f32()[c],
+                1e-4f);
+  }
+}
+
+TEST(Server, CorruptInputFailsThatRequest) {
+  Server server(1);
+  ASSERT_TRUE(
+      server.register_model(tiny_deployment("vit"), [] { return make_tiny_backend(); }).is_ok());
+  InferenceRequest request;
+  request.model = "vit";
+  request.input.format = preproc::ImageFormat::kAgJpeg;
+  request.input.bytes = {1, 2, 3};
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  EXPECT_FALSE(response.status.is_ok());
+  const MetricsSnapshot snap = server.metrics("vit")->snapshot(1.0);
+  EXPECT_EQ(snap.failed, 1u);
+}
+
+TEST(Server, SimBackendServesTooAndReportsDeviceTime) {
+  Server server(1);
+  ModelDeploymentConfig config = tiny_deployment("sim");
+  config.preproc.output_size = 32;  // ViT_Tiny input
+  ASSERT_TRUE(server
+                  .register_model(config,
+                                  [] {
+                                    return std::make_unique<SimBackend>(
+                                        platform::make_engine_model(
+                                            platform::a100(), "ViT_Tiny"),
+                                        39, 64);
+                                  })
+                  .is_ok());
+  InferenceRequest request;
+  request.model = "sim";
+  request.input = tiny_input(3);
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  ASSERT_TRUE(response.status.is_ok());
+  EXPECT_GT(response.timing.inference_s, 0.0);
+  EXPECT_LT(response.predicted_class, 39);
+}
+
+TEST(Server, ShutdownThenSubmitIsUnavailable) {
+  Server server(1);
+  ASSERT_TRUE(
+      server.register_model(tiny_deployment("vit"), [] { return make_tiny_backend(); }).is_ok());
+  server.shutdown();
+  InferenceRequest request;
+  request.model = "vit";
+  request.input = tiny_input(9);
+  auto submitted = server.submit(std::move(request));
+  EXPECT_FALSE(submitted.is_ok());
+}
+
+TEST(Server, ExpiredDeadlineDroppedBeforeExecution) {
+  // A long batcher delay guarantees the request out-waits its own
+  // deadline in the queue; the instance must answer without running
+  // preprocessing or inference (predicted_class stays -1).
+  Server server(1);
+  ModelDeploymentConfig config = tiny_deployment("vit");
+  config.max_batch = 8;                // never fills
+  config.max_queue_delay_s = 0.05;     // held for 50 ms
+  ASSERT_TRUE(server.register_model(config, [] { return make_tiny_backend(); }).is_ok());
+  InferenceRequest request;
+  request.model = "vit";
+  request.input = tiny_input(7);
+  request.deadline_s = 1e-3;  // expires long before the batcher flushes
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  EXPECT_EQ(response.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.predicted_class, -1);
+  EXPECT_TRUE(response.logits.empty());
+  const MetricsSnapshot snap = server.metrics("vit")->snapshot(1.0);
+  EXPECT_EQ(snap.deadline_misses, 1u);
+}
+
+// -------------------------------------------------------------- scenarios
+
+data::DatasetSpec mini_dataset_spec() {
+  data::DatasetSpec spec = *data::find_dataset("Sugar Cane-Spittle Bug");
+  spec.num_samples = 12;
+  return spec;
+}
+
+TEST(Offline, ProcessesWholeDataset) {
+  Server server(2);
+  ModelDeploymentConfig config = tiny_deployment("vit");
+  ASSERT_TRUE(server.register_model(config, [] { return make_tiny_backend(); }).is_ok());
+  const data::SyntheticDataset dataset(mini_dataset_spec(), 4);
+  const OfflineReport report = run_offline(server, "vit", dataset, 12, 8);
+  EXPECT_EQ(report.processed, 12);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_GT(report.throughput_img_per_s, 0.0);
+  std::int64_t histogram_total = 0;
+  for (std::int64_t count : report.class_histogram) histogram_total += count;
+  EXPECT_EQ(histogram_total, 12);
+}
+
+TEST(RealTime, MeetsGenerousDeadlines) {
+  Server server(1);
+  ModelDeploymentConfig config = tiny_deployment("vit");
+  config.max_queue_delay_s = 0.0;  // real-time: no batching wait
+  ASSERT_TRUE(server.register_model(config, [] { return make_tiny_backend(); }).is_ok());
+  const data::SyntheticDataset dataset(mini_dataset_spec(), 5);
+  RealTimeConfig rt;
+  rt.frames = 10;
+  rt.frame_interval_s = 1e-3;  // run as fast as possible
+  rt.deadline_s = 5.0;         // generous: everything passes
+  const RealTimeReport report = run_realtime(server, "vit", dataset, rt);
+  EXPECT_EQ(report.deadline_misses, 0);
+  EXPECT_GT(report.frames_processed, 0);
+  EXPECT_GT(report.mean_latency_s, 0.0);
+}
+
+TEST(RealTime, ImpossibleDeadlineIsDetected) {
+  Server server(1);
+  ModelDeploymentConfig config = tiny_deployment("vit");
+  config.max_queue_delay_s = 0.0;
+  ASSERT_TRUE(server.register_model(config, [] { return make_tiny_backend(); }).is_ok());
+  const data::SyntheticDataset dataset(mini_dataset_spec(), 6);
+  RealTimeConfig rt;
+  rt.frames = 5;
+  rt.frame_interval_s = 1e-3;
+  rt.deadline_s = 1e-9;  // nothing finishes in a nanosecond
+  const RealTimeReport report = run_realtime(server, "vit", dataset, rt);
+  EXPECT_EQ(report.deadline_misses, report.frames_processed);
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Metrics, SnapshotAggregates) {
+  MetricsRegistry registry;
+  RequestTiming timing;
+  timing.total_s = 0.010;
+  timing.queue_s = 0.002;
+  timing.preprocess_s = 0.003;
+  timing.inference_s = 0.005;
+  timing.batch_size = 4;
+  registry.record(timing, true, false);
+  timing.total_s = 0.030;
+  registry.record(timing, true, true);
+  registry.record(timing, false, false);
+
+  const MetricsSnapshot snap = registry.snapshot(2.0);
+  EXPECT_EQ(snap.completed, 2u);
+  EXPECT_EQ(snap.failed, 1u);
+  EXPECT_EQ(snap.deadline_misses, 1u);
+  EXPECT_DOUBLE_EQ(snap.throughput_img_per_s, 1.0);
+  EXPECT_NEAR(snap.mean_latency_s, (0.010 + 0.030 + 0.030) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(snap.batch_sizes.mean(), 4.0);
+  EXPECT_FALSE(snap.to_string().empty());
+}
+
+TEST(Metrics, ResetClears) {
+  MetricsRegistry registry;
+  RequestTiming timing;
+  timing.total_s = 1.0;
+  registry.record(timing, true, false);
+  registry.reset();
+  const MetricsSnapshot snap = registry.snapshot(1.0);
+  EXPECT_EQ(snap.completed, 0u);
+  EXPECT_DOUBLE_EQ(snap.mean_latency_s, 0.0);
+}
+
+}  // namespace
+}  // namespace harvest::serving

@@ -1,0 +1,113 @@
+#include "serving/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "serving/online_sim.hpp"
+
+namespace harvest::serving {
+namespace {
+
+TEST(Traces, ConstantIsFlat) {
+  ConstantTrace trace(100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(1e6), 100.0);
+  EXPECT_DOUBLE_EQ(trace.peak_rate(), 100.0);
+  EXPECT_DOUBLE_EQ(trace.mean_rate(10.0), 100.0);
+}
+
+TEST(Traces, OnOffSwitchesAtDutyBoundary) {
+  OnOffTrace trace(1000.0, 10.0, 10.0, 0.3);
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(2.9), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(3.1), 10.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(9.9), 10.0);
+  EXPECT_DOUBLE_EQ(trace.rate_at(10.0), 1000.0);  // next period
+  EXPECT_DOUBLE_EQ(trace.peak_rate(), 1000.0);
+  EXPECT_DOUBLE_EQ(trace.mean_rate(100.0), 1000.0 * 0.3 + 10.0 * 0.7);
+}
+
+TEST(Traces, DiurnalOscillatesAndClampsAtZero) {
+  DiurnalTrace trace(100.0, 150.0, 40.0);  // amplitude > base → clamping
+  EXPECT_DOUBLE_EQ(trace.rate_at(0.0), 100.0);
+  EXPECT_NEAR(trace.rate_at(10.0), 250.0, 1e-9);  // peak at quarter period
+  EXPECT_DOUBLE_EQ(trace.rate_at(30.0), 0.0);     // clamped trough
+  EXPECT_DOUBLE_EQ(trace.peak_rate(), 250.0);
+  // Clamping raises the mean above the base.
+  EXPECT_GT(trace.mean_rate(40.0), 100.0);
+}
+
+TEST(Traces, DiurnalWholePeriodMeanIsBase) {
+  DiurnalTrace trace(100.0, 50.0, 20.0);
+  EXPECT_NEAR(trace.mean_rate(20.0), 100.0, 1e-9);
+}
+
+TEST(Traces, ThinningMatchesMeanRate) {
+  // Count arrivals over a horizon; expect ≈ mean_rate × horizon.
+  OnOffTrace trace(400.0, 0.0, 2.0, 0.5);  // mean 200 qps
+  core::Rng rng(5);
+  constexpr double kHorizon = 100.0;
+  double t = 0.0;
+  int count = 0;
+  for (;;) {
+    t = next_arrival(trace, t, rng);
+    if (t >= kHorizon) break;
+    ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count), 200.0 * kHorizon,
+              4.0 * std::sqrt(200.0 * kHorizon));
+}
+
+TEST(Traces, ThinningPlacesArrivalsInBursts) {
+  OnOffTrace trace(1000.0, 0.0, 2.0, 0.5);
+  core::Rng rng(6);
+  double t = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    t = next_arrival(trace, t, rng);
+    // Every arrival must land where the rate is nonzero.
+    EXPECT_GT(trace.rate_at(t), 0.0) << t;
+  }
+}
+
+TEST(Traces, ZeroRateYieldsNoArrival) {
+  ConstantTrace trace(0.0);
+  core::Rng rng(7);
+  EXPECT_TRUE(std::isinf(next_arrival(trace, 0.0, rng)));
+}
+
+TEST(TraceSim, ConstantTraceMatchesPoissonPath) {
+  // simulate_online delegates to the trace variant; both entry points
+  // must agree bit-for-bit at the same seed.
+  const data::DatasetSpec dataset = *data::find_dataset("Plant Village");
+  OnlineSimConfig config;
+  config.arrival_rate_qps = 300.0;
+  config.duration_s = 5.0;
+  config.seed = 9;
+  const OnlineSimReport a =
+      simulate_online(platform::a100(), "ViT_Tiny", dataset, config);
+  const ConstantTrace trace(300.0);
+  const OnlineSimReport b = simulate_online_trace(platform::a100(), "ViT_Tiny",
+                                                  dataset, config, trace);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_DOUBLE_EQ(a.mean_latency_s, b.mean_latency_s);
+}
+
+TEST(TraceSim, BurstsInflateTailAtEqualMeanLoad) {
+  const data::DatasetSpec dataset = *data::find_dataset("Plant Village");
+  OnlineSimConfig config;
+  config.duration_s = 20.0;
+  config.max_batch = 64;
+  config.instances = 1;
+  config.seed = 10;
+  const ConstantTrace smooth(2000.0);
+  const OnOffTrace bursty(10000.0, 0.0, 4.0, 0.2);  // same 2000 qps mean
+  const OnlineSimReport smooth_report = simulate_online_trace(
+      platform::a100(), "ViT_Small", dataset, config, smooth);
+  const OnlineSimReport bursty_report = simulate_online_trace(
+      platform::a100(), "ViT_Small", dataset, config, bursty);
+  EXPECT_GT(bursty_report.p99_latency_s, 2.0 * smooth_report.p99_latency_s);
+}
+
+}  // namespace
+}  // namespace harvest::serving

@@ -1,0 +1,110 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace harvest::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(3.0, [&] { order.push_back(3); });
+  sim.schedule_at(1.0, [&] { order.push_back(1); });
+  sim.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesExecuteInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ActionsCanScheduleFurtherEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_in(1.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, ScheduleInIsRelativeToNow) {
+  Simulator sim;
+  double observed = -1.0;
+  sim.schedule_at(2.0, [&] {
+    sim.schedule_in(0.5, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(observed, 2.5);
+}
+
+TEST(Simulator, RunUntilStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(10.0, [&] { ++fired; });
+  EXPECT_EQ(sim.run(5.0), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  EXPECT_EQ(sim.run(), 1u);  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWhenQueueDrains) {
+  Simulator sim;
+  sim.schedule_at(1.0, [] {});
+  sim.run(4.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 4.0);
+}
+
+TEST(Simulator, SameTimeEventScheduledFromActionStillRuns) {
+  Simulator sim;
+  bool inner = false;
+  sim.schedule_at(1.0, [&] { sim.schedule_at(1.0, [&] { inner = true; }); });
+  sim.run();
+  EXPECT_TRUE(inner);
+  EXPECT_DOUBLE_EQ(sim.now(), 1.0);
+}
+
+TEST(SimulatorDeath, PastSchedulingAborts) {
+  Simulator sim;
+  sim.schedule_at(5.0, [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(1.0, [] {}), "into the past");
+}
+
+TEST(Simulator, ManyEventsDeterministic) {
+  auto run_once = [] {
+    Simulator sim;
+    std::vector<double> times;
+    for (int i = 0; i < 1000; ++i) {
+      const double when = static_cast<double>((i * 7919) % 100);
+      sim.schedule_at(when, [&times, &sim] { times.push_back(sim.now()); });
+    }
+    sim.run();
+    return times;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace harvest::sim

@@ -1,0 +1,149 @@
+#include "stitch/stitch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "preproc/codec.hpp"
+
+namespace harvest::stitch {
+namespace {
+
+SurveyConfig small_survey() {
+  SurveyConfig config;
+  config.field_width = 256;
+  config.field_height = 192;
+  config.capture_size = 64;
+  config.overlap = 0.3;
+  config.seed = 3;
+  return config;
+}
+
+TEST(Survey, ProducesSerpentineCoverage) {
+  const SurveyConfig config = small_survey();
+  const auto captures = simulate_survey(config);
+  ASSERT_GT(captures.size(), 4u);
+  for (const Capture& capture : captures) {
+    EXPECT_GE(capture.x, 0);
+    EXPECT_GE(capture.y, 0);
+    EXPECT_LE(capture.x + config.capture_size, config.field_width);
+    EXPECT_LE(capture.y + config.capture_size, config.field_height);
+    EXPECT_EQ(capture.image.width(), config.capture_size);
+  }
+}
+
+TEST(Survey, DeterministicForSeed) {
+  const auto a = simulate_survey(small_survey());
+  const auto b = simulate_survey(small_survey());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].x, b[i].x);
+    EXPECT_EQ(a[i].y, b[i].y);
+    EXPECT_EQ(preproc::mean_abs_diff(a[i].image, b[i].image), 0.0);
+  }
+}
+
+TEST(Mosaic, ReconstructsReferenceField) {
+  const SurveyConfig config = small_survey();
+  const auto captures = simulate_survey(config);
+  const preproc::Image mosaic =
+      composite_mosaic(captures, config.field_width, config.field_height);
+  const preproc::Image reference = reference_field(config);
+  // Jitter + illumination drift allowed; blending must stay close.
+  EXPECT_LT(preproc::mean_abs_diff(mosaic, reference), 12.0);
+}
+
+TEST(Mosaic, UncoveredPixelsAreBlack) {
+  Capture capture;
+  capture.image = preproc::synthesize_field_image(8, 8, 1);
+  capture.x = 0;
+  capture.y = 0;
+  const preproc::Image mosaic = composite_mosaic({capture}, 32, 32);
+  EXPECT_EQ(mosaic.at(31, 31, 0), 0);
+  EXPECT_EQ(mosaic.at(31, 31, 1), 0);
+  // Covered pixel is not black (field imagery is never pure black).
+  EXPECT_GT(static_cast<int>(mosaic.at(4, 4, 0)) +
+                static_cast<int>(mosaic.at(4, 4, 1)),
+            0);
+}
+
+TEST(Mosaic, OverlapBlendingAveragesIllumination) {
+  // Two captures of the same content at different gains: the blend in
+  // the overlap must lie between the two.
+  const preproc::Image base = preproc::synthesize_field_image(16, 16, 5);
+  Capture dark;
+  Capture bright;
+  dark.image = preproc::Image(16, 16, 3);
+  bright.image = preproc::Image(16, 16, 3);
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      for (std::int64_t c = 0; c < 3; ++c) {
+        dark.image.at(x, y, c) = static_cast<std::uint8_t>(base.at(x, y, c) / 2);
+        bright.image.at(x, y, c) = base.at(x, y, c);
+      }
+    }
+  }
+  const preproc::Image mosaic = composite_mosaic({dark, bright}, 16, 16);
+  const std::uint8_t blended = mosaic.at(8, 8, 1);
+  EXPECT_GE(blended, dark.image.at(8, 8, 1));
+  EXPECT_LE(blended, bright.image.at(8, 8, 1));
+}
+
+TEST(Tiler, CountAndGeometry) {
+  const preproc::Image mosaic = preproc::synthesize_field_image(100, 70, 7);
+  const auto tiles = tile_mosaic(mosaic, 32, 32);
+  EXPECT_EQ(tiles.size(), 3u * 2u);  // floor(100/32) × floor(70/32)
+  for (const Tile& tile : tiles) {
+    EXPECT_EQ(tile.image.width(), 32);
+    EXPECT_EQ(tile.image.height(), 32);
+    EXPECT_EQ(tile.x % 32, 0);
+  }
+}
+
+TEST(Tiler, OverlappingStride) {
+  const preproc::Image mosaic = preproc::synthesize_field_image(64, 64, 8);
+  const auto tiles = tile_mosaic(mosaic, 32, 16);
+  EXPECT_EQ(tiles.size(), 3u * 3u);
+}
+
+TEST(Tiler, TileContentMatchesMosaic) {
+  const preproc::Image mosaic = preproc::synthesize_field_image(64, 64, 9);
+  const auto tiles = tile_mosaic(mosaic, 16, 16);
+  const Tile& tile = tiles[5];
+  for (std::int64_t y = 0; y < 16; ++y) {
+    for (std::int64_t x = 0; x < 16; ++x) {
+      ASSERT_EQ(tile.image.at(x, y, 0), mosaic.at(tile.x + x, tile.y + y, 0));
+    }
+  }
+}
+
+TEST(Heatmap, ScoresColourTiles) {
+  const preproc::Image mosaic = preproc::synthesize_field_image(64, 32, 10);
+  const auto tiles = tile_mosaic(mosaic, 32, 32);
+  ASSERT_EQ(tiles.size(), 2u);
+  const preproc::Image heat = render_heatmap(tiles, {0.0, 1.0}, 64, 32, 32);
+  // Score 0 → green; score 1 → red.
+  EXPECT_GT(heat.at(5, 5, 1), 200);
+  EXPECT_LT(heat.at(5, 5, 0), 60);
+  EXPECT_GT(heat.at(37, 5, 0), 200);
+  EXPECT_LT(heat.at(37, 5, 1), 60);
+}
+
+TEST(Heatmap, WritePpmRoundTrips) {
+  const preproc::Image mosaic = preproc::synthesize_field_image(20, 12, 11);
+  const std::string path = ::testing::TempDir() + "/heat.ppm";
+  ASSERT_TRUE(write_ppm(mosaic, path).is_ok());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<std::uint8_t> bytes(1 << 16);
+  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  bytes.resize(read);
+  auto decoded = preproc::decode_ppm(bytes);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(preproc::mean_abs_diff(mosaic, decoded.value()), 0.0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace harvest::stitch

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "tensor/buffer.hpp"
+#include "tensor/ops.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace harvest::tensor {
+namespace {
+
+TEST(Shape, BasicGeometry) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s[0], 2);
+  EXPECT_EQ(s[2], 4);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(s.to_string(), "[2, 3, 4]");
+}
+
+TEST(Shape, ScalarHasNumelOne) {
+  Shape s = Shape::scalar();
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+TEST(Shape, EqualityAndWithDim) {
+  Shape a{1, 3, 224, 224};
+  Shape b{1, 3, 224, 224};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, Shape({1, 3, 224}));
+  EXPECT_EQ(a.with_dim(0, 8), Shape({8, 3, 224, 224}));
+  EXPECT_EQ(a, b);  // with_dim does not mutate
+}
+
+TEST(Buffer, AlignmentIs64Bytes) {
+  AlignedBuffer buffer(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 64, 0u);
+  EXPECT_EQ(buffer.size_bytes(), 100u);
+  EXPECT_FALSE(buffer.empty());
+}
+
+TEST(Buffer, ZeroInitialized) {
+  AlignedBuffer buffer(256);
+  const auto* bytes = buffer.as<std::uint8_t>();
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_EQ(bytes[i], 0);
+}
+
+TEST(Buffer, EmptyBuffer) {
+  AlignedBuffer buffer;
+  EXPECT_TRUE(buffer.empty());
+  EXPECT_EQ(buffer.size_bytes(), 0u);
+}
+
+TEST(Tensor, ZerosAndFill) {
+  Tensor t(Shape{2, 3}, DType::kF32);
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.size_bytes(), 24u);
+  for (float v : t.f32_span()) EXPECT_EQ(v, 0.0f);
+  fill(t, 2.5f);
+  for (float v : t.f32_span()) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(Tensor, FullFactory) {
+  Tensor t = Tensor::full(Shape{4}, -1.5f);
+  for (float v : t.f32_span()) EXPECT_EQ(v, -1.5f);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t = Tensor::full(Shape{4}, 1.0f);
+  Tensor copy = t.clone();
+  copy.f32()[0] = 9.0f;
+  EXPECT_EQ(t.f32()[0], 1.0f);
+  EXPECT_EQ(copy.f32()[0], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t(Shape{2, 6}, DType::kF32);
+  for (std::int64_t i = 0; i < 12; ++i) t.f32()[i] = static_cast<float>(i);
+  Tensor r = std::move(t).reshape(Shape{3, 4});
+  EXPECT_EQ(r.shape(), Shape({3, 4}));
+  for (std::int64_t i = 0; i < 12; ++i) EXPECT_EQ(r.f32()[i], static_cast<float>(i));
+}
+
+TEST(Tensor, U8TypedAccess) {
+  Tensor t(Shape{5}, DType::kU8);
+  t.u8()[3] = 200;
+  EXPECT_EQ(t.u8_span()[3], 200);
+  EXPECT_EQ(t.size_bytes(), 5u);
+}
+
+TEST(TensorDeath, WrongDTypeAccessAborts) {
+  Tensor t(Shape{2}, DType::kU8);
+  EXPECT_DEATH(t.f32(), "not f32");
+}
+
+TEST(Ops, AddAndAddInplace) {
+  Tensor a = Tensor::full(Shape{3}, 1.0f);
+  Tensor b = Tensor::full(Shape{3}, 2.0f);
+  Tensor out(Shape{3}, DType::kF32);
+  add(a, b, out);
+  for (float v : out.f32_span()) EXPECT_EQ(v, 3.0f);
+  add_inplace(a, b);
+  for (float v : a.f32_span()) EXPECT_EQ(v, 3.0f);
+}
+
+TEST(Ops, ScaleShift) {
+  Tensor a = Tensor::full(Shape{4}, 2.0f);
+  Tensor out(Shape{4}, DType::kF32);
+  scale_shift(a, 3.0f, 1.0f, out);
+  for (float v : out.f32_span()) EXPECT_EQ(v, 7.0f);
+}
+
+TEST(Ops, SumMaxArgmax) {
+  Tensor t(Shape{4}, DType::kF32);
+  t.f32()[0] = 1.0f;
+  t.f32()[1] = -2.0f;
+  t.f32()[2] = 5.0f;
+  t.f32()[3] = 0.5f;
+  EXPECT_DOUBLE_EQ(sum(t), 4.5);
+  EXPECT_EQ(max_value(t), 5.0f);
+  EXPECT_EQ(argmax(t.f32_span()), 2);
+}
+
+TEST(Ops, MaxAbsDiffAndAllclose) {
+  Tensor a = Tensor::full(Shape{3}, 1.0f);
+  Tensor b = a.clone();
+  EXPECT_EQ(max_abs_diff(a, b), 0.0f);
+  EXPECT_TRUE(allclose(a, b));
+  b.f32()[1] = 1.001f;
+  EXPECT_NEAR(max_abs_diff(a, b), 0.001f, 1e-6f);
+  EXPECT_FALSE(allclose(a, b, 1e-5f, 1e-6f));
+  EXPECT_TRUE(allclose(a, b, 1e-2f, 1e-2f));
+}
+
+TEST(Ops, AllcloseRejectsShapeMismatch) {
+  Tensor a(Shape{2}, DType::kF32);
+  Tensor b(Shape{3}, DType::kF32);
+  EXPECT_FALSE(allclose(a, b));
+}
+
+TEST(Ops, ToF32ConvertsBytes) {
+  Tensor u(Shape{3}, DType::kU8);
+  u.u8()[0] = 0;
+  u.u8()[1] = 128;
+  u.u8()[2] = 255;
+  Tensor f = to_f32(u);
+  EXPECT_EQ(f.dtype(), DType::kF32);
+  EXPECT_EQ(f.f32()[0], 0.0f);
+  EXPECT_EQ(f.f32()[1], 128.0f);
+  EXPECT_EQ(f.f32()[2], 255.0f);
+}
+
+}  // namespace
+}  // namespace harvest::tensor
