@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multi_instance"
+  "../bench/ablation_multi_instance.pdb"
+  "CMakeFiles/ablation_multi_instance.dir/ablation_multi_instance.cpp.o"
+  "CMakeFiles/ablation_multi_instance.dir/ablation_multi_instance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multi_instance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

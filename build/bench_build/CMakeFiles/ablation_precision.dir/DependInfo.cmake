@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_precision.cpp" "bench_build/CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o" "gcc" "bench_build/CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harvest/CMakeFiles/harvest.dir/DependInfo.cmake"
+  "/root/repo/build/src/serving/CMakeFiles/harvest_serving.dir/DependInfo.cmake"
+  "/root/repo/build/src/stitch/CMakeFiles/harvest_stitch.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/harvest_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harvest_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/preproc/CMakeFiles/harvest_preproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harvest_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/harvest_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/harvest_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

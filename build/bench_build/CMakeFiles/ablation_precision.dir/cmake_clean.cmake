@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_precision"
+  "../bench/ablation_precision.pdb"
+  "CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o"
+  "CMakeFiles/ablation_precision.dir/ablation_precision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_precision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

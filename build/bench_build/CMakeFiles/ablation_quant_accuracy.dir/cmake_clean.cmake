@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_quant_accuracy"
+  "../bench/ablation_quant_accuracy.pdb"
+  "CMakeFiles/ablation_quant_accuracy.dir/ablation_quant_accuracy.cpp.o"
+  "CMakeFiles/ablation_quant_accuracy.dir/ablation_quant_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_quant_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_transmission"
+  "../bench/ablation_transmission.pdb"
+  "CMakeFiles/ablation_transmission.dir/ablation_transmission.cpp.o"
+  "CMakeFiles/ablation_transmission.dir/ablation_transmission.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transmission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

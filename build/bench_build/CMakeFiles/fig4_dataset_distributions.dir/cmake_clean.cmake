@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_dataset_distributions"
+  "../bench/fig4_dataset_distributions.pdb"
+  "CMakeFiles/fig4_dataset_distributions.dir/fig4_dataset_distributions.cpp.o"
+  "CMakeFiles/fig4_dataset_distributions.dir/fig4_dataset_distributions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dataset_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_engine_scaling"
+  "../bench/fig5_engine_scaling.pdb"
+  "CMakeFiles/fig5_engine_scaling.dir/fig5_engine_scaling.cpp.o"
+  "CMakeFiles/fig5_engine_scaling.dir/fig5_engine_scaling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_engine_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_latency_threshold"
+  "../bench/fig6_latency_threshold.pdb"
+  "CMakeFiles/fig6_latency_threshold.dir/fig6_latency_threshold.cpp.o"
+  "CMakeFiles/fig6_latency_threshold.dir/fig6_latency_threshold.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_latency_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_preprocessing"
+  "../bench/fig7_preprocessing.pdb"
+  "CMakeFiles/fig7_preprocessing.dir/fig7_preprocessing.cpp.o"
+  "CMakeFiles/fig7_preprocessing.dir/fig7_preprocessing.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_preprocessing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_end_to_end"
+  "../bench/fig8_end_to_end.pdb"
+  "CMakeFiles/fig8_end_to_end.dir/fig8_end_to_end.cpp.o"
+  "CMakeFiles/fig8_end_to_end.dir/fig8_end_to_end.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

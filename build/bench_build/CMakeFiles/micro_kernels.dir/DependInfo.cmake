@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_kernels.cpp" "bench_build/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o" "gcc" "bench_build/CMakeFiles/micro_kernels.dir/micro_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/preproc/CMakeFiles/harvest_preproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/harvest_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/harvest_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harvest_platform.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_platform_flops"
+  "../bench/table1_platform_flops.pdb"
+  "CMakeFiles/table1_platform_flops.dir/table1_platform_flops.cpp.o"
+  "CMakeFiles/table1_platform_flops.dir/table1_platform_flops.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_platform_flops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

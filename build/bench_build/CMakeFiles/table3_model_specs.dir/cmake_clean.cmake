@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_model_specs"
+  "../bench/table3_model_specs.pdb"
+  "CMakeFiles/table3_model_specs.dir/table3_model_specs.cpp.o"
+  "CMakeFiles/table3_model_specs.dir/table3_model_specs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_model_specs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_drone_survey.dir/offline_drone_survey.cpp.o"
+  "CMakeFiles/offline_drone_survey.dir/offline_drone_survey.cpp.o.d"
+  "offline_drone_survey"
+  "offline_drone_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_drone_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_service.dir/online_service.cpp.o"
+  "CMakeFiles/online_service.dir/online_service.cpp.o.d"
+  "online_service"
+  "online_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

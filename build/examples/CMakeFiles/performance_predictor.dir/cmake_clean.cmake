@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/performance_predictor.dir/performance_predictor.cpp.o"
+  "CMakeFiles/performance_predictor.dir/performance_predictor.cpp.o.d"
+  "performance_predictor"
+  "performance_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/performance_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

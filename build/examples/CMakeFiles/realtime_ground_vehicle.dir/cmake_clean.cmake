@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/realtime_ground_vehicle.dir/realtime_ground_vehicle.cpp.o"
+  "CMakeFiles/realtime_ground_vehicle.dir/realtime_ground_vehicle.cpp.o.d"
+  "realtime_ground_vehicle"
+  "realtime_ground_vehicle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/realtime_ground_vehicle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serve_repository.dir/serve_repository.cpp.o"
+  "CMakeFiles/serve_repository.dir/serve_repository.cpp.o.d"
+  "serve_repository"
+  "serve_repository.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serve_repository.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

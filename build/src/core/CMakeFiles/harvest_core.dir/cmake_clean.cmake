@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_core.dir/cli.cpp.o"
+  "CMakeFiles/harvest_core.dir/cli.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/csv.cpp.o"
+  "CMakeFiles/harvest_core.dir/csv.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/json.cpp.o"
+  "CMakeFiles/harvest_core.dir/json.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/log.cpp.o"
+  "CMakeFiles/harvest_core.dir/log.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/plot.cpp.o"
+  "CMakeFiles/harvest_core.dir/plot.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/stats.cpp.o"
+  "CMakeFiles/harvest_core.dir/stats.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/status.cpp.o"
+  "CMakeFiles/harvest_core.dir/status.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/table.cpp.o"
+  "CMakeFiles/harvest_core.dir/table.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/harvest_core.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/harvest_core.dir/units.cpp.o"
+  "CMakeFiles/harvest_core.dir/units.cpp.o.d"
+  "libharvest_core.a"
+  "libharvest_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_data.dir/datasets.cpp.o"
+  "CMakeFiles/harvest_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/harvest_data.dir/directory.cpp.o"
+  "CMakeFiles/harvest_data.dir/directory.cpp.o.d"
+  "CMakeFiles/harvest_data.dir/loader.cpp.o"
+  "CMakeFiles/harvest_data.dir/loader.cpp.o.d"
+  "CMakeFiles/harvest_data.dir/synthetic.cpp.o"
+  "CMakeFiles/harvest_data.dir/synthetic.cpp.o.d"
+  "libharvest_data.a"
+  "libharvest_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

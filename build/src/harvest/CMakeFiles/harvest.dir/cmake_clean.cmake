@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest.dir/advisor.cpp.o"
+  "CMakeFiles/harvest.dir/advisor.cpp.o.d"
+  "CMakeFiles/harvest.dir/e2e.cpp.o"
+  "CMakeFiles/harvest.dir/e2e.cpp.o.d"
+  "CMakeFiles/harvest.dir/placement.cpp.o"
+  "CMakeFiles/harvest.dir/placement.cpp.o.d"
+  "CMakeFiles/harvest.dir/predictor.cpp.o"
+  "CMakeFiles/harvest.dir/predictor.cpp.o.d"
+  "CMakeFiles/harvest.dir/report.cpp.o"
+  "CMakeFiles/harvest.dir/report.cpp.o.d"
+  "libharvest.a"
+  "libharvest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

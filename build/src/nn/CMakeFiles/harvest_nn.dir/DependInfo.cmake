@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/harvest_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/nn/CMakeFiles/harvest_nn.dir/attention.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/attention.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/harvest_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/flops.cpp" "src/nn/CMakeFiles/harvest_nn.dir/flops.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/flops.cpp.o.d"
+  "/root/repo/src/nn/gemm.cpp" "src/nn/CMakeFiles/harvest_nn.dir/gemm.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/gemm.cpp.o.d"
+  "/root/repo/src/nn/graph.cpp" "src/nn/CMakeFiles/harvest_nn.dir/graph.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/graph.cpp.o.d"
+  "/root/repo/src/nn/init.cpp" "src/nn/CMakeFiles/harvest_nn.dir/init.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/init.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "src/nn/CMakeFiles/harvest_nn.dir/layers.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/layers.cpp.o.d"
+  "/root/repo/src/nn/models.cpp" "src/nn/CMakeFiles/harvest_nn.dir/models.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/models.cpp.o.d"
+  "/root/repo/src/nn/norm.cpp" "src/nn/CMakeFiles/harvest_nn.dir/norm.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/norm.cpp.o.d"
+  "/root/repo/src/nn/quant.cpp" "src/nn/CMakeFiles/harvest_nn.dir/quant.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/quant.cpp.o.d"
+  "/root/repo/src/nn/rwkv.cpp" "src/nn/CMakeFiles/harvest_nn.dir/rwkv.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/rwkv.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/harvest_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/harvest_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/harvest_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_nn.dir/activations.cpp.o"
+  "CMakeFiles/harvest_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/attention.cpp.o"
+  "CMakeFiles/harvest_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/conv.cpp.o"
+  "CMakeFiles/harvest_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/flops.cpp.o"
+  "CMakeFiles/harvest_nn.dir/flops.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/gemm.cpp.o"
+  "CMakeFiles/harvest_nn.dir/gemm.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/graph.cpp.o"
+  "CMakeFiles/harvest_nn.dir/graph.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/init.cpp.o"
+  "CMakeFiles/harvest_nn.dir/init.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/layers.cpp.o"
+  "CMakeFiles/harvest_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/models.cpp.o"
+  "CMakeFiles/harvest_nn.dir/models.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/norm.cpp.o"
+  "CMakeFiles/harvest_nn.dir/norm.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/quant.cpp.o"
+  "CMakeFiles/harvest_nn.dir/quant.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/rwkv.cpp.o"
+  "CMakeFiles/harvest_nn.dir/rwkv.cpp.o.d"
+  "CMakeFiles/harvest_nn.dir/serialize.cpp.o"
+  "CMakeFiles/harvest_nn.dir/serialize.cpp.o.d"
+  "libharvest_nn.a"
+  "libharvest_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platform/calibration.cpp" "src/platform/CMakeFiles/harvest_platform.dir/calibration.cpp.o" "gcc" "src/platform/CMakeFiles/harvest_platform.dir/calibration.cpp.o.d"
+  "/root/repo/src/platform/device.cpp" "src/platform/CMakeFiles/harvest_platform.dir/device.cpp.o" "gcc" "src/platform/CMakeFiles/harvest_platform.dir/device.cpp.o.d"
+  "/root/repo/src/platform/gemm_bench.cpp" "src/platform/CMakeFiles/harvest_platform.dir/gemm_bench.cpp.o" "gcc" "src/platform/CMakeFiles/harvest_platform.dir/gemm_bench.cpp.o.d"
+  "/root/repo/src/platform/memory.cpp" "src/platform/CMakeFiles/harvest_platform.dir/memory.cpp.o" "gcc" "src/platform/CMakeFiles/harvest_platform.dir/memory.cpp.o.d"
+  "/root/repo/src/platform/network.cpp" "src/platform/CMakeFiles/harvest_platform.dir/network.cpp.o" "gcc" "src/platform/CMakeFiles/harvest_platform.dir/network.cpp.o.d"
+  "/root/repo/src/platform/perf_model.cpp" "src/platform/CMakeFiles/harvest_platform.dir/perf_model.cpp.o" "gcc" "src/platform/CMakeFiles/harvest_platform.dir/perf_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/harvest_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/harvest_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

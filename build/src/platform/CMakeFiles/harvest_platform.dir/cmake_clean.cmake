@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_platform.dir/calibration.cpp.o"
+  "CMakeFiles/harvest_platform.dir/calibration.cpp.o.d"
+  "CMakeFiles/harvest_platform.dir/device.cpp.o"
+  "CMakeFiles/harvest_platform.dir/device.cpp.o.d"
+  "CMakeFiles/harvest_platform.dir/gemm_bench.cpp.o"
+  "CMakeFiles/harvest_platform.dir/gemm_bench.cpp.o.d"
+  "CMakeFiles/harvest_platform.dir/memory.cpp.o"
+  "CMakeFiles/harvest_platform.dir/memory.cpp.o.d"
+  "CMakeFiles/harvest_platform.dir/network.cpp.o"
+  "CMakeFiles/harvest_platform.dir/network.cpp.o.d"
+  "CMakeFiles/harvest_platform.dir/perf_model.cpp.o"
+  "CMakeFiles/harvest_platform.dir/perf_model.cpp.o.d"
+  "libharvest_platform.a"
+  "libharvest_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preproc/codec.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/codec.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/codec.cpp.o.d"
+  "/root/repo/src/preproc/codec_agjpeg.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_agjpeg.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_agjpeg.cpp.o.d"
+  "/root/repo/src/preproc/codec_bmp.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_bmp.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_bmp.cpp.o.d"
+  "/root/repo/src/preproc/codec_lzw.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_lzw.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_lzw.cpp.o.d"
+  "/root/repo/src/preproc/codec_ppm.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_ppm.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/codec_ppm.cpp.o.d"
+  "/root/repo/src/preproc/cost_model.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/cost_model.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/cost_model.cpp.o.d"
+  "/root/repo/src/preproc/image.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/image.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/image.cpp.o.d"
+  "/root/repo/src/preproc/pipeline.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/pipeline.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/pipeline.cpp.o.d"
+  "/root/repo/src/preproc/transforms.cpp" "src/preproc/CMakeFiles/harvest_preproc.dir/transforms.cpp.o" "gcc" "src/preproc/CMakeFiles/harvest_preproc.dir/transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/harvest_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harvest_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/harvest_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

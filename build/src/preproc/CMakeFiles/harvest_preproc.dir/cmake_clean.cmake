@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_preproc.dir/codec.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/codec.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/codec_agjpeg.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/codec_agjpeg.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/codec_bmp.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/codec_bmp.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/codec_lzw.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/codec_lzw.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/codec_ppm.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/codec_ppm.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/cost_model.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/cost_model.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/image.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/image.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/pipeline.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/pipeline.cpp.o.d"
+  "CMakeFiles/harvest_preproc.dir/transforms.cpp.o"
+  "CMakeFiles/harvest_preproc.dir/transforms.cpp.o.d"
+  "libharvest_preproc.a"
+  "libharvest_preproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_preproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

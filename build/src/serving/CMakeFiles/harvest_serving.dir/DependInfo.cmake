@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/serving/batcher.cpp" "src/serving/CMakeFiles/harvest_serving.dir/batcher.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/batcher.cpp.o.d"
+  "/root/repo/src/serving/metrics.cpp" "src/serving/CMakeFiles/harvest_serving.dir/metrics.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/metrics.cpp.o.d"
+  "/root/repo/src/serving/model_instance.cpp" "src/serving/CMakeFiles/harvest_serving.dir/model_instance.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/model_instance.cpp.o.d"
+  "/root/repo/src/serving/multitask.cpp" "src/serving/CMakeFiles/harvest_serving.dir/multitask.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/multitask.cpp.o.d"
+  "/root/repo/src/serving/native_backend.cpp" "src/serving/CMakeFiles/harvest_serving.dir/native_backend.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/native_backend.cpp.o.d"
+  "/root/repo/src/serving/online_sim.cpp" "src/serving/CMakeFiles/harvest_serving.dir/online_sim.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/online_sim.cpp.o.d"
+  "/root/repo/src/serving/repository.cpp" "src/serving/CMakeFiles/harvest_serving.dir/repository.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/repository.cpp.o.d"
+  "/root/repo/src/serving/scenarios.cpp" "src/serving/CMakeFiles/harvest_serving.dir/scenarios.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/scenarios.cpp.o.d"
+  "/root/repo/src/serving/server.cpp" "src/serving/CMakeFiles/harvest_serving.dir/server.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/server.cpp.o.d"
+  "/root/repo/src/serving/sim_backend.cpp" "src/serving/CMakeFiles/harvest_serving.dir/sim_backend.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/sim_backend.cpp.o.d"
+  "/root/repo/src/serving/trace.cpp" "src/serving/CMakeFiles/harvest_serving.dir/trace.cpp.o" "gcc" "src/serving/CMakeFiles/harvest_serving.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/harvest_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/preproc/CMakeFiles/harvest_preproc.dir/DependInfo.cmake"
+  "/root/repo/build/src/platform/CMakeFiles/harvest_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/harvest_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/harvest_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/harvest_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/harvest_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

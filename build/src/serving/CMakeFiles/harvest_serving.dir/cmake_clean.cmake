@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_serving.dir/batcher.cpp.o"
+  "CMakeFiles/harvest_serving.dir/batcher.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/metrics.cpp.o"
+  "CMakeFiles/harvest_serving.dir/metrics.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/model_instance.cpp.o"
+  "CMakeFiles/harvest_serving.dir/model_instance.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/multitask.cpp.o"
+  "CMakeFiles/harvest_serving.dir/multitask.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/native_backend.cpp.o"
+  "CMakeFiles/harvest_serving.dir/native_backend.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/online_sim.cpp.o"
+  "CMakeFiles/harvest_serving.dir/online_sim.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/repository.cpp.o"
+  "CMakeFiles/harvest_serving.dir/repository.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/scenarios.cpp.o"
+  "CMakeFiles/harvest_serving.dir/scenarios.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/server.cpp.o"
+  "CMakeFiles/harvest_serving.dir/server.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/sim_backend.cpp.o"
+  "CMakeFiles/harvest_serving.dir/sim_backend.cpp.o.d"
+  "CMakeFiles/harvest_serving.dir/trace.cpp.o"
+  "CMakeFiles/harvest_serving.dir/trace.cpp.o.d"
+  "libharvest_serving.a"
+  "libharvest_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_stitch.dir/stitch.cpp.o"
+  "CMakeFiles/harvest_stitch.dir/stitch.cpp.o.d"
+  "libharvest_stitch.a"
+  "libharvest_stitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_stitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

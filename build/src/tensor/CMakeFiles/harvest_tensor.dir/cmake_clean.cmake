@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_tensor.dir/buffer.cpp.o"
+  "CMakeFiles/harvest_tensor.dir/buffer.cpp.o.d"
+  "CMakeFiles/harvest_tensor.dir/ops.cpp.o"
+  "CMakeFiles/harvest_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/harvest_tensor.dir/shape.cpp.o"
+  "CMakeFiles/harvest_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/harvest_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/harvest_tensor.dir/tensor.cpp.o.d"
+  "libharvest_tensor.a"
+  "libharvest_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_quality_test.dir/codec_quality_test.cpp.o"
+  "CMakeFiles/codec_quality_test.dir/codec_quality_test.cpp.o.d"
+  "codec_quality_test"
+  "codec_quality_test.pdb"
+  "codec_quality_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_quality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

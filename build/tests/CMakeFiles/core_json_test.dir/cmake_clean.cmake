@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_json_test.dir/core_json_test.cpp.o"
+  "CMakeFiles/core_json_test.dir/core_json_test.cpp.o.d"
+  "core_json_test"
+  "core_json_test.pdb"
+  "core_json_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_json_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_api_test.dir/harvest_api_test.cpp.o"
+  "CMakeFiles/harvest_api_test.dir/harvest_api_test.cpp.o.d"
+  "harvest_api_test"
+  "harvest_api_test.pdb"
+  "harvest_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_placement_test.dir/harvest_placement_test.cpp.o"
+  "CMakeFiles/harvest_placement_test.dir/harvest_placement_test.cpp.o.d"
+  "harvest_placement_test"
+  "harvest_placement_test.pdb"
+  "harvest_placement_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_placement_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harvest_predictor_test.dir/harvest_predictor_test.cpp.o"
+  "CMakeFiles/harvest_predictor_test.dir/harvest_predictor_test.cpp.o.d"
+  "harvest_predictor_test"
+  "harvest_predictor_test.pdb"
+  "harvest_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harvest_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

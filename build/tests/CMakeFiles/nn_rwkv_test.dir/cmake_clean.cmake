@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_rwkv_test.dir/nn_rwkv_test.cpp.o"
+  "CMakeFiles/nn_rwkv_test.dir/nn_rwkv_test.cpp.o.d"
+  "nn_rwkv_test"
+  "nn_rwkv_test.pdb"
+  "nn_rwkv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_rwkv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_energy_test.dir/platform_energy_test.cpp.o"
+  "CMakeFiles/platform_energy_test.dir/platform_energy_test.cpp.o.d"
+  "platform_energy_test"
+  "platform_energy_test.pdb"
+  "platform_energy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_network_test.dir/platform_network_test.cpp.o"
+  "CMakeFiles/platform_network_test.dir/platform_network_test.cpp.o.d"
+  "platform_network_test"
+  "platform_network_test.pdb"
+  "platform_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

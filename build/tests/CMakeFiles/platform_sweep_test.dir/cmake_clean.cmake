@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/platform_sweep_test.dir/platform_sweep_test.cpp.o"
+  "CMakeFiles/platform_sweep_test.dir/platform_sweep_test.cpp.o.d"
+  "platform_sweep_test"
+  "platform_sweep_test.pdb"
+  "platform_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/platform_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preproc_codec_test.dir/preproc_codec_test.cpp.o"
+  "CMakeFiles/preproc_codec_test.dir/preproc_codec_test.cpp.o.d"
+  "preproc_codec_test"
+  "preproc_codec_test.pdb"
+  "preproc_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preproc_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preproc_pipeline_test.dir/preproc_pipeline_test.cpp.o"
+  "CMakeFiles/preproc_pipeline_test.dir/preproc_pipeline_test.cpp.o.d"
+  "preproc_pipeline_test"
+  "preproc_pipeline_test.pdb"
+  "preproc_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preproc_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preproc_sweep_test.dir/preproc_sweep_test.cpp.o"
+  "CMakeFiles/preproc_sweep_test.dir/preproc_sweep_test.cpp.o.d"
+  "preproc_sweep_test"
+  "preproc_sweep_test.pdb"
+  "preproc_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preproc_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

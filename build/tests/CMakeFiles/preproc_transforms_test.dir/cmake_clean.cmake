@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preproc_transforms_test.dir/preproc_transforms_test.cpp.o"
+  "CMakeFiles/preproc_transforms_test.dir/preproc_transforms_test.cpp.o.d"
+  "preproc_transforms_test"
+  "preproc_transforms_test.pdb"
+  "preproc_transforms_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preproc_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_batcher_test.dir/serving_batcher_test.cpp.o"
+  "CMakeFiles/serving_batcher_test.dir/serving_batcher_test.cpp.o.d"
+  "serving_batcher_test"
+  "serving_batcher_test.pdb"
+  "serving_batcher_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_batcher_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

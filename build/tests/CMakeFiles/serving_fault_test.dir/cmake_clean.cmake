@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_fault_test.dir/serving_fault_test.cpp.o"
+  "CMakeFiles/serving_fault_test.dir/serving_fault_test.cpp.o.d"
+  "serving_fault_test"
+  "serving_fault_test.pdb"
+  "serving_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

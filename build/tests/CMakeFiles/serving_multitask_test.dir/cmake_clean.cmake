@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_multitask_test.dir/serving_multitask_test.cpp.o"
+  "CMakeFiles/serving_multitask_test.dir/serving_multitask_test.cpp.o.d"
+  "serving_multitask_test"
+  "serving_multitask_test.pdb"
+  "serving_multitask_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_multitask_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_online_sim_test.dir/serving_online_sim_test.cpp.o"
+  "CMakeFiles/serving_online_sim_test.dir/serving_online_sim_test.cpp.o.d"
+  "serving_online_sim_test"
+  "serving_online_sim_test.pdb"
+  "serving_online_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_online_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

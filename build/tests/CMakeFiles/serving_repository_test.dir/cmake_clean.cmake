@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_repository_test.dir/serving_repository_test.cpp.o"
+  "CMakeFiles/serving_repository_test.dir/serving_repository_test.cpp.o.d"
+  "serving_repository_test"
+  "serving_repository_test.pdb"
+  "serving_repository_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_repository_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_server_test.dir/serving_server_test.cpp.o"
+  "CMakeFiles/serving_server_test.dir/serving_server_test.cpp.o.d"
+  "serving_server_test"
+  "serving_server_test.pdb"
+  "serving_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stitch_test.dir/stitch_test.cpp.o"
+  "CMakeFiles/stitch_test.dir/stitch_test.cpp.o.d"
+  "stitch_test"
+  "stitch_test.pdb"
+  "stitch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stitch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
