@@ -3,18 +3,50 @@
 /// Longer delays form bigger batches (better MFU) but tax every request
 /// with queueing latency; the discrete-event simulation quantifies the
 /// crossover for a mid-load online deployment of ViT_Small on the A100.
+///
+/// Observability flags: `--trace=<file>` records the simulated batch
+/// spans and queue-depth counters (simulated timestamps, one virtual
+/// track per instance) as Chrome trace JSON; `--metrics=<file>` dumps
+/// the deep-dive run's registry in Prometheus text format. The deep
+/// dive also samples queue depth over simulated time into a CSV and an
+/// ASCII plot.
 
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "bench/obs_util.hpp"
+#include "core/plot.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
 #include "serving/online_sim.hpp"
 
-int main() {
+namespace {
+
+/// "82% full / 18% timeout" — why batches left the queue.
+std::string flush_mix(const harvest::serving::FlushCounts& flushes) {
+  using harvest::serving::FlushReason;
+  const auto full = flushes[static_cast<std::size_t>(FlushReason::kFullBatch)];
+  const auto timeout = flushes[static_cast<std::size_t>(FlushReason::kTimeout)];
+  const double total = static_cast<double>(full + timeout);
+  if (total <= 0.0) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f%% full / %.0f%% timeout",
+                100.0 * static_cast<double>(full) / total,
+                100.0 * static_cast<double>(timeout) / total);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace harvest;
-  bench::banner("Ablation A", "Dynamic batcher max-delay sweep (DES online "
-                "serving, Poisson arrivals)");
+  const core::CliArgs args = bench::init(
+      argc, argv, "Ablation A",
+      "Dynamic batcher max-delay sweep (DES online serving, Poisson "
+      "arrivals)\nFlags: --trace=<file> --metrics=<file> --log-level=<lvl>");
 
   api::Report report("ablation_batcher_delay");
   const data::DatasetSpec dataset = *data::find_dataset("Plant Village");
@@ -24,7 +56,8 @@ int main() {
                 qps);
     core::TextTable table("");
     table.set_header({"max delay", "mean batch", "p50 latency", "p95 latency",
-                      "p99 latency", "throughput", "utilization"});
+                      "p99 latency", "throughput", "utilization",
+                      "flush mix"});
     for (double delay_ms : {0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0}) {
       serving::OnlineSimConfig config;
       config.arrival_rate_qps = qps;
@@ -41,7 +74,8 @@ int main() {
                      core::format_seconds(result.p99_latency_s),
                      core::format_rate(result.throughput_img_per_s),
                      core::format_fixed(result.instance_utilization * 100, 1) +
-                         "%"});
+                         "%",
+                     flush_mix(result.flushes)});
       core::Json row = core::Json::object();
       row["arrival_qps"] = core::Json(qps);
       row["max_delay_ms"] = core::Json(delay_ms);
@@ -50,6 +84,12 @@ int main() {
       row["p99_latency_s"] = core::Json(result.p99_latency_s);
       row["throughput_img_s"] = core::Json(result.throughput_img_per_s);
       row["utilization"] = core::Json(result.instance_utilization);
+      row["flush_full"] = core::Json(static_cast<std::int64_t>(
+          result.flushes[static_cast<std::size_t>(
+              serving::FlushReason::kFullBatch)]));
+      row["flush_timeout"] = core::Json(static_cast<std::int64_t>(
+          result.flushes[static_cast<std::size_t>(
+              serving::FlushReason::kTimeout)]));
       report.add_row(std::move(row));
     }
     std::fputs(table.render().c_str(), stdout);
@@ -60,6 +100,74 @@ int main() {
               "almost one-for-one (batches rarely fill); at heavy load "
               "moderate delays buy large batches and higher throughput with "
               "little added tail latency.\n");
+
+  // Observability deep dive on one operating point (heavy load, 5 ms
+  // delay): per-request timings feed a real MetricsRegistry, batch spans
+  // and queue-depth counters go to the trace recorder at simulated
+  // timestamps, and the periodic gauge samples become a CSV + plot.
+  {
+    const bench::ObsArtifacts obs = bench::obs_artifacts(args);
+    std::printf("\n--- Deep dive: 5000 qps, 5 ms max delay ---\n");
+    obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+    if (!obs.trace_path.empty()) recorder.enable();
+
+    serving::MetricsRegistry metrics;
+    serving::OnlineSimConfig config;
+    config.arrival_rate_qps = 5000.0;
+    config.duration_s = 20.0;
+    config.max_batch = 64;
+    config.max_queue_delay_s = 5e-3;
+    config.instances = 1;
+    config.metrics = &metrics;
+    config.trace = obs.trace_path.empty() ? nullptr : &recorder;
+    config.sample_interval_s = 0.05;
+    const serving::OnlineSimReport result = serving::simulate_online(
+        platform::a100(), "ViT_Small", dataset, config);
+
+    obs::TimeSeriesSampler sampler;
+    sampler.add_probe("queue_depth", [] { return 0.0; });
+    sampler.add_probe("busy_instances", [] { return 0.0; });
+    for (const serving::OnlineSimSample& s : result.samples) {
+      sampler.add_row(s.t_s, {s.queue_depth, s.busy_instances});
+    }
+    const std::string csv_path =
+        bench::report_dir() + "/ablation_batcher_delay_samples.csv";
+    if (sampler.write_csv(csv_path)) {
+      std::printf("[obs] %zu gauge samples → %s\n", sampler.row_count(),
+                  csv_path.c_str());
+    }
+    core::AsciiPlot plot(72, 14);
+    plot.set_title("Queue depth over simulated time (5000 qps, 5 ms delay)");
+    for (core::Series& series : sampler.to_series()) {
+      if (series.label == "queue_depth") plot.add_series(std::move(series));
+    }
+    std::fputs(plot.render().c_str(), stdout);
+
+    const serving::MetricsSnapshot snap = metrics.snapshot(config.duration_s);
+    std::fputs(snap.to_string().c_str(), stdout);
+    std::printf("\n");
+
+    if (!obs.metrics_path.empty()) {
+      obs::PrometheusWriter prom;
+      metrics.render_prometheus(prom, "ViT_Small_sim");
+      const std::string text = prom.str();
+      std::FILE* f = std::fopen(obs.metrics_path.c_str(), "w");
+      if (f != nullptr) {
+        std::fwrite(text.data(), 1, text.size(), f);
+        std::fclose(f);
+        std::printf("[obs] Prometheus exposition → %s\n",
+                    obs.metrics_path.c_str());
+      }
+    }
+    if (!obs.trace_path.empty()) {
+      if (recorder.write(obs.trace_path)) {
+        std::printf("[obs] Chrome trace (%zu events, simulated time) → %s\n",
+                    recorder.event_count(), obs.trace_path.c_str());
+      }
+      recorder.disable();
+    }
+  }
+
   bench::finish(report);
   return 0;
 }

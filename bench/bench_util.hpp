@@ -9,6 +9,7 @@
 #include <string>
 #include <sys/stat.h>
 
+#include "core/cli.hpp"
 #include "core/log.hpp"
 #include "harvest/report.hpp"
 
@@ -20,12 +21,27 @@ inline std::string report_dir() {
   return dir;
 }
 
-/// Standard bench prologue: quiet logging, banner.
+/// Standard bench prologue: quiet-by-default logging (overridable via
+/// the HARVEST_LOG_LEVEL environment variable), banner.
 inline void banner(const char* experiment, const char* description) {
-  core::set_log_level(core::LogLevel::kWarn);
+  core::set_log_level(core::resolve_log_level("", core::LogLevel::kWarn));
   std::printf("\n================================================================\n");
   std::printf("HARVEST reproduction — %s\n%s\n", experiment, description);
   std::printf("================================================================\n\n");
+}
+
+/// Argument-aware prologue: parses flags, applies the log level with
+/// `--log-level` > HARVEST_LOG_LEVEL > warn precedence, and prints the
+/// banner. Benches taking CLI flags should use this over banner().
+inline core::CliArgs init(int argc, const char* const* argv,
+                          const char* experiment, const char* description) {
+  core::CliArgs args(argc, argv);
+  core::set_log_level(core::resolve_log_level(args.get("log-level", ""),
+                                              core::LogLevel::kWarn));
+  std::printf("\n================================================================\n");
+  std::printf("HARVEST reproduction — %s\n%s\n", experiment, description);
+  std::printf("================================================================\n\n");
+  return args;
 }
 
 inline void finish(const api::Report& report) {

@@ -10,16 +10,20 @@
 #include <cstdio>
 
 #include "bench/bench_util.hpp"
+#include "bench/obs_util.hpp"
 #include "core/table.hpp"
 #include "core/units.hpp"
 #include "harvest/e2e.hpp"
 #include "platform/calibration.hpp"
 #include "nn/models.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace harvest;
-  bench::banner("Fig. 8", "End-to-end pipeline latency and throughput per "
-                "dataset, model and platform");
+  const core::CliArgs args =
+      bench::init(argc, argv, "Fig. 8",
+                  "End-to-end pipeline latency and throughput per "
+                  "dataset, model and platform\n"
+                  "Flags: --trace=<file> --metrics=<file> --log-level=<lvl>");
 
   api::Report report("fig8_end_to_end");
 
@@ -117,6 +121,19 @@ int main() {
       "small models stay preprocessing-bottlenecked (worse on V100); the "
       "Jetson inverts — memory contention shrinks usable batches, hitting "
       "ViT_Base hardest.\n");
+
+  // Optional live observability pass: drive real requests through the
+  // serving stack with the trace recorder armed and characterize where
+  // the time goes (request lifecycle spans + per-layer MFU).
+  const bench::ObsArtifacts obs = bench::obs_artifacts(args);
+  if (bench::obs_requested(obs)) {
+    std::printf("\n--- Live characterization pass (serving stack) ---\n");
+    if (!bench::run_live_characterization(obs)) {
+      std::printf("[obs] warning: some artifacts could not be written\n");
+    }
+    bench::print_live_mfu_table();
+  }
+
   bench::finish(report);
   return 0;
 }

@@ -1,8 +1,11 @@
 #include "core/log.hpp"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
+#include <string>
 
 namespace harvest::core {
 namespace {
@@ -26,6 +29,31 @@ const char* level_tag(LogLevel level) {
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+bool parse_log_level(std::string_view name, LogLevel& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") out = LogLevel::kDebug;
+  else if (lower == "info") out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") out = LogLevel::kWarn;
+  else if (lower == "error") out = LogLevel::kError;
+  else if (lower == "off" || lower == "none") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+LogLevel resolve_log_level(std::string_view cli_value, LogLevel fallback) {
+  LogLevel level = fallback;
+  if (const char* env = std::getenv("HARVEST_LOG_LEVEL")) {
+    parse_log_level(env, level);
+  }
+  parse_log_level(cli_value, level);
+  return level;
+}
 
 void log_message(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;

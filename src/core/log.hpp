@@ -16,6 +16,15 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
+/// Parse "debug" | "info" | "warn" | "error" | "off" (case-insensitive).
+/// Returns false (leaving `out` untouched) for anything else.
+bool parse_log_level(std::string_view name, LogLevel& out);
+
+/// Resolve a log level with CLI > environment > fallback precedence:
+/// a parseable `cli_value` wins, then the HARVEST_LOG_LEVEL environment
+/// variable, then `fallback`. Unparseable values fall through.
+LogLevel resolve_log_level(std::string_view cli_value, LogLevel fallback);
+
 /// Core emit function; prefer the HARVEST_LOG_* macros below.
 void log_message(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -36,8 +36,15 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
     task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+std::size_t ThreadPool::pending() const {
+  std::scoped_lock lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,

@@ -8,6 +8,7 @@
 /// Design follows Core Guidelines CP.*: tasks over threads, RAII join on
 /// destruction, condition-variable waits with predicates, no detach.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -30,6 +31,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Workers currently executing a task (live utilization gauge).
+  std::size_t active() const { return active_.load(std::memory_order_relaxed); }
+
+  /// Tasks queued but not yet picked up.
+  std::size_t pending() const;
 
   /// Enqueue a task; returns a future for its completion.
   template <typename Fn>
@@ -55,9 +62,10 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::atomic<std::size_t> active_{0};
 };
 
 }  // namespace harvest::core

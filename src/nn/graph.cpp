@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.hpp"
+
 namespace harvest::nn {
 
 using tensor::Shape;
@@ -15,7 +17,10 @@ Model::Model(std::string name, Shape input_shape_per_image,
 Tensor Model::forward(const Tensor& input) {
   HARVEST_CHECK_MSG(!layers_.empty(), "model has no layers");
   Tensor x = input.clone();
+  const std::int64_t batch = input.shape().rank() > 0 ? input.shape()[0] : 0;
   for (LayerPtr& layer : layers_) {
+    obs::ScopedSpan span(layer->name(), "nn");
+    span.set_batch(batch);
     x = layer->forward(x);
   }
   return x;

@@ -26,6 +26,7 @@ class Model {
 
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
   std::size_t layer_count() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_[i]; }
 
   /// Run a batch [N, ...input_shape] through all layers; returns logits
   /// [N, num_classes].

@@ -1,0 +1,148 @@
+#include "nn/mfu.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "core/time.hpp"
+
+namespace harvest::nn {
+
+double MfuReport::total_flops() const {
+  double acc = 0.0;
+  for (const LayerMfu& l : layers) acc += l.flops;
+  return acc;
+}
+
+double MfuReport::total_seconds() const {
+  double acc = 0.0;
+  for (const LayerMfu& l : layers) acc += l.seconds;
+  return acc;
+}
+
+double MfuReport::overall_mfu() const {
+  const double t = total_seconds();
+  if (t <= 0.0 || peak_gflops <= 0.0) return 0.0;
+  return total_flops() / t / 1e9 / peak_gflops;
+}
+
+namespace {
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+}  // namespace
+
+std::string MfuReport::to_table() const {
+  core::TextTable table("Per-layer MFU — " + model + " @ batch " +
+                        std::to_string(batch) + " (peak " +
+                        fixed(peak_gflops, 1) + " GFLOP/s)");
+  table.set_header({"layer", "kind", "GFLOPs", "flops%", "time (ms)", "time%",
+                    "GFLOP/s", "MFU%", "FLOP/byte"});
+  for (const LayerMfu& l : layers) {
+    table.add_row({l.layer, l.kind, fixed(l.flops / 1e9, 3),
+                   fixed(l.flops_share * 100, 1), fixed(l.seconds * 1e3, 3),
+                   fixed(l.time_share * 100, 1), fixed(l.achieved_gflops, 2),
+                   fixed(l.mfu * 100, 1), fixed(l.arithmetic_intensity, 1)});
+  }
+  table.add_row({"TOTAL", "", fixed(total_flops() / 1e9, 3), "100.0",
+                 fixed(total_seconds() * 1e3, 3), "100.0",
+                 fixed(total_seconds() > 0.0
+                           ? total_flops() / total_seconds() / 1e9
+                           : 0.0,
+                       2),
+                 fixed(overall_mfu() * 100, 1), ""});
+  return table.render();
+}
+
+core::Json MfuReport::to_json() const {
+  core::Json doc = core::Json::object();
+  doc["model"] = core::Json(model);
+  doc["batch"] = core::Json(batch);
+  doc["peak_gflops"] = core::Json(peak_gflops);
+  doc["total_flops"] = core::Json(total_flops());
+  doc["total_seconds"] = core::Json(total_seconds());
+  doc["overall_mfu"] = core::Json(overall_mfu());
+  core::Json rows = core::Json::array();
+  for (const LayerMfu& l : layers) {
+    core::Json row = core::Json::object();
+    row["layer"] = core::Json(l.layer);
+    row["kind"] = core::Json(l.kind);
+    row["flops"] = core::Json(l.flops);
+    row["bytes"] = core::Json(l.bytes);
+    row["seconds"] = core::Json(l.seconds);
+    row["gflops"] = core::Json(l.achieved_gflops);
+    row["mfu"] = core::Json(l.mfu);
+    rows.push_back(std::move(row));
+  }
+  doc["layers"] = std::move(rows);
+  return doc;
+}
+
+MfuReport profile_layer_mfu(Model& model, const tensor::Tensor& input,
+                            double peak_gflops, int warmup, int iters) {
+  HARVEST_CHECK_MSG(model.layer_count() > 0, "model has no layers");
+  HARVEST_CHECK_MSG(iters >= 1, "need at least one timed iteration");
+  const std::int64_t batch = input.shape()[0];
+  const std::size_t n = model.layer_count();
+
+  MfuReport report;
+  report.model = model.name();
+  report.batch = batch;
+  report.peak_gflops = peak_gflops;
+  report.layers.resize(n);
+
+  // Analytic side: each layer's ops at this batch size.
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<OpCost> ops;
+    model.layer(i).append_costs(batch, ops);
+    LayerMfu& row = report.layers[i];
+    row.layer = model.layer(i).name();
+    double best_macs = -1.0;
+    for (const OpCost& op : ops) {
+      row.macs += op.macs;
+      row.bytes += op.bytes_read + op.bytes_written;
+      if (op.macs > best_macs) {
+        best_macs = op.macs;
+        row.kind = op_kind_name(op.kind);
+      }
+    }
+    row.flops = 2.0 * row.macs;
+  }
+
+  // Measured side: layer-by-layer timed forwards.
+  std::vector<double> seconds(n, 0.0);
+  for (int pass = 0; pass < warmup + iters; ++pass) {
+    tensor::Tensor x = input.clone();
+    for (std::size_t i = 0; i < n; ++i) {
+      core::WallTimer timer;
+      x = model.layer(i).forward(x);
+      if (pass >= warmup) seconds[i] += timer.elapsed_seconds();
+    }
+  }
+
+  double total_flops = 0.0;
+  double total_seconds = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    LayerMfu& row = report.layers[i];
+    row.seconds = seconds[i] / iters;
+    if (row.seconds > 0.0) {
+      row.achieved_gflops = row.flops / row.seconds / 1e9;
+      if (peak_gflops > 0.0) row.mfu = row.achieved_gflops / peak_gflops;
+    }
+    if (row.bytes > 0.0) row.arithmetic_intensity = row.flops / row.bytes;
+    total_flops += row.flops;
+    total_seconds += row.seconds;
+  }
+  for (LayerMfu& row : report.layers) {
+    if (total_flops > 0.0) row.flops_share = row.flops / total_flops;
+    if (total_seconds > 0.0) row.time_share = row.seconds / total_seconds;
+  }
+  return report;
+}
+
+}  // namespace harvest::nn

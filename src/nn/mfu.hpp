@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file mfu.hpp
+/// Per-layer MFU (model FLOPs utilization) profiling: joins measured
+/// per-layer execution time on the host with the analytic FLOPs
+/// accounting of `flops.hpp`, yielding the roofline position of every
+/// layer — the §4 methodology of the paper ("how far below practical
+/// peak does each stage run, and why") applied to the real executor.
+///
+/// Convention: FLOPs = 2 × MACs (one multiply + one add); MFU is
+/// achieved FLOP/s divided by the supplied peak (e.g. the sustained
+/// host GEMM rate from `platform::measure_host_gemm_flops`).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/json.hpp"
+#include "nn/graph.hpp"
+
+namespace harvest::nn {
+
+/// One layer's joined measured/analytic row.
+struct LayerMfu {
+  std::string layer;
+  std::string kind;        ///< dominant op kind (by MACs) in the layer
+  double macs = 0.0;       ///< analytic MACs at the profiled batch
+  double flops = 0.0;      ///< 2 × macs
+  double bytes = 0.0;      ///< analytic operand traffic
+  double seconds = 0.0;    ///< mean measured time per forward
+  double achieved_gflops = 0.0;
+  double mfu = 0.0;                ///< achieved / peak, in [0, ...]
+  double arithmetic_intensity = 0.0;  ///< flops / bytes (roofline x-axis)
+  double flops_share = 0.0;        ///< fraction of model FLOPs
+  double time_share = 0.0;         ///< fraction of model time
+};
+
+struct MfuReport {
+  std::string model;
+  std::int64_t batch = 1;
+  double peak_gflops = 0.0;
+  std::vector<LayerMfu> layers;
+
+  double total_flops() const;
+  double total_seconds() const;
+  double overall_mfu() const;
+
+  /// Rendered table (one row per layer + a totals row).
+  std::string to_table() const;
+  core::Json to_json() const;
+};
+
+/// Time every layer of `model` over `iters` forwards of `input` (after
+/// `warmup` untimed passes) and join with the analytic per-layer costs.
+/// `peak_gflops` <= 0 disables the MFU column denominator (mfu = 0).
+MfuReport profile_layer_mfu(Model& model, const tensor::Tensor& input,
+                            double peak_gflops, int warmup = 1,
+                            int iters = 3);
+
+}  // namespace harvest::nn

@@ -1,0 +1,148 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "core/status.hpp"
+
+namespace harvest::obs {
+
+BucketHistogram::BucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  HARVEST_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                    "histogram bounds must be ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+std::vector<double> BucketHistogram::default_latency_buckets_s() {
+  return {1e-4,  2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2,
+          5e-2,  1e-1,   0.25, 0.5,  1.0,    2.5,  5.0,  10.0};
+}
+
+void BucketHistogram::observe(double x) {
+  if (std::isnan(x)) return;  // NaN mass would poison sum and quantiles
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++total_;
+  sum_ += x;
+}
+
+void BucketHistogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+  sum_ = 0.0;
+}
+
+std::uint64_t BucketHistogram::cumulative(std::size_t i) const {
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b <= i && b < counts_.size(); ++b) acc += counts_[b];
+  return acc;
+}
+
+double BucketHistogram::quantile_estimate(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total_);
+  std::uint64_t acc = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::uint64_t prev = acc;
+    acc += counts_[b];
+    if (static_cast<double>(acc) < rank) continue;
+    // +Inf bucket: no upper edge to interpolate towards.
+    if (b == bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+    const double lo = b == 0 ? 0.0 : bounds_[b - 1];
+    const double hi = bounds_[b];
+    if (counts_[b] == 0) return hi;
+    const double frac =
+        (rank - static_cast<double>(prev)) / static_cast<double>(counts_[b]);
+    return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+namespace {
+
+std::string format_value(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", value);
+  return buf;
+}
+
+std::string escape_label(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string render_labels(const PrometheusWriter::Labels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key + "=\"" + escape_label(value) + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+void PrometheusWriter::family_header(const std::string& name,
+                                     const std::string& help,
+                                     const char* type) {
+  if (std::find(seen_.begin(), seen_.end(), name) != seen_.end()) return;
+  seen_.push_back(name);
+  out_ += "# HELP " + name + " " + help + "\n";
+  out_ += "# TYPE " + name + " " + type + "\n";
+}
+
+void PrometheusWriter::sample(const std::string& name, const Labels& labels,
+                              double value) {
+  out_ += name + render_labels(labels) + " " + format_value(value) + "\n";
+}
+
+void PrometheusWriter::counter(const std::string& name,
+                               const std::string& help, double value,
+                               const Labels& labels) {
+  family_header(name, help, "counter");
+  sample(name, labels, value);
+}
+
+void PrometheusWriter::gauge(const std::string& name, const std::string& help,
+                             double value, const Labels& labels) {
+  family_header(name, help, "gauge");
+  sample(name, labels, value);
+}
+
+void PrometheusWriter::histogram(const std::string& name,
+                                 const std::string& help,
+                                 const BucketHistogram& hist,
+                                 const Labels& labels) {
+  family_header(name, help, "histogram");
+  for (std::size_t b = 0; b <= hist.bucket_count(); ++b) {
+    Labels with_le = labels;
+    const double bound = b < hist.bucket_count()
+                             ? hist.upper_bound(b)
+                             : std::numeric_limits<double>::infinity();
+    with_le.emplace_back("le", format_value(bound));
+    sample(name + "_bucket", with_le,
+           static_cast<double>(hist.cumulative(b)));
+  }
+  sample(name + "_sum", labels, hist.sum());
+  sample(name + "_count", labels, static_cast<double>(hist.total_count()));
+}
+
+}  // namespace harvest::obs

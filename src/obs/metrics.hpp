@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file metrics.hpp
+/// Metric primitives for the exposition pillar: explicit-bucket
+/// histograms (Prometheus semantics: cumulative `le` buckets plus sum
+/// and count) and a Prometheus text-format (version 0.0.4) writer.
+/// Serving's `MetricsRegistry` composes these under its own lock; the
+/// primitives themselves are not thread-safe.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace harvest::obs {
+
+/// Histogram over explicit upper bounds; one implicit +Inf bucket.
+/// Observations are counted in the first bucket whose bound >= x.
+class BucketHistogram {
+ public:
+  /// Default latency buckets (seconds), 0.1 ms .. 10 s.
+  BucketHistogram() : BucketHistogram(default_latency_buckets_s()) {}
+  explicit BucketHistogram(std::vector<double> upper_bounds);
+
+  static std::vector<double> default_latency_buckets_s();
+
+  void observe(double x);
+  void reset();
+
+  /// Finite buckets (excludes the implicit +Inf bucket).
+  std::size_t bucket_count() const { return bounds_.size(); }
+  double upper_bound(std::size_t i) const { return bounds_[i]; }
+  /// Non-cumulative count of bucket i; i == bucket_count() is +Inf.
+  std::uint64_t count_in_bucket(std::size_t i) const { return counts_[i]; }
+  /// Cumulative count of observations <= upper_bound(i) (Prometheus `le`).
+  std::uint64_t cumulative(std::size_t i) const;
+
+  std::uint64_t total_count() const { return total_; }
+  double sum() const { return sum_; }
+
+  /// Quantile estimate by linear interpolation inside the bucket that
+  /// crosses rank q·count (the Prometheus `histogram_quantile` rule).
+  double quantile_estimate(double q) const;
+
+ private:
+  std::vector<double> bounds_;   ///< ascending, finite
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 (+Inf last)
+  std::uint64_t total_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Prometheus text-format writer. Families are deduplicated: the
+/// `# HELP` / `# TYPE` header is emitted once per metric name even when
+/// several label-sets report into the same family.
+class PrometheusWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void counter(const std::string& name, const std::string& help, double value,
+               const Labels& labels = {});
+  void gauge(const std::string& name, const std::string& help, double value,
+             const Labels& labels = {});
+  /// Renders `<name>_bucket{le=...}`, `<name>_sum`, `<name>_count`.
+  void histogram(const std::string& name, const std::string& help,
+                 const BucketHistogram& hist, const Labels& labels = {});
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void family_header(const std::string& name, const std::string& help,
+                     const char* type);
+  void sample(const std::string& name, const Labels& labels, double value);
+
+  std::vector<std::string> seen_;  ///< families already headed
+  std::string out_;
+};
+
+}  // namespace harvest::obs

@@ -1,0 +1,118 @@
+#include "obs/sampler.hpp"
+
+#include <chrono>
+
+#include "core/status.hpp"
+
+namespace harvest::obs {
+
+void TimeSeriesSampler::add_probe(std::string name, Probe probe) {
+  HARVEST_CHECK_MSG(!running_, "add probes before start()");
+  names_.push_back(std::move(name));
+  probes_.push_back(std::move(probe));
+}
+
+void TimeSeriesSampler::start(double interval_s) {
+  HARVEST_CHECK_MSG(interval_s > 0.0, "sampling interval must be positive");
+  stop();
+  epoch_ = std::chrono::steady_clock::now();
+  {
+    std::scoped_lock lock(stop_mutex_);
+    stopping_ = false;
+  }
+  running_ = true;
+  thread_ = std::thread([this, interval_s] {
+    const auto interval = std::chrono::duration_cast<
+        std::chrono::steady_clock::duration>(
+        std::chrono::duration<double>(interval_s));
+    auto next = epoch_ + interval;
+    for (;;) {
+      {
+        std::unique_lock lock(stop_mutex_);
+        if (stop_cv_.wait_until(lock, next, [this] { return stopping_; })) {
+          return;
+        }
+      }
+      sample_at(std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count());
+      next += interval;
+    }
+  });
+}
+
+void TimeSeriesSampler::stop() {
+  {
+    std::scoped_lock lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_ = false;
+}
+
+void TimeSeriesSampler::sample_once() {
+  const double t =
+      epoch_.time_since_epoch().count() == 0
+          ? 0.0
+          : std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          epoch_)
+                .count();
+  sample_at(t);
+}
+
+void TimeSeriesSampler::sample_at(double t_s) {
+  Row row;
+  row.t_s = t_s;
+  row.values.reserve(probes_.size());
+  for (const Probe& probe : probes_) row.values.push_back(probe());
+  std::scoped_lock lock(mutex_);
+  rows_.push_back(std::move(row));
+}
+
+void TimeSeriesSampler::add_row(double t_s, std::vector<double> values) {
+  HARVEST_CHECK_MSG(values.size() == names_.size(),
+                    "row width must match probe count");
+  std::scoped_lock lock(mutex_);
+  rows_.push_back(Row{t_s, std::move(values)});
+}
+
+std::size_t TimeSeriesSampler::row_count() const {
+  std::scoped_lock lock(mutex_);
+  return rows_.size();
+}
+
+core::CsvWriter TimeSeriesSampler::to_csv() const {
+  core::CsvWriter csv;
+  std::vector<std::string> header = {"t_s"};
+  header.insert(header.end(), names_.begin(), names_.end());
+  csv.set_header(std::move(header));
+  std::scoped_lock lock(mutex_);
+  for (const Row& row : rows_) {
+    std::vector<std::string> fields;
+    fields.reserve(row.values.size() + 1);
+    fields.push_back(std::to_string(row.t_s));
+    for (double v : row.values) fields.push_back(std::to_string(v));
+    csv.add_row(std::move(fields));
+  }
+  return csv;
+}
+
+bool TimeSeriesSampler::write_csv(const std::string& path) const {
+  return to_csv().write_file(path);
+}
+
+std::vector<core::Series> TimeSeriesSampler::to_series() const {
+  std::vector<core::Series> out(names_.size());
+  for (std::size_t p = 0; p < names_.size(); ++p) out[p].label = names_[p];
+  std::scoped_lock lock(mutex_);
+  for (const Row& row : rows_) {
+    for (std::size_t p = 0; p < row.values.size() && p < out.size(); ++p) {
+      out[p].xs.push_back(row.t_s);
+      out[p].ys.push_back(row.values[p]);
+    }
+  }
+  return out;
+}
+
+}  // namespace harvest::obs

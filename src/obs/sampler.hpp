@@ -1,0 +1,78 @@
+#pragma once
+
+/// \file sampler.hpp
+/// Periodic time-series sampling of live gauges (queue depth, in-flight
+/// requests, pool utilization). A background thread polls registered
+/// probes at a fixed interval; rows dump to CSV (one column per probe)
+/// consumable by plotting tools and convertible to `core::Series` for
+/// the ASCII plots in the bench harness. The discrete-event simulation
+/// feeds rows directly via `add_row` with simulated timestamps.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/csv.hpp"
+#include "core/plot.hpp"
+
+namespace harvest::obs {
+
+class TimeSeriesSampler {
+ public:
+  using Probe = std::function<double()>;
+
+  TimeSeriesSampler() = default;
+  ~TimeSeriesSampler() { stop(); }
+
+  TimeSeriesSampler(const TimeSeriesSampler&) = delete;
+  TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
+
+  /// Register a named probe. Must be called before start().
+  void add_probe(std::string name, Probe probe);
+
+  /// Begin background sampling every `interval_s` seconds. Timestamps
+  /// are relative to this call.
+  void start(double interval_s);
+  /// Stop the sampling thread (idempotent; also run by the destructor).
+  void stop();
+
+  /// Poll all probes once, timestamped from the start() epoch (or 0
+  /// when never started).
+  void sample_once();
+  /// Append a row with an explicit timestamp (simulation path). The
+  /// value count must match the probe count.
+  void add_row(double t_s, std::vector<double> values);
+
+  std::size_t row_count() const;
+
+  /// CSV with header `t_s,<probe names...>`.
+  core::CsvWriter to_csv() const;
+  bool write_csv(const std::string& path) const;
+
+  /// One series per probe (x = time, y = value) for core::AsciiPlot.
+  std::vector<core::Series> to_series() const;
+
+ private:
+  struct Row {
+    double t_s;
+    std::vector<double> values;
+  };
+
+  void sample_at(double t_s);
+
+  std::vector<std::string> names_;
+  std::vector<Probe> probes_;
+  mutable std::mutex mutex_;
+  std::vector<Row> rows_;
+  std::thread thread_;
+  std::condition_variable stop_cv_;
+  std::mutex stop_mutex_;
+  bool stopping_ = false;
+  bool running_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+}  // namespace harvest::obs

@@ -1,0 +1,257 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace harvest::obs {
+
+namespace {
+
+std::int64_t steady_ns_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns_now()) {}
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+void TraceRecorder::enable(std::size_t events_per_thread) {
+  capacity_.store(std::max<std::size_t>(events_per_thread, 16),
+                  std::memory_order_relaxed);
+  clear();
+  epoch_ns_.store(steady_ns_now(), std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+double TraceRecorder::now_us() const {
+  return static_cast<double>(steady_ns_now() -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+double TraceRecorder::to_us(std::chrono::steady_clock::time_point t) const {
+  const std::int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          t.time_since_epoch())
+          .count();
+  return static_cast<double>(ns - epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-3;
+}
+
+TraceRecorder::ThreadBuffer& TraceRecorder::local_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> tls = [this] {
+    auto buffer = std::make_shared<ThreadBuffer>(
+        next_tid_.fetch_add(1, std::memory_order_relaxed),
+        capacity_.load(std::memory_order_relaxed));
+    std::scoped_lock lock(registry_mutex_);
+    buffers_.push_back(buffer);
+    return buffer;
+  }();
+  return *tls;
+}
+
+void TraceRecorder::set_thread_name(std::string name) {
+  ThreadBuffer& buffer = local_buffer();
+  std::scoped_lock lock(buffer.mutex);
+  buffer.name = std::move(name);
+}
+
+void TraceRecorder::set_virtual_thread_name(std::uint32_t tid,
+                                            std::string name) {
+  std::scoped_lock lock(registry_mutex_);
+  virtual_threads_[tid] = std::move(name);
+}
+
+void TraceRecorder::push(TraceEvent&& event) {
+  ThreadBuffer& buffer = local_buffer();
+  std::scoped_lock lock(buffer.mutex);
+  if (event.tid == 0) event.tid = buffer.tid;
+  if (buffer.events.size() < buffer.cap) {
+    buffer.events.push_back(std::move(event));
+    return;
+  }
+  // Ring: overwrite the oldest retained event.
+  buffer.events[buffer.next] = std::move(event);
+  buffer.next = (buffer.next + 1) % buffer.cap;
+  ++buffer.dropped;
+}
+
+void TraceRecorder::record(TraceEvent event) {
+  if (!enabled()) return;
+  push(std::move(event));
+}
+
+void TraceRecorder::record_complete(std::string_view name, const char* cat,
+                                    double start_us, double end_us,
+                                    std::uint64_t id, std::int64_t batch) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = cat;
+  event.ph = 'X';
+  event.ts_us = start_us;
+  event.dur_us = std::max(end_us - start_us, 0.0);
+  event.id = id;
+  event.batch = batch;
+  push(std::move(event));
+}
+
+void TraceRecorder::record_instant(std::string_view name, const char* cat) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = cat;
+  event.ph = 'i';
+  event.ts_us = now_us();
+  push(std::move(event));
+}
+
+void TraceRecorder::record_counter(std::string_view name, double value) {
+  record_counter_at(name, now_us(), value);
+}
+
+void TraceRecorder::record_counter_at(std::string_view name, double ts_us,
+                                      double value) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = "counter";
+  event.ph = 'C';
+  event.ts_us = ts_us;
+  event.value = value;
+  push(std::move(event));
+}
+
+std::size_t TraceRecorder::event_count() const {
+  std::scoped_lock registry_lock(registry_mutex_);
+  std::size_t count = 0;
+  for (const auto& buffer : buffers_) {
+    std::scoped_lock lock(buffer->mutex);
+    count += buffer->events.size();
+  }
+  return count;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::scoped_lock registry_lock(registry_mutex_);
+  std::uint64_t count = 0;
+  for (const auto& buffer : buffers_) {
+    std::scoped_lock lock(buffer->mutex);
+    count += buffer->dropped;
+  }
+  return count;
+}
+
+void TraceRecorder::clear() {
+  const std::size_t cap = capacity_.load(std::memory_order_relaxed);
+  std::scoped_lock registry_lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    std::scoped_lock lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->next = 0;
+    buffer->dropped = 0;
+    buffer->cap = cap;
+  }
+  virtual_threads_.clear();
+}
+
+core::Json TraceRecorder::to_json() const {
+  std::vector<TraceEvent> events;
+  std::vector<std::pair<std::uint32_t, std::string>> thread_names;
+  {
+    std::scoped_lock registry_lock(registry_mutex_);
+    for (const auto& buffer : buffers_) {
+      std::scoped_lock lock(buffer->mutex);
+      // Ring order: [next, end) holds the oldest events once wrapped.
+      for (std::size_t i = 0; i < buffer->events.size(); ++i) {
+        const std::size_t at = (buffer->next + i) % buffer->events.size();
+        events.push_back(buffer->events[at]);
+      }
+      if (!buffer->name.empty()) {
+        thread_names.emplace_back(buffer->tid, buffer->name);
+      }
+    }
+    for (const auto& [tid, name] : virtual_threads_) {
+      thread_names.emplace_back(tid, name);
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+
+  core::JsonArray out;
+  out.reserve(events.size() + thread_names.size());
+  for (const auto& [tid, name] : thread_names) {
+    core::JsonObject meta;
+    meta["name"] = core::Json("thread_name");
+    meta["ph"] = core::Json("M");
+    meta["pid"] = core::Json(1);
+    meta["tid"] = core::Json(static_cast<std::int64_t>(tid));
+    core::JsonObject args;
+    args["name"] = core::Json(name);
+    meta["args"] = core::Json(std::move(args));
+    out.push_back(core::Json(std::move(meta)));
+  }
+  for (const TraceEvent& event : events) {
+    core::JsonObject obj;
+    obj["name"] = core::Json(event.name);
+    obj["cat"] = core::Json(std::string(event.cat));
+    obj["ph"] = core::Json(std::string(1, event.ph));
+    obj["ts"] = core::Json(event.ts_us);
+    obj["pid"] = core::Json(1);
+    obj["tid"] = core::Json(static_cast<std::int64_t>(event.tid));
+    if (event.ph == 'X') obj["dur"] = core::Json(event.dur_us);
+    if (event.ph == 'i') obj["s"] = core::Json("t");
+    core::JsonObject args;
+    if (event.ph == 'C') args["value"] = core::Json(event.value);
+    if (event.id != 0) {
+      args["id"] = core::Json(static_cast<std::int64_t>(event.id));
+    }
+    if (event.batch >= 0) args["batch"] = core::Json(event.batch);
+    if (!args.empty()) obj["args"] = core::Json(std::move(args));
+    out.push_back(core::Json(std::move(obj)));
+  }
+
+  core::JsonObject doc;
+  doc["traceEvents"] = core::Json(std::move(out));
+  doc["displayTimeUnit"] = core::Json("ms");
+  return core::Json(std::move(doc));
+}
+
+bool TraceRecorder::write(const std::string& path) const {
+  const std::string text = to_json().dump(1);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  return wrote && closed;
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, const char* cat)
+    : armed_(TraceRecorder::instance().enabled()) {
+  if (!armed_) return;
+  name_ = std::string(name);
+  cat_ = cat;
+  start_us_ = TraceRecorder::instance().now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!armed_) return;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.record_complete(name_, cat_, start_us_, recorder.now_us(), id_,
+                           batch_);
+}
+
+}  // namespace harvest::obs

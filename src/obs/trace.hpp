@@ -1,0 +1,148 @@
+#pragma once
+
+/// \file trace.hpp
+/// Span tracing for the serving stack. A process-wide `TraceRecorder`
+/// collects events into per-thread ring buffers (no global lock on the
+/// hot path; each buffer's mutex is only ever contended by the exporter)
+/// and exports them as Chrome trace-event JSON, loadable in Perfetto or
+/// `chrome://tracing`. Recording is disabled by default: a disarmed
+/// `ScopedSpan` costs one relaxed atomic load.
+///
+/// Two time bases are supported: real wall-clock spans via `ScopedSpan`
+/// / `record_complete`, and manual timestamps (microseconds) for the
+/// discrete-event simulation, which records events at *simulated* times
+/// on virtual thread tracks.
+///
+/// Not to be confused with `serving/trace.hpp`, which models request
+/// *arrival* traces; this file records *execution* traces.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.hpp"
+
+namespace harvest::obs {
+
+/// One trace event in (a subset of) the Chrome trace-event format.
+/// `ph` phases used: 'X' complete span, 'i' instant, 'C' counter.
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";
+  char ph = 'X';
+  double ts_us = 0.0;   ///< start, microseconds since recorder epoch
+  double dur_us = 0.0;  ///< span duration ('X' only)
+  std::uint32_t tid = 0;  ///< 0 = assign from the recording thread
+  std::uint64_t id = 0;   ///< correlation id (request id); 0 = unset
+  std::int64_t batch = -1;  ///< batch-size argument; < 0 = unset
+  double value = 0.0;       ///< counter payload ('C' only)
+};
+
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// Process-wide recorder; all spans in the stack feed this instance.
+  static TraceRecorder& instance();
+
+  /// Start recording. Existing buffers are cleared and re-capped so a
+  /// bench can bound its memory (`events_per_thread` events per thread).
+  void enable(std::size_t events_per_thread = kDefaultCapacity);
+  void disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Label the calling thread's track in the exported trace.
+  void set_thread_name(std::string name);
+  /// Label a virtual track (used by the DES for its simulated instances;
+  /// pick ids well above real thread ids, e.g. >= 1000).
+  void set_virtual_thread_name(std::uint32_t tid, std::string name);
+
+  /// Microseconds since the recorder epoch (set at enable()).
+  double now_us() const;
+  double to_us(std::chrono::steady_clock::time_point t) const;
+
+  /// Record a fully-populated event (manual timestamps; DES path).
+  void record(TraceEvent event);
+  /// Record a completed span over [start_us, end_us].
+  void record_complete(std::string_view name, const char* cat,
+                       double start_us, double end_us, std::uint64_t id = 0,
+                       std::int64_t batch = -1);
+  void record_instant(std::string_view name, const char* cat);
+  void record_counter(std::string_view name, double value);
+  void record_counter_at(std::string_view name, double ts_us, double value);
+
+  /// Events currently retained across all thread buffers.
+  std::size_t event_count() const;
+  /// Events overwritten because a ring filled up.
+  std::uint64_t dropped() const;
+  void clear();
+
+  /// Export: `{"traceEvents": [...], "displayTimeUnit": "ms"}` with
+  /// events in timestamp order and thread-name metadata records.
+  core::Json to_json() const;
+  /// Write the JSON export to a file; false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    ThreadBuffer(std::uint32_t thread_id, std::size_t capacity)
+        : tid(thread_id), cap(capacity) {}
+    std::mutex mutex;
+    std::uint32_t tid;
+    std::string name;
+    std::size_t cap;
+    std::size_t next = 0;  ///< ring write position once full
+    std::uint64_t dropped = 0;
+    std::vector<TraceEvent> events;
+  };
+
+  TraceRecorder();
+  ThreadBuffer& local_buffer();
+  void push(TraceEvent&& event);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::int64_t> epoch_ns_;
+  std::atomic<std::size_t> capacity_{kDefaultCapacity};
+  std::atomic<std::uint32_t> next_tid_{1};
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  std::map<std::uint32_t, std::string> virtual_threads_;
+};
+
+/// RAII span: captures the start time on construction and records a
+/// complete event on destruction. Disarmed (near-free) when the recorder
+/// is disabled at construction time.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, const char* cat);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void set_id(std::uint64_t id) { id_ = id; }
+  void set_batch(std::int64_t batch) { batch_ = batch; }
+
+ private:
+  bool armed_;
+  std::string name_;
+  const char* cat_ = "";
+  double start_us_ = 0.0;
+  std::uint64_t id_ = 0;
+  std::int64_t batch_ = -1;
+};
+
+}  // namespace harvest::obs
+
+#define HARVEST_OBS_CONCAT2(a, b) a##b
+#define HARVEST_OBS_CONCAT(a, b) HARVEST_OBS_CONCAT2(a, b)
+/// Scoped trace span: HARVEST_TRACE_SPAN("preprocess", "serving");
+#define HARVEST_TRACE_SPAN(name, cat)                       \
+  ::harvest::obs::ScopedSpan HARVEST_OBS_CONCAT(            \
+      harvest_trace_span_, __LINE__)(name, cat)

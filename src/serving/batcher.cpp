@@ -1,6 +1,26 @@
 #include "serving/batcher.hpp"
 
+#include "obs/trace.hpp"
+
 namespace harvest::serving {
+
+const char* flush_reason_name(FlushReason reason) {
+  switch (reason) {
+    case FlushReason::kFullBatch: return "full_batch";
+    case FlushReason::kPreferredSize: return "preferred_size";
+    case FlushReason::kTimeout: return "timeout";
+    case FlushReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+void DynamicBatcher::trace_queue_depth() const {
+  if (trace_label_.empty()) return;
+  obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  if (!recorder.enabled()) return;
+  recorder.record_counter(trace_label_ + "/queue_depth",
+                          static_cast<double>(queue_.size()));
+}
 
 core::Result<std::future<InferenceResponse>> DynamicBatcher::submit(
     InferenceRequest request) {
@@ -16,11 +36,16 @@ core::Result<std::future<InferenceResponse>> DynamicBatcher::submit(
   pending.enqueued_at = std::chrono::steady_clock::now();
   std::future<InferenceResponse> future = pending.promise.get_future();
   queue_.push_back(std::move(pending));
+  trace_queue_depth();
   cv_.notify_one();
   return future;
 }
 
 std::vector<PendingRequest> DynamicBatcher::wait_batch() {
+  return wait_batch_tagged().requests;
+}
+
+BatchedRequests DynamicBatcher::wait_batch_tagged() {
   std::unique_lock lock(mutex_);
   const auto delay = std::chrono::duration_cast<std::chrono::steady_clock::duration>(
       std::chrono::duration<double>(config_.max_queue_delay_s));
@@ -43,12 +68,18 @@ std::vector<PendingRequest> DynamicBatcher::wait_batch() {
         std::size_t take = std::min(
             queue_.size(), static_cast<std::size_t>(config_.max_batch));
         if (!full && !aged && !shutdown_) take = preferred;
-        std::vector<PendingRequest> batch;
-        batch.reserve(take);
+        BatchedRequests batch;
+        batch.reason = full      ? FlushReason::kFullBatch
+                       : aged    ? FlushReason::kTimeout
+                       : shutdown_ ? FlushReason::kShutdown
+                                 : FlushReason::kPreferredSize;
+        ++flushes_[static_cast<std::size_t>(batch.reason)];
+        batch.requests.reserve(take);
         for (std::size_t i = 0; i < take; ++i) {
-          batch.push_back(std::move(queue_.front()));
+          batch.requests.push_back(std::move(queue_.front()));
           queue_.pop_front();
         }
+        trace_queue_depth();
         cv_.notify_all();  // submitters waiting on back-pressure
         return batch;
       }
@@ -70,6 +101,16 @@ void DynamicBatcher::shutdown() {
 std::size_t DynamicBatcher::queued() const {
   std::scoped_lock lock(mutex_);
   return queue_.size();
+}
+
+FlushCounts DynamicBatcher::flush_counts() const {
+  std::scoped_lock lock(mutex_);
+  return flushes_;
+}
+
+void DynamicBatcher::set_trace_label(std::string label) {
+  std::scoped_lock lock(mutex_);
+  trace_label_ = std::move(label);
 }
 
 }  // namespace harvest::serving

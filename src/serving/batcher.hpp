@@ -7,11 +7,13 @@
 /// `wait_batch()`; the frontend never blocks in `submit()` unless the
 /// queue is at capacity (back-pressure).
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "serving/request.hpp"
@@ -24,6 +26,28 @@ struct PendingRequest {
   std::promise<InferenceResponse> promise;
   std::chrono::steady_clock::time_point enqueued_at;
 };
+
+/// Why a batch left the queue — the batching dynamics the delay-sweep
+/// ablation characterizes (big batches = full flushes; latency-bound
+/// regimes flush on timeout).
+enum class FlushReason : int {
+  kFullBatch = 0,      ///< queue reached max_batch
+  kPreferredSize = 1,  ///< a preferred batch size was hit early
+  kTimeout = 2,        ///< head request aged past max_queue_delay
+  kShutdown = 3,       ///< drain on shutdown
+};
+inline constexpr std::size_t kFlushReasonCount = 4;
+
+const char* flush_reason_name(FlushReason reason);
+
+/// A dispatched batch tagged with the reason it flushed.
+struct BatchedRequests {
+  std::vector<PendingRequest> requests;
+  FlushReason reason = FlushReason::kTimeout;
+};
+
+/// Per-reason dispatch counts (only batches that delivered requests).
+using FlushCounts = std::array<std::uint64_t, kFlushReasonCount>;
 
 struct BatcherConfig {
   std::int64_t max_batch = 8;
@@ -50,17 +74,32 @@ class DynamicBatcher {
   /// past the delay), then pop it. Empty vector = shutdown.
   std::vector<PendingRequest> wait_batch();
 
+  /// As wait_batch(), tagged with the flush reason. An empty request
+  /// vector still means shutdown.
+  BatchedRequests wait_batch_tagged();
+
   /// Wake all waiters and reject further submissions.
   void shutdown();
 
   std::size_t queued() const;
 
+  /// Cumulative per-reason flush counts since construction.
+  FlushCounts flush_counts() const;
+
+  /// Label used for this queue's trace counter track (e.g. the model
+  /// name); empty disables queue-depth counter events.
+  void set_trace_label(std::string label);
+
  private:
+  void trace_queue_depth() const;  ///< callers hold mutex_
+
   BatcherConfig config_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<PendingRequest> queue_;
   bool shutdown_ = false;
+  FlushCounts flushes_{};
+  std::string trace_label_;
 };
 
 }  // namespace harvest::serving

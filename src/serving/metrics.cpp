@@ -1,5 +1,6 @@
 #include "serving/metrics.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 #include "core/units.hpp"
@@ -7,12 +8,13 @@
 namespace harvest::serving {
 
 std::string MetricsSnapshot::to_string() const {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
       "completed=%llu failed=%llu deadline_misses=%llu tput=%s "
       "latency mean=%s p50=%s p95=%s p99=%s | queue=%s preproc=%s infer=%s "
-      "| mean batch=%.1f",
+      "| mean batch=%.1f | flushes full=%llu pref=%llu timeout=%llu "
+      "shutdown=%llu",
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(deadline_misses),
@@ -23,7 +25,15 @@ std::string MetricsSnapshot::to_string() const {
       core::format_seconds(p99_latency_s).c_str(),
       core::format_seconds(mean_queue_s).c_str(),
       core::format_seconds(mean_preprocess_s).c_str(),
-      core::format_seconds(mean_inference_s).c_str(), batch_sizes.mean());
+      core::format_seconds(mean_inference_s).c_str(), batch_sizes.mean(),
+      static_cast<unsigned long long>(
+          flushes[static_cast<std::size_t>(FlushReason::kFullBatch)]),
+      static_cast<unsigned long long>(
+          flushes[static_cast<std::size_t>(FlushReason::kPreferredSize)]),
+      static_cast<unsigned long long>(
+          flushes[static_cast<std::size_t>(FlushReason::kTimeout)]),
+      static_cast<unsigned long long>(
+          flushes[static_cast<std::size_t>(FlushReason::kShutdown)]));
   return buf;
 }
 
@@ -40,9 +50,34 @@ void MetricsRegistry::record(const RequestTiming& timing, bool ok,
   queue_.add(timing.queue_s);
   preprocess_.add(timing.preprocess_s);
   inference_.add(timing.inference_s);
+  latency_hist_.observe(timing.total_s);
+  queue_hist_.observe(timing.queue_s);
+  preprocess_hist_.observe(timing.preprocess_s);
+  inference_hist_.observe(timing.inference_s);
   if (timing.batch_size > 0) {
     batch_sizes_.add(static_cast<double>(timing.batch_size));
   }
+}
+
+void MetricsRegistry::record_flush(FlushReason reason,
+                                   std::int64_t batch_size) {
+  std::scoped_lock lock(mutex_);
+  ++flushes_[static_cast<std::size_t>(reason)];
+  (void)batch_size;  // batch distribution already tracked per request
+}
+
+void MetricsRegistry::inflight_add(std::int64_t delta) {
+  inflight_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+std::int64_t MetricsRegistry::inflight() const {
+  return inflight_.load(std::memory_order_relaxed);
+}
+
+void MetricsRegistry::set_queue_depth_probe(
+    std::function<std::size_t()> probe) {
+  std::scoped_lock lock(mutex_);
+  queue_depth_probe_ = std::move(probe);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
@@ -51,9 +86,13 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   snap.completed = completed_;
   snap.failed = failed_;
   snap.deadline_misses = deadline_misses_;
-  snap.wall_seconds = wall_seconds;
+  // Guard the observation window: a zero, negative, or non-finite
+  // window must not turn throughput into inf/NaN.
+  const double window =
+      std::isfinite(wall_seconds) && wall_seconds > 0.0 ? wall_seconds : 0.0;
+  snap.wall_seconds = window;
   snap.throughput_img_per_s =
-      wall_seconds > 0.0 ? static_cast<double>(completed_) / wall_seconds : 0.0;
+      window > 0.0 ? static_cast<double>(completed_) / window : 0.0;
   snap.batch_sizes = batch_sizes_;
   snap.mean_latency_s = total_latency_.mean();
   snap.p50_latency_s = total_latency_.quantile(0.5);
@@ -62,7 +101,51 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   snap.mean_queue_s = queue_.mean();
   snap.mean_preprocess_s = preprocess_.mean();
   snap.mean_inference_s = inference_.mean();
+  snap.flushes = flushes_;
   return snap;
+}
+
+void MetricsRegistry::render_prometheus(obs::PrometheusWriter& out,
+                                        const std::string& model) const {
+  std::scoped_lock lock(mutex_);
+  const obs::PrometheusWriter::Labels labels = {{"model", model}};
+  out.counter("harvest_requests_completed_total",
+              "Requests answered successfully.",
+              static_cast<double>(completed_), labels);
+  out.counter("harvest_requests_failed_total",
+              "Requests answered with a non-OK status.",
+              static_cast<double>(failed_), labels);
+  out.counter("harvest_deadline_misses_total",
+              "Requests that missed their deadline.",
+              static_cast<double>(deadline_misses_), labels);
+  out.histogram("harvest_request_latency_seconds",
+                "End-to-end request latency (submit to response).",
+                latency_hist_, labels);
+  out.histogram("harvest_queue_time_seconds",
+                "Time spent waiting in the dynamic batcher queue.",
+                queue_hist_, labels);
+  out.histogram("harvest_preprocess_time_seconds",
+                "Batch preprocessing time attributed to the request.",
+                preprocess_hist_, labels);
+  out.histogram("harvest_inference_time_seconds",
+                "Engine inference time attributed to the request.",
+                inference_hist_, labels);
+  for (std::size_t r = 0; r < kFlushReasonCount; ++r) {
+    obs::PrometheusWriter::Labels flush_labels = labels;
+    flush_labels.emplace_back(
+        "reason", flush_reason_name(static_cast<FlushReason>(r)));
+    out.counter("harvest_batch_flush_total",
+                "Batches dispatched, by flush reason.",
+                static_cast<double>(flushes_[r]), flush_labels);
+  }
+  out.gauge("harvest_inflight_requests",
+            "Requests currently in preprocessing or inference.",
+            static_cast<double>(inflight_.load(std::memory_order_relaxed)),
+            labels);
+  if (queue_depth_probe_) {
+    out.gauge("harvest_queue_depth", "Requests waiting in the batcher queue.",
+              static_cast<double>(queue_depth_probe_()), labels);
+  }
 }
 
 void MetricsRegistry::reset() {
@@ -75,6 +158,12 @@ void MetricsRegistry::reset() {
   preprocess_ = core::RunningStats();
   inference_ = core::RunningStats();
   batch_sizes_ = core::RunningStats();
+  latency_hist_.reset();
+  queue_hist_.reset();
+  preprocess_hist_.reset();
+  inference_hist_.reset();
+  flushes_ = {};
+  inflight_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace harvest::serving

@@ -1,17 +1,24 @@
 #pragma once
 
 /// \file metrics.hpp
-/// Thread-safe serving metrics: request counters and per-stage latency
-/// distributions, with a renderable snapshot. The same registry is fed
-/// by the real threaded server and the discrete-event simulation, so
-/// reports are comparable across the two execution modes.
+/// Thread-safe serving metrics: request counters, per-stage latency
+/// distributions (running stats *and* explicit-bucket histograms),
+/// batcher flush-reason counters, and live gauges, with a renderable
+/// snapshot plus a Prometheus text-format exposition. The same registry
+/// is fed by the real threaded server and the discrete-event
+/// simulation, so reports are comparable across the two execution
+/// modes.
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
 
 #include "core/stats.hpp"
+#include "obs/metrics.hpp"
+#include "serving/batcher.hpp"
 #include "serving/request.hpp"
 
 namespace harvest::serving {
@@ -20,7 +27,7 @@ struct MetricsSnapshot {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t deadline_misses = 0;
-  double wall_seconds = 0.0;          ///< observation window
+  double wall_seconds = 0.0;          ///< observation window (clamped >= 0)
   double throughput_img_per_s = 0.0;
   core::RunningStats batch_sizes;
   // Latency quantiles (seconds).
@@ -31,6 +38,8 @@ struct MetricsSnapshot {
   double mean_queue_s = 0.0;
   double mean_preprocess_s = 0.0;
   double mean_inference_s = 0.0;
+  /// Batch flush counts by reason, indexed by FlushReason.
+  FlushCounts flushes{};
 
   std::string to_string() const;
 };
@@ -40,8 +49,26 @@ class MetricsRegistry {
   /// Record one finished request.
   void record(const RequestTiming& timing, bool ok, bool deadline_missed);
 
-  /// Produce a snapshot over the given observation window.
+  /// Record one dispatched batch and why the batcher flushed it.
+  void record_flush(FlushReason reason, std::int64_t batch_size);
+
+  /// Live gauge: requests currently being preprocessed/inferred.
+  void inflight_add(std::int64_t delta);
+  std::int64_t inflight() const;
+
+  /// Live gauge: depth of the deployment's request queue, sampled at
+  /// exposition time (set once at deployment registration).
+  void set_queue_depth_probe(std::function<std::size_t()> probe);
+
+  /// Produce a snapshot over the given observation window. Non-finite
+  /// or negative windows are clamped to zero (throughput reads 0
+  /// instead of inf/NaN).
   MetricsSnapshot snapshot(double wall_seconds) const;
+
+  /// Append this registry's metric families to a Prometheus text
+  /// exposition, labelled with `model`.
+  void render_prometheus(obs::PrometheusWriter& out,
+                         const std::string& model) const;
 
   void reset();
 
@@ -55,6 +82,13 @@ class MetricsRegistry {
   core::RunningStats preprocess_;
   core::RunningStats inference_;
   core::RunningStats batch_sizes_;
+  obs::BucketHistogram latency_hist_;
+  obs::BucketHistogram queue_hist_;
+  obs::BucketHistogram preprocess_hist_;
+  obs::BucketHistogram inference_hist_;
+  FlushCounts flushes_{};
+  std::function<std::size_t()> queue_depth_probe_;
+  std::atomic<std::int64_t> inflight_{0};
 };
 
 }  // namespace harvest::serving

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/time.hpp"
+#include "obs/trace.hpp"
 
 namespace harvest::serving {
 
@@ -44,16 +45,45 @@ ModelInstance::~ModelInstance() {
 }
 
 void ModelInstance::run_loop() {
+  obs::TraceRecorder::instance().set_thread_name(name_);
   for (;;) {
-    std::vector<PendingRequest> batch = batcher_->wait_batch();
-    if (batch.empty()) return;  // shutdown
-    execute_batch(std::move(batch));
+    BatchedRequests batch = batcher_->wait_batch_tagged();
+    if (batch.requests.empty()) return;  // shutdown
+    metrics_->record_flush(batch.reason,
+                           static_cast<std::int64_t>(batch.requests.size()));
+    execute_batch(std::move(batch.requests));
     batches_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
+namespace {
+
+/// RAII in-flight gauge: counts the batch from drop-filtering to the
+/// last response promise being fulfilled.
+struct InflightGuard {
+  MetricsRegistry* metrics;
+  std::int64_t n;
+  InflightGuard(MetricsRegistry* m, std::int64_t count) : metrics(m), n(count) {
+    metrics->inflight_add(n);
+  }
+  ~InflightGuard() { metrics->inflight_add(-n); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+};
+
+}  // namespace
+
 void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   const auto started = std::chrono::steady_clock::now();
+  obs::TraceRecorder& tracer = obs::TraceRecorder::instance();
+  if (tracer.enabled()) {
+    // One queue span per request: enqueue to batch formation.
+    for (const PendingRequest& pending : batch) {
+      tracer.record_complete("queue", "serving", tracer.to_us(pending.enqueued_at),
+                             tracer.to_us(started), pending.request.id,
+                             static_cast<std::int64_t>(batch.size()));
+    }
+  }
 
   // Real-time hygiene: a request whose deadline already expired while
   // queueing is worthless — answer it immediately instead of spending
@@ -72,11 +102,13 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
     response.timing.queue_s = waited;
     response.timing.total_s = waited;
     metrics_->record(response.timing, /*ok=*/false, /*deadline_missed=*/true);
+    tracer.record_instant("dropped_deadline", "serving");
     pending.promise.set_value(std::move(response));
     return true;
   });
   if (batch.empty()) return;
   const std::int64_t n = static_cast<std::int64_t>(batch.size());
+  InflightGuard inflight(metrics_, n);
 
   auto fail_all = [&](const core::Status& status) {
     for (PendingRequest& pending : batch) {
@@ -97,6 +129,8 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   }
   core::Result<tensor::Tensor> preprocessed =
       [&]() -> core::Result<tensor::Tensor> {
+    obs::ScopedSpan span("preprocess", "serving");
+    span.set_batch(n);
     if (pool_ != nullptr) {
       preproc::DaliPipeline pipeline(*pool_);
       return pipeline.run(inputs, preproc_spec_);
@@ -111,8 +145,11 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   const double preproc_s = preproc_timer.elapsed_seconds();
 
   // Stage 2: inference.
-  core::Result<BackendResult> inferred =
-      backend_->infer(preprocessed.value());
+  core::Result<BackendResult> inferred = [&]() -> core::Result<BackendResult> {
+    obs::ScopedSpan span("inference", "serving");
+    span.set_batch(n);
+    return backend_->infer(preprocessed.value());
+  }();
   if (!inferred.is_ok()) {
     fail_all(inferred.status());
     return;
@@ -120,6 +157,8 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   const BackendResult& result = inferred.value();
 
   // Stage 3: respond.
+  obs::ScopedSpan respond_span("respond", "serving");
+  respond_span.set_batch(n);
   const auto finished = std::chrono::steady_clock::now();
   for (std::int64_t i = 0; i < n; ++i) {
     PendingRequest& pending = batch[static_cast<std::size_t>(i)];
@@ -140,6 +179,9 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
           "completed after the request deadline");
     }
     metrics_->record(response.timing, response.status.is_ok(), missed);
+    tracer.record_complete("request", "serving",
+                           tracer.to_us(pending.enqueued_at),
+                           tracer.to_us(finished), pending.request.id, n);
     pending.promise.set_value(std::move(response));
   }
 }

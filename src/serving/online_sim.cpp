@@ -24,7 +24,13 @@ struct SimState {
   core::Percentiles latencies;
   core::RunningStats batch_sizes;
   std::int64_t completed = 0;
+  FlushCounts flushes{};
+  std::vector<OnlineSimSample> samples;
 };
+
+/// Virtual trace tids for simulated instances, clear of real thread
+/// ids assigned by the recorder.
+constexpr std::uint32_t kSimTidBase = 1000;
 
 }  // namespace
 
@@ -58,15 +64,37 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
   state.instance_busy.assign(static_cast<std::size_t>(config.instances), 0);
   core::Rng rng(config.seed);
 
-  /// Service time of one batch on one instance.
+  /// Stage times of one batch on one instance.
+  struct StageTimes {
+    double preprocess = 0.0;
+    double inference = 0.0;
+    double service = 0.0;
+  };
   auto service_time = [&](std::int64_t batch) {
-    const double infer = engine.estimate(batch).latency_s;
-    const double pre =
+    StageTimes t;
+    t.inference = engine.estimate(batch).latency_s;
+    t.preprocess =
         preproc::estimate_preproc(device, stats, config.preproc_method, batch,
                                   spec->input_size)
             .latency_s;
-    return config.overlap_preproc ? std::max(infer, pre) : infer + pre;
+    t.service = config.overlap_preproc ? std::max(t.inference, t.preprocess)
+                                       : t.inference + t.preprocess;
+    return t;
   };
+
+  auto trace_queue_depth = [&] {
+    if (config.trace == nullptr) return;
+    config.trace->record_counter_at(model + "/queue_depth",
+                                    state.simulator.now() * 1e6,
+                                    static_cast<double>(state.queue.size()));
+  };
+  if (config.trace != nullptr) {
+    for (int i = 0; i < config.instances; ++i) {
+      config.trace->set_virtual_thread_name(
+          kSimTidBase + static_cast<std::uint32_t>(i),
+          model + " sim-instance#" + std::to_string(i));
+    }
+  }
 
   // Forward declaration dance: dispatch is invoked from arrivals,
   // timeouts and completions.
@@ -95,21 +123,67 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
                                             static_cast<std::ptrdiff_t>(take));
       state.queue.erase(state.queue.begin(),
                         state.queue.begin() + static_cast<std::ptrdiff_t>(take));
+      trace_queue_depth();
+      const FlushReason reason =
+          full ? FlushReason::kFullBatch : FlushReason::kTimeout;
+      ++state.flushes[static_cast<std::size_t>(reason)];
+      if (config.metrics != nullptr) {
+        config.metrics->record_flush(reason, static_cast<std::int64_t>(take));
+      }
       state.instance_busy[idle] = 1;
-      const double service = service_time(static_cast<std::int64_t>(take));
-      state.busy_time += service;
+      const double dispatched_at = state.simulator.now();
+      const StageTimes stages = service_time(static_cast<std::int64_t>(take));
+      state.busy_time += stages.service;
       state.batch_sizes.add(static_cast<double>(take));
-      const double done_at = state.simulator.now() + service;
-      state.simulator.schedule_at(done_at, [&, idle, arrival_times, done_at] {
+      const double done_at = dispatched_at + stages.service;
+      if (config.trace != nullptr) {
+        obs::TraceEvent event;
+        event.name = "batch";
+        event.cat = "sim";
+        event.ph = 'X';
+        event.ts_us = dispatched_at * 1e6;
+        event.dur_us = stages.service * 1e6;
+        event.tid = kSimTidBase + static_cast<std::uint32_t>(idle);
+        event.batch = static_cast<std::int64_t>(take);
+        config.trace->record(std::move(event));
+      }
+      state.simulator.schedule_at(
+          done_at, [&, idle, arrival_times, dispatched_at, stages, done_at,
+                    take] {
         for (double arrived : arrival_times) {
           state.latencies.add(done_at - arrived);
           ++state.completed;
+          if (config.metrics != nullptr) {
+            RequestTiming timing;
+            timing.queue_s = dispatched_at - arrived;
+            timing.preprocess_s = stages.preprocess;
+            timing.inference_s = stages.inference;
+            timing.total_s = done_at - arrived;
+            timing.batch_size = static_cast<std::int64_t>(take);
+            config.metrics->record(timing, /*ok=*/true,
+                                   /*deadline_missed=*/false);
+          }
         }
         state.instance_busy[idle] = 0;
         try_dispatch();
       });
     }
   };
+
+  // Periodic gauge sampling (simulated-time sampler).
+  std::function<void()> sample_gauges = [&] {
+    if (state.simulator.now() > config.duration_s) return;
+    OnlineSimSample sample;
+    sample.t_s = state.simulator.now();
+    sample.queue_depth = static_cast<double>(state.queue.size());
+    for (char busy : state.instance_busy) {
+      sample.busy_instances += busy != 0 ? 1.0 : 0.0;
+    }
+    state.samples.push_back(sample);
+    state.simulator.schedule_in(config.sample_interval_s,
+                                [&] { sample_gauges(); });
+  };
+  if (config.sample_interval_s > 0.0) sample_gauges();
 
   // Arrival process: each arrival enqueues itself, schedules its aging
   // timeout, and books the next arrival from the (possibly time-varying)
@@ -121,6 +195,7 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
       ++state.rejected;
     } else {
       state.queue.push_back(state.simulator.now());
+      trace_queue_depth();
       state.simulator.schedule_in(config.max_queue_delay_s,
                                   [&] { try_dispatch(); });
       try_dispatch();
@@ -151,6 +226,8 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
   report.p95_latency_s = state.latencies.p95();
   report.p99_latency_s = state.latencies.p99();
   report.mean_batch_size = state.batch_sizes.mean();
+  report.flushes = state.flushes;
+  report.samples = std::move(state.samples);
   report.instance_utilization =
       state.busy_time /
       (static_cast<double>(config.instances) * std::max(horizon, 1e-9));

@@ -8,11 +8,14 @@
 /// tool behind the batcher-delay and multi-instance ablation benches.
 
 #include <cstdint>
+#include <vector>
 
 #include "data/datasets.hpp"
 #include "nn/models.hpp"
+#include "obs/trace.hpp"
 #include "platform/device.hpp"
 #include "preproc/pipeline.hpp"
+#include "serving/metrics.hpp"
 #include "serving/trace.hpp"
 
 namespace harvest::serving {
@@ -29,6 +32,25 @@ struct OnlineSimConfig {
   /// their sum (§4.3).
   bool overlap_preproc = true;
   std::uint64_t seed = 7;
+  /// Optional sinks (observability wiring; both may be null):
+  /// per-request timings and flush reasons are recorded here with
+  /// simulated stage breakdowns, comparable to the real server's
+  /// registry.
+  MetricsRegistry* metrics = nullptr;
+  /// Batch spans and queue-depth counters are recorded here at
+  /// *simulated* timestamps, on virtual thread tracks (one per
+  /// instance).
+  obs::TraceRecorder* trace = nullptr;
+  /// > 0 samples queue depth / busy instances every interval (simulated
+  /// seconds) into OnlineSimReport::samples.
+  double sample_interval_s = 0.0;
+};
+
+/// One periodic gauge sample of the simulated deployment.
+struct OnlineSimSample {
+  double t_s = 0.0;
+  double queue_depth = 0.0;
+  double busy_instances = 0.0;
 };
 
 struct OnlineSimReport {
@@ -42,6 +64,11 @@ struct OnlineSimReport {
   double p99_latency_s = 0.0;
   double mean_batch_size = 0.0;
   double instance_utilization = 0.0;  ///< busy time / (instances × duration)
+  /// Batch flush counts by reason (DES flushes are full-batch or
+  /// timeout; preferred/shutdown stay zero).
+  FlushCounts flushes{};
+  /// Periodic gauge samples (empty unless config.sample_interval_s > 0).
+  std::vector<OnlineSimSample> samples;
 };
 
 /// Simulate `config.duration_s` seconds of online serving of `model` on

@@ -1,5 +1,7 @@
 #include "serving/server.hpp"
 
+#include "core/log.hpp"
+
 namespace harvest::serving {
 
 Server::Server(std::size_t preproc_threads)
@@ -20,7 +22,16 @@ core::Status Server::register_model(
   if (config.instances < 1 || config.max_batch < 1) {
     return core::Status::invalid_argument("instances and max_batch must be >=1");
   }
+  if (shut_down_.load(std::memory_order_acquire)) {
+    return core::Status::unavailable("server is shut down");
+  }
   auto deployment = std::make_unique<Deployment>(config);
+  deployment->batcher.set_trace_label(config.name);
+  // Queue-depth gauge for the Prometheus exposition; the batcher
+  // outlives the metrics registry's consumers (both live in Deployment).
+  DynamicBatcher* batcher = &deployment->batcher;
+  deployment->metrics.set_queue_depth_probe(
+      [batcher] { return batcher->queued(); });
   for (std::int64_t i = 0; i < config.instances; ++i) {
     BackendPtr backend = backend_factory();
     if (backend == nullptr) {
@@ -33,11 +44,20 @@ core::Status Server::register_model(
         config.batched_preproc ? &preproc_pool_ : nullptr));
   }
   deployments_.emplace(config.name, std::move(deployment));
+  HARVEST_LOG_INFO("deployed model '%s': %lld instance(s), max batch %lld, "
+                   "max queue delay %.3f ms",
+                   config.name.c_str(),
+                   static_cast<long long>(config.instances),
+                   static_cast<long long>(config.max_batch),
+                   config.max_queue_delay_s * 1e3);
   return core::Status::ok();
 }
 
 core::Result<std::future<InferenceResponse>> Server::submit(
     InferenceRequest request) {
+  if (shut_down_.load(std::memory_order_acquire)) {
+    return core::Status::unavailable("server is shut down");
+  }
   const auto it = deployments_.find(request.model);
   if (it == deployments_.end()) {
     return core::Status::not_found("no model named " + request.model);
@@ -70,9 +90,35 @@ std::vector<std::string> Server::model_names() const {
   return names;
 }
 
+std::size_t Server::queue_depth(const std::string& model) const {
+  const auto it = deployments_.find(model);
+  return it == deployments_.end() ? 0 : it->second->batcher.queued();
+}
+
+std::string Server::prometheus_text() const {
+  obs::PrometheusWriter writer;
+  for (const auto& [name, deployment] : deployments_) {
+    deployment->metrics.render_prometheus(writer, name);
+  }
+  writer.gauge("harvest_preproc_pool_threads",
+               "Workers in the shared preprocessing pool.",
+               static_cast<double>(preproc_pool_.size()));
+  writer.gauge("harvest_preproc_pool_active",
+               "Preprocessing pool workers currently running a task.",
+               static_cast<double>(preproc_pool_.active()));
+  writer.gauge("harvest_preproc_pool_utilization",
+               "Active preprocessing workers / pool size.",
+               preproc_pool_.size() > 0
+                   ? static_cast<double>(preproc_pool_.active()) /
+                         static_cast<double>(preproc_pool_.size())
+                   : 0.0);
+  return writer.str();
+}
+
 void Server::shutdown() {
-  if (shut_down_) return;
-  shut_down_ = true;
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  HARVEST_LOG_DEBUG("server shutdown: draining %zu deployment(s)",
+                    deployments_.size());
   for (auto& [name, deployment] : deployments_) {
     deployment->batcher.shutdown();
   }

@@ -54,7 +54,15 @@ class Server {
 
   std::vector<std::string> model_names() const;
 
-  /// Stop accepting requests and join all instances.
+  /// Current batcher queue depth for a deployment (0 when unknown).
+  std::size_t queue_depth(const std::string& model) const;
+
+  /// Prometheus text-format exposition over every deployment, plus
+  /// server-level gauges (preprocessing pool occupancy).
+  std::string prometheus_text() const;
+
+  /// Stop accepting requests and join all instances. Safe to call from
+  /// any thread, concurrently with submit(); idempotent.
   void shutdown();
 
  private:
@@ -72,7 +80,8 @@ class Server {
   core::ThreadPool preproc_pool_;
   std::map<std::string, std::unique_ptr<Deployment>> deployments_;
   std::atomic<std::uint64_t> next_request_id_{1};
-  bool shut_down_ = false;
+  // Read by submitting threads while shutdown() runs — must be atomic.
+  std::atomic<bool> shut_down_{false};
 };
 
 }  // namespace harvest::serving

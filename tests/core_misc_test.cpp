@@ -1,15 +1,47 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "core/cli.hpp"
 #include "core/csv.hpp"
+#include "core/log.hpp"
 #include "core/table.hpp"
 #include "core/time.hpp"
 #include "core/units.hpp"
 
 namespace harvest::core {
 namespace {
+
+// -------------------------------------------------------------- log level
+
+TEST(LogLevel, ParseAcceptsKnownNamesCaseInsensitively) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(parse_log_level("debug", level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(parse_log_level("WARN", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("Warning", level));
+  EXPECT_EQ(level, LogLevel::kWarn);
+  EXPECT_TRUE(parse_log_level("off", level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_TRUE(parse_log_level("none", level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_FALSE(parse_log_level("loud", level));
+  EXPECT_EQ(level, LogLevel::kOff);  // untouched on failure
+}
+
+TEST(LogLevel, ResolvePrecedenceIsCliThenEnvThenFallback) {
+  ::unsetenv("HARVEST_LOG_LEVEL");
+  EXPECT_EQ(resolve_log_level("", LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(resolve_log_level("debug", LogLevel::kWarn), LogLevel::kDebug);
+  ::setenv("HARVEST_LOG_LEVEL", "error", 1);
+  EXPECT_EQ(resolve_log_level("", LogLevel::kWarn), LogLevel::kError);
+  EXPECT_EQ(resolve_log_level("info", LogLevel::kWarn), LogLevel::kInfo);
+  ::setenv("HARVEST_LOG_LEVEL", "gibberish", 1);
+  EXPECT_EQ(resolve_log_level("", LogLevel::kWarn), LogLevel::kWarn);
+  ::unsetenv("HARVEST_LOG_LEVEL");
+}
 
 // ------------------------------------------------------------------ units
 

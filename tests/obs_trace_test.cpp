@@ -1,0 +1,461 @@
+/// Observability stack tests: trace recorder (ring buffers, Chrome
+/// trace-event JSON export validated with core/json), metric primitives
+/// (bucket histograms, Prometheus text writer), registry snapshot
+/// regressions, the time-series sampler, per-layer MFU profiling, and
+/// an end-to-end serving run with the recorder armed.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/json.hpp"
+#include "nn/init.hpp"
+#include "nn/mfu.hpp"
+#include "nn/models.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "obs/trace.hpp"
+#include "preproc/codec.hpp"
+#include "preproc/image.hpp"
+#include "serving/metrics.hpp"
+#include "serving/native_backend.hpp"
+#include "serving/server.hpp"
+#include "tensor/tensor.hpp"
+
+namespace harvest {
+namespace {
+
+using obs::TraceRecorder;
+
+/// Parse the recorder's serialized export back through core::Json —
+/// the same validation a trace viewer's loader performs.
+core::Json parsed_trace() {
+  const std::string text = TraceRecorder::instance().to_json().dump(1);
+  core::Result<core::Json> doc = core::Json::parse(text);
+  EXPECT_TRUE(doc.is_ok()) << doc.status().message();
+  return doc.is_ok() ? std::move(doc).value() : core::Json();
+}
+
+/// Events (any phase) with the given name.
+std::vector<core::Json> events_named(const core::Json& doc,
+                                     const std::string& name) {
+  std::vector<core::Json> out;
+  for (const core::Json& event : doc.find("traceEvents")->as_array()) {
+    if (event.get_string("name", "") == name) out.push_back(event);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- recorder
+
+TEST(TraceRecorder, DisabledRecorderDropsEverything) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.disable();
+  recorder.clear();
+  recorder.record_instant("ghost", "test");
+  { HARVEST_TRACE_SPAN("ghost-span", "test"); }
+  EXPECT_EQ(recorder.event_count(), 0u);
+}
+
+TEST(TraceRecorder, ExportIsValidChromeTraceJson) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  recorder.set_thread_name("gtest-main");
+  recorder.record_complete("work", "test", 10.0, 35.0, /*id=*/42,
+                           /*batch=*/4);
+  recorder.record_instant("mark", "test");
+  recorder.record_counter("depth", 3.0);
+  const core::Json doc = parsed_trace();
+  recorder.disable();
+
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.get_string("displayTimeUnit", ""), "ms");
+  const core::Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  const auto spans = events_named(doc, "work");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].get_string("ph", ""), "X");
+  EXPECT_DOUBLE_EQ(spans[0].get_number("ts", -1.0), 10.0);
+  EXPECT_DOUBLE_EQ(spans[0].get_number("dur", -1.0), 25.0);
+  EXPECT_GT(spans[0].get_int("tid", 0), 0);
+  const core::Json* args = spans[0].find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->get_int("id", 0), 42);
+  EXPECT_EQ(args->get_int("batch", 0), 4);
+
+  const auto instants = events_named(doc, "mark");
+  ASSERT_EQ(instants.size(), 1u);
+  EXPECT_EQ(instants[0].get_string("ph", ""), "i");
+  EXPECT_EQ(instants[0].get_string("s", ""), "t");
+
+  const auto counters = events_named(doc, "depth");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].get_string("ph", ""), "C");
+  EXPECT_DOUBLE_EQ(counters[0].find("args")->get_number("value", -1.0), 3.0);
+
+  // Thread-name metadata record for the named calling thread.
+  const auto meta = events_named(doc, "thread_name");
+  ASSERT_FALSE(meta.empty());
+  bool found = false;
+  for (const core::Json& m : meta) {
+    found = found || m.find("args")->get_string("name", "") == "gtest-main";
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceRecorder, ScopedSpanMeasuresElapsedTime) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  {
+    obs::ScopedSpan span("sleepy", "test");
+    span.set_id(7);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const core::Json doc = parsed_trace();
+  recorder.disable();
+  const auto spans = events_named(doc, "sleepy");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_GE(spans[0].get_number("dur", 0.0), 1500.0);  // >= 1.5 ms in us
+  EXPECT_EQ(spans[0].find("args")->get_int("id", 0), 7);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDrops) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable(/*events_per_thread=*/16);
+  for (int i = 0; i < 50; ++i) {
+    recorder.record_counter("tick", static_cast<double>(i));
+  }
+  EXPECT_EQ(recorder.event_count(), 16u);
+  EXPECT_EQ(recorder.dropped(), 34u);
+  // The retained window is the most recent 16 events, oldest first.
+  const core::Json doc = parsed_trace();
+  recorder.disable();
+  const auto ticks = events_named(doc, "tick");
+  ASSERT_EQ(ticks.size(), 16u);
+  EXPECT_DOUBLE_EQ(ticks.front().find("args")->get_number("value", -1.0),
+                   34.0);
+  EXPECT_DOUBLE_EQ(ticks.back().find("args")->get_number("value", -1.0),
+                   49.0);
+}
+
+TEST(TraceRecorder, ThreadsGetDistinctTracks) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  recorder.record_instant("main-mark", "test");
+  std::thread worker([&] {
+    recorder.set_thread_name("worker");
+    recorder.record_instant("worker-mark", "test");
+  });
+  worker.join();
+  const core::Json doc = parsed_trace();
+  recorder.disable();
+  const auto main_events = events_named(doc, "main-mark");
+  const auto worker_events = events_named(doc, "worker-mark");
+  ASSERT_EQ(main_events.size(), 1u);
+  ASSERT_EQ(worker_events.size(), 1u);
+  EXPECT_NE(main_events[0].get_int("tid", -1),
+            worker_events[0].get_int("tid", -1));
+}
+
+TEST(TraceRecorder, VirtualThreadTracksForSimulatedTime) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  recorder.set_virtual_thread_name(1000, "sim-instance#0");
+  obs::TraceEvent event;
+  event.name = "batch";
+  event.cat = "sim";
+  event.ph = 'X';
+  event.ts_us = 1e6;  // simulated t = 1 s
+  event.dur_us = 2500.0;
+  event.tid = 1000;
+  event.batch = 32;
+  recorder.record(std::move(event));
+  const core::Json doc = parsed_trace();
+  recorder.disable();
+  const auto batches = events_named(doc, "batch");
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].get_int("tid", 0), 1000);
+  EXPECT_DOUBLE_EQ(batches[0].get_number("ts", 0.0), 1e6);
+  bool named = false;
+  for (const core::Json& m : events_named(doc, "thread_name")) {
+    named = named ||
+            (m.get_int("tid", 0) == 1000 &&
+             m.find("args")->get_string("name", "") == "sim-instance#0");
+  }
+  EXPECT_TRUE(named);
+}
+
+// ------------------------------------------------------------- histogram
+
+TEST(BucketHistogram, CountsAndCumulativeFollowPrometheusSemantics) {
+  obs::BucketHistogram hist({1.0, 2.0, 5.0});
+  for (double x : {0.5, 1.5, 1.7, 4.0, 100.0}) hist.observe(x);
+  EXPECT_EQ(hist.total_count(), 5u);
+  EXPECT_NEAR(hist.sum(), 107.7, 1e-9);
+  EXPECT_EQ(hist.count_in_bucket(0), 1u);  // <= 1
+  EXPECT_EQ(hist.count_in_bucket(1), 2u);  // (1, 2]
+  EXPECT_EQ(hist.count_in_bucket(2), 1u);  // (2, 5]
+  EXPECT_EQ(hist.count_in_bucket(3), 1u);  // +Inf
+  EXPECT_EQ(hist.cumulative(0), 1u);
+  EXPECT_EQ(hist.cumulative(1), 3u);
+  EXPECT_EQ(hist.cumulative(2), 4u);
+}
+
+TEST(BucketHistogram, IgnoresNaNAndEstimatesQuantiles) {
+  obs::BucketHistogram hist({1.0, 2.0, 4.0});
+  hist.observe(std::nan(""));
+  EXPECT_EQ(hist.total_count(), 0u);
+  for (int i = 0; i < 100; ++i) hist.observe(1.5);
+  const double p50 = hist.quantile_estimate(0.5);
+  EXPECT_GT(p50, 1.0);
+  EXPECT_LE(p50, 2.0);
+}
+
+TEST(PrometheusWriter, RendersFamiliesOnceWithLabelsAndBuckets) {
+  obs::BucketHistogram hist({0.1, 1.0});
+  hist.observe(0.05);
+  hist.observe(0.5);
+  hist.observe(7.0);
+  obs::PrometheusWriter out;
+  out.counter("requests_total", "Requests.", 3, {{"model", "vit"}});
+  out.counter("requests_total", "Requests.", 4, {{"model", "resnet"}});
+  out.gauge("queue_depth", "Depth.", 2, {{"model", "vit"}});
+  out.histogram("latency_seconds", "Latency.", hist, {{"model", "vit"}});
+  const std::string text = out.str();
+
+  // Family headers are deduplicated across label sets.
+  EXPECT_EQ(text.find("# TYPE requests_total counter"),
+            text.rfind("# TYPE requests_total counter"));
+  EXPECT_NE(text.find("requests_total{model=\"vit\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("requests_total{model=\"resnet\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE latency_seconds histogram"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_bucket{"), std::string::npos);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_sum{"), std::string::npos);
+  EXPECT_NE(text.find("latency_seconds_count{model=\"vit\"} 3"),
+            std::string::npos);
+}
+
+// ------------------------------------------------------ registry snapshot
+
+TEST(MetricsRegistry, SnapshotClampsDegenerateWindows) {
+  serving::MetricsRegistry registry;
+  serving::RequestTiming timing;
+  timing.total_s = 0.01;
+  timing.batch_size = 2;
+  for (int i = 0; i < 4; ++i) {
+    registry.record(timing, /*ok=*/true, /*deadline_missed=*/false);
+  }
+  // Regression: zero, negative, and NaN windows used to yield inf/NaN
+  // throughput; they must clamp to zero.
+  for (double window : {0.0, -5.0, std::nan("")}) {
+    const serving::MetricsSnapshot snap = registry.snapshot(window);
+    EXPECT_EQ(snap.completed, 4u);
+    EXPECT_DOUBLE_EQ(snap.throughput_img_per_s, 0.0);
+    EXPECT_TRUE(std::isfinite(snap.throughput_img_per_s));
+    EXPECT_DOUBLE_EQ(snap.wall_seconds, 0.0);
+  }
+  const serving::MetricsSnapshot snap = registry.snapshot(2.0);
+  EXPECT_DOUBLE_EQ(snap.throughput_img_per_s, 2.0);
+}
+
+TEST(MetricsRegistry, PrometheusRenderingCoversAllFamilies) {
+  serving::MetricsRegistry registry;
+  serving::RequestTiming timing;
+  timing.queue_s = 1e-3;
+  timing.preprocess_s = 2e-3;
+  timing.inference_s = 3e-3;
+  timing.total_s = 6e-3;
+  timing.batch_size = 4;
+  registry.record(timing, /*ok=*/true, /*deadline_missed=*/false);
+  registry.record_flush(serving::FlushReason::kFullBatch, 4);
+  registry.record_flush(serving::FlushReason::kTimeout, 2);
+  registry.inflight_add(3);
+  registry.set_queue_depth_probe([] { return std::size_t{5}; });
+
+  obs::PrometheusWriter out;
+  registry.render_prometheus(out, "vit");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("harvest_requests_completed_total{model=\"vit\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_request_latency_seconds_bucket{"),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_inference_time_seconds_bucket{"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "harvest_batch_flush_total{model=\"vit\",reason=\"full_batch\"} 1"),
+      std::string::npos);
+  EXPECT_NE(
+      text.find(
+          "harvest_batch_flush_total{model=\"vit\",reason=\"timeout\"} 1"),
+      std::string::npos);
+  EXPECT_NE(text.find("harvest_inflight_requests{model=\"vit\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_queue_depth{model=\"vit\"} 5"),
+            std::string::npos);
+
+  registry.reset();
+  const serving::MetricsSnapshot snap = registry.snapshot(1.0);
+  EXPECT_EQ(snap.completed, 0u);
+  EXPECT_EQ(snap.flushes[0], 0u);
+}
+
+// --------------------------------------------------------------- sampler
+
+TEST(TimeSeriesSampler, CollectsRowsAndRendersCsv) {
+  obs::TimeSeriesSampler sampler;
+  double depth = 1.0;
+  sampler.add_probe("queue_depth", [&] { return depth; });
+  sampler.add_probe("inflight", [] { return 2.0; });
+  sampler.sample_once();
+  depth = 4.0;
+  sampler.sample_once();
+  sampler.add_row(9.5, {7.0, 8.0});  // simulation-style explicit timestamp
+  EXPECT_EQ(sampler.row_count(), 3u);
+
+  const std::string csv = sampler.to_csv().to_string();
+  EXPECT_EQ(csv.rfind("t_s,queue_depth,inflight\n", 0), 0u);
+  EXPECT_NE(csv.find("9.5"), std::string::npos);
+  EXPECT_NE(csv.find("7.0"), std::string::npos);
+
+  const std::vector<core::Series> series = sampler.to_series();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0].label, "queue_depth");
+  ASSERT_EQ(series[0].ys.size(), 3u);
+  EXPECT_DOUBLE_EQ(series[0].ys[0], 1.0);
+  EXPECT_DOUBLE_EQ(series[0].ys[1], 4.0);
+  EXPECT_DOUBLE_EQ(series[0].ys[2], 7.0);
+}
+
+TEST(TimeSeriesSampler, BackgroundThreadSamplesPeriodically) {
+  obs::TimeSeriesSampler sampler;
+  sampler.add_probe("const", [] { return 1.0; });
+  sampler.start(1e-3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  sampler.stop();
+  EXPECT_GE(sampler.row_count(), 2u);
+  const std::size_t rows = sampler.row_count();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(sampler.row_count(), rows);  // stop() actually stopped it
+}
+
+// ------------------------------------------------------------------- MFU
+
+TEST(MfuProfile, LayerFlopsSumMatchesModelProfile) {
+  nn::ViTConfig config{"mfu-vit", 16, 4, 16, 2, 2, 2, 4};
+  nn::ModelPtr model = nn::build_vit(config);
+  nn::init_weights(*model, 7);
+  const tensor::Tensor input = tensor::Tensor::full({2, 3, 16, 16}, 0.25f);
+  const nn::MfuReport report =
+      nn::profile_layer_mfu(*model, input, /*peak_gflops=*/10.0,
+                            /*warmup=*/0, /*iters=*/1);
+
+  ASSERT_EQ(report.layers.size(), model->layer_count());
+  const double expected_flops = 2.0 * model->profile(2).total_macs();
+  EXPECT_NEAR(report.total_flops(), expected_flops,
+              0.05 * expected_flops);  // acceptance: within 5 %
+  EXPECT_GT(report.total_seconds(), 0.0);
+  EXPECT_GT(report.overall_mfu(), 0.0);
+
+  double flops_share = 0.0;
+  double time_share = 0.0;
+  for (const nn::LayerMfu& layer : report.layers) {
+    flops_share += layer.flops_share;
+    time_share += layer.time_share;
+    EXPECT_GE(layer.seconds, 0.0);
+  }
+  EXPECT_NEAR(flops_share, 1.0, 1e-6);
+  EXPECT_NEAR(time_share, 1.0, 1e-6);
+
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+  const core::Json json = report.to_json();
+  EXPECT_EQ(json.get_string("model", ""), "mfu-vit");
+  ASSERT_TRUE(json.find("layers")->is_array());
+}
+
+// ------------------------------------------------- end-to-end serving run
+
+TEST(ObservabilityIntegration, ServerRunProducesSpansAndExposition) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.enable();
+  {
+    serving::Server server(/*preproc_threads=*/1);
+    serving::ModelDeploymentConfig config;
+    config.name = "vit";
+    config.max_batch = 4;
+    config.instances = 1;
+    config.max_queue_delay_s = 1e-3;
+    config.preproc.output_size = 16;
+    ASSERT_TRUE(server
+                    .register_model(config,
+                                    [] {
+                                      nn::ModelPtr model = nn::build_vit(
+                                          {"test-vit", 16, 4, 16, 2, 2, 2, 4});
+                                      nn::init_weights(*model, 7);
+                                      return std::make_unique<
+                                          serving::NativeBackend>(
+                                          std::move(model), 8);
+                                    })
+                    .is_ok());
+
+    std::vector<std::future<serving::InferenceResponse>> futures;
+    for (int i = 0; i < 5; ++i) {
+      serving::InferenceRequest request;
+      request.model = "vit";
+      request.input = preproc::encode_image(
+          preproc::synthesize_field_image(20, 20, i),
+          preproc::ImageFormat::kAgJpeg);
+      auto result = server.submit(std::move(request));
+      ASSERT_TRUE(result.is_ok());
+      futures.push_back(std::move(result).value());
+    }
+    for (auto& future : futures) {
+      EXPECT_TRUE(future.get().status.is_ok());
+    }
+
+    const std::string text = server.prometheus_text();
+    EXPECT_NE(text.find("harvest_requests_completed_total{model=\"vit\"} 5"),
+              std::string::npos);
+    EXPECT_NE(text.find("harvest_request_latency_seconds_bucket{"),
+              std::string::npos);
+    EXPECT_NE(text.find("harvest_batch_flush_total{"), std::string::npos);
+    EXPECT_NE(text.find("harvest_preproc_pool_threads 1"), std::string::npos);
+
+    server.shutdown();
+  }
+  const core::Json doc = parsed_trace();
+  recorder.disable();
+
+  // Request lifecycle spans from the serving layer...
+  for (const char* stage : {"queue", "preprocess", "inference", "respond"}) {
+    const auto spans = events_named(doc, stage);
+    EXPECT_FALSE(spans.empty()) << "missing spans for stage " << stage;
+    for (const core::Json& span : spans) {
+      EXPECT_EQ(span.get_string("ph", ""), "X");
+    }
+  }
+  // ...request spans carry correlation ids...
+  bool any_request_id = false;
+  for (const core::Json& span : events_named(doc, "request")) {
+    const core::Json* args = span.find("args");
+    any_request_id =
+        any_request_id || (args != nullptr && args->get_int("id", 0) > 0);
+  }
+  EXPECT_TRUE(any_request_id);
+  // ...and per-layer spans from inside the nn graph executor.
+  EXPECT_FALSE(events_named(doc, "embed").empty());
+  EXPECT_FALSE(events_named(doc, "block0").empty());
+  EXPECT_FALSE(events_named(doc, "head").empty());
+  // Queue-depth counter events from the batcher, labelled by model.
+  EXPECT_FALSE(events_named(doc, "vit/queue_depth").empty());
+}
+
+}  // namespace
+}  // namespace harvest

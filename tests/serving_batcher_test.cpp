@@ -133,6 +133,82 @@ TEST(Batcher, FullBatchStillBeatsPreferred) {
   EXPECT_EQ(batcher.wait_batch().size(), 4u);
 }
 
+// ---------------------------------------------------------- flush reasons
+
+TEST(BatcherFlushReason, FullBatchIsTagged) {
+  DynamicBatcher batcher({4, 10.0, 64, {}});
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  const BatchedRequests batch = batcher.wait_batch_tagged();
+  EXPECT_EQ(batch.requests.size(), 4u);
+  EXPECT_EQ(batch.reason, FlushReason::kFullBatch);
+}
+
+TEST(BatcherFlushReason, TimeoutIsTagged) {
+  DynamicBatcher batcher({8, /*max_queue_delay_s=*/5e-3, 64, {}});
+  ASSERT_TRUE(batcher.submit(make_request(1)).is_ok());
+  const BatchedRequests batch = batcher.wait_batch_tagged();
+  EXPECT_EQ(batch.requests.size(), 1u);
+  EXPECT_EQ(batch.reason, FlushReason::kTimeout);
+}
+
+TEST(BatcherFlushReason, PreferredSizeIsTagged) {
+  DynamicBatcher batcher({16, 10.0, 64, {4}});
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  const BatchedRequests batch = batcher.wait_batch_tagged();
+  EXPECT_EQ(batch.requests.size(), 4u);
+  EXPECT_EQ(batch.reason, FlushReason::kPreferredSize);
+}
+
+TEST(BatcherFlushReason, ShutdownDrainIsTagged) {
+  DynamicBatcher batcher({4, 10.0, 64, {}});
+  ASSERT_TRUE(batcher.submit(make_request(1)).is_ok());
+  batcher.shutdown();
+  const BatchedRequests drain = batcher.wait_batch_tagged();
+  EXPECT_EQ(drain.requests.size(), 1u);
+  EXPECT_EQ(drain.reason, FlushReason::kShutdown);
+  // The terminating empty batch is not counted as a flush.
+  EXPECT_TRUE(batcher.wait_batch_tagged().requests.empty());
+  const FlushCounts counts = batcher.flush_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlushReason::kShutdown)], 1u);
+}
+
+TEST(BatcherFlushReason, CountsAccumulateAcrossFlushes) {
+  DynamicBatcher batcher({2, /*max_queue_delay_s=*/5e-3, 64, {}});
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  EXPECT_EQ(batcher.wait_batch_tagged().reason, FlushReason::kFullBatch);
+  EXPECT_EQ(batcher.wait_batch_tagged().reason, FlushReason::kFullBatch);
+  EXPECT_EQ(batcher.wait_batch_tagged().reason, FlushReason::kTimeout);
+  const FlushCounts counts = batcher.flush_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlushReason::kFullBatch)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlushReason::kTimeout)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlushReason::kPreferredSize)], 0u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlushReason::kShutdown)], 0u);
+}
+
+TEST(BatcherFlushReason, FullBeatsPreferredInTag) {
+  DynamicBatcher batcher({4, 10.0, 64, {2}});
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(batcher.submit(make_request(i)).is_ok());
+  }
+  const BatchedRequests batch = batcher.wait_batch_tagged();
+  EXPECT_EQ(batch.requests.size(), 4u);
+  EXPECT_EQ(batch.reason, FlushReason::kFullBatch);
+}
+
+TEST(BatcherFlushReason, ReasonNames) {
+  EXPECT_STREQ(flush_reason_name(FlushReason::kFullBatch), "full_batch");
+  EXPECT_STREQ(flush_reason_name(FlushReason::kPreferredSize),
+               "preferred_size");
+  EXPECT_STREQ(flush_reason_name(FlushReason::kTimeout), "timeout");
+  EXPECT_STREQ(flush_reason_name(FlushReason::kShutdown), "shutdown");
+}
+
 TEST(Batcher, PromiseFulfillmentReachesSubmitter) {
   DynamicBatcher batcher({1, 10.0, 64, {}});
   auto future = batcher.submit(make_request(42));
