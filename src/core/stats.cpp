@@ -72,10 +72,23 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x, double weight) {
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
-  idx = std::clamp<std::ptrdiff_t>(idx, 0,
-                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  counts_[static_cast<std::size_t>(idx)] += weight;
+  if (std::isnan(x)) return;  // un-binnable; casting NaN to int is UB
+  // Compare in the double domain before converting: the old
+  // static_cast truncated toward zero, which folded underflow samples
+  // in (lo - width, lo) into bin 0 as if they were in range, and a
+  // float→int cast of a huge or infinite quotient is UB.
+  const double pos = (x - lo_) / width_;
+  std::size_t idx;
+  if (pos < 0.0) {
+    idx = 0;
+    underflow_ += weight;
+  } else if (pos >= static_cast<double>(counts_.size())) {
+    idx = counts_.size() - 1;
+    overflow_ += weight;
+  } else {
+    idx = static_cast<std::size_t>(pos);
+  }
+  counts_[idx] += weight;
   total_ += weight;
 }
 

@@ -59,7 +59,9 @@ class Percentiles {
 };
 
 /// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
-/// the edge bins so mass is never silently dropped.
+/// the edge bins so mass is never silently dropped, and the clamped mass
+/// is additionally tracked via underflow_mass()/overflow_mass(). NaN
+/// samples are discarded (they have no meaningful bin).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -70,6 +72,11 @@ class Histogram {
   double bin_hi(std::size_t i) const;
   double bin_mass(std::size_t i) const { return counts_[i]; }
   double total_mass() const { return total_; }
+
+  /// Mass clamped into the first bin from samples below `lo`.
+  double underflow_mass() const { return underflow_; }
+  /// Mass clamped into the last bin from samples at or above `hi`.
+  double overflow_mass() const { return overflow_; }
 
   /// Density (mass fraction / bin width) of bin i; 0 if empty histogram.
   double density(std::size_t i) const;
@@ -85,6 +92,8 @@ class Histogram {
   double lo_, hi_, width_;
   std::vector<double> counts_;
   double total_ = 0.0;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
 };
 
 }  // namespace harvest::core

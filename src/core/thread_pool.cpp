@@ -1,6 +1,8 @@
 #include "core/thread_pool.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <memory>
 
 #include "core/status.hpp"
 
@@ -51,19 +53,58 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, workers_.size());
+  // The caller participates as an executor, so a parallel_for issued
+  // from inside a pool task always makes progress even when every
+  // worker is busy — the old submit-and-wait scheme deadlocked there,
+  // blocking on futures for chunks queued behind the calling task.
+  const std::size_t chunks = std::min(n, workers_.size() + 1);
   const std::size_t chunk = (n + chunks - 1) / chunks;
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk;
-    const std::size_t hi = std::min(end, lo + chunk);
-    if (lo >= hi) break;
-    futures.push_back(submit([lo, hi, &fn] {
-      for (std::size_t i = lo; i < hi; ++i) fn(i);
-    }));
-  }
-  for (auto& future : futures) future.get();
+  const std::size_t total = (n + chunk - 1) / chunk;
+
+  struct State {
+    std::atomic<std::size_t> next{0};  ///< next unclaimed chunk index
+    std::size_t total = 0;
+    std::size_t done = 0;        ///< completed chunks, guarded by m
+    std::exception_ptr error;    ///< first failure, guarded by m
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+  state->total = total;
+  const auto* fn_ptr = &fn;  // chunks only run while the caller waits
+
+  auto drain = [state, fn_ptr, begin, end, chunk] {
+    std::size_t completed = 0;
+    std::exception_ptr first_error;
+    for (;;) {
+      const std::size_t c = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= state->total) break;
+      const std::size_t lo = begin + c * chunk;
+      const std::size_t hi = std::min(end, lo + chunk);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*fn_ptr)(i);
+      } catch (...) {
+        if (first_error == nullptr) first_error = std::current_exception();
+      }
+      ++completed;
+    }
+    if (completed > 0 || first_error != nullptr) {
+      std::scoped_lock lock(state->m);
+      state->done += completed;
+      if (first_error != nullptr && state->error == nullptr) {
+        state->error = first_error;
+      }
+      if (state->done == state->total) state->cv.notify_all();
+    }
+  };
+
+  // Helpers race the caller for chunks; late-woken helpers find the
+  // claim counter exhausted and return without touching `fn`.
+  for (std::size_t c = 1; c < total; ++c) submit(drain);
+  drain();
+  std::unique_lock lock(state->m);
+  state->cv.wait(lock, [&state] { return state->done == state->total; });
+  if (state->error != nullptr) std::rethrow_exception(state->error);
 }
 
 }  // namespace harvest::core

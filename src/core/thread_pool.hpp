@@ -52,8 +52,10 @@ class ThreadPool {
   }
 
   /// Run fn(i) for i in [begin, end) across the pool, blocking until all
-  /// iterations finish. Work is split into contiguous chunks, one per
-  /// worker, which suits the memory-streaming loops in this library.
+  /// iterations finish. Work is split into contiguous chunks which the
+  /// workers and the calling thread claim cooperatively; the caller
+  /// always executes at least one chunk, so parallel_for is safe to call
+  /// from inside a pool task even when every worker is busy.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 

@@ -1,48 +1,68 @@
 #include "nn/attention.hpp"
 
 #include <cmath>
+#include <vector>
 
 #include "core/status.hpp"
 #include "nn/activations.hpp"
+#include "nn/gemm.hpp"
 
 namespace harvest::nn {
+namespace {
+
+/// One head's attention: scores = softmax(scale · Q Kᵀ), out = scores·V.
+/// Q, K and V live interleaved in the [tokens, 3·dim] QKV buffer, so the
+/// strided packed-GEMM kernels read them in place (row pitch 3·dim)
+/// instead of gathering per-head copies.
+void attend_one_head(const float* qkv, float* out, float* scores,
+                     std::int64_t tokens, std::int64_t dim, std::int64_t heads,
+                     std::int64_t h) {
+  const std::int64_t head_dim = dim / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  const std::int64_t row = 3 * dim;
+  const float* q = qkv + h * head_dim;
+  const float* k = qkv + dim + h * head_dim;
+  const float* v = qkv + 2 * dim + h * head_dim;
+
+  // scores[i][j] = dot(Q_i, K_j): A = Q (strided), B = K (strided, as Bᵀ).
+  gemm_bt_strided(q, row, k, row, scores, tokens, tokens, tokens, head_dim);
+  const std::int64_t score_elems = tokens * tokens;
+  for (std::int64_t i = 0; i < score_elems; ++i) scores[i] *= scale;
+  softmax_rows(scores, tokens, tokens);
+
+  // out[i][head slice] = sum_j scores[i][j] * V_j.
+  gemm_strided(scores, tokens, v, row, out + h * head_dim, dim, tokens,
+               head_dim, tokens);
+}
+
+}  // namespace
 
 void self_attention(const float* qkv, float* out, float* scores_scratch,
                     std::int64_t tokens, std::int64_t dim, std::int64_t heads) {
   HARVEST_CHECK_MSG(dim % heads == 0, "dim must divide evenly into heads");
-  const std::int64_t head_dim = dim / heads;
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  const std::int64_t row = 3 * dim;
-
 #pragma omp parallel for schedule(static)
   for (std::int64_t h = 0; h < heads; ++h) {
-    float* scores = scores_scratch + h * tokens * tokens;
-    const std::int64_t q_off = h * head_dim;
-    const std::int64_t k_off = dim + h * head_dim;
-    const std::int64_t v_off = 2 * dim + h * head_dim;
+    attend_one_head(qkv, out, scores_scratch + h * tokens * tokens, tokens,
+                    dim, heads, h);
+  }
+}
 
-    // scores[i][j] = scale * dot(Q_i, K_j)
-    for (std::int64_t i = 0; i < tokens; ++i) {
-      const float* q = qkv + i * row + q_off;
-      float* srow = scores + i * tokens;
-      for (std::int64_t j = 0; j < tokens; ++j) {
-        const float* k = qkv + j * row + k_off;
-        float acc = 0.0f;
-        for (std::int64_t d = 0; d < head_dim; ++d) acc += q[d] * k[d];
-        srow[j] = acc * scale;
-      }
-    }
-    softmax_rows(scores, tokens, tokens);
-
-    // out_i[head slice] = sum_j scores[i][j] * V_j
-    for (std::int64_t i = 0; i < tokens; ++i) {
-      float* orow = out + i * dim + h * head_dim;
-      for (std::int64_t d = 0; d < head_dim; ++d) orow[d] = 0.0f;
-      const float* srow = scores + i * tokens;
-      for (std::int64_t j = 0; j < tokens; ++j) {
-        const float weight = srow[j];
-        const float* v = qkv + j * row + v_off;
-        for (std::int64_t d = 0; d < head_dim; ++d) orow[d] += weight * v[d];
+void self_attention_batched(const float* qkv, float* out, std::int64_t batch,
+                            std::int64_t tokens, std::int64_t dim,
+                            std::int64_t heads) {
+  HARVEST_CHECK_MSG(dim % heads == 0, "dim must divide evenly into heads");
+  const std::int64_t image_in = tokens * 3 * dim;
+  const std::int64_t image_out = tokens * dim;
+#pragma omp parallel
+  {
+    // Per-thread score tile; sized once and reused across (b, h) tasks.
+    static thread_local std::vector<float> scores_tl;
+    scores_tl.resize(static_cast<std::size_t>(tokens * tokens));
+#pragma omp for collapse(2) schedule(static)
+    for (std::int64_t b = 0; b < batch; ++b) {
+      for (std::int64_t h = 0; h < heads; ++h) {
+        attend_one_head(qkv + b * image_in, out + b * image_out,
+                        scores_tl.data(), tokens, dim, heads, h);
       }
     }
   }

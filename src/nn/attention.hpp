@@ -15,7 +15,17 @@ namespace harvest::nn {
 /// qkv:  [tokens, 3*dim] for one image, packed as (Q | K | V) per row.
 /// out:  [tokens, dim].
 /// scores_scratch: caller-provided buffer of at least heads*tokens*tokens.
+/// The score and context matmuls lower to the packed strided GEMM
+/// kernels, reading Q/K/V in place from the interleaved QKV buffer.
 void self_attention(const float* qkv, float* out, float* scores_scratch,
                     std::int64_t tokens, std::int64_t dim, std::int64_t heads);
+
+/// Batched variant: qkv [batch, tokens, 3*dim] → out [batch, tokens, dim],
+/// parallel over the full batch×heads grid with per-thread score
+/// scratch (the single-image entry point above serializes the batch
+/// when driven from a loop).
+void self_attention_batched(const float* qkv, float* out, std::int64_t batch,
+                            std::int64_t tokens, std::int64_t dim,
+                            std::int64_t heads);
 
 }  // namespace harvest::nn

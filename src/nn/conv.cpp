@@ -1,8 +1,11 @@
 #include "nn/conv.hpp"
 
+#include <omp.h>
+
 #include <algorithm>
 #include <limits>
 
+#include "core/status.hpp"
 #include "nn/gemm.hpp"
 
 namespace harvest::nn {
@@ -13,6 +16,11 @@ using tensor::Tensor;
 
 std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
                              std::int64_t stride, std::int64_t padding) {
+  HARVEST_CHECK_MSG(in >= 1 && kernel >= 1 && padding >= 0,
+                    "conv geometry must have in>=1, kernel>=1, padding>=0");
+  HARVEST_CHECK_MSG(stride >= 1, "conv stride must be >= 1");
+  HARVEST_CHECK_MSG(kernel <= in + 2 * padding,
+                    "conv kernel exceeds padded input extent");
   return (in + 2 * padding - kernel) / stride + 1;
 }
 
@@ -21,7 +29,11 @@ void im2col(const float* input, float* columns, std::int64_t c,
   const std::int64_t out_h = conv_out_extent(h, p.kernel, p.stride, p.padding);
   const std::int64_t out_w = conv_out_extent(w, p.kernel, p.stride, p.padding);
   const std::int64_t out_hw = out_h * out_w;
-  // columns layout: [c * k * k, out_h * out_w]
+  // columns layout: [c * k * k, out_h * out_w]. Each (ch, ky, kx)
+  // destination row is independent, so the expansion parallelizes over
+  // the patch dimension. When called from an enclosing parallel region
+  // (the batch loop of conv2d) the nested team collapses to one thread.
+#pragma omp parallel for collapse(3) schedule(static)
   for (std::int64_t ch = 0; ch < c; ++ch) {
     for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
       for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
@@ -57,23 +69,45 @@ Tensor conv2d(const Tensor& input, const Tensor& weight, const float* bias,
   const std::int64_t out_w = conv_out_extent(w, p.kernel, p.stride, p.padding);
   const std::int64_t out_hw = out_h * out_w;
   const std::int64_t patch = c * p.kernel * p.kernel;
+  const std::int64_t plane = patch * out_hw;
 
-  const Shape scratch_shape{patch, out_hw};
+  // Batch items are independent, so with several images in flight the
+  // batch loop itself is the parallel dimension and every worker needs
+  // its own im2col buffer (the old single shared scratch forced the
+  // batch loop serial). At batch 1 the parallelism lives inside
+  // im2col/gemm instead, and one scratch slot suffices.
+  const std::int64_t max_threads = omp_get_max_threads();
+  const bool batch_parallel = n > 1 && max_threads > 1;
+  const std::int64_t slots =
+      batch_parallel ? std::min<std::int64_t>(n, max_threads) : 1;
+
+  const Shape scratch_shape{slots, patch, out_hw};
   if (scratch.shape() != scratch_shape || scratch.dtype() != DType::kF32) {
     scratch = Tensor(scratch_shape, DType::kF32);
   }
 
   Tensor output(Shape{n, p.out_channels, out_h, out_w}, DType::kF32);
-  for (std::int64_t b = 0; b < n; ++b) {
-    im2col(input.f32() + b * c * h * w, scratch.f32(), c, h, w, p);
-    float* out_plane = output.f32() + b * p.out_channels * out_hw;
-    // weight [Cout, patch] × columns [patch, out_hw] → [Cout, out_hw]
-    gemm(weight.f32(), scratch.f32(), out_plane, p.out_channels, out_hw, patch);
-    if (bias != nullptr) {
-      for (std::int64_t oc = 0; oc < p.out_channels; ++oc) {
-        float* row = out_plane + oc * out_hw;
-        for (std::int64_t i = 0; i < out_hw; ++i) row[i] += bias[oc];
-      }
+  // Bias is per output channel == per row of the [Cout, out_hw] GEMM,
+  // fused into the GEMM epilogue instead of a second pass over C.
+  GemmEpilogue epilogue;
+  epilogue.bias_m = bias;
+
+  if (batch_parallel) {
+#pragma omp parallel for schedule(static) num_threads(static_cast<int>(slots))
+    for (std::int64_t b = 0; b < n; ++b) {
+      float* columns = scratch.f32() + omp_get_thread_num() * plane;
+      im2col(input.f32() + b * c * h * w, columns, c, h, w, p);
+      float* out_plane = output.f32() + b * p.out_channels * out_hw;
+      // weight [Cout, patch] × columns [patch, out_hw] → [Cout, out_hw]
+      gemm_ex(weight.f32(), columns, out_plane, p.out_channels, out_hw, patch,
+              /*accumulate=*/false, epilogue);
+    }
+  } else {
+    for (std::int64_t b = 0; b < n; ++b) {
+      im2col(input.f32() + b * c * h * w, scratch.f32(), c, h, w, p);
+      float* out_plane = output.f32() + b * p.out_channels * out_hw;
+      gemm_ex(weight.f32(), scratch.f32(), out_plane, p.out_channels, out_hw,
+              patch, /*accumulate=*/false, epilogue);
     }
   }
   return output;

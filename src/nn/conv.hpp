@@ -29,8 +29,11 @@ void im2col(const float* input, float* columns, std::int64_t c,
             std::int64_t h, std::int64_t w, const Conv2dParams& p);
 
 /// conv2d: input [N,Cin,H,W], weight [Cout, Cin*k*k], bias [Cout] or null.
-/// Returns [N, Cout, outH, outW]. `scratch` holds the im2col buffer and is
+/// Returns [N, Cout, outH, outW]. `scratch` holds the im2col buffers —
+/// one [Cin*k*k, outH*outW] slot per batch-parallel worker — and is
 /// resized as needed (reuse it across calls to avoid reallocation).
+/// Bias is fused into the GEMM epilogue; batch items run in parallel
+/// when the batch has more than one image.
 tensor::Tensor conv2d(const tensor::Tensor& input, const tensor::Tensor& weight,
                       const float* bias, const Conv2dParams& p,
                       tensor::Tensor& scratch);

@@ -1,63 +1,228 @@
 #include "nn/gemm.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <vector>
 
 namespace harvest::nn {
 namespace {
 
-// Block sizes chosen for typical L1 (32 KiB) / L2 (≥256 KiB) caches:
-// an MC×KC panel of A (64×256 floats = 64 KiB) stays L2-resident while
-// KC×NB columns of B stream through L1.
-constexpr std::int64_t kMc = 64;
+// Micro-tile: each micro-kernel invocation produces an MR×NR tile of C
+// from an MR-strided A panel and an NR-strided B panel.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+
+// Cache blocks. An MC×KC panel of packed A (96×256 floats = 96 KiB)
+// stays L2-resident while KC×NR slivers of packed B stream through L1;
+// NC bounds the j-extent of one parallel tile so the M×N tile grid has
+// enough tasks for every core even at ViT token counts (M ≈ 196).
+constexpr std::int64_t kMc = 96;
 constexpr std::int64_t kKc = 256;
 constexpr std::int64_t kNc = 512;
 
-// 4x16 register micro-kernel over a KC-deep panel.
-inline void micro_kernel(const float* a, const float* b, float* c,
-                         std::int64_t kc, std::int64_t lda, std::int64_t ldb,
-                         std::int64_t ldc, std::int64_t mr, std::int64_t nr) {
-  float acc[4][16] = {};
+// Problems below this MNK volume skip packing entirely: the pack/copy
+// overhead exceeds the arithmetic.
+constexpr std::int64_t kSmallProblem = 4096;
+
+inline float gelu_scalar(float x) {
+  constexpr float kInvSqrt2 = 0.70710678118654752440f;
+  return x * 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+}
+
+inline float apply_epilogue(float v, const GemmEpilogue& ep, std::int64_t i,
+                            std::int64_t j) {
+  if (ep.bias_n != nullptr) v += ep.bias_n[j];
+  if (ep.bias_m != nullptr) v += ep.bias_m[i];
+  switch (ep.act) {
+    case EpilogueAct::kNone: break;
+    case EpilogueAct::kRelu: v = std::max(0.0f, v); break;
+    case EpilogueAct::kGelu: v = gelu_scalar(v); break;
+  }
+  return v;
+}
+
+/// Pack an mc×kc block of A (row pitch lda) into MR-strided panels:
+/// panel r holds rows [r·MR, r·MR+MR) as ap[p·MR + i], zero-padded so
+/// the micro-kernel always runs a full MR.
+void pack_a(const float* a, std::int64_t lda, float* ap, std::int64_t mc,
+            std::int64_t kc) {
+  for (std::int64_t i0 = 0; i0 < mc; i0 += kMr) {
+    const std::int64_t mr = std::min(kMr, mc - i0);
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const float* arow = a + (i0 + r) * lda;
+      for (std::int64_t p = 0; p < kc; ++p) ap[p * kMr + r] = arow[p];
+    }
+    for (std::int64_t r = mr; r < kMr; ++r) {
+      for (std::int64_t p = 0; p < kc; ++p) ap[p * kMr + r] = 0.0f;
+    }
+    ap += kc * kMr;
+  }
+}
+
+/// Pack one kc×NR sliver of row-major B (row pitch ldb) starting at
+/// column j with nr valid columns, zero-padded to NR.
+void pack_b_panel(const float* b, std::int64_t ldb, float* bp, std::int64_t kc,
+                  std::int64_t nr) {
   for (std::int64_t p = 0; p < kc; ++p) {
     const float* brow = b + p * ldb;
-    for (std::int64_t i = 0; i < mr; ++i) {
-      const float aval = a[i * lda + p];
-      for (std::int64_t j = 0; j < nr; ++j) {
-        acc[i][j] += aval * brow[j];
-      }
+    for (std::int64_t j = 0; j < nr; ++j) bp[p * kNr + j] = brow[j];
+    for (std::int64_t j = nr; j < kNr; ++j) bp[p * kNr + j] = 0.0f;
+  }
+}
+
+/// As pack_b_panel, but B is stored transposed ([N,K] row-major): the
+/// sliver covers rows j..j+nr, columns p0..p0+kc of Bᵀ.
+void pack_bt_panel(const float* b_t, std::int64_t ldb, float* bp,
+                   std::int64_t kc, std::int64_t nr) {
+  for (std::int64_t j = 0; j < nr; ++j) {
+    const float* brow = b_t + j * ldb;
+    for (std::int64_t p = 0; p < kc; ++p) bp[p * kNr + j] = brow[p];
+  }
+  for (std::int64_t j = nr; j < kNr; ++j) {
+    for (std::int64_t p = 0; p < kc; ++p) bp[p * kNr + j] = 0.0f;
+  }
+}
+
+/// MR×NR register micro-kernel over one KC-deep pair of packed panels.
+/// `zero_start` drops the existing C tile (first K block, !accumulate);
+/// `ep` (non-null only on the last K block) fuses bias/activation into
+/// the store.
+inline void micro_kernel(const float* ap, const float* bp, std::int64_t kc,
+                         float* c, std::int64_t ldc, std::int64_t mr,
+                         std::int64_t nr, bool zero_start,
+                         const GemmEpilogue* ep, std::int64_t i_base,
+                         std::int64_t j_base) {
+  // One named accumulator array per MR row, j as the vector axis. A
+  // single acc[kMr][kNr] reads cleaner but defeats GCC's vectorizer
+  // ("complicated access pattern" after it unrolls the fixed-count
+  // loops) and runs ~8× slower; this form keeps all four rows in SIMD
+  // registers. The A panel is zero-padded, so the full kMr is always
+  // computed and only mr rows are stored.
+  float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+  static_assert(kMr == 4, "accumulator rows are hand-named");
+  for (std::int64_t p = 0; p < kc; ++p) {
+    const float* brow = bp + p * kNr;
+    const float a0 = ap[p * kMr + 0];
+    const float a1 = ap[p * kMr + 1];
+    const float a2 = ap[p * kMr + 2];
+    const float a3 = ap[p * kMr + 3];
+    for (std::int64_t j = 0; j < kNr; ++j) {
+      const float bv = brow[j];
+      acc0[j] += a0 * bv;
+      acc1[j] += a1 * bv;
+      acc2[j] += a2 * bv;
+      acc3[j] += a3 * bv;
     }
   }
+  const float* acc_rows[kMr] = {acc0, acc1, acc2, acc3};
   for (std::int64_t i = 0; i < mr; ++i) {
+    float* crow = c + i * ldc;
+    const float* accr = acc_rows[i];
     for (std::int64_t j = 0; j < nr; ++j) {
-      c[i * ldc + j] += acc[i][j];
+      float v = accr[j];
+      if (!zero_start) v += crow[j];
+      if (ep != nullptr) v = apply_epilogue(v, *ep, i_base + i, j_base + j);
+      crow[j] = v;
     }
   }
 }
 
-}  // namespace
-
-void gemm(const float* a, const float* b, float* c, std::int64_t m,
-          std::int64_t n, std::int64_t k, bool accumulate) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-  if (!accumulate) {
-    std::memset(c, 0, static_cast<std::size_t>(m) * static_cast<std::size_t>(n) *
-                          sizeof(float));
+/// Unpacked fallback for tiny problems.
+void small_gemm(const float* a, std::int64_t lda, const float* b,
+                std::int64_t ldb, bool b_transposed, float* c, std::int64_t ldc,
+                std::int64_t m, std::int64_t n, std::int64_t k, bool accumulate,
+                const GemmEpilogue& ep) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    float* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = accumulate ? crow[j] : 0.0f;
+      if (b_transposed) {
+        const float* brow = b + j * ldb;
+        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      } else {
+        for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * b[p * ldb + j];
+      }
+      crow[j] = apply_epilogue(acc, ep, i, j);
+    }
   }
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i0 = 0; i0 < m; i0 += kMc) {
-    const std::int64_t i_hi = std::min(m, i0 + kMc);
-    for (std::int64_t p0 = 0; p0 < k; p0 += kKc) {
-      const std::int64_t p_hi = std::min(k, p0 + kKc);
-      const std::int64_t kc = p_hi - p0;
-      for (std::int64_t j0 = 0; j0 < n; j0 += kNc) {
-        const std::int64_t j_hi = std::min(n, j0 + kNc);
-        for (std::int64_t i = i0; i < i_hi; i += 4) {
-          const std::int64_t mr = std::min<std::int64_t>(4, i_hi - i);
-          for (std::int64_t j = j0; j < j_hi; j += 16) {
-            const std::int64_t nr = std::min<std::int64_t>(16, j_hi - j);
-            micro_kernel(a + i * k + p0, b + p0 * n + j, c + i * n + j, kc, k,
-                         n, n, mr, nr);
+}
+
+/// Packed-panel driver shared by every public entry point. B (plain or
+/// transposed) is packed once into NR panels, in parallel; the macro
+/// loop then parallelizes over the 2-D grid of MC×NC tiles of C, each
+/// thread packing the A block it needs into a thread-local buffer.
+void gemm_packed(const float* a, std::int64_t lda, const float* b,
+                 std::int64_t ldb, bool b_transposed, float* c,
+                 std::int64_t ldc, std::int64_t m, std::int64_t n,
+                 std::int64_t k, bool accumulate, const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * n * k <= kSmallProblem) {
+    small_gemm(a, lda, b, ldb, b_transposed, c, ldc, m, n, k, accumulate, ep);
+    return;
+  }
+
+  const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
+  const std::int64_t num_kb = (k + kKc - 1) / kKc;
+  const std::int64_t num_jp = padded_n / kNr;
+
+  // Reused across calls on the same thread; nested calls (e.g. from the
+  // batch-parallel conv loop) land on distinct OpenMP worker threads and
+  // therefore distinct buffers.
+  static thread_local std::vector<float> bpack_tl;
+  bpack_tl.resize(static_cast<std::size_t>(padded_n * k));
+  float* bpack = bpack_tl.data();
+
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t kb = 0; kb < num_kb; ++kb) {
+    for (std::int64_t jp = 0; jp < num_jp; ++jp) {
+      const std::int64_t p0 = kb * kKc;
+      const std::int64_t kc = std::min(kKc, k - p0);
+      const std::int64_t j0 = jp * kNr;
+      const std::int64_t nr = std::min(kNr, n - j0);
+      float* dst = bpack + p0 * padded_n + jp * kc * kNr;
+      if (b_transposed) {
+        pack_bt_panel(b + j0 * ldb + p0, ldb, dst, kc, nr);
+      } else {
+        pack_b_panel(b + p0 * ldb + j0, ldb, dst, kc, nr);
+      }
+    }
+  }
+
+  const std::int64_t num_ib = (m + kMc - 1) / kMc;
+  const std::int64_t num_jb = (n + kNc - 1) / kNc;
+
+#pragma omp parallel
+  {
+    static thread_local std::vector<float> apack_tl;
+    apack_tl.resize(static_cast<std::size_t>(((kMc + kMr - 1) / kMr) * kMr * kKc));
+    float* apack = apack_tl.data();
+
+#pragma omp for collapse(2) schedule(dynamic)
+    for (std::int64_t ib = 0; ib < num_ib; ++ib) {
+      for (std::int64_t jb = 0; jb < num_jb; ++jb) {
+        const std::int64_t i0 = ib * kMc;
+        const std::int64_t mc = std::min(kMc, m - i0);
+        const std::int64_t j0 = jb * kNc;
+        const std::int64_t nc = std::min(kNc, n - j0);
+        for (std::int64_t kb = 0; kb < num_kb; ++kb) {
+          const std::int64_t p0 = kb * kKc;
+          const std::int64_t kc = std::min(kKc, k - p0);
+          pack_a(a + i0 * lda + p0, lda, apack, mc, kc);
+          const bool zero_start = (kb == 0) && !accumulate;
+          const GemmEpilogue* tile_ep =
+              (kb == num_kb - 1 && !ep.empty()) ? &ep : nullptr;
+          for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+            const std::int64_t jp = (j0 + jr) / kNr;
+            const float* bp = bpack + p0 * padded_n + jp * kc * kNr;
+            const std::int64_t nr = std::min(kNr, nc - jr);
+            for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+              const std::int64_t mr = std::min(kMr, mc - ir);
+              micro_kernel(apack + (ir / kMr) * kc * kMr, bp, kc,
+                           c + (i0 + ir) * ldc + (j0 + jr), ldc, mr, nr,
+                           zero_start, tile_ep, i0 + ir, j0 + jr);
+            }
           }
         }
       }
@@ -65,22 +230,49 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
   }
 }
 
+constexpr GemmEpilogue kNoEpilogue{};
+
+}  // namespace
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t n, std::int64_t k, bool accumulate) {
+  gemm_packed(a, k, b, n, /*b_transposed=*/false, c, n, m, n, k, accumulate,
+              kNoEpilogue);
+}
+
+void gemm_ex(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate,
+             const GemmEpilogue& epilogue) {
+  gemm_packed(a, k, b, n, /*b_transposed=*/false, c, n, m, n, k, accumulate,
+              epilogue);
+}
+
 void gemm_bt(const float* a, const float* b_t, float* c, std::int64_t m,
              std::int64_t n, std::int64_t k, bool accumulate) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-#pragma omp parallel for schedule(static)
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b_t + j * k;
-      float acc = accumulate ? crow[j] : 0.0f;
-      // Dot product over K; contiguous in both operands, vectorizes well.
-      float partial = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) partial += arow[p] * brow[p];
-      crow[j] = acc + partial;
-    }
-  }
+  gemm_packed(a, k, b_t, k, /*b_transposed=*/true, c, n, m, n, k, accumulate,
+              kNoEpilogue);
+}
+
+void gemm_bt_ex(const float* a, const float* b_t, float* c, std::int64_t m,
+                std::int64_t n, std::int64_t k, bool accumulate,
+                const GemmEpilogue& epilogue) {
+  gemm_packed(a, k, b_t, k, /*b_transposed=*/true, c, n, m, n, k, accumulate,
+              epilogue);
+}
+
+void gemm_strided(const float* a, std::int64_t lda, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc, std::int64_t m,
+                  std::int64_t n, std::int64_t k, bool accumulate) {
+  gemm_packed(a, lda, b, ldb, /*b_transposed=*/false, c, ldc, m, n, k,
+              accumulate, kNoEpilogue);
+}
+
+void gemm_bt_strided(const float* a, std::int64_t lda, const float* b_t,
+                     std::int64_t ldb, float* c, std::int64_t ldc,
+                     std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate) {
+  gemm_packed(a, lda, b_t, ldb, /*b_transposed=*/true, c, ldc, m, n, k,
+              accumulate, kNoEpilogue);
 }
 
 void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,

@@ -3,18 +3,49 @@
 /// \file gemm.hpp
 /// Single-precision GEMM kernels. This is the computational backbone of
 /// the real (host) inference path: linear layers, im2col convolution and
-/// attention all lower to these calls. The blocked kernel tiles for L1/L2
-/// residency and parallelizes over row blocks with OpenMP; it is also the
-/// workload used by the practical-FLOPS benchmark that reproduces the
+/// attention all lower to these calls.
+///
+/// The production kernel is a packed-panel design (BLIS-style): A is
+/// packed into MR-strided row panels and B into NR-strided column
+/// panels so the micro-kernel streams both operands contiguously, and
+/// the macro loop parallelizes over the 2-D M×N tile grid rather than
+/// M-only (a 196-row ViT GEMM previously yielded only 4 parallel
+/// chunks). An optional fused epilogue applies bias and activation as C
+/// tiles retire from registers, eliminating the separate
+/// `add_row_bias` + activation memory passes. The same packed path is
+/// the workload of the practical-FLOPS benchmark reproducing the
 /// "Practical TFLOPS" row of Table 1 on the host CPU.
 
 #include <cstdint>
 
 namespace harvest::nn {
 
+/// Activation applied by the fused GEMM epilogue.
+enum class EpilogueAct { kNone, kRelu, kGelu };
+
+/// Fused epilogue: applied to each C tile while it is cache-resident,
+/// immediately after its last K panel is accumulated.
+struct GemmEpilogue {
+  /// Added per column: c[i][j] += bias_n[j] (linear-layer bias).
+  const float* bias_n = nullptr;
+  /// Added per row: c[i][j] += bias_m[i] (conv per-out-channel bias,
+  /// where rows of the im2col GEMM are output channels).
+  const float* bias_m = nullptr;
+  EpilogueAct act = EpilogueAct::kNone;
+
+  bool empty() const {
+    return bias_n == nullptr && bias_m == nullptr && act == EpilogueAct::kNone;
+  }
+};
+
 /// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate). Row-major, no aliasing.
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t n, std::int64_t k, bool accumulate = false);
+
+/// As gemm(), with a fused bias/activation epilogue.
+void gemm_ex(const float* a, const float* b, float* c, std::int64_t m,
+             std::int64_t n, std::int64_t k, bool accumulate,
+             const GemmEpilogue& epilogue);
 
 /// C[M,N] = A[M,K] * B^T where B is stored row-major as [N,K].
 /// Used by attention (Q·Kᵀ) and by linear layers whose weights are kept
@@ -22,12 +53,32 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
 void gemm_bt(const float* a, const float* b_t, float* c, std::int64_t m,
              std::int64_t n, std::int64_t k, bool accumulate = false);
 
+/// As gemm_bt(), with a fused bias/activation epilogue.
+void gemm_bt_ex(const float* a, const float* b_t, float* c, std::int64_t m,
+                std::int64_t n, std::int64_t k, bool accumulate,
+                const GemmEpilogue& epilogue);
+
+/// Strided variants: operand rows may be embedded in a larger row pitch
+/// (`lda`/`ldb`/`ldc` in elements). Attention uses these to run Q·Kᵀ and
+/// scores·V directly on the interleaved [tokens, 3·dim] QKV buffer
+/// without gathering per-head copies first.
+void gemm_strided(const float* a, std::int64_t lda, const float* b,
+                  std::int64_t ldb, float* c, std::int64_t ldc, std::int64_t m,
+                  std::int64_t n, std::int64_t k, bool accumulate = false);
+
+void gemm_bt_strided(const float* a, std::int64_t lda, const float* b_t,
+                     std::int64_t ldb, float* c, std::int64_t ldc,
+                     std::int64_t m, std::int64_t n, std::int64_t k,
+                     bool accumulate = false);
+
 /// Reference kernel (unblocked, single-threaded); used by tests and as
 /// the baseline in the kernel microbenchmarks.
 void gemm_naive(const float* a, const float* b, float* c, std::int64_t m,
                 std::int64_t n, std::int64_t k, bool accumulate = false);
 
-/// Adds `bias[j]` to every row of C[M,N].
+/// Adds `bias[j]` to every row of C[M,N]. Prefer the fused epilogue of
+/// gemm_ex/gemm_bt_ex on hot paths; this remains for cold paths and
+/// tests.
 void add_row_bias(float* c, const float* bias, std::int64_t m, std::int64_t n);
 
 }  // namespace harvest::nn

@@ -118,8 +118,10 @@ Tensor Linear::forward(const Tensor& input) {
   const std::int64_t rows = input.numel() / in_dim_;
   Shape out_shape = input.shape().with_dim(input.shape().rank() - 1, out_dim_);
   Tensor output(out_shape, DType::kF32);
-  gemm_bt(input.f32(), weight_.f32(), output.f32(), rows, out_dim_, in_dim_);
-  add_row_bias(output.f32(), bias_.f32(), rows, out_dim_);
+  GemmEpilogue epilogue;
+  epilogue.bias_n = bias_.f32();
+  gemm_bt_ex(input.f32(), weight_.f32(), output.f32(), rows, out_dim_, in_dim_,
+             /*accumulate=*/false, epilogue);
   return output;
 }
 
@@ -219,9 +221,10 @@ Tensor PatchEmbed::forward(const Tensor& input) {
     // CLS token first.
     std::memcpy(out_tokens, cls_token_.f32(),
                 static_cast<std::size_t>(dim_) * sizeof(float));
-    gemm_bt(patch_buf.data(), weight_.f32(), out_tokens + dim_, patches, dim_,
-            patch_elems);
-    add_row_bias(out_tokens + dim_, bias_.f32(), patches, dim_);
+    GemmEpilogue epilogue;
+    epilogue.bias_n = bias_.f32();
+    gemm_bt_ex(patch_buf.data(), weight_.f32(), out_tokens + dim_, patches,
+               dim_, patch_elems, /*accumulate=*/false, epilogue);
     // Positional embeddings over all tokens (including CLS).
     const float* pos = pos_embed_.f32();
     for (std::int64_t i = 0; i < tokens_ * dim_; ++i) out_tokens[i] += pos[i];
@@ -274,35 +277,34 @@ Tensor TransformerBlock::forward(const Tensor& input) {
                  ln1_beta_.f32());
 
   Tensor qkv(Shape{n, tokens_, 3 * dim_}, DType::kF32);
-  gemm_bt(normed.f32(), w_qkv_.f32(), qkv.f32(), rows, 3 * dim_, dim_);
-  add_row_bias(qkv.f32(), b_qkv_.f32(), rows, 3 * dim_);
+  GemmEpilogue qkv_ep;
+  qkv_ep.bias_n = b_qkv_.f32();
+  gemm_bt_ex(normed.f32(), w_qkv_.f32(), qkv.f32(), rows, 3 * dim_, dim_,
+             /*accumulate=*/false, qkv_ep);
 
   Tensor attn_out(Shape{n, tokens_, dim_}, DType::kF32);
-  std::vector<float> scores(static_cast<std::size_t>(heads_) *
-                            static_cast<std::size_t>(tokens_) *
-                            static_cast<std::size_t>(tokens_));
-  for (std::int64_t b = 0; b < n; ++b) {
-    self_attention(qkv.f32() + b * tokens_ * 3 * dim_,
-                   attn_out.f32() + b * tokens_ * dim_, scores.data(), tokens_,
-                   dim_, heads_);
-  }
+  self_attention_batched(qkv.f32(), attn_out.f32(), n, tokens_, dim_, heads_);
 
-  Tensor projected(Shape{n, tokens_, dim_}, DType::kF32);
-  gemm_bt(attn_out.f32(), w_proj_.f32(), projected.f32(), rows, dim_, dim_);
-  add_row_bias(projected.f32(), b_proj_.f32(), rows, dim_);
-  tensor::add_inplace(x, projected);
+  // Residual fused into the projection: x += attn·Wᵀ + b (accumulate
+  // GEMM with bias epilogue), dropping the separate temp + add pass.
+  GemmEpilogue proj_ep;
+  proj_ep.bias_n = b_proj_.f32();
+  gemm_bt_ex(attn_out.f32(), w_proj_.f32(), x.f32(), rows, dim_, dim_,
+             /*accumulate=*/true, proj_ep);
 
   layernorm_rows(x.f32(), normed.f32(), rows, dim_, ln2_gamma_.f32(),
                  ln2_beta_.f32());
   Tensor hidden(Shape{n, tokens_, mlp_hidden_}, DType::kF32);
-  gemm_bt(normed.f32(), w_fc1_.f32(), hidden.f32(), rows, mlp_hidden_, dim_);
-  add_row_bias(hidden.f32(), b_fc1_.f32(), rows, mlp_hidden_);
-  gelu_inplace(hidden.f32(), hidden.numel());
+  GemmEpilogue fc1_ep;
+  fc1_ep.bias_n = b_fc1_.f32();
+  fc1_ep.act = EpilogueAct::kGelu;
+  gemm_bt_ex(normed.f32(), w_fc1_.f32(), hidden.f32(), rows, mlp_hidden_, dim_,
+             /*accumulate=*/false, fc1_ep);
 
-  Tensor mlp_out(Shape{n, tokens_, dim_}, DType::kF32);
-  gemm_bt(hidden.f32(), w_fc2_.f32(), mlp_out.f32(), rows, dim_, mlp_hidden_);
-  add_row_bias(mlp_out.f32(), b_fc2_.f32(), rows, dim_);
-  tensor::add_inplace(x, mlp_out);
+  GemmEpilogue fc2_ep;
+  fc2_ep.bias_n = b_fc2_.f32();
+  gemm_bt_ex(hidden.f32(), w_fc2_.f32(), x.f32(), rows, dim_, mlp_hidden_,
+             /*accumulate=*/true, fc2_ep);
   return x;
 }
 

@@ -69,10 +69,13 @@ BatchedRequests DynamicBatcher::wait_batch_tagged() {
             queue_.size(), static_cast<std::size_t>(config_.max_batch));
         if (!full && !aged && !shutdown_) take = preferred;
         BatchedRequests batch;
-        batch.reason = full      ? FlushReason::kFullBatch
-                       : aged    ? FlushReason::kTimeout
+        // Shutdown outranks age: a drain flush is labelled kShutdown even
+        // when the head request has also exceeded its queue delay, so the
+        // flush-reason counters attribute drain batches correctly.
+        batch.reason = full        ? FlushReason::kFullBatch
                        : shutdown_ ? FlushReason::kShutdown
-                                 : FlushReason::kPreferredSize;
+                       : aged      ? FlushReason::kTimeout
+                                   : FlushReason::kPreferredSize;
         ++flushes_[static_cast<std::size_t>(batch.reason)];
         batch.requests.reserve(take);
         for (std::size_t i = 0; i < take; ++i) {
@@ -80,7 +83,9 @@ BatchedRequests DynamicBatcher::wait_batch_tagged() {
           queue_.pop_front();
         }
         trace_queue_depth();
-        cv_.notify_all();  // submitters waiting on back-pressure
+        // Wake a sibling consumer if requests remain (submit() never
+        // blocks, so there is no back-pressure wait to release).
+        if (!queue_.empty()) cv_.notify_one();
         return batch;
       }
       // Sleep until the head request ages out (or a new arrival fills

@@ -1,5 +1,8 @@
 #include "serving/server.hpp"
 
+#include <mutex>
+#include <shared_mutex>
+
 #include "core/log.hpp"
 
 namespace harvest::serving {
@@ -15,12 +18,15 @@ core::Status Server::register_model(
   if (config.name.empty()) {
     return core::Status::invalid_argument("model name must not be empty");
   }
+  if (config.instances < 1 || config.max_batch < 1) {
+    return core::Status::invalid_argument("instances and max_batch must be >=1");
+  }
+  // Writer side: the name check and the final emplace must be atomic
+  // with respect to concurrent registrations and readers.
+  std::unique_lock lock(deployments_mutex_);
   if (deployments_.count(config.name) != 0) {
     return core::Status::invalid_argument("model already registered: " +
                                           config.name);
-  }
-  if (config.instances < 1 || config.max_batch < 1) {
-    return core::Status::invalid_argument("instances and max_batch must be >=1");
   }
   if (shut_down_.load(std::memory_order_acquire)) {
     return core::Status::unavailable("server is shut down");
@@ -58,6 +64,7 @@ core::Result<std::future<InferenceResponse>> Server::submit(
   if (shut_down_.load(std::memory_order_acquire)) {
     return core::Status::unavailable("server is shut down");
   }
+  std::shared_lock lock(deployments_mutex_);
   const auto it = deployments_.find(request.model);
   if (it == deployments_.end()) {
     return core::Status::not_found("no model named " + request.model);
@@ -79,11 +86,13 @@ InferenceResponse Server::infer_sync(InferenceRequest request) {
 }
 
 const MetricsRegistry* Server::metrics(const std::string& model) const {
+  std::shared_lock lock(deployments_mutex_);
   const auto it = deployments_.find(model);
   return it == deployments_.end() ? nullptr : &it->second->metrics;
 }
 
 std::vector<std::string> Server::model_names() const {
+  std::shared_lock lock(deployments_mutex_);
   std::vector<std::string> names;
   names.reserve(deployments_.size());
   for (const auto& [name, unused] : deployments_) names.push_back(name);
@@ -91,14 +100,18 @@ std::vector<std::string> Server::model_names() const {
 }
 
 std::size_t Server::queue_depth(const std::string& model) const {
+  std::shared_lock lock(deployments_mutex_);
   const auto it = deployments_.find(model);
   return it == deployments_.end() ? 0 : it->second->batcher.queued();
 }
 
 std::string Server::prometheus_text() const {
   obs::PrometheusWriter writer;
-  for (const auto& [name, deployment] : deployments_) {
-    deployment->metrics.render_prometheus(writer, name);
+  {
+    std::shared_lock lock(deployments_mutex_);
+    for (const auto& [name, deployment] : deployments_) {
+      deployment->metrics.render_prometheus(writer, name);
+    }
   }
   writer.gauge("harvest_preproc_pool_threads",
                "Workers in the shared preprocessing pool.",
@@ -117,6 +130,10 @@ std::string Server::prometheus_text() const {
 
 void Server::shutdown() {
   if (shut_down_.exchange(true, std::memory_order_acq_rel)) return;
+  // Writer lock: register_model may be mutating the map concurrently.
+  // In-flight submit() calls have either observed shut_down_ already or
+  // hold the reader lock, so they finish before we start draining.
+  std::unique_lock lock(deployments_mutex_);
   HARVEST_LOG_DEBUG("server shutdown: draining %zu deployment(s)",
                     deployments_.size());
   for (auto& [name, deployment] : deployments_) {

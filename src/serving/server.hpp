@@ -9,6 +9,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 
 #include "core/thread_pool.hpp"
 #include "serving/batcher.hpp"
@@ -78,6 +79,11 @@ class Server {
   };
 
   core::ThreadPool preproc_pool_;
+  /// Guards the deployments map itself: register_model/shutdown take the
+  /// writer side; submit and the read-only accessors take the reader
+  /// side. Deployment contents (batcher, metrics) are internally
+  /// synchronized and may be used after the lock is released.
+  mutable std::shared_mutex deployments_mutex_;
   std::map<std::string, std::unique_ptr<Deployment>> deployments_;
   std::atomic<std::uint64_t> next_request_id_{1};
   // Read by submitting threads while shutdown() runs — must be atomic.

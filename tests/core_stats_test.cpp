@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -136,6 +137,49 @@ TEST(Histogram, WeightedMass) {
   EXPECT_DOUBLE_EQ(hist.bin_mass(0), 2.5);
   EXPECT_DOUBLE_EQ(hist.bin_mass(1), 0.5);
   EXPECT_DOUBLE_EQ(hist.total_mass(), 3.0);
+}
+
+// Regression: `add` converted (x - lo)/width with a static_cast, which
+// truncates toward zero — samples in (lo - width, lo) landed in bin 0
+// as if they were in range, with no record of the underflow. They must
+// clamp AND be counted as underflow mass.
+TEST(Histogram, UnderflowJustBelowLoIsTracked) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(-0.5);  // truncation bug: (x-lo)/width = -0.25 → idx 0, "in range"
+  hist.add(1.0);
+  EXPECT_DOUBLE_EQ(hist.bin_mass(0), 2.0);  // clamped mass stays visible
+  EXPECT_DOUBLE_EQ(hist.underflow_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.overflow_mass(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 2.0);
+}
+
+TEST(Histogram, OverflowMassTracked) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(10.0);   // hi itself lies outside [lo, hi)
+  hist.add(1e300);  // would be UB through the old int cast
+  hist.add(9.999);
+  EXPECT_DOUBLE_EQ(hist.bin_mass(4), 3.0);
+  EXPECT_DOUBLE_EQ(hist.overflow_mass(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.underflow_mass(), 0.0);
+}
+
+TEST(Histogram, NanSamplesAreDropped) {
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(std::nan(""));
+  hist.add(5.0);
+  EXPECT_DOUBLE_EQ(hist.total_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.underflow_mass(), 0.0);
+  EXPECT_DOUBLE_EQ(hist.overflow_mass(), 0.0);
+}
+
+TEST(Histogram, InfinitiesClampWithoutUb) {
+  Histogram hist(-5.0, 5.0, 10);
+  hist.add(std::numeric_limits<double>::infinity());
+  hist.add(-std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(hist.bin_mass(0), 1.0);
+  EXPECT_DOUBLE_EQ(hist.bin_mass(9), 1.0);
+  EXPECT_DOUBLE_EQ(hist.underflow_mass(), 1.0);
+  EXPECT_DOUBLE_EQ(hist.overflow_mass(), 1.0);
 }
 
 TEST(Histogram, AsciiRenderingHasOneLinePerBin) {

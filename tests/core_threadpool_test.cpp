@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace harvest::core {
@@ -87,6 +89,47 @@ TEST(ThreadPool, NestedSubmitFromTask) {
   });
   outer.get();
   EXPECT_EQ(counter.load(), 2);
+}
+
+// Regression: parallel_for used to submit every chunk to the pool and
+// block on the futures. Called from inside a pool task, the chunks
+// queued behind the caller, which waited on them forever — a guaranteed
+// deadlock on a single-worker pool. The claim-based scheme makes the
+// calling thread execute chunks itself.
+TEST(ThreadPool, ParallelForFromInsidePoolTaskDoesNotDeadlock) {
+  ThreadPool pool(1);
+  std::vector<std::atomic<int>> hits(64);
+  auto outer = pool.submit([&] {
+    pool.parallel_for(0, hits.size(),
+                      [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  });
+  ASSERT_EQ(outer.wait_for(std::chrono::seconds(30)),
+            std::future_status::ready)
+      << "parallel_for deadlocked when called from a pool worker";
+  outer.get();
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.parallel_for(0, 8, [&](std::size_t) {
+    pool.parallel_for(0, 8, [&counter](std::size_t) {
+      counter.fetch_add(1);
+    });
+  });
+  EXPECT_EQ(counter.load(), 64);
+}
+
+TEST(ThreadPool, ParallelForPropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("iteration 57");
+                                   }
+                                 }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, ParallelReductionMatchesSerial) {

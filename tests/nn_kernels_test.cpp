@@ -54,7 +54,12 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(64, 64, 64), std::make_tuple(65, 33, 70),
                       std::make_tuple(128, 16, 300),
                       std::make_tuple(7, 130, 257),
-                      std::make_tuple(100, 100, 1)));
+                      std::make_tuple(100, 100, 1),
+                      // Packed-panel edge cases: M%4≠0 with N%16≠0
+                      // around the KC/NC block boundaries, ViT-ish M.
+                      std::make_tuple(37, 41, 259),
+                      std::make_tuple(196, 49, 64),
+                      std::make_tuple(2, 515, 33)));
 
 TEST(Gemm, AccumulateAddsToExisting) {
   const auto a = random_vec(6, 3);
@@ -98,6 +103,150 @@ TEST(Gemm, DegenerateDimsAreNoops) {
   std::vector<float> c(4, 5.0f);
   gemm(nullptr, nullptr, c.data(), 0, 2, 2);
   EXPECT_EQ(c[0], 5.0f);
+}
+
+// ------------------------------------------------- fused epilogue / strides
+
+TEST(GemmEx, FusedColumnBiasMatchesSeparatePass) {
+  constexpr int kM = 21, kN = 35, kK = 40;
+  const auto a = random_vec(kM * kK, 12);
+  const auto b = random_vec(kK * kN, 13);
+  const auto bias = random_vec(kN, 14);
+  std::vector<float> want(kM * kN, 0.0f);
+  gemm_naive(a.data(), b.data(), want.data(), kM, kN, kK);
+  add_row_bias(want.data(), bias.data(), kM, kN);
+
+  GemmEpilogue ep;
+  ep.bias_n = bias.data();
+  std::vector<float> got(kM * kN, -7.0f);
+  gemm_ex(a.data(), b.data(), got.data(), kM, kN, kK, /*accumulate=*/false, ep);
+  for (int i = 0; i < kM * kN; ++i) EXPECT_NEAR(got[i], want[i], 1e-4f) << i;
+}
+
+TEST(GemmEx, FusedRowBiasAddsPerRow) {
+  // bias_m is the conv path: one bias per output row (out-channel).
+  constexpr int kM = 6, kN = 18, kK = 11;
+  const auto a = random_vec(kM * kK, 21);
+  const auto b = random_vec(kK * kN, 22);
+  const auto bias = random_vec(kM, 23);
+  std::vector<float> want(kM * kN, 0.0f);
+  gemm_naive(a.data(), b.data(), want.data(), kM, kN, kK);
+  for (int i = 0; i < kM; ++i) {
+    for (int j = 0; j < kN; ++j) want[i * kN + j] += bias[i];
+  }
+  GemmEpilogue ep;
+  ep.bias_m = bias.data();
+  std::vector<float> got(kM * kN);
+  gemm_ex(a.data(), b.data(), got.data(), kM, kN, kK, false, ep);
+  for (int i = 0; i < kM * kN; ++i) EXPECT_NEAR(got[i], want[i], 1e-4f) << i;
+}
+
+TEST(GemmEx, FusedReluMatchesSeparateActivation) {
+  constexpr int kM = 19, kN = 31, kK = 67;
+  const auto a = random_vec(kM * kK, 31);
+  const auto b = random_vec(kK * kN, 32);
+  std::vector<float> want(kM * kN, 0.0f);
+  gemm_naive(a.data(), b.data(), want.data(), kM, kN, kK);
+  relu_inplace(want.data(), kM * kN);
+
+  GemmEpilogue ep;
+  ep.act = EpilogueAct::kRelu;
+  std::vector<float> got(kM * kN);
+  gemm_ex(a.data(), b.data(), got.data(), kM, kN, kK, false, ep);
+  for (int i = 0; i < kM * kN; ++i) EXPECT_NEAR(got[i], want[i], 1e-5f) << i;
+}
+
+TEST(GemmEx, FusedGeluMatchesGeluInplace) {
+  // Must be bit-compatible with the standalone activation the layers
+  // previously called, so fusing fc1 doesn't drift model outputs.
+  constexpr int kM = 33, kN = 20, kK = 129;
+  const auto a = random_vec(kM * kK, 41);
+  const auto b_t = random_vec(kN * kK, 42);
+  const auto bias = random_vec(kN, 43);
+  std::vector<float> b(kK * kN);
+  for (int j = 0; j < kN; ++j) {
+    for (int p = 0; p < kK; ++p) b[p * kN + j] = b_t[j * kK + p];
+  }
+  std::vector<float> want(kM * kN, 0.0f);
+  gemm_naive(a.data(), b.data(), want.data(), kM, kN, kK);
+  add_row_bias(want.data(), bias.data(), kM, kN);
+  gelu_inplace(want.data(), kM * kN);
+
+  GemmEpilogue ep;
+  ep.bias_n = bias.data();
+  ep.act = EpilogueAct::kGelu;
+  std::vector<float> got(kM * kN);
+  gemm_bt_ex(a.data(), b_t.data(), got.data(), kM, kN, kK, false, ep);
+  for (int i = 0; i < kM * kN; ++i) EXPECT_NEAR(got[i], want[i], 1e-4f) << i;
+}
+
+TEST(GemmEx, EpilogueWithAccumulate) {
+  constexpr int kM = 10, kN = 22, kK = 30;
+  const auto a = random_vec(kM * kK, 51);
+  const auto b = random_vec(kK * kN, 52);
+  const auto bias = random_vec(kN, 53);
+  std::vector<float> want(kM * kN, 2.0f);
+  gemm_naive(a.data(), b.data(), want.data(), kM, kN, kK, /*accumulate=*/true);
+  add_row_bias(want.data(), bias.data(), kM, kN);
+
+  GemmEpilogue ep;
+  ep.bias_n = bias.data();
+  std::vector<float> got(kM * kN, 2.0f);
+  gemm_ex(a.data(), b.data(), got.data(), kM, kN, kK, /*accumulate=*/true, ep);
+  for (int i = 0; i < kM * kN; ++i) EXPECT_NEAR(got[i], want[i], 1e-4f) << i;
+}
+
+TEST(GemmStrided, EmbeddedOperandsMatchDense) {
+  constexpr int kM = 14, kN = 27, kK = 53;
+  constexpr int kLda = kK + 4, kLdb = kN + 6, kLdc = kN + 2;
+  const auto a = random_vec(kM * kK, 61);
+  const auto b = random_vec(kK * kN, 62);
+  std::vector<float> wa(kM * kLda, 9.0f), wb(kK * kLdb, 9.0f);
+  std::vector<float> wc(kM * kLdc, 3.0f);
+  for (int i = 0; i < kM; ++i) {
+    for (int p = 0; p < kK; ++p) wa[i * kLda + p] = a[i * kK + p];
+  }
+  for (int p = 0; p < kK; ++p) {
+    for (int j = 0; j < kN; ++j) wb[p * kLdb + j] = b[p * kN + j];
+  }
+  std::vector<float> want(kM * kN, 0.0f);
+  gemm_naive(a.data(), b.data(), want.data(), kM, kN, kK);
+
+  gemm_strided(wa.data(), kLda, wb.data(), kLdb, wc.data(), kLdc, kM, kN, kK);
+  for (int i = 0; i < kM; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      EXPECT_NEAR(wc[i * kLdc + j], want[i * kN + j], 1e-4f) << i << "," << j;
+    }
+  }
+  // Gutter columns between logical rows must be untouched.
+  for (int i = 0; i < kM; ++i) {
+    for (int j = kN; j < kLdc; ++j) EXPECT_EQ(wc[i * kLdc + j], 3.0f);
+  }
+}
+
+TEST(GemmStrided, TransposedBStridedMatchesDense) {
+  constexpr int kM = 11, kN = 9, kK = 40;
+  constexpr int kLda = kK + 1, kLdb = kK + 8, kLdc = kN + 5;
+  const auto a = random_vec(kM * kK, 71);
+  const auto b_t = random_vec(kN * kK, 72);
+  std::vector<float> wa(kM * kLda, 0.0f), wbt(kN * kLdb, 0.0f);
+  std::vector<float> wc(kM * kLdc, 0.0f);
+  for (int i = 0; i < kM; ++i) {
+    for (int p = 0; p < kK; ++p) wa[i * kLda + p] = a[i * kK + p];
+  }
+  for (int j = 0; j < kN; ++j) {
+    for (int p = 0; p < kK; ++p) wbt[j * kLdb + p] = b_t[j * kK + p];
+  }
+  std::vector<float> want(kM * kN, 0.0f);
+  gemm_bt(a.data(), b_t.data(), want.data(), kM, kN, kK);
+
+  gemm_bt_strided(wa.data(), kLda, wbt.data(), kLdb, wc.data(), kLdc, kM, kN,
+                  kK);
+  for (int i = 0; i < kM; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      EXPECT_NEAR(wc[i * kLdc + j], want[i * kN + j], 1e-4f) << i << "," << j;
+    }
+  }
 }
 
 // ------------------------------------------------------------ activations
@@ -241,13 +390,55 @@ INSTANTIATE_TEST_SUITE_P(
                       ConvCase{1, 3, 9, 7, 2, 3, 2, 1},
                       ConvCase{1, 4, 8, 8, 8, 1, 1, 0},
                       ConvCase{1, 3, 12, 12, 2, 7, 2, 3},
-                      ConvCase{2, 2, 6, 6, 3, 3, 2, 0}));
+                      ConvCase{2, 2, 6, 6, 3, 3, 2, 0},
+                      // Batch-parallel path with padding and odd
+                      // geometry: each batch item gets its own scratch
+                      // slot, all must match the direct loop.
+                      ConvCase{4, 3, 9, 9, 5, 3, 2, 1},
+                      ConvCase{3, 2, 7, 5, 4, 5, 1, 2},
+                      ConvCase{5, 1, 6, 6, 2, 3, 1, 1}));
+
+TEST(Conv, ScratchReuseAcrossBatchSizes) {
+  // The per-worker scratch layout depends on the batch size; reusing
+  // one scratch tensor across different batches must stay correct.
+  core::Rng rng(29);
+  Tensor weight(Shape{3, 2 * 3 * 3}, DType::kF32);
+  for (float& v : weight.f32_span()) v = rng.next_float() - 0.5f;
+  const Conv2dParams params{2, 3, 3, 1, 1};
+  Tensor scratch;
+  for (std::int64_t batch : {4, 1, 3}) {
+    Tensor input(Shape{batch, 2, 6, 6}, DType::kF32);
+    for (float& v : input.f32_span()) v = rng.next_float() - 0.5f;
+    Tensor fast = conv2d(input, weight, nullptr, params, scratch);
+    Tensor slow = conv2d_naive(input, weight, nullptr, params);
+    EXPECT_LT(tensor::max_abs_diff(fast, slow), 1e-3f) << "batch " << batch;
+  }
+}
 
 TEST(Conv, OutExtentFormula) {
   EXPECT_EQ(conv_out_extent(224, 7, 2, 3), 112);
   EXPECT_EQ(conv_out_extent(112, 3, 2, 1), 56);
   EXPECT_EQ(conv_out_extent(5, 3, 1, 0), 3);
   EXPECT_EQ(conv_out_extent(5, 1, 1, 0), 5);
+}
+
+// Regression: degenerate geometry used to slip through and produce a
+// zero/negative output extent that blew up later as a bogus tensor
+// shape; it must fail fast at the formula with a clear message.
+TEST(ConvDeathTest, KernelLargerThanPaddedInputIsRejected) {
+  EXPECT_DEATH(conv_out_extent(4, 7, 1, 0), "kernel exceeds padded input");
+  EXPECT_DEATH(conv_out_extent(2, 5, 1, 1), "kernel exceeds padded input");
+}
+
+TEST(ConvDeathTest, NonPositiveStrideIsRejected) {
+  EXPECT_DEATH(conv_out_extent(8, 3, 0, 1), "stride must be >= 1");
+  EXPECT_DEATH(conv_out_extent(8, 3, -2, 1), "stride must be >= 1");
+}
+
+TEST(ConvDeathTest, NonPositiveExtentsAreRejected) {
+  EXPECT_DEATH(conv_out_extent(0, 1, 1, 0), "in>=1");
+  EXPECT_DEATH(conv_out_extent(8, 0, 1, 0), "in>=1");
+  EXPECT_DEATH(conv_out_extent(8, 3, 1, -1), "in>=1");
 }
 
 TEST(Conv, MaxPoolPicksWindowMax) {
@@ -343,6 +534,33 @@ TEST(Attention, OutputIsConvexCombinationOfValues) {
       const float o = out[static_cast<std::size_t>(t * kDim + d)];
       EXPECT_GE(o, lo - 1e-4f);
       EXPECT_LE(o, hi + 1e-4f);
+    }
+  }
+}
+
+TEST(Attention, BatchedMatchesPerImage) {
+  // The batched entry point parallelizes over batch×heads with
+  // per-thread scratch; results must equal running each image alone.
+  constexpr std::int64_t kBatch = 3;
+  constexpr std::int64_t kTokens = 7;
+  constexpr std::int64_t kDim = 12;
+  constexpr std::int64_t kHeads = 3;
+  const auto qkv =
+      random_vec(static_cast<std::size_t>(kBatch * kTokens * 3 * kDim), 77);
+  std::vector<float> batched(static_cast<std::size_t>(kBatch * kTokens * kDim));
+  self_attention_batched(qkv.data(), batched.data(), kBatch, kTokens, kDim,
+                         kHeads);
+
+  std::vector<float> single(static_cast<std::size_t>(kTokens * kDim));
+  std::vector<float> scratch(
+      static_cast<std::size_t>(kHeads * kTokens * kTokens));
+  for (std::int64_t b = 0; b < kBatch; ++b) {
+    self_attention(qkv.data() + b * kTokens * 3 * kDim, single.data(),
+                   scratch.data(), kTokens, kDim, kHeads);
+    for (std::int64_t i = 0; i < kTokens * kDim; ++i) {
+      EXPECT_NEAR(batched[static_cast<std::size_t>(b * kTokens * kDim + i)],
+                  single[static_cast<std::size_t>(i)], 1e-5f)
+          << "b=" << b << " i=" << i;
     }
   }
 }

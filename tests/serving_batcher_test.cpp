@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <thread>
 
 namespace harvest::serving {
@@ -198,6 +199,37 @@ TEST(BatcherFlushReason, FullBeatsPreferredInTag) {
   }
   const BatchedRequests batch = batcher.wait_batch_tagged();
   EXPECT_EQ(batch.requests.size(), 4u);
+  EXPECT_EQ(batch.reason, FlushReason::kFullBatch);
+}
+
+// Regression: the reason ternary used to test `aged` before
+// `shutdown_`, so a drain flush whose head request had also exceeded
+// the queue delay was mislabelled kTimeout, skewing the drain
+// accounting every clean shutdown with slightly-stale requests.
+TEST(BatcherFlushReason, ShutdownOutranksTimeoutOnDrain) {
+  DynamicBatcher batcher({4, /*max_queue_delay_s=*/1e-3, 64, {}});
+  ASSERT_TRUE(batcher.submit(make_request(1)).is_ok());
+  // Let the request age past its deadline *before* shutting down, so
+  // both `aged` and `shutdown_` hold at flush time.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  batcher.shutdown();
+  const BatchedRequests drain = batcher.wait_batch_tagged();
+  ASSERT_EQ(drain.requests.size(), 1u);
+  EXPECT_EQ(drain.reason, FlushReason::kShutdown);
+  const FlushCounts counts = batcher.flush_counts();
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlushReason::kShutdown)], 1u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlushReason::kTimeout)], 0u);
+}
+
+// A full batch is still a full batch during shutdown: the work was
+// ready regardless of the drain.
+TEST(BatcherFlushReason, FullBeatsShutdownInTag) {
+  DynamicBatcher batcher({2, 10.0, 64, {}});
+  ASSERT_TRUE(batcher.submit(make_request(1)).is_ok());
+  ASSERT_TRUE(batcher.submit(make_request(2)).is_ok());
+  batcher.shutdown();
+  const BatchedRequests batch = batcher.wait_batch_tagged();
+  EXPECT_EQ(batch.requests.size(), 2u);
   EXPECT_EQ(batch.reason, FlushReason::kFullBatch);
 }
 

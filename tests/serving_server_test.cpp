@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "data/synthetic.hpp"
 #include "nn/init.hpp"
 #include "nn/models.hpp"
@@ -200,6 +203,60 @@ TEST(Server, ShutdownThenSubmitIsUnavailable) {
   request.input = tiny_input(9);
   auto submitted = server.submit(std::move(request));
   EXPECT_FALSE(submitted.is_ok());
+}
+
+// Regression: `deployments_` was completely unguarded, so a thread
+// registering a model while another submitted (or scraped metrics)
+// raced on the std::map — a TSan-visible data race and, under rehash
+// timing, a crash. The map is now behind a shared_mutex; this test is
+// the TSan target (`HARVEST_SANITIZE=thread` build, `ctest -L obs`).
+TEST(Server, ConcurrentRegisterAndSubmitIsRaceFree) {
+  Server server(1);
+  ASSERT_TRUE(server
+                  .register_model(tiny_deployment("warm"),
+                                  [] { return make_tiny_backend(); })
+                  .is_ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> answered{0};
+
+  // Writer: keeps registering fresh deployments while readers run.
+  std::thread registrar([&] {
+    for (int i = 0; i < 8; ++i) {
+      const std::string name = "late-" + std::to_string(i);
+      ASSERT_TRUE(server
+                      .register_model(tiny_deployment(name),
+                                      [] { return make_tiny_backend(); })
+                      .is_ok());
+    }
+  });
+  // Reader 1: submits real work against the pre-registered model.
+  std::thread submitter([&] {
+    for (int i = 0; i < 6; ++i) {
+      InferenceRequest request;
+      request.model = "warm";
+      request.input = tiny_input(static_cast<std::uint64_t>(i));
+      const InferenceResponse response = server.infer_sync(std::move(request));
+      if (response.status.is_ok()) answered.fetch_add(1);
+    }
+  });
+  // Reader 2: hammers the read-only accessors the exporter uses.
+  std::thread scraper([&] {
+    while (!stop.load()) {
+      (void)server.model_names();
+      (void)server.metrics("warm");
+      (void)server.queue_depth("warm");
+      (void)server.prometheus_text();
+    }
+  });
+
+  registrar.join();
+  submitter.join();
+  stop.store(true);
+  scraper.join();
+
+  EXPECT_EQ(answered.load(), 6);
+  EXPECT_EQ(server.model_names().size(), 9u);  // warm + late-0..7
 }
 
 TEST(Server, ExpiredDeadlineDroppedBeforeExecution) {
