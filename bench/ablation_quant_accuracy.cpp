@@ -12,7 +12,10 @@
 #include "core/table.hpp"
 #include "core/time.hpp"
 #include "core/units.hpp"
+#include "nn/graph.hpp"
+#include "nn/init.hpp"
 #include "nn/layers.hpp"
+#include "nn/models.hpp"
 #include "nn/quant.hpp"
 #include "tensor/ops.hpp"
 
@@ -86,12 +89,96 @@ int main() {
   }
   std::fputs(table.render().c_str(), stdout);
 
+  // Whole-model view: the same comparison after nn::quantize_model has
+  // swapped every eligible layer (patch embed / attention projections /
+  // MLPs / convs), i.e. the exact graph an `"precision": "int8"` native
+  // deployment serves.
+  core::TextTable model_table("full model (nn::quantize_model)");
+  model_table.set_header({"model", "argmax agreement", "rel. L2 error",
+                          "float s/batch", "int8 s/batch", "speed"});
+  constexpr std::int64_t kBatch = 16;
+  struct ModelCase {
+    const char* label;
+    nn::ModelPtr fp32;
+    nn::ModelPtr int8;
+  };
+  nn::ResNetConfig resnet_config;
+  resnet_config.name = "resnet_small";
+  resnet_config.image = 32;
+  resnet_config.stage_blocks = {1, 1};
+  std::vector<ModelCase> cases;
+  cases.push_back({"ViT-Tiny", nn::build_vit(nn::vit_tiny_config()),
+                   nn::build_vit(nn::vit_tiny_config())});
+  cases.push_back({"ResNet-small", nn::build_resnet(resnet_config),
+                   nn::build_resnet(resnet_config)});
+  for (ModelCase& c : cases) {
+    nn::init_weights(*c.fp32, 42);
+    nn::init_weights(*c.int8, 42);
+    nn::quantize_model(*c.int8);
+
+    const tensor::Shape& per_image = c.fp32->input_shape();
+    tensor::Tensor input(tensor::Shape{kBatch, per_image.dim(0),
+                                       per_image.dim(1), per_image.dim(2)},
+                         tensor::DType::kF32);
+    for (float& v : input.f32_span()) v = (rng.next_float() - 0.5f) * 2.0f;
+
+    core::WallTimer float_timer;
+    const tensor::Tensor float_out = c.fp32->forward(input);
+    const double float_s = float_timer.elapsed_seconds();
+    core::WallTimer quant_timer;
+    const tensor::Tensor quant_out = c.int8->forward(input);
+    const double quant_s = quant_timer.elapsed_seconds();
+
+    const std::int64_t classes = c.fp32->num_classes();
+    std::int64_t agree = 0;
+    double err_num = 0.0;
+    double err_den = 0.0;
+    for (std::int64_t b = 0; b < kBatch; ++b) {
+      std::span<const float> frow{float_out.f32() + b * classes,
+                                  static_cast<std::size_t>(classes)};
+      std::span<const float> qrow{quant_out.f32() + b * classes,
+                                  static_cast<std::size_t>(classes)};
+      if (tensor::argmax(frow) == tensor::argmax(qrow)) ++agree;
+      for (std::int64_t k = 0; k < classes; ++k) {
+        const double d =
+            static_cast<double>(frow[static_cast<std::size_t>(k)] -
+                                qrow[static_cast<std::size_t>(k)]);
+        err_num += d * d;
+        err_den += static_cast<double>(frow[static_cast<std::size_t>(k)]) *
+                   static_cast<double>(frow[static_cast<std::size_t>(k)]);
+      }
+    }
+    const double agreement = static_cast<double>(agree) / kBatch;
+    const double rel_error =
+        err_den > 0.0 ? std::sqrt(err_num / err_den) : 0.0;
+    model_table.add_row({c.label,
+                         core::format_fixed(agreement * 100.0, 2) + "%",
+                         core::format_fixed(rel_error * 100.0, 3) + "%",
+                         core::format_fixed(float_s, 3),
+                         core::format_fixed(quant_s, 3),
+                         core::format_fixed(float_s / quant_s, 2) + "x"});
+    core::Json row = core::Json::object();
+    row["model"] = core::Json(std::string(c.label));
+    row["batch"] = core::Json(kBatch);
+    row["argmax_agreement"] = core::Json(agreement);
+    row["relative_l2_error"] = core::Json(rel_error);
+    row["float_seconds"] = core::Json(float_s);
+    row["int8_seconds"] = core::Json(quant_s);
+    report.add_row(std::move(row));
+  }
+  std::printf("\n");
+  std::fputs(model_table.render().c_str(), stdout);
+
   std::printf(
-      "\nExpected shape: sub-percent output error and ~99%% argmax agreement "
-      "from dynamic INT8 — quantifying why the paper can treat INT8 as a "
-      "throughput lever with only a footnote on accuracy (§3.1). (On this "
-      "scalar CPU the int8 path's speed depends on the compiler's integer "
-      "vectorization; on tensor cores it is the 2x of Ablation C.)\n");
+      "\nExpected shape: sub-percent head error / ~99%% head agreement and "
+      "low-single-digit-percent logit error with matching top-1 for the full "
+      "quantized graphs — quantifying why the paper can treat INT8 as a "
+      "throughput lever with only a footnote on accuracy (§3.1). Speed here "
+      "is one cold pass including per-call row quantization; tiny heads "
+      "(out<=39) underfill the kernel's 16-wide panels, and the full-model "
+      "ratio is diluted by the layers that stay fp32 (attention softmax, "
+      "layernorm). The steady-state kernel speedup is measured by "
+      "`qgemm_sweep` (gated >=2x on Linear/attention shapes).\n");
   bench::finish(report);
   return 0;
 }

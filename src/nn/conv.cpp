@@ -56,6 +56,36 @@ void im2col(const float* input, float* columns, std::int64_t c,
   }
 }
 
+void im2row(const float* input, float* rows, std::int64_t c, std::int64_t h,
+            std::int64_t w, const Conv2dParams& p) {
+  const std::int64_t out_h = conv_out_extent(h, p.kernel, p.stride, p.padding);
+  const std::int64_t out_w = conv_out_extent(w, p.kernel, p.stride, p.padding);
+  const std::int64_t patch = c * p.kernel * p.kernel;
+  // One destination row per output position; rows are independent, so
+  // the expansion parallelizes over the spatial dimension.
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t oy = 0; oy < out_h; ++oy) {
+    for (std::int64_t ox = 0; ox < out_w; ++ox) {
+      float* dst = rows + (oy * out_w + ox) * patch;
+      std::int64_t idx = 0;
+      for (std::int64_t ch = 0; ch < c; ++ch) {
+        for (std::int64_t ky = 0; ky < p.kernel; ++ky) {
+          const std::int64_t iy = oy * p.stride - p.padding + ky;
+          if (iy < 0 || iy >= h) {
+            for (std::int64_t kx = 0; kx < p.kernel; ++kx) dst[idx++] = 0.0f;
+            continue;
+          }
+          const float* src_row = input + (ch * h + iy) * w;
+          for (std::int64_t kx = 0; kx < p.kernel; ++kx) {
+            const std::int64_t ix = ox * p.stride - p.padding + kx;
+            dst[idx++] = (ix >= 0 && ix < w) ? src_row[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
 Tensor conv2d(const Tensor& input, const Tensor& weight, const float* bias,
               const Conv2dParams& p, Tensor& scratch) {
   const Shape& s = input.shape();

@@ -28,6 +28,13 @@ std::int64_t conv_out_extent(std::int64_t in, std::int64_t kernel,
 void im2col(const float* input, float* columns, std::int64_t c,
             std::int64_t h, std::int64_t w, const Conv2dParams& p);
 
+/// Transposed im2col: one row per output position,
+/// columns [outH*outW, C*k*k] (one image). This is the layout the int8
+/// conv path wants — each row is one receptive field, quantized with
+/// its own dynamic scale and fed to the packed qgemm as Bᵀ.
+void im2row(const float* input, float* rows, std::int64_t c, std::int64_t h,
+            std::int64_t w, const Conv2dParams& p);
+
 /// conv2d: input [N,Cin,H,W], weight [Cout, Cin*k*k], bias [Cout] or null.
 /// Returns [N, Cout, outH, outW]. `scratch` holds the im2col buffers —
 /// one [Cin*k*k, outH*outW] slot per batch-parallel worker — and is

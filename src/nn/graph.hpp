@@ -27,6 +27,11 @@ class Model {
   void add(LayerPtr layer) { layers_.push_back(std::move(layer)); }
   std::size_t layer_count() const { return layers_.size(); }
   Layer& layer(std::size_t i) { return *layers_[i]; }
+  /// Swap layer `i` for a replacement with identical I/O geometry
+  /// (e.g. its quantized counterpart from `quantize_model`).
+  void replace_layer(std::size_t i, LayerPtr layer) {
+    layers_[i] = std::move(layer);
+  }
 
   /// Run a batch [N, ...input_shape] through all layers; returns logits
   /// [N, num_classes].

@@ -40,6 +40,11 @@ class Layer {
 
   /// Append (name, tensor) references for every learnable parameter.
   virtual void collect_params(std::vector<NamedParam>& out) = 0;
+
+  /// Build this layer's INT8 replacement from its current weights, or
+  /// return null if the layer has no quantized form (it is kept as-is).
+  /// Drives the `quantize_model` graph rewrite.
+  virtual std::unique_ptr<Layer> make_quantized() { return nullptr; }
 };
 
 using LayerPtr = std::unique_ptr<Layer>;

@@ -7,6 +7,7 @@
 #include "nn/attention.hpp"
 #include "nn/gemm.hpp"
 #include "nn/norm.hpp"
+#include "nn/quant.hpp"
 #include "tensor/ops.hpp"
 
 namespace harvest::nn {
@@ -105,6 +106,25 @@ OpCost elementwise(std::string name, std::int64_t elems) {
 
 }  // namespace cost
 
+void gather_image_patches(const float* img, float* dst, std::int64_t in_ch,
+                          std::int64_t image, std::int64_t grid,
+                          std::int64_t patch) {
+  const std::int64_t patch_elems = in_ch * patch * patch;
+  for (std::int64_t gy = 0; gy < grid; ++gy) {
+    for (std::int64_t gx = 0; gx < grid; ++gx) {
+      float* row = dst + (gy * grid + gx) * patch_elems;
+      std::int64_t idx = 0;
+      for (std::int64_t c = 0; c < in_ch; ++c) {
+        for (std::int64_t py = 0; py < patch; ++py) {
+          const float* src =
+              img + (c * image + gy * patch + py) * image + gx * patch;
+          for (std::int64_t px = 0; px < patch; ++px) row[idx++] = src[px];
+        }
+      }
+    }
+  }
+}
+
 // ---------------------------------------------------------------- Linear
 
 Linear::Linear(std::string name, std::int64_t in_dim, std::int64_t out_dim,
@@ -132,6 +152,11 @@ void Linear::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
 void Linear::collect_params(std::vector<NamedParam>& out) {
   out.push_back({name_ + ".weight", &weight_});
   out.push_back({name_ + ".bias", &bias_});
+}
+
+LayerPtr Linear::make_quantized() {
+  return std::make_unique<QuantizedLinear>(name_, weight_, bias_,
+                                           rows_per_image_);
 }
 
 // ------------------------------------------------------------------ Gelu
@@ -202,21 +227,8 @@ Tensor PatchEmbed::forward(const Tensor& input) {
                                static_cast<std::size_t>(patch_elems));
 
   for (std::int64_t b = 0; b < n; ++b) {
-    // Gather patches: row p = flattened (c, y, x) block of patch p.
     const float* img = input.f32() + b * in_ch_ * image_ * image_;
-    for (std::int64_t gy = 0; gy < grid_; ++gy) {
-      for (std::int64_t gx = 0; gx < grid_; ++gx) {
-        float* row = patch_buf.data() + (gy * grid_ + gx) * patch_elems;
-        std::int64_t idx = 0;
-        for (std::int64_t c = 0; c < in_ch_; ++c) {
-          for (std::int64_t py = 0; py < patch_; ++py) {
-            const float* src =
-                img + (c * image_ + gy * patch_ + py) * image_ + gx * patch_;
-            for (std::int64_t px = 0; px < patch_; ++px) row[idx++] = src[px];
-          }
-        }
-      }
-    }
+    gather_image_patches(img, patch_buf.data(), in_ch_, image_, grid_, patch_);
     float* out_tokens = output.f32() + b * tokens_ * dim_;
     // CLS token first.
     std::memcpy(out_tokens, cls_token_.f32(),
@@ -244,6 +256,12 @@ void PatchEmbed::collect_params(std::vector<NamedParam>& out) {
   out.push_back({name_ + ".bias", &bias_});
   out.push_back({name_ + ".cls_token", &cls_token_});
   out.push_back({name_ + ".pos_embed", &pos_embed_});
+}
+
+LayerPtr PatchEmbed::make_quantized() {
+  return std::make_unique<QuantizedPatchEmbed>(name_, image_, patch_, in_ch_,
+                                               dim_, weight_, bias_, cls_token_,
+                                               pos_embed_);
 }
 
 // -------------------------------------------------------- TransformerBlock
@@ -338,6 +356,13 @@ void TransformerBlock::collect_params(std::vector<NamedParam>& out) {
   out.push_back({name_ + ".fc2.bias", &b_fc2_});
 }
 
+LayerPtr TransformerBlock::make_quantized() {
+  return std::make_unique<QuantizedTransformerBlock>(
+      name_, dim_, heads_, mlp_hidden_, tokens_, ln1_gamma_, ln1_beta_,
+      ln2_gamma_, ln2_beta_, w_qkv_, b_qkv_, w_proj_, b_proj_, w_fc1_, b_fc1_,
+      w_fc2_, b_fc2_);
+}
+
 // --------------------------------------------------------------- ClsPool
 
 ClsPool::ClsPool(std::string name, std::int64_t tokens, std::int64_t dim)
@@ -407,6 +432,12 @@ void ConvBnRelu::collect_params(std::vector<NamedParam>& out) {
   out.push_back({name_ + ".bn.beta", &bn_beta_});
   out.push_back({name_ + ".bn.mean", &bn_mean_});
   out.push_back({name_ + ".bn.var", &bn_var_});
+}
+
+LayerPtr ConvBnRelu::make_quantized() {
+  return std::make_unique<QuantizedConvBnRelu>(name_, params_, in_h_, in_w_,
+                                               relu_, weight_, bn_gamma_,
+                                               bn_beta_, bn_mean_, bn_var_);
 }
 
 // ---------------------------------------------------------------- MaxPool
@@ -490,6 +521,13 @@ void Bottleneck::collect_params(std::vector<NamedParam>& out) {
   conv2_->collect_params(out);
   conv3_->collect_params(out);
   if (down_) down_->collect_params(out);
+}
+
+LayerPtr Bottleneck::make_quantized() {
+  return std::make_unique<QuantizedBottleneck>(
+      name_, conv1_->make_quantized(), conv2_->make_quantized(),
+      conv3_->make_quantized(), down_ ? down_->make_quantized() : nullptr,
+      mid_ch_ * 4 * out_h() * out_w());
 }
 
 }  // namespace harvest::nn

@@ -16,6 +16,14 @@
 
 namespace harvest::nn {
 
+/// Gather the non-overlapping patches of one NCHW image into rows:
+/// dst row p = flattened (c, y, x) block of patch p, p = gy·grid + gx,
+/// so a [grid², in_ch·patch²] matrix ready for the projection GEMM.
+/// Shared by PatchEmbed and its quantized counterpart.
+void gather_image_patches(const float* img, float* dst, std::int64_t in_ch,
+                          std::int64_t image, std::int64_t grid,
+                          std::int64_t patch);
+
 /// y = x·Wᵀ + b. Treats input as [rows, in_dim] where rows = numel/in_dim,
 /// so it serves both token sequences [N,T,D] and feature vectors [N,D].
 class Linear final : public Layer {
@@ -27,6 +35,7 @@ class Linear final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  LayerPtr make_quantized() override;
 
   tensor::Tensor& weight() { return weight_; }
   tensor::Tensor& bias() { return bias_; }
@@ -79,6 +88,7 @@ class PatchEmbed final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  LayerPtr make_quantized() override;
 
   std::int64_t tokens() const { return tokens_; }
 
@@ -102,6 +112,7 @@ class TransformerBlock final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  LayerPtr make_quantized() override;
 
  private:
   std::string name_;
@@ -138,6 +149,7 @@ class ConvBnRelu final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  LayerPtr make_quantized() override;
 
   std::int64_t out_h() const { return out_h_; }
   std::int64_t out_w() const { return out_w_; }
@@ -199,6 +211,7 @@ class Bottleneck final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  LayerPtr make_quantized() override;
 
   std::int64_t out_channels() const { return mid_ch_ * 4; }
   std::int64_t out_h() const { return conv2_->out_h(); }

@@ -1,0 +1,496 @@
+#include "nn/qgemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#define HARVEST_QGEMM_X86 1
+#endif
+
+namespace harvest::nn {
+namespace {
+
+// Micro-tile geometry. The int8 kernel keeps the fp32 kernel's 4×16
+// tile, but packs operands as int16 *k-pairs*: one (lo, hi) pair per
+// lane feeds a pmaddwd-class widening multiply-add (two int16 products
+// summed into an int32 lane in one instruction), which is what buys
+// int8 its >2× rate over fp32 on the same core.
+constexpr std::int64_t kMr = 4;
+constexpr std::int64_t kNr = 16;
+
+// Cache blocks, mirroring gemm.cpp. KC is even so every non-final K
+// block packs to exactly kKc/2 pairs.
+constexpr std::int64_t kMc = 96;
+constexpr std::int64_t kKc = 256;
+constexpr std::int64_t kNc = 512;
+static_assert(kKc % 2 == 0, "pair packing needs an even KC");
+
+// Below this MNK volume the pack/copy overhead exceeds the arithmetic.
+constexpr std::int64_t kSmallProblem = 4096;
+
+inline std::int64_t pairs_of(std::int64_t kc) { return (kc + 1) / 2; }
+
+inline float gelu_scalar(float x) {
+  constexpr float kInvSqrt2 = 0.70710678118654752440f;
+  return x * 0.5f * (1.0f + std::erf(x * kInvSqrt2));
+}
+
+// ------------------------------------------------------------- packing
+
+/// Pack an mc×kc block of int8 A (row pitch lda) into MR-strided int16
+/// k-pair panels: panel r holds rows [r·MR, r·MR+MR) as
+/// ap[p2·MR·2 + i·2 + {0,1}] = widen(a[i][2·p2 {+1}]), zero-padded in
+/// both the row and the k direction so the micro-kernel always runs a
+/// full MR×(2·kc2).
+void pack_a_pairs(const std::int8_t* a, std::int64_t lda, std::int16_t* ap,
+                  std::int64_t mc, std::int64_t kc) {
+  const std::int64_t kc2 = pairs_of(kc);
+  for (std::int64_t i0 = 0; i0 < mc; i0 += kMr) {
+    const std::int64_t mr = std::min(kMr, mc - i0);
+    for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+      std::int16_t* dst = ap + p2 * kMr * 2;
+      const std::int64_t p = 2 * p2;
+      for (std::int64_t r = 0; r < mr; ++r) {
+        const std::int8_t* arow = a + (i0 + r) * lda;
+        dst[r * 2 + 0] = static_cast<std::int16_t>(arow[p]);
+        dst[r * 2 + 1] =
+            p + 1 < kc ? static_cast<std::int16_t>(arow[p + 1]) : 0;
+      }
+      for (std::int64_t r = mr; r < kMr; ++r) {
+        dst[r * 2 + 0] = 0;
+        dst[r * 2 + 1] = 0;
+      }
+    }
+    ap += kc2 * kMr * 2;
+  }
+}
+
+/// Pack one kc×NR sliver of Bᵀ (row-major [N, K], row pitch ldb) into
+/// int16 k-pairs: bp[p2·NR·2 + j·2 + {0,1}], nr valid columns,
+/// zero-padded to NR and to even k.
+void pack_bt_pairs(const std::int8_t* b_t, std::int64_t ldb, std::int16_t* bp,
+                   std::int64_t kc, std::int64_t nr) {
+  const std::int64_t kc2 = pairs_of(kc);
+  for (std::int64_t j = 0; j < nr; ++j) {
+    const std::int8_t* brow = b_t + j * ldb;
+    for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+      const std::int64_t p = 2 * p2;
+      bp[p2 * kNr * 2 + j * 2 + 0] = static_cast<std::int16_t>(brow[p]);
+      bp[p2 * kNr * 2 + j * 2 + 1] =
+          p + 1 < kc ? static_cast<std::int16_t>(brow[p + 1]) : 0;
+    }
+  }
+  for (std::int64_t j = nr; j < kNr; ++j) {
+    for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+      bp[p2 * kNr * 2 + j * 2 + 0] = 0;
+      bp[p2 * kNr * 2 + j * 2 + 1] = 0;
+    }
+  }
+}
+
+// -------------------------------------------------------- micro-kernels
+//
+// All variants compute the same int32 tile
+//   c[i][j] (+)= Σ_p2 ap[p2][i][0]·bp[p2][j][0] + ap[p2][i][1]·bp[p2][j][1]
+// over the packed pair panels; integer arithmetic is associative, so
+// every path is bit-identical to the naive reference.
+
+using MicroKernel = void (*)(const std::int16_t* ap, const std::int16_t* bp,
+                             std::int64_t kc2, std::int32_t* c,
+                             std::int64_t ldc, bool zero_start);
+
+[[maybe_unused]] void micro_scalar(const std::int16_t* ap,
+                                   const std::int16_t* bp, std::int64_t kc2,
+                                   std::int32_t* c, std::int64_t ldc,
+                                   bool zero_start) {
+  std::int32_t acc[kMr][kNr] = {};
+  for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+    const std::int16_t* bpair = bp + p2 * kNr * 2;
+    const std::int16_t* apair = ap + p2 * kMr * 2;
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const std::int32_t alo = apair[i * 2 + 0];
+      const std::int32_t ahi = apair[i * 2 + 1];
+      for (std::int64_t j = 0; j < kNr; ++j) {
+        acc[i][j] += alo * bpair[j * 2 + 0] + ahi * bpair[j * 2 + 1];
+      }
+    }
+  }
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    std::int32_t* crow = c + i * ldc;
+    for (std::int64_t j = 0; j < kNr; ++j) {
+      crow[j] = zero_start ? acc[i][j] : crow[j] + acc[i][j];
+    }
+  }
+}
+
+#ifdef HARVEST_QGEMM_X86
+
+// SSE2 (x86-64 baseline): pmaddwd over xmm lanes. The 4×16 tile is
+// walked as two 4×8 half-tiles so accumulators + operands fit the 16
+// xmm registers.
+void micro_sse2(const std::int16_t* ap, const std::int16_t* bp,
+                std::int64_t kc2, std::int32_t* c, std::int64_t ldc,
+                bool zero_start) {
+  for (int half = 0; half < 2; ++half) {
+    const std::int16_t* bh = bp + half * 16;  // 8 columns × 2 pair lanes
+    __m128i acc[kMr][2];
+    for (auto& row : acc) row[0] = row[1] = _mm_setzero_si128();
+    for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+      const __m128i b0 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bh + p2 * 32));
+      const __m128i b1 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bh + p2 * 32 + 8));
+      const std::int32_t* apair =
+          reinterpret_cast<const std::int32_t*>(ap + p2 * kMr * 2);
+      for (std::int64_t i = 0; i < kMr; ++i) {
+        const __m128i av = _mm_set1_epi32(apair[i]);
+        acc[i][0] = _mm_add_epi32(acc[i][0], _mm_madd_epi16(av, b0));
+        acc[i][1] = _mm_add_epi32(acc[i][1], _mm_madd_epi16(av, b1));
+      }
+    }
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      std::int32_t* crow = c + i * ldc + half * 8;
+      for (int v = 0; v < 2; ++v) {
+        __m128i out = acc[i][v];
+        if (!zero_start) {
+          out = _mm_add_epi32(
+              out, _mm_loadu_si128(reinterpret_cast<__m128i*>(crow + v * 4)));
+        }
+        _mm_storeu_si128(reinterpret_cast<__m128i*>(crow + v * 4), out);
+      }
+    }
+  }
+}
+
+__attribute__((target("avx2"))) void micro_avx2(const std::int16_t* ap,
+                                                const std::int16_t* bp,
+                                                std::int64_t kc2,
+                                                std::int32_t* c,
+                                                std::int64_t ldc,
+                                                bool zero_start) {
+  __m256i acc[kMr][2];
+  for (auto& row : acc) row[0] = row[1] = _mm256_setzero_si256();
+  for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + p2 * 32));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + p2 * 32 + 16));
+    const std::int32_t* apair =
+        reinterpret_cast<const std::int32_t*>(ap + p2 * kMr * 2);
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const __m256i av = _mm256_set1_epi32(apair[i]);
+      acc[i][0] = _mm256_add_epi32(acc[i][0], _mm256_madd_epi16(av, b0));
+      acc[i][1] = _mm256_add_epi32(acc[i][1], _mm256_madd_epi16(av, b1));
+    }
+  }
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    std::int32_t* crow = c + i * ldc;
+    for (int v = 0; v < 2; ++v) {
+      __m256i out = acc[i][v];
+      if (!zero_start) {
+        out = _mm256_add_epi32(
+            out, _mm256_loadu_si256(reinterpret_cast<__m256i*>(crow + v * 8)));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + v * 8), out);
+    }
+  }
+}
+
+#if defined(__GNUC__) && !defined(__clang__) && __GNUC__ >= 11
+#define HARVEST_QGEMM_AVXVNNI 1
+// AVX-VNNI: vpdpwssd fuses the pmaddwd + paddd pair.
+__attribute__((target("avxvnni"))) void micro_avxvnni(const std::int16_t* ap,
+                                                      const std::int16_t* bp,
+                                                      std::int64_t kc2,
+                                                      std::int32_t* c,
+                                                      std::int64_t ldc,
+                                                      bool zero_start) {
+  __m256i acc[kMr][2];
+  for (auto& row : acc) row[0] = row[1] = _mm256_setzero_si256();
+  for (std::int64_t p2 = 0; p2 < kc2; ++p2) {
+    const __m256i b0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + p2 * 32));
+    const __m256i b1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(bp + p2 * 32 + 16));
+    const std::int32_t* apair =
+        reinterpret_cast<const std::int32_t*>(ap + p2 * kMr * 2);
+    for (std::int64_t i = 0; i < kMr; ++i) {
+      const __m256i av = _mm256_set1_epi32(apair[i]);
+      acc[i][0] = _mm256_dpwssd_avx_epi32(acc[i][0], av, b0);
+      acc[i][1] = _mm256_dpwssd_avx_epi32(acc[i][1], av, b1);
+    }
+  }
+  for (std::int64_t i = 0; i < kMr; ++i) {
+    std::int32_t* crow = c + i * ldc;
+    for (int v = 0; v < 2; ++v) {
+      __m256i out = acc[i][v];
+      if (!zero_start) {
+        out = _mm256_add_epi32(
+            out, _mm256_loadu_si256(reinterpret_cast<__m256i*>(crow + v * 8)));
+      }
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(crow + v * 8), out);
+    }
+  }
+}
+#endif  // AVX-VNNI
+#endif  // HARVEST_QGEMM_X86
+
+struct KernelChoice {
+  MicroKernel fn;
+  const char* isa;
+};
+
+KernelChoice select_kernel() {
+#ifdef HARVEST_QGEMM_X86
+#ifdef HARVEST_QGEMM_AVXVNNI
+  if (__builtin_cpu_supports("avxvnni")) return {micro_avxvnni, "avxvnni"};
+#endif
+  if (__builtin_cpu_supports("avx2")) return {micro_avx2, "avx2"};
+  return {micro_sse2, "sse2"};
+#else
+  return {micro_scalar, "scalar"};
+#endif
+}
+
+const KernelChoice& kernel_choice() {
+  static const KernelChoice choice = select_kernel();
+  return choice;
+}
+
+// ------------------------------------------------------------ epilogues
+
+inline float apply_act(float v, QGemmEpilogue::Act act) {
+  switch (act) {
+    case QGemmEpilogue::Act::kNone: break;
+    case QGemmEpilogue::Act::kRelu: v = std::max(0.0f, v); break;
+    case QGemmEpilogue::Act::kGelu: v = gelu_scalar(v); break;
+  }
+  return v;
+}
+
+inline float dequant_one(std::int32_t acc, std::int64_t i, std::int64_t j,
+                         const QGemmEpilogue& ep) {
+  float v = static_cast<float>(acc);
+  if (ep.scale_m != nullptr) v *= ep.scale_m[i];
+  if (ep.scale_n != nullptr) v *= ep.scale_n[j];
+  if (ep.bias_m != nullptr) v += ep.bias_m[i];
+  if (ep.bias_n != nullptr) v += ep.bias_n[j];
+  return apply_act(v, ep.act);
+}
+
+/// Retire one finished int32 tile (mc×nc at scratch, row pitch lds)
+/// into fp32 C while it is cache-hot.
+void retire_tile_dequant(const std::int32_t* scratch, std::int64_t lds,
+                         float* c, std::int64_t ldc, std::int64_t i0,
+                         std::int64_t j0, std::int64_t mc, std::int64_t nc,
+                         const QGemmEpilogue& ep) {
+  for (std::int64_t i = 0; i < mc; ++i) {
+    const std::int32_t* srow = scratch + i * lds;
+    float* crow = c + (i0 + i) * ldc + j0;
+    if (ep.accumulate) {
+      for (std::int64_t j = 0; j < nc; ++j) {
+        crow[j] += dequant_one(srow[j], i0 + i, j0 + j, ep);
+      }
+    } else {
+      for (std::int64_t j = 0; j < nc; ++j) {
+        crow[j] = dequant_one(srow[j], i0 + i, j0 + j, ep);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- driver
+
+/// Shared B-panel layout bookkeeping: element offset of the (kb, jp)
+/// panel inside a packed-B buffer. Non-final K blocks contribute
+/// exactly kKc/2 pairs each.
+inline std::int64_t panel_offset(std::int64_t kb, std::int64_t jp,
+                                 std::int64_t kc2, std::int64_t padded_n) {
+  return (kb * (kKc / 2) * padded_n + jp * kc2 * kNr) * 2;
+}
+
+inline std::int64_t packed_b_elems(std::int64_t n, std::int64_t k) {
+  const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
+  const std::int64_t num_kb = (k + kKc - 1) / kKc;
+  const std::int64_t full_pairs = (num_kb - 1) * (kKc / 2);
+  const std::int64_t last_pairs = pairs_of(k - (num_kb - 1) * kKc);
+  return (full_pairs + last_pairs) * padded_n * 2;
+}
+
+void pack_b_all(const std::int8_t* b_t, std::int64_t ldb, std::int16_t* bpack,
+                std::int64_t n, std::int64_t k) {
+  const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
+  const std::int64_t num_kb = (k + kKc - 1) / kKc;
+  const std::int64_t num_jp = padded_n / kNr;
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::int64_t kb = 0; kb < num_kb; ++kb) {
+    for (std::int64_t jp = 0; jp < num_jp; ++jp) {
+      const std::int64_t p0 = kb * kKc;
+      const std::int64_t kc = std::min(kKc, k - p0);
+      const std::int64_t j0 = jp * kNr;
+      const std::int64_t nr = std::min(kNr, n - j0);
+      pack_bt_pairs(b_t + j0 * ldb + p0, ldb,
+                    bpack + panel_offset(kb, jp, pairs_of(kc), padded_n), kc,
+                    nr);
+    }
+  }
+}
+
+/// Naive small-problem path with optional dequant epilogue. `ci`
+/// receives raw int32 (may be null), `cf` the dequantized fp32 output
+/// (may be null); exactly one is set.
+void qgemm_small(const std::int8_t* a, const std::int8_t* b_t, std::int32_t* ci,
+                 float* cf, std::int64_t m, std::int64_t n, std::int64_t k,
+                 const QGemmEpilogue& ep) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const std::int8_t* arow = a + i * k;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const std::int8_t* brow = b_t + j * k;
+      std::int32_t acc = 0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(arow[p]) *
+               static_cast<std::int32_t>(brow[p]);
+      }
+      if (ci != nullptr) {
+        ci[i * n + j] = acc;
+      } else {
+        float v = dequant_one(acc, i, j, ep);
+        cf[i * n + j] = ep.accumulate ? cf[i * n + j] + v : v;
+      }
+    }
+  }
+}
+
+/// Packed-panel driver shared by every public entry point. The int32
+/// accumulator tile lives in a thread-local scratch (never in C, which
+/// may be fp32); tiles retire through `retire` while still cache-hot.
+/// `bpack` may be pre-packed weights; when null, B is packed on the fly
+/// into a thread-local buffer shared across calls.
+template <typename Retire>
+void qgemm_driver(const std::int8_t* a, const std::int8_t* b_t,
+                  const std::int16_t* prepacked_b, std::int64_t m,
+                  std::int64_t n, std::int64_t k, const Retire& retire) {
+  const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
+  const std::int64_t num_kb = (k + kKc - 1) / kKc;
+
+  const std::int16_t* bpack = prepacked_b;
+  if (bpack == nullptr) {
+    static thread_local std::vector<std::int16_t> bpack_tl;
+    bpack_tl.resize(static_cast<std::size_t>(packed_b_elems(n, k)));
+    pack_b_all(b_t, k, bpack_tl.data(), n, k);
+    bpack = bpack_tl.data();
+  }
+
+  const std::int64_t num_ib = (m + kMc - 1) / kMc;
+  const std::int64_t num_jb = (n + kNc - 1) / kNc;
+
+#pragma omp parallel
+  {
+    // Packed A block plus the int32 accumulator tile, both per thread.
+    static thread_local std::vector<std::int16_t> apack_tl;
+    static thread_local std::vector<std::int32_t> ctile_tl;
+    apack_tl.resize(static_cast<std::size_t>(
+        ((kMc + kMr - 1) / kMr) * kMr * 2 * pairs_of(kKc)));
+    ctile_tl.resize(static_cast<std::size_t>(kMc * kNc));
+    std::int16_t* apack = apack_tl.data();
+    std::int32_t* ctile = ctile_tl.data();
+
+#pragma omp for collapse(2) schedule(dynamic)
+    for (std::int64_t ib = 0; ib < num_ib; ++ib) {
+      for (std::int64_t jb = 0; jb < num_jb; ++jb) {
+        const std::int64_t i0 = ib * kMc;
+        const std::int64_t mc = std::min(kMc, m - i0);
+        const std::int64_t j0 = jb * kNc;
+        const std::int64_t nc = std::min(kNc, n - j0);
+        for (std::int64_t kb = 0; kb < num_kb; ++kb) {
+          const std::int64_t p0 = kb * kKc;
+          const std::int64_t kc = std::min(kKc, k - p0);
+          const std::int64_t kc2 = pairs_of(kc);
+          pack_a_pairs(a + i0 * k + p0, k, apack, mc, kc);
+          const bool zero_start = kb == 0;
+          for (std::int64_t jr = 0; jr < nc; jr += kNr) {
+            const std::int64_t jp = (j0 + jr) / kNr;
+            const std::int16_t* bp =
+                bpack + panel_offset(kb, jp, kc2, padded_n);
+            for (std::int64_t ir = 0; ir < mc; ir += kMr) {
+              // The scratch tile is full-size, so the micro-kernel
+              // always writes a complete MR×NR tile; only the valid
+              // mc×nc region retires to C.
+              kernel_choice().fn(apack + (ir / kMr) * kc2 * kMr * 2, bp, kc2,
+                                 ctile + ir * kNc + jr, kNc, zero_start);
+            }
+          }
+        }
+        retire(ctile, i0, j0, mc, nc);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void qgemm_bt_naive(const std::int8_t* a, const std::int8_t* b_t,
+                    std::int32_t* c, std::int64_t m, std::int64_t n,
+                    std::int64_t k) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  qgemm_small(a, b_t, c, nullptr, m, n, k, QGemmEpilogue{});
+}
+
+void qgemm_bt(const std::int8_t* a, const std::int8_t* b_t, std::int32_t* c,
+              std::int64_t m, std::int64_t n, std::int64_t k) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * n * k <= kSmallProblem) {
+    qgemm_small(a, b_t, c, nullptr, m, n, k, QGemmEpilogue{});
+    return;
+  }
+  qgemm_driver(a, b_t, nullptr, m, n, k,
+               [&](const std::int32_t* tile, std::int64_t i0, std::int64_t j0,
+                   std::int64_t mc, std::int64_t nc) {
+                 for (std::int64_t i = 0; i < mc; ++i) {
+                   std::memcpy(c + (i0 + i) * n + j0, tile + i * kNc,
+                               static_cast<std::size_t>(nc) *
+                                   sizeof(std::int32_t));
+                 }
+               });
+}
+
+void qgemm_bt_dequant(const std::int8_t* a, const std::int8_t* b_t, float* c,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      const QGemmEpilogue& epilogue) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * n * k <= kSmallProblem) {
+    qgemm_small(a, b_t, nullptr, c, m, n, k, epilogue);
+    return;
+  }
+  qgemm_driver(a, b_t, nullptr, m, n, k,
+               [&](const std::int32_t* tile, std::int64_t i0, std::int64_t j0,
+                   std::int64_t mc, std::int64_t nc) {
+                 retire_tile_dequant(tile, kNc, c, n, i0, j0, mc, nc, epilogue);
+               });
+}
+
+QGemmPackedB::QGemmPackedB(const std::int8_t* b_t, std::int64_t n,
+                           std::int64_t k)
+    : n_(n), k_(k) {
+  panels_.resize(static_cast<std::size_t>(packed_b_elems(n, k)));
+  pack_b_all(b_t, k, panels_.data(), n, k);
+}
+
+void qgemm_prepacked_dequant(const std::int8_t* a, const QGemmPackedB& b,
+                             float* c, std::int64_t m,
+                             const QGemmEpilogue& epilogue) {
+  const std::int64_t n = b.n();
+  const std::int64_t k = b.k();
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  qgemm_driver(a, nullptr, b.data(), m, n, k,
+               [&](const std::int32_t* tile, std::int64_t i0, std::int64_t j0,
+                   std::int64_t mc, std::int64_t nc) {
+                 retire_tile_dequant(tile, kNc, c, n, i0, j0, mc, nc, epilogue);
+               });
+}
+
+const char* qgemm_isa() { return kernel_choice().isa; }
+
+}  // namespace harvest::nn

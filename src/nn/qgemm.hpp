@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file qgemm.hpp
+/// Packed int8 GEMM — the integer counterpart of the fp32 packed-panel
+/// kernel in gemm.hpp. Operands are int8, accumulation is exact int32
+/// (int8 → int16 pair packing → pmaddwd-style widening multiply-add),
+/// and the epilogue dequantizes per tile: per-row/per-column scales,
+/// bias, optional ReLU/GELU, optional accumulate-into-C — so a
+/// quantized dense layer is one kernel call with no separate
+/// dequantize/bias/activation memory passes.
+///
+/// The micro-kernel dispatches at runtime on the host ISA (AVX-VNNI →
+/// AVX2 → SSE2 → portable scalar) via per-function target attributes;
+/// every path produces bit-identical int32 accumulators, so tests can
+/// gate on exact equality against the naive reference regardless of the
+/// machine. B ([N, K] row-major, the weight layout of Linear) can be
+/// packed once ahead of time (`QGemmPackedB`) — weights are static, so
+/// layers pay the packing cost at quantization time, not per forward.
+
+#include <cstdint>
+#include <vector>
+
+namespace harvest::nn {
+
+/// Epilogue fused into the int8 kernel's tile retirement: the int32
+/// accumulator tile is dequantized as
+///   c[i][j] (+)= acc[i][j] · scale_m[i] · scale_n[j] + bias
+/// while it is still cache-hot. Null scale pointers mean "scale 1".
+struct QGemmEpilogue {
+  enum class Act { kNone, kRelu, kGelu };
+  const float* scale_m = nullptr;  ///< per-row scale (e.g. activation rows)
+  const float* scale_n = nullptr;  ///< per-column scale (e.g. weight rows)
+  const float* bias_m = nullptr;   ///< per-row bias (conv: per out-channel)
+  const float* bias_n = nullptr;   ///< per-column bias (linear: per output)
+  Act act = Act::kNone;
+  bool accumulate = false;         ///< c += dequant(acc) instead of c =
+};
+
+/// Reference triple loop, exact int32: C[M,N] = A[M,K] · Bᵀ with B
+/// stored row-major as [N, K]. The packed kernel must match this
+/// bit-for-bit; tests and the qgemm_sweep gate depend on it.
+void qgemm_bt_naive(const std::int8_t* a, const std::int8_t* b_t,
+                    std::int32_t* c, std::int64_t m, std::int64_t n,
+                    std::int64_t k);
+
+/// Packed, cache-blocked int8 GEMM with int32 output:
+/// C[M,N] = A[M,K] · Bᵀ (B row-major [N, K]). Exactly equal to
+/// qgemm_bt_naive for all inputs.
+void qgemm_bt(const std::int8_t* a, const std::int8_t* b_t, std::int32_t* c,
+              std::int64_t m, std::int64_t n, std::int64_t k);
+
+/// Packed int8 GEMM with fused dequantizing epilogue writing fp32:
+/// C[M,N] = epilogue(A[M,K] · Bᵀ). This is the hot path of every
+/// quantized layer.
+void qgemm_bt_dequant(const std::int8_t* a, const std::int8_t* b_t, float* c,
+                      std::int64_t m, std::int64_t n, std::int64_t k,
+                      const QGemmEpilogue& epilogue);
+
+/// B panels packed once for repeated use (weights). Layout matches what
+/// the micro-kernel streams: per (kb, jp) panel, int16-widened k-pairs.
+class QGemmPackedB {
+ public:
+  QGemmPackedB() = default;
+  /// Pack b_t ([n, k] row-major int8).
+  QGemmPackedB(const std::int8_t* b_t, std::int64_t n, std::int64_t k);
+
+  bool empty() const { return n_ == 0; }
+  std::int64_t n() const { return n_; }
+  std::int64_t k() const { return k_; }
+  const std::int16_t* data() const { return panels_.data(); }
+
+ private:
+  std::int64_t n_ = 0, k_ = 0;
+  std::vector<std::int16_t> panels_;
+};
+
+/// As qgemm_bt_dequant, but with B packed ahead of time. `a` may be
+/// null only if m == 0.
+void qgemm_prepacked_dequant(const std::int8_t* a, const QGemmPackedB& b,
+                             float* c, std::int64_t m,
+                             const QGemmEpilogue& epilogue);
+
+/// Name of the micro-kernel path selected for this host
+/// ("avxvnni" | "avx2" | "sse2" | "scalar"); surfaces in bench reports
+/// so recorded speedups are attributable to an ISA.
+const char* qgemm_isa();
+
+}  // namespace harvest::nn

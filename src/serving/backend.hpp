@@ -30,6 +30,13 @@ class Backend {
   virtual core::Result<BackendResult> infer(const tensor::Tensor& batch) = 0;
   /// Model input edge S.
   virtual std::int64_t input_size() const = 0;
+  /// Numeric precision the engine executes in ("fp32", "int8", ...).
+  /// Surfaces as a metrics/trace label so deployments of the same model
+  /// at different precisions can be compared live.
+  virtual const std::string& precision() const {
+    static const std::string kFp32 = "fp32";
+    return kFp32;
+  }
 };
 
 using BackendPtr = std::unique_ptr<Backend>;

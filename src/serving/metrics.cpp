@@ -106,9 +106,11 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
 }
 
 void MetricsRegistry::render_prometheus(obs::PrometheusWriter& out,
-                                        const std::string& model) const {
+                                        const std::string& model,
+                                        const std::string& precision) const {
   std::scoped_lock lock(mutex_);
-  const obs::PrometheusWriter::Labels labels = {{"model", model}};
+  const obs::PrometheusWriter::Labels labels = {{"model", model},
+                                                {"precision", precision}};
   out.counter("harvest_requests_completed_total",
               "Requests answered successfully.",
               static_cast<double>(completed_), labels);

@@ -66,9 +66,11 @@ class MetricsRegistry {
   MetricsSnapshot snapshot(double wall_seconds) const;
 
   /// Append this registry's metric families to a Prometheus text
-  /// exposition, labelled with `model`.
-  void render_prometheus(obs::PrometheusWriter& out,
-                         const std::string& model) const;
+  /// exposition, labelled with `model` and the deployment's numeric
+  /// `precision` — fp32 and int8 deployments of the same model stay
+  /// distinguishable in one scrape.
+  void render_prometheus(obs::PrometheusWriter& out, const std::string& model,
+                         const std::string& precision = "fp32") const;
 
   void reset();
 

@@ -45,7 +45,10 @@ ModelInstance::~ModelInstance() {
 }
 
 void ModelInstance::run_loop() {
-  obs::TraceRecorder::instance().set_thread_name(name_);
+  // Thread name carries the engine precision so fp32 and int8 streams
+  // of the same model are tellable apart in the trace viewer.
+  obs::TraceRecorder::instance().set_thread_name(name_ + " [" +
+                                                 backend_->precision() + "]");
   for (;;) {
     BatchedRequests batch = batcher_->wait_batch_tagged();
     if (batch.requests.empty()) return;  // shutdown

@@ -4,8 +4,10 @@
 
 namespace harvest::serving {
 
-NativeBackend::NativeBackend(nn::ModelPtr model, std::int64_t max_batch)
-    : model_(std::move(model)), max_batch_(max_batch) {
+NativeBackend::NativeBackend(nn::ModelPtr model, std::int64_t max_batch,
+                             std::string precision)
+    : model_(std::move(model)), max_batch_(max_batch),
+      precision_(std::move(precision)) {
   HARVEST_CHECK_MSG(model_ != nullptr, "native backend needs a model");
   HARVEST_CHECK_MSG(max_batch_ >= 1, "max_batch must be positive");
 }

@@ -14,20 +14,25 @@ namespace harvest::serving {
 
 class NativeBackend final : public Backend {
  public:
-  /// Takes ownership of a built (and initialized) model.
-  NativeBackend(nn::ModelPtr model, std::int64_t max_batch);
+  /// Takes ownership of a built (and initialized) model. `precision`
+  /// labels what the graph executes in — pass "int8" for a model that
+  /// went through nn::quantize_model.
+  NativeBackend(nn::ModelPtr model, std::int64_t max_batch,
+                std::string precision = "fp32");
 
   const std::string& name() const override;
   std::int64_t max_batch() const override { return max_batch_; }
   std::int64_t num_classes() const override;
   std::int64_t input_size() const override;
   core::Result<BackendResult> infer(const tensor::Tensor& batch) override;
+  const std::string& precision() const override { return precision_; }
 
   nn::Model& model() { return *model_; }
 
  private:
   nn::ModelPtr model_;
   std::int64_t max_batch_;
+  std::string precision_;
   // The nn graph reuses per-layer scratch buffers; serialize access so
   // one backend instance = one execution stream (more instances = more
   // backends, as in Triton's instance groups).

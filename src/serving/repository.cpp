@@ -5,6 +5,7 @@
 
 #include "nn/init.hpp"
 #include "nn/models.hpp"
+#include "nn/quant.hpp"
 #include "nn/rwkv.hpp"
 #include "nn/serialize.hpp"
 #include "platform/perf_model.hpp"
@@ -66,6 +67,10 @@ core::Result<nn::ModelPtr> build_native_model(const core::Json& entry) {
   if (!weights.empty()) {
     HARVEST_RETURN_IF_ERROR(nn::load_weights(*model, weights));
   }
+  // Quantize after the weights are final — the rewrite snapshots them.
+  if (entry.get_string("precision", "fp32") == "int8") {
+    nn::quantize_model(*model);
+  }
   return model;
 }
 
@@ -93,6 +98,16 @@ core::Status register_entry(Server& server, const core::Json& entry) {
   }
 
   const std::string backend = entry.get_string("backend", "native");
+  deployment.precision = entry.get_string("precision", "fp32");
+  if (deployment.precision != "fp32" && deployment.precision != "int8") {
+    return core::Status::invalid_argument("unknown precision: " +
+                                          deployment.precision);
+  }
+  if (backend == "sim" && deployment.precision != "fp32") {
+    return core::Status::invalid_argument(
+        "sim backend only supports fp32 (the device model prices fp16/int8 "
+        "analytically elsewhere)");
+  }
   if (backend == "native") {
     if (deployment.preproc.output_size == 224 && !entry.contains("preproc")) {
       // Default the preprocessing size to the model's input when the
@@ -104,12 +119,14 @@ core::Status register_entry(Server& server, const core::Json& entry) {
     auto probe = build_native_model(entry);
     if (!probe.is_ok()) return probe.status();
     const std::int64_t max_batch = deployment.max_batch;
-    return server.register_model(deployment, [entry, max_batch]() -> BackendPtr {
-      auto model = build_native_model(entry);
-      if (!model.is_ok()) return nullptr;
-      return std::make_unique<NativeBackend>(std::move(model).value(),
-                                             max_batch);
-    });
+    const std::string precision = deployment.precision;
+    return server.register_model(
+        deployment, [entry, max_batch, precision]() -> BackendPtr {
+          auto model = build_native_model(entry);
+          if (!model.is_ok()) return nullptr;
+          return std::make_unique<NativeBackend>(std::move(model).value(),
+                                                 max_batch, precision);
+        });
   }
   if (backend == "sim") {
     const std::string model_name = entry.get_string("model", "");

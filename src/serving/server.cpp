@@ -110,7 +110,8 @@ std::string Server::prometheus_text() const {
   {
     std::shared_lock lock(deployments_mutex_);
     for (const auto& [name, deployment] : deployments_) {
-      deployment->metrics.render_prometheus(writer, name);
+      deployment->metrics.render_prometheus(writer, name,
+                                            deployment->config.precision);
     }
   }
   writer.gauge("harvest_preproc_pool_threads",

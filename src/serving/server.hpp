@@ -28,6 +28,11 @@ struct ModelDeploymentConfig {
   /// Batched thread-parallel preprocessing (DALI-style) instead of
   /// sequential per-image CPU preprocessing.
   bool batched_preproc = true;
+  /// Numeric precision the deployment's engines execute in ("fp32" or
+  /// "int8"). Labels every metric and trace thread of the deployment so
+  /// the same model can be served at both precisions side by side and
+  /// compared live.
+  std::string precision = "fp32";
 };
 
 class Server {

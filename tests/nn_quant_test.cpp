@@ -6,7 +6,10 @@
 
 #include "core/rng.hpp"
 #include "nn/gemm.hpp"
+#include "nn/graph.hpp"
+#include "nn/init.hpp"
 #include "nn/layers.hpp"
+#include "nn/models.hpp"
 #include "tensor/ops.hpp"
 
 namespace harvest::nn {
@@ -137,7 +140,7 @@ TEST(QuantizedLinear, WeightErrorBoundedByScales) {
   EXPECT_LE(quantized.max_weight_error(), 0.5f / 127.0f + 1e-6f);
 }
 
-TEST(QuantizedLinear, CostsReportHalvedTraffic) {
+TEST(QuantizedLinear, CostsReportOneByteOperands) {
   Linear reference("fc", 8, 4, 2);
   QuantizedLinear quantized("fc.q", reference.weight(), reference.bias(), 2);
   std::vector<OpCost> float_costs;
@@ -146,8 +149,251 @@ TEST(QuantizedLinear, CostsReportHalvedTraffic) {
   quantized.append_costs(1, quant_costs);
   ASSERT_EQ(quant_costs.size(), 1u);
   EXPECT_DOUBLE_EQ(quant_costs[0].macs, float_costs[0].macs);
+  // int8 traffic is priced directly at 1 byte per element — weights are
+  // 8x4 int8, so exactly 32 bytes (half the fp16 deploy convention).
+  EXPECT_DOUBLE_EQ(quant_costs[0].weight_bytes, 8.0 * 4.0);
   EXPECT_DOUBLE_EQ(quant_costs[0].weight_bytes,
                    float_costs[0].weight_bytes / 2.0);
+}
+
+// --- packed kernel vs naive reference, exact int32 ---------------------
+
+void fill_int8(std::vector<std::int8_t>& v, std::uint64_t seed) {
+  core::Rng rng(seed);
+  for (auto& x : v) x = static_cast<std::int8_t>(rng.uniform_int(-127, 127));
+}
+
+TEST(QGemm, PackedMatchesNaiveOnAwkwardShapes) {
+  // Shapes chosen to hit every edge of the blocking: M%MR, N%NR, odd K
+  // (the int16 pair packing zero-pads), K straddling the KC=256 block
+  // boundary, M straddling MC=96, and degenerate single-row/column.
+  struct Case {
+    std::int64_t m, n, k;
+  };
+  const std::vector<Case> cases = {{7, 13, 9},    {5, 64, 32},  {16, 33, 48},
+                                   {12, 32, 257}, {33, 49, 513}, {197, 31, 40},
+                                   {1, 129, 77},  {63, 1, 260}};
+  for (const Case& c : cases) {
+    std::vector<std::int8_t> a(static_cast<std::size_t>(c.m * c.k));
+    std::vector<std::int8_t> bt(static_cast<std::size_t>(c.n * c.k));
+    fill_int8(a, static_cast<std::uint64_t>(c.m * 7 + c.k));
+    fill_int8(bt, static_cast<std::uint64_t>(c.n * 13 + c.k));
+    std::vector<std::int32_t> want(static_cast<std::size_t>(c.m * c.n));
+    std::vector<std::int32_t> got(want.size(), -1);
+    qgemm_bt_naive(a.data(), bt.data(), want.data(), c.m, c.n, c.k);
+    qgemm_bt(a.data(), bt.data(), got.data(), c.m, c.n, c.k);
+    EXPECT_EQ(want, got) << "shape " << c.m << "x" << c.n << "x" << c.k;
+  }
+}
+
+TEST(QGemm, NoInt32OverflowAtWorstCaseK) {
+  // The deepest reduction any quantized layer runs is K=3072
+  // (ViT-Base fc2). At the extreme every product is 127·127 = 16129,
+  // so the accumulator peaks at 3072·16129 ≈ 4.95e7 — well inside
+  // int32. Verify against an int64 reference at exactly that point.
+  constexpr std::int64_t kM = 3, kN = 18, kK = 3072;
+  std::vector<std::int8_t> a(kM * kK, 127);
+  std::vector<std::int8_t> bt(kN * kK);
+  for (std::size_t i = 0; i < bt.size(); ++i) {
+    bt[i] = (i % 2 == 0) ? 127 : -127;  // exercise both signs
+  }
+  std::vector<std::int32_t> got(kM * kN);
+  qgemm_bt(a.data(), bt.data(), got.data(), kM, kN, kK);
+  for (std::int64_t i = 0; i < kM; ++i) {
+    for (std::int64_t j = 0; j < kN; ++j) {
+      std::int64_t expect = 0;
+      for (std::int64_t p = 0; p < kK; ++p) {
+        expect += static_cast<std::int64_t>(a[static_cast<std::size_t>(i * kK + p)]) *
+                  static_cast<std::int64_t>(bt[static_cast<std::size_t>(j * kK + p)]);
+      }
+      ASSERT_LE(std::abs(expect), std::int64_t{INT32_MAX});
+      EXPECT_EQ(static_cast<std::int64_t>(
+                    got[static_cast<std::size_t>(i * kN + j)]),
+                expect);
+    }
+  }
+}
+
+TEST(Quantize, SaturatesAtPlusMinus127Never128) {
+  // An outlier beyond the symmetric range must clamp to ±127; the int8
+  // minimum -128 is never produced, so |q|·scale round-trips safely.
+  std::vector<float> input(64);
+  core::Rng rng(9);
+  for (float& x : input) x = rng.next_float() - 0.5f;
+  input[10] = -5.0f;  // negative peak sets the scale
+  input[20] = 4.9f;
+  std::vector<std::int8_t> q(input.size());
+  const float scale = quantize_symmetric(input, q.data());
+  EXPECT_FLOAT_EQ(scale, 5.0f / 127.0f);
+  for (std::int8_t v : q) {
+    EXPECT_GE(v, -127);
+    EXPECT_LE(v, 127);
+  }
+  EXPECT_EQ(q[10], -127);
+}
+
+TEST(Quantize, ZeroRowsGetZeroScaleAmongNonzeroRows) {
+  constexpr std::int64_t kRows = 4, kDim = 32;
+  std::vector<float> input(kRows * kDim, 0.0f);
+  for (std::int64_t d = 0; d < kDim; ++d) {
+    input[static_cast<std::size_t>(0 * kDim + d)] = 1.0f;  // row 0 nonzero
+    input[static_cast<std::size_t>(2 * kDim + d)] = -2.0f; // row 2 nonzero
+  }
+  std::vector<std::int8_t> q(input.size(), 1);
+  std::vector<float> scales(kRows, -1.0f);
+  quantize_rows(input.data(), kRows, kDim, q.data(), scales.data());
+  EXPECT_GT(scales[0], 0.0f);
+  EXPECT_EQ(scales[1], 0.0f);
+  EXPECT_GT(scales[2], 0.0f);
+  EXPECT_EQ(scales[3], 0.0f);
+  for (std::int64_t d = 0; d < kDim; ++d) {
+    EXPECT_EQ(q[static_cast<std::size_t>(1 * kDim + d)], 0);
+    EXPECT_EQ(q[static_cast<std::size_t>(3 * kDim + d)], 0);
+  }
+}
+
+// --- fused dequantizing epilogue ---------------------------------------
+
+float gelu_ref(float x) {
+  return 0.5f * x * (1.0f + std::erf(x * 0.70710678118654752440f));
+}
+
+TEST(QGemm, DequantEpilogueMatchesScalarReference) {
+  constexpr std::int64_t kM = 21, kN = 35, kK = 130;
+  std::vector<std::int8_t> a(kM * kK);
+  std::vector<std::int8_t> bt(kN * kK);
+  fill_int8(a, 21);
+  fill_int8(bt, 35);
+  std::vector<std::int32_t> acc(kM * kN);
+  qgemm_bt_naive(a.data(), bt.data(), acc.data(), kM, kN, kK);
+
+  core::Rng rng(11);
+  std::vector<float> scale_m(kM), scale_n(kN), bias_m(kM), bias_n(kN);
+  for (float& x : scale_m) x = rng.next_float() * 0.01f + 1e-4f;
+  for (float& x : scale_n) x = rng.next_float() * 0.01f + 1e-4f;
+  for (float& x : bias_m) x = rng.next_float() - 0.5f;
+  for (float& x : bias_n) x = rng.next_float() - 0.5f;
+
+  for (const QGemmEpilogue::Act act :
+       {QGemmEpilogue::Act::kNone, QGemmEpilogue::Act::kRelu,
+        QGemmEpilogue::Act::kGelu}) {
+    for (const bool accumulate : {false, true}) {
+      QGemmEpilogue ep;
+      ep.scale_m = scale_m.data();
+      ep.scale_n = scale_n.data();
+      ep.bias_m = bias_m.data();
+      ep.bias_n = bias_n.data();
+      ep.act = act;
+      ep.accumulate = accumulate;
+      std::vector<float> got(kM * kN, 0.25f);
+      qgemm_bt_dequant(a.data(), bt.data(), got.data(), kM, kN, kK, ep);
+      for (std::int64_t i = 0; i < kM; ++i) {
+        for (std::int64_t j = 0; j < kN; ++j) {
+          float v = static_cast<float>(acc[static_cast<std::size_t>(i * kN + j)]) *
+                        scale_m[static_cast<std::size_t>(i)] *
+                        scale_n[static_cast<std::size_t>(j)] +
+                    bias_m[static_cast<std::size_t>(i)] +
+                    bias_n[static_cast<std::size_t>(j)];
+          if (act == QGemmEpilogue::Act::kRelu) v = std::max(0.0f, v);
+          if (act == QGemmEpilogue::Act::kGelu) v = gelu_ref(v);
+          if (accumulate) v += 0.25f;
+          EXPECT_NEAR(got[static_cast<std::size_t>(i * kN + j)], v,
+                      1e-5f * (std::fabs(v) + 1.0f));
+        }
+      }
+    }
+  }
+}
+
+TEST(QGemm, PrepackedMatchesOnTheFlyPacking) {
+  constexpr std::int64_t kM = 57, kN = 70, kK = 301;
+  std::vector<std::int8_t> a(kM * kK);
+  std::vector<std::int8_t> bt(kN * kK);
+  fill_int8(a, 57);
+  fill_int8(bt, 70);
+  std::vector<float> scale_m(kM, 0.003f), scale_n(kN, 0.007f), bias_n(kN, 0.1f);
+  QGemmEpilogue ep;
+  ep.scale_m = scale_m.data();
+  ep.scale_n = scale_n.data();
+  ep.bias_n = bias_n.data();
+
+  std::vector<float> want(kM * kN), got(kM * kN);
+  qgemm_bt_dequant(a.data(), bt.data(), want.data(), kM, kN, kK, ep);
+  QGemmPackedB packed(bt.data(), kN, kK);
+  EXPECT_EQ(packed.n(), kN);
+  EXPECT_EQ(packed.k(), kK);
+  qgemm_prepacked_dequant(a.data(), packed, got.data(), kM, ep);
+  // Same int32 accumulators, same epilogue arithmetic → bitwise equal.
+  EXPECT_EQ(want, got);
+}
+
+// --- whole-model graph rewrite -----------------------------------------
+
+double model_agreement(Model& fp32, Model& int8, double* rel_l2) {
+  constexpr std::int64_t kBatch = 4;
+  const tensor::Shape& per_image = fp32.input_shape();
+  Tensor input(Shape{kBatch, per_image.dim(0), per_image.dim(1),
+                     per_image.dim(2)},
+               DType::kF32);
+  core::Rng rng(17);
+  for (float& v : input.f32_span()) v = rng.next_float() * 2.0f - 1.0f;
+  const Tensor a = fp32.forward(input);
+  const Tensor b = int8.forward(input);
+  const std::int64_t classes = fp32.num_classes();
+  std::int64_t agree = 0;
+  double num = 0.0, den = 0.0;
+  for (std::int64_t r = 0; r < kBatch; ++r) {
+    std::span<const float> fr{a.f32() + r * classes,
+                              static_cast<std::size_t>(classes)};
+    std::span<const float> qr{b.f32() + r * classes,
+                              static_cast<std::size_t>(classes)};
+    if (tensor::argmax(fr) == tensor::argmax(qr)) ++agree;
+    for (std::int64_t c = 0; c < classes; ++c) {
+      const double d = static_cast<double>(fr[static_cast<std::size_t>(c)]) -
+                       static_cast<double>(qr[static_cast<std::size_t>(c)]);
+      num += d * d;
+      den += static_cast<double>(fr[static_cast<std::size_t>(c)]) *
+             static_cast<double>(fr[static_cast<std::size_t>(c)]);
+    }
+  }
+  *rel_l2 = den > 0.0 ? std::sqrt(num / den) : 0.0;
+  return static_cast<double>(agree) / kBatch;
+}
+
+TEST(QuantizeModel, VitTracksFp32Twin) {
+  const ViTConfig config{"qvit", 16, 4, 32, 2, 2, 4, 5};
+  ModelPtr fp32 = build_vit(config);
+  ModelPtr int8 = build_vit(config);
+  init_weights(*fp32, 42);
+  init_weights(*int8, 42);
+  const std::int64_t params_before = int8->param_count();
+  quantize_model(*int8);
+  // Quantized layers freeze their weights (empty collect_params), so a
+  // successful rewrite strictly shrinks the trainable-parameter count.
+  EXPECT_LT(int8->param_count(), params_before);
+  double rel_l2 = 1.0;
+  const double agreement = model_agreement(*fp32, *int8, &rel_l2);
+  EXPECT_GE(agreement, 0.75);
+  EXPECT_LT(rel_l2, 0.05);
+}
+
+TEST(QuantizeModel, ResNetTracksFp32Twin) {
+  ResNetConfig config;
+  config.name = "qresnet";
+  config.image = 32;
+  config.num_classes = 5;
+  config.stage_blocks = {1, 1};
+  ModelPtr fp32 = build_resnet(config);
+  ModelPtr int8 = build_resnet(config);
+  init_weights(*fp32, 42);
+  init_weights(*int8, 42);
+  const std::int64_t params_before = int8->param_count();
+  quantize_model(*int8);
+  EXPECT_LT(int8->param_count(), params_before);
+  double rel_l2 = 1.0;
+  const double agreement = model_agreement(*fp32, *int8, &rel_l2);
+  EXPECT_GE(agreement, 0.75);
+  EXPECT_LT(rel_l2, 0.05);
 }
 
 }  // namespace

@@ -281,23 +281,26 @@ TEST(MetricsRegistry, PrometheusRenderingCoversAllFamilies) {
   obs::PrometheusWriter out;
   registry.render_prometheus(out, "vit");
   const std::string text = out.str();
-  EXPECT_NE(text.find("harvest_requests_completed_total{model=\"vit\"} 1"),
+  // Every per-model series carries the engine precision label
+  // (defaulting to fp32) so int8 deployments are comparable live.
+  EXPECT_NE(text.find("harvest_requests_completed_total{model=\"vit\","
+                      "precision=\"fp32\"} 1"),
             std::string::npos);
   EXPECT_NE(text.find("harvest_request_latency_seconds_bucket{"),
             std::string::npos);
   EXPECT_NE(text.find("harvest_inference_time_seconds_bucket{"),
             std::string::npos);
-  EXPECT_NE(
-      text.find(
-          "harvest_batch_flush_total{model=\"vit\",reason=\"full_batch\"} 1"),
-      std::string::npos);
-  EXPECT_NE(
-      text.find(
-          "harvest_batch_flush_total{model=\"vit\",reason=\"timeout\"} 1"),
-      std::string::npos);
-  EXPECT_NE(text.find("harvest_inflight_requests{model=\"vit\"} 3"),
+  EXPECT_NE(text.find("harvest_batch_flush_total{model=\"vit\","
+                      "precision=\"fp32\",reason=\"full_batch\"} 1"),
             std::string::npos);
-  EXPECT_NE(text.find("harvest_queue_depth{model=\"vit\"} 5"),
+  EXPECT_NE(text.find("harvest_batch_flush_total{model=\"vit\","
+                      "precision=\"fp32\",reason=\"timeout\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_inflight_requests{model=\"vit\","
+                      "precision=\"fp32\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_queue_depth{model=\"vit\","
+                      "precision=\"fp32\"} 5"),
             std::string::npos);
 
   registry.reset();
@@ -421,7 +424,8 @@ TEST(ObservabilityIntegration, ServerRunProducesSpansAndExposition) {
     }
 
     const std::string text = server.prometheus_text();
-    EXPECT_NE(text.find("harvest_requests_completed_total{model=\"vit\"} 5"),
+    EXPECT_NE(text.find("harvest_requests_completed_total{model=\"vit\","
+                        "precision=\"fp32\"} 5"),
               std::string::npos);
     EXPECT_NE(text.find("harvest_request_latency_seconds_bucket{"),
               std::string::npos);

@@ -126,6 +126,57 @@ TEST(Repository, LoadsWeightsFromCheckpoint) {
   std::remove(path.c_str());
 }
 
+TEST(Repository, ServesInt8AndFp32SideBySide) {
+  // The same architecture + seed deployed twice, once per precision.
+  // Both must serve, and the Prometheus exposition must carry the
+  // precision label so the two streams are comparable live.
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [
+      {"name": "weeds-fp32", "backend": "native", "architecture": "vit",
+       "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+       "classes": 4, "seed": 7, "preproc": {"output_size": 16}},
+      {"name": "weeds-int8", "backend": "native", "architecture": "vit",
+       "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+       "classes": 4, "seed": 7, "precision": "int8",
+       "preproc": {"output_size": 16}}
+    ]
+  })");
+  ASSERT_TRUE(load_repository(server, config).is_ok());
+
+  const preproc::EncodedImage input = tiny_input(5);
+  std::vector<InferenceResponse> responses;
+  for (const char* name : {"weeds-fp32", "weeds-int8"}) {
+    InferenceRequest request;
+    request.model = name;
+    request.input = input;
+    responses.push_back(server.infer_sync(std::move(request)));
+    ASSERT_TRUE(responses.back().status.is_ok()) << name;
+  }
+  // Same weights, same input: int8 quantization must not flip the
+  // prediction on this tiny head.
+  EXPECT_EQ(responses[0].predicted_class, responses[1].predicted_class);
+
+  const std::string text = server.prometheus_text();
+  EXPECT_NE(text.find("model=\"weeds-fp32\",precision=\"fp32\""),
+            std::string::npos);
+  EXPECT_NE(text.find("model=\"weeds-int8\",precision=\"int8\""),
+            std::string::npos);
+}
+
+TEST(Repository, RejectsUnknownPrecisionAndSimInt8) {
+  Server server(1);
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "x", "backend": "native", "architecture": "vit",
+                "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+                "precision": "fp8"}]})")).is_ok());
+  // The sim backend prices precision analytically (Ablation C), so an
+  // int8 sim deployment is a config error, not a silent fp32 fallback.
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "y", "backend": "sim", "model": "ViT_Tiny",
+                "device": "A100", "precision": "int8"}]})")).is_ok());
+}
+
 TEST(Repository, RejectsBadConfigs) {
   Server server(1);
   EXPECT_FALSE(load_repository(server, parse("{}")).is_ok());
