@@ -96,5 +96,40 @@ int main(int argc, char** argv) {
                 core::format_seconds(report.p99_latency_s).c_str(),
                 core::format_rate(report.throughput_img_per_s).c_str());
   }
+
+  // Part 3: the same cluster in a bad week — 5% transient backend
+  // errors and a monsoon-season uplink — with and without the
+  // resilience layer (3-try retry + estimated-delay shedding at the
+  // 100 ms deadline). See docs/RESILIENCE.md.
+  std::printf("\nSame service under faults (5%% transient errors, 2%% stalls "
+              "of 100 ms, 100 ms deadline) at 8000 qps:\n");
+  std::printf("%-22s %-11s %-9s %-9s %-12s %-10s\n", "policy", "completed",
+              "failed", "shed", "goodput", "p99");
+  for (const bool resilient : {false, true}) {
+    serving::OnlineSimConfig config;
+    config.arrival_rate_qps = 8000.0;
+    config.duration_s = 10.0;
+    config.max_batch = 64;
+    config.max_queue_delay_s = 4e-3;
+    config.instances = 2;
+    config.deadline_s = 0.1;
+    config.faults.transient_error_rate = 0.05;
+    config.faults.stall_rate = 0.02;
+    config.faults.stall_s = 0.1;
+    if (resilient) {
+      config.retry.max_attempts = 3;
+      config.retry.initial_backoff_s = 1e-3;
+      config.admission.max_estimated_delay_s = 0.08;
+    }
+    const serving::OnlineSimReport report = serving::simulate_online(
+        platform::a100(), "ViT_Small", dataset, config);
+    std::printf("%-22s %-11lld %-9lld %-9lld %-12s %-10s\n",
+                resilient ? "retry + shedding" : "none",
+                static_cast<long long>(report.completed),
+                static_cast<long long>(report.failed),
+                static_cast<long long>(report.shed),
+                core::format_rate(report.goodput_img_per_s).c_str(),
+                core::format_seconds(report.p99_latency_s).c_str());
+  }
   return 0;
 }

@@ -12,6 +12,7 @@ std::string_view status_code_name(StatusCode code) {
     case StatusCode::kOutOfMemory: return "OUT_OF_MEMORY";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
   }

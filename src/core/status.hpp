@@ -25,6 +25,7 @@ enum class StatusCode {
   kOutOfMemory,     ///< device or host memory exhausted (paper §4.1 OOM walls)
   kDeadlineExceeded,///< real-time deadline missed (paper §2.2.3)
   kUnavailable,     ///< queue full / server shutting down
+  kResourceExhausted,///< shed by admission control before queueing (overload)
   kInternal,
   kUnimplemented,
 };
@@ -54,6 +55,9 @@ class [[nodiscard]] Status {
   }
   static Status unavailable(std::string msg) {
     return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
   }
   static Status internal(std::string msg) {
     return {StatusCode::kInternal, std::move(msg)};

@@ -7,17 +7,32 @@
 
 namespace harvest::serving {
 
+const char* request_outcome_name(RequestOutcome outcome) {
+  switch (outcome) {
+    case RequestOutcome::kOk: return "ok";
+    case RequestOutcome::kFailed: return "failed";
+    case RequestOutcome::kShed: return "shed";
+    case RequestOutcome::kDeadlineMissed: return "deadline_missed";
+  }
+  return "?";
+}
+
 std::string MetricsSnapshot::to_string() const {
-  char buf[640];
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
-      "completed=%llu failed=%llu deadline_misses=%llu tput=%s "
+      "completed=%llu failed=%llu deadline_misses=%llu shed=%llu "
+      "retries=%llu abandoned=%llu degraded=%llu tput=%s "
       "latency mean=%s p50=%s p95=%s p99=%s | queue=%s preproc=%s infer=%s "
       "| mean batch=%.1f | flushes full=%llu pref=%llu timeout=%llu "
       "shutdown=%llu",
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(failed),
       static_cast<unsigned long long>(deadline_misses),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(retry_abandoned),
+      static_cast<unsigned long long>(degraded),
       core::format_rate(throughput_img_per_s).c_str(),
       core::format_seconds(mean_latency_s).c_str(),
       core::format_seconds(p50_latency_s).c_str(),
@@ -37,15 +52,28 @@ std::string MetricsSnapshot::to_string() const {
   return buf;
 }
 
-void MetricsRegistry::record(const RequestTiming& timing, bool ok,
-                             bool deadline_missed) {
-  std::scoped_lock lock(mutex_);
-  if (ok) {
-    ++completed_;
-  } else {
-    ++failed_;
+void MetricsRegistry::record(const RequestTiming& timing,
+                             RequestOutcome outcome) {
+  if (outcome == RequestOutcome::kShed) {
+    record_shed();
+    return;
   }
-  if (deadline_missed) ++deadline_misses_;
+  std::scoped_lock lock(mutex_);
+  ++outcomes_[static_cast<std::size_t>(outcome)];
+  switch (outcome) {
+    case RequestOutcome::kOk:
+      ++completed_;
+      break;
+    case RequestOutcome::kDeadlineMissed:
+      // A missed deadline is still a failed answer from the client's
+      // point of view; the legacy failed counter keeps including it.
+      ++failed_;
+      ++deadline_misses_;
+      break;
+    default:
+      ++failed_;
+      break;
+  }
   total_latency_.add(timing.total_s);
   queue_.add(timing.queue_s);
   preprocess_.add(timing.preprocess_s);
@@ -57,6 +85,42 @@ void MetricsRegistry::record(const RequestTiming& timing, bool ok,
   if (timing.batch_size > 0) {
     batch_sizes_.add(static_cast<double>(timing.batch_size));
   }
+}
+
+void MetricsRegistry::record(const RequestTiming& timing, bool ok,
+                             bool deadline_missed) {
+  if (ok && deadline_missed) {
+    // Legacy combination: the request was answered, but late. Counts as
+    // completed *and* as a deadline miss (the pre-outcome contract).
+    record(timing, RequestOutcome::kOk);
+    std::scoped_lock lock(mutex_);
+    ++deadline_misses_;
+    return;
+  }
+  record(timing, ok               ? RequestOutcome::kOk
+                 : deadline_missed ? RequestOutcome::kDeadlineMissed
+                                   : RequestOutcome::kFailed);
+}
+
+void MetricsRegistry::record_shed() {
+  std::scoped_lock lock(mutex_);
+  ++shed_;
+  ++outcomes_[static_cast<std::size_t>(RequestOutcome::kShed)];
+}
+
+void MetricsRegistry::record_retry() {
+  std::scoped_lock lock(mutex_);
+  ++retries_;
+}
+
+void MetricsRegistry::record_retry_abandoned() {
+  std::scoped_lock lock(mutex_);
+  ++retry_abandoned_;
+}
+
+void MetricsRegistry::record_degraded() {
+  std::scoped_lock lock(mutex_);
+  ++degraded_;
 }
 
 void MetricsRegistry::record_flush(FlushReason reason,
@@ -86,6 +150,11 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   snap.completed = completed_;
   snap.failed = failed_;
   snap.deadline_misses = deadline_misses_;
+  snap.outcomes = outcomes_;
+  snap.shed = shed_;
+  snap.retries = retries_;
+  snap.retry_abandoned = retry_abandoned_;
+  snap.degraded = degraded_;
   // Guard the observation window: a zero, negative, or non-finite
   // window must not turn throughput into inf/NaN.
   const double window =
@@ -120,6 +189,28 @@ void MetricsRegistry::render_prometheus(obs::PrometheusWriter& out,
   out.counter("harvest_deadline_misses_total",
               "Requests that missed their deadline.",
               static_cast<double>(deadline_misses_), labels);
+  // Terminal-state family: the one label that separates "the backend
+  // broke" from "we shed on purpose" from "the deadline passed".
+  for (std::size_t o = 0; o < kRequestOutcomeCount; ++o) {
+    obs::PrometheusWriter::Labels outcome_labels = labels;
+    outcome_labels.emplace_back(
+        "outcome", request_outcome_name(static_cast<RequestOutcome>(o)));
+    out.counter("harvest_requests_outcome_total",
+                "Requests by terminal state (ok/failed/shed/deadline_missed).",
+                static_cast<double>(outcomes_[o]), outcome_labels);
+  }
+  out.counter("harvest_requests_shed_total",
+              "Requests shed by admission control before queueing.",
+              static_cast<double>(shed_), labels);
+  out.counter("harvest_retries_total",
+              "Client-side retry re-submits against this deployment.",
+              static_cast<double>(retries_), labels);
+  out.counter("harvest_retry_abandoned_total",
+              "Requests whose client exhausted its retry budget.",
+              static_cast<double>(retry_abandoned_), labels);
+  out.counter("harvest_degraded_total",
+              "Requests failed over to the deployment's degrade twin.",
+              static_cast<double>(degraded_), labels);
   out.histogram("harvest_request_latency_seconds",
                 "End-to-end request latency (submit to response).",
                 latency_hist_, labels);
@@ -155,6 +246,11 @@ void MetricsRegistry::reset() {
   completed_ = 0;
   failed_ = 0;
   deadline_misses_ = 0;
+  outcomes_ = {};
+  shed_ = 0;
+  retries_ = 0;
+  retry_abandoned_ = 0;
+  degraded_ = 0;
   total_latency_ = core::Percentiles();
   queue_ = core::RunningStats();
   preprocess_ = core::RunningStats();

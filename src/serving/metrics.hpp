@@ -9,6 +9,7 @@
 /// simulation, so reports are comparable across the two execution
 /// modes.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -27,6 +28,14 @@ struct MetricsSnapshot {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;
   std::uint64_t deadline_misses = 0;
+  /// Terminal-state counts indexed by RequestOutcome (ok / failed /
+  /// shed / deadline_missed) — the label that keeps a shed request
+  /// distinguishable from a backend failure.
+  std::array<std::uint64_t, kRequestOutcomeCount> outcomes{};
+  std::uint64_t shed = 0;             ///< rejected by admission control
+  std::uint64_t retries = 0;          ///< client re-submits
+  std::uint64_t retry_abandoned = 0;  ///< client gave up retrying
+  std::uint64_t degraded = 0;         ///< failed over to the degrade twin
   double wall_seconds = 0.0;          ///< observation window (clamped >= 0)
   double throughput_img_per_s = 0.0;
   core::RunningStats batch_sizes;
@@ -46,8 +55,24 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
-  /// Record one finished request.
+  /// Record one finished request with its terminal outcome. kShed is
+  /// accepted but does not feed the latency histograms (a shed request
+  /// never queued); prefer record_shed() for sheds, which need no
+  /// timing.
+  void record(const RequestTiming& timing, RequestOutcome outcome);
+
+  /// Legacy two-flag form, mapped onto RequestOutcome (ok → kOk,
+  /// deadline_missed → kDeadlineMissed, else kFailed).
   void record(const RequestTiming& timing, bool ok, bool deadline_missed);
+
+  /// One request shed by admission control before it queued.
+  void record_shed();
+  /// One client-side retry (re-submit after a retryable failure).
+  void record_retry();
+  /// One request whose client exhausted its retry budget.
+  void record_retry_abandoned();
+  /// One request failed over to the deployment's degrade twin.
+  void record_degraded();
 
   /// Record one dispatched batch and why the batcher flushed it.
   void record_flush(FlushReason reason, std::int64_t batch_size);
@@ -79,6 +104,11 @@ class MetricsRegistry {
   std::uint64_t completed_ = 0;
   std::uint64_t failed_ = 0;
   std::uint64_t deadline_misses_ = 0;
+  std::array<std::uint64_t, kRequestOutcomeCount> outcomes_{};
+  std::uint64_t shed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t retry_abandoned_ = 0;
+  std::uint64_t degraded_ = 0;
   core::Percentiles total_latency_;
   core::RunningStats queue_;
   core::RunningStats preprocess_;

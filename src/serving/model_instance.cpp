@@ -33,10 +33,11 @@ void fill_prediction(const tensor::Tensor& logits, std::int64_t row,
 ModelInstance::ModelInstance(std::string name, BackendPtr backend,
                              preproc::PreprocSpec preproc_spec,
                              DynamicBatcher& batcher, MetricsRegistry& metrics,
-                             core::ThreadPool* pool)
+                             core::ThreadPool* pool,
+                             resilience::AdmissionController* admission)
     : name_(std::move(name)), backend_(std::move(backend)),
       preproc_spec_(preproc_spec), batcher_(&batcher), metrics_(&metrics),
-      pool_(pool), worker_([this] { run_loop(); }) {}
+      pool_(pool), admission_(admission), worker_([this] { run_loop(); }) {}
 
 ModelInstance::~ModelInstance() {
   // The owner is expected to have shut the batcher down; joining here is
@@ -104,7 +105,7 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
         "dropped: deadline expired while queued");
     response.timing.queue_s = waited;
     response.timing.total_s = waited;
-    metrics_->record(response.timing, /*ok=*/false, /*deadline_missed=*/true);
+    metrics_->record(response.timing, RequestOutcome::kDeadlineMissed);
     tracer.record_instant("dropped_deadline", "serving");
     pending.promise.set_value(std::move(response));
     return true;
@@ -118,7 +119,7 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
       InferenceResponse response;
       response.id = pending.request.id;
       response.status = status;
-      metrics_->record(response.timing, /*ok=*/false, /*deadline_missed=*/false);
+      metrics_->record(response.timing, RequestOutcome::kFailed);
       pending.promise.set_value(std::move(response));
     }
   };
@@ -163,6 +164,12 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   obs::ScopedSpan respond_span("respond", "serving");
   respond_span.set_batch(n);
   const auto finished = std::chrono::steady_clock::now();
+  if (admission_ != nullptr) {
+    // Feed the measured service time (preprocess + infer, as executed)
+    // back into the deployment's shed-threshold estimate.
+    admission_->observe_batch(
+        n, std::chrono::duration<double>(finished - started).count());
+  }
   for (std::int64_t i = 0; i < n; ++i) {
     PendingRequest& pending = batch[static_cast<std::size_t>(i)];
     InferenceResponse response;
@@ -181,7 +188,9 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
       response.status = core::Status::deadline_exceeded(
           "completed after the request deadline");
     }
-    metrics_->record(response.timing, response.status.is_ok(), missed);
+    metrics_->record(response.timing,
+                     missed ? RequestOutcome::kDeadlineMissed
+                            : RequestOutcome::kOk);
     tracer.record_complete("request", "serving",
                            tracer.to_us(pending.enqueued_at),
                            tracer.to_us(finished), pending.request.id, n);

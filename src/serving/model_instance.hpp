@@ -15,6 +15,7 @@
 #include "serving/backend.hpp"
 #include "serving/batcher.hpp"
 #include "serving/metrics.hpp"
+#include "serving/resilience/admission.hpp"
 
 namespace harvest::serving {
 
@@ -22,9 +23,12 @@ class ModelInstance {
  public:
   /// `pool` powers batched (DALI-style) preprocessing; pass nullptr to
   /// preprocess sequentially on the instance thread (CPU pipeline).
+  /// `admission` (nullable) receives per-batch service times so the
+  /// deployment's shed threshold tracks the real engine speed.
   ModelInstance(std::string name, BackendPtr backend,
                 preproc::PreprocSpec preproc_spec, DynamicBatcher& batcher,
-                MetricsRegistry& metrics, core::ThreadPool* pool);
+                MetricsRegistry& metrics, core::ThreadPool* pool,
+                resilience::AdmissionController* admission = nullptr);
   ~ModelInstance();
 
   ModelInstance(const ModelInstance&) = delete;
@@ -43,6 +47,7 @@ class ModelInstance {
   DynamicBatcher* batcher_;
   MetricsRegistry* metrics_;
   core::ThreadPool* pool_;
+  resilience::AdmissionController* admission_;
   std::atomic<std::uint64_t> batches_executed_{0};
   std::thread worker_;
 };

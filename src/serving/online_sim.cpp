@@ -13,14 +13,29 @@
 namespace harvest::serving {
 namespace {
 
+/// One waiting request in the simulated queue.
+struct SimRequest {
+  double arrived = 0.0;   ///< original arrival (latency baseline)
+  double enqueued = 0.0;  ///< when it (re-)entered the queue (aging clock)
+  int attempts = 0;       ///< completed dispatch attempts (retry counter)
+};
+
 /// Shared mutable state of one simulation run.
 struct SimState {
   sim::Simulator simulator;
-  std::deque<double> queue;  ///< arrival times of waiting requests
+  std::deque<SimRequest> queue;
   std::vector<char> instance_busy;
+  /// Instance i accepts no new batches before this simulated time
+  /// (crash recovery window; 0 = healthy).
+  std::vector<double> crashed_until;
   double busy_time = 0.0;
   std::int64_t arrivals = 0;
   std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  std::int64_t failed = 0;
+  std::int64_t retries = 0;
+  std::int64_t deadline_misses = 0;
+  std::int64_t on_time = 0;  ///< completions within the deadline budget
   core::Percentiles latencies;
   core::RunningStats batch_sizes;
   std::int64_t completed = 0;
@@ -58,11 +73,17 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
   const std::int64_t max_batch =
       std::min<std::int64_t>(config.max_batch,
                              std::max<std::int64_t>(engine_cap, 1));
-  constexpr std::size_t kQueueCap = 16384;
 
   SimState state;
   state.instance_busy.assign(static_cast<std::size_t>(config.instances), 0);
+  state.crashed_until.assign(static_cast<std::size_t>(config.instances), 0.0);
   core::Rng rng(config.seed);
+  // Faults draw from their own stream so the arrival sequence is
+  // bit-identical across fault/retry/shedding configurations — ablation
+  // curves compare policies, not resampled workloads.
+  core::Rng fault_rng(core::splitmix64(config.faults.seed) ^
+                      0xFA'17'5EEDULL);
+  const resilience::FaultPlan& faults = config.faults;
 
   /// Stage times of one batch on one instance.
   struct StageTimes {
@@ -82,6 +103,17 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
     return t;
   };
 
+  // Admission mirrors the real server's controller; absent an explicit
+  // prior, the delay threshold is seeded from the calibrated platform
+  // model (per-request service time at the largest batch).
+  resilience::AdmissionConfig admission_cfg = config.admission;
+  if (admission_cfg.max_estimated_delay_s > 0.0 &&
+      admission_cfg.service_time_prior_s <= 0.0) {
+    admission_cfg.service_time_prior_s =
+        service_time(max_batch).service / static_cast<double>(max_batch);
+  }
+  resilience::AdmissionController admission(admission_cfg, config.instances);
+
   auto trace_queue_depth = [&] {
     if (config.trace == nullptr) return;
     config.trace->record_counter_at(model + "/queue_depth",
@@ -96,31 +128,76 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
     }
   }
 
-  // Forward declaration dance: dispatch is invoked from arrivals,
-  // timeouts and completions.
-  std::function<void()> try_dispatch = [&] {
+  // Mutually recursive closures: dispatch is invoked from arrivals,
+  // timeouts, completions and crash recoveries; retries re-enter the
+  // queue from completions.
+  std::function<void()> try_dispatch;
+  std::function<void(SimRequest)> enqueue_retry;
+
+  auto push_request = [&](SimRequest request) {
+    request.enqueued = state.simulator.now();
+    state.queue.push_back(request);
+    trace_queue_depth();
+    // A simulated nanosecond past the deadline: (t + d) - t can round
+    // below d, and a flush event that misfires "not aged yet" would
+    // strand the final queued request with no later event to drain it.
+    state.simulator.schedule_in(config.max_queue_delay_s + 1e-9,
+                                [&] { try_dispatch(); });
+    try_dispatch();
+  };
+
+  // Fresh arrivals pass admission control, then the capacity bound.
+  auto enqueue_arrival = [&](SimRequest request) {
+    if (admission.enabled() && !admission.admit(state.queue.size())) {
+      ++state.shed;
+      if (config.metrics != nullptr) config.metrics->record_shed();
+      return;
+    }
+    if (state.queue.size() >= config.queue_capacity) {
+      ++state.rejected;
+      return;
+    }
+    push_request(request);
+  };
+
+  // Retries skip admission (the client already owns the slot — shedding
+  // a retry would turn one admitted request into a retry storm) but
+  // still respect the hard capacity bound.
+  enqueue_retry = [&](SimRequest request) {
+    if (state.queue.size() >= config.queue_capacity) {
+      ++state.failed;
+      if (config.metrics != nullptr && config.retry.enabled()) {
+        config.metrics->record_retry_abandoned();
+      }
+      return;
+    }
+    push_request(request);
+  };
+
+  try_dispatch = [&] {
     for (;;) {
       if (state.queue.empty()) return;
       const bool full =
           state.queue.size() >= static_cast<std::size_t>(max_batch);
-      const bool aged = state.simulator.now() - state.queue.front() >=
+      const bool aged = state.simulator.now() - state.queue.front().enqueued >=
                         config.max_queue_delay_s;
       if (!full && !aged) return;
-      // Find an idle instance.
+      // Find an idle instance that is not inside a crash window.
       std::size_t idle = state.instance_busy.size();
       for (std::size_t i = 0; i < state.instance_busy.size(); ++i) {
-        if (state.instance_busy[i] == 0) {
+        if (state.instance_busy[i] == 0 &&
+            state.simulator.now() >= state.crashed_until[i]) {
           idle = i;
           break;
         }
       }
-      if (idle == state.instance_busy.size()) return;  // all busy
+      if (idle == state.instance_busy.size()) return;  // all busy/crashed
 
       const std::size_t take =
           std::min(state.queue.size(), static_cast<std::size_t>(max_batch));
-      std::vector<double> arrival_times(state.queue.begin(),
-                                        state.queue.begin() +
-                                            static_cast<std::ptrdiff_t>(take));
+      std::vector<SimRequest> requests(
+          state.queue.begin(),
+          state.queue.begin() + static_cast<std::ptrdiff_t>(take));
       state.queue.erase(state.queue.begin(),
                         state.queue.begin() + static_cast<std::ptrdiff_t>(take));
       trace_queue_depth();
@@ -132,13 +209,24 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
       }
       state.instance_busy[idle] = 1;
       const double dispatched_at = state.simulator.now();
-      const StageTimes stages = service_time(static_cast<std::int64_t>(take));
+      StageTimes stages = service_time(static_cast<std::int64_t>(take));
+      // Injected faults, priced in simulated time. A transient failure
+      // occupies the engine for its full service time before failing
+      // (work done, answer lost) — same contract as FaultyBackend.
+      const bool batch_fails = faults.transient_error_rate > 0.0 &&
+                               fault_rng.bernoulli(faults.transient_error_rate);
+      if (faults.latency_spike_rate > 0.0 &&
+          fault_rng.bernoulli(faults.latency_spike_rate)) {
+        stages.inference += faults.latency_spike_s;
+        stages.service += faults.latency_spike_s;
+      }
+      admission.observe_batch(static_cast<std::int64_t>(take), stages.service);
       state.busy_time += stages.service;
       state.batch_sizes.add(static_cast<double>(take));
       const double done_at = dispatched_at + stages.service;
       if (config.trace != nullptr) {
         obs::TraceEvent event;
-        event.name = "batch";
+        event.name = batch_fails ? "batch_failed" : "batch";
         event.cat = "sim";
         event.ph = 'X';
         event.ts_us = dispatched_at * 1e6;
@@ -147,28 +235,100 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
         event.batch = static_cast<std::int64_t>(take);
         config.trace->record(std::move(event));
       }
-      state.simulator.schedule_at(
-          done_at, [&, idle, arrival_times, dispatched_at, stages, done_at,
-                    take] {
-        for (double arrived : arrival_times) {
-          state.latencies.add(done_at - arrived);
-          ++state.completed;
-          if (config.metrics != nullptr) {
-            RequestTiming timing;
-            timing.queue_s = dispatched_at - arrived;
-            timing.preprocess_s = stages.preprocess;
-            timing.inference_s = stages.inference;
-            timing.total_s = done_at - arrived;
-            timing.batch_size = static_cast<std::int64_t>(take);
-            config.metrics->record(timing, /*ok=*/true,
-                                   /*deadline_missed=*/false);
+      state.simulator.schedule_at(done_at, [&, idle, requests, dispatched_at,
+                                            stages, done_at, take,
+                                            batch_fails] {
+        state.instance_busy[idle] = 0;
+        for (const SimRequest& request : requests) {
+          RequestTiming timing;
+          timing.queue_s = dispatched_at - request.enqueued;
+          timing.preprocess_s = stages.preprocess;
+          timing.inference_s = stages.inference;
+          timing.total_s = done_at - request.arrived;
+          timing.batch_size = static_cast<std::int64_t>(take);
+          if (!batch_fails) {
+            const double latency = done_at - request.arrived;
+            state.latencies.add(latency);
+            ++state.completed;
+            const bool missed =
+                config.deadline_s > 0.0 && latency > config.deadline_s;
+            if (missed) {
+              ++state.deadline_misses;
+            } else {
+              ++state.on_time;
+            }
+            if (config.metrics != nullptr) {
+              config.metrics->record(timing,
+                                     missed ? RequestOutcome::kDeadlineMissed
+                                            : RequestOutcome::kOk);
+            }
+            continue;
+          }
+          // Failed batch: retry per policy, with the deadline budget.
+          const int done_attempts = request.attempts + 1;
+          bool retriable = config.retry.enabled() &&
+                           done_attempts < config.retry.max_attempts;
+          double retry_at = 0.0;
+          if (retriable) {
+            retry_at =
+                done_at + config.retry.backoff_s(done_attempts, fault_rng);
+            if (config.retry.respect_deadline && config.deadline_s > 0.0 &&
+                retry_at - request.arrived >= config.deadline_s) {
+              retriable = false;  // the backoff would overrun the budget
+            }
+          }
+          if (retriable) {
+            ++state.retries;
+            if (config.metrics != nullptr) config.metrics->record_retry();
+            SimRequest again = request;
+            again.attempts = done_attempts;
+            state.simulator.schedule_at(retry_at,
+                                        [&, again] { enqueue_retry(again); });
+          } else {
+            ++state.failed;
+            if (config.metrics != nullptr) {
+              if (config.retry.enabled()) {
+                config.metrics->record_retry_abandoned();
+              }
+              config.metrics->record(timing, RequestOutcome::kFailed);
+            }
           }
         }
-        state.instance_busy[idle] = 0;
         try_dispatch();
       });
     }
   };
+
+  // Crash process: exponential time-to-failure per instance; a crashed
+  // instance finishes its in-flight batch but accepts no new ones until
+  // recovery. The failure clock restarts after each recovery.
+  std::function<void(std::size_t)> arm_crash;
+  arm_crash = [&](std::size_t i) {
+    const double at =
+        state.simulator.now() + fault_rng.exponential(1.0 / faults.crash_mtbf_s);
+    if (at >= config.duration_s) return;
+    state.simulator.schedule_at(at, [&, i] {
+      const double recovery = state.simulator.now() + faults.crash_downtime_s;
+      state.crashed_until[i] = recovery;
+      if (config.trace != nullptr) {
+        obs::TraceEvent event;
+        event.name = "crash";
+        event.cat = "sim";
+        event.ph = 'X';
+        event.ts_us = state.simulator.now() * 1e6;
+        event.dur_us = faults.crash_downtime_s * 1e6;
+        event.tid = kSimTidBase + static_cast<std::uint32_t>(i);
+        config.trace->record(std::move(event));
+      }
+      state.simulator.schedule_at(recovery, [&, i] {
+        try_dispatch();
+        arm_crash(i);
+      });
+    });
+  };
+  if (faults.crash_mtbf_s > 0.0 && faults.crash_downtime_s > 0.0) {
+    for (std::size_t i = 0; i < state.crashed_until.size(); ++i) arm_crash(i);
+  }
 
   // Periodic gauge sampling (simulated-time sampler).
   std::function<void()> sample_gauges = [&] {
@@ -185,20 +345,21 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
   };
   if (config.sample_interval_s > 0.0) sample_gauges();
 
-  // Arrival process: each arrival enqueues itself, schedules its aging
-  // timeout, and books the next arrival from the (possibly time-varying)
-  // trace via thinning.
+  // Arrival process: each arrival enqueues itself (possibly after a
+  // transmission stall), and books the next arrival from the (possibly
+  // time-varying) trace via thinning.
   std::function<void()> arrive = [&] {
     if (state.simulator.now() >= config.duration_s) return;
     ++state.arrivals;
-    if (state.queue.size() >= kQueueCap) {
-      ++state.rejected;
+    SimRequest request;
+    request.arrived = state.simulator.now();
+    if (faults.stall_rate > 0.0 && fault_rng.bernoulli(faults.stall_rate)) {
+      // The uplink hiccup delays the request's *arrival at the queue*;
+      // its latency clock started when it left the client.
+      state.simulator.schedule_in(faults.stall_s,
+                                  [&, request] { enqueue_arrival(request); });
     } else {
-      state.queue.push_back(state.simulator.now());
-      trace_queue_depth();
-      state.simulator.schedule_in(config.max_queue_delay_s,
-                                  [&] { try_dispatch(); });
-      try_dispatch();
+      enqueue_arrival(request);
     }
     const double next = next_arrival(trace, state.simulator.now(), rng);
     if (std::isfinite(next) && next < config.duration_s) {
@@ -218,9 +379,15 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
   report.arrivals = state.arrivals;
   report.completed = state.completed;
   report.rejected = state.rejected;
+  report.shed = state.shed;
+  report.failed = state.failed;
+  report.retries = state.retries;
+  report.deadline_misses = state.deadline_misses;
   const double horizon = std::max(state.simulator.now(), config.duration_s);
   report.throughput_img_per_s =
       horizon > 0.0 ? static_cast<double>(state.completed) / horizon : 0.0;
+  report.goodput_img_per_s =
+      horizon > 0.0 ? static_cast<double>(state.on_time) / horizon : 0.0;
   report.mean_latency_s = state.latencies.mean();
   report.p50_latency_s = state.latencies.quantile(0.5);
   report.p95_latency_s = state.latencies.p95();

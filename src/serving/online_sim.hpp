@@ -16,6 +16,9 @@
 #include "platform/device.hpp"
 #include "preproc/pipeline.hpp"
 #include "serving/metrics.hpp"
+#include "serving/resilience/admission.hpp"
+#include "serving/resilience/fault.hpp"
+#include "serving/resilience/retry.hpp"
 #include "serving/trace.hpp"
 
 namespace harvest::serving {
@@ -44,6 +47,24 @@ struct OnlineSimConfig {
   /// > 0 samples queue depth / busy instances every interval (simulated
   /// seconds) into OnlineSimReport::samples.
   double sample_interval_s = 0.0;
+  /// Queue overflow bound; arrivals beyond it count as `rejected`.
+  std::size_t queue_capacity = 16384;
+  /// > 0 scores every completion against this latency budget: on-time
+  /// completions make `goodput_img_per_s`, late ones `deadline_misses`.
+  double deadline_s = 0.0;
+  /// Fault plan priced in simulated time: transient batch errors,
+  /// latency spikes, instance crashes (crash_mtbf_s/crash_downtime_s),
+  /// and transmission stalls. Faults draw from a *separate* seeded rng,
+  /// so the arrival sequence is identical across fault configurations.
+  resilience::FaultPlan faults;
+  /// Client retry against injected batch failures: failed requests
+  /// re-enter the queue after the policy's backoff until max_attempts
+  /// or (with respect_deadline) the deadline budget is exhausted.
+  resilience::RetryPolicy retry;
+  /// Early shedding at arrival. When the delay threshold is set without
+  /// a service-time prior, the prior is derived from the platform model
+  /// (estimated batch latency at max_batch).
+  resilience::AdmissionConfig admission;
 };
 
 /// One periodic gauge sample of the simulated deployment.
@@ -57,6 +78,11 @@ struct OnlineSimReport {
   std::int64_t arrivals = 0;
   std::int64_t completed = 0;
   std::int64_t rejected = 0;  ///< queue overflow (overload)
+  std::int64_t shed = 0;      ///< admission-control sheds (before queueing)
+  std::int64_t failed = 0;    ///< abandoned after injected faults + retries
+  std::int64_t retries = 0;   ///< re-enqueues after injected batch failures
+  std::int64_t deadline_misses = 0;  ///< completed after config.deadline_s
+  double goodput_img_per_s = 0.0;    ///< completions within the deadline
   double throughput_img_per_s = 0.0;
   double mean_latency_s = 0.0;
   double p50_latency_s = 0.0;

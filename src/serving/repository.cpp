@@ -1,6 +1,9 @@
 #include "serving/repository.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "nn/init.hpp"
@@ -10,6 +13,7 @@
 #include "nn/serialize.hpp"
 #include "platform/perf_model.hpp"
 #include "serving/native_backend.hpp"
+#include "serving/resilience/fault.hpp"
 #include "serving/sim_backend.hpp"
 
 namespace harvest::serving {
@@ -74,7 +78,9 @@ core::Result<nn::ModelPtr> build_native_model(const core::Json& entry) {
   return model;
 }
 
-core::Status register_entry(Server& server, const core::Json& entry) {
+core::Status register_entry(
+    Server& server, const core::Json& entry,
+    std::vector<std::pair<std::string, std::string>>& degrade_edges) {
   if (!entry.is_object()) {
     return core::Status::invalid_argument("model entry must be an object");
   }
@@ -95,6 +101,32 @@ core::Status register_entry(Server& server, const core::Json& entry) {
   if (const core::Json* preproc = entry.find("preproc")) {
     deployment.preproc.output_size = preproc->get_int("output_size", 224);
     deployment.preproc.perspective = preproc->get_bool("perspective", false);
+  }
+
+  // Resilience keys (docs/RESILIENCE.md): fault injection decorates the
+  // deployment's backends; admission/degrade_to configure overload
+  // control. degrade_to targets are validated after the whole repository
+  // is loaded, so a twin may be declared later in the array.
+  resilience::FaultPlan faults;
+  if (const core::Json* fault_json = entry.find("faults")) {
+    auto parsed = resilience::parse_fault_plan(*fault_json);
+    if (!parsed.is_ok()) return parsed.status();
+    faults = parsed.value();
+  }
+  if (const core::Json* admission_json = entry.find("admission")) {
+    auto parsed = resilience::parse_admission_config(*admission_json);
+    if (!parsed.is_ok()) return parsed.status();
+    deployment.admission = parsed.value();
+  }
+  deployment.degrade_to = entry.get_string("degrade_to", "");
+  if (deployment.degrade_to == deployment.name &&
+      !deployment.degrade_to.empty()) {
+    return core::Status::invalid_argument(
+        "degrade_to must not point at the deployment itself: " +
+        deployment.name);
+  }
+  if (!deployment.degrade_to.empty()) {
+    degrade_edges.emplace_back(deployment.name, deployment.degrade_to);
   }
 
   const std::string backend = entry.get_string("backend", "native");
@@ -120,12 +152,20 @@ core::Status register_entry(Server& server, const core::Json& entry) {
     if (!probe.is_ok()) return probe.status();
     const std::int64_t max_batch = deployment.max_batch;
     const std::string precision = deployment.precision;
+    // The factory runs once per instance, in order, on one thread; the
+    // counter salts each instance's fault stream so siblings fail
+    // independently but reproducibly.
     return server.register_model(
-        deployment, [entry, max_batch, precision]() -> BackendPtr {
+        deployment,
+        [entry, max_batch, precision, faults,
+         salt = std::make_shared<std::atomic<std::uint64_t>>(0)]()
+            -> BackendPtr {
           auto model = build_native_model(entry);
           if (!model.is_ok()) return nullptr;
-          return std::make_unique<NativeBackend>(std::move(model).value(),
-                                                 max_batch, precision);
+          BackendPtr built = std::make_unique<NativeBackend>(
+              std::move(model).value(), max_batch, precision);
+          return resilience::wrap_with_faults(std::move(built), faults,
+                                              salt->fetch_add(1));
         });
   }
   if (backend == "sim") {
@@ -145,10 +185,15 @@ core::Status register_entry(Server& server, const core::Json& entry) {
     const std::int64_t classes = entry.get_int("classes", 39);
     const std::int64_t max_batch = deployment.max_batch;
     return server.register_model(
-        deployment, [model_name, device, classes, max_batch] {
-          return std::make_unique<SimBackend>(
+        deployment,
+        [model_name, device, classes, max_batch, faults,
+         salt = std::make_shared<std::atomic<std::uint64_t>>(0)]()
+            -> BackendPtr {
+          BackendPtr built = std::make_unique<SimBackend>(
               platform::make_engine_model(*device, model_name), classes,
               max_batch);
+          return resilience::wrap_with_faults(std::move(built), faults,
+                                              salt->fetch_add(1));
         });
   }
   return core::Status::invalid_argument("unknown backend: " + backend);
@@ -162,8 +207,17 @@ core::Status load_repository(Server& server, const core::Json& config) {
     return core::Status::invalid_argument(
         "repository config needs a \"models\" array");
   }
+  std::vector<std::pair<std::string, std::string>> degrade_edges;
   for (const core::Json& entry : models->as_array()) {
-    HARVEST_RETURN_IF_ERROR(register_entry(server, entry));
+    HARVEST_RETURN_IF_ERROR(register_entry(server, entry, degrade_edges));
+  }
+  // Post-pass: every degrade target must be a registered deployment.
+  for (const auto& [from, to] : degrade_edges) {
+    if (server.metrics(to) == nullptr) {
+      return core::Status::invalid_argument(
+          "deployment '" + from + "' degrades to unknown deployment '" + to +
+          "'");
+    }
   }
   return core::Status::ok();
 }

@@ -32,6 +32,23 @@ struct RequestTiming {
   std::int64_t batch_size = 0;  ///< size of the batch this request rode in
 };
 
+/// How a request left the system. Distinguishing these terminal states
+/// is what makes the Prometheus export debuggable under overload: a
+/// request shed by admission control, one dropped after its deadline,
+/// and one the backend genuinely failed are different operational
+/// problems with different fixes.
+enum class RequestOutcome : int {
+  kOk = 0,             ///< answered successfully
+  kFailed = 1,         ///< backend/preprocessing error
+  kShed = 2,           ///< rejected by admission control (kResourceExhausted)
+  kDeadlineMissed = 3, ///< dropped while queued or completed too late
+};
+inline constexpr std::size_t kRequestOutcomeCount = 4;
+
+/// Prometheus label value for an outcome ("ok", "failed", "shed",
+/// "deadline_missed").
+const char* request_outcome_name(RequestOutcome outcome);
+
 struct InferenceResponse {
   std::uint64_t id = 0;
   core::Status status;

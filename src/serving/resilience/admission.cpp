@@ -1,0 +1,72 @@
+#include "serving/resilience/admission.hpp"
+
+#include <algorithm>
+
+namespace harvest::serving::resilience {
+
+namespace {
+/// EWMA weight of the newest batch observation. High enough to track a
+/// load shift within a few batches, low enough to ride out one outlier.
+constexpr double kEwmaAlpha = 0.2;
+}  // namespace
+
+core::Result<AdmissionConfig> parse_admission_config(const core::Json& json) {
+  if (!json.is_object()) {
+    return core::Status::invalid_argument("\"admission\" must be an object");
+  }
+  AdmissionConfig config;
+  const std::int64_t depth = json.get_int("max_queue_depth", 0);
+  if (depth < 0) {
+    return core::Status::invalid_argument("max_queue_depth must be >= 0");
+  }
+  config.max_queue_depth = static_cast<std::size_t>(depth);
+  config.max_estimated_delay_s =
+      json.get_number("max_estimated_delay_ms", 0.0) * 1e-3;
+  config.service_time_prior_s =
+      json.get_number("service_time_prior_ms", 0.0) * 1e-3;
+  if (config.max_estimated_delay_s < 0.0 || config.service_time_prior_s < 0.0) {
+    return core::Status::invalid_argument(
+        "admission delay/prior must be >= 0");
+  }
+  return config;
+}
+
+AdmissionController::AdmissionController(AdmissionConfig config, int instances)
+    : config_(config), instances_(static_cast<double>(std::max(instances, 1))),
+      ewma_service_s_(config.service_time_prior_s) {}
+
+bool AdmissionController::admit(std::size_t queue_depth) const {
+  if (config_.max_queue_depth > 0 && queue_depth >= config_.max_queue_depth) {
+    return false;
+  }
+  if (config_.max_estimated_delay_s > 0.0 &&
+      estimated_delay_s(queue_depth) > config_.max_estimated_delay_s) {
+    return false;
+  }
+  return true;
+}
+
+double AdmissionController::estimated_delay_s(std::size_t queue_depth) const {
+  return static_cast<double>(queue_depth) * service_time_s() / instances_;
+}
+
+void AdmissionController::observe_batch(std::int64_t batch_size,
+                                        double service_s) {
+  if (batch_size <= 0 || service_s <= 0.0) return;
+  const double per_request = service_s / static_cast<double>(batch_size);
+  std::scoped_lock lock(mutex_);
+  if (!observed_ && ewma_service_s_ <= 0.0) {
+    ewma_service_s_ = per_request;
+  } else {
+    ewma_service_s_ =
+        (1.0 - kEwmaAlpha) * ewma_service_s_ + kEwmaAlpha * per_request;
+  }
+  observed_ = true;
+}
+
+double AdmissionController::service_time_s() const {
+  std::scoped_lock lock(mutex_);
+  return ewma_service_s_;
+}
+
+}  // namespace harvest::serving::resilience

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file admission.hpp
+/// Overload control in front of the dynamic batcher. Without it, an
+/// overloaded deployment queues every arrival, ages each one past its
+/// deadline, and delivers near-zero goodput while staying 100% busy —
+/// the failure mode the paper's online/real-time scenarios must avoid.
+/// The admission controller sheds load *early* with kResourceExhausted
+/// (cheap for the client to retry elsewhere or degrade) based on two
+/// thresholds:
+///
+/// * queue depth — a hard bound on waiting requests;
+/// * estimated queueing delay — queue_depth × per-request service time /
+///   instances, against a latency budget. The service-time estimate
+///   starts from a prior (seed it from the platform model:
+///   `EngineModel::estimate(B).latency_s / B`) and tracks reality with
+///   an EWMA fed by the instances after every executed batch.
+///
+/// The same controller runs inside the DES, where the prior comes from
+/// the calibrated device model directly.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "core/json.hpp"
+#include "core/status.hpp"
+
+namespace harvest::serving::resilience {
+
+struct AdmissionConfig {
+  /// Shed when the batcher queue is at least this deep. 0 disables the
+  /// depth test.
+  std::size_t max_queue_depth = 0;
+  /// Shed when the estimated queueing delay of a new arrival exceeds
+  /// this. 0 disables the delay test.
+  double max_estimated_delay_s = 0.0;
+  /// Prior for per-request service time, used until (and blended with)
+  /// observed batches. 0 with the delay test enabled means the delay
+  /// test stays inert until the first batch is observed.
+  double service_time_prior_s = 0.0;
+
+  bool enabled() const {
+    return max_queue_depth > 0 || max_estimated_delay_s > 0.0;
+  }
+};
+
+/// Parse an `"admission"` JSON object (model-repository key):
+/// max_queue_depth, max_estimated_delay_ms, service_time_prior_ms. See
+/// docs/RESILIENCE.md.
+core::Result<AdmissionConfig> parse_admission_config(const core::Json& json);
+
+/// Thread-safe shed decision + service-time tracker for one deployment.
+class AdmissionController {
+ public:
+  AdmissionController(AdmissionConfig config, int instances);
+
+  const AdmissionConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// Admit an arrival given the current batcher queue depth?
+  bool admit(std::size_t queue_depth) const;
+
+  /// Estimated queueing delay a new arrival would see (seconds).
+  double estimated_delay_s(std::size_t queue_depth) const;
+
+  /// Fold one executed batch into the per-request service-time EWMA.
+  void observe_batch(std::int64_t batch_size, double service_s);
+
+  /// Current per-request service-time estimate (prior until observed).
+  double service_time_s() const;
+
+ private:
+  AdmissionConfig config_;
+  double instances_;
+  mutable std::mutex mutex_;
+  double ewma_service_s_;
+  bool observed_ = false;
+};
+
+}  // namespace harvest::serving::resilience

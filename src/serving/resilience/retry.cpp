@@ -1,0 +1,116 @@
+#include "serving/resilience/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "core/time.hpp"
+#include "obs/trace.hpp"
+
+namespace harvest::serving::resilience {
+
+bool RetryPolicy::retryable(core::StatusCode code) {
+  switch (code) {
+    case core::StatusCode::kUnavailable:
+    case core::StatusCode::kResourceExhausted:
+    case core::StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::backoff_s(int attempt, core::Rng& rng) const {
+  const double exponent = static_cast<double>(std::max(attempt, 1) - 1);
+  double base = initial_backoff_s * std::pow(backoff_multiplier, exponent);
+  base = std::min(base, max_backoff_s);
+  const double j = std::clamp(jitter, 0.0, 1.0);
+  return base * (1.0 - j * rng.next_double());
+}
+
+core::Result<RetryPolicy> parse_retry_policy(const core::Json& json) {
+  if (!json.is_object()) {
+    return core::Status::invalid_argument("\"retry\" must be an object");
+  }
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(json.get_int("max_attempts", 1));
+  if (policy.max_attempts < 1) {
+    return core::Status::invalid_argument("max_attempts must be >= 1");
+  }
+  policy.initial_backoff_s = json.get_number("initial_backoff_ms", 1.0) * 1e-3;
+  policy.backoff_multiplier = json.get_number("backoff_multiplier", 2.0);
+  policy.max_backoff_s = json.get_number("max_backoff_ms", 100.0) * 1e-3;
+  policy.jitter = json.get_number("jitter", 0.5);
+  policy.respect_deadline = json.get_bool("respect_deadline", true);
+  if (policy.initial_backoff_s < 0.0 || policy.max_backoff_s < 0.0 ||
+      policy.backoff_multiplier < 1.0 || policy.jitter < 0.0 ||
+      policy.jitter > 1.0) {
+    return core::Status::invalid_argument(
+        "retry policy needs backoffs >= 0, multiplier >= 1, jitter in [0,1]");
+  }
+  return policy;
+}
+
+RetryingClient::RetryingClient(Server& server, RetryPolicy policy,
+                               std::uint64_t seed)
+    : server_(&server), policy_(policy), rng_(seed) {}
+
+InferenceResponse RetryingClient::infer_sync(InferenceRequest request) {
+  obs::TraceRecorder& tracer = obs::TraceRecorder::instance();
+  core::WallTimer budget;
+  InferenceResponse response;
+  for (int attempt = 1;; ++attempt) {
+    {
+      std::scoped_lock lock(mutex_);
+      ++counters_.attempts;
+    }
+    InferenceRequest copy = request;  // the submit path consumes its argument
+    response = server_->infer_sync(std::move(copy));
+    if (response.status.is_ok() ||
+        !RetryPolicy::retryable(response.status.code())) {
+      return response;
+    }
+    if (attempt >= policy_.max_attempts) break;
+    double backoff;
+    {
+      std::scoped_lock lock(mutex_);
+      backoff = policy_.backoff_s(attempt, rng_);
+    }
+    // Deadline-aware budget: never sleep into certain failure.
+    if (policy_.respect_deadline && request.deadline_s > 0.0 &&
+        budget.elapsed_seconds() + backoff >= request.deadline_s) {
+      break;
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      ++counters_.retries;
+    }
+    if (MetricsRegistry* metrics = server_->mutable_metrics(request.model)) {
+      metrics->record_retry();
+    }
+    const auto backoff_start = std::chrono::steady_clock::now();
+    std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    if (tracer.enabled()) {
+      tracer.record_complete("retry_backoff", "serving",
+                             tracer.to_us(backoff_start),
+                             tracer.to_us(std::chrono::steady_clock::now()),
+                             response.id, attempt);
+    }
+  }
+  {
+    std::scoped_lock lock(mutex_);
+    ++counters_.abandoned;
+  }
+  if (MetricsRegistry* metrics = server_->mutable_metrics(request.model)) {
+    metrics->record_retry_abandoned();
+  }
+  return response;
+}
+
+RetryingClient::Counters RetryingClient::counters() const {
+  std::scoped_lock lock(mutex_);
+  return counters_;
+}
+
+}  // namespace harvest::serving::resilience

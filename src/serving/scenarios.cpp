@@ -78,6 +78,9 @@ RealTimeReport run_realtime(Server& server, const std::string& model,
   RealTimeReport report;
   core::Percentiles latencies;
   core::WallTimer timer;
+  // With retries disabled (the default) the client degenerates to a
+  // single submit-and-wait, so every frame goes through one path.
+  resilience::RetryingClient client(server, config.retry);
   const auto start = std::chrono::steady_clock::now();
 
   for (std::int64_t frame = 0; frame < config.frames; ++frame) {
@@ -103,16 +106,21 @@ RealTimeReport run_realtime(Server& server, const std::string& model,
     request.deadline_s = config.deadline_s;
 
     core::WallTimer frame_timer;
-    InferenceResponse response = server.infer_sync(std::move(request));
+    InferenceResponse response = client.infer_sync(std::move(request));
     const double latency = frame_timer.elapsed_seconds();
     latencies.add(latency);
     ++report.frames_processed;
     if (latency > config.deadline_s ||
         response.status.code() == core::StatusCode::kDeadlineExceeded) {
       ++report.deadline_misses;
+    } else if (!response.status.is_ok()) {
+      ++report.frames_failed;
     }
   }
 
+  const resilience::RetryingClient::Counters counters = client.counters();
+  report.retries = static_cast<std::int64_t>(counters.retries);
+  report.retry_abandoned = static_cast<std::int64_t>(counters.abandoned);
   report.p95_latency_s = latencies.p95();
   report.mean_latency_s = latencies.mean();
   if (const MetricsRegistry* metrics = server.metrics(model)) {

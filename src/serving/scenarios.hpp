@@ -8,6 +8,7 @@
 /// online_sim.hpp.
 
 #include "data/synthetic.hpp"
+#include "serving/resilience/retry.hpp"
 #include "serving/server.hpp"
 
 namespace harvest::serving {
@@ -32,12 +33,18 @@ struct RealTimeConfig {
   double frame_interval_s = 1.0 / 30.0;  ///< camera rate
   std::int64_t frames = 90;
   double deadline_s = 0.05;  ///< per-frame latency budget
+  /// Frontend retry against transient failures (shed / unavailable /
+  /// internal), budgeted by deadline_s. Default = disabled (one try).
+  resilience::RetryPolicy retry;
 };
 
 struct RealTimeReport {
   std::int64_t frames_processed = 0;
   std::int64_t deadline_misses = 0;
   std::int64_t frames_dropped = 0;  ///< skipped because we fell behind
+  std::int64_t frames_failed = 0;   ///< terminal non-deadline failures
+  std::int64_t retries = 0;         ///< frontend re-submits
+  std::int64_t retry_abandoned = 0; ///< gave up after retries/budget
   double p95_latency_s = 0.0;
   double mean_latency_s = 0.0;
   MetricsSnapshot metrics;

@@ -4,6 +4,7 @@
 #include <shared_mutex>
 
 #include "core/log.hpp"
+#include "obs/trace.hpp"
 
 namespace harvest::serving {
 
@@ -47,7 +48,8 @@ core::Status Server::register_model(
     deployment->instances.push_back(std::make_unique<ModelInstance>(
         config.name + "#" + std::to_string(i), std::move(backend),
         config.preproc, deployment->batcher, deployment->metrics,
-        config.batched_preproc ? &preproc_pool_ : nullptr));
+        config.batched_preproc ? &preproc_pool_ : nullptr,
+        &deployment->admission));
   }
   deployments_.emplace(config.name, std::move(deployment));
   HARVEST_LOG_INFO("deployed model '%s': %lld instance(s), max batch %lld, "
@@ -72,7 +74,39 @@ core::Result<std::future<InferenceResponse>> Server::submit(
   if (request.id == 0) {
     request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   }
-  return it->second->batcher.submit(std::move(request));
+  return admit_and_enqueue(*it->second, std::move(request));
+}
+
+core::Result<std::future<InferenceResponse>> Server::admit_and_enqueue(
+    Deployment& deployment, InferenceRequest request) {
+  if (!deployment.admission.enabled() ||
+      deployment.admission.admit(deployment.batcher.queued())) {
+    return deployment.batcher.submit(std::move(request));
+  }
+  // Overloaded. Graceful degradation first: hand the request to the
+  // configured twin (typically the INT8 deployment of the same model)
+  // if that twin would itself admit it.
+  if (!deployment.config.degrade_to.empty()) {
+    const auto twin_it = deployments_.find(deployment.config.degrade_to);
+    if (twin_it != deployments_.end()) {
+      Deployment& twin = *twin_it->second;
+      if (!twin.admission.enabled() ||
+          twin.admission.admit(twin.batcher.queued())) {
+        deployment.metrics.record_degraded();
+        obs::TraceRecorder::instance().record_instant("degraded", "serving");
+        request.model = deployment.config.degrade_to;
+        return twin.batcher.submit(std::move(request));
+      }
+    }
+  }
+  deployment.metrics.record_shed();
+  obs::TraceRecorder::instance().record_instant("shed", "serving");
+  return core::Status::resource_exhausted(
+      "admission control shed the request (queue depth " +
+      std::to_string(deployment.batcher.queued()) + ", estimated delay " +
+      std::to_string(deployment.admission.estimated_delay_s(
+          deployment.batcher.queued())) +
+      " s)");
 }
 
 InferenceResponse Server::infer_sync(InferenceRequest request) {
@@ -89,6 +123,19 @@ const MetricsRegistry* Server::metrics(const std::string& model) const {
   std::shared_lock lock(deployments_mutex_);
   const auto it = deployments_.find(model);
   return it == deployments_.end() ? nullptr : &it->second->metrics;
+}
+
+MetricsRegistry* Server::mutable_metrics(const std::string& model) {
+  std::shared_lock lock(deployments_mutex_);
+  const auto it = deployments_.find(model);
+  return it == deployments_.end() ? nullptr : &it->second->metrics;
+}
+
+const resilience::AdmissionController* Server::admission(
+    const std::string& model) const {
+  std::shared_lock lock(deployments_mutex_);
+  const auto it = deployments_.find(model);
+  return it == deployments_.end() ? nullptr : &it->second->admission;
 }
 
 std::vector<std::string> Server::model_names() const {

@@ -15,6 +15,7 @@
 #include "serving/batcher.hpp"
 #include "serving/metrics.hpp"
 #include "serving/model_instance.hpp"
+#include "serving/resilience/admission.hpp"
 
 namespace harvest::serving {
 
@@ -33,6 +34,14 @@ struct ModelDeploymentConfig {
   /// the same model can be served at both precisions side by side and
   /// compared live.
   std::string precision = "fp32";
+  /// Overload control: shed arrivals with kResourceExhausted before
+  /// they queue, by queue depth and/or estimated queueing delay.
+  /// Disabled by default (both thresholds 0).
+  resilience::AdmissionConfig admission;
+  /// Graceful degradation: when admission sheds, fail the request over
+  /// to this deployment instead (typically the model's INT8 twin, which
+  /// clears its queue several times faster). Empty = shed outright.
+  std::string degrade_to;
 };
 
 class Server {
@@ -58,6 +67,15 @@ class Server {
   /// Deployment metrics (nullptr when unknown).
   const MetricsRegistry* metrics(const std::string& model) const;
 
+  /// Writable registry access for frontend-side recorders (retry
+  /// clients). nullptr when unknown.
+  MetricsRegistry* mutable_metrics(const std::string& model);
+
+  /// Deployment admission controller (nullptr when unknown). Exposed so
+  /// drivers can inspect the live service-time estimate.
+  const resilience::AdmissionController* admission(
+      const std::string& model) const;
+
   std::vector<std::string> model_names() const;
 
   /// Current batcher queue depth for a deployment (0 when unknown).
@@ -76,12 +94,20 @@ class Server {
     ModelDeploymentConfig config;
     DynamicBatcher batcher;
     MetricsRegistry metrics;
+    resilience::AdmissionController admission;
     std::vector<std::unique_ptr<ModelInstance>> instances;
 
     explicit Deployment(const ModelDeploymentConfig& c)
         : config(c), batcher(BatcherConfig{c.max_batch, c.max_queue_delay_s,
-                                           4096, c.preferred_batch_sizes}) {}
+                                           4096, c.preferred_batch_sizes}),
+          admission(c.admission, static_cast<int>(c.instances)) {}
   };
+
+  /// Admission check + optional degrade failover; called under the
+  /// reader lock. Returns the batcher future, a kResourceExhausted shed,
+  /// or the twin's response future.
+  core::Result<std::future<InferenceResponse>> admit_and_enqueue(
+      Deployment& deployment, InferenceRequest request);
 
   core::ThreadPool preproc_pool_;
   /// Guards the deployments map itself: register_model/shutdown take the

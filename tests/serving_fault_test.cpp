@@ -154,5 +154,31 @@ TEST(FaultInjection, HealthyDeploymentUnaffectedByFlakyNeighbour) {
   }
 }
 
+TEST(FaultInjection, ExpiredDeadlineDroppedBeforeExecution) {
+  // Regression for the real-time hygiene branch: a request whose
+  // deadline expired while queueing is answered immediately — no
+  // preprocessing or inference is spent on it — and lands in the
+  // deadline-miss outcome, not the completed count.
+  Server server(1);
+  ModelDeploymentConfig config = deployment("expiry");
+  config.max_queue_delay_s = 0.05;  // the lone request waits a full flush
+  ASSERT_TRUE(
+      server.register_model(config, [] { return tiny_native(); }).is_ok());
+  InferenceRequest request;
+  request.model = "expiry";
+  request.input = tiny_input(1);
+  request.deadline_s = 1e-4;  // expires long before the 50 ms flush
+  const InferenceResponse response = server.infer_sync(std::move(request));
+  EXPECT_EQ(response.status.code(), core::StatusCode::kDeadlineExceeded);
+  EXPECT_NE(response.status.message().find("dropped"), std::string::npos);
+  EXPECT_TRUE(response.logits.empty());  // inference never ran
+  const MetricsSnapshot snap = server.metrics("expiry")->snapshot(1.0);
+  EXPECT_EQ(snap.completed, 0u);
+  EXPECT_EQ(snap.deadline_misses, 1u);
+  EXPECT_EQ(snap.outcomes[static_cast<std::size_t>(
+                RequestOutcome::kDeadlineMissed)],
+            1u);
+}
+
 }  // namespace
 }  // namespace harvest::serving

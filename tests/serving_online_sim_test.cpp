@@ -122,6 +122,25 @@ TEST(OnlineSim, OverlapImprovesThroughputUnderLoad) {
   EXPECT_GT(ro.throughput_img_per_s, rs.throughput_img_per_s);
 }
 
+TEST(OnlineSim, QueueOverflowCountsRejected) {
+  // Regression for the capacity bound: the queue cap is configurable,
+  // overflow lands in `rejected`, and every arrival is accounted for.
+  OnlineSimConfig config = base_config();
+  config.arrival_rate_qps = 20000.0;
+  config.duration_s = 2.0;
+  config.queue_capacity = 16;
+  const OnlineSimReport tight = simulate_online(
+      platform::jetson_orin_nano(), "ViT_Base", plant_village(), config);
+  EXPECT_GT(tight.rejected, 0);
+  EXPECT_EQ(tight.completed + tight.rejected, tight.arrivals);
+
+  config.queue_capacity = 1u << 20;
+  const OnlineSimReport roomy = simulate_online(
+      platform::jetson_orin_nano(), "ViT_Base", plant_village(), config);
+  EXPECT_EQ(roomy.rejected, 0);
+  EXPECT_EQ(roomy.completed, roomy.arrivals);
+}
+
 TEST(OnlineSim, BatchCapRespectsEngineMemoryWall) {
   OnlineSimConfig config = base_config();
   config.arrival_rate_qps = 10000.0;

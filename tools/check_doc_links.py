@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Documentation link checker (registered as ctest `docs_links_test`).
+
+Walks the curated documentation set (README.md, DESIGN.md,
+EXPERIMENTS.md, docs/*.md) and fails on:
+
+  * relative markdown links whose target file does not exist;
+  * cited repository source paths (src/..., bench/..., tests/...,
+    examples/..., docs/..., tools/...) that do not exist.
+
+External links (http/https/mailto) and pure in-page anchors are not
+checked. Generated paths (bench_reports/, build/) are outside the
+checked prefixes on purpose.
+
+Usage: python3 tools/check_doc_links.py [repo_root]
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+# [text](target) — target captured up to the closing paren (no spaces).
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+# A cited repo path with a recognizable prefix and a file extension.
+SOURCE_PATH = re.compile(
+    r"\b((?:src|docs|bench|tests|examples|tools)/"
+    r"[A-Za-z0-9_./-]*[A-Za-z0-9_-]\.(?:cpp|hpp|h|py|md|json|txt|cmake))\b"
+)
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = [root / name for name in ("README.md", "DESIGN.md",
+                                      "EXPERIMENTS.md")]
+    files += sorted((root / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_file(root: Path, doc: Path) -> list[str]:
+    errors = []
+    text = doc.read_text(encoding="utf-8")
+    rel = doc.relative_to(root)
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in MD_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (doc.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}:{lineno}: dead link -> {target}")
+        for match in SOURCE_PATH.finditer(line):
+            cited = match.group(1)
+            if not (root / cited).exists():
+                errors.append(f"{rel}:{lineno}: missing source path -> {cited}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]).resolve() if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent.parent
+    docs = doc_files(root)
+    if not docs:
+        print(f"no documentation files found under {root}", file=sys.stderr)
+        return 1
+    errors = []
+    for doc in docs:
+        errors += check_file(root, doc)
+    if errors:
+        print(f"{len(errors)} dead documentation link(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"checked {len(docs)} documents, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
