@@ -32,7 +32,23 @@ harvest::serving::OnlineSimConfig base_config(double qps) {
   config.max_queue_delay_s = 5e-3;
   config.instances = 1;
   config.deadline_s = 0.1;  // the online scenario's latency budget
+  // Score every row against an SLO (docs/OBSERVABILITY.md): requests
+  // must complete, inside the deadline, 99.9% of the time. The burn
+  // rate says how fast each policy spends that error budget.
+  config.slo.latency_target_s = config.deadline_s;
+  config.slo.availability_target = 0.999;
+  config.slo_window_s = 10.0;
   return config;
+}
+
+std::string format_burn(const harvest::serving::OnlineSimReport& r) {
+  return harvest::core::format_fixed(r.slo_burn_rate, 1) + "x";
+}
+
+void add_slo_fields(harvest::core::Json& row,
+                    const harvest::serving::OnlineSimReport& r) {
+  row["slo_burn_rate"] = harvest::core::Json(r.slo_burn_rate);
+  row["slo_budget_remaining"] = harvest::core::Json(r.slo_budget_remaining);
 }
 
 harvest::serving::resilience::RetryPolicy retry3() {
@@ -61,7 +77,7 @@ int main(int argc, char** argv) {
   {
     core::TextTable table("");
     table.set_header({"fault rate", "retry", "completed", "failed", "retries",
-                      "deadline miss", "goodput", "p99 latency"});
+                      "deadline miss", "goodput", "p99 latency", "SLO burn"});
     for (double rate : {0.0, 0.02, 0.05, 0.10}) {
       for (bool retry : {false, true}) {
         serving::OnlineSimConfig config = base_config(2000.0);
@@ -75,7 +91,8 @@ int main(int argc, char** argv) {
                        std::to_string(r.retries),
                        std::to_string(r.deadline_misses),
                        core::format_rate(r.goodput_img_per_s),
-                       core::format_seconds(r.p99_latency_s)});
+                       core::format_seconds(r.p99_latency_s),
+                       format_burn(r)});
         core::Json row = core::Json::object();
         row["sweep"] = core::Json(std::string("fault_x_retry"));
         row["fault_rate"] = core::Json(rate);
@@ -86,6 +103,7 @@ int main(int argc, char** argv) {
         row["deadline_misses"] = core::Json(r.deadline_misses);
         row["goodput_img_s"] = core::Json(r.goodput_img_per_s);
         row["p99_latency_s"] = core::Json(r.p99_latency_s);
+        add_slo_fields(row, r);
         report.add_row(std::move(row));
       }
     }
@@ -102,7 +120,7 @@ int main(int argc, char** argv) {
   {
     core::TextTable table("");
     table.set_header({"arrival", "shedding", "completed", "shed", "rejected",
-                      "deadline miss", "goodput", "p99 latency"});
+                      "deadline miss", "goodput", "p99 latency", "SLO burn"});
     for (double qps : {4000.0, 8000.0, 16000.0}) {
       for (bool shed : {false, true}) {
         serving::OnlineSimConfig config = base_config(qps);
@@ -114,7 +132,8 @@ int main(int argc, char** argv) {
                        std::to_string(r.rejected),
                        std::to_string(r.deadline_misses),
                        core::format_rate(r.goodput_img_per_s),
-                       core::format_seconds(r.p99_latency_s)});
+                       core::format_seconds(r.p99_latency_s),
+                       format_burn(r)});
         core::Json row = core::Json::object();
         row["sweep"] = core::Json(std::string("overload_x_shedding"));
         row["arrival_qps"] = core::Json(qps);
@@ -125,6 +144,7 @@ int main(int argc, char** argv) {
         row["deadline_misses"] = core::Json(r.deadline_misses);
         row["goodput_img_s"] = core::Json(r.goodput_img_per_s);
         row["p99_latency_s"] = core::Json(r.p99_latency_s);
+        add_slo_fields(row, r);
         report.add_row(std::move(row));
       }
     }
@@ -143,7 +163,7 @@ int main(int argc, char** argv) {
   {
     core::TextTable table("");
     table.set_header({"retry", "completed", "failed", "retries",
-                      "deadline miss", "goodput", "p99 latency"});
+                      "deadline miss", "goodput", "p99 latency", "SLO burn"});
     for (bool retry : {false, true}) {
       serving::OnlineSimConfig config = base_config(3000.0);
       config.instances = 2;
@@ -159,7 +179,7 @@ int main(int argc, char** argv) {
                      std::to_string(r.failed), std::to_string(r.retries),
                      std::to_string(r.deadline_misses),
                      core::format_rate(r.goodput_img_per_s),
-                     core::format_seconds(r.p99_latency_s)});
+                     core::format_seconds(r.p99_latency_s), format_burn(r)});
       core::Json row = core::Json::object();
       row["sweep"] = core::Json(std::string("crash_stall"));
       row["retry"] = core::Json(retry);
@@ -169,6 +189,7 @@ int main(int argc, char** argv) {
       row["deadline_misses"] = core::Json(r.deadline_misses);
       row["goodput_img_s"] = core::Json(r.goodput_img_per_s);
       row["p99_latency_s"] = core::Json(r.p99_latency_s);
+      add_slo_fields(row, r);
       report.add_row(std::move(row));
     }
     std::fputs(table.render().c_str(), stdout);

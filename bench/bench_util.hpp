@@ -25,6 +25,7 @@ inline std::string report_dir() {
 /// the HARVEST_LOG_LEVEL environment variable), banner.
 inline void banner(const char* experiment, const char* description) {
   core::set_log_level(core::resolve_log_level("", core::LogLevel::kWarn));
+  core::set_log_format(core::resolve_log_format());
   std::printf("\n================================================================\n");
   std::printf("HARVEST reproduction — %s\n%s\n", experiment, description);
   std::printf("================================================================\n\n");
@@ -38,6 +39,7 @@ inline core::CliArgs init(int argc, const char* const* argv,
   core::CliArgs args(argc, argv);
   core::set_log_level(core::resolve_log_level(args.get("log-level", ""),
                                               core::LogLevel::kWarn));
+  core::set_log_format(core::resolve_log_format());
   std::printf("\n================================================================\n");
   std::printf("HARVEST reproduction — %s\n%s\n", experiment, description);
   std::printf("================================================================\n\n");

@@ -24,12 +24,14 @@
 #include "nn/init.hpp"
 #include "nn/mfu.hpp"
 #include "nn/models.hpp"
+#include "obs/critical_path.hpp"
 #include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "platform/gemm_bench.hpp"
 #include "preproc/codec.hpp"
 #include "preproc/image.hpp"
 #include "serving/native_backend.hpp"
+#include "serving/resilience/retry.hpp"
 #include "serving/server.hpp"
 #include "tensor/tensor.hpp"
 
@@ -89,6 +91,11 @@ inline bool run_live_characterization(const ObsArtifacts& obs) {
     config.instances = 1;
     config.max_queue_delay_s = 2e-3;
     config.preproc.output_size = live_vit_config().image;
+    // Declare an SLO so the Prometheus dump exercises the burn-rate
+    // gauges and the latency digest carries exemplars worth following.
+    config.slo.latency_target_s = 0.25;
+    config.slo.availability_target = 0.99;
+    config.slo_window_s = 10.0;
     const core::Status registered =
         server.register_model(config, [] {
           nn::ModelPtr model = nn::build_vit(live_vit_config());
@@ -113,24 +120,32 @@ inline bool run_live_characterization(const ObsArtifacts& obs) {
     });
     sampler.start(/*interval_s=*/1e-3);
 
-    auto submit_one = [&](std::uint64_t seed) {
-      const preproc::Image img =
-          preproc::synthesize_field_image(24, 24, seed);
-      serving::InferenceRequest request;
-      request.model = model_name;
-      request.input = preproc::encode_image(img, preproc::ImageFormat::kAgJpeg);
-      return server.submit(std::move(request));
+    // Submit through the retrying frontend so every request tree carries
+    // the full span hierarchy: client_request → request → queue /
+    // preprocess / inference / respond.
+    serving::resilience::RetryPolicy retry;
+    retry.max_attempts = 2;
+    serving::resilience::RetryingClient client(server, retry);
+
+    auto submit_one = [&client, &model_name](std::uint64_t seed) {
+      return std::async(std::launch::async, [&client, &model_name, seed] {
+        const preproc::Image img =
+            preproc::synthesize_field_image(24, 24, seed);
+        serving::InferenceRequest request;
+        request.model = model_name;
+        request.input =
+            preproc::encode_image(img, preproc::ImageFormat::kAgJpeg);
+        return client.infer_sync(std::move(request));
+      });
     };
 
     std::vector<std::future<serving::InferenceResponse>> pending;
     for (int i = 0; i < kBurst; ++i) {
-      auto result = submit_one(static_cast<std::uint64_t>(i));
-      if (result.is_ok()) pending.push_back(std::move(result.value()));
+      pending.push_back(submit_one(static_cast<std::uint64_t>(i)));
     }
     for (int i = 0; i < kTrickle; ++i) {
       std::this_thread::sleep_for(4ms);  // outlives max_queue_delay_s
-      auto result = submit_one(static_cast<std::uint64_t>(kBurst + i));
-      if (result.is_ok()) pending.push_back(std::move(result.value()));
+      pending.push_back(submit_one(static_cast<std::uint64_t>(kBurst + i)));
     }
     int completed = 0;
     for (auto& future : pending) {
@@ -139,6 +154,21 @@ inline bool run_live_characterization(const ObsArtifacts& obs) {
     sampler.stop();
     std::printf("[obs] live pass: %d/%zu requests completed\n", completed,
                 pending.size());
+
+    // Worked critical-path example (docs/OBSERVABILITY.md): walk the
+    // first recorded request tree and attribute its end-to-end latency.
+    if (!obs.trace_path.empty()) {
+      const core::Json doc = recorder.to_json();
+      const std::vector<std::uint64_t> ids = obs::trace_ids(doc);
+      if (!ids.empty()) {
+        auto path = obs::critical_path(doc, ids.front());
+        if (path.is_ok()) {
+          std::printf("\nCritical path, trace %llu of %zu:\n%s",
+                      static_cast<unsigned long long>(ids.front()), ids.size(),
+                      path.value().to_string().c_str());
+        }
+      }
+    }
 
     if (!obs.metrics_path.empty()) {
       const std::string text = server.prometheus_text();

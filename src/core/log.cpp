@@ -11,7 +11,9 @@ namespace harvest::core {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<LogFormat> g_format{LogFormat::kText};
 std::mutex g_emit_mutex;
+thread_local std::uint64_t t_trace_id = 0;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -22,6 +24,39 @@ const char* level_tag(LogLevel level) {
     case LogLevel::kOff: return "OFF  ";
   }
   return "?????";
+}
+
+// Lowercase tag for the structured mode (no padding).
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "unknown";
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
 }
 
 }  // namespace
@@ -55,6 +90,60 @@ LogLevel resolve_log_level(std::string_view cli_value, LogLevel fallback) {
   return level;
 }
 
+void set_log_format(LogFormat format) {
+  g_format.store(format, std::memory_order_relaxed);
+}
+
+LogFormat log_format() { return g_format.load(std::memory_order_relaxed); }
+
+bool parse_log_format(std::string_view name, LogFormat& out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "text") out = LogFormat::kText;
+  else if (lower == "json") out = LogFormat::kJson;
+  else return false;
+  return true;
+}
+
+LogFormat resolve_log_format(LogFormat fallback) {
+  LogFormat format = fallback;
+  if (const char* env = std::getenv("HARVEST_LOG_FORMAT")) {
+    parse_log_format(env, format);
+  }
+  return format;
+}
+
+void set_log_trace_id(std::uint64_t trace_id) { t_trace_id = trace_id; }
+
+std::uint64_t log_trace_id() { return t_trace_id; }
+
+std::string render_log_line(LogLevel level, std::string_view message,
+                            LogFormat format, std::uint64_t trace_id) {
+  std::string line;
+  if (format == LogFormat::kText) {
+    line = "[harvest ";
+    line += level_tag(level);
+    line += "] ";
+    line += message;
+    return line;
+  }
+  line = "{\"level\":\"";
+  line += level_name(level);
+  line += "\",\"msg\":\"";
+  append_json_escaped(line, message);
+  line += '"';
+  if (trace_id != 0) {
+    line += ",\"trace_id\":";
+    line += std::to_string(trace_id);
+  }
+  line += '}';
+  return line;
+}
+
 void log_message(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   char buffer[2048];
@@ -62,8 +151,10 @@ void log_message(LogLevel level, const char* fmt, ...) {
   va_start(args, fmt);
   std::vsnprintf(buffer, sizeof(buffer), fmt, args);
   va_end(args);
+  const std::string line = render_log_line(
+      level, buffer, g_format.load(std::memory_order_relaxed), t_trace_id);
   std::scoped_lock lock(g_emit_mutex);
-  std::fprintf(stderr, "[harvest %s] %s\n", level_tag(level), buffer);
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace harvest::core

@@ -4,13 +4,46 @@
 /// Minimal leveled logger. Thread-safe, printf-style free functions.
 /// The level is process-global and defaults to Info; benches drop it to
 /// Warn so table output stays clean.
+///
+/// Two output formats: the default human-readable `[harvest LEVEL] msg`
+/// line, and an opt-in structured mode (`HARVEST_LOG_FORMAT=json`) that
+/// emits one JSON object per line with `level`, `msg`, and — when the
+/// calling thread is inside a traced span — the active `trace_id`, so
+/// log lines can be joined against the exported execution trace.
 
 #include <cstdarg>
+#include <cstdint>
+#include <string>
 #include <string_view>
 
 namespace harvest::core {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+enum class LogFormat { kText = 0, kJson = 1 };
+
+/// Set the global output format (default: text).
+void set_log_format(LogFormat format);
+LogFormat log_format();
+
+/// Parse "text" | "json" (case-insensitive). Returns false (leaving
+/// `out` untouched) for anything else.
+bool parse_log_format(std::string_view name, LogFormat& out);
+
+/// Resolve the format from the HARVEST_LOG_FORMAT environment variable,
+/// falling back to `fallback` when unset/unparseable.
+LogFormat resolve_log_format(LogFormat fallback = LogFormat::kText);
+
+/// Thread-local trace id stamped onto JSON-mode log lines (0 = none).
+/// `obs::ScopedSpan::set_context` sets/restores this automatically; it
+/// lives here because core cannot depend on obs.
+void set_log_trace_id(std::uint64_t trace_id);
+std::uint64_t log_trace_id();
+
+/// Render one log line in `format` (no trailing newline). Exposed for
+/// tests; `log_message` uses this internally with the global format.
+std::string render_log_line(LogLevel level, std::string_view message,
+                            LogFormat format, std::uint64_t trace_id);
 
 /// Set the global minimum level that will be emitted.
 void set_log_level(LogLevel level);

@@ -1,0 +1,185 @@
+#include "obs/digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace harvest::obs {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+constexpr std::size_t kBufferLimit = 512;
+
+/// k1 scale function: maps quantile q to a "k index"; centroids may
+/// absorb weight while their k-span stays below 1. The arcsine shape
+/// makes the allowed centroid size ~ q(1-q), i.e. tiny at the tails.
+double k_scale(double q, double compression) {
+  q = std::clamp(q, 0.0, 1.0);
+  return compression / (2.0 * kPi) * std::asin(2.0 * q - 1.0);
+}
+
+}  // namespace
+
+QuantileDigest::QuantileDigest(double compression)
+    : compression_(std::max(compression, 20.0)) {}
+
+void QuantileDigest::add(double value, std::uint64_t trace_id) {
+  if (!std::isfinite(value)) {
+    ++rejected_;
+    return;
+  }
+  if (total_count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++total_count_;
+  sum_ += value;
+  buffer_.push_back(Centroid{value, 1.0, trace_id});
+  if (buffer_.size() >= kBufferLimit) merge_buffer();
+}
+
+void QuantileDigest::merge(const QuantileDigest& other) {
+  other.compress();
+  if (other.total_count_ == 0) {
+    rejected_ += other.rejected_;
+    return;
+  }
+  if (total_count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_count_ += other.total_count_;
+  rejected_ += other.rejected_;
+  sum_ += other.sum_;
+  buffer_.insert(buffer_.end(), other.centroids_.begin(),
+                 other.centroids_.end());
+  merge_buffer();
+}
+
+void QuantileDigest::compress() const {
+  if (!buffer_.empty()) merge_buffer();
+}
+
+const std::vector<QuantileDigest::Centroid>& QuantileDigest::centroids() const {
+  compress();
+  return centroids_;
+}
+
+void QuantileDigest::merge_buffer() const {
+  buffer_.insert(buffer_.end(), centroids_.begin(), centroids_.end());
+  centroids_.clear();
+  if (buffer_.empty()) return;
+  std::sort(buffer_.begin(), buffer_.end(),
+            [](const Centroid& a, const Centroid& b) {
+              return a.mean < b.mean;
+            });
+
+  double total = 0.0;
+  for (const Centroid& c : buffer_) total += c.weight;
+
+  // Greedy left-to-right merge: grow the current centroid while the
+  // k-span it would cover stays under one unit.
+  Centroid current = buffer_.front();
+  double weight_so_far = 0.0;  // weight fully to the left of `current`
+  double k_left = k_scale(0.0, compression_);
+  for (std::size_t i = 1; i < buffer_.size(); ++i) {
+    const Centroid& next = buffer_[i];
+    const double proposed = current.weight + next.weight;
+    const double q_right = (weight_so_far + proposed) / total;
+    if (k_scale(q_right, compression_) - k_left <= 1.0) {
+      // Fold `next` into `current` (weighted mean; keep the heavier
+      // side's exemplar so it stays representative).
+      const std::uint64_t exemplar =
+          (current.exemplar != 0 && current.weight >= next.weight)
+              ? current.exemplar
+              : (next.exemplar != 0 ? next.exemplar : current.exemplar);
+      current.mean = (current.mean * current.weight + next.mean * next.weight) /
+                     proposed;
+      current.weight = proposed;
+      current.exemplar = exemplar;
+    } else {
+      weight_so_far += current.weight;
+      centroids_.push_back(current);
+      k_left = k_scale(weight_so_far / total, compression_);
+      current = next;
+    }
+  }
+  centroids_.push_back(current);
+  buffer_.clear();
+}
+
+double QuantileDigest::min() const {
+  return total_count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+}
+
+double QuantileDigest::max() const {
+  return total_count_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+}
+
+double QuantileDigest::quantile(double q) const {
+  if (total_count_ == 0) return std::numeric_limits<double>::quiet_NaN();
+  compress();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_count_);
+
+  // Centroid i's mass is centered at cumulative weight midpoint m_i;
+  // interpolate linearly between midpoints, and between min/max and the
+  // outermost midpoints at the extremes.
+  double cumulative = 0.0;
+  double prev_mid = 0.0;
+  double prev_mean = min_;
+  for (const Centroid& c : centroids_) {
+    const double mid = cumulative + c.weight / 2.0;
+    if (target <= mid) {
+      const double span = mid - prev_mid;
+      if (span <= 0.0) return c.mean;
+      const double frac = (target - prev_mid) / span;
+      return prev_mean + frac * (c.mean - prev_mean);
+    }
+    prev_mid = mid;
+    prev_mean = c.mean;
+    cumulative += c.weight;
+  }
+  const double span = static_cast<double>(total_count_) - prev_mid;
+  if (span <= 0.0) return max_;
+  const double frac = (target - prev_mid) / span;
+  return prev_mean + frac * (max_ - prev_mean);
+}
+
+std::uint64_t QuantileDigest::exemplar_near(double q) const {
+  if (total_count_ == 0) return 0;
+  compress();
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_count_);
+
+  // Locate the centroid holding rank `target`.
+  std::size_t at = centroids_.size() - 1;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    cumulative += centroids_[i].weight;
+    if (target <= cumulative) {
+      at = i;
+      break;
+    }
+  }
+  if (centroids_[at].exemplar != 0) return centroids_[at].exemplar;
+  // Walk outward to the nearest centroid that saw a tagged sample.
+  for (std::size_t d = 1; d < centroids_.size(); ++d) {
+    if (at >= d && centroids_[at - d].exemplar != 0) {
+      return centroids_[at - d].exemplar;
+    }
+    if (at + d < centroids_.size() && centroids_[at + d].exemplar != 0) {
+      return centroids_[at + d].exemplar;
+    }
+  }
+  return 0;
+}
+
+}  // namespace harvest::obs

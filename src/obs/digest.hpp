@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file digest.hpp
+/// Streaming quantile estimation via a merging t-digest (Dunning). The
+/// fixed-bucket `BucketHistogram` distorts tail quantiles once latencies
+/// drift outside its preconfigured range; the digest adapts its
+/// resolution to the data, concentrating centroids at the tails so p99 /
+/// p99.9 stay accurate at any scale, and two digests merge losslessly
+/// (edge digests can be folded into a cloud aggregate).
+///
+/// Each centroid additionally retains one *exemplar* trace id, so a bad
+/// tail quantile links directly to an offending request tree in the
+/// execution trace (`obs::critical_path` takes it from there).
+///
+/// Like `BucketHistogram`, instances are not internally synchronized;
+/// `serving::MetricsRegistry` guards them with its own mutex.
+
+#include <cstdint>
+#include <vector>
+
+namespace harvest::obs {
+
+/// Merging t-digest with the k1 (arcsine) scale function.
+///
+/// Rank error at quantile q is bounded by ~ q(1-q)/compression once the
+/// digest is fully merged; with the default compression of 200 that is
+/// ≤ 0.05% absolute rank error at the median and tighter at the tails.
+/// Non-finite samples are rejected and counted (mirroring the
+/// BucketHistogram NaN fix) rather than poisoning every quantile.
+class QuantileDigest {
+ public:
+  struct Centroid {
+    double mean = 0.0;
+    double weight = 0.0;
+    /// One representative trace id for samples folded into this
+    /// centroid (0 = none recorded).
+    std::uint64_t exemplar = 0;
+  };
+
+  explicit QuantileDigest(double compression = 200.0);
+
+  /// Add one sample, optionally tagged with the trace id of the request
+  /// it came from. NaN / ±inf are rejected (see `rejected()`).
+  void add(double value, std::uint64_t trace_id = 0);
+
+  /// Fold another digest into this one. Associative up to the digest's
+  /// rank-error bound: merge(a, merge(b, c)) and merge(merge(a, b), c)
+  /// agree on every quantile within the documented error.
+  void merge(const QuantileDigest& other);
+
+  /// Estimate the value at quantile `q` in [0, 1]; NaN when empty.
+  double quantile(double q) const;
+
+  /// Exemplar trace id from the centroid nearest rank `q` (walking
+  /// outward to a neighbor when that centroid never saw a tagged
+  /// sample); 0 when none exists.
+  std::uint64_t exemplar_near(double q) const;
+
+  std::uint64_t count() const { return total_count_; }
+  std::uint64_t rejected() const { return rejected_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double compression() const { return compression_; }
+
+  /// Flush buffered samples into the centroid list (const-lazy: called
+  /// automatically by the read API).
+  void compress() const;
+  /// Fully-merged centroid list, sorted by mean.
+  const std::vector<Centroid>& centroids() const;
+
+ private:
+  void merge_buffer() const;
+
+  double compression_;
+  std::uint64_t total_count_ = 0;
+  std::uint64_t rejected_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  // Unmerged samples buffered as weight-1 centroids; merged on demand.
+  mutable std::vector<Centroid> buffer_;
+  mutable std::vector<Centroid> centroids_;
+};
+
+}  // namespace harvest::obs

@@ -145,4 +145,28 @@ void PrometheusWriter::histogram(const std::string& name,
   sample(name + "_count", labels, static_cast<double>(hist.total_count()));
 }
 
+void PrometheusWriter::summary(const std::string& name,
+                               const std::string& help,
+                               const QuantileDigest& digest,
+                               const Labels& labels,
+                               const std::vector<double>& quantiles) {
+  family_header(name, help, "summary");
+  for (double q : quantiles) {
+    Labels with_q = labels;
+    with_q.emplace_back("quantile", format_value(q));
+    const double value = digest.count() == 0 ? 0.0 : digest.quantile(q);
+    out_ += name + render_labels(with_q) + " " + format_value(value);
+    // OpenMetrics-style exemplar: ties the quantile back to one request
+    // tree in the execution trace.
+    const std::uint64_t exemplar = digest.exemplar_near(q);
+    if (exemplar != 0) {
+      out_ += " # {trace_id=\"" + std::to_string(exemplar) + "\"} " +
+              format_value(value);
+    }
+    out_ += "\n";
+  }
+  sample(name + "_sum", labels, digest.sum());
+  sample(name + "_count", labels, static_cast<double>(digest.count()));
+}
+
 }  // namespace harvest::obs

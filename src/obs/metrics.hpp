@@ -12,6 +12,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/digest.hpp"
+
 namespace harvest::obs {
 
 /// Histogram over explicit upper bounds; one implicit +Inf bucket.
@@ -63,6 +65,14 @@ class PrometheusWriter {
   /// Renders `<name>_bucket{le=...}`, `<name>_sum`, `<name>_count`.
   void histogram(const std::string& name, const std::string& help,
                  const BucketHistogram& hist, const Labels& labels = {});
+  /// Renders a summary family from a quantile digest:
+  /// `<name>{quantile="0.5"|"0.9"|"0.99"}`, `<name>_sum`, `<name>_count`.
+  /// Quantile samples carry OpenMetrics-style exemplars
+  /// (`# {trace_id="..."} <value>`) when the digest recorded one near
+  /// that rank, linking the tail directly to a request tree.
+  void summary(const std::string& name, const std::string& help,
+               const QuantileDigest& digest, const Labels& labels = {},
+               const std::vector<double>& quantiles = {0.5, 0.9, 0.99});
 
   const std::string& str() const { return out_; }
 

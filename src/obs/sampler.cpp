@@ -6,10 +6,43 @@
 
 namespace harvest::obs {
 
+TimeSeriesSampler::~TimeSeriesSampler() {
+  stop();
+  std::scoped_lock lock(mutex_);
+  if (out_ != nullptr) {
+    std::fclose(out_);
+    out_ = nullptr;
+  }
+}
+
 void TimeSeriesSampler::add_probe(std::string name, Probe probe) {
   HARVEST_CHECK_MSG(!running_, "add probes before start()");
   names_.push_back(std::move(name));
   probes_.push_back(std::move(probe));
+}
+
+bool TimeSeriesSampler::set_output(const std::string& path) {
+  HARVEST_CHECK_MSG(!running_, "set the output before start()");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fputs("t_s", f);
+  for (const std::string& name : names_) std::fprintf(f, ",%s", name.c_str());
+  std::fputc('\n', f);
+  std::fflush(f);
+  std::scoped_lock lock(mutex_);
+  if (out_ != nullptr) std::fclose(out_);
+  out_ = f;
+  return true;
+}
+
+void TimeSeriesSampler::append_output_locked(const Row& row) {
+  if (out_ == nullptr) return;
+  std::fprintf(out_, "%g", row.t_s);
+  for (double v : row.values) std::fprintf(out_, ",%g", v);
+  std::fputc('\n', out_);
+  // One flush per row: a process dying without stop() keeps every
+  // completed sample on disk.
+  std::fflush(out_);
 }
 
 void TimeSeriesSampler::start(double interval_s) {
@@ -67,6 +100,7 @@ void TimeSeriesSampler::sample_at(double t_s) {
   row.values.reserve(probes_.size());
   for (const Probe& probe : probes_) row.values.push_back(probe());
   std::scoped_lock lock(mutex_);
+  append_output_locked(row);
   rows_.push_back(std::move(row));
 }
 
@@ -74,7 +108,9 @@ void TimeSeriesSampler::add_row(double t_s, std::vector<double> values) {
   HARVEST_CHECK_MSG(values.size() == names_.size(),
                     "row width must match probe count");
   std::scoped_lock lock(mutex_);
-  rows_.push_back(Row{t_s, std::move(values)});
+  Row row{t_s, std::move(values)};
+  append_output_locked(row);
+  rows_.push_back(std::move(row));
 }
 
 std::size_t TimeSeriesSampler::row_count() const {

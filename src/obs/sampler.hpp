@@ -7,8 +7,14 @@
 /// consumable by plotting tools and convertible to `core::Series` for
 /// the ASCII plots in the bench harness. The discrete-event simulation
 /// feeds rows directly via `add_row` with simulated timestamps.
+///
+/// With `set_output`, rows are additionally streamed to a CSV file as
+/// they are sampled (header up front, `fflush` per row), so a crash or
+/// `_exit` without `stop()` loses at most the row being written — not
+/// the whole series.
 
 #include <condition_variable>
+#include <cstdio>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -25,13 +31,19 @@ class TimeSeriesSampler {
   using Probe = std::function<double()>;
 
   TimeSeriesSampler() = default;
-  ~TimeSeriesSampler() { stop(); }
+  ~TimeSeriesSampler();
 
   TimeSeriesSampler(const TimeSeriesSampler&) = delete;
   TimeSeriesSampler& operator=(const TimeSeriesSampler&) = delete;
 
   /// Register a named probe. Must be called before start().
   void add_probe(std::string name, Probe probe);
+
+  /// Stream rows incrementally to `path` as they are sampled: the
+  /// header is written immediately and each row is flushed on append.
+  /// Must be called after all probes are registered and before start().
+  /// Returns false when the file cannot be opened.
+  bool set_output(const std::string& path);
 
   /// Begin background sampling every `interval_s` seconds. Timestamps
   /// are relative to this call.
@@ -62,11 +74,13 @@ class TimeSeriesSampler {
   };
 
   void sample_at(double t_s);
+  void append_output_locked(const Row& row);
 
   std::vector<std::string> names_;
   std::vector<Probe> probes_;
   mutable std::mutex mutex_;
   std::vector<Row> rows_;
+  std::FILE* out_ = nullptr;  ///< guarded by mutex_
   std::thread thread_;
   std::condition_variable stop_cv_;
   std::mutex stop_mutex_;

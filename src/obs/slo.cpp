@@ -1,0 +1,123 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace harvest::obs {
+
+SloTracker::SloTracker(SloConfig config, double window_s) {
+  configure(config, window_s);
+}
+
+void SloTracker::configure(SloConfig config, double window_s) {
+  std::scoped_lock lock(mutex_);
+  config_ = config;
+  window_s_ = std::max(window_s, 1e-3);
+  bucket_width_s_ = window_s_ / kBuckets;
+  ring_.assign(kBuckets, Bucket{});
+  total_ = 0;
+  bad_total_ = 0;
+  firing_ = false;
+}
+
+void SloTracker::set_alert(double burn_threshold, AlertFn fn) {
+  std::scoped_lock lock(mutex_);
+  alert_threshold_ = burn_threshold;
+  alert_ = std::move(fn);
+}
+
+std::int64_t SloTracker::bucket_index(double now_s) const {
+  return static_cast<std::int64_t>(std::floor(now_s / bucket_width_s_));
+}
+
+void SloTracker::record(double now_s, bool ok, double latency_s) {
+  if (!config_.enabled()) return;
+  bool good = ok;
+  if (good && config_.latency_target_s > 0.0 &&
+      latency_s > config_.latency_target_s) {
+    good = false;
+  }
+
+  bool fire_transition = false;
+  bool fire_state = false;
+  double fire_burn = 0.0;
+  AlertFn alert_copy;
+  {
+    std::scoped_lock lock(mutex_);
+    const std::int64_t index = bucket_index(now_s);
+    Bucket& bucket = ring_[static_cast<std::size_t>(
+        ((index % kBuckets) + kBuckets) % kBuckets)];
+    if (bucket.index != index) {
+      bucket = Bucket{};
+      bucket.index = index;
+    }
+    if (good) {
+      ++bucket.good;
+    } else {
+      ++bucket.bad;
+      ++bad_total_;
+    }
+    ++total_;
+
+    if (alert_ && alert_threshold_ > 0.0) {
+      const double burn = burn_rate_locked(index);
+      const bool should_fire = burn >= alert_threshold_;
+      if (should_fire != firing_) {
+        firing_ = should_fire;
+        fire_transition = true;
+        fire_state = should_fire;
+        fire_burn = burn;
+        alert_copy = alert_;
+      }
+    }
+  }
+  // Edge-triggered, outside the lock: the subscriber (admission control)
+  // may call back into metrics paths that take their own locks.
+  if (fire_transition && alert_copy) alert_copy(fire_state, fire_burn);
+}
+
+double SloTracker::burn_rate_locked(std::int64_t now_index) const {
+  const double budget = 1.0 - config_.availability_target;
+  if (budget <= 0.0) return 0.0;
+  std::uint64_t good = 0;
+  std::uint64_t bad = 0;
+  const std::int64_t oldest = now_index - kBuckets + 1;
+  for (const Bucket& bucket : ring_) {
+    if (bucket.index < oldest || bucket.index > now_index) continue;
+    good += bucket.good;
+    bad += bucket.bad;
+  }
+  const std::uint64_t window_total = good + bad;
+  if (window_total == 0) return 0.0;
+  const double bad_fraction =
+      static_cast<double>(bad) / static_cast<double>(window_total);
+  return bad_fraction / budget;
+}
+
+double SloTracker::burn_rate(double now_s) const {
+  if (!config_.enabled()) return 0.0;
+  std::scoped_lock lock(mutex_);
+  return burn_rate_locked(bucket_index(now_s));
+}
+
+double SloTracker::budget_remaining() const {
+  if (!config_.enabled()) return 1.0;
+  std::scoped_lock lock(mutex_);
+  if (total_ == 0) return 1.0;
+  const double budget = 1.0 - config_.availability_target;
+  const double allowed = budget * static_cast<double>(total_);
+  if (allowed <= 0.0) return bad_total_ == 0 ? 1.0 : 0.0;
+  return 1.0 - static_cast<double>(bad_total_) / allowed;
+}
+
+std::uint64_t SloTracker::total() const {
+  std::scoped_lock lock(mutex_);
+  return total_;
+}
+
+std::uint64_t SloTracker::bad() const {
+  std::scoped_lock lock(mutex_);
+  return bad_total_;
+}
+
+}  // namespace harvest::obs

@@ -1,0 +1,97 @@
+#pragma once
+
+/// \file slo.hpp
+/// Per-deployment service-level objectives and error-budget accounting.
+///
+/// An SLO is declared in the model-repository JSON (`"slo"` key) as a
+/// latency target plus an availability target. The tracker classifies
+/// every finished request as good or bad (failed / shed / deadline-
+/// missed / over the latency target), maintains a sliding window of
+/// outcome counts, and reports the **burn rate**: the ratio of the
+/// observed bad fraction to the budgeted bad fraction `1 - availability`.
+/// Burn rate 1.0 means the deployment is spending its error budget
+/// exactly as provisioned; 10 means the budget will be gone in a tenth
+/// of the period. An edge-triggered alert hook lets the resilience
+/// layer's admission policy tighten under sustained burn.
+///
+/// The tracker takes explicit timestamps so the discrete-event
+/// simulation can drive it with simulated time.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace harvest::obs {
+
+/// Declared objectives for one deployment. Both targets are optional;
+/// a latency target of 0 disables the latency term, an availability
+/// target of 0 disables SLO tracking entirely.
+struct SloConfig {
+  double latency_target_s = 0.0;    ///< good requests finish within this
+  double availability_target = 0.0; ///< e.g. 0.99 → 1% error budget
+  bool enabled() const { return availability_target > 0.0; }
+};
+
+/// Sliding-window error-budget accounting for one deployment.
+/// Thread-safe; the alert callback is invoked outside the lock.
+class SloTracker {
+ public:
+  /// `firing` flips true when the burn rate crosses the threshold and
+  /// false when it recovers; `burn` is the rate at the transition.
+  using AlertFn = std::function<void(bool firing, double burn)>;
+
+  SloTracker() = default;
+  explicit SloTracker(SloConfig config, double window_s = 60.0);
+
+  void configure(SloConfig config, double window_s = 60.0);
+  const SloConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled(); }
+
+  /// Register the edge-triggered burn-rate alert. A threshold of ~2-10
+  /// is conventional (burning the budget 2-10x too fast).
+  void set_alert(double burn_threshold, AlertFn fn);
+
+  /// Record one finished request at time `now_s`. `ok` reflects the
+  /// RequestOutcome (only kOk counts); the latency term additionally
+  /// requires `latency_s <= latency_target_s` when a target is set.
+  void record(double now_s, bool ok, double latency_s);
+
+  /// Bad fraction over the sliding window divided by the budgeted bad
+  /// fraction. 0 when no traffic or tracking is disabled.
+  double burn_rate(double now_s) const;
+
+  /// Fraction of the cumulative error budget left: 1 = untouched,
+  /// 0 = exhausted, negative = overspent. 1 when no traffic.
+  double budget_remaining() const;
+
+  std::uint64_t total() const;
+  std::uint64_t bad() const;
+  double window_s() const { return window_s_; }
+
+ private:
+  struct Bucket {
+    std::int64_t index = -1;  ///< absolute bucket index; -1 = empty
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  double burn_rate_locked(std::int64_t now_index) const;
+  std::int64_t bucket_index(double now_s) const;
+
+  static constexpr int kBuckets = 30;
+
+  SloConfig config_;
+  double window_s_ = 60.0;
+  double bucket_width_s_ = 2.0;
+  double alert_threshold_ = 0.0;
+  AlertFn alert_;
+  bool firing_ = false;
+
+  mutable std::mutex mutex_;
+  std::vector<Bucket> ring_ = std::vector<Bucket>(kBuckets);
+  std::uint64_t total_ = 0;
+  std::uint64_t bad_total_ = 0;
+};
+
+}  // namespace harvest::obs

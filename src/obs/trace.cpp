@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/log.hpp"
+
 namespace harvest::obs {
 
 namespace {
@@ -13,7 +15,18 @@ std::int64_t steady_ns_now() {
       .count();
 }
 
+std::atomic<std::uint64_t> g_next_trace_id{1};
+std::atomic<std::uint64_t> g_next_span_id{1};
+
 }  // namespace
+
+std::uint64_t next_trace_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t next_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
 
 TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns_now()) {}
 
@@ -107,6 +120,46 @@ void TraceRecorder::record_complete(std::string_view name, const char* cat,
   push(std::move(event));
 }
 
+void TraceRecorder::record_root(std::string_view name, const char* cat,
+                                double start_us, double end_us,
+                                const TraceContext& ctx, std::uint64_t id,
+                                std::int64_t batch, std::uint32_t tid) {
+  if (!enabled() || !ctx.active()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = cat;
+  event.ph = 'X';
+  event.ts_us = start_us;
+  event.dur_us = std::max(end_us - start_us, 0.0);
+  event.id = id;
+  event.batch = batch;
+  event.tid = tid;
+  event.trace_id = ctx.trace_id;
+  event.span_id = ctx.root_span_id;
+  event.parent_span_id = ctx.parent_span_id;
+  push(std::move(event));
+}
+
+void TraceRecorder::record_child(std::string_view name, const char* cat,
+                                 double start_us, double end_us,
+                                 const TraceContext& ctx, std::uint64_t id,
+                                 std::int64_t batch, std::uint32_t tid) {
+  if (!enabled() || !ctx.active()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = cat;
+  event.ph = 'X';
+  event.ts_us = start_us;
+  event.dur_us = std::max(end_us - start_us, 0.0);
+  event.id = id;
+  event.batch = batch;
+  event.tid = tid;
+  event.trace_id = ctx.trace_id;
+  event.span_id = next_span_id();
+  event.parent_span_id = ctx.root_span_id;
+  push(std::move(event));
+}
+
 void TraceRecorder::record_instant(std::string_view name, const char* cat) {
   if (!enabled()) return;
   TraceEvent event;
@@ -114,6 +167,19 @@ void TraceRecorder::record_instant(std::string_view name, const char* cat) {
   event.cat = cat;
   event.ph = 'i';
   event.ts_us = now_us();
+  push(std::move(event));
+}
+
+void TraceRecorder::record_instant(std::string_view name, const char* cat,
+                                   const TraceContext& ctx) {
+  if (!enabled()) return;
+  TraceEvent event;
+  event.name = std::string(name);
+  event.cat = cat;
+  event.ph = 'i';
+  event.ts_us = now_us();
+  event.trace_id = ctx.trace_id;
+  event.parent_span_id = ctx.root_span_id;
   push(std::move(event));
 }
 
@@ -151,6 +217,23 @@ std::uint64_t TraceRecorder::dropped() const {
     count += buffer->dropped;
   }
   return count;
+}
+
+std::vector<TraceRecorder::RingStats> TraceRecorder::ring_stats() const {
+  std::vector<RingStats> stats;
+  std::scoped_lock registry_lock(registry_mutex_);
+  stats.reserve(buffers_.size());
+  for (const auto& buffer : buffers_) {
+    std::scoped_lock lock(buffer->mutex);
+    RingStats s;
+    s.tid = buffer->tid;
+    s.name = buffer->name;
+    s.events = buffer->events.size();
+    s.capacity = buffer->cap;
+    s.dropped = buffer->dropped;
+    stats.push_back(std::move(s));
+  }
+  return stats;
 }
 
 void TraceRecorder::clear() {
@@ -220,6 +303,16 @@ core::Json TraceRecorder::to_json() const {
       args["id"] = core::Json(static_cast<std::int64_t>(event.id));
     }
     if (event.batch >= 0) args["batch"] = core::Json(event.batch);
+    if (event.trace_id != 0) {
+      args["trace_id"] = core::Json(static_cast<std::int64_t>(event.trace_id));
+    }
+    if (event.span_id != 0) {
+      args["span_id"] = core::Json(static_cast<std::int64_t>(event.span_id));
+    }
+    if (event.parent_span_id != 0) {
+      args["parent"] =
+          core::Json(static_cast<std::int64_t>(event.parent_span_id));
+    }
     if (!args.empty()) obj["args"] = core::Json(std::move(args));
     out.push_back(core::Json(std::move(obj)));
   }
@@ -247,11 +340,27 @@ ScopedSpan::ScopedSpan(std::string_view name, const char* cat)
   start_us_ = TraceRecorder::instance().now_us();
 }
 
+void ScopedSpan::set_context(const TraceContext& ctx) {
+  if (!ctx.active()) return;
+  ctx_ = ctx;
+  if (!restore_log_) {
+    restore_log_trace_id_ = core::log_trace_id();
+    restore_log_ = true;
+    core::set_log_trace_id(ctx.trace_id);
+  }
+}
+
 ScopedSpan::~ScopedSpan() {
+  if (restore_log_) core::set_log_trace_id(restore_log_trace_id_);
   if (!armed_) return;
   TraceRecorder& recorder = TraceRecorder::instance();
-  recorder.record_complete(name_, cat_, start_us_, recorder.now_us(), id_,
-                           batch_);
+  if (ctx_.active()) {
+    recorder.record_child(name_, cat_, start_us_, recorder.now_us(), ctx_, id_,
+                          batch_);
+  } else {
+    recorder.record_complete(name_, cat_, start_us_, recorder.now_us(), id_,
+                             batch_);
+  }
 }
 
 }  // namespace harvest::obs

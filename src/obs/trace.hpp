@@ -30,6 +30,29 @@
 
 namespace harvest::obs {
 
+/// Distributed-tracing context carried on a request as it crosses the
+/// serving layers (frontend → Server → DynamicBatcher → ModelInstance,
+/// including retries and degrade failover) and the DES's simulated
+/// edge/uplink/cloud hops. Every span recorded on behalf of the request
+/// stamps `trace_id`, so one request yields one causally-linked tree in
+/// the exported trace, walkable by `obs::critical_path`.
+struct TraceContext {
+  std::uint64_t trace_id = 0;  ///< whole-tree id; 0 = no active trace
+  /// Parent of this request's root span (a frontend/client span, or 0
+  /// when the server-side `request` span is the root of the tree).
+  std::uint64_t parent_span_id = 0;
+  /// The request's root span, assigned by the server at submit; child
+  /// spans (queue, preprocess, inference, …) hang off this id.
+  std::uint64_t root_span_id = 0;
+
+  bool active() const { return trace_id != 0; }
+};
+
+/// Process-wide id allocators (never return 0). Trace ids name request
+/// trees; span ids name individual spans within them.
+std::uint64_t next_trace_id();
+std::uint64_t next_span_id();
+
 /// One trace event in (a subset of) the Chrome trace-event format.
 /// `ph` phases used: 'X' complete span, 'i' instant, 'C' counter.
 struct TraceEvent {
@@ -42,6 +65,11 @@ struct TraceEvent {
   std::uint64_t id = 0;   ///< correlation id (request id); 0 = unset
   std::int64_t batch = -1;  ///< batch-size argument; < 0 = unset
   double value = 0.0;       ///< counter payload ('C' only)
+  // Trace-tree linkage (0 = unset); exported into `args` as trace_id /
+  // span_id / parent.
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
 };
 
 class TraceRecorder {
@@ -73,7 +101,22 @@ class TraceRecorder {
   void record_complete(std::string_view name, const char* cat,
                        double start_us, double end_us, std::uint64_t id = 0,
                        std::int64_t batch = -1);
+  /// Record the request's *root* span: span_id = ctx.root_span_id,
+  /// parented to the frontend span (ctx.parent_span_id). No-op without
+  /// an active context.
+  void record_root(std::string_view name, const char* cat, double start_us,
+                   double end_us, const TraceContext& ctx,
+                   std::uint64_t id = 0, std::int64_t batch = -1,
+                   std::uint32_t tid = 0);
+  /// Record a child span under the request's root (fresh span id,
+  /// parent = ctx.root_span_id). No-op without an active context.
+  void record_child(std::string_view name, const char* cat, double start_us,
+                    double end_us, const TraceContext& ctx,
+                    std::uint64_t id = 0, std::int64_t batch = -1,
+                    std::uint32_t tid = 0);
   void record_instant(std::string_view name, const char* cat);
+  void record_instant(std::string_view name, const char* cat,
+                      const TraceContext& ctx);
   void record_counter(std::string_view name, double value);
   void record_counter_at(std::string_view name, double ts_us, double value);
 
@@ -82,6 +125,18 @@ class TraceRecorder {
   /// Events overwritten because a ring filled up.
   std::uint64_t dropped() const;
   void clear();
+
+  /// Per-ring occupancy for the Prometheus exposition: silent trace
+  /// truncation (ring overwrites) must be visible, not discovered when
+  /// the export comes up short.
+  struct RingStats {
+    std::uint32_t tid = 0;
+    std::string name;          ///< thread label (may be empty)
+    std::size_t events = 0;    ///< retained events
+    std::size_t capacity = 0;  ///< ring capacity
+    std::uint64_t dropped = 0; ///< overwritten events
+  };
+  std::vector<RingStats> ring_stats() const;
 
   /// Export: `{"traceEvents": [...], "displayTimeUnit": "ms"}` with
   /// events in timestamp order and thread-name metadata records.
@@ -128,6 +183,10 @@ class ScopedSpan {
 
   void set_id(std::uint64_t id) { id_ = id; }
   void set_batch(std::int64_t batch) { batch_ = batch; }
+  /// Link this span into a request tree (child of ctx.root_span_id).
+  /// Also stamps the trace id on the thread's log context for the
+  /// span's lifetime, so JSON-mode log lines join the trace.
+  void set_context(const TraceContext& ctx);
 
  private:
   bool armed_;
@@ -136,6 +195,9 @@ class ScopedSpan {
   double start_us_ = 0.0;
   std::uint64_t id_ = 0;
   std::int64_t batch_ = -1;
+  TraceContext ctx_;
+  std::uint64_t restore_log_trace_id_ = 0;
+  bool restore_log_ = false;
 };
 
 }  // namespace harvest::obs

@@ -1,11 +1,22 @@
 #include "serving/metrics.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "core/units.hpp"
 
 namespace harvest::serving {
+
+namespace {
+
+double steady_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 const char* request_outcome_name(RequestOutcome outcome) {
   switch (outcome) {
@@ -53,37 +64,47 @@ std::string MetricsSnapshot::to_string() const {
 }
 
 void MetricsRegistry::record(const RequestTiming& timing,
-                             RequestOutcome outcome) {
+                             RequestOutcome outcome, std::uint64_t trace_id) {
   if (outcome == RequestOutcome::kShed) {
     record_shed();
     return;
   }
-  std::scoped_lock lock(mutex_);
-  ++outcomes_[static_cast<std::size_t>(outcome)];
-  switch (outcome) {
-    case RequestOutcome::kOk:
-      ++completed_;
-      break;
-    case RequestOutcome::kDeadlineMissed:
-      // A missed deadline is still a failed answer from the client's
-      // point of view; the legacy failed counter keeps including it.
-      ++failed_;
-      ++deadline_misses_;
-      break;
-    default:
-      ++failed_;
-      break;
+  double now_s = 0.0;
+  {
+    std::scoped_lock lock(mutex_);
+    ++outcomes_[static_cast<std::size_t>(outcome)];
+    switch (outcome) {
+      case RequestOutcome::kOk:
+        ++completed_;
+        break;
+      case RequestOutcome::kDeadlineMissed:
+        // A missed deadline is still a failed answer from the client's
+        // point of view; the legacy failed counter keeps including it.
+        ++failed_;
+        ++deadline_misses_;
+        break;
+      default:
+        ++failed_;
+        break;
+    }
+    total_latency_.add(timing.total_s);
+    queue_.add(timing.queue_s);
+    preprocess_.add(timing.preprocess_s);
+    inference_.add(timing.inference_s);
+    latency_hist_.observe(timing.total_s);
+    queue_hist_.observe(timing.queue_s);
+    preprocess_hist_.observe(timing.preprocess_s);
+    inference_hist_.observe(timing.inference_s);
+    latency_digest_.add(timing.total_s, trace_id);
+    if (timing.batch_size > 0) {
+      batch_sizes_.add(static_cast<double>(timing.batch_size));
+    }
+    now_s = clock_ ? clock_() : steady_now_s();
   }
-  total_latency_.add(timing.total_s);
-  queue_.add(timing.queue_s);
-  preprocess_.add(timing.preprocess_s);
-  inference_.add(timing.inference_s);
-  latency_hist_.observe(timing.total_s);
-  queue_hist_.observe(timing.queue_s);
-  preprocess_hist_.observe(timing.preprocess_s);
-  inference_hist_.observe(timing.inference_s);
-  if (timing.batch_size > 0) {
-    batch_sizes_.add(static_cast<double>(timing.batch_size));
+  // Outside mutex_: SloTracker synchronizes itself, and its burn-rate
+  // alert may call back into paths that re-enter this registry.
+  if (slo_.enabled()) {
+    slo_.record(now_s, outcome == RequestOutcome::kOk, timing.total_s);
   }
 }
 
@@ -103,9 +124,15 @@ void MetricsRegistry::record(const RequestTiming& timing, bool ok,
 }
 
 void MetricsRegistry::record_shed() {
-  std::scoped_lock lock(mutex_);
-  ++shed_;
-  ++outcomes_[static_cast<std::size_t>(RequestOutcome::kShed)];
+  double now_s = 0.0;
+  {
+    std::scoped_lock lock(mutex_);
+    ++shed_;
+    ++outcomes_[static_cast<std::size_t>(RequestOutcome::kShed)];
+    now_s = clock_ ? clock_() : steady_now_s();
+  }
+  // A shed request is an unanswered request: it spends error budget.
+  if (slo_.enabled()) slo_.record(now_s, false, 0.0);
 }
 
 void MetricsRegistry::record_retry() {
@@ -144,6 +171,26 @@ void MetricsRegistry::set_queue_depth_probe(
   queue_depth_probe_ = std::move(probe);
 }
 
+void MetricsRegistry::configure_slo(const obs::SloConfig& slo,
+                                    double window_s) {
+  slo_.configure(slo, window_s);
+}
+
+void MetricsRegistry::set_slo_alert(double burn_threshold,
+                                    obs::SloTracker::AlertFn fn) {
+  slo_.set_alert(burn_threshold, std::move(fn));
+}
+
+void MetricsRegistry::set_clock(std::function<double()> clock) {
+  std::scoped_lock lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+double MetricsRegistry::clock_now() const {
+  std::scoped_lock lock(mutex_);
+  return clock_ ? clock_() : steady_now_s();
+}
+
 MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   std::scoped_lock lock(mutex_);
   MetricsSnapshot snap;
@@ -170,7 +217,13 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   snap.mean_queue_s = queue_.mean();
   snap.mean_preprocess_s = preprocess_.mean();
   snap.mean_inference_s = inference_.mean();
+  snap.digest_p99_latency_s =
+      latency_digest_.count() > 0 ? latency_digest_.quantile(0.99) : 0.0;
   snap.flushes = flushes_;
+  const double now_s = clock_ ? clock_() : steady_now_s();
+  snap.slo_enabled = slo_.enabled();
+  snap.slo_burn_rate = slo_.burn_rate(now_s);
+  snap.slo_budget_remaining = slo_.budget_remaining();
   return snap;
 }
 
@@ -231,6 +284,12 @@ void MetricsRegistry::render_prometheus(obs::PrometheusWriter& out,
                 "Batches dispatched, by flush reason.",
                 static_cast<double>(flushes_[r]), flush_labels);
   }
+  // Digest-backed summary: adaptive tail resolution with exemplar
+  // trace ids on the quantile samples.
+  out.summary("harvest_request_latency_quantiles",
+              "End-to-end latency quantiles from the t-digest, with "
+              "trace-id exemplars.",
+              latency_digest_, labels);
   out.gauge("harvest_inflight_requests",
             "Requests currently in preprocessing or inference.",
             static_cast<double>(inflight_.load(std::memory_order_relaxed)),
@@ -238,6 +297,17 @@ void MetricsRegistry::render_prometheus(obs::PrometheusWriter& out,
   if (queue_depth_probe_) {
     out.gauge("harvest_queue_depth", "Requests waiting in the batcher queue.",
               static_cast<double>(queue_depth_probe_()), labels);
+  }
+  if (slo_.enabled()) {
+    const double now_s = clock_ ? clock_() : steady_now_s();
+    out.gauge("harvest_slo_burn_rate",
+              "Error-budget burn rate over the sliding window (1 = "
+              "spending the budget exactly as provisioned).",
+              slo_.burn_rate(now_s), labels);
+    out.gauge("harvest_slo_budget_remaining",
+              "Fraction of the cumulative error budget left (negative = "
+              "overspent).",
+              slo_.budget_remaining(), labels);
   }
 }
 
@@ -260,8 +330,10 @@ void MetricsRegistry::reset() {
   queue_hist_.reset();
   preprocess_hist_.reset();
   inference_hist_.reset();
+  latency_digest_ = obs::QuantileDigest();
   flushes_ = {};
   inflight_.store(0, std::memory_order_relaxed);
+  slo_.configure(slo_.config(), slo_.window_s());
 }
 
 }  // namespace harvest::serving

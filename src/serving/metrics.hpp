@@ -18,7 +18,9 @@
 #include <string>
 
 #include "core/stats.hpp"
+#include "obs/digest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "serving/batcher.hpp"
 #include "serving/request.hpp"
 
@@ -47,6 +49,13 @@ struct MetricsSnapshot {
   double mean_queue_s = 0.0;
   double mean_preprocess_s = 0.0;
   double mean_inference_s = 0.0;
+  /// Digest-backed tail estimate (adaptive resolution; trustworthy even
+  /// outside the fixed histogram bucket range).
+  double digest_p99_latency_s = 0.0;
+  // SLO accounting (zeros when the deployment declares no SLO).
+  bool slo_enabled = false;
+  double slo_burn_rate = 0.0;
+  double slo_budget_remaining = 1.0;
   /// Batch flush counts by reason, indexed by FlushReason.
   FlushCounts flushes{};
 
@@ -58,8 +67,10 @@ class MetricsRegistry {
   /// Record one finished request with its terminal outcome. kShed is
   /// accepted but does not feed the latency histograms (a shed request
   /// never queued); prefer record_shed() for sheds, which need no
-  /// timing.
-  void record(const RequestTiming& timing, RequestOutcome outcome);
+  /// timing. `trace_id`, when nonzero, becomes the latency digest's
+  /// exemplar candidate so tail quantiles link back to request trees.
+  void record(const RequestTiming& timing, RequestOutcome outcome,
+              std::uint64_t trace_id = 0);
 
   /// Legacy two-flag form, mapped onto RequestOutcome (ok → kOk,
   /// deadline_missed → kDeadlineMissed, else kFailed).
@@ -84,6 +95,17 @@ class MetricsRegistry {
   /// Live gauge: depth of the deployment's request queue, sampled at
   /// exposition time (set once at deployment registration).
   void set_queue_depth_probe(std::function<std::size_t()> probe);
+
+  /// Declare the deployment's SLO; outcomes recorded from now on feed
+  /// the burn-rate window. `window_s` is the sliding alert window.
+  void configure_slo(const obs::SloConfig& slo, double window_s = 60.0);
+  /// Burn-rate alert passthrough (edge-triggered; see SloTracker).
+  void set_slo_alert(double burn_threshold, obs::SloTracker::AlertFn fn);
+  /// Override the SLO clock (seconds). The DES injects simulated time;
+  /// the default reads the process steady clock.
+  void set_clock(std::function<double()> clock);
+  const obs::SloTracker& slo() const { return slo_; }
+  double clock_now() const;
 
   /// Produce a snapshot over the given observation window. Non-finite
   /// or negative windows are clamped to zero (throughput reads 0
@@ -118,9 +140,12 @@ class MetricsRegistry {
   obs::BucketHistogram queue_hist_;
   obs::BucketHistogram preprocess_hist_;
   obs::BucketHistogram inference_hist_;
+  obs::QuantileDigest latency_digest_;
   FlushCounts flushes_{};
   std::function<std::size_t()> queue_depth_probe_;
+  std::function<double()> clock_;  ///< SLO time source; guarded by mutex_
   std::atomic<std::int64_t> inflight_{0};
+  obs::SloTracker slo_;  ///< internally synchronized; kept outside mutex_
 };
 
 }  // namespace harvest::serving

@@ -80,12 +80,26 @@ struct InflightGuard {
 void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   const auto started = std::chrono::steady_clock::now();
   obs::TraceRecorder& tracer = obs::TraceRecorder::instance();
+  // Per-request span recorder: linked into the request's trace tree
+  // when a context is active, plain id-correlated span otherwise.
+  auto record_span = [&tracer](std::string_view name,
+                               const PendingRequest& pending, double start_us,
+                               double end_us, std::int64_t batch_size) {
+    if (pending.request.trace.active()) {
+      tracer.record_child(name, "serving", start_us, end_us,
+                          pending.request.trace, pending.request.id,
+                          batch_size);
+    } else {
+      tracer.record_complete(name, "serving", start_us, end_us,
+                             pending.request.id, batch_size);
+    }
+  };
   if (tracer.enabled()) {
     // One queue span per request: enqueue to batch formation.
     for (const PendingRequest& pending : batch) {
-      tracer.record_complete("queue", "serving", tracer.to_us(pending.enqueued_at),
-                             tracer.to_us(started), pending.request.id,
-                             static_cast<std::int64_t>(batch.size()));
+      record_span("queue", pending, tracer.to_us(pending.enqueued_at),
+                  tracer.to_us(started),
+                  static_cast<std::int64_t>(batch.size()));
     }
   }
 
@@ -105,8 +119,15 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
         "dropped: deadline expired while queued");
     response.timing.queue_s = waited;
     response.timing.total_s = waited;
-    metrics_->record(response.timing, RequestOutcome::kDeadlineMissed);
-    tracer.record_instant("dropped_deadline", "serving");
+    metrics_->record(response.timing, RequestOutcome::kDeadlineMissed,
+                     pending.request.trace.trace_id);
+    tracer.record_instant("dropped_deadline", "serving",
+                          pending.request.trace);
+    // Close the request tree: its whole life was the queue.
+    tracer.record_root("request", "serving",
+                       tracer.to_us(pending.enqueued_at),
+                       tracer.to_us(started), pending.request.trace,
+                       pending.request.id);
     pending.promise.set_value(std::move(response));
     return true;
   });
@@ -115,11 +136,17 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   InflightGuard inflight(metrics_, n);
 
   auto fail_all = [&](const core::Status& status) {
+    const auto failed_at = std::chrono::steady_clock::now();
     for (PendingRequest& pending : batch) {
       InferenceResponse response;
       response.id = pending.request.id;
       response.status = status;
-      metrics_->record(response.timing, RequestOutcome::kFailed);
+      metrics_->record(response.timing, RequestOutcome::kFailed,
+                       pending.request.trace.trace_id);
+      tracer.record_root("request", "serving",
+                         tracer.to_us(pending.enqueued_at),
+                         tracer.to_us(failed_at), pending.request.trace,
+                         pending.request.id, n);
       pending.promise.set_value(std::move(response));
     }
   };
@@ -147,6 +174,7 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
     return;
   }
   const double preproc_s = preproc_timer.elapsed_seconds();
+  const auto preproc_done = std::chrono::steady_clock::now();
 
   // Stage 2: inference.
   core::Result<BackendResult> inferred = [&]() -> core::Result<BackendResult> {
@@ -159,6 +187,7 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
     return;
   }
   const BackendResult& result = inferred.value();
+  const auto infer_done = std::chrono::steady_clock::now();
 
   // Stage 3: respond.
   obs::ScopedSpan respond_span("respond", "serving");
@@ -190,10 +219,28 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
     }
     metrics_->record(response.timing,
                      missed ? RequestOutcome::kDeadlineMissed
-                            : RequestOutcome::kOk);
-    tracer.record_complete("request", "serving",
-                           tracer.to_us(pending.enqueued_at),
-                           tracer.to_us(finished), pending.request.id, n);
+                            : RequestOutcome::kOk,
+                     pending.request.trace.trace_id);
+    if (pending.request.trace.active()) {
+      // Stage child spans at the exact batch boundaries: together with
+      // the queue span recorded at batch formation, they tile the root
+      // "request" span, so critical-path sums reproduce the end-to-end
+      // latency.
+      record_span("preprocess", pending, tracer.to_us(started),
+                  tracer.to_us(preproc_done), n);
+      record_span("inference", pending, tracer.to_us(preproc_done),
+                  tracer.to_us(infer_done), n);
+      record_span("respond", pending, tracer.to_us(infer_done),
+                  tracer.to_us(finished), n);
+      tracer.record_root("request", "serving",
+                         tracer.to_us(pending.enqueued_at),
+                         tracer.to_us(finished), pending.request.trace,
+                         pending.request.id, n);
+    } else {
+      tracer.record_complete("request", "serving",
+                             tracer.to_us(pending.enqueued_at),
+                             tracer.to_us(finished), pending.request.id, n);
+    }
     pending.promise.set_value(std::move(response));
   }
 }

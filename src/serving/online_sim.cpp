@@ -18,6 +18,11 @@ struct SimRequest {
   double arrived = 0.0;   ///< original arrival (latency baseline)
   double enqueued = 0.0;  ///< when it (re-)entered the queue (aging clock)
   int attempts = 0;       ///< completed dispatch attempts (retry counter)
+  /// Trace linkage (assigned at arrival when tracing is wired): every
+  /// simulated hop of this request — transmit stall, queue, stages,
+  /// retry backoff — lands in one causally-linked tree, same shape as
+  /// the real server's.
+  obs::TraceContext trace;
 };
 
 /// Shared mutable state of one simulation run.
@@ -114,19 +119,58 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
   }
   resilience::AdmissionController admission(admission_cfg, config.instances);
 
+  // SLO accounting in simulated time; doubles into the metrics
+  // registry's tracker when one is wired (clock switched to the DES).
+  obs::SloTracker slo_tracker(config.slo, config.slo_window_s);
+  if (config.metrics != nullptr) {
+    if (config.slo.enabled()) {
+      config.metrics->configure_slo(config.slo, config.slo_window_s);
+    }
+    config.metrics->set_clock([&state] { return state.simulator.now(); });
+  }
+  auto slo_record = [&](bool ok, double latency_s) {
+    if (config.slo.enabled()) {
+      slo_tracker.record(state.simulator.now(), ok, latency_s);
+    }
+  };
+
   auto trace_queue_depth = [&] {
     if (config.trace == nullptr) return;
     config.trace->record_counter_at(model + "/queue_depth",
                                     state.simulator.now() * 1e6,
                                     static_cast<double>(state.queue.size()));
   };
+  const std::uint32_t uplink_tid =
+      kSimTidBase + static_cast<std::uint32_t>(config.instances);
   if (config.trace != nullptr) {
     for (int i = 0; i < config.instances; ++i) {
       config.trace->set_virtual_thread_name(
           kSimTidBase + static_cast<std::uint32_t>(i),
           model + " sim-instance#" + std::to_string(i));
     }
+    config.trace->set_virtual_thread_name(uplink_tid, model + " sim-uplink");
   }
+  /// Request-tree span at simulated timestamps: child of the request's
+  /// root span, or the root itself when `name` is "request".
+  auto record_sim_span = [&](const char* name, double start_s, double end_s,
+                             const SimRequest& request, std::uint32_t tid,
+                             std::int64_t batch = -1) {
+    if (config.trace == nullptr || !request.trace.active()) return;
+    obs::TraceEvent event;
+    event.name = name;
+    event.cat = "sim";
+    event.ph = 'X';
+    event.ts_us = start_s * 1e6;
+    event.dur_us = std::max(end_s - start_s, 0.0) * 1e6;
+    event.tid = tid;
+    event.batch = batch;
+    event.trace_id = request.trace.trace_id;
+    const bool is_root = std::string_view(name) == "request";
+    event.span_id = is_root ? request.trace.root_span_id : obs::next_span_id();
+    event.parent_span_id =
+        is_root ? request.trace.parent_span_id : request.trace.root_span_id;
+    config.trace->record(std::move(event));
+  };
 
   // Mutually recursive closures: dispatch is invoked from arrivals,
   // timeouts, completions and crash recoveries; retries re-enter the
@@ -151,10 +195,12 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
     if (admission.enabled() && !admission.admit(state.queue.size())) {
       ++state.shed;
       if (config.metrics != nullptr) config.metrics->record_shed();
+      slo_record(false, 0.0);
       return;
     }
     if (state.queue.size() >= config.queue_capacity) {
       ++state.rejected;
+      slo_record(false, 0.0);
       return;
     }
     push_request(request);
@@ -239,6 +285,14 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
                                             stages, done_at, take,
                                             batch_fails] {
         state.instance_busy[idle] = 0;
+        const std::uint32_t tid =
+            kSimTidBase + static_cast<std::uint32_t>(idle);
+        // Stage boundaries for the per-request trace tree. Without
+        // pipeline overlap the stages tile [dispatch, done]; with
+        // overlap, preprocess and inference both start at dispatch and
+        // the spans visibly overlap (which is the point).
+        const double infer_start =
+            dispatched_at + (config.overlap_preproc ? 0.0 : stages.preprocess);
         for (const SimRequest& request : requests) {
           RequestTiming timing;
           timing.queue_s = dispatched_at - request.enqueued;
@@ -246,6 +300,14 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
           timing.inference_s = stages.inference;
           timing.total_s = done_at - request.arrived;
           timing.batch_size = static_cast<std::int64_t>(take);
+          record_sim_span("queue", request.enqueued, dispatched_at, request,
+                          tid, static_cast<std::int64_t>(take));
+          record_sim_span("preprocess", dispatched_at,
+                          dispatched_at + stages.preprocess, request, tid,
+                          static_cast<std::int64_t>(take));
+          record_sim_span("inference", infer_start,
+                          infer_start + stages.inference, request, tid,
+                          static_cast<std::int64_t>(take));
           if (!batch_fails) {
             const double latency = done_at - request.arrived;
             state.latencies.add(latency);
@@ -260,8 +322,12 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
             if (config.metrics != nullptr) {
               config.metrics->record(timing,
                                      missed ? RequestOutcome::kDeadlineMissed
-                                            : RequestOutcome::kOk);
+                                            : RequestOutcome::kOk,
+                                     request.trace.trace_id);
             }
+            slo_record(!missed, latency);
+            record_sim_span("request", request.arrived, done_at, request, tid,
+                            static_cast<std::int64_t>(take));
             continue;
           }
           // Failed batch: retry per policy, with the deadline budget.
@@ -280,6 +346,7 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
           if (retriable) {
             ++state.retries;
             if (config.metrics != nullptr) config.metrics->record_retry();
+            record_sim_span("backoff", done_at, retry_at, request, tid);
             SimRequest again = request;
             again.attempts = done_attempts;
             state.simulator.schedule_at(retry_at,
@@ -290,8 +357,11 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
               if (config.retry.enabled()) {
                 config.metrics->record_retry_abandoned();
               }
-              config.metrics->record(timing, RequestOutcome::kFailed);
+              config.metrics->record(timing, RequestOutcome::kFailed,
+                                     request.trace.trace_id);
             }
+            slo_record(false, timing.total_s);
+            record_sim_span("request", request.arrived, done_at, request, tid);
           }
         }
         try_dispatch();
@@ -353,9 +423,15 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
     ++state.arrivals;
     SimRequest request;
     request.arrived = state.simulator.now();
+    if (config.trace != nullptr && config.trace->enabled()) {
+      request.trace.trace_id = obs::next_trace_id();
+      request.trace.root_span_id = obs::next_span_id();
+    }
     if (faults.stall_rate > 0.0 && fault_rng.bernoulli(faults.stall_rate)) {
       // The uplink hiccup delays the request's *arrival at the queue*;
       // its latency clock started when it left the client.
+      record_sim_span("transmit", request.arrived,
+                      request.arrived + faults.stall_s, request, uplink_tid);
       state.simulator.schedule_in(faults.stall_s,
                                   [&, request] { enqueue_arrival(request); });
     } else {
@@ -398,6 +474,14 @@ OnlineSimReport simulate_online_trace(const platform::DeviceSpec& device,
   report.instance_utilization =
       state.busy_time /
       (static_cast<double>(config.instances) * std::max(horizon, 1e-9));
+  report.slo_enabled = config.slo.enabled();
+  if (config.slo.enabled()) {
+    report.slo_burn_rate = slo_tracker.burn_rate(state.simulator.now());
+    report.slo_budget_remaining = slo_tracker.budget_remaining();
+  }
+  // The registry outlives `state`; it must not keep a clock bound to the
+  // simulator about to be destroyed.
+  if (config.metrics != nullptr) config.metrics->set_clock(nullptr);
   return report;
 }
 

@@ -12,6 +12,7 @@
 
 #include "data/datasets.hpp"
 #include "nn/models.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "platform/device.hpp"
 #include "preproc/pipeline.hpp"
@@ -65,6 +66,12 @@ struct OnlineSimConfig {
   /// a service-time prior, the prior is derived from the platform model
   /// (estimated batch latency at max_batch).
   resilience::AdmissionConfig admission;
+  /// Service-level objectives scored in simulated time: completions,
+  /// failures, and sheds feed a burn-rate tracker whose final window
+  /// rate and cumulative budget land in the report (and, when `metrics`
+  /// is wired, in the registry's Prometheus exposition).
+  obs::SloConfig slo;
+  double slo_window_s = 10.0;  ///< burn-rate window (simulated seconds)
 };
 
 /// One periodic gauge sample of the simulated deployment.
@@ -95,6 +102,11 @@ struct OnlineSimReport {
   FlushCounts flushes{};
   /// Periodic gauge samples (empty unless config.sample_interval_s > 0).
   std::vector<OnlineSimSample> samples;
+  // SLO accounting (config.slo): burn rate over the final window and
+  // cumulative error budget left. Zeros / 1.0 when no SLO is declared.
+  bool slo_enabled = false;
+  double slo_burn_rate = 0.0;
+  double slo_budget_remaining = 1.0;
 };
 
 /// Simulate `config.duration_s` seconds of online serving of `model` on

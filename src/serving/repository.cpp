@@ -118,6 +118,29 @@ core::Status register_entry(
     if (!parsed.is_ok()) return parsed.status();
     deployment.admission = parsed.value();
   }
+  // Service-level objectives (docs/OBSERVABILITY.md): latency and
+  // availability targets feeding the burn-rate tracker. Optional keys
+  // tune the sliding window and the admission-pressure alert threshold.
+  if (const core::Json* slo_json = entry.find("slo")) {
+    if (!slo_json->is_object()) {
+      return core::Status::invalid_argument("\"slo\" must be an object");
+    }
+    deployment.slo.latency_target_s =
+        slo_json->get_number("latency_target_ms", 0.0) * 1e-3;
+    deployment.slo.availability_target =
+        slo_json->get_number("availability_target", 0.0);
+    deployment.slo_window_s = slo_json->get_number("window_s", 60.0);
+    deployment.slo_burn_alert = slo_json->get_number("burn_alert", 2.0);
+    if (deployment.slo.latency_target_s < 0.0 ||
+        deployment.slo.availability_target < 0.0 ||
+        deployment.slo.availability_target >= 1.0 ||
+        deployment.slo_window_s <= 0.0 || deployment.slo_burn_alert <= 0.0) {
+      return core::Status::invalid_argument(
+          "slo needs latency_target_ms >= 0, availability_target in [0, 1), "
+          "window_s > 0, burn_alert > 0");
+    }
+  }
+
   deployment.degrade_to = entry.get_string("degrade_to", "");
   if (deployment.degrade_to == deployment.name &&
       !deployment.degrade_to.empty()) {

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/status.hpp"
+#include "obs/trace.hpp"
 #include "preproc/codec.hpp"
 
 namespace harvest::serving {
@@ -20,6 +21,11 @@ struct InferenceRequest {
   std::string model;              ///< target model deployment
   preproc::EncodedImage input;
   double deadline_s = 0.0;        ///< 0 = none (real-time scenario sets one)
+  /// Distributed-trace context. Left default, the server starts a fresh
+  /// trace at submit; a client (RetryingClient, DES frontend) may
+  /// pre-populate trace_id/parent_span_id so every hop and retry of one
+  /// logical request lands in the same span tree.
+  obs::TraceContext trace;
 };
 
 /// Per-request timing breakdown (§3.1: request latency = dataset

@@ -36,14 +36,24 @@ AdmissionController::AdmissionController(AdmissionConfig config, int instances)
       ewma_service_s_(config.service_time_prior_s) {}
 
 bool AdmissionController::admit(std::size_t queue_depth) const {
-  if (config_.max_queue_depth > 0 && queue_depth >= config_.max_queue_depth) {
-    return false;
+  // Under SLO burn pressure both thresholds are halved: shed earlier,
+  // recover the error budget sooner.
+  const double scale =
+      pressured_.load(std::memory_order_relaxed) ? 0.5 : 1.0;
+  if (config_.max_queue_depth > 0) {
+    const auto depth_limit = static_cast<std::size_t>(std::max(
+        1.0, static_cast<double>(config_.max_queue_depth) * scale));
+    if (queue_depth >= depth_limit) return false;
   }
   if (config_.max_estimated_delay_s > 0.0 &&
-      estimated_delay_s(queue_depth) > config_.max_estimated_delay_s) {
+      estimated_delay_s(queue_depth) > config_.max_estimated_delay_s * scale) {
     return false;
   }
   return true;
+}
+
+void AdmissionController::set_pressure(bool pressured) {
+  pressured_.store(pressured, std::memory_order_relaxed);
 }
 
 double AdmissionController::estimated_delay_s(std::size_t queue_depth) const {

@@ -19,6 +19,7 @@
 /// The same controller runs inside the DES, where the prior comes from
 /// the calibrated device model directly.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -70,12 +71,22 @@ class AdmissionController {
   /// Current per-request service-time estimate (prior until observed).
   double service_time_s() const;
 
+  /// SLO burn-rate feedback: while pressured, both thresholds run at
+  /// half their configured values, shedding earlier so the deployment
+  /// can stop burning error budget. Set/cleared by the SloTracker
+  /// alert; edge-triggered, safe to call concurrently with admit().
+  void set_pressure(bool pressured);
+  bool pressured() const {
+    return pressured_.load(std::memory_order_relaxed);
+  }
+
  private:
   AdmissionConfig config_;
   double instances_;
   mutable std::mutex mutex_;
   double ewma_service_s_;
   bool observed_ = false;
+  std::atomic<bool> pressured_{false};
 };
 
 }  // namespace harvest::serving::resilience

@@ -58,6 +58,19 @@ RetryingClient::RetryingClient(Server& server, RetryPolicy policy,
 
 InferenceResponse RetryingClient::infer_sync(InferenceRequest request) {
   obs::TraceRecorder& tracer = obs::TraceRecorder::instance();
+  // Client-side trace context: one "client_request" span covers every
+  // attempt and backoff of this logical request; each attempt's server
+  // "request" span parents to it. Honors a pre-set trace id.
+  obs::TraceContext client_ctx;
+  const auto client_start = std::chrono::steady_clock::now();
+  if (tracer.enabled()) {
+    client_ctx.trace_id = request.trace.trace_id != 0 ? request.trace.trace_id
+                                                      : obs::next_trace_id();
+    client_ctx.root_span_id = obs::next_span_id();
+    client_ctx.parent_span_id = request.trace.parent_span_id;
+    request.trace.trace_id = client_ctx.trace_id;
+    request.trace.parent_span_id = client_ctx.root_span_id;
+  }
   core::WallTimer budget;
   InferenceResponse response;
   for (int attempt = 1;; ++attempt) {
@@ -69,6 +82,7 @@ InferenceResponse RetryingClient::infer_sync(InferenceRequest request) {
     response = server_->infer_sync(std::move(copy));
     if (response.status.is_ok() ||
         !RetryPolicy::retryable(response.status.code())) {
+      finish_trace(client_ctx, client_start, response.id);
       return response;
     }
     if (attempt >= policy_.max_attempts) break;
@@ -92,10 +106,17 @@ InferenceResponse RetryingClient::infer_sync(InferenceRequest request) {
     const auto backoff_start = std::chrono::steady_clock::now();
     std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
     if (tracer.enabled()) {
-      tracer.record_complete("retry_backoff", "serving",
-                             tracer.to_us(backoff_start),
-                             tracer.to_us(std::chrono::steady_clock::now()),
-                             response.id, attempt);
+      if (client_ctx.active()) {
+        tracer.record_child("retry_backoff", "serving",
+                            tracer.to_us(backoff_start),
+                            tracer.to_us(std::chrono::steady_clock::now()),
+                            client_ctx, response.id, attempt);
+      } else {
+        tracer.record_complete("retry_backoff", "serving",
+                               tracer.to_us(backoff_start),
+                               tracer.to_us(std::chrono::steady_clock::now()),
+                               response.id, attempt);
+      }
     }
   }
   {
@@ -105,7 +126,18 @@ InferenceResponse RetryingClient::infer_sync(InferenceRequest request) {
   if (MetricsRegistry* metrics = server_->mutable_metrics(request.model)) {
     metrics->record_retry_abandoned();
   }
+  finish_trace(client_ctx, client_start, response.id);
   return response;
+}
+
+void RetryingClient::finish_trace(
+    const obs::TraceContext& client_ctx,
+    std::chrono::steady_clock::time_point client_start, std::uint64_t id) {
+  if (!client_ctx.active()) return;
+  obs::TraceRecorder& tracer = obs::TraceRecorder::instance();
+  tracer.record_root("client_request", "serving", tracer.to_us(client_start),
+                     tracer.to_us(std::chrono::steady_clock::now()),
+                     client_ctx, id);
 }
 
 RetryingClient::Counters RetryingClient::counters() const {

@@ -9,6 +9,7 @@
 /// `Server` with that loop; the DES prices the same policy in simulated
 /// time (online_sim.hpp).
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 
@@ -69,6 +70,12 @@ class RetryingClient {
   Counters counters() const;
 
  private:
+  /// Close the logical request's "client_request" root span (covers
+  /// every attempt + backoff); no-op without an active context.
+  static void finish_trace(const obs::TraceContext& client_ctx,
+                           std::chrono::steady_clock::time_point client_start,
+                           std::uint64_t id);
+
   Server* server_;
   RetryPolicy policy_;
   mutable std::mutex mutex_;

@@ -39,6 +39,23 @@ core::Status Server::register_model(
   DynamicBatcher* batcher = &deployment->batcher;
   deployment->metrics.set_queue_depth_probe(
       [batcher] { return batcher->queued(); });
+  if (config.slo.enabled()) {
+    deployment->metrics.configure_slo(config.slo, config.slo_window_s);
+    // Burn-rate feedback into the resilience layer: while the error
+    // budget burns faster than the alert threshold, the admission
+    // controller runs with tightened thresholds (sheds earlier), giving
+    // the deployment headroom to recover. Edge-triggered both ways.
+    resilience::AdmissionController* admission = &deployment->admission;
+    const std::string model_name = config.name;
+    deployment->metrics.set_slo_alert(
+        config.slo_burn_alert,
+        [admission, model_name](bool firing, double burn) {
+          admission->set_pressure(firing);
+          HARVEST_LOG_WARN("slo burn alert %s for '%s' (burn rate %.2f)",
+                           firing ? "FIRING" : "resolved", model_name.c_str(),
+                           burn);
+        });
+  }
   for (std::int64_t i = 0; i < config.instances; ++i) {
     BackendPtr backend = backend_factory();
     if (backend == nullptr) {
@@ -74,6 +91,18 @@ core::Result<std::future<InferenceResponse>> Server::submit(
   if (request.id == 0) {
     request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Trace-context propagation: start a fresh trace unless the client
+  // (retry loop, DES frontend) already opened one. Every submit —
+  // including each retry attempt — gets its own root span id, so one
+  // logical request shows up as N sibling "request" spans under the
+  // client span.
+  if (obs::TraceRecorder::instance().enabled() &&
+      request.trace.trace_id == 0) {
+    request.trace.trace_id = obs::next_trace_id();
+  }
+  if (request.trace.active()) {
+    request.trace.root_span_id = obs::next_span_id();
+  }
   return admit_and_enqueue(*it->second, std::move(request));
 }
 
@@ -93,14 +122,16 @@ core::Result<std::future<InferenceResponse>> Server::admit_and_enqueue(
       if (!twin.admission.enabled() ||
           twin.admission.admit(twin.batcher.queued())) {
         deployment.metrics.record_degraded();
-        obs::TraceRecorder::instance().record_instant("degraded", "serving");
+        obs::TraceRecorder::instance().record_instant("degraded", "serving",
+                                                      request.trace);
         request.model = deployment.config.degrade_to;
         return twin.batcher.submit(std::move(request));
       }
     }
   }
   deployment.metrics.record_shed();
-  obs::TraceRecorder::instance().record_instant("shed", "serving");
+  obs::TraceRecorder::instance().record_instant("shed", "serving",
+                                                request.trace);
   return core::Status::resource_exhausted(
       "admission control shed the request (queue depth " +
       std::to_string(deployment.batcher.queued()) + ", estimated delay " +
@@ -173,6 +204,27 @@ std::string Server::prometheus_text() const {
                    ? static_cast<double>(preproc_pool_.active()) /
                          static_cast<double>(preproc_pool_.size())
                    : 0.0);
+  // Trace-ring health: silent span truncation (ring overwrites) must be
+  // visible in the same scrape as the metrics derived from the trace.
+  const obs::TraceRecorder& recorder = obs::TraceRecorder::instance();
+  writer.counter("harvest_trace_dropped_total",
+                 "Trace events overwritten because a per-thread ring "
+                 "filled up.",
+                 static_cast<double>(recorder.dropped()));
+  for (const auto& ring : recorder.ring_stats()) {
+    obs::PrometheusWriter::Labels ring_labels = {
+        {"tid", std::to_string(ring.tid)}};
+    if (!ring.name.empty()) ring_labels.emplace_back("thread", ring.name);
+    writer.gauge("harvest_trace_ring_events",
+                 "Trace events currently retained in this thread's ring.",
+                 static_cast<double>(ring.events), ring_labels);
+    writer.gauge("harvest_trace_ring_occupancy",
+                 "Retained events / ring capacity for this thread.",
+                 ring.capacity > 0 ? static_cast<double>(ring.events) /
+                                         static_cast<double>(ring.capacity)
+                                   : 0.0,
+                 ring_labels);
+  }
   return writer.str();
 }
 

@@ -42,6 +42,13 @@ struct ModelDeploymentConfig {
   /// to this deployment instead (typically the model's INT8 twin, which
   /// clears its queue several times faster). Empty = shed outright.
   std::string degrade_to;
+  /// Service-level objectives ("slo" key in the repository JSON). When
+  /// declared, the deployment's MetricsRegistry tracks error-budget
+  /// burn rate; sustained burn above `slo_burn_alert` pressures the
+  /// admission controller (tightened thresholds) until it recovers.
+  obs::SloConfig slo;
+  double slo_window_s = 60.0;   ///< sliding burn-rate window
+  double slo_burn_alert = 2.0;  ///< alert / pressure threshold
 };
 
 class Server {

@@ -43,6 +43,44 @@ TEST(LogLevel, ResolvePrecedenceIsCliThenEnvThenFallback) {
   ::unsetenv("HARVEST_LOG_LEVEL");
 }
 
+// ------------------------------------------------------------- log format
+
+TEST(LogFormat, ParseAndResolveFromEnvironment) {
+  LogFormat format = LogFormat::kText;
+  EXPECT_TRUE(parse_log_format("json", format));
+  EXPECT_EQ(format, LogFormat::kJson);
+  EXPECT_TRUE(parse_log_format("TEXT", format));
+  EXPECT_EQ(format, LogFormat::kText);
+  EXPECT_FALSE(parse_log_format("yaml", format));
+  EXPECT_EQ(format, LogFormat::kText);  // untouched on failure
+
+  ::unsetenv("HARVEST_LOG_FORMAT");
+  EXPECT_EQ(resolve_log_format(), LogFormat::kText);
+  ::setenv("HARVEST_LOG_FORMAT", "json", 1);
+  EXPECT_EQ(resolve_log_format(), LogFormat::kJson);
+  ::setenv("HARVEST_LOG_FORMAT", "gibberish", 1);
+  EXPECT_EQ(resolve_log_format(), LogFormat::kText);
+  ::unsetenv("HARVEST_LOG_FORMAT");
+}
+
+TEST(LogFormat, JsonLinesCarryLevelMessageAndTraceId) {
+  // Text tags are padded to a fixed width so columns align.
+  EXPECT_EQ(render_log_line(LogLevel::kWarn, "queue full", LogFormat::kText,
+                            /*trace_id=*/0),
+            "[harvest WARN ] queue full");
+  // Text mode ignores the trace id; JSON mode stamps it.
+  EXPECT_EQ(render_log_line(LogLevel::kWarn, "queue full", LogFormat::kJson,
+                            /*trace_id=*/0),
+            "{\"level\":\"warn\",\"msg\":\"queue full\"}");
+  EXPECT_EQ(render_log_line(LogLevel::kError, "boom", LogFormat::kJson,
+                            /*trace_id=*/42),
+            "{\"level\":\"error\",\"msg\":\"boom\",\"trace_id\":42}");
+  // Quotes, backslashes, and control characters stay valid JSON.
+  EXPECT_EQ(render_log_line(LogLevel::kInfo, "a\"b\\c\nd", LogFormat::kJson,
+                            /*trace_id=*/0),
+            "{\"level\":\"info\",\"msg\":\"a\\\"b\\\\c\\nd\"}");
+}
+
 // ------------------------------------------------------------------ units
 
 TEST(Units, FlopsScales) {

@@ -1,0 +1,180 @@
+/// SloTracker tests: burn-rate arithmetic, the latency term, sliding-
+/// window expiry, cumulative budget accounting, edge-triggered alerts,
+/// and the serving-registry integration (configure_slo → Prometheus
+/// gauges + admission pressure).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "serving/metrics.hpp"
+#include "serving/resilience/admission.hpp"
+
+namespace harvest {
+namespace {
+
+using obs::SloConfig;
+using obs::SloTracker;
+
+SloConfig slo(double availability, double latency_s = 0.0) {
+  SloConfig config;
+  config.availability_target = availability;
+  config.latency_target_s = latency_s;
+  return config;
+}
+
+TEST(SloTracker, DisabledTrackerReportsNothing) {
+  SloTracker tracker;  // availability_target = 0 → disabled
+  tracker.record(0.0, /*ok=*/false, /*latency_s=*/1.0);
+  EXPECT_FALSE(tracker.enabled());
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.budget_remaining(), 1.0);
+  EXPECT_EQ(tracker.total(), 0u);
+}
+
+TEST(SloTracker, BurnRateIsBadFractionOverBudget) {
+  // 99% availability → 1% budget. 5 bad out of 100 = 5% bad → burn 5x.
+  SloTracker tracker(slo(0.99), /*window_s=*/60.0);
+  for (int i = 0; i < 95; ++i) tracker.record(1.0, true, 0.0);
+  for (int i = 0; i < 5; ++i) tracker.record(1.0, false, 0.0);
+  EXPECT_NEAR(tracker.burn_rate(1.0), 5.0, 1e-9);
+  EXPECT_EQ(tracker.total(), 100u);
+  EXPECT_EQ(tracker.bad(), 5u);
+  // Perfect compliance burns nothing.
+  SloTracker clean(slo(0.99));
+  for (int i = 0; i < 100; ++i) clean.record(1.0, true, 0.0);
+  EXPECT_DOUBLE_EQ(clean.burn_rate(1.0), 0.0);
+}
+
+TEST(SloTracker, LatencyTargetMakesSlowRequestsBad) {
+  SloTracker tracker(slo(0.9, /*latency_s=*/0.1), /*window_s=*/60.0);
+  tracker.record(1.0, true, 0.05);  // fast + ok → good
+  tracker.record(1.0, true, 0.50);  // ok but slow → bad
+  tracker.record(1.0, false, 0.01); // failed → bad regardless of speed
+  EXPECT_EQ(tracker.bad(), 2u);
+  // bad fraction 2/3 over a 10% budget.
+  EXPECT_NEAR(tracker.burn_rate(1.0), (2.0 / 3.0) / 0.1, 1e-9);
+}
+
+TEST(SloTracker, SlidingWindowForgetsOldOutcomes) {
+  SloTracker tracker(slo(0.99), /*window_s=*/30.0);
+  // A burst of failures at t=0...
+  for (int i = 0; i < 10; ++i) tracker.record(0.0, false, 0.0);
+  EXPECT_GT(tracker.burn_rate(0.0), 0.0);
+  // ...then clean traffic far outside the window: the burst has aged
+  // out of the burn rate but stays in the cumulative budget.
+  for (int i = 0; i < 90; ++i) tracker.record(100.0, true, 0.0);
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(100.0), 0.0);
+  EXPECT_EQ(tracker.total(), 100u);
+  EXPECT_EQ(tracker.bad(), 10u);
+}
+
+TEST(SloTracker, BudgetRemainingGoesNegativeWhenOverspent) {
+  SloTracker tracker(slo(0.99), /*window_s=*/60.0);
+  for (int i = 0; i < 99; ++i) tracker.record(1.0, true, 0.0);
+  tracker.record(1.0, false, 0.0);
+  // 1 bad in 100 at a 1% budget: exactly spent.
+  EXPECT_NEAR(tracker.budget_remaining(), 0.0, 1e-9);
+  tracker.record(1.0, false, 0.0);
+  EXPECT_LT(tracker.budget_remaining(), 0.0);
+}
+
+TEST(SloTracker, AlertFiresOnCrossAndClearsOnRecovery) {
+  SloTracker tracker(slo(0.9), /*window_s=*/30.0);
+  std::vector<bool> transitions;
+  tracker.set_alert(2.0, [&](bool firing, double burn) {
+    transitions.push_back(firing);
+    EXPECT_GE(burn, 0.0);
+  });
+  // 50% bad over a 10% budget → burn 5x: fires once, not per record.
+  for (int i = 0; i < 10; ++i) tracker.record(0.0, i % 2 == 0, 0.0);
+  ASSERT_EQ(transitions.size(), 1u);
+  EXPECT_TRUE(transitions.front());
+  // Clean traffic in a later window drops the burn below threshold:
+  // exactly one recovery edge.
+  for (int i = 0; i < 200; ++i) tracker.record(100.0, true, 0.0);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_FALSE(transitions.back());
+}
+
+TEST(MetricsRegistry, SloGaugesAndDigestQuantilesInPrometheus) {
+  serving::MetricsRegistry registry;
+  registry.configure_slo(slo(0.99, /*latency_s=*/0.05), /*window_s=*/10.0);
+  // Drive the tracker with a deterministic clock.
+  double now = 0.0;
+  registry.set_clock([&now] { return now; });
+
+  serving::RequestTiming timing;
+  timing.batch_size = 1;
+  for (int i = 0; i < 9; ++i) {
+    timing.total_s = 0.01;
+    registry.record(timing, serving::RequestOutcome::kOk,
+                    /*trace_id=*/static_cast<std::uint64_t>(i + 1));
+  }
+  timing.total_s = 0.2;  // over the 50 ms target → bad
+  registry.record(timing, serving::RequestOutcome::kOk, /*trace_id=*/99);
+
+  const serving::MetricsSnapshot snap = registry.snapshot(1.0);
+  EXPECT_TRUE(snap.slo_enabled);
+  // 1 bad in 10 over a 1% budget → burn 10x.
+  EXPECT_NEAR(snap.slo_burn_rate, 10.0, 1e-9);
+  EXPECT_LT(snap.slo_budget_remaining, 0.0);
+  EXPECT_GT(snap.digest_p99_latency_s, 0.0);
+
+  obs::PrometheusWriter out;
+  registry.render_prometheus(out, "vit");
+  const std::string text = out.str();
+  EXPECT_NE(text.find("harvest_slo_burn_rate{model=\"vit\""),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_slo_budget_remaining{model=\"vit\""),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_request_latency_quantiles{"),
+            std::string::npos);
+  // The p99 exemplar points at the slow request's trace.
+  EXPECT_NE(text.find("# {trace_id=\"99\"}"), std::string::npos);
+  registry.set_clock(nullptr);
+}
+
+TEST(MetricsRegistry, ShedRequestsBurnTheBudget) {
+  serving::MetricsRegistry registry;
+  registry.configure_slo(slo(0.9), /*window_s=*/10.0);
+  double now = 0.0;
+  registry.set_clock([&now] { return now; });
+  serving::RequestTiming timing;
+  timing.total_s = 0.01;
+  timing.batch_size = 1;
+  registry.record(timing, serving::RequestOutcome::kOk);
+  registry.record_shed();
+  const serving::MetricsSnapshot snap = registry.snapshot(1.0);
+  // 1 bad (the shed) out of 2 over a 10% budget.
+  EXPECT_NEAR(snap.slo_burn_rate, 5.0, 1e-9);
+  registry.set_clock(nullptr);
+}
+
+TEST(SloAdmissionHook, BurnAlertTightensAdmission) {
+  // The hook the server wires at register_model: alert → set_pressure,
+  // halving the admission thresholds while the budget burns.
+  serving::resilience::AdmissionConfig config;
+  config.max_queue_depth = 8;
+  serving::resilience::AdmissionController admission(config, /*instances=*/1);
+
+  SloTracker tracker(slo(0.9), /*window_s=*/10.0);
+  tracker.set_alert(2.0, [&admission](bool firing, double) {
+    admission.set_pressure(firing);
+  });
+
+  EXPECT_TRUE(admission.admit(/*queue_depth=*/6));
+  for (int i = 0; i < 10; ++i) tracker.record(0.0, false, 0.0);
+  EXPECT_TRUE(admission.pressured());
+  // Pressure halves the depth limit: 6 >= 4 now sheds.
+  EXPECT_FALSE(admission.admit(/*queue_depth=*/6));
+  for (int i = 0; i < 200; ++i) tracker.record(50.0, true, 0.0);
+  EXPECT_FALSE(admission.pressured());
+  EXPECT_TRUE(admission.admit(/*queue_depth=*/6));
+}
+
+}  // namespace
+}  // namespace harvest

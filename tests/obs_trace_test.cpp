@@ -348,6 +348,42 @@ TEST(TimeSeriesSampler, BackgroundThreadSamplesPeriodically) {
   EXPECT_EQ(sampler.row_count(), rows);  // stop() actually stopped it
 }
 
+TEST(TimeSeriesSampler, StreamedOutputSurvivesWithoutStop) {
+  // Regression: the CSV tail used to exist only in memory until stop(),
+  // so a crash or _exit dropped every unsaved row. With set_output each
+  // row is flushed on append — the file must already hold everything
+  // while the sampler is still live.
+  const std::string path = ::testing::TempDir() + "/sampler_stream.csv";
+  std::remove(path.c_str());
+  obs::TimeSeriesSampler sampler;
+  double depth = 3.0;
+  sampler.add_probe("queue_depth", [&] { return depth; });
+  ASSERT_TRUE(sampler.set_output(path));
+  sampler.sample_once();
+  depth = 5.0;
+  sampler.sample_once();
+  sampler.add_row(2.5, {7.0});
+
+  // Read the file NOW — no stop(), no destructor, no final write_csv().
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buffer[512] = {};
+  const std::size_t got = std::fread(buffer, 1, sizeof(buffer) - 1, f);
+  std::fclose(f);
+  const std::string contents(buffer, got);
+  EXPECT_EQ(contents.rfind("t_s,queue_depth\n", 0), 0u);
+  EXPECT_NE(contents.find(",3\n"), std::string::npos);
+  EXPECT_NE(contents.find(",5\n"), std::string::npos);
+  EXPECT_NE(contents.find("2.5,7\n"), std::string::npos);
+  // All three rows made it out, not just the header.
+  std::size_t lines = 0;
+  for (char c : contents) lines += c == '\n';
+  EXPECT_EQ(lines, 4u);
+
+  EXPECT_FALSE(sampler.set_output("/no/such/dir/x.csv"));
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------------------------- MFU
 
 TEST(MfuProfile, LayerFlopsSumMatchesModelProfile) {

@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Bench-report regression diff (registered as ctest `bench_diff_selftest`).
+
+Compares two machine-readable bench reports (bench_reports/*.json, the
+`{"experiment": ..., "rows": [...]}` shape every bench binary writes)
+and fails when a watched metric regresses beyond a threshold:
+
+  * latency-like metrics (key contains "p99" or "latency"): regression
+    when the candidate is MORE than `--threshold-pct` above the baseline;
+  * goodput-like metrics (key contains "goodput", "throughput", or
+    "img_s"): regression when the candidate is more than
+    `--threshold-pct` BELOW the baseline.
+
+Rows are matched on their identity — every non-numeric value in the row
+(platform, dataset, sweep, flags, ...) plus numeric keys that look like
+sweep parameters (rate, qps, batch). Rows present in only one report are
+reported but are not failures, so a sweep can grow new points without
+breaking the gate.
+
+Usage:
+  python3 tools/bench_diff.py baseline.json candidate.json \
+      [--threshold-pct 10] [--metrics p99_latency_s,goodput_img_s]
+  python3 tools/bench_diff.py --self-test
+
+Exit code 0 when no watched metric regresses, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+LATENCY_HINTS = ("p99", "latency")
+GOODPUT_HINTS = ("goodput", "throughput", "img_s")
+# Numeric keys that identify a sweep point rather than measure it.
+PARAM_HINTS = ("rate", "qps", "batch", "instances", "threshold")
+
+
+def is_latency_metric(key: str) -> bool:
+    return any(h in key.lower() for h in LATENCY_HINTS)
+
+
+def is_goodput_metric(key: str) -> bool:
+    return any(h in key.lower() for h in GOODPUT_HINTS)
+
+
+def is_param(key: str) -> bool:
+    return any(h in key.lower() for h in PARAM_HINTS)
+
+
+def row_identity(row: dict) -> tuple:
+    parts = []
+    for key in sorted(row):
+        value = row[key]
+        if isinstance(value, bool) or isinstance(value, str):
+            parts.append((key, value))
+        elif isinstance(value, (int, float)) and is_param(key):
+            parts.append((key, value))
+    return tuple(parts)
+
+
+def load_rows(path: Path) -> dict:
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    rows = doc.get("rows", [])
+    indexed = {}
+    for row in rows:
+        if isinstance(row, dict):
+            indexed[row_identity(row)] = row
+    return indexed
+
+
+def watched_metrics(row: dict, explicit: list[str]) -> list[str]:
+    if explicit:
+        return [k for k in explicit if isinstance(row.get(k), (int, float))]
+    return [
+        k for k, v in row.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+        and not is_param(k) and (is_latency_metric(k) or is_goodput_metric(k))
+    ]
+
+
+def diff_reports(baseline: dict, candidate: dict, threshold_pct: float,
+                 metrics: list[str]) -> list[str]:
+    """Returns the list of regression messages (empty = pass)."""
+    failures = []
+    for identity, base_row in baseline.items():
+        cand_row = candidate.get(identity)
+        label = ", ".join(f"{k}={v}" for k, v in identity) or "<row>"
+        if cand_row is None:
+            print(f"  note: row only in baseline: {label}")
+            continue
+        for key in watched_metrics(base_row, metrics):
+            base = base_row.get(key)
+            cand = cand_row.get(key)
+            if not isinstance(cand, (int, float)) or base == 0:
+                continue
+            delta_pct = 100.0 * (cand - base) / abs(base)
+            worse = (is_latency_metric(key) and delta_pct > threshold_pct) or (
+                is_goodput_metric(key) and not is_latency_metric(key)
+                and delta_pct < -threshold_pct)
+            if worse:
+                failures.append(
+                    f"{label}: {key} {base:g} -> {cand:g} "
+                    f"({delta_pct:+.1f}%, threshold {threshold_pct:g}%)")
+    for identity in candidate:
+        if identity not in baseline:
+            label = ", ".join(f"{k}={v}" for k, v in identity) or "<row>"
+            print(f"  note: row only in candidate: {label}")
+    return failures
+
+
+def self_test() -> int:
+    base = {
+        "rows": [
+            {"sweep": "a", "arrival_qps": 1000, "p99_latency_s": 0.050,
+             "goodput_img_s": 900.0},
+            {"sweep": "a", "arrival_qps": 2000, "p99_latency_s": 0.080,
+             "goodput_img_s": 1700.0},
+        ]
+    }
+    ok = {
+        "rows": [
+            {"sweep": "a", "arrival_qps": 1000, "p99_latency_s": 0.052,
+             "goodput_img_s": 880.0},
+            {"sweep": "a", "arrival_qps": 2000, "p99_latency_s": 0.079,
+             "goodput_img_s": 1750.0},
+            # New sweep point: noted, not a failure.
+            {"sweep": "a", "arrival_qps": 4000, "p99_latency_s": 0.2,
+             "goodput_img_s": 1800.0},
+        ]
+    }
+    bad = {
+        "rows": [
+            # p99 +40% and goodput -30%: both must trip a 10% gate.
+            {"sweep": "a", "arrival_qps": 1000, "p99_latency_s": 0.070,
+             "goodput_img_s": 630.0},
+            {"sweep": "a", "arrival_qps": 2000, "p99_latency_s": 0.080,
+             "goodput_img_s": 1700.0},
+        ]
+    }
+
+    def rows(doc):
+        return {row_identity(r): r for r in doc["rows"]}
+
+    checks = []
+    checks.append(("clean diff passes",
+                   diff_reports(rows(base), rows(ok), 10.0, []) == []))
+    failures = diff_reports(rows(base), rows(bad), 10.0, [])
+    checks.append(("p99+goodput regressions caught", len(failures) == 2))
+    checks.append(("explicit metric list filters",
+                   len(diff_reports(rows(base), rows(bad), 10.0,
+                                    ["p99_latency_s"])) == 1))
+    checks.append(("generous threshold passes",
+                   diff_reports(rows(base), rows(bad), 50.0, []) == []))
+
+    failed = [name for name, passed in checks if not passed]
+    for name, passed in checks:
+        print(f"  {'ok' if passed else 'FAIL'}: {name}")
+    if failed:
+        print(f"self-test FAILED: {', '.join(failed)}")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", type=Path)
+    parser.add_argument("candidate", nargs="?", type=Path)
+    parser.add_argument("--threshold-pct", type=float, default=10.0)
+    parser.add_argument("--metrics", default="",
+                        help="comma-separated metric keys (default: every "
+                             "p99/latency/goodput-like numeric column)")
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        parser.error("baseline and candidate reports are required")
+
+    metrics = [m for m in args.metrics.split(",") if m]
+    failures = diff_reports(load_rows(args.baseline),
+                            load_rows(args.candidate),
+                            args.threshold_pct, metrics)
+    if failures:
+        print(f"REGRESSION ({len(failures)} metric(s) worse than "
+              f"{args.threshold_pct:g}%):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
