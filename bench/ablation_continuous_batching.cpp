@@ -1,0 +1,194 @@
+/// Ablation CB: iteration-level continuous batching vs sequence-level
+/// static batching for token generation (docs/SEQUENCE_SERVING.md), on
+/// the deterministic sequence DES. The question the serving literature
+/// (Orca, vLLM) answers with GPU fleets, reproduced in simulated time:
+///
+/// * at which arrival rate does each scheduling discipline saturate,
+///   and what happens to TTFT past that point;
+/// * how many of the static batch's padded rows are zombies (finished
+///   members still priced until the longest one completes), i.e. the
+///   row-utilization gap that iteration-level retirement closes;
+/// * how much goodput (tokens of sequences whose first token met the
+///   TTFT budget) continuous batching recovers at saturation.
+///
+/// Both policies replay the bit-identical Poisson arrival stream, so
+/// the curves compare scheduling disciplines, not resampled workloads.
+///
+/// Gates (exit 1 on failure):
+///   1. conservation: arrivals == completed + shed + failed, every row;
+///   2. determinism: re-running the saturation rows reproduces every
+///      field bit-for-bit;
+///   3. at saturation, continuous goodput >= 2x static goodput with a
+///      lower p99 TTFT.
+///
+/// Results land in bench_reports/BENCH_sequence.json. `--smoke` runs a
+/// shortened sweep in seconds and is wired into ctest under the `seq`
+/// label. Flags: --log-level=<lvl>.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "nn/token_model.hpp"
+#include "serving/sequence/sequence_sim.hpp"
+
+namespace {
+
+using harvest::serving::sequence::BatchPolicy;
+using harvest::serving::sequence::SequenceSimConfig;
+using harvest::serving::sequence::SequenceSimReport;
+
+SequenceSimConfig base_config(double rate, double duration_s) {
+  SequenceSimConfig config;
+  config.arrival_rate = rate;
+  config.duration_s = duration_s;
+  config.seed = 42;
+  config.prompt_min = 8;
+  config.prompt_max = 64;
+  config.decode_min = 4;
+  config.decode_max = 64;
+  config.max_active = 8;
+  config.queue_capacity = 256;
+  config.length_multiple_of = 4;  // CTranslate2-style padded row rounding
+  config.ttft_deadline_s = 0.25;
+  // Price iterations with the agri-lm RWKV decoder on a 50 GMAC/s
+  // budget (edge-class device) so saturation happens at sweepable rates.
+  harvest::nn::TokenModelConfig model;
+  config.cost =
+      harvest::serving::sequence::TokenCostModel::for_model(model, 50e9);
+  return config;
+}
+
+bool reports_identical(const SequenceSimReport& a, const SequenceSimReport& b) {
+  return std::memcmp(&a, &b, sizeof(SequenceSimReport)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  core::CliArgs args = bench::init(
+      argc, argv, "Ablation CB",
+      "Continuous (iteration-level) vs static (sequence-level) batching for "
+      "token generation on the sequence DES\nFlags: --smoke --log-level=<lvl>");
+  const bool smoke = args.has("smoke");
+  const double duration_s = smoke ? 2.0 : 20.0;
+
+  api::Report report("BENCH_sequence");
+  report.set_meta("mode", core::Json(std::string(smoke ? "smoke" : "full")));
+  report.set_meta("ttft_deadline_s", core::Json(0.25));
+  report.set_meta("max_active", core::Json(std::int64_t{8}));
+
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{100.0, 600.0}
+            : std::vector<double>{50.0, 150.0, 300.0, 600.0, 1200.0};
+  // The gated comparison point: past the static policy's knee (its
+  // zombie-padded capacity is ~460 seq/s on this cost model) but inside
+  // continuous batching's capacity — where the scheduling discipline,
+  // not raw engine throughput, decides goodput. At 1200 seq/s both
+  // disciplines are past capacity and both collapse.
+  const double saturation_rate = 600.0;
+
+  core::TextTable table("agri-lm (RWKV d128x4) @ 50 GMAC/s, 8-slot batch, "
+                        "250 ms TTFT budget");
+  table.set_header({"arrival", "policy", "completed", "shed", "tput tok/s",
+                    "goodput tok/s", "p50 TTFT", "p99 TTFT", "rows/step",
+                    "row util"});
+
+  bool conserved = true;
+  bool deterministic = true;
+  SequenceSimReport saturated_continuous, saturated_static;
+  for (double rate : rates) {
+    for (BatchPolicy policy : {BatchPolicy::kContinuous, BatchPolicy::kStatic}) {
+      SequenceSimConfig config = base_config(rate, duration_s);
+      config.policy = policy;
+      const SequenceSimReport r =
+          serving::sequence::simulate_sequences(config);
+      conserved = r.conserved() && conserved;
+      if (rate == saturation_rate) {
+        // Determinism gate: the DES is a pure function of its config.
+        deterministic =
+            reports_identical(r, serving::sequence::simulate_sequences(
+                                     config)) &&
+            deterministic;
+        (policy == BatchPolicy::kContinuous ? saturated_continuous
+                                            : saturated_static) = r;
+      }
+
+      table.add_row({core::format_fixed(rate, 0) + " seq/s",
+                     serving::sequence::batch_policy_name(policy),
+                     std::to_string(r.completed), std::to_string(r.shed),
+                     core::format_fixed(r.throughput_tok_s, 0),
+                     core::format_fixed(r.goodput_tok_s, 0),
+                     core::format_seconds(r.ttft_p50_s),
+                     core::format_seconds(r.ttft_p99_s),
+                     core::format_fixed(r.mean_batch_rows, 1),
+                     core::format_fixed(r.row_utilization * 100.0, 0) + "%"});
+
+      core::Json row = core::Json::object();
+      row["arrival_seq_s"] = core::Json(rate);
+      row["policy"] = core::Json(
+          std::string(serving::sequence::batch_policy_name(policy)));
+      row["arrivals"] = core::Json(r.arrivals);
+      row["completed"] = core::Json(r.completed);
+      row["shed"] = core::Json(r.shed);
+      row["failed"] = core::Json(r.failed);
+      row["steps"] = core::Json(r.steps);
+      row["throughput_tok_s"] = core::Json(r.throughput_tok_s);
+      row["goodput_tok_s"] = core::Json(r.goodput_tok_s);
+      row["ttft_p50_s"] = core::Json(r.ttft_p50_s);
+      row["ttft_p95_s"] = core::Json(r.ttft_p95_s);
+      row["ttft_p99_s"] = core::Json(r.ttft_p99_s);
+      row["mean_batch_rows"] = core::Json(r.mean_batch_rows);
+      row["row_utilization"] = core::Json(r.row_utilization);
+      report.add_row(std::move(row));
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const double goodput_gain =
+      saturated_static.goodput_tok_s > 0.0
+          ? saturated_continuous.goodput_tok_s / saturated_static.goodput_tok_s
+          : 0.0;
+  std::printf("\nExpected shape: below saturation the two disciplines tie — "
+              "the batch never fills. Past the static policy's knee, zombie "
+              "rows and closed-batch admission stall TTFT behind the longest "
+              "member, the queue grows, and goodput collapses; continuous "
+              "batching retires rows the moment they finish and backfills "
+              "between steps, so it saturates later and keeps TTFT flat.\n");
+  std::printf("\nsaturation (%.0f seq/s): continuous %.0f vs static %.0f "
+              "goodput tok/s (%.1fx, gate >=2x); p99 TTFT %s vs %s\n",
+              saturation_rate,
+              saturated_continuous.goodput_tok_s,
+              saturated_static.goodput_tok_s, goodput_gain,
+              core::format_seconds(saturated_continuous.ttft_p99_s).c_str(),
+              core::format_seconds(saturated_static.ttft_p99_s).c_str());
+
+  report.set_meta("conserved", core::Json(conserved));
+  report.set_meta("deterministic", core::Json(deterministic));
+  report.set_meta("saturation_goodput_gain", core::Json(goodput_gain));
+  const bool ttft_better =
+      saturated_continuous.ttft_p99_s < saturated_static.ttft_p99_s;
+  report.set_meta("saturation_ttft_p99_better", core::Json(ttft_better));
+  bench::finish(report);
+
+  if (!conserved) {
+    std::fprintf(stderr, "FAIL: conservation violated (arrivals != "
+                         "completed + shed + failed)\n");
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: DES not bit-reproducible across runs\n");
+    return 1;
+  }
+  if (goodput_gain < 2.0 || !ttft_better) {
+    std::fprintf(stderr, "FAIL: continuous batching below the saturation "
+                         "gate (>=2x goodput, lower p99 TTFT)\n");
+    return 1;
+  }
+  return 0;
+}

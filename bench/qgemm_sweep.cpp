@@ -300,7 +300,9 @@ int main(int argc, char** argv) {
 
   if (smoke) {
     // One timed shape so the smoke run still exercises the timing
-    // plumbing and records a speedup sample.
+    // plumbing and records a speedup sample — including the prepacked
+    // path, loosely gated (the 10 ms windows are noisy) so a packing-
+    // layout regression of the prepacked<packed class still trips it.
     const SweepShape s = sweep_shapes()[3];  // vit_base.proj
     std::vector<std::int8_t> a(static_cast<std::size_t>(s.m * s.k));
     std::vector<std::int8_t> bt(static_cast<std::size_t>(s.n * s.k));
@@ -324,10 +326,20 @@ int main(int argc, char** argv) {
     const double int8_rate = time_gmacs(macs, min_seconds, [&] {
       nn::qgemm_bt_dequant(a.data(), bt.data(), c.data(), s.m, s.n, s.k, ep);
     });
+    nn::QGemmPackedB packed(bt.data(), s.n, s.k);
+    const double prepacked_rate = time_gmacs(macs, min_seconds, [&] {
+      nn::qgemm_prepacked_dequant(a.data(), packed, c.data(), s.m, ep);
+    });
     std::printf("smoke throughput (%s): fp32 %.2f GMAC/s, int8 %.2f GMAC/s "
-                "(%.2fx)\n",
-                s.layer, fp32_rate, int8_rate, int8_rate / fp32_rate);
+                "(%.2fx), int8-pp %.2f GMAC/s\n",
+                s.layer, fp32_rate, int8_rate, int8_rate / fp32_rate,
+                prepacked_rate);
     bench::finish(report);
+    if (prepacked_rate < 0.5 * int8_rate) {
+      std::fprintf(stderr, "FAIL: prepacked int8 path below half the "
+                           "pack-on-the-fly rate\n");
+      return 1;
+    }
     return 0;
   }
 
@@ -337,6 +349,12 @@ int main(int argc, char** argv) {
                     "int8/fp32", "gated"});
   double log_speedup_sum = 0.0;
   std::int64_t gated_count = 0;
+  // Per-shape regression gate: prepacked weights skip the per-call B
+  // pack, so the prepacked rate must keep up with pack-on-the-fly on
+  // every shape (0.9 headroom absorbs timing noise). This is the gate
+  // the vit_tiny.qkv prepacked regression (misaligned panel storage)
+  // would have tripped.
+  std::vector<std::string> prepacked_regressions;
   for (const SweepShape& s : sweep_shapes()) {
     std::vector<std::int8_t> a(static_cast<std::size_t>(s.m * s.k));
     std::vector<std::int8_t> bt(static_cast<std::size_t>(s.n * s.k));
@@ -374,6 +392,9 @@ int main(int argc, char** argv) {
       log_speedup_sum += std::log(speedup);
       ++gated_count;
     }
+    if (prepacked_rate < 0.9 * int8_rate) {
+      prepacked_regressions.push_back(s.layer);
+    }
 
     table.add_row({s.layer, std::to_string(s.m), std::to_string(s.n),
                    std::to_string(s.k), core::format_fixed(fp32_rate, 2),
@@ -405,9 +426,19 @@ int main(int argc, char** argv) {
               geomean);
   report.set_meta("gated_geomean_speedup", core::Json(geomean));
   report.set_meta("speedup_gate_ok", core::Json(geomean >= 2.0));
+  report.set_meta("prepacked_gate_ok",
+                  core::Json(prepacked_regressions.empty()));
   bench::finish(report);
   if (geomean < 2.0) {
     std::fprintf(stderr, "FAIL: int8 speedup below the 2x acceptance gate\n");
+    return 1;
+  }
+  if (!prepacked_regressions.empty()) {
+    for (const std::string& layer : prepacked_regressions) {
+      std::fprintf(stderr,
+                   "FAIL: prepacked int8 slower than pack-on-the-fly on %s\n",
+                   layer.c_str());
+    }
     return 1;
   }
   return 0;

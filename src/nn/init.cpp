@@ -26,8 +26,8 @@ bool ends_with(std::string_view s, std::string_view suffix) {
 
 }  // namespace
 
-void init_weights(Model& model, std::uint64_t seed) {
-  for (NamedParam& param : model.params()) {
+void init_params(std::vector<NamedParam>& params, std::uint64_t seed) {
+  for (NamedParam& param : params) {
     core::Rng rng(core::splitmix64(seed ^ hash_name(param.name)));
     tensor::Tensor& t = *param.tensor;
     float* data = t.f32();
@@ -57,6 +57,11 @@ void init_weights(Model& model, std::uint64_t seed) {
       }
     }
   }
+}
+
+void init_weights(Model& model, std::uint64_t seed) {
+  std::vector<NamedParam> params = model.params();
+  init_params(params, seed);
 }
 
 }  // namespace harvest::nn

@@ -19,4 +19,8 @@ namespace harvest::nn {
 /// is not an identity in tests.
 void init_weights(Model& model, std::uint64_t seed);
 
+/// Same scheme over an explicit parameter list (token models and other
+/// non-graph parameter owners).
+void init_params(std::vector<NamedParam>& params, std::uint64_t seed);
+
 }  // namespace harvest::nn

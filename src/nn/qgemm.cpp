@@ -303,6 +303,16 @@ void retire_tile_dequant(const std::int32_t* scratch, std::int64_t lds,
 
 // --------------------------------------------------------------- driver
 
+/// Grow a (thread-local) aligned scratch to at least `elems` elements
+/// and return its base. Contents are scratch — callers fully overwrite
+/// whatever region they read back.
+template <typename T>
+T* grow_scratch(tensor::AlignedBuffer& buf, std::size_t elems) {
+  const std::size_t bytes = elems * sizeof(T);
+  if (buf.size_bytes() < bytes) buf = tensor::AlignedBuffer(bytes);
+  return buf.as<T>();
+}
+
 /// Shared B-panel layout bookkeeping: element offset of the (kb, jp)
 /// panel inside a packed-B buffer. Non-final K blocks contribute
 /// exactly kKc/2 pairs each.
@@ -377,10 +387,11 @@ void qgemm_driver(const std::int8_t* a, const std::int8_t* b_t,
 
   const std::int16_t* bpack = prepacked_b;
   if (bpack == nullptr) {
-    static thread_local std::vector<std::int16_t> bpack_tl;
-    bpack_tl.resize(static_cast<std::size_t>(packed_b_elems(n, k)));
-    pack_b_all(b_t, k, bpack_tl.data(), n, k);
-    bpack = bpack_tl.data();
+    static thread_local tensor::AlignedBuffer bpack_tl;
+    std::int16_t* grown = grow_scratch<std::int16_t>(
+        bpack_tl, static_cast<std::size_t>(packed_b_elems(n, k)));
+    pack_b_all(b_t, k, grown, n, k);
+    bpack = grown;
   }
 
   const std::int64_t num_ib = (m + kMc - 1) / kMc;
@@ -389,13 +400,13 @@ void qgemm_driver(const std::int8_t* a, const std::int8_t* b_t,
 #pragma omp parallel
   {
     // Packed A block plus the int32 accumulator tile, both per thread.
-    static thread_local std::vector<std::int16_t> apack_tl;
-    static thread_local std::vector<std::int32_t> ctile_tl;
-    apack_tl.resize(static_cast<std::size_t>(
-        ((kMc + kMr - 1) / kMr) * kMr * 2 * pairs_of(kKc)));
-    ctile_tl.resize(static_cast<std::size_t>(kMc * kNc));
-    std::int16_t* apack = apack_tl.data();
-    std::int32_t* ctile = ctile_tl.data();
+    static thread_local tensor::AlignedBuffer apack_tl;
+    static thread_local tensor::AlignedBuffer ctile_tl;
+    std::int16_t* apack = grow_scratch<std::int16_t>(
+        apack_tl, static_cast<std::size_t>(((kMc + kMr - 1) / kMr) * kMr * 2 *
+                                           pairs_of(kKc)));
+    std::int32_t* ctile = grow_scratch<std::int32_t>(
+        ctile_tl, static_cast<std::size_t>(kMc * kNc));
 
 #pragma omp for collapse(2) schedule(dynamic)
     for (std::int64_t ib = 0; ib < num_ib; ++ib) {
@@ -473,9 +484,12 @@ void qgemm_bt_dequant(const std::int8_t* a, const std::int8_t* b_t, float* c,
 
 QGemmPackedB::QGemmPackedB(const std::int8_t* b_t, std::int64_t n,
                            std::int64_t k)
-    : n_(n), k_(k) {
-  panels_.resize(static_cast<std::size_t>(packed_b_elems(n, k)));
-  pack_b_all(b_t, k, panels_.data(), n, k);
+    : n_(n), k_(k),
+      panels_(static_cast<std::size_t>(packed_b_elems(n, k)) *
+              sizeof(std::int16_t)) {
+  // pack_b_all writes every element (padding included), so the
+  // uninitialized aligned storage never leaks into the accumulators.
+  pack_b_all(b_t, k, panels_.as<std::int16_t>(), n, k);
 }
 
 void qgemm_prepacked_dequant(const std::int8_t* a, const QGemmPackedB& b,

@@ -18,7 +18,8 @@
 /// layers pay the packing cost at quantization time, not per forward.
 
 #include <cstdint>
-#include <vector>
+
+#include "tensor/buffer.hpp"
 
 namespace harvest::nn {
 
@@ -67,11 +68,17 @@ class QGemmPackedB {
   bool empty() const { return n_ == 0; }
   std::int64_t n() const { return n_; }
   std::int64_t k() const { return k_; }
-  const std::int16_t* data() const { return panels_.data(); }
+  const std::int16_t* data() const { return panels_.as<std::int16_t>(); }
 
  private:
   std::int64_t n_ = 0, k_ = 0;
-  std::vector<std::int16_t> panels_;
+  /// 64-byte aligned like every other kernel operand: the micro-kernel
+  /// streams whole panels, and a vector's 16-byte malloc alignment left
+  /// prepacked panels straddling cache lines that on-the-fly packing
+  /// (which inherits the first-touch alignment of a fresh allocation)
+  /// happened to avoid — the source of the prepacked<packed regression
+  /// on the narrow QKV shapes.
+  tensor::AlignedBuffer panels_;
 };
 
 /// As qgemm_bt_dequant, but with B packed ahead of time. `a` may be

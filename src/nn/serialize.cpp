@@ -30,11 +30,11 @@ bool read_all(std::FILE* f, void* data, std::size_t bytes) {
 
 }  // namespace
 
-core::Status save_weights(Model& model, const std::string& path) {
+core::Status save_params(const std::vector<NamedParam>& params,
+                         const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "wb"));
   if (!f) return core::Status::internal("cannot open " + path + " for write");
 
-  const std::vector<NamedParam> params = model.params();
   const std::uint64_t count = params.size();
   if (!write_all(f.get(), kMagic, sizeof(kMagic)) ||
       !write_all(f.get(), &kVersion, sizeof(kVersion)) ||
@@ -62,7 +62,8 @@ core::Status save_weights(Model& model, const std::string& path) {
   return core::Status::ok();
 }
 
-core::Status load_weights(Model& model, const std::string& path) {
+core::Status load_params(const std::vector<NamedParam>& params,
+                         const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) return core::Status::not_found("cannot open " + path);
 
@@ -81,7 +82,7 @@ core::Status load_weights(Model& model, const std::string& path) {
   }
 
   std::map<std::string, NamedParam> by_name;
-  for (NamedParam& param : model.params()) by_name[param.name] = param;
+  for (const NamedParam& param : params) by_name[param.name] = param;
   if (count != by_name.size()) {
     return core::Status::invalid_argument(
         path + ": tensor count mismatch (file " + std::to_string(count) +
@@ -134,6 +135,14 @@ core::Status load_weights(Model& model, const std::string& path) {
     }
   }
   return core::Status::ok();
+}
+
+core::Status save_weights(Model& model, const std::string& path) {
+  return save_params(model.params(), path);
+}
+
+core::Status load_weights(Model& model, const std::string& path) {
+  return load_params(model.params(), path);
 }
 
 }  // namespace harvest::nn

@@ -12,18 +12,29 @@
 ///               f32 data[numel]
 
 #include <string>
+#include <vector>
 
 #include "core/status.hpp"
 #include "nn/graph.hpp"
 
 namespace harvest::nn {
 
+/// Serialize an explicit parameter list to `path` (token models and
+/// other non-graph parameter owners use this directly).
+core::Status save_params(const std::vector<NamedParam>& params,
+                         const std::string& path);
+
+/// Load a checkpoint into an explicit parameter list. Every parameter
+/// must be present in the file with a matching shape; extra tensors in
+/// the file are rejected (guards against loading the wrong
+/// architecture).
+core::Status load_params(const std::vector<NamedParam>& params,
+                         const std::string& path);
+
 /// Serialize all parameters of `model` to `path`.
 core::Status save_weights(Model& model, const std::string& path);
 
-/// Load parameters into `model`. Every parameter in the model must be
-/// present in the file with a matching shape; extra tensors in the file
-/// are rejected (guards against loading the wrong architecture).
+/// Load parameters into `model` (same contract as load_params).
 core::Status load_weights(Model& model, const std::string& path);
 
 }  // namespace harvest::nn

@@ -12,8 +12,10 @@
 #include "nn/rwkv.hpp"
 #include "nn/serialize.hpp"
 #include "platform/perf_model.hpp"
+#include "nn/token_model.hpp"
 #include "serving/native_backend.hpp"
 #include "serving/resilience/fault.hpp"
+#include "serving/sequence/sequence_backend.hpp"
 #include "serving/sim_backend.hpp"
 
 namespace harvest::serving {
@@ -78,11 +80,127 @@ core::Result<nn::ModelPtr> build_native_model(const core::Json& entry) {
   return model;
 }
 
+core::Result<nn::TokenModelPtr> build_token_model_entry(
+    const core::Json& entry) {
+  nn::TokenModelConfig config;
+  config.name = entry.get_string("name", "agri-lm");
+  config.arch = entry.get_string("architecture", "rwkv");
+  config.vocab = entry.get_int("vocab", 512);
+  config.dim = entry.get_int("dim", 128);
+  config.depth = entry.get_int("depth", 4);
+  config.heads = entry.get_int("heads", 4);
+  config.max_tokens = entry.get_int("max_tokens", 256);
+  if (config.arch != "rwkv" && config.arch != "attn") {
+    return core::Status::invalid_argument("unknown architecture: " +
+                                          config.arch);
+  }
+  if (config.vocab <= 0 || config.dim <= 0 || config.depth <= 0 ||
+      config.max_tokens <= 0) {
+    return core::Status::invalid_argument(
+        "sequence entry needs vocab/dim/depth/max_tokens > 0");
+  }
+  nn::TokenModelPtr model = nn::build_token_model(config);
+  nn::init_token_model(*model,
+                       static_cast<std::uint64_t>(entry.get_int("seed", 1)));
+  const std::string weights = entry.get_string("weights", "");
+  if (!weights.empty()) {
+    HARVEST_RETURN_IF_ERROR(nn::load_token_model(*model, weights));
+  }
+  return model;
+}
+
+/// "workload": "sequence" entries deploy a continuous-batching token
+/// model (docs/SEQUENCE_SERVING.md) instead of an image deployment.
+core::Status register_sequence_entry(Server& server, const core::Json& entry) {
+  SequenceDeploymentConfig deployment;
+  deployment.name = entry.get_string("name", "");
+  deployment.scheduler.max_active = entry.get_int("max_active", 8);
+  deployment.scheduler.max_queue_depth =
+      static_cast<std::size_t>(entry.get_int("max_queue_depth", 256));
+  deployment.scheduler.length_multiple_of =
+      entry.get_int("length_multiple_of", 1);
+  deployment.scheduler.default_max_new_tokens =
+      entry.get_int("max_new_tokens", 32);
+  deployment.scheduler.default_deadline_s =
+      entry.get_number("deadline_ms", 0.0) * 1e-3;
+  deployment.pool.slots =
+      entry.get_int("slots", std::max<std::int64_t>(
+                                 deployment.scheduler.max_active, 1));
+  deployment.pool.capacity_bytes =
+      static_cast<std::size_t>(entry.get_int("state_capacity_bytes", 0));
+  deployment.pool.idle_timeout_s = entry.get_number("idle_timeout_s", 0.0);
+  if (deployment.scheduler.max_active <= 0 ||
+      deployment.scheduler.length_multiple_of <= 0) {
+    return core::Status::invalid_argument(
+        "sequence entry needs max_active > 0 and length_multiple_of > 0");
+  }
+  if (deployment.pool.slots < deployment.scheduler.max_active) {
+    return core::Status::invalid_argument(
+        "sequence entry needs slots >= max_active");
+  }
+
+  const std::string backend = entry.get_string("backend", "native");
+  if (backend == "native") {
+    // Validate once up front so a broken entry fails here.
+    auto probe = build_token_model_entry(entry);
+    if (!probe.is_ok()) return probe.status();
+    const std::int64_t multiple = deployment.scheduler.length_multiple_of;
+    return server.register_sequence_model(
+        deployment, [entry, multiple]() -> sequence::SequenceBackendPtr {
+          auto model = build_token_model_entry(entry);
+          if (!model.is_ok()) return nullptr;
+          return std::make_unique<sequence::NativeSequenceBackend>(
+              std::move(model).value(), multiple);
+        });
+  }
+  if (backend == "sim") {
+    nn::TokenModelConfig config;
+    config.name = deployment.name;
+    config.arch = entry.get_string("architecture", "rwkv");
+    config.vocab = entry.get_int("vocab", 512);
+    config.dim = entry.get_int("dim", 128);
+    config.depth = entry.get_int("depth", 4);
+    config.heads = entry.get_int("heads", 4);
+    config.max_tokens = entry.get_int("max_tokens", 256);
+    if (config.arch != "rwkv" && config.arch != "attn") {
+      return core::Status::invalid_argument("unknown architecture: " +
+                                            config.arch);
+    }
+    double mac_rate = 50e9;
+    if (const std::string device_name = entry.get_string("device", "");
+        !device_name.empty()) {
+      const platform::DeviceSpec* device = platform::find_device(device_name);
+      if (device == nullptr) {
+        return core::Status::invalid_argument("unknown device: " +
+                                              device_name);
+      }
+      // practical TFLOPs → MAC/s (one MAC = two FLOPs).
+      mac_rate =
+          device->practical_tflops_at(platform::Precision::kFP32) * 0.5e12;
+    }
+    const auto cost = sequence::TokenCostModel::for_model(config, mac_rate);
+    const auto seed = static_cast<std::uint64_t>(entry.get_int("seed", 42));
+    return server.register_sequence_model(
+        deployment, [config, cost, seed]() -> sequence::SequenceBackendPtr {
+          return std::make_unique<sequence::SimSequenceBackend>(config, cost,
+                                                                seed);
+        });
+  }
+  return core::Status::invalid_argument("unknown backend: " + backend);
+}
+
 core::Status register_entry(
     Server& server, const core::Json& entry,
     std::vector<std::pair<std::string, std::string>>& degrade_edges) {
   if (!entry.is_object()) {
     return core::Status::invalid_argument("model entry must be an object");
+  }
+  const std::string workload = entry.get_string("workload", "image");
+  if (workload == "sequence") {
+    return register_sequence_entry(server, entry);
+  }
+  if (workload != "image") {
+    return core::Status::invalid_argument("unknown workload: " + workload);
   }
   ModelDeploymentConfig deployment;
   deployment.name = entry.get_string("name", "");

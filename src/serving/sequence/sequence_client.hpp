@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file sequence_client.hpp
+/// Resilient frontend for sequence requests: the same retry/degrade
+/// policies that wrap image inference (serving/resilience) applied to
+/// the new client path. Retries re-submit on transient failures
+/// (shed / unavailable / internal) with the shared RetryPolicy's
+/// jittered backoff and deadline budget; an optional fallback model
+/// catches the final failure (degrade-to-smaller-model for sequence
+/// deployments).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/rng.hpp"
+#include "serving/resilience/retry.hpp"
+#include "serving/server.hpp"
+
+namespace harvest::serving::sequence {
+
+struct SequenceClientOptions {
+  resilience::RetryPolicy retry;
+  /// After the last failed attempt, try this deployment once (empty =
+  /// fail outright). Sheds there are final.
+  std::string fallback_model;
+};
+
+class RetryingSequenceClient {
+ public:
+  RetryingSequenceClient(Server& server, SequenceClientOptions options,
+                         std::uint64_t seed = 42);
+
+  /// Submit-and-wait with retries. Streaming callbacks fire for every
+  /// attempt; the returned response is the last attempt's.
+  SequenceResponse generate_sync(SequenceRequest request);
+
+  struct Counters {
+    std::uint64_t attempts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t abandoned = 0;
+    std::uint64_t degraded = 0;  ///< fell back to fallback_model
+  };
+  Counters counters() const;
+
+ private:
+  Server* server_;
+  SequenceClientOptions options_;
+  mutable std::mutex mutex_;
+  core::Rng rng_;
+  Counters counters_;
+};
+
+}  // namespace harvest::serving::sequence

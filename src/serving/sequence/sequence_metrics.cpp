@@ -1,0 +1,142 @@
+#include "serving/sequence/sequence_metrics.hpp"
+
+namespace harvest::serving::sequence {
+
+const char* sequence_outcome_name(SequenceOutcome outcome) {
+  switch (outcome) {
+    case SequenceOutcome::kOk: return "ok";
+    case SequenceOutcome::kFailed: return "failed";
+    case SequenceOutcome::kShed: return "shed";
+    case SequenceOutcome::kExpired: return "expired";
+    case SequenceOutcome::kEvicted: return "evicted";
+  }
+  return "unknown";
+}
+
+void SequenceMetrics::record_submitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.submitted;
+}
+
+void SequenceMetrics::record_admitted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.admitted;
+}
+
+void SequenceMetrics::record_shed() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.shed;
+}
+
+void SequenceMetrics::record_retired(const SequenceResponse& response,
+                                     std::uint64_t trace_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (response.outcome) {
+    case SequenceOutcome::kOk: ++counters_.completed; break;
+    case SequenceOutcome::kFailed: ++counters_.failed; break;
+    case SequenceOutcome::kShed: ++counters_.shed; break;
+    case SequenceOutcome::kExpired: ++counters_.expired; break;
+    case SequenceOutcome::kEvicted: ++counters_.evicted; break;
+  }
+  counters_.tokens_generated +=
+      static_cast<std::uint64_t>(response.tokens.size());
+  if (response.outcome == SequenceOutcome::kOk) {
+    if (response.timing.ttft_s > 0.0) {
+      ttft_s_.add(response.timing.ttft_s, trace_id);
+    }
+    if (response.tokens_per_s > 0.0) {
+      tokens_per_s_.add(response.tokens_per_s, trace_id);
+    }
+  }
+}
+
+void SequenceMetrics::record_step(std::int64_t rows, double step_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++counters_.steps;
+  step_rows_sum_ += static_cast<std::uint64_t>(rows);
+  step_seconds_sum_ += step_s;
+}
+
+SequenceCounters SequenceMetrics::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+SequenceMetrics::Snapshot SequenceMetrics::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters = counters_;
+  snap.ttft_p50_s = ttft_s_.quantile(0.5);
+  snap.ttft_p95_s = ttft_s_.quantile(0.95);
+  snap.ttft_p99_s = ttft_s_.quantile(0.99);
+  snap.tokens_per_s_p50 = tokens_per_s_.quantile(0.5);
+  snap.mean_batch_rows =
+      counters_.steps > 0
+          ? static_cast<double>(step_rows_sum_) /
+                static_cast<double>(counters_.steps)
+          : 0.0;
+  return snap;
+}
+
+void SequenceMetrics::render_prometheus(obs::PrometheusWriter& out,
+                                        const std::string& model,
+                                        std::int64_t active,
+                                        std::size_t pool_used_bytes,
+                                        std::size_t pool_capacity_bytes,
+                                        std::int64_t pool_active,
+                                        std::int64_t pool_slots) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const obs::PrometheusWriter::Labels labels = {{"model", model}};
+  const auto outcome_counter = [&](SequenceOutcome outcome,
+                                   std::uint64_t value) {
+    obs::PrometheusWriter::Labels outcome_labels = labels;
+    outcome_labels.emplace_back("outcome", sequence_outcome_name(outcome));
+    out.counter("harvest_sequence_outcomes_total",
+                "Sequences by terminal outcome.",
+                static_cast<double>(value), outcome_labels);
+  };
+  outcome_counter(SequenceOutcome::kOk, counters_.completed);
+  outcome_counter(SequenceOutcome::kFailed, counters_.failed);
+  outcome_counter(SequenceOutcome::kShed, counters_.shed);
+  outcome_counter(SequenceOutcome::kExpired, counters_.expired);
+  outcome_counter(SequenceOutcome::kEvicted, counters_.evicted);
+  out.counter("harvest_sequence_submitted_total",
+              "Sequence requests received.",
+              static_cast<double>(counters_.submitted), labels);
+  out.counter("harvest_sequence_tokens_total", "Tokens generated.",
+              static_cast<double>(counters_.tokens_generated), labels);
+  out.counter("harvest_sequence_decode_steps_total",
+              "Packed decode iterations executed.",
+              static_cast<double>(counters_.steps), labels);
+  out.gauge("harvest_sequences_active",
+            "Sequences currently in the live decode batch.",
+            static_cast<double>(active), labels);
+  out.gauge("harvest_sequence_state_pool_bytes",
+            "State-pool bytes leased to live sequences.",
+            static_cast<double>(pool_used_bytes), labels);
+  out.gauge("harvest_sequence_state_pool_capacity_bytes",
+            "State-pool byte capacity.",
+            static_cast<double>(pool_capacity_bytes), labels);
+  out.gauge("harvest_sequence_state_pool_occupancy",
+            "Leased state-pool slots / total slots.",
+            pool_slots > 0 ? static_cast<double>(pool_active) /
+                                 static_cast<double>(pool_slots)
+                           : 0.0,
+            labels);
+  out.summary("harvest_sequence_ttft_seconds",
+              "Time to first token of completed sequences, with trace-id "
+              "exemplars.",
+              ttft_s_, labels);
+  out.summary("harvest_sequence_tokens_per_second",
+              "Per-sequence decode rate of completed sequences.",
+              tokens_per_s_, labels);
+  if (counters_.steps > 0) {
+    out.gauge("harvest_sequence_mean_batch_rows",
+              "Mean live sequences per decode iteration.",
+              static_cast<double>(step_rows_sum_) /
+                  static_cast<double>(counters_.steps),
+              labels);
+  }
+}
+
+}  // namespace harvest::serving::sequence

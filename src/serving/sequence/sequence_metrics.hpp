@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file sequence_metrics.hpp
+/// Telemetry for one sequence deployment: outcome counters obeying the
+/// conservation law, time-to-first-token and per-sequence tokens/s
+/// t-digests (with trace-id exemplars), and decode-iteration stats.
+/// Rendered into the server's Prometheus exposition next to the image
+/// metric families.
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "obs/digest.hpp"
+#include "obs/metrics.hpp"
+#include "serving/sequence/sequence_request.hpp"
+
+namespace harvest::serving::sequence {
+
+class SequenceMetrics {
+ public:
+  void record_submitted();
+  void record_admitted();
+  void record_shed();
+  /// Terminal accounting for one sequence (any outcome but kShed, which
+  /// never entered). Feeds the digests for completed sequences.
+  void record_retired(const SequenceResponse& response,
+                      std::uint64_t trace_id = 0);
+  /// One decode iteration over `rows` live sequences (pre-padding).
+  void record_step(std::int64_t rows, double step_s);
+
+  SequenceCounters counters() const;
+
+  struct Snapshot {
+    SequenceCounters counters;
+    double ttft_p50_s = 0.0, ttft_p95_s = 0.0, ttft_p99_s = 0.0;
+    double tokens_per_s_p50 = 0.0;
+    double mean_batch_rows = 0.0;  ///< live sequences per iteration
+  };
+  Snapshot snapshot() const;
+
+  /// `harvest_sequence[s]_*` families; active/pool gauges come from the
+  /// caller (the scheduler owns them).
+  void render_prometheus(obs::PrometheusWriter& out, const std::string& model,
+                         std::int64_t active, std::size_t pool_used_bytes,
+                         std::size_t pool_capacity_bytes,
+                         std::int64_t pool_active,
+                         std::int64_t pool_slots) const;
+
+ private:
+  mutable std::mutex mutex_;
+  SequenceCounters counters_;
+  obs::QuantileDigest ttft_s_;
+  obs::QuantileDigest tokens_per_s_;
+  double step_seconds_sum_ = 0.0;
+  std::uint64_t step_rows_sum_ = 0;
+};
+
+}  // namespace harvest::serving::sequence

@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file sequence_request.hpp
+/// Request/response types of the sequence-serving subsystem — the
+/// autoregressive counterpart to serving/request.hpp's one-image
+/// requests. A sequence request carries a token prompt and a generation
+/// budget; the scheduler streams generated tokens back through an
+/// optional callback and resolves the future with the full response
+/// when the sequence retires.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "obs/trace.hpp"
+
+namespace harvest::serving::sequence {
+
+/// One generated token, delivered on the scheduler thread as soon as
+/// the decode step that produced it completes. Callbacks must be cheap
+/// and must not call back into the scheduler.
+struct TokenEvent {
+  std::uint64_t request_id = 0;
+  std::int32_t token = 0;
+  std::int64_t index = 0;    ///< 0-based position among generated tokens
+  bool last = false;         ///< no more events will follow
+  double since_submit_s = 0; ///< wall-clock seconds since submit
+};
+
+struct SequenceRequest {
+  std::uint64_t id = 0;
+  std::string model;  ///< target sequence deployment
+  std::vector<std::int32_t> prompt;
+  /// Generation budget. The scheduler also stops at the model's context
+  /// capacity (prompt + generated <= max_tokens) and at `eos_token`.
+  std::int64_t max_new_tokens = 32;
+  std::int32_t eos_token = -1;  ///< -1 = no EOS, generate the full budget
+  double deadline_s = 0.0;      ///< 0 = none; budget measured from submit
+  /// Token streaming; leave empty to only receive the final response.
+  std::function<void(const TokenEvent&)> on_token;
+  obs::TraceContext trace;
+};
+
+/// Terminal states of a sequence. The conservation law the tests pin:
+/// submitted == completed + shed + failed + expired + evicted.
+enum class SequenceOutcome : int {
+  kOk = 0,       ///< generated to EOS / budget
+  kFailed = 1,   ///< backend error or invalid request
+  kShed = 2,     ///< rejected at admission (queue bound / shutdown)
+  kExpired = 3,  ///< deadline passed while queued or mid-decode
+  kEvicted = 4,  ///< state-pool slot reclaimed (idle / shutdown drain)
+};
+inline constexpr std::size_t kSequenceOutcomeCount = 5;
+const char* sequence_outcome_name(SequenceOutcome outcome);
+
+struct SequenceTiming {
+  double queue_s = 0.0;   ///< submit → admission (prefill start)
+  double ttft_s = 0.0;    ///< submit → first generated token
+  double total_s = 0.0;   ///< submit → retirement
+  std::int64_t steps = 0; ///< decode iterations this sequence rode in
+};
+
+struct SequenceResponse {
+  std::uint64_t id = 0;
+  core::Status status;
+  SequenceOutcome outcome = SequenceOutcome::kFailed;
+  /// Generated tokens (prompt not echoed). Partial on expiry/eviction.
+  std::vector<std::int32_t> tokens;
+  SequenceTiming timing;
+  /// Generated tokens / decode seconds (0 when nothing decoded).
+  double tokens_per_s = 0.0;
+};
+
+/// Monotonic counters a scheduler exposes; see SequenceOutcome for the
+/// conservation law.
+struct SequenceCounters {
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;  ///< entered the live batch (prefilled)
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t expired = 0;
+  std::uint64_t evicted = 0;
+  std::uint64_t tokens_generated = 0;
+  std::uint64_t steps = 0;  ///< decode iterations executed
+
+  std::uint64_t retired() const {
+    return completed + shed + failed + expired + evicted;
+  }
+  bool conserved() const { return submitted == retired(); }
+};
+
+}  // namespace harvest::serving::sequence

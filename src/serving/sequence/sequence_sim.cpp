@@ -1,0 +1,240 @@
+#include "serving/sequence/sequence_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/status.hpp"
+
+namespace harvest::serving::sequence {
+
+namespace {
+
+struct SimSeq {
+  double t_arrive = 0.0;
+  std::int64_t prompt = 0;
+  std::int64_t decode = 0;   ///< tokens to generate (incl. the prefill token)
+  std::int64_t fail_at = -1; ///< fail after generating this many; -1 = never
+
+  std::int64_t done = 0;     ///< tokens generated so far
+  double ttft_s = -1.0;
+  bool finished = false;     ///< completed or failed (static: zombie row)
+  bool failed = false;
+};
+
+std::int64_t round_up(std::int64_t n, std::int64_t multiple) {
+  if (multiple <= 1) return n;
+  return ((n + multiple - 1) / multiple) * multiple;
+}
+
+double percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size() - 1)));
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+const char* batch_policy_name(BatchPolicy policy) {
+  switch (policy) {
+    case BatchPolicy::kContinuous: return "continuous";
+    case BatchPolicy::kStatic: return "static";
+  }
+  return "unknown";
+}
+
+SequenceSimReport simulate_sequences(const SequenceSimConfig& config) {
+  HARVEST_CHECK(config.arrival_rate > 0.0 && config.duration_s > 0.0);
+  HARVEST_CHECK(config.max_active > 0);
+  HARVEST_CHECK(config.prompt_min > 0 && config.prompt_max >= config.prompt_min);
+  HARVEST_CHECK(config.decode_min > 0 && config.decode_max >= config.decode_min);
+
+  // Arrival stream: one RNG, drawn up front, so every policy sees the
+  // bit-identical workload.
+  core::Rng rng(core::splitmix64(config.seed));
+  std::vector<SimSeq> seqs;
+  for (double t = rng.exponential(config.arrival_rate);
+       t < config.duration_s; t += rng.exponential(config.arrival_rate)) {
+    SimSeq s;
+    s.t_arrive = t;
+    s.prompt = rng.uniform_int(config.prompt_min, config.prompt_max);
+    s.decode = rng.uniform_int(config.decode_min, config.decode_max);
+    if (config.fail_rate > 0.0 &&
+        rng.uniform(0.0, 1.0) < config.fail_rate) {
+      s.fail_at = rng.uniform_int(1, s.decode);
+    }
+    seqs.push_back(s);
+  }
+
+  SequenceSimReport report;
+  report.arrivals = seqs.size();
+
+  std::deque<std::size_t> queue;
+  std::vector<std::size_t> live;
+  std::size_t next = 0;
+  double clock = 0.0;
+  std::uint64_t live_rows_sum = 0;
+  std::uint64_t padded_rows_sum = 0;
+  std::vector<double> ttfts;
+
+  const auto ingest = [&](double now) {
+    while (next < seqs.size() && seqs[next].t_arrive <= now) {
+      if (config.queue_capacity > 0 &&
+          queue.size() >= config.queue_capacity) {
+        ++report.shed;
+      } else {
+        queue.push_back(next);
+      }
+      ++next;
+    }
+  };
+
+  // Prefill one sequence at `clock` (advancing it) and emit its first
+  // token. Returns false when the sequence already finished (single-
+  // token generation or immediate failure).
+  const auto prefill = [&](std::size_t idx) {
+    SimSeq& s = seqs[idx];
+    ++report.admitted;
+    clock += config.cost.prefill_s(s.prompt);
+    s.done = 1;
+    ++report.tokens_generated;
+    s.ttft_s = clock - s.t_arrive;
+    ttfts.push_back(s.ttft_s);
+    if (s.fail_at == 1) {
+      s.finished = s.failed = true;
+      ++report.failed;
+      return false;
+    }
+    if (s.done >= s.decode) {
+      s.finished = true;
+      ++report.completed;
+      if (config.ttft_deadline_s <= 0.0 || s.ttft_s <= config.ttft_deadline_s) {
+        report.tokens_good += static_cast<std::uint64_t>(s.done);
+      }
+      return false;
+    }
+    return true;
+  };
+
+  // One generated token for a live sequence; marks completion/failure.
+  const auto generate = [&](SimSeq& s) {
+    ++s.done;
+    ++report.tokens_generated;
+    if (s.fail_at == s.done) {
+      s.finished = s.failed = true;
+      ++report.failed;
+      return;
+    }
+    if (s.done >= s.decode) {
+      s.finished = true;
+      ++report.completed;
+      if (config.ttft_deadline_s <= 0.0 || s.ttft_s <= config.ttft_deadline_s) {
+        report.tokens_good += static_cast<std::uint64_t>(s.done);
+      }
+    }
+  };
+
+  const auto price_step = [&](std::int64_t rows, std::int64_t padded,
+                              std::int64_t cached_total) {
+    clock += config.cost.step_s(padded, cached_total);
+    ++report.steps;
+    live_rows_sum += static_cast<std::uint64_t>(rows);
+    padded_rows_sum += static_cast<std::uint64_t>(padded);
+  };
+
+  if (config.policy == BatchPolicy::kContinuous) {
+    while (next < seqs.size() || !queue.empty() || !live.empty()) {
+      if (live.empty() && queue.empty()) {
+        clock = std::max(clock, seqs[next].t_arrive);
+        ingest(clock);
+      }
+      // Iteration-level admission: join the running batch between steps.
+      while (static_cast<std::int64_t>(live.size()) < config.max_active &&
+             !queue.empty()) {
+        const std::size_t idx = queue.front();
+        queue.pop_front();
+        if (prefill(idx)) live.push_back(idx);
+        ingest(clock);  // arrivals during the prefill
+      }
+      if (live.empty()) continue;
+
+      const auto rows = static_cast<std::int64_t>(live.size());
+      std::int64_t cached_total = 0;
+      for (std::size_t idx : live) {
+        cached_total += seqs[idx].prompt + seqs[idx].done;
+      }
+      price_step(rows, round_up(rows, config.length_multiple_of),
+                 cached_total);
+      for (std::size_t idx : live) generate(seqs[idx]);
+      // Retire finished sequences immediately: they stop costing rows.
+      std::erase_if(live,
+                    [&](std::size_t idx) { return seqs[idx].finished; });
+      ingest(clock);
+    }
+  } else {
+    // Sequence-level static batching: the batch runs to completion;
+    // finished members keep their padded row (zombies), and nobody
+    // joins mid-batch.
+    while (next < seqs.size() || !queue.empty() || !live.empty()) {
+      if (live.empty()) {
+        if (queue.empty()) {
+          if (next >= seqs.size()) break;
+          clock = std::max(clock, seqs[next].t_arrive);
+          ingest(clock);
+          continue;
+        }
+        while (static_cast<std::int64_t>(live.size()) < config.max_active &&
+               !queue.empty()) {
+          const std::size_t idx = queue.front();
+          queue.pop_front();
+          prefill(idx);
+          live.push_back(idx);  // finished members still occupy a row
+          ingest(clock);
+        }
+      }
+
+      const auto rows = static_cast<std::int64_t>(live.size());
+      std::int64_t live_rows = 0;
+      std::int64_t cached_total = 0;
+      for (std::size_t idx : live) {
+        cached_total += seqs[idx].prompt + seqs[idx].done;
+        if (!seqs[idx].finished) ++live_rows;
+      }
+      // The rectangular batch prices every row, finished or not.
+      price_step(live_rows, round_up(rows, config.length_multiple_of),
+                 cached_total);
+      for (std::size_t idx : live) {
+        if (!seqs[idx].finished) generate(seqs[idx]);
+      }
+      if (std::all_of(live.begin(), live.end(), [&](std::size_t idx) {
+            return seqs[idx].finished;
+          })) {
+        live.clear();
+      }
+      ingest(clock);
+    }
+  }
+
+  report.sim_time_s = clock;
+  if (clock > 0.0) {
+    report.throughput_tok_s =
+        static_cast<double>(report.tokens_generated) / clock;
+    report.goodput_tok_s = static_cast<double>(report.tokens_good) / clock;
+  }
+  std::sort(ttfts.begin(), ttfts.end());
+  report.ttft_p50_s = percentile(ttfts, 0.50);
+  report.ttft_p95_s = percentile(ttfts, 0.95);
+  report.ttft_p99_s = percentile(ttfts, 0.99);
+  if (report.steps > 0) {
+    report.mean_batch_rows = static_cast<double>(live_rows_sum) /
+                             static_cast<double>(report.steps);
+    report.row_utilization = static_cast<double>(live_rows_sum) /
+                             static_cast<double>(padded_rows_sum);
+  }
+  return report;
+}
+
+}  // namespace harvest::serving::sequence

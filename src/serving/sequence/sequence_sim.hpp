@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file sequence_sim.hpp
+/// Deterministic discrete-event simulation of a sequence deployment in
+/// simulated time, pricing decode iterations with the TokenCostModel —
+/// the sequence counterpart to serving/online_sim.hpp. Its purpose is
+/// the scheduling-policy comparison the hardware of this machine cannot
+/// time honestly: iteration-level continuous batching vs sequence-level
+/// static batching, at arrival rates past saturation, bit-reproducibly.
+///
+/// Policies:
+///  * kContinuous — the SequenceScheduler's discipline: one decode step
+///    per iteration over all live sequences; admissions join between
+///    steps; finished sequences retire (and stop costing rows)
+///    immediately.
+///  * kStatic — sequence-level batching: a batch forms, prefills, and
+///    decodes until *every* member finishes; finished members keep
+///    occupying their padded row until the longest one completes, and
+///    no arrival joins mid-batch (TTFT waits for the whole batch).
+///
+/// Everything is a pure function of the config: same config, same
+/// report, bit for bit.
+
+#include <cstdint>
+
+#include "serving/sequence/sequence_backend.hpp"
+
+namespace harvest::serving::sequence {
+
+enum class BatchPolicy : int {
+  kContinuous = 0,
+  kStatic = 1,
+};
+const char* batch_policy_name(BatchPolicy policy);
+
+struct SequenceSimConfig {
+  BatchPolicy policy = BatchPolicy::kContinuous;
+  /// Poisson arrivals over [0, duration_s).
+  double arrival_rate = 50.0;  ///< sequences/s
+  double duration_s = 10.0;
+  std::uint64_t seed = 42;
+  /// Per-sequence draws (uniform, inclusive).
+  std::int64_t prompt_min = 8, prompt_max = 64;
+  std::int64_t decode_min = 4, decode_max = 64;
+  /// Scheduler shape.
+  std::int64_t max_active = 8;
+  std::size_t queue_capacity = 64;  ///< arrivals beyond this shed; 0 = ∞
+  std::int64_t length_multiple_of = 1;
+  /// Per-sequence probability of a mid-decode backend failure
+  /// (exercises the kFailed leg of the conservation law).
+  double fail_rate = 0.0;
+  /// Goodput criterion: a completed sequence's tokens count only when
+  /// its first token arrived within this budget. 0 = count everything.
+  double ttft_deadline_s = 0.5;
+  TokenCostModel cost;
+};
+
+struct SequenceSimReport {
+  // Conservation: arrivals == completed + shed + failed (the DES drains
+  // fully, so nothing stays in flight and nothing evicts).
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t steps = 0;
+
+  std::uint64_t tokens_generated = 0;  ///< all sequences
+  std::uint64_t tokens_good = 0;       ///< completed within TTFT budget
+
+  double sim_time_s = 0.0;  ///< clock when the last sequence drained
+  double throughput_tok_s = 0.0;  ///< tokens_generated / sim_time_s
+  double goodput_tok_s = 0.0;     ///< tokens_good / sim_time_s
+
+  double ttft_p50_s = 0.0;
+  double ttft_p95_s = 0.0;
+  double ttft_p99_s = 0.0;
+
+  /// Live (unpadded) rows per step vs padded rows actually priced.
+  double mean_batch_rows = 0.0;
+  double row_utilization = 0.0;  ///< live rows / padded rows
+
+  bool conserved() const {
+    return arrivals == completed + shed + failed;
+  }
+};
+
+SequenceSimReport simulate_sequences(const SequenceSimConfig& config);
+
+}  // namespace harvest::serving::sequence

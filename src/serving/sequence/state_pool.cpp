@@ -1,0 +1,99 @@
+#include "serving/sequence/state_pool.hpp"
+
+#include <algorithm>
+
+#include "core/status.hpp"
+
+namespace harvest::serving::sequence {
+
+StatePool::StatePool(const nn::SequenceStateSpec& spec,
+                     const StatePoolConfig& config)
+    : spec_(spec), idle_timeout_s_(config.idle_timeout_s) {
+  HARVEST_CHECK(config.slots > 0);
+  const std::size_t per_seq = spec.bytes_per_sequence();
+  HARVEST_CHECK(per_seq > 0);
+  std::int64_t slots = config.slots;
+  if (config.capacity_bytes > 0) {
+    // Capacity accounting: the byte budget caps the slot count.
+    const auto affordable =
+        static_cast<std::int64_t>(config.capacity_bytes / per_seq);
+    slots = std::min(slots, std::max<std::int64_t>(affordable, 0));
+    HARVEST_CHECK(slots > 0);
+  }
+  slots_ = slots;
+  capacity_bytes_ = static_cast<std::size_t>(slots_) * per_seq;
+  slab_ = tensor::AlignedBuffer(capacity_bytes_);
+  in_use_.assign(static_cast<std::size_t>(slots_), false);
+  last_touch_s_.assign(static_cast<std::size_t>(slots_), 0.0);
+  free_.reserve(static_cast<std::size_t>(slots_));
+  // LIFO free list, highest index on top, so slot 0 leases first.
+  for (std::int64_t s = slots_ - 1; s >= 0; --s) free_.push_back(s);
+}
+
+std::optional<StatePool::Lease> StatePool::acquire(double now_s) {
+  std::int64_t slot = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (free_.empty()) return std::nullopt;
+    slot = free_.back();
+    free_.pop_back();
+    in_use_[static_cast<std::size_t>(slot)] = true;
+    last_touch_s_[static_cast<std::size_t>(slot)] = now_s;
+  }
+  Lease lease;
+  lease.slot = slot;
+  lease.state = nn::SequenceState(
+      spec_, slab_.as<float>() + slot * spec_.floats_per_sequence());
+  lease.state.reset();
+  return lease;
+}
+
+void StatePool::touch(std::int64_t slot, double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HARVEST_CHECK(slot >= 0 && slot < slots_);
+  if (in_use_[static_cast<std::size_t>(slot)]) {
+    last_touch_s_[static_cast<std::size_t>(slot)] = now_s;
+  }
+}
+
+void StatePool::release(std::int64_t slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HARVEST_CHECK(slot >= 0 && slot < slots_);
+  if (!in_use_[static_cast<std::size_t>(slot)]) return;
+  in_use_[static_cast<std::size_t>(slot)] = false;
+  free_.push_back(slot);
+}
+
+std::vector<std::int64_t> StatePool::evict_idle(double now_s) {
+  std::vector<std::int64_t> evicted;
+  if (idle_timeout_s_ <= 0.0) return evicted;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (std::int64_t s = 0; s < slots_; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    if (in_use_[i] && now_s - last_touch_s_[i] > idle_timeout_s_) {
+      in_use_[i] = false;
+      free_.push_back(s);
+      ++evictions_;
+      evicted.push_back(s);
+    }
+  }
+  return evicted;
+}
+
+std::int64_t StatePool::active() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_ - static_cast<std::int64_t>(free_.size());
+}
+
+std::size_t StatePool::used_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return (static_cast<std::size_t>(slots_) - free_.size()) *
+         spec_.bytes_per_sequence();
+}
+
+std::uint64_t StatePool::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace harvest::serving::sequence

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file state_pool.hpp
+/// Server-owned per-sequence decode state. One slab allocation holds
+/// `slots` fixed-size sequence states (KV-cache or RWKV recurrent,
+/// per the model's SequenceStateSpec); the pool hands out leases with
+/// byte-level capacity accounting and reclaims slots whose owner
+/// stopped touching them (idle eviction). Deadline eviction is the
+/// scheduler's job — it releases the slot the moment a sequence's
+/// budget expires, which is what keeps an overloaded deployment from
+/// pinning its whole pool on doomed sequences.
+///
+/// Thread-safe; leases themselves are single-owner (the scheduler
+/// thread steps them).
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "nn/token_model.hpp"
+#include "tensor/buffer.hpp"
+
+namespace harvest::serving::sequence {
+
+struct StatePoolConfig {
+  /// Concurrent sequences the slab holds.
+  std::int64_t slots = 16;
+  /// Byte budget; 0 sizes it exactly to slots × bytes_per_sequence.
+  /// A smaller budget caps the usable slot count (capacity accounting:
+  /// a 1 GiB pool holds however many KV-caches fit, not `slots`).
+  std::size_t capacity_bytes = 0;
+  /// Reclaim leases not touched for this long; 0 disables.
+  double idle_timeout_s = 0.0;
+};
+
+class StatePool {
+ public:
+  StatePool(const nn::SequenceStateSpec& spec, const StatePoolConfig& config);
+
+  /// A leased slot: the state view plus the slot index to release.
+  struct Lease {
+    std::int64_t slot = -1;
+    nn::SequenceState state;
+  };
+
+  /// Lease a zeroed state, or nullopt when the pool is exhausted.
+  /// `now_s` seeds the idle clock (any monotonic seconds source).
+  std::optional<Lease> acquire(double now_s);
+
+  /// Refresh a lease's idle clock (call once per decode step).
+  void touch(std::int64_t slot, double now_s);
+
+  /// Return a slot to the free list.
+  void release(std::int64_t slot);
+
+  /// Reclaim leases idle longer than idle_timeout_s. Returns the slots
+  /// evicted — the owner must treat its lease as gone.
+  std::vector<std::int64_t> evict_idle(double now_s);
+
+  const nn::SequenceStateSpec& spec() const { return spec_; }
+  std::int64_t slots() const { return slots_; }
+  std::int64_t active() const;
+  std::size_t used_bytes() const;
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+  std::uint64_t evictions() const;
+
+ private:
+  nn::SequenceStateSpec spec_;
+  std::int64_t slots_ = 0;
+  std::size_t capacity_bytes_ = 0;
+  double idle_timeout_s_ = 0.0;
+  tensor::AlignedBuffer slab_;
+
+  mutable std::mutex mutex_;
+  std::vector<std::int64_t> free_;       ///< free slot indices (LIFO)
+  std::vector<bool> in_use_;
+  std::vector<double> last_touch_s_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace harvest::serving::sequence

@@ -78,6 +78,96 @@ core::Status Server::register_model(
   return core::Status::ok();
 }
 
+core::Status Server::register_sequence_model(
+    const SequenceDeploymentConfig& config,
+    const std::function<sequence::SequenceBackendPtr()>& backend_factory) {
+  if (config.name.empty()) {
+    return core::Status::invalid_argument("model name must not be empty");
+  }
+  std::unique_lock lock(deployments_mutex_);
+  if (deployments_.count(config.name) != 0 ||
+      sequence_deployments_.count(config.name) != 0) {
+    return core::Status::invalid_argument("model already registered: " +
+                                          config.name);
+  }
+  if (shut_down_.load(std::memory_order_acquire)) {
+    return core::Status::unavailable("server is shut down");
+  }
+  sequence::SequenceBackendPtr backend = backend_factory();
+  if (backend == nullptr) {
+    return core::Status::internal("sequence backend factory returned null");
+  }
+  auto deployment = std::make_unique<SequenceDeployment>();
+  deployment->config = config;
+  deployment->scheduler = std::make_unique<sequence::SequenceScheduler>(
+      config.name, std::move(backend), config.pool, config.scheduler,
+      &deployment->metrics);
+  HARVEST_LOG_INFO(
+      "deployed sequence model '%s': max active %lld, %lld state slot(s), "
+      "%zu-deep queue",
+      config.name.c_str(), static_cast<long long>(config.scheduler.max_active),
+      static_cast<long long>(deployment->scheduler->pool().slots()),
+      config.scheduler.max_queue_depth);
+  sequence_deployments_.emplace(config.name, std::move(deployment));
+  return core::Status::ok();
+}
+
+core::Result<std::future<sequence::SequenceResponse>> Server::submit_sequence(
+    sequence::SequenceRequest request) {
+  if (shut_down_.load(std::memory_order_acquire)) {
+    return core::Status::unavailable("server is shut down");
+  }
+  std::shared_lock lock(deployments_mutex_);
+  const auto it = sequence_deployments_.find(request.model);
+  if (it == sequence_deployments_.end()) {
+    return core::Status::not_found("no sequence model named " + request.model);
+  }
+  if (request.id == 0) {
+    request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return it->second->scheduler->submit(std::move(request));
+}
+
+sequence::SequenceResponse Server::generate_sync(
+    sequence::SequenceRequest request) {
+  auto submitted = submit_sequence(std::move(request));
+  if (!submitted.is_ok()) {
+    sequence::SequenceResponse response;
+    response.status = submitted.status();
+    response.outcome =
+        submitted.status().code() == core::StatusCode::kResourceExhausted
+            ? sequence::SequenceOutcome::kShed
+            : sequence::SequenceOutcome::kFailed;
+    return response;
+  }
+  return submitted.value().get();
+}
+
+const sequence::SequenceMetrics* Server::sequence_metrics(
+    const std::string& model) const {
+  std::shared_lock lock(deployments_mutex_);
+  const auto it = sequence_deployments_.find(model);
+  return it == sequence_deployments_.end() ? nullptr : &it->second->metrics;
+}
+
+const sequence::SequenceScheduler* Server::sequence_scheduler(
+    const std::string& model) const {
+  std::shared_lock lock(deployments_mutex_);
+  const auto it = sequence_deployments_.find(model);
+  return it == sequence_deployments_.end() ? nullptr
+                                           : it->second->scheduler.get();
+}
+
+std::vector<std::string> Server::sequence_model_names() const {
+  std::shared_lock lock(deployments_mutex_);
+  std::vector<std::string> names;
+  names.reserve(sequence_deployments_.size());
+  for (const auto& [name, unused] : sequence_deployments_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
 core::Result<std::future<InferenceResponse>> Server::submit(
     InferenceRequest request) {
   if (shut_down_.load(std::memory_order_acquire)) {
@@ -191,6 +281,13 @@ std::string Server::prometheus_text() const {
       deployment->metrics.render_prometheus(writer, name,
                                             deployment->config.precision);
     }
+    for (const auto& [name, deployment] : sequence_deployments_) {
+      const sequence::SequenceScheduler& scheduler = *deployment->scheduler;
+      const sequence::StatePool& pool = scheduler.pool();
+      deployment->metrics.render_prometheus(
+          writer, name, scheduler.active(), pool.used_bytes(),
+          pool.capacity_bytes(), pool.active(), pool.slots());
+    }
   }
   writer.gauge("harvest_preproc_pool_threads",
                "Workers in the shared preprocessing pool.",
@@ -242,6 +339,11 @@ void Server::shutdown() {
   // ModelInstance destructors join their workers.
   for (auto& [name, deployment] : deployments_) {
     deployment->instances.clear();
+  }
+  // Sequence schedulers drain their queues (shed) and live batches
+  // (evicted), then join.
+  for (auto& [name, deployment] : sequence_deployments_) {
+    deployment->scheduler->shutdown();
   }
 }
 

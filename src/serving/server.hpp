@@ -16,6 +16,7 @@
 #include "serving/metrics.hpp"
 #include "serving/model_instance.hpp"
 #include "serving/resilience/admission.hpp"
+#include "serving/sequence/scheduler.hpp"
 
 namespace harvest::serving {
 
@@ -51,6 +52,15 @@ struct ModelDeploymentConfig {
   double slo_burn_alert = 2.0;  ///< alert / pressure threshold
 };
 
+/// A sequence deployment ("workload": "sequence" in the repository):
+/// one continuous-batching scheduler + state pool per model, served by
+/// the same Server beside the image deployments.
+struct SequenceDeploymentConfig {
+  std::string name;
+  sequence::SequenceSchedulerConfig scheduler;
+  sequence::StatePoolConfig pool;
+};
+
 class Server {
  public:
   /// `preproc_threads` sizes the shared preprocessing pool.
@@ -84,6 +94,26 @@ class Server {
       const std::string& model) const;
 
   std::vector<std::string> model_names() const;
+
+  /// Deploy a sequence model (continuous batching). The name shares the
+  /// image deployments' namespace.
+  core::Status register_sequence_model(
+      const SequenceDeploymentConfig& config,
+      const std::function<sequence::SequenceBackendPtr()>& backend_factory);
+
+  /// Route a sequence request to its scheduler.
+  core::Result<std::future<sequence::SequenceResponse>> submit_sequence(
+      sequence::SequenceRequest request);
+
+  /// Convenience: submit and wait.
+  sequence::SequenceResponse generate_sync(sequence::SequenceRequest request);
+
+  /// Sequence-deployment introspection (nullptr/empty when unknown).
+  const sequence::SequenceMetrics* sequence_metrics(
+      const std::string& model) const;
+  const sequence::SequenceScheduler* sequence_scheduler(
+      const std::string& model) const;
+  std::vector<std::string> sequence_model_names() const;
 
   /// Current batcher queue depth for a deployment (0 when unknown).
   std::size_t queue_depth(const std::string& model) const;
@@ -121,8 +151,16 @@ class Server {
   /// writer side; submit and the read-only accessors take the reader
   /// side. Deployment contents (batcher, metrics) are internally
   /// synchronized and may be used after the lock is released.
+  struct SequenceDeployment {
+    SequenceDeploymentConfig config;
+    sequence::SequenceMetrics metrics;
+    std::unique_ptr<sequence::SequenceScheduler> scheduler;
+  };
+
   mutable std::shared_mutex deployments_mutex_;
   std::map<std::string, std::unique_ptr<Deployment>> deployments_;
+  std::map<std::string, std::unique_ptr<SequenceDeployment>>
+      sequence_deployments_;
   std::atomic<std::uint64_t> next_request_id_{1};
   // Read by submitting threads while shutdown() runs — must be atomic.
   std::atomic<bool> shut_down_{false};

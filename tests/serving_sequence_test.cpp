@@ -1,0 +1,554 @@
+/// Continuous-batching serving-layer invariants: state-pool accounting,
+/// iteration-level scheduling (stable per-sequence token streams under
+/// batch join/leave, deadline expiry freeing slots, conserved
+/// counters), server routing/metrics, the repository's
+/// "workload": "sequence" entries, and the retry/degrade client path.
+
+#include "serving/sequence/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.hpp"
+#include "serving/repository.hpp"
+#include "serving/sequence/sequence_client.hpp"
+#include "serving/sequence/state_pool.hpp"
+#include "serving/server.hpp"
+
+namespace harvest::serving::sequence {
+namespace {
+
+nn::TokenModelConfig tiny_model() {
+  nn::TokenModelConfig config;
+  config.name = "tiny-lm";
+  config.arch = "rwkv";
+  config.vocab = 64;
+  config.dim = 8;
+  config.depth = 2;
+  config.max_tokens = 64;
+  return config;
+}
+
+SequenceBackendPtr sim_backend(std::uint64_t seed = 42) {
+  // Zero per-step cost model: steps execute instantly in wall time.
+  TokenCostModel cost;
+  cost.step_overhead_s = 0.0;
+  cost.prefill_overhead_s = 0.0;
+  cost.macs_per_token = 0.0;
+  return std::make_unique<SimSequenceBackend>(tiny_model(), cost, seed);
+}
+
+/// Delegating backend whose prefill blocks until opened — makes queue
+/// buildup (and therefore shedding) deterministic in tests.
+class GatedBackend final : public SequenceBackend {
+ public:
+  explicit GatedBackend(SequenceBackendPtr inner) : inner_(std::move(inner)) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const nn::TokenModelConfig& model_config() const override {
+    return inner_->model_config();
+  }
+  nn::SequenceStateSpec state_spec() const override {
+    return inner_->state_spec();
+  }
+
+  core::Result<SequenceStepResult> prefill(const std::int32_t* prompt,
+                                           std::int64_t count,
+                                           nn::SequenceState& state) override {
+    std::unique_lock lock(mutex_);
+    ++entered_;
+    entered_cv_.notify_all();
+    open_cv_.wait(lock, [&] { return open_; });
+    lock.unlock();
+    return inner_->prefill(prompt, count, state);
+  }
+
+  core::Result<SequenceStepResult> decode(const std::int32_t* last_tokens,
+                                          nn::SequenceState* const* states,
+                                          std::int64_t count) override {
+    return inner_->decode(last_tokens, states, count);
+  }
+
+  /// Block until a prefill is parked on the gate.
+  void await_entered() {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ > 0; });
+  }
+  void open() {
+    std::lock_guard lock(mutex_);
+    open_ = true;
+    open_cv_.notify_all();
+  }
+
+ private:
+  SequenceBackendPtr inner_;
+  std::mutex mutex_;
+  std::condition_variable open_cv_, entered_cv_;
+  bool open_ = false;
+  int entered_ = 0;
+};
+
+SequenceRequest make_request(std::int64_t prompt_len,
+                             std::int64_t max_new_tokens) {
+  SequenceRequest request;
+  request.prompt.assign(static_cast<std::size_t>(prompt_len), 3);
+  request.max_new_tokens = max_new_tokens;
+  return request;
+}
+
+// ---------------------------------------------------------- state pool
+
+TEST(StatePool, LeasesAreZeroedAndAccounted) {
+  nn::SequenceStateSpec spec;
+  spec.kind = nn::StateKind::kRecurrent;
+  spec.layers = 2;
+  spec.dim = 4;
+  spec.max_tokens = 16;
+  StatePoolConfig config;
+  config.slots = 2;
+  StatePool pool(spec, config);
+  EXPECT_EQ(pool.slots(), 2);
+  EXPECT_EQ(pool.active(), 0);
+  EXPECT_EQ(pool.capacity_bytes(), 2 * spec.bytes_per_sequence());
+
+  auto a = pool.acquire(0.0);
+  ASSERT_TRUE(a.has_value());
+  // Dirty the slab, return the slot, re-lease: it must come back clean.
+  a->state.layer(0)[0] = 42.0f;
+  a->state.advance(5);
+  EXPECT_EQ(pool.used_bytes(), spec.bytes_per_sequence());
+
+  auto b = pool.acquire(0.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_NE(a->slot, b->slot);
+  EXPECT_EQ(pool.active(), 2);
+  EXPECT_FALSE(pool.acquire(0.0).has_value());  // exhausted
+
+  pool.release(a->slot);
+  auto c = pool.acquire(0.0);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->slot, a->slot);
+  EXPECT_EQ(c->state.length(), 0);
+  EXPECT_EQ(c->state.layer(0)[0], 0.0f);
+}
+
+TEST(StatePool, CapacityBytesCapsSlots) {
+  nn::SequenceStateSpec spec;
+  spec.kind = nn::StateKind::kKvCache;
+  spec.layers = 2;
+  spec.dim = 8;
+  spec.max_tokens = 16;
+  StatePoolConfig config;
+  config.slots = 100;
+  // Budget for exactly 3 sequences: the pool must not allocate 100.
+  config.capacity_bytes = 3 * spec.bytes_per_sequence() +
+                          spec.bytes_per_sequence() / 2;
+  StatePool pool(spec, config);
+  EXPECT_EQ(pool.slots(), 3);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(pool.acquire(0.0).has_value());
+  EXPECT_FALSE(pool.acquire(0.0).has_value());
+}
+
+TEST(StatePool, IdleLeasesAreEvicted) {
+  nn::SequenceStateSpec spec;
+  spec.kind = nn::StateKind::kRecurrent;
+  spec.layers = 1;
+  spec.dim = 4;
+  spec.max_tokens = 8;
+  StatePoolConfig config;
+  config.slots = 2;
+  config.idle_timeout_s = 1.0;
+  StatePool pool(spec, config);
+
+  auto stale = pool.acquire(0.0);
+  auto fresh = pool.acquire(0.0);
+  ASSERT_TRUE(stale.has_value() && fresh.has_value());
+  pool.touch(fresh->slot, 5.0);
+
+  const auto evicted = pool.evict_idle(5.5);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], stale->slot);
+  EXPECT_EQ(pool.active(), 1);
+  EXPECT_EQ(pool.evictions(), 1u);
+  EXPECT_TRUE(pool.acquire(5.5).has_value());  // slot is reusable
+}
+
+// ----------------------------------------------------------- scheduler
+
+TEST(SequenceScheduler, GeneratesBudgetAndStreamsTokensInOrder) {
+  SequenceSchedulerConfig config;
+  config.max_active = 4;
+  SequenceMetrics metrics;
+  SequenceScheduler scheduler("tiny-lm", sim_backend(), StatePoolConfig{},
+                              config, &metrics);
+
+  std::vector<TokenEvent> events;
+  std::mutex events_mutex;
+  SequenceRequest request = make_request(4, 6);
+  request.on_token = [&](const TokenEvent& e) {
+    std::lock_guard lock(events_mutex);
+    events.push_back(e);
+  };
+  auto submitted = scheduler.submit(std::move(request));
+  ASSERT_TRUE(submitted.is_ok());
+  const SequenceResponse response = submitted.value().get();
+
+  EXPECT_TRUE(response.status.is_ok());
+  EXPECT_EQ(response.outcome, SequenceOutcome::kOk);
+  ASSERT_EQ(response.tokens.size(), 6u);
+  EXPECT_EQ(response.timing.steps, 5);  // first token came from prefill
+  EXPECT_GT(response.timing.ttft_s, 0.0);
+  EXPECT_GE(response.timing.total_s, response.timing.ttft_s);
+
+  std::lock_guard lock(events_mutex);
+  ASSERT_EQ(events.size(), 6u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].index, static_cast<std::int64_t>(i));
+    EXPECT_EQ(events[i].token, response.tokens[i]);
+    EXPECT_EQ(events[i].last, i + 1 == events.size());
+  }
+
+  const SequenceCounters counters = metrics.counters();
+  EXPECT_EQ(counters.submitted, 1u);
+  EXPECT_EQ(counters.completed, 1u);
+  EXPECT_EQ(counters.tokens_generated, 6u);
+  EXPECT_TRUE(counters.conserved());
+}
+
+TEST(SequenceScheduler, TokenStreamsStableUnderJoinAndLeave) {
+  // The serving-layer reordering invariance: whatever batches form as
+  // sequences join and retire, each request's token stream must equal
+  // its solo run (the sim backend is a pure function of (last token,
+  // position), so any cross-row leakage would change the stream).
+  std::vector<std::vector<std::int32_t>> solo;
+  for (int r = 0; r < 6; ++r) {
+    SequenceMetrics metrics;
+    SequenceScheduler scheduler("tiny-lm", sim_backend(), StatePoolConfig{},
+                                SequenceSchedulerConfig{}, &metrics);
+    auto submitted =
+        scheduler.submit(make_request(2 + r, 3 + 2 * r));
+    ASSERT_TRUE(submitted.is_ok());
+    solo.push_back(submitted.value().get().tokens);
+  }
+
+  SequenceSchedulerConfig config;
+  config.max_active = 3;  // force joins/leaves: 6 requests, 3 slots
+  config.length_multiple_of = 4;
+  StatePoolConfig pool;
+  pool.slots = 3;
+  SequenceMetrics metrics;
+  SequenceScheduler scheduler("tiny-lm", sim_backend(), pool, config,
+                              &metrics);
+  std::vector<std::future<SequenceResponse>> futures;
+  for (int r = 0; r < 6; ++r) {
+    auto submitted =
+        scheduler.submit(make_request(2 + r, 3 + 2 * r));
+    ASSERT_TRUE(submitted.is_ok());
+    futures.push_back(std::move(submitted.value()));
+  }
+  for (int r = 0; r < 6; ++r) {
+    const SequenceResponse response = futures[static_cast<std::size_t>(r)].get();
+    EXPECT_TRUE(response.status.is_ok());
+    EXPECT_EQ(response.tokens, solo[static_cast<std::size_t>(r)])
+        << "request " << r << " stream changed under batching";
+  }
+  EXPECT_TRUE(metrics.counters().conserved());
+  EXPECT_EQ(metrics.counters().completed, 6u);
+}
+
+TEST(SequenceScheduler, InvalidPromptsFailFast) {
+  SequenceMetrics metrics;
+  SequenceScheduler scheduler("tiny-lm", sim_backend(), StatePoolConfig{},
+                              SequenceSchedulerConfig{}, &metrics);
+  auto empty = scheduler.submit(make_request(0, 4));
+  EXPECT_EQ(empty.status().code(), core::StatusCode::kInvalidArgument);
+  auto oversized = scheduler.submit(make_request(64, 4));  // == max_tokens
+  EXPECT_EQ(oversized.status().code(), core::StatusCode::kInvalidArgument);
+  const SequenceCounters counters = metrics.counters();
+  EXPECT_EQ(counters.failed, 2u);
+  EXPECT_TRUE(counters.conserved());
+}
+
+TEST(SequenceScheduler, DeadlineExpiryFreesSlotAndConserves) {
+  SequenceMetrics metrics;
+  SequenceScheduler scheduler("tiny-lm", sim_backend(), StatePoolConfig{},
+                              SequenceSchedulerConfig{}, &metrics);
+  SequenceRequest request = make_request(4, 8);
+  request.deadline_s = 1e-9;  // expired before the worker can admit it
+  auto submitted = scheduler.submit(std::move(request));
+  ASSERT_TRUE(submitted.is_ok());
+  const SequenceResponse response = submitted.value().get();
+  EXPECT_EQ(response.outcome, SequenceOutcome::kExpired);
+  EXPECT_EQ(response.status.code(), core::StatusCode::kDeadlineExceeded);
+
+  // A full-budget follow-up still runs: no slot leaked.
+  auto follow_up = scheduler.submit(make_request(4, 2));
+  ASSERT_TRUE(follow_up.is_ok());
+  EXPECT_EQ(follow_up.value().get().outcome, SequenceOutcome::kOk);
+  EXPECT_EQ(scheduler.pool().active(), 0);
+
+  const SequenceCounters counters = metrics.counters();
+  EXPECT_EQ(counters.expired, 1u);
+  EXPECT_EQ(counters.completed, 1u);
+  EXPECT_TRUE(counters.conserved());
+}
+
+TEST(SequenceScheduler, FullQueueShedsDeterministically) {
+  auto gated = std::make_unique<GatedBackend>(sim_backend());
+  GatedBackend* gate = gated.get();
+  SequenceSchedulerConfig config;
+  config.max_active = 1;
+  config.max_queue_depth = 1;
+  SequenceMetrics metrics;
+  SequenceScheduler scheduler("tiny-lm", std::move(gated), StatePoolConfig{},
+                              config, &metrics);
+
+  // First request parks inside prefill; second fills the queue; third
+  // must shed with kResourceExhausted.
+  auto first = scheduler.submit(make_request(2, 2));
+  ASSERT_TRUE(first.is_ok());
+  gate->await_entered();
+  auto second = scheduler.submit(make_request(2, 2));
+  ASSERT_TRUE(second.is_ok());
+  auto third = scheduler.submit(make_request(2, 2));
+  EXPECT_EQ(third.status().code(), core::StatusCode::kResourceExhausted);
+
+  gate->open();
+  EXPECT_EQ(first.value().get().outcome, SequenceOutcome::kOk);
+  EXPECT_EQ(second.value().get().outcome, SequenceOutcome::kOk);
+  const SequenceCounters counters = metrics.counters();
+  EXPECT_EQ(counters.shed, 1u);
+  EXPECT_EQ(counters.completed, 2u);
+  EXPECT_TRUE(counters.conserved());
+}
+
+TEST(SequenceScheduler, ShutdownDrainsAndConserves) {
+  auto gated = std::make_unique<GatedBackend>(sim_backend());
+  GatedBackend* gate = gated.get();
+  SequenceSchedulerConfig config;
+  config.max_active = 1;
+  SequenceMetrics metrics;
+  SequenceScheduler scheduler("tiny-lm", std::move(gated), StatePoolConfig{},
+                              config, &metrics);
+
+  auto in_flight = scheduler.submit(make_request(2, 4));
+  ASSERT_TRUE(in_flight.is_ok());
+  gate->await_entered();
+  auto queued = scheduler.submit(make_request(2, 4));
+  ASSERT_TRUE(queued.is_ok());
+
+  gate->open();
+  scheduler.shutdown();
+  // Both futures resolve: the in-flight sequence either completed or
+  // was evicted mid-decode; the queued one was shed or completed,
+  // depending on how far the worker got. Either way nothing hangs and
+  // the books balance.
+  in_flight.value().get();
+  queued.value().get();
+  EXPECT_TRUE(metrics.counters().conserved());
+  EXPECT_EQ(scheduler.pool().active(), 0);
+
+  auto late = scheduler.submit(make_request(2, 2));
+  EXPECT_EQ(late.status().code(), core::StatusCode::kUnavailable);
+  EXPECT_TRUE(metrics.counters().conserved());
+}
+
+// -------------------------------------------------------------- server
+
+TEST(ServerSequence, RoutesMetricsAndPrometheus) {
+  Server server(1);
+  SequenceDeploymentConfig config;
+  config.name = "agri-lm";
+  config.scheduler.max_active = 2;
+  ASSERT_TRUE(server
+                  .register_sequence_model(
+                      config, [] { return sim_backend(); })
+                  .is_ok());
+  // Names collide across image and sequence namespaces.
+  EXPECT_FALSE(server
+                   .register_sequence_model(
+                       config, [] { return sim_backend(); })
+                   .is_ok());
+  EXPECT_EQ(server.sequence_model_names(),
+            std::vector<std::string>{"agri-lm"});
+
+  SequenceRequest request = make_request(3, 5);
+  request.model = "agri-lm";
+  SequenceResponse response = server.generate_sync(std::move(request));
+  EXPECT_TRUE(response.status.is_ok());
+  EXPECT_EQ(response.tokens.size(), 5u);
+  EXPECT_GT(response.tokens_per_s, 0.0);
+
+  SequenceRequest unknown = make_request(3, 5);
+  unknown.model = "nope";
+  EXPECT_EQ(server.generate_sync(std::move(unknown)).status.code(),
+            core::StatusCode::kNotFound);
+
+  ASSERT_NE(server.sequence_metrics("agri-lm"), nullptr);
+  EXPECT_TRUE(server.sequence_metrics("agri-lm")->counters().conserved());
+  ASSERT_NE(server.sequence_scheduler("agri-lm"), nullptr);
+
+  const std::string text = server.prometheus_text();
+  EXPECT_NE(text.find("harvest_sequences_active"), std::string::npos);
+  EXPECT_NE(text.find("harvest_sequence_state_pool_bytes"),
+            std::string::npos);
+  EXPECT_NE(text.find("harvest_sequence_outcomes_total"), std::string::npos);
+  EXPECT_NE(text.find("harvest_sequence_ttft_seconds"), std::string::npos);
+  EXPECT_NE(text.find("model=\"agri-lm\""), std::string::npos);
+
+  server.shutdown();
+  SequenceRequest after = make_request(3, 5);
+  after.model = "agri-lm";
+  EXPECT_EQ(server.generate_sync(std::move(after)).status.code(),
+            core::StatusCode::kUnavailable);
+}
+
+TEST(ServerSequence, RepositoryLoadsSequenceWorkload) {
+  const char* config_text = R"({
+    "models": [
+      {
+        "name": "agri-lm-sim",
+        "workload": "sequence",
+        "backend": "sim",
+        "architecture": "rwkv",
+        "vocab": 64, "dim": 16, "depth": 2, "max_tokens": 64,
+        "max_active": 4, "max_new_tokens": 8
+      },
+      {
+        "name": "agri-lm-native",
+        "workload": "sequence",
+        "backend": "native",
+        "architecture": "attn",
+        "vocab": 32, "dim": 16, "depth": 1, "heads": 2, "max_tokens": 32,
+        "max_active": 2, "slots": 4
+      }
+    ]
+  })";
+  auto parsed = core::Json::parse(config_text);
+  ASSERT_TRUE(parsed.is_ok());
+  Server server(1);
+  ASSERT_TRUE(load_repository(server, parsed.value()).is_ok());
+  EXPECT_EQ(server.sequence_model_names().size(), 2u);
+
+  for (const char* name : {"agri-lm-sim", "agri-lm-native"}) {
+    SequenceRequest request = make_request(4, 4);
+    request.model = name;
+    const SequenceResponse response = server.generate_sync(std::move(request));
+    EXPECT_TRUE(response.status.is_ok()) << name;
+    EXPECT_EQ(response.tokens.size(), 4u) << name;
+  }
+  server.shutdown();
+}
+
+TEST(ServerSequence, RepositoryRejectsBadSequenceEntries) {
+  for (const char* bad : {
+           R"({"models":[{"name":"x","workload":"sequence","architecture":"lstm"}]})",
+           R"({"models":[{"name":"x","workload":"sequence","max_active":0}]})",
+           R"({"models":[{"name":"x","workload":"sequence","slots":1,"max_active":4}]})",
+           R"({"models":[{"name":"x","workload":"teapot"}]})",
+       }) {
+    auto parsed = core::Json::parse(bad);
+    ASSERT_TRUE(parsed.is_ok());
+    Server server(1);
+    EXPECT_FALSE(load_repository(server, parsed.value()).is_ok()) << bad;
+    server.shutdown();
+  }
+}
+
+// -------------------------------------------------------------- client
+
+TEST(RetryingSequenceClient, FallsBackToDegradeModel) {
+  Server server(1);
+  SequenceDeploymentConfig config;
+  config.name = "agri-lm-small";
+  ASSERT_TRUE(server
+                  .register_sequence_model(
+                      config, [] { return sim_backend(); })
+                  .is_ok());
+
+  SequenceClientOptions options;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_s = 1e-4;
+  options.fallback_model = "agri-lm-small";
+  RetryingSequenceClient client(server, options);
+
+  // Target deployment does not exist: not retryable, but the fallback
+  // model answers.
+  SequenceRequest request = make_request(3, 4);
+  request.model = "agri-lm-big";
+  const SequenceResponse response = client.generate_sync(std::move(request));
+  EXPECT_TRUE(response.status.is_ok());
+  EXPECT_EQ(response.tokens.size(), 4u);
+  const auto counters = client.counters();
+  EXPECT_EQ(counters.attempts, 1u);
+  EXPECT_EQ(counters.retries, 0u);
+  EXPECT_EQ(counters.degraded, 1u);
+  server.shutdown();
+}
+
+TEST(RetryingSequenceClient, RetriesShedRequests) {
+  auto gated = std::make_unique<GatedBackend>(sim_backend());
+  GatedBackend* gate = gated.get();
+  Server server(1);
+  SequenceDeploymentConfig config;
+  config.name = "agri-lm";
+  config.scheduler.max_active = 1;
+  config.scheduler.max_queue_depth = 1;
+  auto shared = std::make_shared<SequenceBackendPtr>(std::move(gated));
+  ASSERT_TRUE(server
+                  .register_sequence_model(
+                      config, [shared] { return std::move(*shared); })
+                  .is_ok());
+
+  // Park the worker and fill the queue, so the client's first attempt
+  // sheds; open the gate from another thread while it backs off.
+  auto first = server.submit_sequence([&] {
+    SequenceRequest r = make_request(2, 2);
+    r.model = "agri-lm";
+    return r;
+  }());
+  ASSERT_TRUE(first.is_ok());
+  gate->await_entered();
+  auto second = server.submit_sequence([&] {
+    SequenceRequest r = make_request(2, 2);
+    r.model = "agri-lm";
+    return r;
+  }());
+  ASSERT_TRUE(second.is_ok());
+
+  SequenceClientOptions options;
+  options.retry.max_attempts = 6;
+  options.retry.initial_backoff_s = 20e-3;
+  options.retry.jitter = 0.0;
+  RetryingSequenceClient client(server, options);
+  // The gate stays closed until the client has provably shed once (its
+  // retry counter bumps before the backoff sleep), so attempt 1 always
+  // fails; once open, the worker drains instantly and a later attempt
+  // lands in the emptied queue.
+  std::thread opener([&] {
+    while (client.counters().retries == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    gate->open();
+  });
+  SequenceRequest request = make_request(2, 2);
+  request.model = "agri-lm";
+  const SequenceResponse response = client.generate_sync(std::move(request));
+  opener.join();
+  EXPECT_TRUE(response.status.is_ok());
+  EXPECT_GE(client.counters().retries, 1u);
+  first.value().get();
+  second.value().get();
+  server.shutdown();
+  EXPECT_TRUE(server.sequence_metrics("agri-lm")->counters().conserved());
+}
+
+}  // namespace
+}  // namespace harvest::serving::sequence

@@ -30,10 +30,10 @@ import json
 import sys
 from pathlib import Path
 
-LATENCY_HINTS = ("p99", "latency")
-GOODPUT_HINTS = ("goodput", "throughput", "img_s")
+LATENCY_HINTS = ("p99", "latency", "ttft")
+GOODPUT_HINTS = ("goodput", "throughput", "img_s", "tok_s")
 # Numeric keys that identify a sweep point rather than measure it.
-PARAM_HINTS = ("rate", "qps", "batch", "instances", "threshold")
+PARAM_HINTS = ("rate", "qps", "batch", "instances", "threshold", "arrival")
 
 
 def is_latency_metric(key: str) -> bool:
@@ -139,6 +139,31 @@ def self_test() -> int:
         ]
     }
 
+    # Sequence-serving report shape (BENCH_sequence.json): rows keyed on
+    # (policy, arrival_seq_s); tokens/s are higher-better, TTFT quantiles
+    # lower-better.
+    seq_base = {
+        "rows": [
+            {"policy": "continuous", "arrival_seq_s": 600,
+             "goodput_tok_s": 20000.0, "throughput_tok_s": 21000.0,
+             "ttft_p50_s": 0.012, "ttft_p99_s": 0.052},
+            {"policy": "static", "arrival_seq_s": 600,
+             "goodput_tok_s": 850.0, "throughput_tok_s": 18000.0,
+             "ttft_p50_s": 0.300, "ttft_p99_s": 0.560},
+        ]
+    }
+    seq_bad = {
+        "rows": [
+            # goodput -40% and TTFT p50 +100%: both must trip a 10% gate.
+            {"policy": "continuous", "arrival_seq_s": 600,
+             "goodput_tok_s": 12000.0, "throughput_tok_s": 21000.0,
+             "ttft_p50_s": 0.024, "ttft_p99_s": 0.052},
+            {"policy": "static", "arrival_seq_s": 600,
+             "goodput_tok_s": 850.0, "throughput_tok_s": 18000.0,
+             "ttft_p50_s": 0.300, "ttft_p99_s": 0.560},
+        ]
+    }
+
     def rows(doc):
         return {row_identity(r): r for r in doc["rows"]}
 
@@ -152,6 +177,14 @@ def self_test() -> int:
                                     ["p99_latency_s"])) == 1))
     checks.append(("generous threshold passes",
                    diff_reports(rows(base), rows(bad), 50.0, []) == []))
+    checks.append(("sequence rows match on policy+arrival",
+                   diff_reports(rows(seq_base), rows(seq_base), 10.0, [])
+                   == []))
+    seq_failures = diff_reports(rows(seq_base), rows(seq_bad), 10.0, [])
+    checks.append(("tok_s goodput + ttft regressions caught",
+                   len(seq_failures) == 2
+                   and any("goodput_tok_s" in f for f in seq_failures)
+                   and any("ttft_p50_s" in f for f in seq_failures)))
 
     failed = [name for name, passed in checks if not passed]
     for name, passed in checks:
