@@ -24,21 +24,77 @@ void DynamicBatcher::trace_queue_depth() const {
 
 core::Result<std::future<InferenceResponse>> DynamicBatcher::submit(
     InferenceRequest request) {
-  std::scoped_lock lock(mutex_);
-  if (shutdown_) {
-    return core::Status::unavailable("batcher is shut down");
+  std::function<void()> ready_callback;
+  std::future<InferenceResponse> future;
+  {
+    std::scoped_lock lock(mutex_);
+    if (shutdown_) {
+      return core::Status::unavailable("batcher is shut down");
+    }
+    if (queue_.size() >= config_.max_queue_depth) {
+      return core::Status::unavailable("request queue is full");
+    }
+    PendingRequest pending;
+    pending.request = std::move(request);
+    pending.enqueued_at = std::chrono::steady_clock::now();
+    future = pending.promise.get_future();
+    queue_.push_back(std::move(pending));
+    trace_queue_depth();
+    cv_.notify_one();
+    ready_callback = ready_callback_;
   }
-  if (queue_.size() >= config_.max_queue_depth) {
-    return core::Status::unavailable("request queue is full");
-  }
-  PendingRequest pending;
-  pending.request = std::move(request);
-  pending.enqueued_at = std::chrono::steady_clock::now();
-  std::future<InferenceResponse> future = pending.promise.get_future();
-  queue_.push_back(std::move(pending));
-  trace_queue_depth();
-  cv_.notify_one();
+  // Fired unlocked: the pool's notify may itself poll ready(), and a
+  // pool → batcher lock order must stay acyclic.
+  if (ready_callback) ready_callback();
   return future;
+}
+
+bool DynamicBatcher::flush_due_locked(FlushReason& reason,
+                                      std::size_t& take) const {
+  if (queue_.empty()) return false;
+  const auto delay =
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(config_.max_queue_delay_s));
+  const bool full =
+      queue_.size() >= static_cast<std::size_t>(config_.max_batch);
+  const bool aged =
+      std::chrono::steady_clock::now() >= queue_.front().enqueued_at + delay;
+  // Largest preferred size the current queue can fill, if any.
+  std::size_t preferred = 0;
+  for (std::int64_t size : config_.preferred_batch_sizes) {
+    if (size > 0 && size <= config_.max_batch &&
+        queue_.size() >= static_cast<std::size_t>(size)) {
+      preferred = std::max(preferred, static_cast<std::size_t>(size));
+    }
+  }
+  if (!full && !aged && !shutdown_ && preferred == 0) return false;
+  take = std::min(queue_.size(), static_cast<std::size_t>(config_.max_batch));
+  if (!full && !aged && !shutdown_) take = preferred;
+  // Shutdown outranks age: a drain flush is labelled kShutdown even
+  // when the head request has also exceeded its queue delay, so the
+  // flush-reason counters attribute drain batches correctly.
+  reason = full        ? FlushReason::kFullBatch
+           : shutdown_ ? FlushReason::kShutdown
+           : aged      ? FlushReason::kTimeout
+                       : FlushReason::kPreferredSize;
+  return true;
+}
+
+BatchedRequests DynamicBatcher::pop_locked(FlushReason reason,
+                                           std::size_t take) {
+  BatchedRequests batch;
+  batch.reason = reason;
+  ++flushes_[static_cast<std::size_t>(reason)];
+  batch.requests.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    batch.requests.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  trace_queue_depth();
+  // Wake a sibling consumer if requests remain (submit() never blocks,
+  // so there is no back-pressure wait to release).
+  if (!queue_.empty()) cv_.notify_one();
+  return batch;
 }
 
 std::vector<PendingRequest> DynamicBatcher::wait_batch() {
@@ -51,56 +107,63 @@ BatchedRequests DynamicBatcher::wait_batch_tagged() {
       std::chrono::duration<double>(config_.max_queue_delay_s));
   for (;;) {
     if (shutdown_ && queue_.empty()) return {};
+    FlushReason reason = FlushReason::kTimeout;
+    std::size_t take = 0;
+    if (flush_due_locked(reason, take)) return pop_locked(reason, take);
     if (!queue_.empty()) {
-      const auto age_limit = queue_.front().enqueued_at + delay;
-      const bool full =
-          queue_.size() >= static_cast<std::size_t>(config_.max_batch);
-      const bool aged = std::chrono::steady_clock::now() >= age_limit;
-      // Largest preferred size the current queue can fill, if any.
-      std::size_t preferred = 0;
-      for (std::int64_t size : config_.preferred_batch_sizes) {
-        if (size > 0 && size <= config_.max_batch &&
-            queue_.size() >= static_cast<std::size_t>(size)) {
-          preferred = std::max(preferred, static_cast<std::size_t>(size));
-        }
-      }
-      if (full || aged || shutdown_ || preferred > 0) {
-        std::size_t take = std::min(
-            queue_.size(), static_cast<std::size_t>(config_.max_batch));
-        if (!full && !aged && !shutdown_) take = preferred;
-        BatchedRequests batch;
-        // Shutdown outranks age: a drain flush is labelled kShutdown even
-        // when the head request has also exceeded its queue delay, so the
-        // flush-reason counters attribute drain batches correctly.
-        batch.reason = full        ? FlushReason::kFullBatch
-                       : shutdown_ ? FlushReason::kShutdown
-                       : aged      ? FlushReason::kTimeout
-                                   : FlushReason::kPreferredSize;
-        ++flushes_[static_cast<std::size_t>(batch.reason)];
-        batch.requests.reserve(take);
-        for (std::size_t i = 0; i < take; ++i) {
-          batch.requests.push_back(std::move(queue_.front()));
-          queue_.pop_front();
-        }
-        trace_queue_depth();
-        // Wake a sibling consumer if requests remain (submit() never
-        // blocks, so there is no back-pressure wait to release).
-        if (!queue_.empty()) cv_.notify_one();
-        return batch;
-      }
       // Sleep until the head request ages out (or a new arrival fills
       // the batch and notifies us).
-      cv_.wait_until(lock, age_limit);
+      cv_.wait_until(lock, queue_.front().enqueued_at + delay);
     } else {
       cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
     }
   }
 }
 
-void DynamicBatcher::shutdown() {
+bool DynamicBatcher::ready() const {
   std::scoped_lock lock(mutex_);
-  shutdown_ = true;
-  cv_.notify_all();
+  FlushReason reason = FlushReason::kTimeout;
+  std::size_t take = 0;
+  return flush_due_locked(reason, take);
+}
+
+BatchedRequests DynamicBatcher::try_pop_tagged() {
+  std::scoped_lock lock(mutex_);
+  FlushReason reason = FlushReason::kTimeout;
+  std::size_t take = 0;
+  if (!flush_due_locked(reason, take)) return {};
+  return pop_locked(reason, take);
+}
+
+bool DynamicBatcher::next_deadline(
+    std::chrono::steady_clock::time_point& deadline) const {
+  std::scoped_lock lock(mutex_);
+  if (queue_.empty()) return false;
+  FlushReason reason = FlushReason::kTimeout;
+  std::size_t take = 0;
+  if (flush_due_locked(reason, take)) return false;  // ready right now
+  deadline = queue_.front().enqueued_at +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(config_.max_queue_delay_s));
+  return true;
+}
+
+void DynamicBatcher::set_ready_callback(std::function<void()> callback) {
+  std::scoped_lock lock(mutex_);
+  ready_callback_ = std::move(callback);
+}
+
+void DynamicBatcher::shutdown() {
+  std::function<void()> ready_callback;
+  {
+    std::scoped_lock lock(mutex_);
+    shutdown_ = true;
+    cv_.notify_all();
+    ready_callback = ready_callback_;
+  }
+  // The shared pool must re-scan: shutdown makes any nonempty queue an
+  // immediately-ready drain batch.
+  if (ready_callback) ready_callback();
 }
 
 std::size_t DynamicBatcher::queued() const {

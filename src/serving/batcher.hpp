@@ -11,6 +11,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <mutex>
 #include <string>
@@ -78,6 +79,27 @@ class DynamicBatcher {
   /// vector still means shutdown.
   BatchedRequests wait_batch_tagged();
 
+  // Non-blocking interface for shared-pool consumers (WorkerPool):
+  // workers poll ready() across many deployments' batchers instead of
+  // parking one thread per deployment in wait_batch().
+
+  /// True when a batch would dispatch right now (full / preferred /
+  /// aged / shutdown drain) — try_pop_tagged() would return requests.
+  bool ready() const;
+
+  /// Pop a batch if one is ready; empty requests = nothing ready (NOT
+  /// shutdown — shared-pool consumers track lifetime themselves).
+  BatchedRequests try_pop_tagged();
+
+  /// Absolute time the head request ages out (when a timeout flush
+  /// becomes due). Returns false when the queue is empty or a batch is
+  /// already ready.
+  bool next_deadline(std::chrono::steady_clock::time_point& deadline) const;
+
+  /// Invoked (outside the batcher lock) after every submit and on
+  /// shutdown, so a shared pool can re-scan instead of sleeping.
+  void set_ready_callback(std::function<void()> callback);
+
   /// Wake all waiters and reject further submissions.
   void shutdown();
 
@@ -92,6 +114,10 @@ class DynamicBatcher {
 
  private:
   void trace_queue_depth() const;  ///< callers hold mutex_
+  /// Flush decision for the current queue; callers hold mutex_. Returns
+  /// true when a batch should dispatch now and sets reason/take.
+  bool flush_due_locked(FlushReason& reason, std::size_t& take) const;
+  BatchedRequests pop_locked(FlushReason reason, std::size_t take);
 
   BatcherConfig config_;
   mutable std::mutex mutex_;
@@ -100,6 +126,7 @@ class DynamicBatcher {
   bool shutdown_ = false;
   FlushCounts flushes_{};
   std::string trace_label_;
+  std::function<void()> ready_callback_;
 };
 
 }  // namespace harvest::serving

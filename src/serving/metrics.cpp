@@ -157,6 +157,12 @@ void MetricsRegistry::record_flush(FlushReason reason,
   (void)batch_size;  // batch distribution already tracked per request
 }
 
+void MetricsRegistry::record_cold_start(double seconds) {
+  std::scoped_lock lock(mutex_);
+  ++cold_starts_;
+  cold_start_digest_.add(seconds);
+}
+
 void MetricsRegistry::inflight_add(std::int64_t delta) {
   inflight_.fetch_add(delta, std::memory_order_relaxed);
 }
@@ -220,6 +226,9 @@ MetricsSnapshot MetricsRegistry::snapshot(double wall_seconds) const {
   snap.digest_p99_latency_s =
       latency_digest_.count() > 0 ? latency_digest_.quantile(0.99) : 0.0;
   snap.flushes = flushes_;
+  snap.cold_starts = cold_starts_;
+  snap.cold_start_p99_s =
+      cold_start_digest_.count() > 0 ? cold_start_digest_.quantile(0.99) : 0.0;
   const double now_s = clock_ ? clock_() : steady_now_s();
   snap.slo_enabled = slo_.enabled();
   snap.slo_burn_rate = slo_.burn_rate(now_s);
@@ -284,6 +293,16 @@ void MetricsRegistry::render_prometheus(obs::PrometheusWriter& out,
                 "Batches dispatched, by flush reason.",
                 static_cast<double>(flushes_[r]), flush_labels);
   }
+  out.counter("harvest_cold_starts_total",
+              "Batches that had to reload a paged-out backend stream "
+              "before executing.",
+              static_cast<double>(cold_starts_), labels);
+  if (cold_start_digest_.count() > 0) {
+    out.summary("harvest_cold_start_seconds",
+                "Backend-stream reload (model paging cold start) "
+                "latency quantiles.",
+                cold_start_digest_, labels);
+  }
   // Digest-backed summary: adaptive tail resolution with exemplar
   // trace ids on the quantile samples.
   out.summary("harvest_request_latency_quantiles",
@@ -331,6 +350,8 @@ void MetricsRegistry::reset() {
   preprocess_hist_.reset();
   inference_hist_.reset();
   latency_digest_ = obs::QuantileDigest();
+  cold_starts_ = 0;
+  cold_start_digest_ = obs::QuantileDigest();
   flushes_ = {};
   inflight_.store(0, std::memory_order_relaxed);
   slo_.configure(slo_.config(), slo_.window_s());

@@ -58,6 +58,9 @@ struct MetricsSnapshot {
   double slo_budget_remaining = 1.0;
   /// Batch flush counts by reason, indexed by FlushReason.
   FlushCounts flushes{};
+  // Model-paging cold starts (weight-store stream reloads).
+  std::uint64_t cold_starts = 0;
+  double cold_start_p99_s = 0.0;
 
   std::string to_string() const;
 };
@@ -87,6 +90,11 @@ class MetricsRegistry {
 
   /// Record one dispatched batch and why the batcher flushed it.
   void record_flush(FlushReason reason, std::int64_t batch_size);
+
+  /// One model-paging cold start: the deployment's backend stream was
+  /// paged out (or never built) and had to reload before a batch could
+  /// run. Feeds a counter and a t-digest of reload latencies.
+  void record_cold_start(double seconds);
 
   /// Live gauge: requests currently being preprocessed/inferred.
   void inflight_add(std::int64_t delta);
@@ -141,6 +149,8 @@ class MetricsRegistry {
   obs::BucketHistogram preprocess_hist_;
   obs::BucketHistogram inference_hist_;
   obs::QuantileDigest latency_digest_;
+  std::uint64_t cold_starts_ = 0;
+  obs::QuantileDigest cold_start_digest_;
   FlushCounts flushes_{};
   std::function<std::size_t()> queue_depth_probe_;
   std::function<double()> clock_;  ///< SLO time source; guarded by mutex_

@@ -30,35 +30,11 @@ void fill_prediction(const tensor::Tensor& logits, std::int64_t row,
   response.confidence = static_cast<float>(1.0 / denom);
 }
 
-ModelInstance::ModelInstance(std::string name, BackendPtr backend,
-                             preproc::PreprocSpec preproc_spec,
-                             DynamicBatcher& batcher, MetricsRegistry& metrics,
-                             core::ThreadPool* pool,
+BatchExecutor::BatchExecutor(std::string name, preproc::PreprocSpec preproc_spec,
+                             MetricsRegistry& metrics, core::ThreadPool* pool,
                              resilience::AdmissionController* admission)
-    : name_(std::move(name)), backend_(std::move(backend)),
-      preproc_spec_(preproc_spec), batcher_(&batcher), metrics_(&metrics),
-      pool_(pool), admission_(admission), worker_([this] { run_loop(); }) {}
-
-ModelInstance::~ModelInstance() {
-  // The owner is expected to have shut the batcher down; joining here is
-  // then prompt. (RAII join per CP.23/CP.25.)
-  worker_.join();
-}
-
-void ModelInstance::run_loop() {
-  // Thread name carries the engine precision so fp32 and int8 streams
-  // of the same model are tellable apart in the trace viewer.
-  obs::TraceRecorder::instance().set_thread_name(name_ + " [" +
-                                                 backend_->precision() + "]");
-  for (;;) {
-    BatchedRequests batch = batcher_->wait_batch_tagged();
-    if (batch.requests.empty()) return;  // shutdown
-    metrics_->record_flush(batch.reason,
-                           static_cast<std::int64_t>(batch.requests.size()));
-    execute_batch(std::move(batch.requests));
-    batches_executed_.fetch_add(1, std::memory_order_relaxed);
-  }
-}
+    : name_(std::move(name)), preproc_spec_(preproc_spec), metrics_(&metrics),
+      pool_(pool), admission_(admission) {}
 
 namespace {
 
@@ -77,8 +53,15 @@ struct InflightGuard {
 
 }  // namespace
 
-void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
+void BatchExecutor::execute(std::vector<PendingRequest> batch,
+                            Backend& backend, double cold_start_s) {
   const auto started = std::chrono::steady_clock::now();
+  batches_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (cold_start_s > 0.0) {
+    // The claimed stream was paged out (or never built): the reload
+    // time is this batch's cold start, charged once per reload.
+    metrics_->record_cold_start(cold_start_s);
+  }
   obs::TraceRecorder& tracer = obs::TraceRecorder::instance();
   // Per-request span recorder: linked into the request's trace tree
   // when a context is active, plain id-correlated span otherwise.
@@ -100,6 +83,19 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
       record_span("queue", pending, tracer.to_us(pending.enqueued_at),
                   tracer.to_us(started),
                   static_cast<std::int64_t>(batch.size()));
+    }
+    if (cold_start_s > 0.0) {
+      // The reload ran immediately before `started`; tile it in so the
+      // trace shows which requests paid the paging penalty.
+      const auto cold_begin =
+          started - std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(cold_start_s));
+      for (const PendingRequest& pending : batch) {
+        record_span("cold_load", pending, tracer.to_us(cold_begin),
+                    tracer.to_us(started),
+                    static_cast<std::int64_t>(batch.size()));
+      }
     }
   }
 
@@ -180,7 +176,7 @@ void ModelInstance::execute_batch(std::vector<PendingRequest> batch) {
   core::Result<BackendResult> inferred = [&]() -> core::Result<BackendResult> {
     obs::ScopedSpan span("inference", "serving");
     span.set_batch(n);
-    return backend_->infer(preprocessed.value());
+    return backend.infer(preprocessed.value());
   }();
   if (!inferred.is_ok()) {
     fail_all(inferred.status());

@@ -1,14 +1,16 @@
 #pragma once
 
 /// \file model_instance.hpp
-/// One execution stream of a deployed model (Triton "instance"): a
-/// worker thread that pulls batches from the deployment's dynamic
-/// batcher, preprocesses them, runs the backend, and fulfills response
-/// promises. Multiple instances of the same deployment share the
-/// batcher and the metrics registry but own separate backends.
+/// The execution stage of a deployed model, as a thread-less
+/// `BatchExecutor`: preprocess a formed batch, run a backend stream,
+/// fulfill response promises. Ownership of threads moved to the shared
+/// `WorkerPool` (worker_pool.hpp) — a deployment no longer pins
+/// `instances` dedicated threads; `instances` is now its concurrency
+/// cap on the shared pool, and its backend streams live in the
+/// deduplicated `WeightStore`. One executor per deployment, shared by
+/// every pool worker (stateless between calls except counters).
 
 #include <atomic>
-#include <thread>
 
 #include "core/thread_pool.hpp"
 #include "preproc/pipeline.hpp"
@@ -19,37 +21,36 @@
 
 namespace harvest::serving {
 
-class ModelInstance {
+class BatchExecutor {
  public:
   /// `pool` powers batched (DALI-style) preprocessing; pass nullptr to
-  /// preprocess sequentially on the instance thread (CPU pipeline).
+  /// preprocess sequentially on the calling thread (CPU pipeline).
   /// `admission` (nullable) receives per-batch service times so the
   /// deployment's shed threshold tracks the real engine speed.
-  ModelInstance(std::string name, BackendPtr backend,
-                preproc::PreprocSpec preproc_spec, DynamicBatcher& batcher,
+  BatchExecutor(std::string name, preproc::PreprocSpec preproc_spec,
                 MetricsRegistry& metrics, core::ThreadPool* pool,
                 resilience::AdmissionController* admission = nullptr);
-  ~ModelInstance();
 
-  ModelInstance(const ModelInstance&) = delete;
-  ModelInstance& operator=(const ModelInstance&) = delete;
+  BatchExecutor(const BatchExecutor&) = delete;
+  BatchExecutor& operator=(const BatchExecutor&) = delete;
+
+  /// Run one batch on `backend` (a claimed WeightStore stream).
+  /// `cold_start_s` > 0 means the stream was just (re)built for this
+  /// batch — recorded into the cold-start digest and, when tracing,
+  /// as a `cold_load` span in each request's tree.
+  void execute(std::vector<PendingRequest> batch, Backend& backend,
+               double cold_start_s = 0.0);
 
   const std::string& name() const { return name_; }
   std::uint64_t batches_executed() const { return batches_executed_.load(); }
 
  private:
-  void run_loop();
-  void execute_batch(std::vector<PendingRequest> batch);
-
   std::string name_;
-  BackendPtr backend_;
   preproc::PreprocSpec preproc_spec_;
-  DynamicBatcher* batcher_;
   MetricsRegistry* metrics_;
   core::ThreadPool* pool_;
   resilience::AdmissionController* admission_;
   std::atomic<std::uint64_t> batches_executed_{0};
-  std::thread worker_;
 };
 
 /// Shared response assembly: softmax the logits row for request `i` of

@@ -1,8 +1,10 @@
 #include "serving/repository.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -206,9 +208,35 @@ core::Status register_entry(
   deployment.name = entry.get_string("name", "");
   deployment.max_batch = entry.get_int("max_batch", 8);
   deployment.instances = entry.get_int("instances", 1);
+  if (deployment.instances <= 0) {
+    return core::Status::invalid_argument(
+        "deployment '" + deployment.name + "' needs instances > 0 (got " +
+        std::to_string(deployment.instances) + ")");
+  }
   deployment.max_queue_delay_s =
       entry.get_number("max_queue_delay_ms", 2.0) * 1e-3;
   deployment.batched_preproc = entry.get_bool("batched_preproc", true);
+  // Multi-tenancy keys (docs/MULTITENANCY.md): the fair-share principal
+  // this deployment bills to, its WFQ weight and outstanding-request
+  // quota, and the batcher's back-pressure bound.
+  deployment.tenant = entry.get_string("tenant", "");
+  deployment.weight = entry.get_number("weight", 1.0);
+  deployment.quota = entry.get_int("quota", 0);
+  const std::int64_t queue_capacity = entry.get_int("queue_capacity", 4096);
+  if (queue_capacity <= 0) {
+    return core::Status::invalid_argument(
+        "deployment '" + deployment.name + "' needs queue_capacity > 0 (got " +
+        std::to_string(queue_capacity) + ")");
+  }
+  deployment.queue_capacity = static_cast<std::size_t>(queue_capacity);
+  if (deployment.weight <= 0.0) {
+    return core::Status::invalid_argument(
+        "deployment '" + deployment.name + "' needs weight > 0");
+  }
+  if (deployment.quota < 0) {
+    return core::Status::invalid_argument(
+        "deployment '" + deployment.name + "' needs quota >= 0");
+  }
   if (const core::Json* preferred = entry.find("preferred_batch_sizes")) {
     if (preferred->is_array()) {
       for (const core::Json& size : preferred->as_array()) {
@@ -291,6 +319,40 @@ core::Status register_entry(
     // not inside the instance factory.
     auto probe = build_native_model(entry);
     if (!probe.is_ok()) return probe.status();
+    // Resident-bytes accounting for the weight store: what one built
+    // backend stream of this model keeps in memory.
+    for (const nn::NamedParam& param : probe.value()->params()) {
+      if (param.tensor != nullptr) {
+        deployment.model_bytes += param.tensor->size_bytes();
+      }
+    }
+    // Weight-sharing key: the content signature of what the factory
+    // builds. Deployments with equal signatures (same backbone at the
+    // same precision and batch shape) share in-memory streams. An
+    // explicit "weight_key" overrides; fault-injected deployments stay
+    // private (their decorated streams are not interchangeable).
+    if (entry.contains("weight_key")) {
+      deployment.weight_key = entry.get_string("weight_key", "");
+    } else if (entry.find("faults") == nullptr) {
+      std::string stages_sig;
+      if (const core::Json* stages = entry.find("stages");
+          stages != nullptr && stages->is_array()) {
+        for (const core::Json& stage : stages->as_array()) {
+          stages_sig += std::to_string(stage.as_int()) + ",";
+        }
+      }
+      deployment.weight_key =
+          "native|" + entry.get_string("architecture", "vit") + "|" +
+          std::to_string(entry.get_int("image", 32)) + "|" +
+          std::to_string(entry.get_int("patch", 4)) + "|" +
+          std::to_string(entry.get_int("dim", 64)) + "|" +
+          std::to_string(entry.get_int("depth", 2)) + "|" +
+          std::to_string(entry.get_int("heads", 4)) + "|" +
+          std::to_string(entry.get_int("classes", 39)) + "|" + stages_sig +
+          "|" + std::to_string(entry.get_int("seed", 1)) + "|" +
+          entry.get_string("weights", "") + "|" + deployment.precision + "|" +
+          std::to_string(deployment.max_batch);
+    }
     const std::int64_t max_batch = deployment.max_batch;
     const std::string precision = deployment.precision;
     // The factory runs once per instance, in order, on one thread; the
@@ -325,6 +387,15 @@ core::Status register_entry(
     }
     const std::int64_t classes = entry.get_int("classes", 39);
     const std::int64_t max_batch = deployment.max_batch;
+    // Sim backends are weightless (model_bytes stays 0; never paged)
+    // but still dedup: same (model, device, classes, batch) share.
+    if (entry.contains("weight_key")) {
+      deployment.weight_key = entry.get_string("weight_key", "");
+    } else if (entry.find("faults") == nullptr) {
+      deployment.weight_key = "sim|" + model_name + "|" + device_name + "|" +
+                              std::to_string(classes) + "|" +
+                              std::to_string(max_batch);
+    }
     return server.register_model(
         deployment,
         [model_name, device, classes, max_batch, faults,
@@ -347,6 +418,43 @@ core::Status load_repository(Server& server, const core::Json& config) {
   if (models == nullptr || !models->is_array()) {
     return core::Status::invalid_argument(
         "repository config needs a \"models\" array");
+  }
+  // Duplicate-name pre-pass: fail before registering anything, naming
+  // the offender. (The server would also reject the second
+  // registration, but by then the first half of the repository is
+  // already live — fail-fast keeps a bad config all-or-nothing up to
+  // the duplicate.)
+  {
+    std::vector<std::string> seen;
+    for (const core::Json& entry : models->as_array()) {
+      if (!entry.is_object()) continue;  // register_entry reports this
+      const std::string name = entry.get_string("name", "");
+      if (name.empty()) continue;
+      if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+        return core::Status::invalid_argument(
+            "duplicate deployment name in repository: '" + name + "'");
+      }
+      seen.push_back(name);
+    }
+  }
+  // Fleet-level keys: a pinned shared-pool size (consolidation below
+  // the sum of instances) and the weight store's paging budget. Applied
+  // before any model registers so the first deployment already obeys.
+  if (config.contains("workers")) {
+    const std::int64_t workers = config.get_int("workers", 0);
+    if (workers <= 0) {
+      return core::Status::invalid_argument(
+          "repository \"workers\" must be > 0");
+    }
+    server.set_worker_target(static_cast<std::size_t>(workers));
+  }
+  if (config.contains("weight_budget_bytes")) {
+    const std::int64_t budget = config.get_int("weight_budget_bytes", 0);
+    if (budget < 0) {
+      return core::Status::invalid_argument(
+          "repository \"weight_budget_bytes\" must be >= 0");
+    }
+    server.weight_store().set_budget_bytes(static_cast<std::size_t>(budget));
   }
   std::vector<std::pair<std::string, std::string>> degrade_edges;
   for (const core::Json& entry : models->as_array()) {

@@ -7,6 +7,7 @@
 /// the dynamic batcher groups requests into engine batches.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,11 @@ struct InferenceRequest {
   /// pre-populate trace_id/parent_span_id so every hop and retry of one
   /// logical request lands in the same span tree.
   obs::TraceContext trace;
+  /// Tenant-quota accounting handle, attached by Server::submit. Its
+  /// deleter decrements the tenant's outstanding count when the request
+  /// reaches any terminal state (answered, failed, shed, dropped) —
+  /// whichever code path destroys the request last.
+  std::shared_ptr<void> completion_token;
 };
 
 /// Per-request timing breakdown (§3.1: request latency = dataset

@@ -100,6 +100,7 @@ void SequenceScheduler::worker() {
     }
     admit();
     if (!live_.empty()) step();
+    reap_idle();
   }
 
   // Drain: queued requests were never admitted (shed), live sequences
@@ -238,7 +239,6 @@ void SequenceScheduler::step() {
     return;
   }
 
-  const double now = now_s();
   for (std::int64_t i = 0; i < rows; ++i) {
     Live& live = *live_[static_cast<std::size_t>(i)];
     ++live.steps;
@@ -246,11 +246,40 @@ void SequenceScheduler::step() {
     recorder.record_child("decode_step", "sequence", t0_us, t1_us,
                           live.request.trace, live.request.id, rows);
     emit_token(live, result.value().tokens[static_cast<std::size_t>(i)]);
-    pool_.touch(live.lease.slot, now);
+    // Refresh the idle clock with the step's *start* time: a decode
+    // that stalled past the idle timeout must leave the lease stale so
+    // reap_idle() can reclaim it, instead of laundering the stall into
+    // a fresh timestamp.
+    pool_.touch(live.lease.slot, live.lease.generation, t0);
     if (generation_done(live)) {
       retire(live, SequenceOutcome::kOk, core::Status::ok());
       live_[static_cast<std::size_t>(i)].reset();  // retire immediately
     }
+  }
+  std::erase_if(live_, [](const std::unique_ptr<Live>& l) { return !l; });
+  active_.store(static_cast<std::int64_t>(live_.size()),
+                std::memory_order_relaxed);
+}
+
+void SequenceScheduler::reap_idle() {
+  // Idle eviction under backend stalls: when a decode step takes longer
+  // than the pool's idle timeout, the pool reclaims the slots (bumping
+  // their lease generations so our leases go stale). The sequences that
+  // lost their state must retire as kEvicted — their leases can no
+  // longer touch the slab — keeping submitted == completed + shed +
+  // failed + expired + evicted exact.
+  const std::vector<std::int64_t> evicted = pool_.evict_idle(now_s());
+  if (evicted.empty()) return;
+  for (auto& live : live_) {
+    const bool gone =
+        std::find(evicted.begin(), evicted.end(), live->lease.slot) !=
+        evicted.end();
+    if (!gone) continue;
+    live->lease.slot = -1;  // the pool owns the slot again
+    retire(*live, SequenceOutcome::kEvicted,
+           core::Status::resource_exhausted(
+               "sequence state evicted after idle timeout"));
+    live.reset();
   }
   std::erase_if(live_, [](const std::unique_ptr<Live>& l) { return !l; });
   active_.store(static_cast<std::int64_t>(live_.size()),
@@ -283,7 +312,10 @@ void SequenceScheduler::retire(Live& live, SequenceOutcome outcome,
                                core::Status status) {
   auto& recorder = obs::TraceRecorder::instance();
   if (live.lease.slot >= 0) {
-    pool_.release(live.lease.slot);
+    // No-ops (returns false) when the pool already idle-evicted this
+    // lease — the slot then belongs to the free list or a newer lease,
+    // and freeing it again would alias two sequences onto one slab row.
+    pool_.release(live.lease.slot, live.lease.generation);
     live.lease.slot = -1;
   }
   SequenceResponse response;

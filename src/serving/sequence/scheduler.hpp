@@ -108,6 +108,9 @@ class SequenceScheduler {
   void admit();
   /// One packed decode iteration over the live batch.
   void step();
+  /// Retire live sequences whose state the pool idle-evicted (their
+  /// leases went stale) as kEvicted, preserving counter conservation.
+  void reap_idle();
   void emit_token(Live& live, std::int32_t token);
   bool generation_done(const Live& live) const;
   void retire(Live& live, SequenceOutcome outcome, core::Status status);

@@ -25,6 +25,7 @@ StatePool::StatePool(const nn::SequenceStateSpec& spec,
   slab_ = tensor::AlignedBuffer(capacity_bytes_);
   in_use_.assign(static_cast<std::size_t>(slots_), false);
   last_touch_s_.assign(static_cast<std::size_t>(slots_), 0.0);
+  generation_.assign(static_cast<std::size_t>(slots_), 0);
   free_.reserve(static_cast<std::size_t>(slots_));
   // LIFO free list, highest index on top, so slot 0 leases first.
   for (std::int64_t s = slots_ - 1; s >= 0; --s) free_.push_back(s);
@@ -32,36 +33,50 @@ StatePool::StatePool(const nn::SequenceStateSpec& spec,
 
 std::optional<StatePool::Lease> StatePool::acquire(double now_s) {
   std::int64_t slot = -1;
+  std::uint64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (free_.empty()) return std::nullopt;
     slot = free_.back();
     free_.pop_back();
-    in_use_[static_cast<std::size_t>(slot)] = true;
-    last_touch_s_[static_cast<std::size_t>(slot)] = now_s;
+    const auto i = static_cast<std::size_t>(slot);
+    in_use_[i] = true;
+    last_touch_s_[i] = now_s;
+    // New ownership epoch: any lease stamped with an older generation
+    // is dead from here on.
+    generation = ++generation_[i];
   }
   Lease lease;
   lease.slot = slot;
+  lease.generation = generation;
   lease.state = nn::SequenceState(
       spec_, slab_.as<float>() + slot * spec_.floats_per_sequence());
   lease.state.reset();
   return lease;
 }
 
-void StatePool::touch(std::int64_t slot, double now_s) {
+bool StatePool::touch(std::int64_t slot, std::uint64_t generation,
+                      double now_s) {
   std::lock_guard<std::mutex> lock(mutex_);
   HARVEST_CHECK(slot >= 0 && slot < slots_);
-  if (in_use_[static_cast<std::size_t>(slot)]) {
-    last_touch_s_[static_cast<std::size_t>(slot)] = now_s;
-  }
+  const auto i = static_cast<std::size_t>(slot);
+  if (!in_use_[i] || generation_[i] != generation) return false;
+  last_touch_s_[i] = now_s;
+  return true;
 }
 
-void StatePool::release(std::int64_t slot) {
+bool StatePool::release(std::int64_t slot, std::uint64_t generation) {
   std::lock_guard<std::mutex> lock(mutex_);
   HARVEST_CHECK(slot >= 0 && slot < slots_);
-  if (!in_use_[static_cast<std::size_t>(slot)]) return;
-  in_use_[static_cast<std::size_t>(slot)] = false;
+  const auto i = static_cast<std::size_t>(slot);
+  // Stale lease: the slot was evicted (and possibly re-leased) since
+  // this lease was handed out. Freeing it now would alias the current
+  // owner onto the free list — exactly the double-lease bug the
+  // generation stamp exists to stop.
+  if (!in_use_[i] || generation_[i] != generation) return false;
+  in_use_[i] = false;
   free_.push_back(slot);
+  return true;
 }
 
 std::vector<std::int64_t> StatePool::evict_idle(double now_s) {
@@ -72,6 +87,9 @@ std::vector<std::int64_t> StatePool::evict_idle(double now_s) {
     const auto i = static_cast<std::size_t>(s);
     if (in_use_[i] && now_s - last_touch_s_[i] > idle_timeout_s_) {
       in_use_[i] = false;
+      // Invalidate the outstanding lease before the slot can be
+      // re-acquired; its touch/release will no-op on the mismatch.
+      ++generation_[i];
       free_.push_back(s);
       ++evictions_;
       evicted.push_back(s);
@@ -94,6 +112,12 @@ std::size_t StatePool::used_bytes() const {
 std::uint64_t StatePool::evictions() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return evictions_;
+}
+
+std::uint64_t StatePool::generation(std::int64_t slot) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  HARVEST_CHECK(slot >= 0 && slot < slots_);
+  return generation_[static_cast<std::size_t>(slot)];
 }
 
 }  // namespace harvest::serving::sequence

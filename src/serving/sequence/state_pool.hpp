@@ -10,6 +10,13 @@
 /// budget expires, which is what keeps an overloaded deployment from
 /// pinning its whole pool on doomed sequences.
 ///
+/// Leases are generation-stamped: every acquire and every idle
+/// eviction bumps the slot's generation, and touch/release only act
+/// when the caller's generation matches the slot's current one. An
+/// owner holding a lease the pool already evicted therefore cannot
+/// free (or refresh) the slot out from under the next owner — the
+/// stale calls are no-ops and report false.
+///
 /// Thread-safe; leases themselves are single-owner (the scheduler
 /// thread steps them).
 
@@ -38,9 +45,13 @@ class StatePool {
  public:
   StatePool(const nn::SequenceStateSpec& spec, const StatePoolConfig& config);
 
-  /// A leased slot: the state view plus the slot index to release.
+  /// A leased slot: the state view, the slot index, and the slot's
+  /// generation at acquire time. touch/release require the generation
+  /// back, so a lease invalidated by eviction cannot alias the slot's
+  /// next owner.
   struct Lease {
     std::int64_t slot = -1;
+    std::uint64_t generation = 0;
     nn::SequenceState state;
   };
 
@@ -48,14 +59,18 @@ class StatePool {
   /// `now_s` seeds the idle clock (any monotonic seconds source).
   std::optional<Lease> acquire(double now_s);
 
-  /// Refresh a lease's idle clock (call once per decode step).
-  void touch(std::int64_t slot, double now_s);
+  /// Refresh a lease's idle clock (call once per decode step). Returns
+  /// false when the lease is stale (slot evicted or re-leased since).
+  bool touch(std::int64_t slot, std::uint64_t generation, double now_s);
 
-  /// Return a slot to the free list.
-  void release(std::int64_t slot);
+  /// Return a slot to the free list. Returns false (and leaves the
+  /// slot alone) when the lease is stale — the slot already belongs to
+  /// the free list or to a newer lease.
+  bool release(std::int64_t slot, std::uint64_t generation);
 
   /// Reclaim leases idle longer than idle_timeout_s. Returns the slots
-  /// evicted — the owner must treat its lease as gone.
+  /// evicted — the owner must treat its lease as gone (its generation
+  /// no longer matches, so touch/release on it are no-ops).
   std::vector<std::int64_t> evict_idle(double now_s);
 
   const nn::SequenceStateSpec& spec() const { return spec_; }
@@ -64,6 +79,8 @@ class StatePool {
   std::size_t used_bytes() const;
   std::size_t capacity_bytes() const { return capacity_bytes_; }
   std::uint64_t evictions() const;
+  /// Current generation of a slot (for tests / introspection).
+  std::uint64_t generation(std::int64_t slot) const;
 
  private:
   nn::SequenceStateSpec spec_;
@@ -76,6 +93,7 @@ class StatePool {
   std::vector<std::int64_t> free_;       ///< free slot indices (LIFO)
   std::vector<bool> in_use_;
   std::vector<double> last_touch_s_;
+  std::vector<std::uint64_t> generation_;
   std::uint64_t evictions_ = 0;
 };
 

@@ -9,9 +9,16 @@
 namespace harvest::serving {
 
 Server::Server(std::size_t preproc_threads)
-    : preproc_pool_(std::max<std::size_t>(preproc_threads, 1)) {}
+    : preproc_pool_(std::max<std::size_t>(preproc_threads, 1)),
+      worker_pool_(weight_store_) {}
 
 Server::~Server() { shutdown(); }
+
+void Server::set_worker_target(std::size_t workers) {
+  std::unique_lock lock(deployments_mutex_);
+  worker_target_ = workers;
+  if (workers > 0) worker_pool_.ensure_workers(workers);
+}
 
 core::Status Server::register_model(
     const ModelDeploymentConfig& config,
@@ -21,6 +28,13 @@ core::Status Server::register_model(
   }
   if (config.instances < 1 || config.max_batch < 1) {
     return core::Status::invalid_argument("instances and max_batch must be >=1");
+  }
+  if (config.queue_capacity < 1) {
+    return core::Status::invalid_argument("queue_capacity must be >= 1");
+  }
+  if (config.weight <= 0.0 || config.quota < 0) {
+    return core::Status::invalid_argument(
+        "tenant weight must be > 0 and quota >= 0");
   }
   // Writer side: the name check and the final emplace must be atomic
   // with respect to concurrent registrations and readers.
@@ -56,25 +70,64 @@ core::Status Server::register_model(
                            burn);
         });
   }
-  for (std::int64_t i = 0; i < config.instances; ++i) {
-    BackendPtr backend = backend_factory();
-    if (backend == nullptr) {
-      deployment->batcher.shutdown();
-      return core::Status::internal("backend factory returned null");
-    }
-    deployment->instances.push_back(std::make_unique<ModelInstance>(
-        config.name + "#" + std::to_string(i), std::move(backend),
-        config.preproc, deployment->batcher, deployment->metrics,
-        config.batched_preproc ? &preproc_pool_ : nullptr,
-        &deployment->admission));
+  // Backend streams come from the deduplicated weight store: equal
+  // weight keys share one entry (one set of in-memory streams); an
+  // empty key gets a private, unshared entry.
+  const std::string weight_key = config.weight_key.empty()
+                                     ? "private:" + config.name
+                                     : config.weight_key;
+  auto entry = weight_store_.acquire(
+      weight_key, backend_factory,
+      static_cast<std::size_t>(config.instances), config.model_bytes);
+  if (!entry.is_ok()) {
+    deployment->batcher.shutdown();
+    return entry.status();
   }
+  deployment->entry = entry.value();
+  // Tenant registry: the fair-share/quota principal. Several
+  // deployments may bill to one tenant; non-default weight/quota
+  // declarations win over the defaults earlier siblings left.
+  const std::string tenant_name =
+      config.tenant.empty() ? config.name : config.tenant;
+  const auto tenant_it = tenants_.find(tenant_name);
+  if (tenant_it == tenants_.end()) {
+    auto tenant = std::make_shared<TenantState>();
+    tenant->name = tenant_name;
+    tenant->weight.store(config.weight, std::memory_order_relaxed);
+    tenant->quota.store(config.quota, std::memory_order_relaxed);
+    deployment->tenant = tenant;
+    tenants_.emplace(tenant_name, std::move(tenant));
+  } else {
+    deployment->tenant = tenant_it->second;
+    if (config.weight != 1.0) {
+      deployment->tenant->weight.store(config.weight,
+                                       std::memory_order_relaxed);
+    }
+    if (config.quota != 0) {
+      deployment->tenant->quota.store(config.quota, std::memory_order_relaxed);
+    }
+  }
+  deployment->executor = std::make_unique<BatchExecutor>(
+      config.name, config.preproc, deployment->metrics,
+      config.batched_preproc ? &preproc_pool_ : nullptr,
+      &deployment->admission);
+  worker_pool_.add_deployment(config.name, deployment->tenant,
+                              &deployment->batcher, deployment->entry,
+                              deployment->executor.get(),
+                              &deployment->metrics, config.instances);
+  deployment->batcher.set_ready_callback([this] { worker_pool_.notify(); });
+  total_instances_ += static_cast<std::size_t>(config.instances);
+  // Auto-sized pool keeps the pre-pool concurrency (one worker per
+  // declared instance); an explicit target consolidates below that.
+  worker_pool_.ensure_workers(worker_target_ > 0 ? worker_target_
+                                                 : total_instances_);
   deployments_.emplace(config.name, std::move(deployment));
-  HARVEST_LOG_INFO("deployed model '%s': %lld instance(s), max batch %lld, "
-                   "max queue delay %.3f ms",
+  HARVEST_LOG_INFO("deployed model '%s': %lld instance cap, max batch %lld, "
+                   "max queue delay %.3f ms, tenant '%s'",
                    config.name.c_str(),
                    static_cast<long long>(config.instances),
                    static_cast<long long>(config.max_batch),
-                   config.max_queue_delay_s * 1e3);
+                   config.max_queue_delay_s * 1e3, tenant_name.c_str());
   return core::Status::ok();
 }
 
@@ -181,6 +234,31 @@ core::Result<std::future<InferenceResponse>> Server::submit(
   if (request.id == 0) {
     request.id = next_request_id_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Tenant quota gate — before admission control, because a tenant over
+  // its outstanding budget must be rejected regardless of how healthy
+  // the target deployment's queue is (isolation, not overload).
+  if (const TenantPtr& tenant = it->second->tenant; tenant != nullptr) {
+    const std::int64_t quota =
+        tenant->quota.load(std::memory_order_relaxed);
+    const std::int64_t outstanding =
+        tenant->outstanding.fetch_add(1, std::memory_order_acq_rel);
+    if (quota > 0 && outstanding >= quota) {
+      tenant->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+      it->second->metrics.record_shed();
+      obs::TraceRecorder::instance().record_instant("quota_shed", "serving",
+                                                    request.trace);
+      return core::Status::resource_exhausted(
+          "tenant '" + tenant->name + "' quota exceeded (" +
+          std::to_string(quota) + " outstanding requests)");
+    }
+    // Balanced by the token's deleter on any terminal path — answered,
+    // failed, shed downstream, or dropped on the floor.
+    TenantPtr owner = tenant;
+    request.completion_token = std::shared_ptr<void>(
+        static_cast<void*>(nullptr), [owner](void*) {
+          owner->outstanding.fetch_sub(1, std::memory_order_acq_rel);
+        });
+  }
   // Trace-context propagation: start a fresh trace unless the client
   // (retry loop, DES frontend) already opened one. Every submit —
   // including each retry attempt — gets its own root span id, so one
@@ -267,6 +345,20 @@ std::vector<std::string> Server::model_names() const {
   return names;
 }
 
+const TenantState* Server::tenant(const std::string& name) const {
+  std::shared_lock lock(deployments_mutex_);
+  const auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Server::tenant_names() const {
+  std::shared_lock lock(deployments_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, unused] : tenants_) names.push_back(name);
+  return names;
+}
+
 std::size_t Server::queue_depth(const std::string& model) const {
   std::shared_lock lock(deployments_mutex_);
   const auto it = deployments_.find(model);
@@ -288,7 +380,56 @@ std::string Server::prometheus_text() const {
           writer, name, scheduler.active(), pool.used_bytes(),
           pool.capacity_bytes(), pool.active(), pool.slots());
     }
+    // Per-tenant isolation gauges: outstanding vs quota is the signal
+    // that one tenant is eating the fleet.
+    for (const auto& [name, tenant] : tenants_) {
+      const obs::PrometheusWriter::Labels labels = {{"tenant", name}};
+      writer.gauge("harvest_tenant_outstanding",
+                   "Requests admitted for this tenant and not yet answered.",
+                   static_cast<double>(
+                       tenant->outstanding.load(std::memory_order_relaxed)),
+                   labels);
+      writer.gauge("harvest_tenant_weight",
+                   "WFQ share weight of this tenant.",
+                   tenant->weight.load(std::memory_order_relaxed), labels);
+      writer.gauge("harvest_tenant_quota",
+                   "Outstanding-request quota (0 = unlimited).",
+                   static_cast<double>(
+                       tenant->quota.load(std::memory_order_relaxed)),
+                   labels);
+    }
   }
+  // Fleet-level weight store: resident vs naive bytes is the dedup win;
+  // cold loads and pageouts are the paging churn.
+  const WeightStore::Stats ws = weight_store_.stats();
+  writer.gauge("harvest_weight_resident_bytes",
+               "Bytes of backend streams currently resident in the "
+               "deduplicated weight store.",
+               static_cast<double>(ws.resident_bytes));
+  writer.gauge("harvest_weight_naive_bytes",
+               "Bytes the same deployments would occupy without weight "
+               "sharing (each at its full stream count).",
+               static_cast<double>(ws.naive_bytes));
+  writer.gauge("harvest_weight_entries",
+               "Distinct weight-store entries (unique backbones).",
+               static_cast<double>(ws.entries));
+  writer.counter("harvest_weight_dedup_hits_total",
+                 "Deployments that attached to an existing weight entry "
+                 "instead of loading a private copy.",
+                 static_cast<double>(ws.dedup_hits));
+  writer.counter("harvest_weight_cold_loads_total",
+                 "Backend-stream builds performed on demand (lazy first "
+                 "build or reload after page-out).",
+                 static_cast<double>(ws.cold_loads));
+  writer.counter("harvest_weight_pageouts_total",
+                 "Idle backend streams paged out to fit the byte budget.",
+                 static_cast<double>(ws.pageouts));
+  writer.gauge("harvest_worker_pool_threads",
+               "Workers in the shared serving pool.",
+               static_cast<double>(worker_pool_.workers()));
+  writer.gauge("harvest_worker_pool_busy",
+               "Shared-pool workers currently executing a batch.",
+               static_cast<double>(worker_pool_.busy()));
   writer.gauge("harvest_preproc_pool_threads",
                "Workers in the shared preprocessing pool.",
                static_cast<double>(preproc_pool_.size()));
@@ -333,13 +474,14 @@ void Server::shutdown() {
   std::unique_lock lock(deployments_mutex_);
   HARVEST_LOG_DEBUG("server shutdown: draining %zu deployment(s)",
                     deployments_.size());
+  // Order matters: batcher shutdown turns every nonempty queue into an
+  // immediately-ready drain flush; the pool drains those, joins, and
+  // only then may the store stop handing out streams.
   for (auto& [name, deployment] : deployments_) {
     deployment->batcher.shutdown();
   }
-  // ModelInstance destructors join their workers.
-  for (auto& [name, deployment] : deployments_) {
-    deployment->instances.clear();
-  }
+  worker_pool_.shutdown();
+  weight_store_.shutdown();
   // Sequence schedulers drain their queues (shed) and live batches
   // (evicted), then join.
   for (auto& [name, deployment] : sequence_deployments_) {

@@ -1,0 +1,91 @@
+#pragma once
+
+/// \file tenant_sim.hpp
+/// Deterministic discrete-event simulation of a multi-tenant fleet in
+/// simulated time — the scheduling-policy comparison behind the shared
+/// worker pool that wall-clock timing on this machine cannot answer
+/// honestly at 1000-tenant scale. A fleet of tenants with bursty
+/// (on/off modulated Poisson) arrivals shares W workers; batches form
+/// per tenant (up to max_batch back-to-back requests) and cost
+/// `service_base_s + service_per_item_s × batch`.
+///
+/// Policies:
+///  * kSharedFifo — the pre-multi-tenancy baseline: workers take the
+///    globally oldest queued request, no fairness. One hot tenant
+///    floods the shared capacity and everyone else queues behind it.
+///  * kWfq — the WorkerPool's discipline: start-time weighted fair
+///    queueing over tenants (virtual time += batch / weight; idle
+///    tenants re-enter at the global virtual clock), name-order
+///    deterministic tie-break.
+///
+/// Everything is a pure function of the config: same config, same
+/// report, bit for bit.
+
+#include <cstdint>
+
+namespace harvest::serving {
+
+enum class FleetPolicy : int {
+  kSharedFifo = 0,
+  kWfq = 1,
+};
+const char* fleet_policy_name(FleetPolicy policy);
+
+struct TenantSimConfig {
+  FleetPolicy policy = FleetPolicy::kWfq;
+  std::int64_t tenants = 100;
+  std::int64_t workers = 8;
+  /// Arrivals are drawn over [0, duration_s); the sim then drains.
+  double duration_s = 10.0;
+  std::uint64_t seed = 42;
+  /// Per-tenant arrival rate while its burst is on (requests/s).
+  double base_rate = 2.0;
+  /// Mean on/off burst period lengths (exponential).
+  double burst_on_s = 0.5;
+  double burst_off_s = 2.0;
+  /// Batch service cost: base + per-request increment.
+  double service_base_s = 2e-3;
+  double service_per_item_s = 1e-3;
+  std::int64_t max_batch = 8;
+  /// Per-tenant queue bound; arrivals beyond it shed. 0 = unbounded.
+  std::size_t queue_capacity = 64;
+  /// Goodput criterion: completed within this budget. 0 = everything.
+  double deadline_s = 0.25;
+  /// Tenant 0's arrival-rate multiplier (the hot/abusive tenant).
+  double hot_multiplier = 1.0;
+  /// Tenant 0's WFQ weight (everyone else weighs 1).
+  double tenant0_weight = 1.0;
+};
+
+struct TenantSimReport {
+  // Conservation: arrivals == completed + shed (the DES drains fully).
+  std::uint64_t arrivals = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t batches = 0;
+
+  double sim_time_s = 0.0;        ///< clock when the last batch finished
+  double throughput_req_s = 0.0;  ///< completed / sim_time_s
+  double goodput_req_s = 0.0;     ///< completed within deadline / sim_time_s
+
+  /// Tenant 0 (hot) vs everyone else (victims), pooled.
+  std::uint64_t hot_completed = 0;
+  std::uint64_t victim_completed = 0;
+  double hot_p99_s = 0.0;
+  double victim_p99_s = 0.0;
+  double victim_mean_s = 0.0;
+
+  /// Jain's fairness index over the victims' completed counts
+  /// (1 = perfectly even service across tenants 1..T-1).
+  double fairness_index = 0.0;
+
+  /// First two tenants' completions (weight-ratio assertions).
+  std::uint64_t completed_t0 = 0;
+  std::uint64_t completed_t1 = 0;
+
+  bool conserved() const { return arrivals == completed + shed; }
+};
+
+TenantSimReport simulate_tenants(const TenantSimConfig& config);
+
+}  // namespace harvest::serving

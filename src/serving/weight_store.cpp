@@ -1,0 +1,190 @@
+#include "serving/weight_store.hpp"
+
+#include <algorithm>
+
+#include "core/time.hpp"
+
+namespace harvest::serving {
+
+WeightStore::WeightStore(std::size_t budget_bytes)
+    : budget_bytes_(budget_bytes) {}
+
+void WeightStore::set_budget_bytes(std::size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_bytes_ = budget_bytes;
+  enforce_budget_locked();
+}
+
+std::size_t WeightStore::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return budget_bytes_;
+}
+
+core::Result<WeightStore::EntryPtr> WeightStore::acquire(
+    const std::string& key, BackendFactory factory, std::size_t streams,
+    std::size_t bytes_per_stream) {
+  if (streams == 0) {
+    return core::Status::invalid_argument("weight entry needs streams >= 1");
+  }
+  EntryPtr entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return core::Status::unavailable("weight store shut down");
+    naive_bytes_ += streams * bytes_per_stream;
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      // Dedup hit: the new deployment rides the existing streams. The
+      // stream count grows to the larger requirement — sharers share
+      // concurrency, they do not stack copies.
+      ++dedup_hits_;
+      if (it->second->slots.size() < streams) {
+        it->second->slots.resize(streams);
+      }
+      return it->second;
+    }
+    entry = std::make_shared<Entry>();
+    entry->key = key;
+    entry->factory = std::move(factory);
+    entry->bytes_per_stream = bytes_per_stream;
+    entry->slots.resize(streams);
+    // Build the first stream eagerly (below, unlocked) so a broken
+    // factory fails registration instead of the first request.
+    entry->slots[0].state = SlotState::kBuilding;
+    entries_.emplace(key, entry);
+  }
+  BackendPtr built = entry->factory();
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (built == nullptr) {
+    entries_.erase(key);
+    return core::Status::internal("backend factory returned null");
+  }
+  entry->slots[0].backend = std::move(built);
+  entry->slots[0].state = SlotState::kReady;
+  entry->last_use_tick = ++tick_;
+  enforce_budget_locked();
+  return entry;
+}
+
+WeightStore::StreamLease WeightStore::claim(const EntryPtr& entry) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (shutdown_) return {};
+    // Warm hit first; an empty slot second (lazy build / paged-out
+    // reload — the cold start); otherwise wait for a release.
+    for (std::size_t i = 0; i < entry->slots.size(); ++i) {
+      if (entry->slots[i].state == SlotState::kReady) {
+        entry->slots[i].state = SlotState::kBusy;
+        entry->last_use_tick = ++tick_;
+        StreamLease lease;
+        lease.entry = entry.get();
+        lease.index = i;
+        lease.backend = entry->slots[i].backend.get();
+        return lease;
+      }
+    }
+    for (std::size_t i = 0; i < entry->slots.size(); ++i) {
+      if (entry->slots[i].state != SlotState::kEmpty) continue;
+      entry->slots[i].state = SlotState::kBuilding;
+      lock.unlock();
+      core::WallTimer timer;
+      BackendPtr built = entry->factory();
+      const double cold_start_s = timer.elapsed_seconds();
+      lock.lock();
+      if (built == nullptr) {
+        entry->slots[i].state = SlotState::kEmpty;
+        cv_.notify_all();
+        return {};
+      }
+      entry->slots[i].backend = std::move(built);
+      entry->slots[i].state = SlotState::kBusy;
+      entry->last_use_tick = ++tick_;
+      ++cold_loads_;
+      ++entry->cold_loads;
+      enforce_budget_locked();
+      StreamLease lease;
+      lease.entry = entry.get();
+      lease.index = i;
+      lease.backend = entry->slots[i].backend.get();
+      lease.cold_start_s = cold_start_s;
+      return lease;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void WeightStore::release(const StreamLease& lease) {
+  if (lease.entry == nullptr) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = lease.entry->slots[lease.index];
+  if (slot.state == SlotState::kBusy) slot.state = SlotState::kReady;
+  lease.entry->last_use_tick = ++tick_;
+  enforce_budget_locked();
+  cv_.notify_all();
+}
+
+void WeightStore::shutdown() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  shutdown_ = true;
+  cv_.notify_all();
+}
+
+std::size_t WeightStore::resident_bytes_locked() const {
+  std::size_t bytes = 0;
+  for (const auto& [key, entry] : entries_) {
+    for (const Slot& slot : entry->slots) {
+      // A building slot is about to be resident; counting it keeps the
+      // budget from overshooting during concurrent cold loads.
+      if (slot.state != SlotState::kEmpty) bytes += entry->bytes_per_stream;
+    }
+  }
+  return bytes;
+}
+
+void WeightStore::enforce_budget_locked() {
+  if (budget_bytes_ == 0) return;
+  while (resident_bytes_locked() > budget_bytes_) {
+    // LRU victim: the least-recently-used entry that still has an idle
+    // ready stream worth paging (weightless entries gain nothing).
+    Entry* victim = nullptr;
+    for (const auto& [key, entry] : entries_) {
+      if (entry->bytes_per_stream == 0) continue;
+      bool pageable = false;
+      for (const Slot& slot : entry->slots) {
+        if (slot.state == SlotState::kReady) pageable = true;
+      }
+      if (!pageable) continue;
+      if (victim == nullptr || entry->last_use_tick < victim->last_use_tick) {
+        victim = entry.get();
+      }
+    }
+    if (victim == nullptr) return;  // everything left is busy/building
+    for (Slot& slot : victim->slots) {
+      if (slot.state != SlotState::kReady) continue;
+      slot.backend.reset();
+      slot.state = SlotState::kEmpty;
+      ++pageouts_;
+      break;  // one stream per iteration, then re-check the budget
+    }
+  }
+}
+
+WeightStore::Stats WeightStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.entries = entries_.size();
+  for (const auto& [key, entry] : entries_) {
+    for (const Slot& slot : entry->slots) {
+      if (slot.state != SlotState::kEmpty) {
+        ++stats.resident_streams;
+        stats.resident_bytes += entry->bytes_per_stream;
+      }
+    }
+  }
+  stats.naive_bytes = naive_bytes_;
+  stats.dedup_hits = dedup_hits_;
+  stats.cold_loads = cold_loads_;
+  stats.pageouts = pageouts_;
+  return stats;
+}
+
+}  // namespace harvest::serving

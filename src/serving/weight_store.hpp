@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file weight_store.hpp
+/// Fleet-scale weight sharing: a refcounted, deduplicated store of
+/// loaded backends keyed by content signature. Deployments that serve
+/// the same backbone (same architecture, geometry, seed, checkpoint,
+/// precision) share one entry — and therefore one set of in-memory
+/// execution streams — instead of each loading a private copy. This is
+/// what lets hundreds of fine-tune deployments fit on one edge box
+/// (the paper's compute-continuum consolidation argument).
+///
+/// An entry holds up to `streams` backend slots. Slots build lazily:
+/// the first is built eagerly at acquire (so a broken factory fails at
+/// registration, not at first request), the rest on demand when claim
+/// contention asks for them. A byte budget pages idle streams back out
+/// (LRU by entry), and the next claim rebuilds — that rebuild is the
+/// cold start the serving metrics record.
+///
+/// Thread-safe. Backends build and execute outside the store mutex;
+/// a slot under construction is marked `building` so siblings neither
+/// double-build nor page it out.
+
+#include <cstdint>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/status.hpp"
+#include "serving/backend.hpp"
+
+namespace harvest::serving {
+
+class WeightStore {
+ public:
+  using BackendFactory = std::function<BackendPtr()>;
+
+  struct Entry;
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  /// One claimed execution stream. `cold_start_s` > 0 when the claim
+  /// had to (re)build the backend — the model-paging cold start.
+  struct StreamLease {
+    Entry* entry = nullptr;
+    std::size_t index = 0;
+    Backend* backend = nullptr;
+    double cold_start_s = 0.0;
+    explicit operator bool() const { return backend != nullptr; }
+  };
+
+  struct Stats {
+    std::size_t entries = 0;
+    std::size_t resident_streams = 0;
+    std::size_t resident_bytes = 0;
+    /// Bytes the same deployments would occupy without sharing: each
+    /// acquire priced at its own full stream count.
+    std::size_t naive_bytes = 0;
+    std::uint64_t dedup_hits = 0;
+    std::uint64_t cold_loads = 0;
+    std::uint64_t pageouts = 0;
+  };
+
+  /// `budget_bytes` caps resident weight bytes (0 = unlimited). Busy
+  /// and building streams never page out, so a fully-busy store may
+  /// transiently exceed the budget.
+  explicit WeightStore(std::size_t budget_bytes = 0);
+
+  void set_budget_bytes(std::size_t budget_bytes);
+  std::size_t budget_bytes() const;
+
+  /// Acquire (or create) the entry for `key`. A repeat key is a dedup
+  /// hit: the caller shares the existing entry's streams, and the
+  /// entry's stream count grows to max(existing, streams) — sharers
+  /// share execution streams, they do not stack private copies.
+  /// `bytes_per_stream` prices paging decisions (0 = weightless, e.g.
+  /// sim backends; such entries never page). The first stream is built
+  /// eagerly on entry creation so factory failures surface here.
+  core::Result<EntryPtr> acquire(const std::string& key,
+                                 BackendFactory factory, std::size_t streams,
+                                 std::size_t bytes_per_stream);
+
+  /// Claim a free stream of `entry`, blocking while all streams are
+  /// busy, rebuilding (cold start) if the stream was paged out. Returns
+  /// an empty lease only when the store is shut down.
+  StreamLease claim(const EntryPtr& entry);
+
+  /// Return a claimed stream; wakes blocked claimants.
+  void release(const StreamLease& lease);
+
+  /// Unblock every claimant (they get empty leases). Idempotent.
+  void shutdown();
+
+  Stats stats() const;
+
+ private:
+  enum class SlotState : int { kEmpty = 0, kBuilding = 1, kReady = 2, kBusy = 3 };
+
+  struct Slot {
+    SlotState state = SlotState::kEmpty;
+    BackendPtr backend;
+  };
+
+ public:
+  /// Opaque outside the store; public only so EntryPtr can be a plain
+  /// shared_ptr.
+  struct Entry {
+    std::string key;
+    BackendFactory factory;
+    std::size_t bytes_per_stream = 0;
+    std::vector<Slot> slots;
+    std::uint64_t last_use_tick = 0;  ///< LRU clock for paging
+    std::uint64_t cold_loads = 0;
+  };
+
+ private:
+  /// Page out idle ready streams (LRU by entry) until resident bytes
+  /// fit the budget or nothing else is evictable. Callers hold mutex_.
+  void enforce_budget_locked();
+  std::size_t resident_bytes_locked() const;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::string, EntryPtr> entries_;
+  std::size_t budget_bytes_ = 0;
+  std::size_t naive_bytes_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t dedup_hits_ = 0;
+  std::uint64_t cold_loads_ = 0;
+  std::uint64_t pageouts_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace harvest::serving

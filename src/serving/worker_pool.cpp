@@ -1,0 +1,171 @@
+#include "serving/worker_pool.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace harvest::serving {
+
+WorkerPool::WorkerPool(WeightStore& store) : store_(&store) {}
+
+WorkerPool::~WorkerPool() { shutdown(); }
+
+void WorkerPool::add_deployment(const std::string& name, TenantPtr tenant,
+                                DynamicBatcher* batcher,
+                                WeightStore::EntryPtr entry,
+                                BatchExecutor* executor,
+                                MetricsRegistry* metrics,
+                                std::int64_t max_inflight) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto deployment = std::make_unique<PoolDeployment>();
+  deployment->name = name;
+  deployment->tenant = std::move(tenant);
+  deployment->batcher = batcher;
+  deployment->entry = std::move(entry);
+  deployment->executor = executor;
+  deployment->metrics = metrics;
+  deployment->max_inflight = std::max<std::int64_t>(max_inflight, 1);
+  // An unseen tenant enters at the global service point, not at 0 —
+  // otherwise a late-registered tenant would monopolize the pool until
+  // it caught up with everyone's accumulated virtual time.
+  tenant_vt_.emplace(deployment->tenant->name, global_vt_);
+  deployments_.push_back(std::move(deployment));
+  cv_.notify_all();
+}
+
+void WorkerPool::ensure_workers(std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (shutdown_) return;
+  while (workers_.size() < n) {
+    const std::size_t index = workers_.size();
+    workers_.emplace_back([this, index] { worker_loop(index); });
+  }
+}
+
+void WorkerPool::notify() {
+  // Taken-and-dropped mutex serializes this notify against a worker's
+  // scan→wait window — without it a submit landing between the two
+  // would be a lost wakeup.
+  std::lock_guard<std::mutex> lock(mutex_);
+  cv_.notify_all();
+}
+
+void WorkerPool::worker_loop(std::size_t index) {
+  obs::TraceRecorder::instance().set_thread_name("serve-pool#" +
+                                                 std::to_string(index));
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    // Pick: ready batcher, inflight below cap, min effective virtual
+    // time, deterministic name tie-break.
+    PoolDeployment* best = nullptr;
+    double best_vt = 0.0;
+    bool have_wake = false;
+    std::chrono::steady_clock::time_point wake{};
+    for (const auto& deployment : deployments_) {
+      if (deployment->inflight >= deployment->max_inflight) continue;
+      if (!deployment->batcher->ready()) {
+        // Not ready yet — but a queued head request will age out; the
+        // earliest such deadline bounds our sleep.
+        std::chrono::steady_clock::time_point deadline;
+        if (deployment->batcher->next_deadline(deadline) &&
+            (!have_wake || deadline < wake)) {
+          wake = deadline;
+          have_wake = true;
+        }
+        continue;
+      }
+      const auto vt_it = tenant_vt_.find(deployment->tenant->name);
+      const double vt = std::max(vt_it->second, global_vt_);
+      if (best == nullptr || vt < best_vt ||
+          (vt == best_vt && deployment->name < best->name)) {
+        best = deployment.get();
+        best_vt = vt;
+      }
+    }
+    if (best == nullptr) {
+      // Exit only when shut down AND nothing is dispatchable: a ready
+      // batch blocked on a sibling's inflight cap is drained by that
+      // sibling when it re-enters the loop.
+      if (shutdown_) return;
+      if (have_wake) {
+        cv_.wait_until(lock, wake);
+      } else {
+        cv_.wait(lock);
+      }
+      continue;
+    }
+    BatchedRequests batch = best->batcher->try_pop_tagged();
+    if (batch.requests.empty()) continue;  // raced with a sibling
+    const auto n = static_cast<std::int64_t>(batch.requests.size());
+    // Start-time fair queueing: charge the tenant n/weight of virtual
+    // service, and advance the global clock to this batch's start tag.
+    const double weight =
+        std::max(best->tenant->weight.load(std::memory_order_relaxed), 1e-9);
+    tenant_vt_[best->tenant->name] =
+        best_vt + static_cast<double>(n) / weight;
+    global_vt_ = std::max(global_vt_, best_vt);
+    ++best->inflight;
+    ++busy_;
+    ++dispatched_;
+    best->metrics->record_flush(batch.reason, n);
+    lock.unlock();
+    // Claim a backend stream (blocking while sharers hold them all;
+    // cold-loading if paged out) and execute outside the pool lock.
+    WeightStore::StreamLease lease = store_->claim(best->entry);
+    if (lease) {
+      best->executor->execute(std::move(batch.requests), *lease.backend,
+                              lease.cold_start_s);
+      store_->release(lease);
+    } else {
+      // Store shut down or the stream rebuild failed: answer rather
+      // than drop, keeping submitted == answered.
+      for (PendingRequest& pending : batch.requests) {
+        InferenceResponse response;
+        response.id = pending.request.id;
+        response.status =
+            core::Status::internal("no backend stream available");
+        best->metrics->record(response.timing, RequestOutcome::kFailed,
+                              pending.request.trace.trace_id);
+        pending.promise.set_value(std::move(response));
+      }
+    }
+    lock.lock();
+    --best->inflight;
+    --busy_;
+    // A cap and a stream freed: siblings blocked on either re-scan.
+    cv_.notify_all();
+  }
+}
+
+void WorkerPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::size_t WorkerPool::workers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return workers_.size();
+}
+
+std::size_t WorkerPool::busy() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return busy_;
+}
+
+std::map<std::string, double> WorkerPool::virtual_times() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenant_vt_;
+}
+
+std::uint64_t WorkerPool::batches_dispatched() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dispatched_;
+}
+
+}  // namespace harvest::serving

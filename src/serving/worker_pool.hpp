@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file worker_pool.hpp
+/// Cross-model scheduling over one shared worker pool — the
+/// multi-tenancy half of the serving core. Per-deployment instance
+/// threads (one ModelInstance thread per `instances`) do not scale to
+/// hundreds of hosted models; instead a fixed pool of workers scans
+/// every deployment's batcher and dispatches ready batches by
+/// start-time weighted fair queueing over *tenants*:
+///
+///  * each tenant has a virtual time; dispatching a batch of n
+///    requests advances it by n / weight;
+///  * a worker picks the ready deployment whose tenant has the
+///    smallest effective virtual time (max of its own and the global
+///    virtual clock, so an idle tenant re-enters at the current
+///    service point instead of cashing in banked credit);
+///  * ties break on deployment name, keeping the pick deterministic.
+///
+/// A deployment's `instances` survives as its inflight cap — the most
+/// workers that may execute its batches concurrently — and its backend
+/// streams come from the deduplicated WeightStore (claimed per batch,
+/// cold-loading if paged out).
+///
+/// Lock order: pool mutex → batcher mutex (ready()/try_pop_tagged()
+/// are called under the pool lock). The batcher's ready callback fires
+/// outside its own lock, so notify() never closes a cycle.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serving/batcher.hpp"
+#include "serving/metrics.hpp"
+#include "serving/model_instance.hpp"
+#include "serving/weight_store.hpp"
+
+namespace harvest::serving {
+
+/// A tenant: the quota/fair-share principal one or more deployments
+/// bill to. Weight scales the WFQ share; quota bounds outstanding
+/// (admitted, unanswered) requests across the tenant's deployments —
+/// 0 means unlimited.
+struct TenantState {
+  std::string name;
+  std::atomic<double> weight{1.0};
+  std::atomic<std::int64_t> quota{0};
+  std::atomic<std::int64_t> outstanding{0};
+};
+using TenantPtr = std::shared_ptr<TenantState>;
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(WeightStore& store);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Attach a deployment. `max_inflight` is its concurrency cap (the
+  /// old `instances`); `entry` supplies its backend streams.
+  void add_deployment(const std::string& name, TenantPtr tenant,
+                      DynamicBatcher* batcher, WeightStore::EntryPtr entry,
+                      BatchExecutor* executor, MetricsRegistry* metrics,
+                      std::int64_t max_inflight);
+
+  /// Grow the pool to at least `n` workers (never shrinks).
+  void ensure_workers(std::size_t n);
+
+  /// Re-scan hint — wired as every attached batcher's ready callback.
+  void notify();
+
+  /// Drain every ready batch (batchers must be shut down first, which
+  /// turns their remaining queues into immediately-ready drain
+  /// flushes), then join the workers. Idempotent.
+  void shutdown();
+
+  std::size_t workers() const;
+  std::size_t busy() const;
+  /// Per-tenant WFQ virtual times (tests / introspection).
+  std::map<std::string, double> virtual_times() const;
+  std::uint64_t batches_dispatched() const;
+
+ private:
+  struct PoolDeployment {
+    std::string name;
+    TenantPtr tenant;
+    DynamicBatcher* batcher = nullptr;
+    WeightStore::EntryPtr entry;
+    BatchExecutor* executor = nullptr;
+    MetricsRegistry* metrics = nullptr;
+    std::int64_t max_inflight = 1;
+    std::int64_t inflight = 0;  ///< guarded by mutex_
+  };
+
+  void worker_loop(std::size_t index);
+
+  WeightStore* store_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<std::unique_ptr<PoolDeployment>> deployments_;
+  std::map<std::string, double> tenant_vt_;  ///< keyed by tenant name
+  double global_vt_ = 0.0;
+  std::size_t busy_ = 0;
+  std::uint64_t dispatched_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace harvest::serving

@@ -225,6 +225,127 @@ TEST(Repository, LoadFromFile) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- repository validation
+
+TEST(Repository, DuplicateDeploymentNamesRejected) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [
+      {"name": "dup", "backend": "sim", "model": "ResNet50", "device": "V100"},
+      {"name": "dup", "backend": "sim", "model": "ViT_Tiny", "device": "A100"}
+    ]
+  })");
+  const core::Status status = load_repository(server, config);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("duplicate deployment name"),
+            std::string::npos);
+  EXPECT_NE(status.message().find("dup"), std::string::npos);
+  // The pre-pass rejects the whole repository: nothing half-registers.
+  EXPECT_TRUE(server.model_names().empty());
+}
+
+TEST(Repository, NonPositiveInstancesRejected) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [{"name": "bad-inst", "backend": "sim", "model": "ResNet50",
+                "device": "V100", "instances": 0}]
+  })");
+  const core::Status status = load_repository(server, config);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad-inst"), std::string::npos);
+  EXPECT_NE(status.message().find("instances > 0"), std::string::npos);
+}
+
+TEST(Repository, NonPositiveQueueCapacityRejected) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [{"name": "bad-q", "backend": "sim", "model": "ResNet50",
+                "device": "V100", "queue_capacity": -1}]
+  })");
+  const core::Status status = load_repository(server, config);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("bad-q"), std::string::npos);
+  EXPECT_NE(status.message().find("queue_capacity > 0"), std::string::npos);
+}
+
+TEST(Repository, BadTenantWeightAndQuotaRejected) {
+  Server server(1);
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "w", "backend": "sim", "model": "ResNet50",
+                "device": "V100", "weight": 0}]})"))
+                   .is_ok());
+  EXPECT_FALSE(load_repository(server, parse(R"({
+    "models": [{"name": "q", "backend": "sim", "model": "ResNet50",
+                "device": "V100", "quota": -2}]})"))
+                   .is_ok());
+}
+
+TEST(Repository, TenantKeysReachTheServer) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [
+      {"name": "vit-farm", "backend": "sim", "model": "ViT_Tiny",
+       "device": "A100", "tenant": "farm", "weight": 4, "quota": 9},
+      {"name": "resnet-farm", "backend": "sim", "model": "ResNet50",
+       "device": "V100", "tenant": "farm"}
+    ]
+  })");
+  ASSERT_TRUE(load_repository(server, config).is_ok());
+  ASSERT_EQ(server.tenant_names().size(), 1u);
+  const TenantState* tenant = server.tenant("farm");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->weight.load(), 4.0);
+  EXPECT_EQ(tenant->quota.load(), 9);
+}
+
+TEST(Repository, IdenticalNativeModelsShareOneWeightEntry) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "models": [
+      {"name": "weeds-a", "backend": "native", "architecture": "vit",
+       "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+       "classes": 4, "preproc": {"output_size": 16}},
+      {"name": "weeds-b", "backend": "native", "architecture": "vit",
+       "image": 16, "patch": 4, "dim": 16, "depth": 1, "heads": 2,
+       "classes": 4, "preproc": {"output_size": 16}}
+    ]
+  })");
+  ASSERT_TRUE(load_repository(server, config).is_ok());
+  const WeightStore::Stats stats = server.weight_store().stats();
+  EXPECT_EQ(stats.entries, 1u);  // same content signature -> one entry
+  EXPECT_EQ(stats.dedup_hits, 1u);
+  EXPECT_GT(stats.resident_bytes, 0u);
+  EXPECT_GT(stats.naive_bytes, stats.resident_bytes);
+}
+
+TEST(Repository, TopLevelWorkersAndWeightBudgetApply) {
+  Server server(1);
+  const core::Json config = parse(R"({
+    "workers": 2,
+    "weight_budget_bytes": 1048576,
+    "models": [
+      {"name": "a", "backend": "sim", "model": "ResNet50", "device": "V100",
+       "instances": 4},
+      {"name": "b", "backend": "sim", "model": "ViT_Tiny", "device": "A100",
+       "instances": 4}
+    ]
+  })");
+  ASSERT_TRUE(load_repository(server, config).is_ok());
+  // Explicit target consolidates below the sum of instances (8).
+  EXPECT_EQ(server.worker_pool().workers(), 2u);
+  EXPECT_EQ(server.weight_store().budget_bytes(), 1048576u);
+
+  Server reject(1);
+  EXPECT_FALSE(
+      load_repository(reject, parse(R"({"workers": 0, "models": []})"))
+          .is_ok());
+  EXPECT_FALSE(load_repository(
+                   reject, parse(R"({"weight_budget_bytes": -1, "models": []})"))
+                   .is_ok());
+}
+
 TEST(Repository, MalformedJsonFileRejected) {
   const std::string path = ::testing::TempDir() + "/bad.json";
   std::FILE* f = std::fopen(path.c_str(), "wb");

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <future>
@@ -95,6 +96,56 @@ class GatedBackend final : public SequenceBackend {
   int entered_ = 0;
 };
 
+/// Delegating backend whose *decode* blocks until opened — stages the
+/// stalled-step scenario the scheduler's idle-eviction reap handles.
+class GatedDecodeBackend final : public SequenceBackend {
+ public:
+  explicit GatedDecodeBackend(SequenceBackendPtr inner)
+      : inner_(std::move(inner)) {}
+
+  const std::string& name() const override { return inner_->name(); }
+  const nn::TokenModelConfig& model_config() const override {
+    return inner_->model_config();
+  }
+  nn::SequenceStateSpec state_spec() const override {
+    return inner_->state_spec();
+  }
+
+  core::Result<SequenceStepResult> prefill(const std::int32_t* prompt,
+                                           std::int64_t count,
+                                           nn::SequenceState& state) override {
+    return inner_->prefill(prompt, count, state);
+  }
+
+  core::Result<SequenceStepResult> decode(const std::int32_t* last_tokens,
+                                          nn::SequenceState* const* states,
+                                          std::int64_t count) override {
+    std::unique_lock lock(mutex_);
+    ++entered_;
+    entered_cv_.notify_all();
+    open_cv_.wait(lock, [&] { return open_; });
+    lock.unlock();
+    return inner_->decode(last_tokens, states, count);
+  }
+
+  void await_entered() {
+    std::unique_lock lock(mutex_);
+    entered_cv_.wait(lock, [&] { return entered_ > 0; });
+  }
+  void open() {
+    std::lock_guard lock(mutex_);
+    open_ = true;
+    open_cv_.notify_all();
+  }
+
+ private:
+  SequenceBackendPtr inner_;
+  std::mutex mutex_;
+  std::condition_variable open_cv_, entered_cv_;
+  bool open_ = false;
+  int entered_ = 0;
+};
+
 SequenceRequest make_request(std::int64_t prompt_len,
                              std::int64_t max_new_tokens) {
   SequenceRequest request;
@@ -131,7 +182,7 @@ TEST(StatePool, LeasesAreZeroedAndAccounted) {
   EXPECT_EQ(pool.active(), 2);
   EXPECT_FALSE(pool.acquire(0.0).has_value());  // exhausted
 
-  pool.release(a->slot);
+  EXPECT_TRUE(pool.release(a->slot, a->generation));
   auto c = pool.acquire(0.0);
   ASSERT_TRUE(c.has_value());
   EXPECT_EQ(c->slot, a->slot);
@@ -170,7 +221,7 @@ TEST(StatePool, IdleLeasesAreEvicted) {
   auto stale = pool.acquire(0.0);
   auto fresh = pool.acquire(0.0);
   ASSERT_TRUE(stale.has_value() && fresh.has_value());
-  pool.touch(fresh->slot, 5.0);
+  EXPECT_TRUE(pool.touch(fresh->slot, fresh->generation, 5.0));
 
   const auto evicted = pool.evict_idle(5.5);
   ASSERT_EQ(evicted.size(), 1u);
@@ -178,6 +229,123 @@ TEST(StatePool, IdleLeasesAreEvicted) {
   EXPECT_EQ(pool.active(), 1);
   EXPECT_EQ(pool.evictions(), 1u);
   EXPECT_TRUE(pool.acquire(5.5).has_value());  // slot is reusable
+}
+
+// Regression for the eviction-aliasing bug: evict_idle used to free a
+// slot while the owner still held its Lease; the stale owner's
+// release() then returned the *next* owner's slot to the free list, so
+// a third acquire aliased two live sequences onto the same slab rows
+// and the counters drifted. Generation stamping makes the stale lease
+// inert.
+TEST(StatePool, StaleLeaseIsInertAfterEviction) {
+  nn::SequenceStateSpec spec;
+  spec.kind = nn::StateKind::kRecurrent;
+  spec.layers = 1;
+  spec.dim = 4;
+  spec.max_tokens = 8;
+  StatePoolConfig config;
+  config.slots = 1;
+  config.idle_timeout_s = 1.0;
+  StatePool pool(spec, config);
+
+  auto stale = pool.acquire(0.0);
+  ASSERT_TRUE(stale.has_value());
+  ASSERT_EQ(pool.evict_idle(2.0).size(), 1u);  // invalidates `stale`
+
+  // The slot re-leases to a new owner...
+  auto owner = pool.acquire(2.0);
+  ASSERT_TRUE(owner.has_value());
+  EXPECT_EQ(owner->slot, stale->slot);
+  EXPECT_NE(owner->generation, stale->generation);
+  EXPECT_EQ(pool.active(), 1);
+
+  // ...and the stale lease can neither refresh nor free it. Pre-fix,
+  // this release freed the new owner's slot (active dropped to 0 and a
+  // third acquire aliased the slab row).
+  EXPECT_FALSE(pool.touch(stale->slot, stale->generation, 2.0));
+  EXPECT_FALSE(pool.release(stale->slot, stale->generation));
+  EXPECT_EQ(pool.active(), 1);
+  EXPECT_FALSE(pool.acquire(2.0).has_value()) << "slab row aliased";
+
+  // The current owner's lease still works, and double-release no-ops.
+  EXPECT_TRUE(pool.touch(owner->slot, owner->generation, 2.5));
+  EXPECT_TRUE(pool.release(owner->slot, owner->generation));
+  EXPECT_FALSE(pool.release(owner->slot, owner->generation));
+  EXPECT_EQ(pool.active(), 0);
+}
+
+// Concurrent acquire/touch/evict/release storm (run under TSan via the
+// sanitize_seq target). The drain-time conservation law: every acquire
+// ends as exactly one successful release or one idle eviction — stale
+// releases must not double-free.
+TEST(StatePool, ConcurrentLifecycleConserves) {
+  nn::SequenceStateSpec spec;
+  spec.kind = nn::StateKind::kRecurrent;
+  spec.layers = 1;
+  spec.dim = 4;
+  spec.max_tokens = 8;
+  StatePoolConfig config;
+  config.slots = 8;
+  config.idle_timeout_s = 1e-4;
+  StatePool pool(spec, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 400;
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> releases_ok{0};
+  std::atomic<bool> stop{false};
+
+  std::thread evictor([&] {
+    while (!stop.load()) {
+      const double now = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+      pool.evict_idle(now);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        const double now =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        auto lease = pool.acquire(now);
+        if (!lease.has_value()) continue;
+        acquires.fetch_add(1);
+        // Hold some leases long enough for the evictor to reap them.
+        if ((i + t) % 3 == 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(300));
+        }
+        const double later =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count();
+        // NOTE: no slab writes here — only the single-owner scheduler
+        // thread may dereference the state, and a stale holder writing
+        // after eviction is exactly the bug this suite pins down. The
+        // stress covers the lifecycle bookkeeping.
+        pool.touch(lease->slot, lease->generation, later);
+        if (pool.release(lease->slot, lease->generation)) {
+          releases_ok.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  stop.store(true);
+  evictor.join();
+
+  // Anything still leased at join time was held by no one; a final
+  // sweep may reclaim stragglers the evictor raced past.
+  EXPECT_EQ(pool.active(),
+            static_cast<std::int64_t>(acquires.load() - releases_ok.load() -
+                                      pool.evictions()));
+  EXPECT_EQ(acquires.load(), releases_ok.load() + pool.evictions());
+  EXPECT_EQ(pool.active(), 0);
 }
 
 // ----------------------------------------------------------- scheduler
@@ -326,6 +494,44 @@ TEST(SequenceScheduler, FullQueueShedsDeterministically) {
   const SequenceCounters counters = metrics.counters();
   EXPECT_EQ(counters.shed, 1u);
   EXPECT_EQ(counters.completed, 2u);
+  EXPECT_TRUE(counters.conserved());
+}
+
+TEST(SequenceScheduler, IdleEvictionRetiresAsEvictedAndConserves) {
+  // A decode step that stalls past the pool's idle timeout leaves the
+  // lease stale; the scheduler's reap must retire the sequence as
+  // kEvicted (not hang, not alias the slot) and keep the books exact.
+  auto gated = std::make_unique<GatedDecodeBackend>(sim_backend());
+  GatedDecodeBackend* gate = gated.get();
+  SequenceSchedulerConfig config;
+  config.max_active = 1;
+  StatePoolConfig pool;
+  pool.slots = 1;
+  pool.idle_timeout_s = 0.02;
+  SequenceMetrics metrics;
+  SequenceScheduler scheduler("tiny-lm", std::move(gated), pool, config,
+                              &metrics);
+
+  auto stalled = scheduler.submit(make_request(2, 8));
+  ASSERT_TRUE(stalled.is_ok());
+  gate->await_entered();  // parked inside the first decode step
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  gate->open();
+
+  const SequenceResponse response = stalled.value().get();
+  EXPECT_EQ(response.outcome, SequenceOutcome::kEvicted);
+  EXPECT_EQ(response.status.code(), core::StatusCode::kResourceExhausted);
+  EXPECT_EQ(scheduler.pool().active(), 0);
+  EXPECT_GE(scheduler.pool().evictions(), 1u);
+
+  // The slot is reusable by a fresh sequence (no aliasing, no leak).
+  auto follow_up = scheduler.submit(make_request(2, 2));
+  ASSERT_TRUE(follow_up.is_ok());
+  EXPECT_EQ(follow_up.value().get().outcome, SequenceOutcome::kOk);
+
+  const SequenceCounters counters = metrics.counters();
+  EXPECT_EQ(counters.evicted, 1u);
+  EXPECT_EQ(counters.completed, 1u);
   EXPECT_TRUE(counters.conserved());
 }
 

@@ -1,0 +1,412 @@
+/// Multi-tenancy suite (docs/MULTITENANCY.md): the deduplicated
+/// WeightStore (sharing, budget paging, cold reloads), tenant quota
+/// enforcement on the real server, and WFQ fairness/isolation laws on
+/// the deterministic tenant DES.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "data/synthetic.hpp"
+#include "serving/server.hpp"
+#include "serving/tenant_sim.hpp"
+#include "serving/weight_store.hpp"
+#include "tensor/tensor.hpp"
+
+namespace harvest::serving {
+namespace {
+
+// ------------------------------------------------------------ backends
+
+/// Weightless stub engine; the store prices paging off declared bytes.
+class StubBackend final : public Backend {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "stub";
+    return kName;
+  }
+  std::int64_t max_batch() const override { return 8; }
+  std::int64_t num_classes() const override { return 4; }
+  std::int64_t input_size() const override { return 16; }
+  core::Result<BackendResult> infer(const tensor::Tensor& batch) override {
+    BackendResult result;
+    result.logits =
+        tensor::Tensor::zeros({batch.shape()[0], num_classes()});
+    return core::Result<BackendResult>(std::move(result));
+  }
+};
+
+/// Holds every infer() until opened — makes "outstanding" controllable.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+class GatedBackend final : public Backend {
+ public:
+  explicit GatedBackend(std::shared_ptr<Gate> gate) : gate_(std::move(gate)) {}
+  const std::string& name() const override {
+    static const std::string kName = "gated";
+    return kName;
+  }
+  std::int64_t max_batch() const override { return 4; }
+  std::int64_t num_classes() const override { return 4; }
+  std::int64_t input_size() const override { return 16; }
+  core::Result<BackendResult> infer(const tensor::Tensor& batch) override {
+    gate_->wait();
+    BackendResult result;
+    result.logits =
+        tensor::Tensor::zeros({batch.shape()[0], num_classes()});
+    return core::Result<BackendResult>(std::move(result));
+  }
+
+ private:
+  std::shared_ptr<Gate> gate_;
+};
+
+preproc::EncodedImage tiny_input(std::uint64_t seed) {
+  const preproc::Image img = preproc::synthesize_field_image(20, 20, seed);
+  return preproc::encode_image(img, preproc::ImageFormat::kAgJpeg);
+}
+
+// --------------------------------------------------------- weight store
+
+TEST(WeightStore, DedupSharesOneEntryAcrossAcquirers) {
+  WeightStore store;
+  const std::size_t bytes = 1 << 20;
+  auto factory = [] { return std::make_unique<StubBackend>(); };
+  auto a = store.acquire("vit-base", factory, 2, bytes);
+  auto b = store.acquire("vit-base", factory, 2, bytes);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(a.value().get(), b.value().get());  // literally the same entry
+
+  const WeightStore::Stats stats = store.stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.dedup_hits, 1u);
+  // Only the eagerly-built first stream is resident; naive accounting
+  // prices both acquires at their full private stream count.
+  EXPECT_EQ(stats.resident_bytes, bytes);
+  EXPECT_EQ(stats.naive_bytes, 4 * bytes);
+  store.shutdown();
+}
+
+TEST(WeightStore, NullFactorySurfacesAtAcquire) {
+  WeightStore store;
+  auto acquired =
+      store.acquire("broken", [] { return BackendPtr(); }, 1, 0);
+  EXPECT_FALSE(acquired.is_ok());
+  // The failed entry must not linger and poison a retry with a fixed
+  // factory.
+  auto retry = store.acquire(
+      "broken", [] { return std::make_unique<StubBackend>(); }, 1, 0);
+  EXPECT_TRUE(retry.is_ok());
+  store.shutdown();
+}
+
+TEST(WeightStore, BudgetPagesIdleStreamsAndReloadsCold) {
+  WeightStore store;
+  const std::size_t bytes = 1 << 20;
+  auto factory = [] { return std::make_unique<StubBackend>(); };
+  auto a = store.acquire("model-a", factory, 1, bytes);
+  auto b = store.acquire("model-b", factory, 1, bytes);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  EXPECT_EQ(store.stats().resident_bytes, 2 * bytes);
+
+  // Budget for one model: the LRU entry pages out.
+  store.set_budget_bytes(bytes);
+  {
+    auto lease = store.claim(b.value());
+    ASSERT_TRUE(static_cast<bool>(lease));
+    store.release(lease);
+  }
+  const WeightStore::Stats paged = store.stats();
+  EXPECT_GT(paged.pageouts, 0u);
+  EXPECT_LE(paged.resident_bytes, bytes);
+
+  // Claiming the paged-out model rebuilds it: a cold start.
+  auto cold = store.claim(a.value());
+  ASSERT_TRUE(static_cast<bool>(cold));
+  EXPECT_GE(cold.cold_start_s, 0.0);
+  store.release(cold);
+  EXPECT_GT(store.stats().cold_loads, paged.cold_loads);
+  store.shutdown();
+}
+
+TEST(WeightStore, ClaimBlocksWhileAllStreamsBusy) {
+  WeightStore store;
+  auto acquired = store.acquire(
+      "contended", [] { return std::make_unique<StubBackend>(); }, 1, 0);
+  ASSERT_TRUE(acquired.is_ok());
+  auto first = store.claim(acquired.value());
+  ASSERT_TRUE(static_cast<bool>(first));
+
+  std::atomic<bool> got{false};
+  std::thread claimant([&] {
+    auto second = store.claim(acquired.value());
+    got.store(second.backend != nullptr);
+    store.release(second);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got.load());  // still parked: the only stream is busy
+  store.release(first);
+  claimant.join();
+  EXPECT_TRUE(got.load());
+  store.shutdown();
+}
+
+TEST(WeightStore, ShutdownUnblocksClaimants) {
+  WeightStore store;
+  auto acquired = store.acquire(
+      "draining", [] { return std::make_unique<StubBackend>(); }, 1, 0);
+  ASSERT_TRUE(acquired.is_ok());
+  auto held = store.claim(acquired.value());
+  ASSERT_TRUE(static_cast<bool>(held));
+  std::thread claimant([&] {
+    auto lease = store.claim(acquired.value());
+    EXPECT_FALSE(static_cast<bool>(lease));  // empty: store shut down
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  store.shutdown();
+  claimant.join();
+}
+
+// -------------------------------------------------------- server quota
+
+TEST(TenantQuota, RejectsBeyondOutstandingBudget) {
+  auto gate = std::make_shared<Gate>();
+  Server server(1);
+  ModelDeploymentConfig config;
+  config.name = "crops";
+  config.tenant = "farm";
+  config.quota = 2;
+  config.max_batch = 1;
+  config.instances = 1;
+  config.max_queue_delay_s = 1e-4;
+  config.preproc.output_size = 16;
+  ASSERT_TRUE(server
+                  .register_model(config,
+                                  [gate] {
+                                    return std::make_unique<GatedBackend>(gate);
+                                  })
+                  .is_ok());
+
+  const TenantState* tenant = server.tenant("farm");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(tenant->quota.load(), 2);
+
+  auto submit = [&server](std::uint64_t seed) {
+    InferenceRequest request;
+    request.model = "crops";
+    request.input = tiny_input(seed);
+    return server.submit(std::move(request));
+  };
+  auto first = submit(1);
+  auto second = submit(2);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+
+  // Third concurrent request breaches the tenant's quota of 2.
+  auto third = submit(3);
+  ASSERT_FALSE(third.is_ok());
+  EXPECT_EQ(third.status().code(), core::StatusCode::kResourceExhausted);
+
+  gate->release();
+  EXPECT_TRUE(first.value().get().status.is_ok());
+  EXPECT_TRUE(second.value().get().status.is_ok());
+
+  // The completion tokens drain `outstanding`; quota headroom returns.
+  for (int spin = 0; spin < 200 && tenant->outstanding.load() != 0; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(tenant->outstanding.load(), 0);
+  auto fourth = submit(4);
+  ASSERT_TRUE(fourth.is_ok());
+  EXPECT_TRUE(fourth.value().get().status.is_ok());
+  server.shutdown();
+}
+
+TEST(TenantQuota, DeploymentsSharingATenantShareItsBudget) {
+  auto gate = std::make_shared<Gate>();
+  Server server(1);
+  for (const char* name : {"vit-a", "vit-b"}) {
+    ModelDeploymentConfig config;
+    config.name = name;
+    config.tenant = "coop";
+    config.quota = 1;
+    config.max_batch = 1;
+    config.instances = 1;
+    config.max_queue_delay_s = 1e-4;
+    config.preproc.output_size = 16;
+    ASSERT_TRUE(server
+                    .register_model(config,
+                                    [gate] {
+                                      return std::make_unique<GatedBackend>(
+                                          gate);
+                                    })
+                    .is_ok());
+  }
+  ASSERT_EQ(server.tenant_names().size(), 1u);
+
+  InferenceRequest request;
+  request.model = "vit-a";
+  request.input = tiny_input(1);
+  auto first = server.submit(std::move(request));
+  ASSERT_TRUE(first.is_ok());
+
+  // One outstanding request on vit-a exhausts the *tenant's* budget, so
+  // its sibling deployment is refused too.
+  InferenceRequest sibling;
+  sibling.model = "vit-b";
+  sibling.input = tiny_input(2);
+  auto second = server.submit(std::move(sibling));
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_EQ(second.status().code(), core::StatusCode::kResourceExhausted);
+
+  gate->release();
+  EXPECT_TRUE(first.value().get().status.is_ok());
+  server.shutdown();
+}
+
+TEST(WorkerPool, ConsolidatedPoolServesEveryDeployment) {
+  // One shared worker time-slices two deployments under WFQ; every
+  // request still completes.
+  Server server(1);
+  server.set_worker_target(1);
+  for (const char* name : {"north", "south"}) {
+    ModelDeploymentConfig config;
+    config.name = name;
+    config.max_batch = 4;
+    config.instances = 2;
+    config.max_queue_delay_s = 1e-4;
+    config.preproc.output_size = 16;
+    ASSERT_TRUE(server
+                    .register_model(config,
+                                    [] {
+                                      return std::make_unique<StubBackend>();
+                                    })
+                    .is_ok());
+  }
+  EXPECT_EQ(server.worker_pool().workers(), 1u);
+
+  std::vector<std::future<InferenceResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    InferenceRequest request;
+    request.model = (i % 2 == 0) ? "north" : "south";
+    request.input = tiny_input(static_cast<std::uint64_t>(i));
+    auto submitted = server.submit(std::move(request));
+    ASSERT_TRUE(submitted.is_ok());
+    futures.push_back(std::move(submitted).value());
+  }
+  for (auto& future : futures) {
+    EXPECT_TRUE(future.get().status.is_ok());
+  }
+  server.shutdown();
+}
+
+// ------------------------------------------------------------ WFQ laws
+
+TenantSimConfig contended_pair() {
+  // Two tenants flooding one worker: completions split by WFQ weight.
+  TenantSimConfig config;
+  config.policy = FleetPolicy::kWfq;
+  config.tenants = 2;
+  config.workers = 1;
+  config.duration_s = 10.0;
+  config.seed = 7;
+  config.base_rate = 2000.0;
+  config.burst_on_s = 0.0;  // unmodulated: both saturated throughout
+  config.burst_off_s = 0.0;
+  config.max_batch = 4;
+  config.queue_capacity = 32;
+  config.deadline_s = 0.0;
+  return config;
+}
+
+TEST(TenantSim, WfqSplitsCapacityByWeight) {
+  TenantSimConfig config = contended_pair();
+  config.tenant0_weight = 10.0;
+  const TenantSimReport report = simulate_tenants(config);
+  ASSERT_TRUE(report.conserved());
+  ASSERT_GT(report.completed_t1, 0u);
+  const double ratio = static_cast<double>(report.completed_t0) /
+                       static_cast<double>(report.completed_t1);
+  // Start-time WFQ with batching is approximate; 10:1 weights must land
+  // within a third of the configured ratio.
+  EXPECT_GT(ratio, 10.0 / 1.33) << "t0=" << report.completed_t0
+                                << " t1=" << report.completed_t1;
+  EXPECT_LT(ratio, 10.0 * 1.33);
+}
+
+TEST(TenantSim, EqualWeightsSplitEvenly) {
+  const TenantSimReport report = simulate_tenants(contended_pair());
+  ASSERT_TRUE(report.conserved());
+  ASSERT_GT(report.completed_t1, 0u);
+  const double ratio = static_cast<double>(report.completed_t0) /
+                       static_cast<double>(report.completed_t1);
+  EXPECT_GT(ratio, 1.0 / 1.15);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TenantSimConfig hot_fleet(FleetPolicy policy) {
+  TenantSimConfig config;
+  config.policy = policy;
+  config.tenants = 100;
+  config.workers = 1;
+  config.duration_s = 10.0;
+  config.seed = 42;
+  config.base_rate = 2.0;
+  config.burst_on_s = 0.5;
+  config.burst_off_s = 2.0;
+  config.max_batch = 8;
+  config.queue_capacity = 1024;
+  config.deadline_s = 0.25;
+  config.hot_multiplier = 2000.0;
+  return config;
+}
+
+TEST(TenantSim, WfqIsolatesVictimsFromHotTenant) {
+  const TenantSimReport fifo = simulate_tenants(hot_fleet(FleetPolicy::kSharedFifo));
+  const TenantSimReport wfq = simulate_tenants(hot_fleet(FleetPolicy::kWfq));
+  ASSERT_TRUE(fifo.conserved());
+  ASSERT_TRUE(wfq.conserved());
+  // Shared FIFO lets the hot tenant's backlog drag every queue past the
+  // deadline; WFQ bounds the victims near their contention-free latency.
+  EXPECT_GT(fifo.victim_p99_s, 4 * 0.25);
+  EXPECT_LE(wfq.victim_p99_s, 0.25);
+  EXPECT_GE(wfq.goodput_req_s, fifo.goodput_req_s);
+}
+
+TEST(TenantSim, BitReproducible) {
+  const TenantSimConfig config = hot_fleet(FleetPolicy::kWfq);
+  const TenantSimReport a = simulate_tenants(config);
+  const TenantSimReport b = simulate_tenants(config);
+  EXPECT_EQ(a.arrivals, b.arrivals);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.hot_p99_s, b.hot_p99_s);
+  EXPECT_EQ(a.victim_p99_s, b.victim_p99_s);
+  EXPECT_EQ(a.fairness_index, b.fairness_index);
+}
+
+}  // namespace
+}  // namespace harvest::serving

@@ -31,9 +31,12 @@ import sys
 from pathlib import Path
 
 LATENCY_HINTS = ("p99", "latency", "ttft")
-GOODPUT_HINTS = ("goodput", "throughput", "img_s", "tok_s")
+# "fairness" covers the multi-tenancy reports' Jain index: a fairness
+# drop is an isolation regression, and like goodput it is higher-better.
+GOODPUT_HINTS = ("goodput", "throughput", "img_s", "tok_s", "fairness")
 # Numeric keys that identify a sweep point rather than measure it.
-PARAM_HINTS = ("rate", "qps", "batch", "instances", "threshold", "arrival")
+PARAM_HINTS = ("rate", "qps", "batch", "instances", "threshold", "arrival",
+               "multiplier", "tenants", "workers")
 
 
 def is_latency_metric(key: str) -> bool:
@@ -164,6 +167,32 @@ def self_test() -> int:
         ]
     }
 
+    # Multi-tenancy report shape (BENCH_multitenancy.json): rows keyed
+    # on (policy, hot_multiplier); the victims' p99 is lower-better and
+    # the Jain fairness index is higher-better — a fair scheduler that
+    # quietly starts starving victims must trip the gate.
+    mt_base = {
+        "rows": [
+            {"policy": "wfq", "hot_multiplier": 10000,
+             "goodput_req_s": 536.0, "victim_p99_s": 0.108,
+             "fairness_index": 0.81},
+            {"policy": "shared_fifo", "hot_multiplier": 10000,
+             "goodput_req_s": 434.0, "victim_p99_s": 1.71,
+             "fairness_index": 0.81},
+        ]
+    }
+    mt_bad = {
+        "rows": [
+            # victim p99 +10x and fairness -30%: both must trip the gate.
+            {"policy": "wfq", "hot_multiplier": 10000,
+             "goodput_req_s": 536.0, "victim_p99_s": 1.2,
+             "fairness_index": 0.55},
+            {"policy": "shared_fifo", "hot_multiplier": 10000,
+             "goodput_req_s": 434.0, "victim_p99_s": 1.71,
+             "fairness_index": 0.81},
+        ]
+    }
+
     def rows(doc):
         return {row_identity(r): r for r in doc["rows"]}
 
@@ -185,6 +214,13 @@ def self_test() -> int:
                    len(seq_failures) == 2
                    and any("goodput_tok_s" in f for f in seq_failures)
                    and any("ttft_p50_s" in f for f in seq_failures)))
+    checks.append(("tenant rows match on policy+hot_multiplier",
+                   diff_reports(rows(mt_base), rows(mt_base), 10.0, []) == []))
+    mt_failures = diff_reports(rows(mt_base), rows(mt_bad), 10.0, [])
+    checks.append(("victim p99 + fairness regressions caught",
+                   len(mt_failures) == 2
+                   and any("victim_p99_s" in f for f in mt_failures)
+                   and any("fairness_index" in f for f in mt_failures)))
 
     failed = [name for name, passed in checks if not passed]
     for name, passed in checks:
