@@ -1,0 +1,120 @@
+#include "core/arena.hpp"
+
+#include <cstdlib>
+#include <new>
+
+#include "core/status.hpp"
+
+#if defined(__SANITIZE_ADDRESS__)
+#include <sanitizer/asan_interface.h>
+#define HARVEST_ARENA_POISON(p, n) __asan_poison_memory_region((p), (n))
+#define HARVEST_ARENA_UNPOISON(p, n) __asan_unpoison_memory_region((p), (n))
+#else
+#define HARVEST_ARENA_POISON(p, n) ((void)0)
+#define HARVEST_ARENA_UNPOISON(p, n) ((void)0)
+#endif
+
+namespace harvest::core {
+
+namespace {
+constexpr std::size_t round_up(std::size_t v, std::size_t a) {
+  return (v + a - 1) / a * a;
+}
+thread_local BumpArena* tls_current_arena = nullptr;
+}  // namespace
+
+/// Header and payload share one aligned_alloc slab; the header is padded
+/// to kAlignment so the payload starts 64-byte aligned.
+struct BumpArena::Block {
+  Block* next;
+  std::size_t capacity;  // payload bytes
+
+  void* payload() {
+    return reinterpret_cast<char*>(this) + round_up(sizeof(Block), kAlignment);
+  }
+};
+
+BumpArena::BumpArena(std::size_t block_bytes)
+    : block_bytes_(round_up(block_bytes == 0 ? kDefaultBlockBytes : block_bytes,
+                            kAlignment)) {}
+
+BumpArena::~BumpArena() { release(); }
+
+BumpArena::Block* BumpArena::grow(std::size_t min_payload) {
+  const std::size_t payload =
+      round_up(min_payload > block_bytes_ ? min_payload : block_bytes_,
+               kAlignment);
+  const std::size_t header = round_up(sizeof(Block), kAlignment);
+  void* slab = std::aligned_alloc(kAlignment, header + payload);
+  HARVEST_CHECK_MSG(slab != nullptr, "arena block allocation failed");
+  auto* block = new (slab) Block{nullptr, payload};
+  // Append so reset() replays blocks in a deterministic order.
+  if (head_ == nullptr) {
+    head_ = block;
+  } else {
+    Block* tail = head_;
+    while (tail->next != nullptr) tail = tail->next;
+    tail->next = block;
+  }
+  reserved_bytes_ += payload;
+  ++block_count_;
+  HARVEST_ARENA_POISON(block->payload(), payload);
+  return block;
+}
+
+void* BumpArena::allocate(std::size_t bytes) {
+  const std::size_t rounded = round_up(bytes == 0 ? 1 : bytes, kAlignment);
+  if (current_ == nullptr) {
+    current_ = head_ != nullptr ? head_ : grow(rounded);
+    offset_ = 0;
+  }
+  while (offset_ + rounded > current_->capacity) {
+    if (current_->next == nullptr) grow(rounded);
+    current_ = current_->next;
+    offset_ = 0;
+  }
+  void* p = static_cast<char*>(current_->payload()) + offset_;
+  offset_ += rounded;
+  used_bytes_ += rounded;
+  if (used_bytes_ > peak_bytes_) peak_bytes_ = used_bytes_;
+  HARVEST_ARENA_UNPOISON(p, rounded);
+  return p;
+}
+
+void BumpArena::reserve(std::size_t bytes) {
+  if (bytes > reserved_bytes_) grow(bytes - reserved_bytes_);
+}
+
+void BumpArena::reset() {
+  for (Block* b = head_; b != nullptr; b = b->next) {
+    HARVEST_ARENA_POISON(b->payload(), b->capacity);
+  }
+  current_ = head_;
+  offset_ = 0;
+  used_bytes_ = 0;
+  ++reset_count_;
+}
+
+void BumpArena::release() {
+  Block* b = head_;
+  while (b != nullptr) {
+    Block* next = b->next;
+    HARVEST_ARENA_UNPOISON(b->payload(), b->capacity);
+    b->~Block();
+    std::free(b);
+    b = next;
+  }
+  head_ = current_ = nullptr;
+  offset_ = used_bytes_ = reserved_bytes_ = 0;
+  block_count_ = 0;
+}
+
+ArenaScope::ArenaScope(BumpArena& arena) : prev_(tls_current_arena) {
+  tls_current_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() { tls_current_arena = prev_; }
+
+BumpArena* ArenaScope::current() { return tls_current_arena; }
+
+}  // namespace harvest::core

@@ -1,0 +1,98 @@
+#pragma once
+
+/// \file arena.hpp
+/// Per-request bump arena for hot-path scratch memory.
+///
+/// A `BumpArena` hands out 64-byte-aligned allocations by bumping a
+/// pointer through a chain of large blocks. `reset()` rewinds the arena
+/// to empty while keeping the blocks, so a serving loop that resets
+/// between requests reaches a steady state where `Model::forward`
+/// performs zero heap allocations (the property gated by
+/// `nn_arena_test`). Blocks are only ever grown, never shrunk, and the
+/// arena is intentionally NOT thread-safe: each worker binds its own
+/// arena for the duration of a request with an `ArenaScope`, and
+/// allocation sites (e.g. `tensor::Tensor::scratch`) consult the
+/// calling thread's scope. See docs/PERFORMANCE.md ("Request arena").
+
+#include <cstddef>
+#include <cstdint>
+
+namespace harvest::core {
+
+class BumpArena {
+ public:
+  /// Default granularity for new blocks; large enough that a ViT-Tiny
+  /// batch-8 forward fits in one block after warm-up.
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 22;
+  static constexpr std::size_t kAlignment = 64;
+
+  explicit BumpArena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~BumpArena();
+
+  BumpArena(const BumpArena&) = delete;
+  BumpArena& operator=(const BumpArena&) = delete;
+  BumpArena(BumpArena&&) = delete;
+  BumpArena& operator=(BumpArena&&) = delete;
+
+  /// 64-byte-aligned, UNINITIALIZED memory valid until the next
+  /// `reset()`/`release()`. Grows the block chain when needed (that
+  /// growth is the only code path that touches the heap).
+  void* allocate(std::size_t bytes);
+
+  /// Pre-grow so the next `bytes` of allocations hit no heap.
+  void reserve(std::size_t bytes);
+
+  /// Rewind to empty, keeping every block for reuse. Under
+  /// AddressSanitizer the recycled payload is poisoned so stale
+  /// pointers from the previous request fault immediately.
+  void reset();
+
+  /// Free every block (the destructor calls this).
+  void release();
+
+  /// Bytes handed out since the last reset (including alignment pad).
+  std::size_t used_bytes() const { return used_bytes_; }
+  /// Total payload capacity across the block chain.
+  std::size_t reserved_bytes() const { return reserved_bytes_; }
+  std::size_t block_count() const { return block_count_; }
+  /// High-water mark of used_bytes() across the arena's lifetime.
+  std::size_t peak_bytes() const { return peak_bytes_; }
+  std::uint64_t reset_count() const { return reset_count_; }
+
+ private:
+  struct Block;
+
+  Block* grow(std::size_t min_payload);
+
+  std::size_t block_bytes_;
+  Block* head_ = nullptr;     // first block in the chain
+  Block* current_ = nullptr;  // block the bump pointer lives in
+  std::size_t offset_ = 0;    // bump offset within current_
+  std::size_t used_bytes_ = 0;
+  std::size_t reserved_bytes_ = 0;
+  std::size_t peak_bytes_ = 0;
+  std::size_t block_count_ = 0;
+  std::uint64_t reset_count_ = 0;
+};
+
+/// RAII binding of `arena` as the calling thread's scratch arena.
+/// Scopes nest (the previous binding is restored on destruction), and
+/// the binding is thread-local: an OpenMP worker spawned inside the
+/// scope does NOT inherit it, which keeps per-thread kernel scratch
+/// (thread_local pack buffers) off the request arena by construction.
+class ArenaScope {
+ public:
+  explicit ArenaScope(BumpArena& arena);
+  ~ArenaScope();
+
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+  /// The innermost arena bound on this thread, or nullptr.
+  static BumpArena* current();
+
+ private:
+  BumpArena* prev_;
+};
+
+}  // namespace harvest::core

@@ -34,6 +34,7 @@ inline float apply_epilogue(float v, const GemmEpilogue& ep, std::int64_t i,
                             std::int64_t j) {
   if (ep.bias_n != nullptr) v += ep.bias_n[j];
   if (ep.bias_m != nullptr) v += ep.bias_m[i];
+  if (ep.add_c != nullptr) v += ep.add_c[i * ep.add_ld + j];
   switch (ep.act) {
     case EpilogueAct::kNone: break;
     case EpilogueAct::kRelu: v = std::max(0.0f, v); break;
@@ -149,30 +150,14 @@ void small_gemm(const float* a, std::int64_t lda, const float* b,
   }
 }
 
-/// Packed-panel driver shared by every public entry point. B (plain or
-/// transposed) is packed once into NR panels, in parallel; the macro
-/// loop then parallelizes over the 2-D grid of MC×NC tiles of C, each
-/// thread packing the A block it needs into a thread-local buffer.
-void gemm_packed(const float* a, std::int64_t lda, const float* b,
-                 std::int64_t ldb, bool b_transposed, float* c,
-                 std::int64_t ldc, std::int64_t m, std::int64_t n,
-                 std::int64_t k, bool accumulate, const GemmEpilogue& ep) {
-  if (m <= 0 || n <= 0 || k <= 0) return;
-  if (m * n * k <= kSmallProblem) {
-    small_gemm(a, lda, b, ldb, b_transposed, c, ldc, m, n, k, accumulate, ep);
-    return;
-  }
-
+/// Pack the full B operand (plain or transposed) into NR panels laid
+/// out exactly as the macro loop expects: panel (kb, jp) at offset
+/// p0·padded_n + jp·kc·NR. `bpack` must hold padded_n·k floats.
+void pack_b_panels(const float* b, std::int64_t ldb, bool b_transposed,
+                   float* bpack, std::int64_t n, std::int64_t k) {
   const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
   const std::int64_t num_kb = (k + kKc - 1) / kKc;
   const std::int64_t num_jp = padded_n / kNr;
-
-  // Reused across calls on the same thread; nested calls (e.g. from the
-  // batch-parallel conv loop) land on distinct OpenMP worker threads and
-  // therefore distinct buffers.
-  static thread_local std::vector<float> bpack_tl;
-  bpack_tl.resize(static_cast<std::size_t>(padded_n * k));
-  float* bpack = bpack_tl.data();
 
 #pragma omp parallel for collapse(2) schedule(static)
   for (std::int64_t kb = 0; kb < num_kb; ++kb) {
@@ -189,7 +174,123 @@ void gemm_packed(const float* a, std::int64_t lda, const float* b,
       }
     }
   }
+}
 
+// Shallow-K dispatch bound: at k <= 32 the MR-padded micro-kernel plus
+// pack_a spend a large share of the problem on setup (the PatchEmbed
+// projection, m=256 n=192 k=12, sat at 0.36 MFU). Below this bound the
+// panel-direct kernel reads A rows in place and keeps the entire packed
+// B (at most padded_n·32 floats) L1-resident.
+constexpr std::int64_t kSmallK = 32;
+
+/// Tile-row store for the shallow-K kernel. With k this small the store
+/// is a sizeable fraction of the work, so the optional epilogue terms
+/// are applied as separate unswitched passes over the L1-hot tile row
+/// (each one vectorizes) instead of a branchy per-element apply.
+inline void store_row_small_k(float* crow, const float* accr, std::int64_t nr,
+                              bool accumulate, const GemmEpilogue* ep,
+                              std::int64_t i, std::int64_t j0) {
+  float v[kNr];
+  if (accumulate) {
+    for (std::int64_t j = 0; j < nr; ++j) v[j] = accr[j] + crow[j];
+  } else {
+    for (std::int64_t j = 0; j < nr; ++j) v[j] = accr[j];
+  }
+  if (ep != nullptr) {
+    if (ep->bias_n != nullptr) {
+      const float* bn = ep->bias_n + j0;
+      for (std::int64_t j = 0; j < nr; ++j) v[j] += bn[j];
+    }
+    if (ep->bias_m != nullptr) {
+      const float bm = ep->bias_m[i];
+      for (std::int64_t j = 0; j < nr; ++j) v[j] += bm;
+    }
+    if (ep->add_c != nullptr) {
+      const float* ar = ep->add_c + i * ep->add_ld + j0;
+      for (std::int64_t j = 0; j < nr; ++j) v[j] += ar[j];
+    }
+    switch (ep->act) {
+      case EpilogueAct::kNone: break;
+      case EpilogueAct::kRelu:
+        for (std::int64_t j = 0; j < nr; ++j) v[j] = std::max(0.0f, v[j]);
+        break;
+      case EpilogueAct::kGelu:
+        for (std::int64_t j = 0; j < nr; ++j) v[j] = gelu_scalar(v[j]);
+        break;
+    }
+  }
+  for (std::int64_t j = 0; j < nr; ++j) crow[j] = v[j];
+}
+
+/// Panel-direct kernel for shallow-K problems. B is in the usual packed
+/// NR-panel layout (single K block since k <= kSmallK <= KC); A rows are
+/// streamed unpacked. Same numerics as the micro-kernel path.
+void gemm_small_k(const float* a, std::int64_t lda, const float* bpack,
+                  float* c, std::int64_t ldc, std::int64_t m, std::int64_t n,
+                  std::int64_t k, bool accumulate, const GemmEpilogue& ep) {
+  const std::int64_t num_jp = (n + kNr - 1) / kNr;
+  const GemmEpilogue* ep_ptr = ep.empty() ? nullptr : &ep;
+#pragma omp parallel for schedule(static)
+  for (std::int64_t i0 = 0; i0 < m; i0 += kMr) {
+    const std::int64_t mr = std::min(kMr, m - i0);
+    for (std::int64_t jp = 0; jp < num_jp; ++jp) {
+      const float* bp = bpack + jp * k * kNr;
+      const std::int64_t j0 = jp * kNr;
+      const std::int64_t nr = std::min(kNr, n - j0);
+      if (mr == kMr) {
+        // Same named-accumulator shape as micro_kernel (j is the vector
+        // axis), minus the A packing: lda-strided scalar loads of A are
+        // free next to the 16-wide B panel stream.
+        float acc0[kNr] = {}, acc1[kNr] = {}, acc2[kNr] = {}, acc3[kNr] = {};
+        const float* a0 = a + (i0 + 0) * lda;
+        const float* a1 = a + (i0 + 1) * lda;
+        const float* a2 = a + (i0 + 2) * lda;
+        const float* a3 = a + (i0 + 3) * lda;
+        for (std::int64_t p = 0; p < k; ++p) {
+          const float* brow = bp + p * kNr;
+          const float v0 = a0[p], v1 = a1[p], v2 = a2[p], v3 = a3[p];
+          for (std::int64_t j = 0; j < kNr; ++j) {
+            const float bv = brow[j];
+            acc0[j] += v0 * bv;
+            acc1[j] += v1 * bv;
+            acc2[j] += v2 * bv;
+            acc3[j] += v3 * bv;
+          }
+        }
+        const float* acc_rows[kMr] = {acc0, acc1, acc2, acc3};
+        for (std::int64_t i = 0; i < kMr; ++i) {
+          store_row_small_k(c + (i0 + i) * ldc + j0, acc_rows[i], nr,
+                            accumulate, ep_ptr, i0 + i, j0);
+        }
+      } else {
+        for (std::int64_t r = 0; r < mr; ++r) {
+          float acc[kNr] = {};
+          const float* arow = a + (i0 + r) * lda;
+          for (std::int64_t p = 0; p < k; ++p) {
+            const float* brow = bp + p * kNr;
+            const float av = arow[p];
+            for (std::int64_t j = 0; j < kNr; ++j) acc[j] += av * brow[j];
+          }
+          store_row_small_k(c + (i0 + r) * ldc + j0, acc, nr, accumulate,
+                            ep_ptr, i0 + r, j0);
+        }
+      }
+    }
+  }
+}
+
+/// Macro loop over an already-packed B: parallel over the 2-D grid of
+/// MC×NC tiles of C, each thread packing the A block it needs into a
+/// thread-local buffer.
+void gemm_macro(const float* a, std::int64_t lda, const float* bpack, float* c,
+                std::int64_t ldc, std::int64_t m, std::int64_t n,
+                std::int64_t k, bool accumulate, const GemmEpilogue& ep) {
+  if (k <= kSmallK) {
+    gemm_small_k(a, lda, bpack, c, ldc, m, n, k, accumulate, ep);
+    return;
+  }
+  const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
+  const std::int64_t num_kb = (k + kKc - 1) / kKc;
   const std::int64_t num_ib = (m + kMc - 1) / kMc;
   const std::int64_t num_jb = (n + kNc - 1) / kNc;
 
@@ -230,9 +331,48 @@ void gemm_packed(const float* a, std::int64_t lda, const float* b,
   }
 }
 
+/// Packed-panel driver shared by the non-prepacked public entry points:
+/// B is packed into a thread-local panel buffer, then handed to the
+/// macro loop. Reused across calls on the same thread; nested calls
+/// (e.g. from the batch-parallel conv loop) land on distinct OpenMP
+/// worker threads and therefore distinct buffers.
+void gemm_packed(const float* a, std::int64_t lda, const float* b,
+                 std::int64_t ldb, bool b_transposed, float* c,
+                 std::int64_t ldc, std::int64_t m, std::int64_t n,
+                 std::int64_t k, bool accumulate, const GemmEpilogue& ep) {
+  if (m <= 0 || n <= 0 || k <= 0) return;
+  if (m * n * k <= kSmallProblem) {
+    small_gemm(a, lda, b, ldb, b_transposed, c, ldc, m, n, k, accumulate, ep);
+    return;
+  }
+
+  const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
+  static thread_local std::vector<float> bpack_tl;
+  bpack_tl.resize(static_cast<std::size_t>(padded_n * k));
+  pack_b_panels(b, ldb, b_transposed, bpack_tl.data(), n, k);
+  gemm_macro(a, lda, bpack_tl.data(), c, ldc, m, n, k, accumulate, ep);
+}
+
 constexpr GemmEpilogue kNoEpilogue{};
 
 }  // namespace
+
+GemmPackedB::GemmPackedB(const float* b, std::int64_t ldb, bool b_transposed,
+                         std::int64_t n, std::int64_t k)
+    : n_(n), k_(k) {
+  const std::int64_t padded_n = (n + kNr - 1) / kNr * kNr;
+  panels_ = tensor::AlignedBuffer(
+      static_cast<std::size_t>(padded_n * k) * sizeof(float));
+  pack_b_panels(b, ldb, b_transposed, panels_.as<float>(), n, k);
+}
+
+void gemm_prepacked_ex(const float* a, std::int64_t lda, const GemmPackedB& b,
+                       float* c, std::int64_t ldc, std::int64_t m,
+                       bool accumulate, const GemmEpilogue& epilogue) {
+  if (m <= 0 || b.empty()) return;
+  gemm_macro(a, lda, b.panels(), c, ldc, m, b.n(), b.k(), accumulate,
+             epilogue);
+}
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
           std::int64_t n, std::int64_t k, bool accumulate) {

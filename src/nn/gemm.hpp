@@ -16,7 +16,10 @@
 /// the workload of the practical-FLOPS benchmark reproducing the
 /// "Practical TFLOPS" row of Table 1 on the host CPU.
 
+#include <cstddef>
 #include <cstdint>
+
+#include "tensor/buffer.hpp"
 
 namespace harvest::nn {
 
@@ -31,11 +34,45 @@ struct GemmEpilogue {
   /// Added per row: c[i][j] += bias_m[i] (conv per-out-channel bias,
   /// where rows of the im2col GEMM are output channels).
   const float* bias_m = nullptr;
+  /// Added elementwise: c[i][j] += add_c[i*add_ld + j]. PatchEmbed uses
+  /// this to fuse the positional-embedding add into the projection GEMM
+  /// instead of a separate memory pass over the token matrix.
+  const float* add_c = nullptr;
+  std::int64_t add_ld = 0;
   EpilogueAct act = EpilogueAct::kNone;
 
   bool empty() const {
-    return bias_n == nullptr && bias_m == nullptr && act == EpilogueAct::kNone;
+    return bias_n == nullptr && bias_m == nullptr && add_c == nullptr &&
+           act == EpilogueAct::kNone;
   }
+};
+
+/// Ahead-of-time packed B operand for the fp32 packed-panel GEMM,
+/// mirroring `QGemmPackedB` for the int8 path: the NR-panel reordering
+/// that `gemm_packed` otherwise performs per call is done once (64-byte
+/// aligned storage) so steady-state forwards skip the pack pass and its
+/// memory traffic entirely. Weights pack at model-load time
+/// (`Layer::prepare`), landing the cost in the measured cold start.
+class GemmPackedB {
+ public:
+  GemmPackedB() = default;
+
+  /// Packs row-major B[k,n] (`b_transposed == false`, row pitch ldb) or
+  /// Bᵀ[n,k] (`b_transposed == true`, the [out,in] linear-weight
+  /// layout). The source buffer is not referenced after construction.
+  GemmPackedB(const float* b, std::int64_t ldb, bool b_transposed,
+              std::int64_t n, std::int64_t k);
+
+  bool empty() const { return n_ == 0; }
+  std::int64_t n() const { return n_; }
+  std::int64_t k() const { return k_; }
+  std::size_t packed_bytes() const { return panels_.size_bytes(); }
+  const float* panels() const { return panels_.as<float>(); }
+
+ private:
+  tensor::AlignedBuffer panels_;
+  std::int64_t n_ = 0;
+  std::int64_t k_ = 0;
 };
 
 /// C[M,N] = A[M,K] * B[K,N] (+ C if accumulate). Row-major, no aliasing.
@@ -70,6 +107,13 @@ void gemm_bt_strided(const float* a, std::int64_t lda, const float* b_t,
                      std::int64_t ldb, float* c, std::int64_t ldc,
                      std::int64_t m, std::int64_t n, std::int64_t k,
                      bool accumulate = false);
+
+/// C[M, b.n()] = A[M, b.k()] * B (+ C if accumulate) against an
+/// ahead-of-time packed B. Identical numerics to gemm_ex/gemm_bt_ex on
+/// the same operand; skips the per-call B pack.
+void gemm_prepacked_ex(const float* a, std::int64_t lda, const GemmPackedB& b,
+                       float* c, std::int64_t ldc, std::int64_t m,
+                       bool accumulate, const GemmEpilogue& epilogue);
 
 /// Reference kernel (unblocked, single-threaded); used by tests and as
 /// the baseline in the kernel microbenchmarks.

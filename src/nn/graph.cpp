@@ -16,14 +16,23 @@ Model::Model(std::string name, Shape input_shape_per_image,
 
 Tensor Model::forward(const Tensor& input) {
   HARVEST_CHECK_MSG(!layers_.empty(), "model has no layers");
-  Tensor x = input.clone();
+  // Layers take their input by const reference, so the first layer can
+  // read `input` directly — the former defensive clone was a full
+  // batch copy (and a heap allocation) on every forward.
+  const Tensor* cur = &input;
+  Tensor x;
   const std::int64_t batch = input.shape().rank() > 0 ? input.shape()[0] : 0;
   for (LayerPtr& layer : layers_) {
     obs::ScopedSpan span(layer->name(), "nn");
     span.set_batch(batch);
-    x = layer->forward(x);
+    x = layer->forward(*cur);
+    cur = &x;
   }
   return x;
+}
+
+void Model::prepare() {
+  for (LayerPtr& layer : layers_) layer->prepare();
 }
 
 std::vector<NamedParam> Model::params() {

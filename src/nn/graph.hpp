@@ -34,8 +34,15 @@ class Model {
   }
 
   /// Run a batch [N, ...input_shape] through all layers; returns logits
-  /// [N, num_classes].
+  /// [N, num_classes]. When the calling thread has a `core::ArenaScope`
+  /// bound, every intermediate activation (and the returned logits
+  /// tensor) is arena-backed: valid only until the arena resets, and
+  /// allocated with zero heap traffic in the steady state.
   tensor::Tensor forward(const tensor::Tensor& input);
+
+  /// Run every layer's load-phase `prepare()` (AOT weight packing).
+  /// Call after weights are final; idempotent.
+  void prepare();
 
   /// All learnable parameters, in layer order.
   std::vector<NamedParam> params();

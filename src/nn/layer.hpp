@@ -39,7 +39,17 @@ class Layer {
                             std::vector<OpCost>& out) const = 0;
 
   /// Append (name, tensor) references for every learnable parameter.
+  /// Handing out mutable references marks any ahead-of-time packed
+  /// operands stale (callers may write through them); layers re-pack
+  /// lazily on the next forward or eagerly on the next `prepare()`.
   virtual void collect_params(std::vector<NamedParam>& out) = 0;
+
+  /// One-time load-phase work after the weights are final: layers that
+  /// lower to GEMM pack their fp32 weights into `GemmPackedB` panels
+  /// here, so the per-call pack pass (and its memory traffic) leaves
+  /// the steady-state forward and lands in the measured cold start.
+  /// Idempotent; safe to skip (forwards fall back to per-call packing).
+  virtual void prepare() {}
 
   /// Build this layer's INT8 replacement from its current weights, or
   /// return null if the layer has no quantized form (it is kept as-is).

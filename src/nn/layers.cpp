@@ -137,11 +137,17 @@ Linear::Linear(std::string name, std::int64_t in_dim, std::int64_t out_dim,
 Tensor Linear::forward(const Tensor& input) {
   const std::int64_t rows = input.numel() / in_dim_;
   Shape out_shape = input.shape().with_dim(input.shape().rank() - 1, out_dim_);
-  Tensor output(out_shape, DType::kF32);
+  Tensor output = Tensor::scratch(out_shape, DType::kF32);
   GemmEpilogue epilogue;
   epilogue.bias_n = bias_.f32();
-  gemm_bt_ex(input.f32(), weight_.f32(), output.f32(), rows, out_dim_, in_dim_,
-             /*accumulate=*/false, epilogue);
+  if (!packed_.empty() && packs_stale_) prepare();
+  if (!packed_.empty()) {
+    gemm_prepacked_ex(input.f32(), in_dim_, packed_, output.f32(), out_dim_,
+                      rows, /*accumulate=*/false, epilogue);
+  } else {
+    gemm_bt_ex(input.f32(), weight_.f32(), output.f32(), rows, out_dim_,
+               in_dim_, /*accumulate=*/false, epilogue);
+  }
   return output;
 }
 
@@ -152,6 +158,13 @@ void Linear::append_costs(std::int64_t batch, std::vector<OpCost>& out) const {
 void Linear::collect_params(std::vector<NamedParam>& out) {
   out.push_back({name_ + ".weight", &weight_});
   out.push_back({name_ + ".bias", &bias_});
+  packs_stale_ = true;
+}
+
+void Linear::prepare() {
+  packed_ = GemmPackedB(weight_.f32(), in_dim_, /*b_transposed=*/true, out_dim_,
+                        in_dim_);
+  packs_stale_ = false;
 }
 
 LayerPtr Linear::make_quantized() {
@@ -165,7 +178,9 @@ Gelu::Gelu(std::string name, std::int64_t elems_per_image)
     : name_(std::move(name)), elems_per_image_(elems_per_image) {}
 
 Tensor Gelu::forward(const Tensor& input) {
-  Tensor output = input.clone();
+  Tensor output = Tensor::scratch(input.shape(), DType::kF32);
+  std::memcpy(output.f32(), input.f32(),
+              static_cast<std::size_t>(input.numel()) * sizeof(float));
   gelu_inplace(output.f32(), output.numel());
   return output;
 }
@@ -184,7 +199,7 @@ LayerNorm::LayerNorm(std::string name, std::int64_t dim,
 }
 
 Tensor LayerNorm::forward(const Tensor& input) {
-  Tensor output(input.shape(), DType::kF32);
+  Tensor output = Tensor::scratch(input.shape(), DType::kF32);
   const std::int64_t rows = input.numel() / dim_;
   layernorm_rows(input.f32(), output.f32(), rows, dim_, gamma_.f32(),
                  beta_.f32());
@@ -222,24 +237,38 @@ Tensor PatchEmbed::forward(const Tensor& input) {
   const std::int64_t patch_elems = in_ch_ * patch_ * patch_;
   const std::int64_t patches = grid_ * grid_;
 
-  Tensor output(Shape{n, tokens_, dim_}, DType::kF32);
-  std::vector<float> patch_buf(static_cast<std::size_t>(patches) *
-                               static_cast<std::size_t>(patch_elems));
-
+  Tensor output = Tensor::scratch(Shape{n, tokens_, dim_}, DType::kF32);
+  // Batched gather: every image's patch rows land in one scratch matrix
+  // (arena-backed under a request scope — the former per-call
+  // std::vector was a heap allocation on every forward).
+  Tensor patch_buf = Tensor::scratch(Shape{n * patches, patch_elems});
   for (std::int64_t b = 0; b < n; ++b) {
     const float* img = input.f32() + b * in_ch_ * image_ * image_;
-    gather_image_patches(img, patch_buf.data(), in_ch_, image_, grid_, patch_);
+    gather_image_patches(img, patch_buf.f32() + b * patches * patch_elems,
+                         in_ch_, image_, grid_, patch_);
+  }
+
+  if (!packed_.empty() && packs_stale_) prepare();
+  const float* pos = pos_embed_.f32();
+  const float* cls = cls_token_.f32();
+  for (std::int64_t b = 0; b < n; ++b) {
     float* out_tokens = output.f32() + b * tokens_ * dim_;
-    // CLS token first.
-    std::memcpy(out_tokens, cls_token_.f32(),
-                static_cast<std::size_t>(dim_) * sizeof(float));
+    // CLS token plus its positional row; the patch tokens get their
+    // positional rows through the GEMM's add_c epilogue, so the
+    // separate full-matrix pos-add memory pass is gone.
+    for (std::int64_t c = 0; c < dim_; ++c) out_tokens[c] = cls[c] + pos[c];
     GemmEpilogue epilogue;
     epilogue.bias_n = bias_.f32();
-    gemm_bt_ex(patch_buf.data(), weight_.f32(), out_tokens + dim_, patches,
-               dim_, patch_elems, /*accumulate=*/false, epilogue);
-    // Positional embeddings over all tokens (including CLS).
-    const float* pos = pos_embed_.f32();
-    for (std::int64_t i = 0; i < tokens_ * dim_; ++i) out_tokens[i] += pos[i];
+    epilogue.add_c = pos + dim_;  // positional rows of the patch tokens
+    epilogue.add_ld = dim_;
+    const float* rows = patch_buf.f32() + b * patches * patch_elems;
+    if (!packed_.empty()) {
+      gemm_prepacked_ex(rows, patch_elems, packed_, out_tokens + dim_, dim_,
+                        patches, /*accumulate=*/false, epilogue);
+    } else {
+      gemm_bt_ex(rows, weight_.f32(), out_tokens + dim_, patches, dim_,
+                 patch_elems, /*accumulate=*/false, epilogue);
+    }
   }
   return output;
 }
@@ -256,6 +285,13 @@ void PatchEmbed::collect_params(std::vector<NamedParam>& out) {
   out.push_back({name_ + ".bias", &bias_});
   out.push_back({name_ + ".cls_token", &cls_token_});
   out.push_back({name_ + ".pos_embed", &pos_embed_});
+  packs_stale_ = true;
+}
+
+void PatchEmbed::prepare() {
+  packed_ = GemmPackedB(weight_.f32(), in_ch_ * patch_ * patch_,
+                        /*b_transposed=*/true, dim_, in_ch_ * patch_ * patch_);
+  packs_stale_ = false;
 }
 
 LayerPtr PatchEmbed::make_quantized() {
@@ -289,40 +325,59 @@ Tensor TransformerBlock::forward(const Tensor& input) {
   const std::int64_t n = input.shape()[0];
   const std::int64_t rows = n * tokens_;
 
-  Tensor x = input.clone();
-  Tensor normed(input.shape(), DType::kF32);
+  if (packs_stale_ && !pk_qkv_.empty()) prepare();
+  // Weight-stationary GEMM helper: prepacked panels when prepare() ran,
+  // per-call packing otherwise (identical numerics either way).
+  const auto run_gemm = [](const float* a, const Tensor& w,
+                           const GemmPackedB& pk, float* c, std::int64_t m,
+                           std::int64_t nn, std::int64_t kk, bool accumulate,
+                           const GemmEpilogue& ep) {
+    if (!pk.empty()) {
+      gemm_prepacked_ex(a, kk, pk, c, nn, m, accumulate, ep);
+    } else {
+      gemm_bt_ex(a, w.f32(), c, m, nn, kk, accumulate, ep);
+    }
+  };
+
+  Tensor x = Tensor::scratch(input.shape(), DType::kF32);
+  std::memcpy(x.f32(), input.f32(),
+              static_cast<std::size_t>(input.numel()) * sizeof(float));
+  Tensor normed = Tensor::scratch(input.shape(), DType::kF32);
   layernorm_rows(x.f32(), normed.f32(), rows, dim_, ln1_gamma_.f32(),
                  ln1_beta_.f32());
 
-  Tensor qkv(Shape{n, tokens_, 3 * dim_}, DType::kF32);
+  Tensor qkv = Tensor::scratch(Shape{n, tokens_, 3 * dim_}, DType::kF32);
   GemmEpilogue qkv_ep;
   qkv_ep.bias_n = b_qkv_.f32();
-  gemm_bt_ex(normed.f32(), w_qkv_.f32(), qkv.f32(), rows, 3 * dim_, dim_,
-             /*accumulate=*/false, qkv_ep);
+  run_gemm(normed.f32(), w_qkv_, pk_qkv_, qkv.f32(), rows, 3 * dim_, dim_,
+           /*accumulate=*/false, qkv_ep);
 
-  Tensor attn_out(Shape{n, tokens_, dim_}, DType::kF32);
-  self_attention_batched(qkv.f32(), attn_out.f32(), n, tokens_, dim_, heads_);
+  // Flash-style fused attention: the T×T score matrix is never
+  // materialized (O(T·head_dim) per-thread scratch, see attention.cpp).
+  Tensor attn_out = Tensor::scratch(Shape{n, tokens_, dim_}, DType::kF32);
+  self_attention_fused_batched(qkv.f32(), attn_out.f32(), n, tokens_, dim_,
+                               heads_);
 
   // Residual fused into the projection: x += attn·Wᵀ + b (accumulate
   // GEMM with bias epilogue), dropping the separate temp + add pass.
   GemmEpilogue proj_ep;
   proj_ep.bias_n = b_proj_.f32();
-  gemm_bt_ex(attn_out.f32(), w_proj_.f32(), x.f32(), rows, dim_, dim_,
-             /*accumulate=*/true, proj_ep);
+  run_gemm(attn_out.f32(), w_proj_, pk_proj_, x.f32(), rows, dim_, dim_,
+           /*accumulate=*/true, proj_ep);
 
   layernorm_rows(x.f32(), normed.f32(), rows, dim_, ln2_gamma_.f32(),
                  ln2_beta_.f32());
-  Tensor hidden(Shape{n, tokens_, mlp_hidden_}, DType::kF32);
+  Tensor hidden = Tensor::scratch(Shape{n, tokens_, mlp_hidden_}, DType::kF32);
   GemmEpilogue fc1_ep;
   fc1_ep.bias_n = b_fc1_.f32();
   fc1_ep.act = EpilogueAct::kGelu;
-  gemm_bt_ex(normed.f32(), w_fc1_.f32(), hidden.f32(), rows, mlp_hidden_, dim_,
-             /*accumulate=*/false, fc1_ep);
+  run_gemm(normed.f32(), w_fc1_, pk_fc1_, hidden.f32(), rows, mlp_hidden_,
+           dim_, /*accumulate=*/false, fc1_ep);
 
   GemmEpilogue fc2_ep;
   fc2_ep.bias_n = b_fc2_.f32();
-  gemm_bt_ex(hidden.f32(), w_fc2_.f32(), x.f32(), rows, dim_, mlp_hidden_,
-             /*accumulate=*/true, fc2_ep);
+  run_gemm(hidden.f32(), w_fc2_, pk_fc2_, x.f32(), rows, dim_, mlp_hidden_,
+           /*accumulate=*/true, fc2_ep);
   return x;
 }
 
@@ -354,6 +409,19 @@ void TransformerBlock::collect_params(std::vector<NamedParam>& out) {
   out.push_back({name_ + ".fc1.bias", &b_fc1_});
   out.push_back({name_ + ".fc2.weight", &w_fc2_});
   out.push_back({name_ + ".fc2.bias", &b_fc2_});
+  packs_stale_ = true;
+}
+
+void TransformerBlock::prepare() {
+  pk_qkv_ = GemmPackedB(w_qkv_.f32(), dim_, /*b_transposed=*/true, 3 * dim_,
+                        dim_);
+  pk_proj_ = GemmPackedB(w_proj_.f32(), dim_, /*b_transposed=*/true, dim_,
+                         dim_);
+  pk_fc1_ = GemmPackedB(w_fc1_.f32(), dim_, /*b_transposed=*/true, mlp_hidden_,
+                        dim_);
+  pk_fc2_ = GemmPackedB(w_fc2_.f32(), mlp_hidden_, /*b_transposed=*/true, dim_,
+                        mlp_hidden_);
+  packs_stale_ = false;
 }
 
 LayerPtr TransformerBlock::make_quantized() {
@@ -370,7 +438,7 @@ ClsPool::ClsPool(std::string name, std::int64_t tokens, std::int64_t dim)
 
 Tensor ClsPool::forward(const Tensor& input) {
   const std::int64_t n = input.shape()[0];
-  Tensor output(Shape{n, dim_}, DType::kF32);
+  Tensor output = Tensor::scratch(Shape{n, dim_}, DType::kF32);
   for (std::int64_t b = 0; b < n; ++b) {
     std::memcpy(output.f32() + b * dim_, input.f32() + b * tokens_ * dim_,
                 static_cast<std::size_t>(dim_) * sizeof(float));

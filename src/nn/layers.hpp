@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nn/conv.hpp"
+#include "nn/gemm.hpp"
 #include "nn/layer.hpp"
 
 namespace harvest::nn {
@@ -35,6 +36,7 @@ class Linear final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  void prepare() override;
   LayerPtr make_quantized() override;
 
   tensor::Tensor& weight() { return weight_; }
@@ -45,6 +47,8 @@ class Linear final : public Layer {
   std::int64_t in_dim_, out_dim_, rows_per_image_;
   tensor::Tensor weight_;  ///< [out, in]
   tensor::Tensor bias_;    ///< [out]
+  GemmPackedB packed_;     ///< AOT-packed weight (prepare())
+  bool packs_stale_ = false;
 };
 
 /// Elementwise GELU over any shape.
@@ -88,6 +92,7 @@ class PatchEmbed final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  void prepare() override;
   LayerPtr make_quantized() override;
 
   std::int64_t tokens() const { return tokens_; }
@@ -99,6 +104,8 @@ class PatchEmbed final : public Layer {
   tensor::Tensor bias_;       ///< [dim]
   tensor::Tensor cls_token_;  ///< [dim]
   tensor::Tensor pos_embed_;  ///< [tokens, dim]
+  GemmPackedB packed_;        ///< AOT-packed projection weight
+  bool packs_stale_ = false;
 };
 
 /// Pre-norm transformer encoder block (ViT style):
@@ -112,6 +119,7 @@ class TransformerBlock final : public Layer {
   tensor::Tensor forward(const tensor::Tensor& input) override;
   void append_costs(std::int64_t batch, std::vector<OpCost>& out) const override;
   void collect_params(std::vector<NamedParam>& out) override;
+  void prepare() override;
   LayerPtr make_quantized() override;
 
  private:
@@ -122,6 +130,9 @@ class TransformerBlock final : public Layer {
   tensor::Tensor w_proj_, b_proj_;  ///< [dim, dim], [dim]
   tensor::Tensor w_fc1_, b_fc1_;    ///< [hidden, dim], [hidden]
   tensor::Tensor w_fc2_, b_fc2_;    ///< [dim, hidden], [dim]
+  // AOT-packed weights (prepare()); empty until first prepare.
+  GemmPackedB pk_qkv_, pk_proj_, pk_fc1_, pk_fc2_;
+  bool packs_stale_ = false;
 };
 
 /// Select the CLS token: [N, T, D] → [N, D].

@@ -114,14 +114,19 @@ MfuReport profile_layer_mfu(Model& model, const tensor::Tensor& input,
     row.flops = 2.0 * row.macs;
   }
 
-  // Measured side: layer-by-layer timed forwards.
-  std::vector<double> seconds(n, 0.0);
+  // Measured side: layer-by-layer timed forwards. Per-layer minimum
+  // across passes — scheduler noise on a shared machine is strictly
+  // one-sided, so the min is the robust utilization estimator (the
+  // mean folds interference into every layer's MFU).
+  std::vector<double> seconds(n, 1e30);
   for (int pass = 0; pass < warmup + iters; ++pass) {
     tensor::Tensor x = input.clone();
     for (std::size_t i = 0; i < n; ++i) {
       core::WallTimer timer;
       x = model.layer(i).forward(x);
-      if (pass >= warmup) seconds[i] += timer.elapsed_seconds();
+      if (pass >= warmup) {
+        seconds[i] = std::min(seconds[i], timer.elapsed_seconds());
+      }
     }
   }
 
@@ -129,7 +134,7 @@ MfuReport profile_layer_mfu(Model& model, const tensor::Tensor& input,
   double total_seconds = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     LayerMfu& row = report.layers[i];
-    row.seconds = seconds[i] / iters;
+    row.seconds = seconds[i];
     if (row.seconds > 0.0) {
       row.achieved_gflops = row.flops / row.seconds / 1e9;
       if (peak_gflops > 0.0) row.mfu = row.achieved_gflops / peak_gflops;

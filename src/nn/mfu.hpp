@@ -27,7 +27,7 @@ struct LayerMfu {
   double macs = 0.0;       ///< analytic MACs at the profiled batch
   double flops = 0.0;      ///< 2 × macs
   double bytes = 0.0;      ///< analytic operand traffic
-  double seconds = 0.0;    ///< mean measured time per forward
+  double seconds = 0.0;    ///< min measured time per forward (noise-robust)
   double achieved_gflops = 0.0;
   double mfu = 0.0;                ///< achieved / peak, in [0, ...]
   double arithmetic_intensity = 0.0;  ///< flops / bytes (roofline x-axis)

@@ -7,6 +7,7 @@
 
 #include "core/rng.hpp"
 #include "nn/activations.hpp"
+#include "nn/attention.hpp"
 #include "nn/gemm.hpp"
 #include "nn/init.hpp"
 #include "nn/norm.hpp"
@@ -396,7 +397,6 @@ class AttnTokenModel final : public TokenModel {
       for (std::int64_t c = 0; c < d; ++c) xi[c] += p[c];
     }
 
-    std::vector<float> scores(static_cast<std::size_t>(cfg_.max_tokens));
     for (std::size_t li = 0; li < blocks_.size(); ++li) {
       Block& b = blocks_[li];
       layernorm_rows(x.data(), normed.data(), rows, d, b.ln1_gamma.f32(),
@@ -427,32 +427,12 @@ class AttnTokenModel final : public TokenModel {
                     static_cast<std::size_t>(d) * sizeof(float));
         std::memcpy(vc + slot * d, vr,
                     static_cast<std::size_t>(d) * sizeof(float));
+        // One-pass online-softmax attention over the cache (no score
+        // buffer, no second read of K); deterministic per row, so the
+        // packed-prefill == step-decode bit-identity contract holds.
         for (std::int64_t h = 0; h < heads; ++h) {
-          const float* qh = q + h * hd;
-          float max_score = -std::numeric_limits<float>::infinity();
-          for (std::int64_t j = 0; j <= slot; ++j) {
-            const float* kj = kc + j * d + h * hd;
-            float s = 0.0f;
-            for (std::int64_t c = 0; c < hd; ++c) s += qh[c] * kj[c];
-            s *= scale;
-            scores[static_cast<std::size_t>(j)] = s;
-            max_score = std::max(max_score, s);
-          }
-          float denom = 0.0f;
-          for (std::int64_t j = 0; j <= slot; ++j) {
-            const float e =
-                std::exp(scores[static_cast<std::size_t>(j)] - max_score);
-            scores[static_cast<std::size_t>(j)] = e;
-            denom += e;
-          }
-          float* oh = out + h * hd;
-          std::memset(oh, 0, static_cast<std::size_t>(hd) * sizeof(float));
-          const float inv = 1.0f / denom;
-          for (std::int64_t j = 0; j <= slot; ++j) {
-            const float p = scores[static_cast<std::size_t>(j)] * inv;
-            const float* vj = vc + j * d + h * hd;
-            for (std::int64_t c = 0; c < hd; ++c) oh[c] += p * vj[c];
-          }
+          attention_decode_fused(q + h * hd, kc + h * hd, vc + h * hd, d,
+                                 out + h * hd, slot + 1, hd, scale);
         }
       }
 

@@ -37,7 +37,14 @@ core::Result<BackendResult> NativeBackend::infer(const tensor::Tensor& batch) {
   std::scoped_lock lock(exec_mutex_);
   core::WallTimer timer;
   BackendResult result;
-  result.logits = model_->forward(batch);
+  {
+    // Every activation (and the forward's return tensor) lands in the
+    // request arena; clone the logits onto the heap before recycling
+    // the arena memory for the next request.
+    core::ArenaScope scope(arena_);
+    result.logits = model_->forward(batch).clone();
+  }
+  arena_.reset();
   result.device_seconds = timer.elapsed_seconds();
   return result;
 }

@@ -7,6 +7,7 @@
 
 #include <mutex>
 
+#include "core/arena.hpp"
 #include "nn/graph.hpp"
 #include "serving/backend.hpp"
 
@@ -33,6 +34,10 @@ class NativeBackend final : public Backend {
   nn::ModelPtr model_;
   std::int64_t max_batch_;
   std::string precision_;
+  // Per-request bump arena: all intermediate activations of a forward
+  // land here and are recycled wholesale after the logits are cloned
+  // out, so the steady-state hot path performs zero heap allocations.
+  core::BumpArena arena_;
   // The nn graph reuses per-layer scratch buffers; serialize access so
   // one backend instance = one execution stream (more instances = more
   // backends, as in Triton's instance groups).

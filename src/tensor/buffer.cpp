@@ -1,20 +1,61 @@
 #include "tensor/buffer.hpp"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 
+#include "core/arena.hpp"
 #include "core/status.hpp"
 
 namespace harvest::tensor {
 
+namespace {
+std::atomic<std::uint64_t> g_heap_allocations{0};
+
+void* heap_alloc(std::size_t bytes) {
+  // aligned_alloc requires the size to be a multiple of the alignment.
+  const std::size_t rounded =
+      (bytes + AlignedBuffer::kAlignment - 1) / AlignedBuffer::kAlignment *
+      AlignedBuffer::kAlignment;
+  void* p = std::aligned_alloc(AlignedBuffer::kAlignment, rounded);
+  HARVEST_CHECK_MSG(p != nullptr, "aligned allocation failed");
+  g_heap_allocations.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+}  // namespace
+
 AlignedBuffer::AlignedBuffer(std::size_t bytes) : bytes_(bytes) {
   if (bytes == 0) return;
-  // aligned_alloc requires the size to be a multiple of the alignment.
-  const std::size_t rounded = (bytes + kAlignment - 1) / kAlignment * kAlignment;
-  void* p = std::aligned_alloc(kAlignment, rounded);
-  HARVEST_CHECK_MSG(p != nullptr, "aligned allocation failed");
-  std::memset(p, 0, rounded);
-  data_.reset(p);
+  const std::size_t rounded =
+      (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  data_ = heap_alloc(bytes);
+  std::memset(data_, 0, rounded);
+  owned_ = true;
+}
+
+AlignedBuffer AlignedBuffer::scratch(std::size_t bytes) {
+  AlignedBuffer buf;
+  if (bytes == 0) return buf;
+  buf.bytes_ = bytes;
+  if (core::BumpArena* arena = core::ArenaScope::current()) {
+    buf.data_ = arena->allocate(bytes);
+    buf.owned_ = false;
+  } else {
+    buf.data_ = heap_alloc(bytes);
+    buf.owned_ = true;
+  }
+  return buf;
+}
+
+void AlignedBuffer::destroy() noexcept {
+  if (owned_ && data_ != nullptr) std::free(data_);
+  data_ = nullptr;
+  bytes_ = 0;
+  owned_ = false;
+}
+
+std::uint64_t AlignedBuffer::heap_allocation_count() {
+  return g_heap_allocations.load(std::memory_order_relaxed);
 }
 
 }  // namespace harvest::tensor

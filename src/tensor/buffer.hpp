@@ -4,9 +4,20 @@
 /// 64-byte-aligned raw storage (cache-line / AVX-512 friendly). The GEMM
 /// and convolution kernels assume their operands come from AlignedBuffer
 /// so the compiler can vectorize the inner loops.
+///
+/// Two allocation flavours exist:
+///   * `AlignedBuffer(bytes)` — owning, zero-initialized heap storage
+///     (model weights, long-lived state). Every heap allocation bumps a
+///     process-wide counter so tests can assert a code path is
+///     allocation-free (`heap_allocation_count()`).
+///   * `AlignedBuffer::scratch(bytes)` — UNINITIALIZED storage for
+///     request-scoped temporaries. When the calling thread has a
+///     `core::ArenaScope` bound it is carved out of that bump arena
+///     (non-owning: the arena reclaims it wholesale on reset);
+///     otherwise it falls back to an owning heap allocation.
 
 #include <cstddef>
-#include <memory>
+#include <cstdint>
 
 namespace harvest::tensor {
 
@@ -17,28 +28,59 @@ class AlignedBuffer {
   AlignedBuffer() = default;
   explicit AlignedBuffer(std::size_t bytes);
 
-  AlignedBuffer(AlignedBuffer&&) noexcept = default;
-  AlignedBuffer& operator=(AlignedBuffer&&) noexcept = default;
+  /// Uninitialized scratch storage; arena-backed when an ArenaScope is
+  /// active on this thread, heap-backed otherwise. Callers must fully
+  /// overwrite the region before reading it.
+  static AlignedBuffer scratch(std::size_t bytes);
+
+  ~AlignedBuffer() { destroy(); }
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), bytes_(other.bytes_), owned_(other.owned_) {
+    other.data_ = nullptr;
+    other.bytes_ = 0;
+    other.owned_ = false;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      data_ = other.data_;
+      bytes_ = other.bytes_;
+      owned_ = other.owned_;
+      other.data_ = nullptr;
+      other.bytes_ = 0;
+      other.owned_ = false;
+    }
+    return *this;
+  }
   AlignedBuffer(const AlignedBuffer&) = delete;
   AlignedBuffer& operator=(const AlignedBuffer&) = delete;
 
   std::size_t size_bytes() const { return bytes_; }
   bool empty() const { return bytes_ == 0; }
+  /// True when the storage belongs to a bump arena (it dies with the
+  /// arena's reset, not with this object).
+  bool arena_backed() const { return data_ != nullptr && !owned_; }
 
-  void* data() { return data_.get(); }
-  const void* data() const { return data_.get(); }
+  void* data() { return data_; }
+  const void* data() const { return data_; }
 
   template <typename T>
   T* as() { return static_cast<T*>(data()); }
   template <typename T>
   const T* as() const { return static_cast<const T*>(data()); }
 
+  /// Process-wide count of heap allocations made by AlignedBuffer
+  /// (owning constructions, including arena-less scratch). Sampled by
+  /// the zero-malloc steady-state gate in nn_arena_test.
+  static std::uint64_t heap_allocation_count();
+
  private:
-  struct FreeDeleter {
-    void operator()(void* p) const noexcept { std::free(p); }
-  };
-  std::unique_ptr<void, FreeDeleter> data_;
+  void destroy() noexcept;
+
+  void* data_ = nullptr;
   std::size_t bytes_ = 0;
+  bool owned_ = false;
 };
 
 }  // namespace harvest::tensor

@@ -24,6 +24,15 @@ Tensor::Tensor(Shape shape, DType dtype)
     : shape_(shape), dtype_(dtype),
       buffer_(static_cast<std::size_t>(shape.numel()) * dtype_size(dtype)) {}
 
+Tensor Tensor::scratch(Shape shape, DType dtype) {
+  Tensor t;
+  t.shape_ = shape;
+  t.dtype_ = dtype;
+  t.buffer_ = AlignedBuffer::scratch(
+      static_cast<std::size_t>(shape.numel()) * dtype_size(dtype));
+  return t;
+}
+
 Tensor Tensor::full(Shape shape, float value) {
   Tensor t(shape, DType::kF32);
   float* p = t.f32();

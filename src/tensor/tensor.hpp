@@ -30,6 +30,13 @@ class Tensor {
   }
   static Tensor full(Shape shape, float value);
 
+  /// UNINITIALIZED request-scoped temporary: storage comes from the
+  /// calling thread's `core::ArenaScope` arena when one is bound (no
+  /// heap traffic, reclaimed wholesale on arena reset) and from the
+  /// heap otherwise. The caller must fully overwrite the contents
+  /// before reading; use `zeros` when zero-fill semantics matter.
+  static Tensor scratch(Shape shape, DType dtype = DType::kF32);
+
   Tensor(Tensor&&) noexcept = default;
   Tensor& operator=(Tensor&&) noexcept = default;
   Tensor(const Tensor&) = delete;

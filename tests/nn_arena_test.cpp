@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "core/arena.hpp"
+#include "nn/graph.hpp"
+#include "nn/init.hpp"
+#include "nn/models.hpp"
+#include "tensor/buffer.hpp"
+#include "tensor/tensor.hpp"
+
+// ------------------------------------------------------------------
+// Global operator new counting hook: the zero-malloc gate below counts
+// EVERY heap allocation in the process, not just tensor buffers, so a
+// stray std::vector in a kernel can't hide behind the arena.
+
+namespace {
+std::uint64_t g_new_calls = 0;
+}
+
+void* operator new(std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  ++g_new_calls;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace harvest {
+namespace {
+
+using core::ArenaScope;
+using core::BumpArena;
+
+// ------------------------------------------------------------------ arena
+
+TEST(BumpArena, AllocationsAreAlignedAndCounted) {
+  BumpArena arena(1 << 16);
+  void* a = arena.allocate(100);
+  void* b = arena.allocate(1);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % BumpArena::kAlignment, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % BumpArena::kAlignment, 0u);
+  // 100 pads to 128, plus 64 for the second allocation.
+  EXPECT_EQ(arena.used_bytes(), 192u);
+  EXPECT_GE(arena.reserved_bytes(), arena.used_bytes());
+}
+
+TEST(BumpArena, ResetRecyclesBlocksAndMemory) {
+  BumpArena arena(1 << 16);
+  void* first = arena.allocate(1000);
+  arena.allocate(3000);
+  const std::size_t reserved = arena.reserved_bytes();
+  const std::size_t blocks = arena.block_count();
+
+  arena.reset();
+  EXPECT_EQ(arena.used_bytes(), 0u);
+  EXPECT_EQ(arena.reserved_bytes(), reserved);  // blocks kept, not freed
+  EXPECT_EQ(arena.block_count(), blocks);
+  EXPECT_EQ(arena.reset_count(), 1u);
+
+  // Steady state: the same request replayed gets the same memory back.
+  void* again = arena.allocate(1000);
+  EXPECT_EQ(again, first);
+}
+
+TEST(BumpArena, GrowsBeyondOneBlockAndTracksPeak) {
+  BumpArena arena(1 << 12);  // 4 KiB blocks force chain growth
+  for (int i = 0; i < 8; ++i) arena.allocate(3000);
+  EXPECT_GT(arena.block_count(), 1u);
+  const std::size_t peak = arena.peak_bytes();
+  EXPECT_GE(peak, 8u * 3000u);
+  arena.reset();
+  arena.allocate(64);
+  EXPECT_EQ(arena.peak_bytes(), peak);  // high-water survives reset
+}
+
+TEST(BumpArena, ReserveMakesFollowingAllocationsHeapFree) {
+  BumpArena arena(1 << 12);
+  arena.reserve(1 << 16);
+  const std::size_t blocks = arena.block_count();
+  const std::uint64_t before = g_new_calls;
+  for (int i = 0; i < 16; ++i) arena.allocate(4000);
+  EXPECT_EQ(g_new_calls, before);
+  EXPECT_EQ(arena.block_count(), blocks);
+}
+
+TEST(ArenaScope, BindsPerThreadAndNests) {
+  EXPECT_EQ(ArenaScope::current(), nullptr);
+  BumpArena outer_arena, inner_arena;
+  {
+    ArenaScope outer(outer_arena);
+    EXPECT_EQ(ArenaScope::current(), &outer_arena);
+    {
+      ArenaScope inner(inner_arena);
+      EXPECT_EQ(ArenaScope::current(), &inner_arena);
+    }
+    EXPECT_EQ(ArenaScope::current(), &outer_arena);
+  }
+  EXPECT_EQ(ArenaScope::current(), nullptr);
+}
+
+TEST(ArenaScope, ScratchTensorsLandInTheBoundArena) {
+  BumpArena arena;
+  {
+    ArenaScope scope(arena);
+    tensor::Tensor t = tensor::Tensor::scratch({64, 64});
+    EXPECT_GE(arena.used_bytes(), 64u * 64u * sizeof(float));
+    t.f32()[0] = 1.0f;  // writable
+  }
+  arena.reset();
+  // Without a scope, scratch falls back to an owning heap buffer.
+  const std::uint64_t before = tensor::AlignedBuffer::heap_allocation_count();
+  tensor::Tensor heap = tensor::Tensor::scratch({8, 8});
+  EXPECT_EQ(tensor::AlignedBuffer::heap_allocation_count(), before + 1);
+}
+
+// ------------------------------------------------------- zero-malloc gate
+
+/// The tentpole acceptance gate: after warm-up, a ViT forward under a
+/// request ArenaScope performs ZERO heap allocations — not just zero
+/// tensor-buffer allocations (AlignedBuffer's counter) but zero calls
+/// to global operator new anywhere in the layer stack.
+TEST(ZeroMallocGate, SteadyStateVitForwardAllocatesNothing) {
+  nn::ModelPtr model = nn::build_vit(nn::vit_tiny_config());
+  nn::init_weights(*model, 42);
+  model->prepare();  // AOT weight packing, as the serving load path does
+
+  const tensor::Shape& per_image = model->input_shape();
+  const tensor::Tensor input = tensor::Tensor::full(
+      {2, per_image.dim(0), per_image.dim(1), per_image.dim(2)}, 0.1f);
+
+  BumpArena arena;
+  // Two warm-up requests: the first grows the arena chain and any
+  // grow-only thread-local kernel scratch; the second proves a fresh
+  // request replays into the recycled blocks.
+  for (int warm = 0; warm < 2; ++warm) {
+    ArenaScope scope(arena);
+    (void)model->forward(input);
+    arena.reset();
+  }
+
+  const std::uint64_t news_before = g_new_calls;
+  const std::uint64_t buffers_before =
+      tensor::AlignedBuffer::heap_allocation_count();
+  {
+    ArenaScope scope(arena);
+    (void)model->forward(input);
+  }
+  arena.reset();
+  EXPECT_EQ(tensor::AlignedBuffer::heap_allocation_count(), buffers_before)
+      << "a tensor buffer bypassed the request arena";
+  EXPECT_EQ(g_new_calls, news_before)
+      << "steady-state Model::forward hit operator new";
+}
+
+}  // namespace
+}  // namespace harvest

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "nn/attention.hpp"
+#include "nn/token_model.hpp"
+
+namespace harvest::nn {
+namespace {
+
+std::vector<float> random_vec(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = rng.next_float() * 2.0f - 1.0f;
+  return v;
+}
+
+float max_abs_diff(const std::vector<float>& a, const std::vector<float>& b) {
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+// Softmax outputs are convex combinations of V (values in [-1, 1]), so
+// absolute error is the right metric; the fused path's tiled
+// accumulation order and polynomial exp sit well under this bound.
+constexpr float kTol = 1e-4f;
+
+// ------------------------------------------------- fused vs naive
+
+/// (tokens, dim, heads): odd T, T straddling the 64-wide kv tile and
+/// the 4-row q tile, head_dim off the 8/16-lane vector grids (9, 20),
+/// plus the real ViT-Tiny geometry.
+class FusedAttentionShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(FusedAttentionShapes, FusedMatchesNaive) {
+  const auto [tokens, dim, heads] = GetParam();
+  const std::int64_t batch = 2;
+  const auto qkv = random_vec(static_cast<std::size_t>(batch * tokens * 3 * dim),
+                              static_cast<std::uint64_t>(tokens * 131 + dim));
+  std::vector<float> want(static_cast<std::size_t>(batch * tokens * dim));
+  std::vector<float> got(want.size());
+  self_attention_batched(qkv.data(), want.data(), batch, tokens, dim, heads);
+  self_attention_fused_batched(qkv.data(), got.data(), batch, tokens, dim,
+                               heads);
+  EXPECT_LE(max_abs_diff(want, got), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FusedAttentionShapes,
+    ::testing::Values(std::make_tuple(1, 64, 4),     // single token
+                      std::make_tuple(2, 48, 3),     // tiny, hd=16
+                      std::make_tuple(7, 36, 4),     // odd T, hd=9
+                      std::make_tuple(33, 60, 3),    // odd T, hd=20
+                      std::make_tuple(63, 64, 2),    // one row short of tile
+                      std::make_tuple(64, 64, 2),    // exactly one kv tile
+                      std::make_tuple(65, 64, 2),    // tile straddle
+                      std::make_tuple(130, 96, 3),   // two tiles + tail
+                      std::make_tuple(257, 192, 3)));  // ViT-Tiny
+
+TEST(FusedAttention, SingleImageMatchesBatched) {
+  const std::int64_t tokens = 65, dim = 96, heads = 3, batch = 3;
+  const auto qkv =
+      random_vec(static_cast<std::size_t>(batch * tokens * 3 * dim), 7);
+  std::vector<float> batched(static_cast<std::size_t>(batch * tokens * dim));
+  std::vector<float> single(batched.size());
+  self_attention_fused_batched(qkv.data(), batched.data(), batch, tokens, dim,
+                               heads);
+  for (std::int64_t b = 0; b < batch; ++b) {
+    self_attention_fused(qkv.data() + b * tokens * 3 * dim,
+                         single.data() + b * tokens * dim, tokens, dim, heads);
+  }
+  // Same kernel per (image, head) task, so bit-identical.
+  EXPECT_EQ(0, std::memcmp(batched.data(), single.data(),
+                           batched.size() * sizeof(float)));
+}
+
+TEST(FusedAttention, ScratchIsLinearInTokens) {
+  const std::int64_t dim = 192, heads = 3;
+  const std::size_t s256 = self_attention_fused_scratch_bytes(256, dim, heads);
+  const std::size_t s512 = self_attention_fused_scratch_bytes(512, dim, heads);
+  const std::size_t s1024 =
+      self_attention_fused_scratch_bytes(1024, dim, heads);
+  // O(T): doubling T must not much more than double the footprint…
+  EXPECT_LE(s512, 3 * s256);
+  EXPECT_LE(s1024, 3 * s512);
+  // …and must undercut the naive heads·T² score buffer at depth.
+  const std::size_t naive1024 =
+      static_cast<std::size_t>(heads) * 1024 * 1024 * sizeof(float);
+  EXPECT_LT(s1024, naive1024 / 4);
+}
+
+// ------------------------------------------------- decode kernel
+
+/// Scalar two-pass softmax reference for the decode layout (one query
+/// row against `len` cached K/V rows with row pitch `pitch`).
+void decode_reference(const float* q, const float* k_rows, const float* v_rows,
+                      std::int64_t pitch, float* out, std::int64_t len,
+                      std::int64_t hd, float scale) {
+  std::vector<float> scores(static_cast<std::size_t>(len));
+  float max_score = -1e30f;
+  for (std::int64_t j = 0; j < len; ++j) {
+    float s = 0.0f;
+    for (std::int64_t c = 0; c < hd; ++c) s += q[c] * k_rows[j * pitch + c];
+    s *= scale;
+    scores[static_cast<std::size_t>(j)] = s;
+    max_score = std::max(max_score, s);
+  }
+  float denom = 0.0f;
+  for (std::int64_t j = 0; j < len; ++j) {
+    const float e = std::exp(scores[static_cast<std::size_t>(j)] - max_score);
+    scores[static_cast<std::size_t>(j)] = e;
+    denom += e;
+  }
+  std::memset(out, 0, static_cast<std::size_t>(hd) * sizeof(float));
+  const float inv = 1.0f / denom;
+  for (std::int64_t j = 0; j < len; ++j) {
+    const float p = scores[static_cast<std::size_t>(j)] * inv;
+    for (std::int64_t c = 0; c < hd; ++c) out[c] += p * v_rows[j * pitch + c];
+  }
+}
+
+class DecodeFusedLens : public ::testing::TestWithParam<std::tuple<int, int>> {
+};
+
+TEST_P(DecodeFusedLens, MatchesTwoPassReference) {
+  const auto [len, hd] = GetParam();
+  const std::int64_t heads = 3;
+  const std::int64_t pitch = heads * hd;  // multi-head cache row pitch
+  const auto cache = random_vec(static_cast<std::size_t>(2 * len * pitch),
+                                static_cast<std::uint64_t>(len * 17 + hd));
+  const auto q = random_vec(static_cast<std::size_t>(pitch), 23);
+  std::vector<float> want(static_cast<std::size_t>(hd));
+  std::vector<float> got(want.size());
+  for (std::int64_t h = 0; h < heads; ++h) {
+    const float* kc = cache.data() + h * hd;
+    const float* vc = cache.data() + len * pitch + h * hd;
+    const float scale = 1.0f / std::sqrt(static_cast<float>(hd));
+    decode_reference(q.data() + h * hd, kc, vc, pitch, want.data(), len, hd,
+                     scale);
+    attention_decode_fused(q.data() + h * hd, kc, vc, pitch, got.data(), len,
+                           hd, scale);
+    EXPECT_LE(max_abs_diff(want, got), kTol) << "head " << h;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lens, DecodeFusedLens,
+                         ::testing::Values(std::make_tuple(1, 32),
+                                           std::make_tuple(2, 64),
+                                           std::make_tuple(7, 9),
+                                           std::make_tuple(63, 20),
+                                           std::make_tuple(64, 32),
+                                           std::make_tuple(65, 32),
+                                           std::make_tuple(200, 64)));
+
+TEST(DecodeFused, SingleCachedRowIsExactlyV) {
+  // softmax over one score is exactly 1, so out must equal the V row
+  // bit-for-bit (the online pass starts with alpha = 0, l = 1).
+  const std::int64_t hd = 40;
+  const auto cache = random_vec(static_cast<std::size_t>(2 * hd), 3);
+  const auto q = random_vec(static_cast<std::size_t>(hd), 4);
+  std::vector<float> out(static_cast<std::size_t>(hd));
+  attention_decode_fused(q.data(), cache.data(), cache.data() + hd, hd,
+                         out.data(), 1, hd, 0.125f);
+  EXPECT_EQ(0, std::memcmp(out.data(), cache.data() + hd,
+                           static_cast<std::size_t>(hd) * sizeof(float)));
+}
+
+// ------------------------------------------------- padding inertness
+
+/// decode_batch's `length_multiple_of` contract: pad rows carry zeros
+/// and never touch sequence state, so a padded decode is bit-identical
+/// to the unpadded one. This pins the fused decode kernel into the
+/// same contract the serving scheduler relies on.
+TEST(DecodeFused, PaddedDecodeBatchBitIdentical) {
+  TokenModelConfig cfg;
+  cfg.arch = "attn";
+  cfg.vocab = 96;
+  cfg.dim = 64;
+  cfg.depth = 2;
+  cfg.heads = 4;
+  cfg.max_tokens = 32;
+
+  const std::int32_t prompt[] = {5, 17, 3, 88};
+  const std::int32_t next = 41;
+  auto run = [&](std::int64_t multiple) {
+    TokenModelPtr model = build_token_model(cfg);
+    init_token_model(*model, 99);
+    const SequenceStateSpec spec = model->state_spec();
+    std::vector<float> slab(
+        static_cast<std::size_t>(spec.floats_per_sequence()), 0.0f);
+    SequenceState state(spec, slab.data());
+    std::vector<float> logits(static_cast<std::size_t>(cfg.vocab));
+    model->prefill(prompt, 4, state, logits.data());
+    SequenceState* states[] = {&state};
+    model->decode_batch(&next, states, 1, logits.data(), multiple);
+    return logits;
+  };
+
+  const std::vector<float> unpadded = run(1);
+  const std::vector<float> padded = run(4);  // 1 live row + 3 pad rows
+  EXPECT_EQ(0, std::memcmp(unpadded.data(), padded.data(),
+                           unpadded.size() * sizeof(float)));
+}
+
+}  // namespace
+}  // namespace harvest::nn

@@ -30,13 +30,19 @@ import json
 import sys
 from pathlib import Path
 
-LATENCY_HINTS = ("p99", "latency", "ttft")
+# "scratch_bytes" covers the attention report's kernel footprint: a
+# scratch growth regresses the edge memory budget, and like latency it
+# is lower-better.
+LATENCY_HINTS = ("p99", "latency", "ttft", "scratch_bytes")
 # "fairness" covers the multi-tenancy reports' Jain index: a fairness
 # drop is an isolation regression, and like goodput it is higher-better.
-GOODPUT_HINTS = ("goodput", "throughput", "img_s", "tok_s", "fairness")
+# "speedup" covers the kernel reports (BENCH_attention fused-vs-naive):
+# a speedup drop means the optimized path lost ground to its baseline.
+GOODPUT_HINTS = ("goodput", "throughput", "img_s", "tok_s", "fairness",
+                 "speedup")
 # Numeric keys that identify a sweep point rather than measure it.
 PARAM_HINTS = ("rate", "qps", "batch", "instances", "threshold", "arrival",
-               "multiplier", "tenants", "workers")
+               "multiplier", "tenants", "workers", "tokens", "dim", "heads")
 
 
 def is_latency_metric(key: str) -> bool:
@@ -193,6 +199,31 @@ def self_test() -> int:
         ]
     }
 
+    # Attention kernel report shape (BENCH_attention.json): rows keyed
+    # on (shape, tokens/dim/heads); the fused-vs-naive speedup is
+    # higher-better and the kernel scratch footprint lower-better.
+    attn_base = {
+        "rows": [
+            {"shape": "vit_tiny", "batch": 4, "tokens": 257, "dim": 192,
+             "heads": 3, "naive_ms": 14.2, "fused_ms": 7.9,
+             "speedup": 1.80, "scratch_bytes": 206208},
+            {"shape": "vit_base", "batch": 4, "tokens": 197, "dim": 768,
+             "heads": 12, "naive_ms": 36.3, "fused_ms": 20.6,
+             "speedup": 1.76, "scratch_bytes": 158464},
+        ]
+    }
+    attn_bad = {
+        "rows": [
+            # speedup -28% and scratch +4x: both must trip a 10% gate.
+            {"shape": "vit_tiny", "batch": 4, "tokens": 257, "dim": 192,
+             "heads": 3, "naive_ms": 14.2, "fused_ms": 11.0,
+             "speedup": 1.29, "scratch_bytes": 828000},
+            {"shape": "vit_base", "batch": 4, "tokens": 197, "dim": 768,
+             "heads": 12, "naive_ms": 36.3, "fused_ms": 20.6,
+             "speedup": 1.76, "scratch_bytes": 158464},
+        ]
+    }
+
     def rows(doc):
         return {row_identity(r): r for r in doc["rows"]}
 
@@ -221,6 +252,14 @@ def self_test() -> int:
                    len(mt_failures) == 2
                    and any("victim_p99_s" in f for f in mt_failures)
                    and any("fairness_index" in f for f in mt_failures)))
+    checks.append(("attention rows match on shape+geometry",
+                   diff_reports(rows(attn_base), rows(attn_base), 10.0, [])
+                   == []))
+    attn_failures = diff_reports(rows(attn_base), rows(attn_bad), 10.0, [])
+    checks.append(("speedup + scratch regressions caught",
+                   len(attn_failures) == 2
+                   and any("speedup" in f for f in attn_failures)
+                   and any("scratch_bytes" in f for f in attn_failures)))
 
     failed = [name for name, passed in checks if not passed]
     for name, passed in checks:
