@@ -1,0 +1,277 @@
+/// Ablation CS: million-user continuum orchestration (docs/CONTINUUM.md).
+/// One day of a ~1M-user scouting fleet — thousands of Jetson edge nodes
+/// in farms behind shared uplinks, regional V100 cloud tiers — simulated
+/// end to end on the continuum DES for every placement policy on the
+/// byte-identical pre-drawn arrival stream (diurnal + harvest-burst
+/// modulated drone-sync sessions, transient faults + uplink stalls,
+/// retry/shedding/degrade from serving/resilience).
+///
+/// Gates (exit 1 on failure):
+///   1. scale: the full scenario simulates >= 1M users' daily traffic
+///      (smoke shrinks the fleet but keeps the per-node load shape);
+///   2. ordering: edge-first-with-offload beats BOTH pure strategies on
+///      goodput at the harvest-burst peak — placement, not raw compute,
+///      is what the fleet lives on;
+///   3. conservation: submitted == completed + shed + failed +
+///      deadline_missed on every row (no request lost across nodes,
+///      uplinks, tiers, retries or migrations);
+///   4. determinism: re-running the gated rows reproduces their reports
+///      bit for bit (memcmp).
+///
+/// Results land in bench_reports/BENCH_continuum.json. `--smoke` is
+/// wired into ctest under the `continuum` label.
+/// Flags: --smoke --log-level=<lvl>.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "core/table.hpp"
+#include "core/units.hpp"
+#include "data/datasets.hpp"
+#include "sim/continuum/continuum_sim.hpp"
+
+namespace {
+
+using harvest::sim::continuum::ContinuumConfig;
+using harvest::sim::continuum::ContinuumReport;
+using harvest::sim::continuum::PlacementPolicy;
+
+ContinuumConfig scenario(bool smoke) {
+  ContinuumConfig config;
+  auto& topo = config.topology;
+  topo.regions = smoke ? 2 : 4;
+  topo.farms_per_region = smoke ? 5 : 50;
+  topo.nodes_per_farm = smoke ? 5 : 10;
+  topo.cloud_replicas = 8;
+  topo.model = "ViT_Small";
+  topo.dataset = "CRSA";          // 4K scouting frames, perspective warp
+  topo.uplink = "5G-midband";
+  // Edge boxes re-encode raw frames to AgJPEG before offloading (the
+  // transmission ablation's convention: ~0.4 B/pixel).
+  const auto crsa = harvest::data::find_dataset("CRSA");
+  topo.upload_bytes_per_image = crsa->image_stats().mean_pixels * 0.4;
+  topo.edge = {"JetsonOrinNano", "CV2", 8, false};
+  topo.cloud = {"V100", "DALI 224", 64, true};
+
+  auto& curve = config.arrivals;
+  curve.users = smoke ? 25'000 : 1'000'000;
+  curve.images_per_user_per_day = 3.0;
+  curve.duration_s = 86'400.0;
+  curve.burst_multiplier = 6.0;
+  // Calibrated against the priced tables: a sync session streams 4 img/s,
+  // a Jetson serves ~1.5 img/s of CRSA 4K (CV2 + perspective), and the
+  // farm's 5G uplink moves ~3 img/s of AgJPEG. So the full stream
+  // overloads either tier alone, while the edge-first overflow (~2.5
+  // img/s) fits the uplink — the mechanism the ordering gate checks.
+  curve.session_rate_img_s = 4.0;
+  curve.session_mean_s = 90.0;
+
+  config.seed = 2026;
+  config.deadline_s = 10.0;
+
+  config.placement.offload_queue_threshold = 8;
+  config.placement.degrade_queue_threshold = 24;
+  config.placement.min_replicas = 1;
+  config.placement.max_replicas = topo.cloud_replicas;
+
+  config.admission.max_queue_depth = 64;  // per node
+  config.retry.max_attempts = 3;
+  config.retry.initial_backoff_s = 0.25;
+  config.retry.max_backoff_s = 2.0;
+  config.faults.seed = 7;
+  config.faults.transient_error_rate = 0.005;
+  config.faults.latency_spike_rate = 0.01;
+  config.faults.latency_spike_s = 0.5;
+  config.faults.stall_rate = 0.01;
+  config.faults.stall_s = 2.0;
+  config.slo.latency_target_s = config.deadline_s;
+  config.slo.availability_target = 0.99;
+  // LTE-class radio energy for the energy-per-image column.
+  config.uplink_energy_j_per_byte = 2e-6;
+  return config;
+}
+
+bool reports_identical(const ContinuumReport& a, const ContinuumReport& b) {
+  return std::memcmp(&a, &b, sizeof(ContinuumReport)) == 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace harvest;
+  namespace cont = sim::continuum;
+  core::CliArgs args = bench::init(
+      argc, argv, "Ablation CS",
+      "Million-user continuum orchestration: placement/migration policies "
+      "on the fleet DES (edge farms -> uplinks -> regional cloud)\n"
+      "Flags: --smoke --log-level=<lvl>");
+  const bool smoke = args.has("smoke");
+
+  api::Report report("BENCH_continuum");
+  report.set_meta("mode", core::Json(std::string(smoke ? "smoke" : "full")));
+
+  const ContinuumConfig base = scenario(smoke);
+  {
+    auto priced = cont::price_topology(base.topology);
+    const auto& costs = priced.value();
+    std::printf(
+        "fleet: %lld regions x %lld farms x %lld nodes = %lld edge nodes; "
+        "%lld users/day, deadline %.0fs\n",
+        static_cast<long long>(base.topology.regions),
+        static_cast<long long>(base.topology.farms_per_region),
+        static_cast<long long>(base.topology.nodes_per_farm),
+        static_cast<long long>(base.topology.nodes()),
+        static_cast<long long>(base.arrivals.users), base.deadline_s);
+    std::printf(
+        "edge %s BS%lld: %s/img; cloud %s BS%lld: %s/img; uplink %s: "
+        "%s/img at %s payload\n\n",
+        base.topology.edge.device.c_str(),
+        static_cast<long long>(costs.edge.max_batch),
+        core::format_seconds(costs.edge.per_image_s()).c_str(),
+        base.topology.cloud.device.c_str(),
+        static_cast<long long>(costs.cloud.max_batch),
+        core::format_seconds(costs.cloud.per_image_s()).c_str(),
+        base.topology.uplink.c_str(),
+        core::format_seconds(
+            costs.uplink.transfer_time_s(costs.upload_bytes))
+            .c_str(),
+        core::format_bytes(costs.upload_bytes).c_str());
+    report.set_meta("edge_s_per_img", core::Json(costs.edge.per_image_s()));
+    report.set_meta("cloud_s_per_img", core::Json(costs.cloud.per_image_s()));
+    report.set_meta(
+        "uplink_s_per_img",
+        core::Json(costs.uplink.transfer_time_s(costs.upload_bytes)));
+  }
+
+  const std::vector<PlacementPolicy> policies = {
+      PlacementPolicy::kEdgeOnly, PlacementPolicy::kCloudOnly,
+      PlacementPolicy::kEdgeFirst, PlacementPolicy::kBandwidthAware,
+      PlacementPolicy::kAutoscale};
+
+  core::TextTable table("one simulated day per policy, identical arrivals");
+  table.set_header({"policy", "submitted", "good", "shed", "miss", "offload",
+                    "goodput/s", "peak/s", "p99", "GB up", "J/img",
+                    "repl-s"});
+
+  bool conserved = true;
+  bool deterministic = true;
+  ContinuumReport by_policy[5];
+  for (std::size_t i = 0; i < policies.size(); ++i) {
+    ContinuumConfig config = base;
+    config.placement.policy = policies[i];
+    const ContinuumReport r = cont::simulate_continuum(config);
+    by_policy[i] = r;
+    conserved = r.conserved() && conserved;
+    // The ordering gate reads edge_only / cloud_only / edge_first;
+    // those rows must also reproduce bit for bit.
+    if (policies[i] == PlacementPolicy::kEdgeOnly ||
+        policies[i] == PlacementPolicy::kCloudOnly ||
+        policies[i] == PlacementPolicy::kEdgeFirst) {
+      deterministic =
+          reports_identical(r, cont::simulate_continuum(config)) &&
+          deterministic;
+    }
+
+    table.add_row(
+        {cont::placement_policy_name(policies[i]),
+         std::to_string(r.submitted), std::to_string(r.completed),
+         std::to_string(r.shed),
+         std::to_string(r.deadline_missed + r.failed),
+         std::to_string(r.offloaded), core::format_fixed(r.goodput_img_s, 1),
+         core::format_fixed(r.peak_goodput_img_s, 1),
+         core::format_seconds(r.p99_s),
+         core::format_fixed(r.transmit_bytes / 1e9, 1),
+         core::format_fixed(r.energy_per_image_j, 1),
+         core::format_fixed(r.replica_seconds / 1e3, 0) + "k"});
+
+    core::Json row = core::Json::object();
+    row["policy"] =
+        core::Json(std::string(cont::placement_policy_name(policies[i])));
+    row["users"] = core::Json(base.arrivals.users);
+    row["nodes"] = core::Json(base.topology.nodes());
+    row["farms"] = core::Json(base.topology.farms());
+    row["submitted"] = core::Json(r.submitted);
+    row["completed"] = core::Json(r.completed);
+    row["shed"] = core::Json(r.shed);
+    row["failed"] = core::Json(r.failed);
+    row["deadline_missed"] = core::Json(r.deadline_missed);
+    row["offloaded"] = core::Json(r.offloaded);
+    row["retries"] = core::Json(r.retries);
+    row["scale_ups"] = core::Json(r.scale_ups);
+    row["scale_downs"] = core::Json(r.scale_downs);
+    row["goodput_img_s"] = core::Json(r.goodput_img_s);
+    row["peak_goodput_img_s"] = core::Json(r.peak_goodput_img_s);
+    row["p50_s"] = core::Json(r.p50_s);
+    row["p99_s"] = core::Json(r.p99_s);
+    row["transmit_bytes"] = core::Json(r.transmit_bytes);
+    row["energy_per_image_j"] = core::Json(r.energy_per_image_j);
+    row["replica_seconds"] = core::Json(r.replica_seconds);
+    row["edge_completed"] = core::Json(r.edge.completed);
+    row["cloud_completed"] = core::Json(r.cloud.completed);
+    row["edge_degraded_batches"] = core::Json(r.edge.degraded_batches);
+    row["slo_burn_rate"] = core::Json(r.slo_burn_rate);
+    row["slo_budget_remaining"] = core::Json(r.slo_budget_remaining);
+    report.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  const ContinuumReport& edge_only = by_policy[0];
+  const ContinuumReport& cloud_only = by_policy[1];
+  const ContinuumReport& edge_first = by_policy[2];
+
+  std::printf(
+      "\nExpected shape: a drone sync streams %.0f img/s — more than a "
+      "Jetson serves — so edge_only ages each session's tail past the "
+      "deadline, while cloud_only pushes the full stream through a farm "
+      "uplink that saturates below session rate. Edge-first absorbs what "
+      "the node can serve and ships only the overflow (which fits the "
+      "uplink), so it wins at the burst peak; bandwidth_aware trades some "
+      "goodput for earlier offload, and autoscale matches edge_first on "
+      "far fewer replica-seconds.\n",
+      base.arrivals.session_rate_img_s);
+  std::printf(
+      "\nburst-peak goodput: edge_first %.1f/s vs edge_only %.1f/s vs "
+      "cloud_only %.1f/s; autoscale %.0fk replica-s vs static %.0fk\n",
+      edge_first.peak_goodput_img_s, edge_only.peak_goodput_img_s,
+      cloud_only.peak_goodput_img_s, by_policy[4].replica_seconds / 1e3,
+      edge_first.replica_seconds / 1e3);
+
+  const bool scale_ok = smoke || base.arrivals.users >= 1'000'000;
+  const bool ordering_ok =
+      edge_first.peak_goodput_img_s > edge_only.peak_goodput_img_s &&
+      edge_first.peak_goodput_img_s > cloud_only.peak_goodput_img_s;
+
+  report.set_meta("users", core::Json(base.arrivals.users));
+  report.set_meta("nodes", core::Json(base.topology.nodes()));
+  report.set_meta("deadline_s", core::Json(base.deadline_s));
+  report.set_meta("scale_ok", core::Json(scale_ok));
+  report.set_meta("ordering_ok", core::Json(ordering_ok));
+  report.set_meta("conserved", core::Json(conserved));
+  report.set_meta("deterministic", core::Json(deterministic));
+  bench::finish(report);
+
+  if (!scale_ok) {
+    std::fprintf(stderr, "FAIL: full scenario below 1M simulated users\n");
+    return 1;
+  }
+  if (!ordering_ok) {
+    std::fprintf(stderr,
+                 "FAIL: edge_first does not beat both pure strategies on "
+                 "burst-peak goodput\n");
+    return 1;
+  }
+  if (!conserved) {
+    std::fprintf(stderr,
+                 "FAIL: conservation violated (submitted != completed + shed "
+                 "+ failed + deadline_missed)\n");
+    return 1;
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "FAIL: DES not bit-reproducible across runs\n");
+    return 1;
+  }
+  return 0;
+}

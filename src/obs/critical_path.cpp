@@ -47,7 +47,9 @@ Segment classify_segment(std::string_view span_name) {
   if (name_contains(span_name, "transmit") ||
       name_contains(span_name, "uplink") ||
       name_contains(span_name, "downlink") ||
-      name_contains(span_name, "respond")) {
+      name_contains(span_name, "respond") ||
+      name_contains(span_name, "offload") ||
+      name_contains(span_name, "migrate")) {
     return Segment::kTransmit;
   }
   return Segment::kOther;

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <algorithm>
+
+namespace harvest::serving {
+
+/// Start-time weighted fair queueing virtual-time core, shared by the
+/// WorkerPool dispatcher, the tenant DES, and the continuum cloud tier.
+///
+/// Each principal (tenant, farm, ...) carries a stored virtual time; the
+/// scheduler picks the principal with the minimum *effective* virtual
+/// time (stored vt clamped up to the global clock, so an idle principal
+/// re-enters at the current service point instead of monopolizing the
+/// resource while it catches up). Dispatching charges `work / weight`
+/// of virtual service and advances the global clock to the batch's
+/// start tag. Ties are broken by the caller (deterministically, e.g. by
+/// name or index) — the clock itself is policy-free.
+class WfqClock {
+ public:
+  /// Weights at or below zero are clamped to this floor rather than
+  /// dividing by zero; a near-zero weight is "lowest possible priority",
+  /// not a crash.
+  static constexpr double kMinWeight = 1e-9;
+
+  /// The effective virtual time of a principal whose stored vt is `vt`.
+  double effective(double vt) const { return std::max(vt, global_vt_); }
+
+  /// Charge `work` units at `weight` against a principal whose stored
+  /// vt is `vt`; advances the global clock to the start tag and returns
+  /// the principal's new stored vt.
+  double charge(double vt, double work, double weight) {
+    const double start_tag = effective(vt);
+    global_vt_ = std::max(global_vt_, start_tag);
+    return start_tag + work / std::max(weight, kMinWeight);
+  }
+
+  /// Current global service point. New principals enter here — not at
+  /// zero — so a late arrival cannot starve everyone else.
+  double now() const { return global_vt_; }
+
+ private:
+  double global_vt_ = 0.0;
+};
+
+}  // namespace harvest::serving

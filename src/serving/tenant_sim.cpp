@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "serving/fair_queue.hpp"
 
 namespace harvest::serving {
 
@@ -102,7 +103,7 @@ TenantSimReport simulate_tenants(const TenantSimConfig& config) {
 
   std::vector<std::deque<double>> queues(tenants);  // queued arrival times
   std::vector<double> vt(tenants, 0.0);             // WFQ virtual times
-  double global_vt = 0.0;
+  WfqClock wfq;
   double now = 0.0;
 
   std::vector<std::uint64_t> completed_per_tenant(tenants, 0);
@@ -157,7 +158,7 @@ TenantSimReport simulate_tenants(const TenantSimConfig& config) {
       double best = 0.0;
       for (std::size_t t = 0; t < tenants; ++t) {
         if (queues[t].empty()) continue;
-        const double eff = std::max(vt[t], global_vt);
+        const double eff = wfq.effective(vt[t]);
         if (pick == tenants || eff < best) {
           pick = t;
           best = eff;
@@ -169,10 +170,8 @@ TenantSimReport simulate_tenants(const TenantSimConfig& config) {
     auto& q = queues[pick];
     const std::size_t batch = std::min(q.size(), max_batch);
     if (config.policy == FleetPolicy::kWfq) {
-      const double start_tag = std::max(vt[pick], global_vt);
-      vt[pick] = start_tag + static_cast<double>(batch) /
-                                 (pick == 0 ? weight_of_0 : 1.0);
-      global_vt = std::max(global_vt, start_tag);
+      vt[pick] = wfq.charge(vt[pick], static_cast<double>(batch),
+                            pick == 0 ? weight_of_0 : 1.0);
     }
     const double finish = now + config.service_base_s +
                           config.service_per_item_s *

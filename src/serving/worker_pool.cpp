@@ -28,7 +28,7 @@ void WorkerPool::add_deployment(const std::string& name, TenantPtr tenant,
   // An unseen tenant enters at the global service point, not at 0 —
   // otherwise a late-registered tenant would monopolize the pool until
   // it caught up with everyone's accumulated virtual time.
-  tenant_vt_.emplace(deployment->tenant->name, global_vt_);
+  tenant_vt_.emplace(deployment->tenant->name, wfq_.now());
   deployments_.push_back(std::move(deployment));
   cv_.notify_all();
 }
@@ -75,7 +75,7 @@ void WorkerPool::worker_loop(std::size_t index) {
         continue;
       }
       const auto vt_it = tenant_vt_.find(deployment->tenant->name);
-      const double vt = std::max(vt_it->second, global_vt_);
+      const double vt = wfq_.effective(vt_it->second);
       if (best == nullptr || vt < best_vt ||
           (vt == best_vt && deployment->name < best->name)) {
         best = deployment.get();
@@ -100,10 +100,9 @@ void WorkerPool::worker_loop(std::size_t index) {
     // Start-time fair queueing: charge the tenant n/weight of virtual
     // service, and advance the global clock to this batch's start tag.
     const double weight =
-        std::max(best->tenant->weight.load(std::memory_order_relaxed), 1e-9);
-    tenant_vt_[best->tenant->name] =
-        best_vt + static_cast<double>(n) / weight;
-    global_vt_ = std::max(global_vt_, best_vt);
+        best->tenant->weight.load(std::memory_order_relaxed);
+    tenant_vt_[best->tenant->name] = wfq_.charge(
+        tenant_vt_[best->tenant->name], static_cast<double>(n), weight);
     ++best->inflight;
     ++busy_;
     ++dispatched_;

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "serving/batcher.hpp"
+#include "serving/fair_queue.hpp"
 #include "serving/metrics.hpp"
 #include "serving/model_instance.hpp"
 #include "serving/weight_store.hpp"
@@ -105,7 +106,7 @@ class WorkerPool {
   std::condition_variable cv_;
   std::vector<std::unique_ptr<PoolDeployment>> deployments_;
   std::map<std::string, double> tenant_vt_;  ///< keyed by tenant name
-  double global_vt_ = 0.0;
+  WfqClock wfq_;
   std::size_t busy_ = 0;
   std::uint64_t dispatched_ = 0;
   bool shutdown_ = false;

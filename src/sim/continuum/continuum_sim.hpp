@@ -1,0 +1,157 @@
+#pragma once
+
+/// \file continuum_sim.hpp
+/// The million-user continuum orchestration DES: every edge node, farm
+/// uplink and regional cloud tier of a `ContinuumTopology` simulated as
+/// one discrete-event system, with a pluggable `PlacementConfig` deciding
+/// where each image runs. It generalizes the single-node online DES
+/// (serving/online_sim.hpp) and the one-shot placement ablations
+/// (bench/ablation_transmission, bench/ablation_continuum_placement) to
+/// fleet scale while reusing the production policies wholesale:
+///
+/// * admission shedding — `serving::resilience::AdmissionController` (shared
+///   service-time EWMA, per-node queue depth);
+/// * retry with backoff + deadline budget — `serving::resilience::RetryPolicy`
+///   (a retry re-routes through the placement policy: migration);
+/// * degrade-to-INT8 under pressure — the tier's INT8 twin table;
+/// * fault injection — `serving::resilience::FaultPlan` (transient batch errors,
+///   latency spikes, uplink stalls) on a dedicated RNG stream;
+/// * weighted fair queueing across farms at each cloud tier —
+///   `serving::WfqClock`, the same core the WorkerPool dispatches with;
+/// * SLO burn accounting — `obs::SloTracker` on simulated time.
+///
+/// Determinism contract (docs/CONTINUUM.md): arrivals are pre-drawn per
+/// node from splitmix-salted streams before the event loop starts, so
+/// every policy sees the byte-identical workload; faults draw from their
+/// own stream in event order; the report is a plain-old-data struct with
+/// zeroed padding, so two runs of one config can be compared with
+/// `memcmp` — the bit-determinism gate in `ablation_continuum_scale`.
+
+#include <cstdint>
+
+#include "obs/slo.hpp"
+#include "obs/trace.hpp"
+#include "serving/resilience/admission.hpp"
+#include "serving/resilience/fault.hpp"
+#include "serving/resilience/retry.hpp"
+#include "sim/continuum/policy.hpp"
+#include "sim/continuum/topology.hpp"
+
+namespace harvest::sim::continuum {
+
+/// Fleet-wide arrival model: per-node drone-sync sessions (a burst of
+/// images while a scout uploads) whose start times follow a diurnal ×
+/// harvest-season-burst modulated Poisson process. The total volume is
+/// anchored on `users × images_per_user_per_day`.
+struct ArrivalCurve {
+  std::int64_t users = 1'000'000;
+  double images_per_user_per_day = 3.0;
+  double duration_s = 86'400.0;
+
+  // Diurnal modulation: a clamped sine over [day_start, day_end], with
+  // `night_floor` of the peak rate surviving overnight.
+  double day_start_s = 6.0 * 3600.0;
+  double day_end_s = 20.0 * 3600.0;
+  double night_floor = 0.05;
+
+  // Harvest-season burst: rate multiplier inside [burst_start, burst_end).
+  double burst_start_s = 9.0 * 3600.0;
+  double burst_end_s = 15.0 * 3600.0;
+  double burst_multiplier = 6.0;
+
+  // One sync session: Poisson image arrivals at `session_rate_img_s`
+  // for an exponentially distributed `session_mean_s` stretch.
+  double session_rate_img_s = 10.0;
+  double session_mean_s = 90.0;
+
+  /// Unnormalized rate modulation at time t (diurnal × burst).
+  double shape(double t) const;
+};
+
+struct ContinuumConfig {
+  ContinuumTopology topology;
+  PlacementConfig placement;
+  ArrivalCurve arrivals;
+
+  std::uint64_t seed = 2026;   ///< arrival streams (per-node salted)
+  double deadline_s = 10.0;    ///< end-to-end budget per image
+
+  /// Per-node admission shedding (depth test against each node's own
+  /// queue, service-time EWMA shared fleet-wide). Prior is seeded from
+  /// the priced edge table when left at 0.
+  serving::resilience::AdmissionConfig admission;
+  serving::resilience::RetryPolicy retry;
+  /// Transient batch errors + latency spikes (both tiers) and uplink
+  /// stalls; crash faults are not priced at fleet scale.
+  serving::resilience::FaultPlan faults;
+  obs::SloConfig slo;
+
+  /// Radio/NIC energy per uplink byte (J/B); 0 keeps energy pure compute.
+  double uplink_energy_j_per_byte = 0.0;
+
+  /// Goodput is additionally reported inside this window (default: the
+  /// harvest burst window) — the "burst peak" the policy-ordering gate
+  /// compares at.
+  double peak_window_start_s = -1.0;
+  double peak_window_end_s = -1.0;
+
+  /// Optional: record per-hop spans for every `trace_sample_every`-th
+  /// submitted image (0 = tracing off) into `trace`, at simulated
+  /// timestamps, causally linked under one root per image so
+  /// `obs::critical_path` attributes fleet latency unchanged.
+  obs::TraceRecorder* trace = nullptr;
+  std::uint64_t trace_sample_every = 0;
+};
+
+/// Per-tier outcome block (plain data; part of the memcmp contract).
+struct TierStats {
+  std::uint64_t completed = 0;        ///< served here, on time
+  std::uint64_t deadline_missed = 0;  ///< served here, late
+  std::uint64_t batches = 0;
+  std::uint64_t degraded_batches = 0;  ///< ran the INT8 twin
+  double busy_s = 0.0;                 ///< summed engine-occupied time
+  double energy_j = 0.0;
+  double p50_s = 0.0;  ///< end-to-end latency of images served here
+  double p99_s = 0.0;
+};
+
+/// The report. Plain-old-data with every byte written (padding zeroed),
+/// so `std::memcmp(&a, &b, sizeof(a)) == 0` is the reproducibility test.
+struct ContinuumReport {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;        ///< on time, fleet-wide
+  std::uint64_t shed = 0;             ///< admission/capacity rejections
+  std::uint64_t failed = 0;           ///< faults exhausted the retry budget
+  std::uint64_t deadline_missed = 0;  ///< served late, or abandoned on budget
+  std::uint64_t offloaded = 0;        ///< images routed up an uplink
+  std::uint64_t retries = 0;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+
+  double sim_time_s = 0.0;        ///< last event (>= duration: drain)
+  double goodput_img_s = 0.0;     ///< completed / duration
+  double peak_goodput_img_s = 0.0;  ///< on-time completions in the peak window
+  double p50_s = 0.0;
+  double p99_s = 0.0;
+  double transmit_bytes = 0.0;    ///< total uplink payload + framing
+  double energy_j = 0.0;          ///< compute busy energy + uplink energy
+  double energy_per_image_j = 0.0;  ///< energy_j / completed
+  double replica_seconds = 0.0;   ///< integral of active cloud replicas
+  double slo_burn_rate = 0.0;
+  double slo_budget_remaining = 0.0;
+
+  TierStats edge;
+  TierStats cloud;
+
+  /// The request-conservation law: every submitted image is accounted
+  /// for exactly once across all nodes and tiers.
+  bool conserved() const {
+    return submitted == completed + shed + failed + deadline_missed;
+  }
+};
+
+/// Run the fleet. HARVEST_CHECKs that the topology prices (validate with
+/// `parse_continuum_topology` / `price_topology` first for a soft error).
+ContinuumReport simulate_continuum(const ContinuumConfig& config);
+
+}  // namespace harvest::sim::continuum

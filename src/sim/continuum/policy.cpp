@@ -1,0 +1,70 @@
+#include "sim/continuum/policy.hpp"
+
+namespace harvest::sim::continuum {
+
+const char* placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kEdgeOnly: return "edge_only";
+    case PlacementPolicy::kCloudOnly: return "cloud_only";
+    case PlacementPolicy::kEdgeFirst: return "edge_first";
+    case PlacementPolicy::kBandwidthAware: return "bandwidth_aware";
+    case PlacementPolicy::kAutoscale: return "autoscale";
+  }
+  return "unknown";
+}
+
+core::Result<PlacementPolicy> parse_placement_policy(const std::string& name) {
+  for (PlacementPolicy policy :
+       {PlacementPolicy::kEdgeOnly, PlacementPolicy::kCloudOnly,
+        PlacementPolicy::kEdgeFirst, PlacementPolicy::kBandwidthAware,
+        PlacementPolicy::kAutoscale}) {
+    if (name == placement_policy_name(policy)) return policy;
+  }
+  return core::Status::invalid_argument("unknown placement policy \"" + name +
+                                        "\"");
+}
+
+core::Result<PlacementConfig> parse_placement_config(const core::Json& json) {
+  if (!json.is_object()) {
+    return core::Status::invalid_argument("\"placement\" must be an object");
+  }
+  PlacementConfig config;
+  auto policy = parse_placement_policy(
+      json.get_string("policy", placement_policy_name(config.policy)));
+  if (!policy.is_ok()) return policy.status();
+  config.policy = policy.value();
+  config.offload_queue_threshold =
+      json.get_int("offload_queue_threshold", config.offload_queue_threshold);
+  config.degrade_queue_threshold =
+      json.get_int("degrade_queue_threshold", config.degrade_queue_threshold);
+  config.min_replicas = json.get_int("min_replicas", config.min_replicas);
+  config.max_replicas = json.get_int("max_replicas", config.max_replicas);
+  config.scale_interval_s =
+      json.get_number("scale_interval_s", config.scale_interval_s);
+  config.scale_up_backlog_per_replica = json.get_number(
+      "scale_up_backlog_per_replica", config.scale_up_backlog_per_replica);
+  config.scale_down_backlog_per_replica = json.get_number(
+      "scale_down_backlog_per_replica", config.scale_down_backlog_per_replica);
+  if (config.offload_queue_threshold < 1) {
+    return core::Status::invalid_argument(
+        "offload_queue_threshold must be >= 1");
+  }
+  if (config.degrade_queue_threshold < 0) {
+    return core::Status::invalid_argument(
+        "degrade_queue_threshold must be >= 0 (0 disables degrade)");
+  }
+  if (config.min_replicas < 1 || config.max_replicas < config.min_replicas) {
+    return core::Status::invalid_argument(
+        "need 1 <= min_replicas <= max_replicas");
+  }
+  if (config.scale_interval_s <= 0.0 ||
+      config.scale_up_backlog_per_replica <=
+          config.scale_down_backlog_per_replica) {
+    return core::Status::invalid_argument(
+        "autoscale needs scale_interval_s > 0 and scale_up watermark above "
+        "scale_down");
+  }
+  return config;
+}
+
+}  // namespace harvest::sim::continuum

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file policy.hpp
+/// Placement/migration policies for the continuum DES. A policy decides,
+/// per arrival (and per retry — a retry re-routes, which is how a
+/// request migrates between tiers), whether the image is served on its
+/// own edge node or shipped up the farm uplink to the regional cloud
+/// tier:
+///
+/// * `edge_only`    — never offload; queue pressure sheds locally.
+/// * `cloud_only`   — never serve locally; every image rides the uplink.
+/// * `edge_first`   — serve locally until the node's queue depth reaches
+///                    `offload_queue_threshold`, then offload the
+///                    overflow (the paper's queue-pressure migration).
+/// * `bandwidth_aware` — route each image to whichever tier's *estimated*
+///                    completion (queue drain + transfer + RTT) is
+///                    sooner, using the admission controller's observed
+///                    service-time EWMA.
+/// * `autoscale`    — edge_first routing plus regional replica
+///                    autoscaling between `min_replicas` and
+///                    `max_replicas` on queue-backlog watermarks.
+///
+/// Semantics, thresholds and the worked ablation are documented in
+/// docs/CONTINUUM.md.
+
+#include <cstdint>
+#include <string>
+
+#include "core/json.hpp"
+#include "core/status.hpp"
+
+namespace harvest::sim::continuum {
+
+enum class PlacementPolicy {
+  kEdgeOnly,
+  kCloudOnly,
+  kEdgeFirst,
+  kBandwidthAware,
+  kAutoscale,
+};
+
+const char* placement_policy_name(PlacementPolicy policy);
+
+/// Inverse of `placement_policy_name`; kInvalidArgument on unknown names.
+core::Result<PlacementPolicy> parse_placement_policy(const std::string& name);
+
+struct PlacementConfig {
+  PlacementPolicy policy = PlacementPolicy::kEdgeFirst;
+
+  /// edge_first / autoscale: offload an arrival when its node's queue
+  /// already holds this many requests (the in-service batch does not
+  /// count — depth is *waiting* work).
+  std::int64_t offload_queue_threshold = 8;
+
+  /// Degrade-to-INT8 failover: dispatch the INT8 twin when the queue
+  /// depth at dispatch is at least this. 0 disables degrade.
+  std::int64_t degrade_queue_threshold = 0;
+
+  // autoscale only: regional replica count bounds and the backlog
+  // watermarks (queued requests per active replica) evaluated every
+  // `scale_interval_s` of simulated time.
+  std::int64_t min_replicas = 1;
+  std::int64_t max_replicas = 8;
+  double scale_interval_s = 60.0;
+  double scale_up_backlog_per_replica = 64.0;
+  double scale_down_backlog_per_replica = 8.0;
+};
+
+/// Parse a `"placement"` JSON object (keys documented in
+/// docs/MODEL_REPOSITORY.md § Continuum).
+core::Result<PlacementConfig> parse_placement_config(const core::Json& json);
+
+}  // namespace harvest::sim::continuum

@@ -32,8 +32,12 @@ from pathlib import Path
 
 # "scratch_bytes" covers the attention report's kernel footprint: a
 # scratch growth regresses the edge memory budget, and like latency it
-# is lower-better.
-LATENCY_HINTS = ("p99", "latency", "ttft", "scratch_bytes")
+# is lower-better. "transmit_bytes" and "energy_per_image" cover the
+# continuum fleet report: more uplink bytes or joules per served image
+# for the same workload is a placement regression, so both are
+# lower-better.
+LATENCY_HINTS = ("p99", "latency", "ttft", "scratch_bytes",
+                 "transmit_bytes", "energy_per_image")
 # "fairness" covers the multi-tenancy reports' Jain index: a fairness
 # drop is an isolation regression, and like goodput it is higher-better.
 # "speedup" covers the kernel reports (BENCH_attention fused-vs-naive):
@@ -42,7 +46,8 @@ GOODPUT_HINTS = ("goodput", "throughput", "img_s", "tok_s", "fairness",
                  "speedup")
 # Numeric keys that identify a sweep point rather than measure it.
 PARAM_HINTS = ("rate", "qps", "batch", "instances", "threshold", "arrival",
-               "multiplier", "tenants", "workers", "tokens", "dim", "heads")
+               "multiplier", "tenants", "workers", "tokens", "dim", "heads",
+               "users", "farms", "nodes")
 
 
 def is_latency_metric(key: str) -> bool:
@@ -224,6 +229,37 @@ def self_test() -> int:
         ]
     }
 
+    # Continuum fleet report shape (BENCH_continuum.json): rows keyed on
+    # (policy, users/farms/nodes); goodput is higher-better while the
+    # uplink byte volume and energy per served image are lower-better —
+    # a placement change that keeps goodput by burning radio and joules
+    # must still trip the gate.
+    cont_base = {
+        "rows": [
+            {"policy": "edge_first", "users": 1000000, "farms": 200,
+             "nodes": 2000, "goodput_img_s": 27.3,
+             "peak_goodput_img_s": 94.1, "p99_s": 130.5,
+             "transmit_bytes": 5.86e12, "energy_per_image_j": 17.1},
+            {"policy": "cloud_only", "users": 1000000, "farms": 200,
+             "nodes": 2000, "goodput_img_s": 6.4,
+             "peak_goodput_img_s": 21.8, "p99_s": 451.0,
+             "transmit_bytes": 9.79e12, "energy_per_image_j": 63.1},
+        ]
+    }
+    cont_bad = {
+        "rows": [
+            # peak goodput -25%, transmit +60%, J/img +75%: three trips.
+            {"policy": "edge_first", "users": 1000000, "farms": 200,
+             "nodes": 2000, "goodput_img_s": 27.0,
+             "peak_goodput_img_s": 70.2, "p99_s": 131.0,
+             "transmit_bytes": 9.4e12, "energy_per_image_j": 30.0},
+            {"policy": "cloud_only", "users": 1000000, "farms": 200,
+             "nodes": 2000, "goodput_img_s": 6.4,
+             "peak_goodput_img_s": 21.8, "p99_s": 451.0,
+             "transmit_bytes": 9.79e12, "energy_per_image_j": 63.1},
+        ]
+    }
+
     def rows(doc):
         return {row_identity(r): r for r in doc["rows"]}
 
@@ -260,6 +296,15 @@ def self_test() -> int:
                    len(attn_failures) == 2
                    and any("speedup" in f for f in attn_failures)
                    and any("scratch_bytes" in f for f in attn_failures)))
+    checks.append(("continuum rows match on policy+fleet shape",
+                   diff_reports(rows(cont_base), rows(cont_base), 10.0, [])
+                   == []))
+    cont_failures = diff_reports(rows(cont_base), rows(cont_bad), 10.0, [])
+    checks.append(("peak goodput + transmit + energy regressions caught",
+                   len(cont_failures) == 3
+                   and any("peak_goodput_img_s" in f for f in cont_failures)
+                   and any("transmit_bytes" in f for f in cont_failures)
+                   and any("energy_per_image_j" in f for f in cont_failures)))
 
     failed = [name for name, passed in checks if not passed]
     for name, passed in checks:

@@ -5,12 +5,13 @@ Walks the curated documentation set (README.md, DESIGN.md,
 EXPERIMENTS.md, docs/*.md) and fails on:
 
   * relative markdown links whose target file does not exist;
+  * anchor fragments (FILE.md#section, or in-page #section) that do not
+    match any GitHub-style heading slug in the target document;
   * cited repository source paths (src/..., bench/..., tests/...,
     examples/..., docs/..., tools/...) that do not exist.
 
-External links (http/https/mailto) and pure in-page anchors are not
-checked. Generated paths (bench_reports/, build/) are outside the
-checked prefixes on purpose.
+External links (http/https/mailto) are not checked. Generated paths
+(bench_reports/, build/) are outside the checked prefixes on purpose.
 
 Usage: python3 tools/check_doc_links.py [repo_root]
 Exit code 0 when every link resolves, 1 otherwise.
@@ -29,6 +30,43 @@ SOURCE_PATH = re.compile(
 )
 
 
+HEADING = re.compile(r"^(#{1,6})\s+(.+?)\s*$")
+FENCE = re.compile(r"^(```|~~~)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's heading -> anchor id transform (close enough for ASCII
+    docs): drop markdown markup, lowercase, strip punctuation except
+    hyphens/underscores, spaces become hyphens."""
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # [t](url) -> t
+    text = text.replace("`", "").replace("*", "")
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(doc: Path) -> set[str]:
+    """Every anchor id the rendered document exposes. Duplicate headings
+    get GitHub's -1, -2, ... suffixes."""
+    slugs: set[str] = set()
+    seen: dict[str, int] = {}
+    in_fence = False
+    for line in doc.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = slugify(match.group(2))
+        count = seen.get(slug, 0)
+        seen[slug] = count + 1
+        slugs.add(slug if count == 0 else f"{slug}-{count}")
+    return slugs
+
+
 def doc_files(root: Path) -> list[Path]:
     files = [root / name for name in ("README.md", "DESIGN.md",
                                       "EXPERIMENTS.md")]
@@ -36,22 +74,32 @@ def doc_files(root: Path) -> list[Path]:
     return [f for f in files if f.is_file()]
 
 
-def check_file(root: Path, doc: Path) -> list[str]:
+def check_file(root: Path, doc: Path,
+               slug_cache: dict[Path, set[str]]) -> list[str]:
     errors = []
     text = doc.read_text(encoding="utf-8")
     rel = doc.relative_to(root)
 
+    def slugs_of(path: Path) -> set[str]:
+        if path not in slug_cache:
+            slug_cache[path] = heading_slugs(path)
+        return slug_cache[path]
+
     for lineno, line in enumerate(text.splitlines(), start=1):
         for match in MD_LINK.finditer(line):
             target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (doc.parent / path).resolve()
+            path, _, fragment = target.partition("#")
+            resolved = (doc.parent / path).resolve() if path else doc
             if not resolved.exists():
                 errors.append(f"{rel}:{lineno}: dead link -> {target}")
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment.lower() not in slugs_of(resolved):
+                    errors.append(
+                        f"{rel}:{lineno}: dead anchor -> {target} "
+                        f"(no heading slug \"{fragment}\")")
         for match in SOURCE_PATH.finditer(line):
             cited = match.group(1)
             if not (root / cited).exists():
@@ -67,8 +115,9 @@ def main() -> int:
         print(f"no documentation files found under {root}", file=sys.stderr)
         return 1
     errors = []
+    slug_cache: dict[Path, set[str]] = {}
     for doc in docs:
-        errors += check_file(root, doc)
+        errors += check_file(root, doc, slug_cache)
     if errors:
         print(f"{len(errors)} dead documentation link(s):")
         for error in errors:
